@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the compression substrate: compression and
+//! decompression throughput of every format on the synthetic columns of
+//! Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morph_compression::{compress_main_part, decompress_into, Format};
+use morph_storage::datagen::SyntheticColumn;
+
+const ELEMENTS: usize = 256 * 1024;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes((ELEMENTS * 8) as u64));
+    for column in SyntheticColumn::all() {
+        let values = column.generate(ELEMENTS, 42);
+        let max = values.iter().copied().max().unwrap_or(0);
+        for format in Format::all_formats(max) {
+            group.bench_with_input(
+                BenchmarkId::new(format.label(), column.label()),
+                &values,
+                |b, values| b.iter(|| compress_main_part(&format, values)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Bytes((ELEMENTS * 8) as u64));
+    for column in SyntheticColumn::all() {
+        let values = column.generate(ELEMENTS, 42);
+        let max = values.iter().copied().max().unwrap_or(0);
+        for format in Format::all_formats(max) {
+            let (bytes, main_len) = compress_main_part(&format, &values);
+            group.bench_with_input(
+                BenchmarkId::new(format.label(), column.label()),
+                &bytes,
+                |b, bytes| {
+                    b.iter(|| {
+                        let mut out = Vec::with_capacity(main_len);
+                        decompress_into(&format, bytes, main_len, &mut out);
+                        out
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression, bench_decompression);
+criterion_main!(benches);

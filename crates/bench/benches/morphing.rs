@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark of direct morphing between compression formats,
+//! the building block of the on-the-fly morphing integration degree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morph_compression::Format;
+use morph_storage::datagen::SyntheticColumn;
+use morph_storage::Column;
+
+const ELEMENTS: usize = 256 * 1024;
+
+fn bench_morphing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("morph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(ELEMENTS as u64));
+    let values = SyntheticColumn::C1.generate(ELEMENTS, 42);
+    let pairs = [
+        (Format::Uncompressed, Format::DynBp),
+        (Format::DynBp, Format::Uncompressed),
+        (Format::StaticBp(6), Format::DynBp),
+        (Format::DynBp, Format::DeltaDynBp),
+        (Format::StaticBp(6), Format::StaticBp(16)),
+        (Format::Rle, Format::DynBp),
+    ];
+    for (src, dst) in pairs {
+        let column = Column::compress(&values, &src);
+        let label = format!("{} -> {}", src.label(), dst.label());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &column, |b, column| {
+            b.iter(|| column.to_format(&dst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_morphing);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark backing Figure 5: the select operator across
+//! representative input/output format combinations and integration degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morph_compression::Format;
+use morph_storage::datagen::SyntheticColumn;
+use morph_storage::Column;
+use morphstore_engine::{select, CmpOp, ExecSettings, IntegrationDegree, ProcessingStyle};
+
+const ELEMENTS: usize = 256 * 1024;
+
+fn bench_select_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_formats");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(ELEMENTS as u64));
+    let (values, constant) = SyntheticColumn::C1.generate_select_input(ELEMENTS, 42);
+    let uncompressed = Column::from_slice(&values);
+    let combos = [
+        (Format::Uncompressed, Format::Uncompressed),
+        (Format::StaticBp(6), Format::Uncompressed),
+        (Format::StaticBp(6), Format::DeltaDynBp),
+        (Format::DynBp, Format::DeltaDynBp),
+        (Format::Rle, Format::DeltaDynBp),
+    ];
+    for (input_format, output_format) in combos {
+        let input = uncompressed.to_format(&input_format);
+        let label = format!("{} -> {}", input_format.label(), output_format.label());
+        group.bench_with_input(BenchmarkId::new("de_recompress", label), &input, |b, input| {
+            b.iter(|| {
+                select(
+                    CmpOp::Eq,
+                    input,
+                    constant,
+                    &output_format,
+                    &ExecSettings::vectorized_compressed(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_degrees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_degrees");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let values = morph_storage::datagen::with_runs(ELEMENTS, 8, 64, 42);
+    let rle = Column::compress(&values, &Format::Rle);
+    for degree in IntegrationDegree::all() {
+        let settings = ExecSettings {
+            style: ProcessingStyle::Vectorized,
+            degree,
+        };
+        group.bench_with_input(BenchmarkId::new("rle_input", degree.label()), &rle, |b, input| {
+            b.iter(|| select(CmpOp::Eq, input, 3, &Format::DeltaDynBp, &settings))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select_formats, bench_select_degrees);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark backing Figure 6: the simple query
+//! `SELECT SUM(Y) FROM R WHERE X = c` under different format configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_compression::Format;
+use morph_storage::datagen::SyntheticColumn;
+use morph_storage::Column;
+use morphstore_engine::{agg_sum, project, select, CmpOp, ExecSettings, IntegrationDegree};
+
+const ELEMENTS: usize = 256 * 1024;
+
+fn simple_query(
+    x: &Column,
+    y: &Column,
+    constant: u64,
+    positions_format: &Format,
+    projected_format: &Format,
+    settings: &ExecSettings,
+) -> u64 {
+    let positions = select(CmpOp::Eq, x, constant, positions_format, settings);
+    let projected = project(y, &positions, projected_format, settings);
+    agg_sum(&projected, settings)
+}
+
+fn bench_simple_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simple_query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let (x_values, constant) = SyntheticColumn::C1.generate_select_input(ELEMENTS, 42);
+    let y_values = SyntheticColumn::C4.generate(ELEMENTS, 43);
+    let configs = [
+        ("uncompressed", Format::Uncompressed, Format::Uncompressed, Format::Uncompressed),
+        ("staticBP_base_only", Format::StaticBp(6), Format::Uncompressed, Format::Uncompressed),
+        ("staticBP_everything", Format::StaticBp(6), Format::StaticBp(18), Format::StaticBp(48)),
+        ("cascades_for_intermediates", Format::StaticBp(6), Format::DeltaDynBp, Format::ForDynBp),
+    ];
+    for (label, base_format, positions_format, projected_format) in configs {
+        let x = Column::compress(&x_values, &base_format);
+        let y = Column::compress(
+            &y_values,
+            &if base_format == Format::Uncompressed {
+                Format::Uncompressed
+            } else {
+                Format::StaticBp(48)
+            },
+        );
+        let settings = ExecSettings {
+            degree: if base_format == Format::Uncompressed {
+                IntegrationDegree::PurelyUncompressed
+            } else {
+                IntegrationDegree::OnTheFlyDeRecompression
+            },
+            ..ExecSettings::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(x, y), |b, (x, y)| {
+            b.iter(|| simple_query(x, y, constant, &positions_format, &projected_format, &settings))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simple_query);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmark backing Figures 1, 7–9: representative SSB queries
+//! under the headline configurations (scalar/vectorized, uncompressed/
+//! continuously compressed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_compression::Format;
+use morph_ssb::{dbgen, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::{ExecSettings, ExecutionContext};
+
+const SCALE_FACTOR: f64 = 0.01;
+
+fn bench_ssb_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssb");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let data = dbgen::generate(SCALE_FACTOR, 42);
+    let compressed = data.with_uniform_format(&Format::DynBp);
+    let queries = [SsbQuery::Q1_1, SsbQuery::Q2_1, SsbQuery::Q3_2, SsbQuery::Q4_1];
+    for query in queries {
+        group.bench_function(BenchmarkId::new("scalar_uncompressed", query.label()), |b| {
+            b.iter(|| {
+                let mut ctx = ExecutionContext::new(
+                    ExecSettings::scalar_uncompressed(),
+                    FormatConfig::uncompressed(),
+                );
+                query.execute(&data, &mut ctx)
+            })
+        });
+        group.bench_function(BenchmarkId::new("vectorized_uncompressed", query.label()), |b| {
+            b.iter(|| {
+                let mut ctx = ExecutionContext::new(
+                    ExecSettings::vectorized_uncompressed(),
+                    FormatConfig::uncompressed(),
+                );
+                query.execute(&data, &mut ctx)
+            })
+        });
+        group.bench_function(BenchmarkId::new("vectorized_compressed", query.label()), |b| {
+            b.iter(|| {
+                let mut ctx = ExecutionContext::new(
+                    ExecSettings::vectorized_compressed(),
+                    FormatConfig::with_default(Format::DynBp),
+                );
+                query.execute(&compressed, &mut ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssb_queries);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Figure 7: impact of the format combination on the total memory footprint
+//! (a) and the total runtime (b) of every SSB query.
+//!
+//! Four combinations are compared, as in the paper: the worst combination,
+//! purely uncompressed, static BP for all columns, and the best combination.
+//! Best/worst footprint combinations come from the exhaustive per-column
+//! search; for the runtime the same combinations are reported by default, and
+//! `--greedy` enables the paper's greedy measured runtime search (expensive).
+//!
+//! Regenerate with:
+//! `cargo run -p morph-bench --release --bin fig7_format_combinations [--scale-factor F] [--runs R] [--greedy]`
+
+use std::collections::HashMap;
+
+use morph_bench::{
+    apply_to_base, assignable_columns, fmt_mib, fmt_ms, measure_query, print_header, print_row,
+    strategy_config, HarnessArgs,
+};
+use morph_cost::{greedy_runtime_search, FormatSelectionStrategy};
+use morph_ssb::{dbgen, SsbQuery};
+use morph_storage::ColumnStats;
+use morphstore_engine::ExecSettings;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let data = dbgen::generate(args.scale_factor, args.seed);
+    println!(
+        "# Figure 7: impact of format combinations on SSB (scale factor {}, {} runs)",
+        args.scale_factor, args.runs
+    );
+    print_header(&[
+        "query", "combination", "footprint_mib", "runtime_ms",
+    ]);
+    let strategies = [
+        ("worst combination", FormatSelectionStrategy::ExhaustiveWorstFootprint),
+        ("uncompressed", FormatSelectionStrategy::AllUncompressed),
+        ("static BP", FormatSelectionStrategy::AllStaticBp),
+        ("best combination", FormatSelectionStrategy::ExhaustiveBestFootprint),
+    ];
+    let mut totals: HashMap<&str, (f64, f64)> = HashMap::new();
+    for query in SsbQuery::all() {
+        let mut reference_rows = None;
+        for (label, strategy) in strategies {
+            let config = if args.greedy && label.ends_with("combination") {
+                // The paper's greedy measured-runtime search; minimise for
+                // "best", maximise for "worst".
+                let columns: Vec<(String, u64)> = assignable_columns(query, &data)
+                    .into_iter()
+                    .map(|(name, column)| (name, ColumnStats::from_column(&column).max))
+                    .collect();
+                greedy_runtime_search(
+                    &columns,
+                    |candidate| {
+                        let base = apply_to_base(&data, candidate);
+                        measure_query(
+                            query,
+                            &base,
+                            ExecSettings::vectorized_compressed(),
+                            candidate,
+                            1,
+                        )
+                        .runtime
+                    },
+                    label == "best combination",
+                )
+            } else {
+                strategy_config(query, &data, strategy)
+            };
+            let base = apply_to_base(&data, &config);
+            let measurement = measure_query(
+                query,
+                &base,
+                ExecSettings::vectorized_compressed(),
+                &config,
+                args.runs,
+            );
+            match &reference_rows {
+                None => reference_rows = Some(measurement.result.sorted_rows()),
+                Some(reference) => assert_eq!(
+                    &measurement.result.sorted_rows(),
+                    reference,
+                    "{query}: result changed under {label}"
+                ),
+            }
+            let entry = totals.entry(label).or_insert((0.0, 0.0));
+            entry.0 += measurement.footprint_bytes as f64;
+            entry.1 += measurement.runtime.as_secs_f64();
+            print_row(&[
+                query.label().to_string(),
+                label.to_string(),
+                fmt_mib(measurement.footprint_bytes),
+                fmt_ms(measurement.runtime),
+            ]);
+        }
+    }
+    println!();
+    println!("# Averages over the 13 queries");
+    print_header(&["combination", "avg_footprint_mib", "avg_runtime_ms"]);
+    for (label, _) in strategies {
+        let (bytes, secs) = totals[label];
+        print_row(&[
+            label.to_string(),
+            format!("{:.3}", bytes / 13.0 / (1024.0 * 1024.0)),
+            format!("{:.3}", secs / 13.0 * 1e3),
+        ]);
+    }
+}

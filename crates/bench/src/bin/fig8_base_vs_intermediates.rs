@@ -1,0 +1,77 @@
+//! Figure 8: contribution of compressing intermediates on top of base data.
+//!
+//! Three configurations per query, as in the paper: no compression at all,
+//! compression allowed for base columns only, and compression for base
+//! columns and intermediates (per-column best footprint formats).
+//!
+//! Regenerate with:
+//! `cargo run -p morph-bench --release --bin fig8_base_vs_intermediates [--scale-factor F] [--runs R]`
+
+use std::collections::HashMap;
+
+use morph_bench::{
+    apply_to_base, base_only_config, fmt_mib, fmt_ms, measure_query, print_header, print_row,
+    strategy_config, HarnessArgs,
+};
+use morph_cost::FormatSelectionStrategy;
+use morph_ssb::{dbgen, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::ExecSettings;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let data = dbgen::generate(args.scale_factor, args.seed);
+    println!(
+        "# Figure 8: compression of base data vs. intermediates (scale factor {}, {} runs)",
+        args.scale_factor, args.runs
+    );
+    print_header(&["query", "configuration", "footprint_mib", "runtime_ms"]);
+    let mut totals: HashMap<&str, (f64, f64)> = HashMap::new();
+    for query in SsbQuery::all() {
+        let best = strategy_config(query, &data, FormatSelectionStrategy::ExhaustiveBestFootprint);
+        let configs = [
+            ("uncompressed", FormatConfig::uncompressed()),
+            ("compressed base columns", base_only_config(query, &best)),
+            ("compressed base + intermediates", best.clone()),
+        ];
+        let mut reference_rows = None;
+        for (label, config) in configs {
+            let base = apply_to_base(&data, &config);
+            let measurement = measure_query(
+                query,
+                &base,
+                ExecSettings::vectorized_compressed(),
+                &config,
+                args.runs,
+            );
+            match &reference_rows {
+                None => reference_rows = Some(measurement.result.sorted_rows()),
+                Some(reference) => assert_eq!(&measurement.result.sorted_rows(), reference),
+            }
+            let entry = totals.entry(label).or_insert((0.0, 0.0));
+            entry.0 += measurement.footprint_bytes as f64;
+            entry.1 += measurement.runtime.as_secs_f64();
+            print_row(&[
+                query.label().to_string(),
+                label.to_string(),
+                fmt_mib(measurement.footprint_bytes),
+                fmt_ms(measurement.runtime),
+            ]);
+        }
+    }
+    println!();
+    println!("# Averages over the 13 queries");
+    print_header(&["configuration", "avg_footprint_mib", "avg_runtime_ms"]);
+    for label in [
+        "uncompressed",
+        "compressed base columns",
+        "compressed base + intermediates",
+    ] {
+        let (bytes, secs) = totals[label];
+        print_row(&[
+            label.to_string(),
+            format!("{:.3}", bytes / 13.0 / (1024.0 * 1024.0)),
+            format!("{:.3}", secs / 13.0 * 1e3),
+        ]);
+    }
+}

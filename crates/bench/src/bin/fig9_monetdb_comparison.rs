@@ -1,0 +1,85 @@
+//! Figure 9: runtime comparison of the baseline system and the MorphStore
+//! configurations, per SSB query.
+//!
+//! Five series, as in the paper:
+//!
+//! 1. "MonetDB scalar uncompr." — simulated by the engine's purely
+//!    uncompressed scalar operator-at-a-time execution (the paper shows the
+//!    two systems to be equally fast on average in exactly this setting; see
+//!    DESIGN.md, Substitutions),
+//! 2. MorphStore scalar uncompressed,
+//! 3. MorphStore vectorized uncompressed,
+//! 4. MorphStore vectorized with continuous compression (per-column best
+//!    footprint formats),
+//! 5. "MonetDB scalar narrow types" — simulated by byte-aligned static BP on
+//!    the base columns with uncompressed intermediates and scalar processing.
+//!
+//! Regenerate with:
+//! `cargo run -p morph-bench --release --bin fig9_monetdb_comparison [--scale-factor F] [--runs R]`
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use morph_bench::{
+    apply_to_base, base_only_config, fmt_ms, measure_query, print_header, print_row,
+    runtime_cost_based_config, HarnessArgs,
+};
+use morph_ssb::{dbgen, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::ExecSettings;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let data = dbgen::generate(args.scale_factor, args.seed);
+    println!(
+        "# Figure 9 / Figure 1: MonetDB-baseline vs. MorphStore configurations (scale factor {}, {} runs)",
+        args.scale_factor, args.runs
+    );
+    print_header(&["query", "configuration", "runtime_ms"]);
+    let series: [(&str, ExecSettings); 5] = [
+        ("monetdb-like scalar uncompressed", ExecSettings::scalar_uncompressed()),
+        ("morphstore scalar uncompressed", ExecSettings::scalar_uncompressed()),
+        ("morphstore vectorized uncompressed", ExecSettings::vectorized_uncompressed()),
+        ("morphstore vectorized compressed", ExecSettings::vectorized_compressed()),
+        ("monetdb-like scalar narrow types", ExecSettings::scalar_uncompressed()),
+    ];
+    let mut totals: HashMap<&str, Duration> = HashMap::new();
+    let narrow_base = data.with_narrow_static_bp(true);
+    for query in SsbQuery::all() {
+        let best = runtime_cost_based_config(query, &data);
+        let mut reference_rows = None;
+        for (label, settings) in series {
+            let (base, config) = match label {
+                "morphstore vectorized compressed" => (apply_to_base(&data, &best), best.clone()),
+                "monetdb-like scalar narrow types" => (
+                    narrow_base.clone(),
+                    base_only_config(query, &FormatConfig::uncompressed()),
+                ),
+                _ => (data.clone(), FormatConfig::uncompressed()),
+            };
+            let measurement = measure_query(query, &base, settings, &config, args.runs);
+            match &reference_rows {
+                None => reference_rows = Some(measurement.result.sorted_rows()),
+                Some(reference) => assert_eq!(&measurement.result.sorted_rows(), reference),
+            }
+            *totals.entry(label).or_default() += measurement.runtime;
+            print_row(&[
+                query.label().to_string(),
+                label.to_string(),
+                fmt_ms(measurement.runtime),
+            ]);
+        }
+    }
+    println!();
+    println!("# Figure 1: average runtime over the 13 SSB queries");
+    print_header(&["configuration", "avg_runtime_ms", "relative_to_scalar_uncompressed"]);
+    let scalar = totals["morphstore scalar uncompressed"].as_secs_f64();
+    for (label, _) in series {
+        let total = totals[label].as_secs_f64();
+        print_row(&[
+            label.to_string(),
+            format!("{:.3}", total / 13.0 * 1e3),
+            format!("{:.3}", total / scalar),
+        ]);
+    }
+}

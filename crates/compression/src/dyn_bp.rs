@@ -1,0 +1,160 @@
+//! Dynamic bit packing with per-block widths (the paper's 64-bit port of
+//! SIMD-BP, "SIMD-BP512").
+//!
+//! The input is partitioned into blocks of [`DYN_BP_BLOCK`] = 512 data
+//! elements.  For each block the effective bit width of the largest value is
+//! determined and all 512 values are packed with that width (Section 2.1:
+//! "partition a sequence of integer values into blocks and compress every
+//! value in a block using a fixed bit width, namely the effective bit width
+//! of the largest value in the block").  This adapts to the *local* data
+//! distribution, which is what makes it robust against outliers (column C2 of
+//! Table 1).
+//!
+//! Layout per block: `[width: u8][packed values: 64 * width bytes]`.
+
+use crate::bitpack;
+use crate::{Compressor, DYN_BP_BLOCK};
+
+/// Streaming compressor for dynamic bit packing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DynBpCompressor;
+
+impl Compressor for DynBpCompressor {
+    fn append(&mut self, values: &[u64], out: &mut Vec<u8>) {
+        assert_eq!(
+            values.len() % DYN_BP_BLOCK,
+            0,
+            "dynamic BP chunks must be multiples of {DYN_BP_BLOCK} elements"
+        );
+        for block in values.chunks_exact(DYN_BP_BLOCK) {
+            encode_block(block, out);
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Vec<u8>) {}
+}
+
+/// Encode one block of exactly [`DYN_BP_BLOCK`] values.
+pub fn encode_block(block: &[u64], out: &mut Vec<u8>) {
+    debug_assert_eq!(block.len(), DYN_BP_BLOCK);
+    let width = bitpack::bit_width_of_max(block);
+    out.push(width);
+    bitpack::pack_into(block, width, out);
+}
+
+/// Byte size of one encoded block with the given `width`.
+#[inline]
+pub fn block_encoded_size(width: u8) -> usize {
+    1 + bitpack::packed_size_bytes(DYN_BP_BLOCK, width)
+}
+
+/// Decode `count` values (a multiple of the block size), handing one block of
+/// 512 uncompressed values at a time to `consumer`.
+pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
+    assert_eq!(count % DYN_BP_BLOCK, 0, "dynamic BP main part must be whole blocks");
+    let mut buffer: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
+    let mut offset_bytes = 0usize;
+    let blocks = count / DYN_BP_BLOCK;
+    for _ in 0..blocks {
+        let width = bytes[offset_bytes];
+        assert!((1..=64).contains(&width), "corrupt dynamic BP header: width {width}");
+        offset_bytes += 1;
+        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+        buffer.clear();
+        bitpack::unpack_into(
+            &bytes[offset_bytes..offset_bytes + packed],
+            width,
+            DYN_BP_BLOCK,
+            &mut buffer,
+        );
+        consumer(&buffer);
+        offset_bytes += packed;
+    }
+}
+
+/// Iterate over the per-block bit widths of an encoded main part without
+/// decompressing the data.  Used by specialized operators and by direct
+/// morphing to static BP (the target width is the maximum block width).
+pub fn block_widths(bytes: &[u8], count: usize) -> Vec<u8> {
+    let blocks = count / DYN_BP_BLOCK;
+    let mut widths = Vec::with_capacity(blocks);
+    let mut offset_bytes = 0usize;
+    for _ in 0..blocks {
+        let width = bytes[offset_bytes];
+        widths.push(width);
+        offset_bytes += block_encoded_size(width);
+    }
+    widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_main_part, compressed_size_bytes, decompress_into, Format};
+
+    #[test]
+    fn roundtrip_uniform_small_values() {
+        let values: Vec<u64> = (0..4096u64).map(|i| i % 60).collect();
+        let (bytes, main_len) = compress_main_part(&Format::DynBp, &values);
+        assert_eq!(main_len, 4096);
+        let mut decoded = Vec::new();
+        decompress_into(&Format::DynBp, &bytes, main_len, &mut decoded);
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn adapts_to_local_outliers() {
+        // Mimics column C2 of Table 1: mostly small values with rare huge
+        // outliers.  Dynamic BP should stay close to the small-value width in
+        // most blocks, unlike static BP which must use 63 bits everywhere.
+        let mut values: Vec<u64> = (0..64 * 1024u64).map(|i| i % 64).collect();
+        values[100] = (1 << 63) - 1;
+        values[50_000] = (1 << 63) - 1;
+        let dyn_size = compressed_size_bytes(&Format::DynBp, &values);
+        let static_size = compressed_size_bytes(&Format::StaticBp(63), &values);
+        assert!(
+            (dyn_size as f64) < (static_size as f64) * 0.2,
+            "dyn {dyn_size} vs static {static_size}"
+        );
+        let (bytes, main_len) = compress_main_part(&Format::DynBp, &values);
+        let widths = block_widths(&bytes, main_len);
+        assert_eq!(widths.len(), values.len() / DYN_BP_BLOCK);
+        assert_eq!(widths.iter().filter(|&&w| w == 63).count(), 2);
+        let mut decoded = Vec::new();
+        decompress_into(&Format::DynBp, &bytes, main_len, &mut decoded);
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn roundtrip_extreme_values() {
+        let mut values = vec![u64::MAX; DYN_BP_BLOCK];
+        values.extend(vec![0u64; DYN_BP_BLOCK]);
+        let (bytes, main_len) = compress_main_part(&Format::DynBp, &values);
+        let mut decoded = Vec::new();
+        decompress_into(&Format::DynBp, &bytes, main_len, &mut decoded);
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn encoded_size_is_header_plus_packed_bits() {
+        let values: Vec<u64> = vec![3; DYN_BP_BLOCK];
+        let (bytes, _) = compress_main_part(&Format::DynBp, &values);
+        // width 2 -> 512*2/8 = 128 bytes + 1 header byte
+        assert_eq!(bytes.len(), 129);
+        assert_eq!(block_encoded_size(2), 129);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples")]
+    fn append_rejects_partial_blocks() {
+        let mut compressor = DynBpCompressor;
+        compressor.append(&[1, 2, 3], &mut Vec::new());
+    }
+
+    #[test]
+    fn remainder_left_to_caller() {
+        let values: Vec<u64> = (0..700).collect();
+        let (_, main_len) = compress_main_part(&Format::DynBp, &values);
+        assert_eq!(main_len, 512);
+    }
+}

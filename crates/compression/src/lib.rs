@@ -1,0 +1,372 @@
+//! # morph-compression
+//!
+//! Lightweight integer compression formats and direct morphing for
+//! MorphStore-rs.
+//!
+//! The paper's processing model (Section 3) requires that *every* base column
+//! and every intermediate result can be materialised in a lightweight integer
+//! compression format, that formats can be chosen per column independently,
+//! and that the representation can be changed ("morphed") efficiently.  This
+//! crate provides:
+//!
+//! * the [`Format`] descriptor enumerating the supported formats — the five
+//!   formats of the paper's implementation (Section 4.1: uncompressed, static
+//!   bit packing, SIMD-BP-style dynamic bit packing, DELTA + BP, FOR + BP)
+//!   plus run-length encoding and dictionary encoding as extensions,
+//! * whole-buffer and *streaming* compression ([`Compressor`]) used by the
+//!   output side of the on-the-fly de/re-compression wrapper (the
+//!   L1-cache-resident buffer layer of Figure 4),
+//! * block-wise decompression ([`for_each_decompressed_block`]) used by the
+//!   input side of that wrapper, so operators never materialise a whole
+//!   uncompressed column (design principle DP3),
+//! * random read access for the formats that support it (uncompressed and
+//!   static BP, as in Section 4.2),
+//! * direct morphing between any two formats ([`morph`]).
+//!
+//! All uncompressed values are `u64`, the native word width, as in the paper.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitpack;
+pub mod delta;
+pub mod dict;
+pub mod dyn_bp;
+pub mod frame_of_ref;
+pub mod morph;
+pub mod rle;
+pub mod static_bp;
+pub mod uncompressed;
+
+use std::fmt;
+
+/// Block size (in data elements) of the static bit-packing format.
+///
+/// 64 values of `w` bits occupy exactly `8 * w` bytes, so every block is
+/// byte-aligned for every width.
+pub const STATIC_BP_BLOCK: usize = 64;
+
+/// Block size (in data elements) of the dynamic bit-packing format, matching
+/// SIMD-BP512 (the AVX-512 port of SIMD-BP128 used by the paper).
+pub const DYN_BP_BLOCK: usize = 512;
+
+/// Number of uncompressed data elements held by the cache-resident buffer of
+/// the on-the-fly de/re-compression wrapper (16 KiB = 2048 × 8 bytes, half of
+/// a typical 32 KiB L1 data cache — the value used in the paper's
+/// evaluation).
+pub const CACHE_BUFFER_ELEMENTS: usize = 2048;
+
+/// A lightweight integer compression format (Section 4.1 of the paper).
+///
+/// `Format` is a runtime value so that the benchmark harness and the format
+/// selection strategies can sweep combinations, exactly as the paper does for
+/// Figures 5–10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Plain 64-bit integers (no compression).
+    Uncompressed,
+    /// Static bit packing: one fixed bit width for the whole column
+    /// (the paper's "static BP"; byte-aligned widths model SQL narrow types).
+    StaticBp(u8),
+    /// Dynamic bit packing with per-block widths, blocks of 512 values
+    /// (the paper's 64-bit port of SIMD-BP).
+    DynBp,
+    /// Delta coding cascaded with dynamic bit packing (for sorted or
+    /// near-sorted data such as position lists).
+    DeltaDynBp,
+    /// Frame-of-reference coding cascaded with dynamic bit packing (for data
+    /// in a narrow range far from zero).
+    ForDynBp,
+    /// Run-length encoding: (value, run length) pairs.
+    Rle,
+    /// Dictionary encoding with an embedded, order-preserving dictionary and
+    /// bit-packed keys.
+    Dict,
+}
+
+impl Format {
+    /// Convenience constructor for [`Format::StaticBp`] with the width needed
+    /// to hold `max_value`.
+    pub fn static_bp_for_max(max_value: u64) -> Format {
+        Format::StaticBp(bitpack::bit_width_of(max_value))
+    }
+
+    /// Convenience constructor for [`Format::DynBp`].
+    pub fn dyn_bp() -> Format {
+        Format::DynBp
+    }
+
+    /// Convenience constructor for [`Format::DeltaDynBp`].
+    pub fn delta_dyn_bp() -> Format {
+        Format::DeltaDynBp
+    }
+
+    /// Convenience constructor for [`Format::ForDynBp`].
+    pub fn for_dyn_bp() -> Format {
+        Format::ForDynBp
+    }
+
+    /// The five formats evaluated by the paper (Section 5.1: "MorphStore
+    /// currently supports five compression algorithms"), with the static
+    /// width derived from `max_value`.
+    pub fn paper_formats(max_value: u64) -> Vec<Format> {
+        vec![
+            Format::Uncompressed,
+            Format::static_bp_for_max(max_value),
+            Format::DynBp,
+            Format::DeltaDynBp,
+            Format::ForDynBp,
+        ]
+    }
+
+    /// All formats supported by this crate, with the static width derived
+    /// from `max_value`.
+    pub fn all_formats(max_value: u64) -> Vec<Format> {
+        let mut formats = Self::paper_formats(max_value);
+        formats.push(Format::Rle);
+        formats.push(Format::Dict);
+        formats
+    }
+
+    /// Number of data elements per compression block.  Columns store the
+    /// first `len - len % block_size()` elements in compressed form and the
+    /// rest as an uncompressed remainder (Figure 3 of the paper).
+    pub fn block_size(&self) -> usize {
+        match self {
+            Format::Uncompressed => 1,
+            Format::StaticBp(_) => STATIC_BP_BLOCK,
+            Format::DynBp | Format::DeltaDynBp | Format::ForDynBp => DYN_BP_BLOCK,
+            Format::Rle => 1,
+            Format::Dict => 1,
+        }
+    }
+
+    /// Whether the format actually compresses (everything except
+    /// [`Format::Uncompressed`]).
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, Format::Uncompressed)
+    }
+
+    /// Whether random read access to individual elements of the compressed
+    /// main part is supported (Section 4.2: uncompressed and static BP only).
+    pub fn supports_random_access(&self) -> bool {
+        matches!(self, Format::Uncompressed | Format::StaticBp(_))
+    }
+
+    /// Whether the streaming compressor can emit output incrementally
+    /// (cache-resident blocks).  Formats that need to see the whole column
+    /// first (dictionary encoding) buffer internally instead.
+    pub fn supports_streaming(&self) -> bool {
+        !matches!(self, Format::Dict)
+    }
+
+    /// Short human-readable label used by the benchmark harness (matches the
+    /// terminology of the paper's figures).
+    pub fn label(&self) -> String {
+        match self {
+            Format::Uncompressed => "uncompr".to_string(),
+            Format::StaticBp(w) => format!("staticBP({w})"),
+            Format::DynBp => "SIMD-BP".to_string(),
+            Format::DeltaDynBp => "DELTA+SIMD-BP".to_string(),
+            Format::ForDynBp => "FOR+SIMD-BP".to_string(),
+            Format::Rle => "RLE".to_string(),
+            Format::Dict => "DICT".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Streaming compressor used by the output-side buffer layer of the
+/// on-the-fly de/re-compression wrapper (Figure 4, steps 6–9).
+///
+/// Chunks passed to [`Compressor::append`] must have a length that is a
+/// multiple of the format's [`Format::block_size`]; the engine's sink
+/// guarantees this by flushing its cache-resident buffer in multiples of the
+/// block size and keeping the rest as the uncompressed remainder.
+pub trait Compressor {
+    /// Compress `values` and append the encoded bytes to `out`.
+    fn append(&mut self, values: &[u64], out: &mut Vec<u8>);
+
+    /// Flush any internal state (pending runs, buffered dictionaries) to
+    /// `out`.  Must be called exactly once, after the last `append`.
+    fn finish(&mut self, out: &mut Vec<u8>);
+}
+
+/// Create a streaming [`Compressor`] for `format`.
+pub fn compressor_for(format: &Format) -> Box<dyn Compressor> {
+    match format {
+        Format::Uncompressed => Box::new(uncompressed::UncompressedCompressor),
+        Format::StaticBp(width) => Box::new(static_bp::StaticBpCompressor::new(*width)),
+        Format::DynBp => Box::new(dyn_bp::DynBpCompressor),
+        Format::DeltaDynBp => Box::new(delta::DeltaDynBpCompressor::new()),
+        Format::ForDynBp => Box::new(frame_of_ref::ForDynBpCompressor),
+        Format::Rle => Box::new(rle::RleCompressor::new()),
+        Format::Dict => Box::new(dict::DictCompressor::new()),
+    }
+}
+
+/// Compress a whole buffer of values (whose length need *not* be a multiple
+/// of the block size — only the leading multiple is compressed; the caller is
+/// responsible for storing the remainder separately, as the column layer
+/// does).  Returns the encoded main part and the number of elements it
+/// contains.
+pub fn compress_main_part(format: &Format, values: &[u64]) -> (Vec<u8>, usize) {
+    let block = format.block_size();
+    let main_len = values.len() - values.len() % block;
+    let mut out = Vec::new();
+    let mut compressor = compressor_for(format);
+    compressor.append(&values[..main_len], &mut out);
+    compressor.finish(&mut out);
+    (out, main_len)
+}
+
+/// Decompress the whole compressed main part (`count` elements) into `out`.
+pub fn decompress_into(format: &Format, bytes: &[u8], count: usize, out: &mut Vec<u64>) {
+    out.reserve(count);
+    for_each_decompressed_block(format, bytes, count, &mut |chunk| out.extend_from_slice(chunk));
+}
+
+/// Decompress the compressed main part block-wise, invoking `consumer` with
+/// chunks of uncompressed values whose total length is `count`.
+///
+/// The chunks are bounded in size (at most a few KiB), so the uncompressed
+/// data stays cache-resident — this is the input-side buffer layer of the
+/// paper's Figure 4.
+pub fn for_each_decompressed_block(
+    format: &Format,
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) {
+    match format {
+        Format::Uncompressed => uncompressed::for_each_block(bytes, count, consumer),
+        Format::StaticBp(width) => static_bp::for_each_block(bytes, *width, count, consumer),
+        Format::DynBp => dyn_bp::for_each_block(bytes, count, consumer),
+        Format::DeltaDynBp => delta::for_each_block(bytes, count, consumer),
+        Format::ForDynBp => frame_of_ref::for_each_block(bytes, count, consumer),
+        Format::Rle => rle::for_each_block(bytes, count, consumer),
+        Format::Dict => dict::for_each_block(bytes, count, consumer),
+    }
+}
+
+/// Random read access to element `idx` of a compressed main part.
+///
+/// Returns `None` if the format does not support random access (see
+/// [`Format::supports_random_access`]).
+pub fn get_element(format: &Format, bytes: &[u8], count: usize, idx: usize) -> Option<u64> {
+    debug_assert!(idx < count);
+    let _ = count;
+    match format {
+        Format::Uncompressed => Some(uncompressed::get(bytes, idx)),
+        Format::StaticBp(width) => Some(bitpack::get_packed(bytes, *width, idx)),
+        _ => None,
+    }
+}
+
+/// Exact size in bytes of the compressed representation of `values` in
+/// `format` (main part plus the 8-byte-per-element uncompressed remainder).
+pub fn compressed_size_bytes(format: &Format, values: &[u64]) -> usize {
+    let (bytes, main_len) = compress_main_part(format, values);
+    bytes.len() + (values.len() - main_len) * 8
+}
+
+pub use morph::morph_main_part as morph;
+
+/// The NS (null suppression) scheme used at the physical level of a cascade.
+///
+/// Retained as a standalone type because the cost model reasons about the
+/// physical level separately from the logical level (Section 2.1 of the
+/// paper distinguishes logical-level techniques — FOR, DELTA, DICT, RLE —
+/// from the physical-level NS technique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NsScheme {
+    /// One fixed bit width for all elements.
+    StaticBp(u8),
+    /// Per-block bit widths (SIMD-BP style).
+    DynBp,
+}
+
+impl NsScheme {
+    /// The physical-level scheme of `format`, if the format has one.
+    pub fn of(format: &Format) -> Option<NsScheme> {
+        match format {
+            Format::StaticBp(w) => Some(NsScheme::StaticBp(*w)),
+            Format::DynBp | Format::DeltaDynBp | Format::ForDynBp => Some(NsScheme::DynBp),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sizes() {
+        assert_eq!(Format::Uncompressed.block_size(), 1);
+        assert_eq!(Format::StaticBp(13).block_size(), 64);
+        assert_eq!(Format::DynBp.block_size(), 512);
+        assert_eq!(Format::DeltaDynBp.block_size(), 512);
+        assert_eq!(Format::ForDynBp.block_size(), 512);
+        assert_eq!(Format::Rle.block_size(), 1);
+        assert_eq!(Format::Dict.block_size(), 1);
+    }
+
+    #[test]
+    fn random_access_support() {
+        assert!(Format::Uncompressed.supports_random_access());
+        assert!(Format::StaticBp(7).supports_random_access());
+        assert!(!Format::DynBp.supports_random_access());
+        assert!(!Format::DeltaDynBp.supports_random_access());
+        assert!(!Format::Rle.supports_random_access());
+    }
+
+    #[test]
+    fn paper_formats_are_five() {
+        let formats = Format::paper_formats(1000);
+        assert_eq!(formats.len(), 5);
+        assert!(formats.contains(&Format::StaticBp(10)));
+        assert_eq!(Format::all_formats(1000).len(), 7);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let formats = Format::all_formats(63);
+        let labels: std::collections::HashSet<String> =
+            formats.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), formats.len());
+        assert_eq!(Format::StaticBp(6).to_string(), "staticBP(6)");
+    }
+
+    #[test]
+    fn static_bp_for_max_picks_effective_width() {
+        assert_eq!(Format::static_bp_for_max(0), Format::StaticBp(1));
+        assert_eq!(Format::static_bp_for_max(63), Format::StaticBp(6));
+        assert_eq!(Format::static_bp_for_max(64), Format::StaticBp(7));
+        assert_eq!(Format::static_bp_for_max(u64::MAX), Format::StaticBp(64));
+    }
+
+    #[test]
+    fn ns_scheme_extraction() {
+        assert_eq!(NsScheme::of(&Format::StaticBp(9)), Some(NsScheme::StaticBp(9)));
+        assert_eq!(NsScheme::of(&Format::DynBp), Some(NsScheme::DynBp));
+        assert_eq!(NsScheme::of(&Format::DeltaDynBp), Some(NsScheme::DynBp));
+        assert_eq!(NsScheme::of(&Format::Uncompressed), None);
+        assert_eq!(NsScheme::of(&Format::Rle), None);
+    }
+
+    #[test]
+    fn compress_main_part_respects_block_size() {
+        let values: Vec<u64> = (0..1000).collect();
+        let (_, main_len) = compress_main_part(&Format::DynBp, &values);
+        assert_eq!(main_len, 512);
+        let (_, main_len) = compress_main_part(&Format::StaticBp(10), &values);
+        assert_eq!(main_len, 960);
+        let (_, main_len) = compress_main_part(&Format::Uncompressed, &values);
+        assert_eq!(main_len, 1000);
+    }
+}

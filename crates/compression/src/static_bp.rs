@@ -1,0 +1,160 @@
+//! Static bit packing: one fixed bit width for the whole column.
+//!
+//! This is the paper's "static BP" (Section 4.1): "a variant of BP with one
+//! block and fixed bit width for all data elements".  Byte-aligned widths (8,
+//! 16, 32) correspond to the narrow SQL integer types that most systems use
+//! as their only physical-level compression (Section 2.2).  Because the width
+//! is constant, the position of every element in the bit stream is known,
+//! which is what makes random read access — and thus the project operator on
+//! compressed data — straightforward (Section 4.2).
+//!
+//! Layout: the values are packed as one dense bit stream in blocks of
+//! [`STATIC_BP_BLOCK`] = 64 values, so every block occupies exactly `8 * w`
+//! bytes and blocks are byte-aligned for every width.
+
+use crate::bitpack;
+use crate::{Compressor, CACHE_BUFFER_ELEMENTS, STATIC_BP_BLOCK};
+
+/// Streaming compressor for static bit packing with a fixed `width`.
+#[derive(Debug, Clone)]
+pub struct StaticBpCompressor {
+    width: u8,
+}
+
+impl StaticBpCompressor {
+    /// Create a compressor packing every value with `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=64`.
+    pub fn new(width: u8) -> Self {
+        assert!((1..=64).contains(&width), "bit width must be in 1..=64");
+        StaticBpCompressor { width }
+    }
+}
+
+impl Compressor for StaticBpCompressor {
+    fn append(&mut self, values: &[u64], out: &mut Vec<u8>) {
+        assert_eq!(
+            values.len() % STATIC_BP_BLOCK,
+            0,
+            "static BP chunks must be multiples of {STATIC_BP_BLOCK} elements"
+        );
+        // Static BP has one fixed width for the whole column; a value that
+        // does not fit indicates an inconsistent plan (the optimizer assigned
+        // a too-narrow width), which must fail loudly rather than silently
+        // truncate data.
+        let effective = bitpack::bit_width_of_max(values);
+        assert!(
+            effective <= self.width,
+            "static BP width {} is too narrow: data requires {} bits",
+            self.width,
+            effective
+        );
+        bitpack::pack_into(values, self.width, out);
+    }
+
+    fn finish(&mut self, _out: &mut Vec<u8>) {}
+}
+
+/// Size in bytes of `count` elements packed with `width` bits (`count` must
+/// be a multiple of the block size).
+pub fn encoded_size(count: usize, width: u8) -> usize {
+    bitpack::packed_size_bytes(count, width)
+}
+
+/// Decode `count` values packed with `width` bits, handing cache-resident
+/// chunks to `consumer`.
+pub fn for_each_block(bytes: &[u8], width: u8, count: usize, consumer: &mut dyn FnMut(&[u64])) {
+    assert_eq!(count % STATIC_BP_BLOCK, 0, "static BP main part must be whole blocks");
+    let mut buffer: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
+    let mut offset = 0usize;
+    while offset < count {
+        let chunk = (count - offset).min(CACHE_BUFFER_ELEMENTS);
+        buffer.clear();
+        let byte_start = bitpack::packed_size_bytes(offset, width);
+        let byte_end = bitpack::packed_size_bytes(offset + chunk, width);
+        bitpack::unpack_into(&bytes[byte_start..byte_end], width, chunk, &mut buffer);
+        consumer(&buffer);
+        offset += chunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_main_part, compressed_size_bytes, decompress_into, get_element, Format};
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [1u8, 6, 8, 13, 32, 48, 63, 64] {
+            let max = bitpack::max_value_for_width(width);
+            let values: Vec<u64> = (0..4096u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & max)
+                .collect();
+            let format = Format::StaticBp(width);
+            let (bytes, main_len) = compress_main_part(&format, &values);
+            assert_eq!(main_len, values.len());
+            assert_eq!(bytes.len(), encoded_size(values.len(), width));
+            let mut decoded = Vec::new();
+            decompress_into(&format, &bytes, main_len, &mut decoded);
+            assert_eq!(decoded, values);
+        }
+    }
+
+    #[test]
+    fn compression_ratio_matches_width() {
+        // 6-bit data (like column C1 of Table 1) should compress to ~6/64 of
+        // the uncompressed size.
+        let values: Vec<u64> = (0..128 * 1024u64).map(|i| i % 64).collect();
+        let compressed = compressed_size_bytes(&Format::StaticBp(6), &values);
+        let uncompressed = values.len() * 8;
+        let ratio = compressed as f64 / uncompressed as f64;
+        assert!((ratio - 6.0 / 64.0).abs() < 0.01, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let values: Vec<u64> = (0..1024u64).map(|i| (i * 7) % 1000).collect();
+        let format = Format::StaticBp(10);
+        let (bytes, main_len) = compress_main_part(&format, &values);
+        for idx in [0usize, 1, 63, 64, 65, 511, 1023] {
+            assert_eq!(
+                get_element(&format, &bytes, main_len, idx),
+                Some(values[idx]),
+                "mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn remainder_is_left_to_caller() {
+        let values: Vec<u64> = (0..130).collect();
+        let (_, main_len) = compress_main_part(&Format::StaticBp(8), &values);
+        assert_eq!(main_len, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples")]
+    fn append_rejects_partial_blocks() {
+        let mut compressor = StaticBpCompressor::new(8);
+        compressor.append(&[1, 2, 3], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn zero_width_rejected() {
+        StaticBpCompressor::new(0);
+    }
+
+    #[test]
+    fn blockwise_decode_chunks_are_cache_resident() {
+        let values: Vec<u64> = (0..8192u64).map(|i| i % 100).collect();
+        let (bytes, main_len) = compress_main_part(&Format::StaticBp(7), &values);
+        let mut total = 0usize;
+        for_each_block(&bytes, 7, main_len, &mut |chunk| {
+            assert!(chunk.len() <= CACHE_BUFFER_ELEMENTS);
+            total += chunk.len();
+        });
+        assert_eq!(total, main_len);
+    }
+}

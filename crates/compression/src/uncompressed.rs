@@ -1,0 +1,112 @@
+//! The trivial uncompressed "format": values stored as little-endian 64-bit
+//! integers.
+//!
+//! Keeping uncompressed data behind the same interface as the compressed
+//! formats lets the engine treat "uncompressed" as just another format, which
+//! is how the paper's evaluation sweeps format combinations (the
+//! best/worst combinations are explicitly "allowed to employ the
+//! uncompressed format", Section 5.2).
+
+use crate::{Compressor, CACHE_BUFFER_ELEMENTS};
+
+/// Streaming "compressor" that simply serialises values as 8-byte
+/// little-endian words.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UncompressedCompressor;
+
+impl Compressor for UncompressedCompressor {
+    fn append(&mut self, values: &[u64], out: &mut Vec<u8>) {
+        encode_into(values, out);
+    }
+
+    fn finish(&mut self, _out: &mut Vec<u8>) {}
+}
+
+/// Serialise `values` as little-endian 64-bit words appended to `out`.
+pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for &value in values {
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// Decode `count` values, handing chunks of at most
+/// [`CACHE_BUFFER_ELEMENTS`] values to `consumer`.
+pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
+    assert!(bytes.len() >= count * 8, "uncompressed buffer too short");
+    let mut buffer = Vec::with_capacity(CACHE_BUFFER_ELEMENTS.min(count));
+    let mut offset = 0usize;
+    while offset < count {
+        let chunk = (count - offset).min(CACHE_BUFFER_ELEMENTS);
+        buffer.clear();
+        for i in 0..chunk {
+            let start = (offset + i) * 8;
+            buffer.push(u64::from_le_bytes(
+                bytes[start..start + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        consumer(&buffer);
+        offset += chunk;
+    }
+}
+
+/// Random access to element `idx`.
+#[inline]
+pub fn get(bytes: &[u8], idx: usize) -> u64 {
+    let start = idx * 8;
+    u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_main_part, decompress_into, Format};
+
+    #[test]
+    fn roundtrip() {
+        let values: Vec<u64> = (0..5000).map(|i| i * 37 + 5).collect();
+        let (bytes, main_len) = compress_main_part(&Format::Uncompressed, &values);
+        assert_eq!(main_len, values.len());
+        assert_eq!(bytes.len(), values.len() * 8);
+        let mut decoded = Vec::new();
+        decompress_into(&Format::Uncompressed, &bytes, main_len, &mut decoded);
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn random_access() {
+        let values: Vec<u64> = vec![9, u64::MAX, 0, 123456789];
+        let mut bytes = Vec::new();
+        encode_into(&values, &mut bytes);
+        for (i, &expected) in values.iter().enumerate() {
+            assert_eq!(get(&bytes, i), expected);
+        }
+    }
+
+    #[test]
+    fn blockwise_decode_respects_cache_buffer_size() {
+        let values: Vec<u64> = (0..10_000).collect();
+        let mut bytes = Vec::new();
+        encode_into(&values, &mut bytes);
+        let mut chunks = Vec::new();
+        for_each_block(&bytes, values.len(), &mut |chunk| chunks.push(chunk.len()));
+        assert!(chunks.iter().all(|&len| len <= CACHE_BUFFER_ELEMENTS));
+        assert_eq!(chunks.iter().sum::<usize>(), values.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (bytes, main_len) = compress_main_part(&Format::Uncompressed, &[]);
+        assert!(bytes.is_empty());
+        assert_eq!(main_len, 0);
+        let mut decoded = Vec::new();
+        decompress_into(&Format::Uncompressed, &bytes, 0, &mut decoded);
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_buffer_is_rejected() {
+        for_each_block(&[0u8; 10], 2, &mut |_| {});
+    }
+}

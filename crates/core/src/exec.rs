@@ -1,0 +1,387 @@
+//! Query-execution support: execution settings (processing style and degree
+//! of integration), per-column format assignment, and bookkeeping of memory
+//! footprints and operator runtimes.
+//!
+//! A query execution plan in the compression-enabled model is "constructed
+//! using our compression-enabled query operators in the same manner as for
+//! uncompressed processing" (Section 3.3); the only new degree of freedom is
+//! the *format* of every base column and intermediate.  [`FormatConfig`]
+//! captures such an assignment, and [`ExecutionContext`] records what a query
+//! actually did with it — the total memory footprint of all touched columns
+//! and the runtime per operator — which is exactly what the paper's
+//! evaluation reports (Figures 6–10).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morph_vector::ProcessingStyle;
+
+/// The four degrees of integrating compression into query operators
+/// (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntegrationDegree {
+    /// Uncompressed internal processing with direct data access — the
+    /// baseline with no compression involved at all (Figure 2(a)).
+    PurelyUncompressed,
+    /// Uncompressed internal processing with adaptive data access: inputs are
+    /// decompressed and outputs recompressed on the fly, one cache-resident
+    /// block / vector register at a time (Figure 2(b)).  This is the default
+    /// and most general degree.
+    #[default]
+    OnTheFlyDeRecompression,
+    /// Compressed internal processing with direct data access: the operator
+    /// is specialised to the formats of its inputs and outputs
+    /// (Figure 2(c)).  Falls back to on-the-fly de/re-compression when no
+    /// specialization exists for the given formats.
+    Specialized,
+    /// Compressed internal processing with adaptive data access: inputs and
+    /// outputs are *morphed* to the formats a specialized operator expects
+    /// (Figure 2(d)).
+    OnTheFlyMorphing,
+}
+
+impl IntegrationDegree {
+    /// All four degrees, in the order of Figure 2.
+    pub fn all() -> [IntegrationDegree; 4] {
+        [
+            IntegrationDegree::PurelyUncompressed,
+            IntegrationDegree::OnTheFlyDeRecompression,
+            IntegrationDegree::Specialized,
+            IntegrationDegree::OnTheFlyMorphing,
+        ]
+    }
+
+    /// Label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntegrationDegree::PurelyUncompressed => "purely-uncompressed",
+            IntegrationDegree::OnTheFlyDeRecompression => "on-the-fly-de/re-compression",
+            IntegrationDegree::Specialized => "specialized",
+            IntegrationDegree::OnTheFlyMorphing => "on-the-fly-morphing",
+        }
+    }
+}
+
+/// How operators execute: processing style (scalar vs. vectorized) and degree
+/// of integration of compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecSettings {
+    /// Scalar or vectorized operator cores.
+    pub style: ProcessingStyle,
+    /// Degree of integrating compression into the operators.
+    pub degree: IntegrationDegree,
+}
+
+impl ExecSettings {
+    /// Scalar processing on uncompressed data — the configuration the paper
+    /// uses to compare against MonetDB (Figure 9, "MorphStore scalar
+    /// uncompr.").
+    pub fn scalar_uncompressed() -> ExecSettings {
+        ExecSettings {
+            style: ProcessingStyle::Scalar,
+            degree: IntegrationDegree::PurelyUncompressed,
+        }
+    }
+
+    /// Vectorized processing on uncompressed data.
+    pub fn vectorized_uncompressed() -> ExecSettings {
+        ExecSettings {
+            style: ProcessingStyle::Vectorized,
+            degree: IntegrationDegree::PurelyUncompressed,
+        }
+    }
+
+    /// Vectorized processing with continuous compression (the paper's
+    /// headline configuration).
+    pub fn vectorized_compressed() -> ExecSettings {
+        ExecSettings {
+            style: ProcessingStyle::Vectorized,
+            degree: IntegrationDegree::OnTheFlyDeRecompression,
+        }
+    }
+}
+
+/// An assignment of a compression format to every named base column and
+/// intermediate of a query.
+///
+/// Columns without an explicit entry use the default format.  Assignments are
+/// independent per column (design principle DP2).
+#[derive(Debug, Clone, Default)]
+pub struct FormatConfig {
+    default: Option<Format>,
+    per_column: HashMap<String, Format>,
+}
+
+impl FormatConfig {
+    /// Configuration in which every column is uncompressed.
+    pub fn uncompressed() -> FormatConfig {
+        FormatConfig {
+            default: Some(Format::Uncompressed),
+            per_column: HashMap::new(),
+        }
+    }
+
+    /// Configuration with the given default format for every column.
+    pub fn with_default(format: Format) -> FormatConfig {
+        FormatConfig {
+            default: Some(format),
+            per_column: HashMap::new(),
+        }
+    }
+
+    /// Set the format of one named column, returning `self` for chaining.
+    pub fn set(mut self, column: &str, format: Format) -> FormatConfig {
+        self.per_column.insert(column.to_string(), format);
+        self
+    }
+
+    /// Set the format of one named column in place.
+    pub fn insert(&mut self, column: &str, format: Format) {
+        self.per_column.insert(column.to_string(), format);
+    }
+
+    /// The format assigned to `column`; `fallback` applies when neither a
+    /// per-column entry nor a default exists.
+    pub fn format_for(&self, column: &str, fallback: Format) -> Format {
+        self.per_column
+            .get(column)
+            .copied()
+            .or(self.default)
+            .unwrap_or(fallback)
+    }
+
+    /// Names with explicit per-column assignments.
+    pub fn explicit_columns(&self) -> impl Iterator<Item = &str> {
+        self.per_column.keys().map(|s| s.as_str())
+    }
+
+    /// The default format, if one was set.
+    pub fn default_format(&self) -> Option<Format> {
+        self.default
+    }
+}
+
+/// A record of one column touched during query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRecord {
+    /// Name of the column (base column or intermediate).
+    pub name: String,
+    /// Format the column was materialised in.
+    pub format: Format,
+    /// Logical number of data elements.
+    pub len: usize,
+    /// Physical size in bytes (compressed main part + remainder).
+    pub bytes: usize,
+    /// Whether this is a base column (as opposed to an intermediate).
+    pub is_base: bool,
+}
+
+/// Records what a query execution did: which columns were touched (with their
+/// formats and physical sizes) and how long each operator took.
+///
+/// The *memory footprint* of a query is the sum of the physical sizes of all
+/// recorded columns — base columns and intermediates — matching the metric of
+/// Figures 6–8 and 10.
+#[derive(Debug, Default)]
+pub struct ExecutionContext {
+    /// Execution settings used by the query.
+    pub settings: ExecSettings,
+    /// Format assignment used by the query.
+    pub formats: FormatConfig,
+    records: Vec<ColumnRecord>,
+    timings: Vec<(String, Duration)>,
+    capture: bool,
+    captured: HashMap<String, Column>,
+}
+
+impl ExecutionContext {
+    /// Create a context with the given settings and format assignment.
+    pub fn new(settings: ExecSettings, formats: FormatConfig) -> ExecutionContext {
+        ExecutionContext {
+            settings,
+            formats,
+            records: Vec::new(),
+            timings: Vec::new(),
+            capture: false,
+            captured: HashMap::new(),
+        }
+    }
+
+    /// Keep a copy of every recorded intermediate column.
+    ///
+    /// The format-selection strategies (Figures 7 and 10 of the paper) need
+    /// to know the data characteristics — or even try out every format — for
+    /// every intermediate; capturing one reference execution provides them.
+    pub fn enable_capture(&mut self) {
+        self.capture = true;
+    }
+
+    /// The captured intermediate columns (empty unless
+    /// [`ExecutionContext::enable_capture`] was called before execution).
+    pub fn captured_columns(&self) -> &HashMap<String, Column> {
+        &self.captured
+    }
+
+    /// The format assigned to `column`, defaulting to uncompressed.
+    pub fn format_for(&self, column: &str) -> Format {
+        self.formats.format_for(column, Format::Uncompressed)
+    }
+
+    /// Record a base column touched by the query.  Recording the same base
+    /// column twice has no effect (its footprint is counted once per query,
+    /// as in the paper's evaluation).
+    pub fn record_base(&mut self, name: &str, column: &Column) {
+        if self.records.iter().any(|r| r.is_base && r.name == name) {
+            return;
+        }
+        self.records.push(ColumnRecord {
+            name: name.to_string(),
+            format: *column.format(),
+            len: column.logical_len(),
+            bytes: column.size_used_bytes(),
+            is_base: true,
+        });
+    }
+
+    /// Record an intermediate result produced by the query.
+    pub fn record_intermediate(&mut self, name: &str, column: &Column) {
+        self.records.push(ColumnRecord {
+            name: name.to_string(),
+            format: *column.format(),
+            len: column.logical_len(),
+            bytes: column.size_used_bytes(),
+            is_base: false,
+        });
+        if self.capture {
+            self.captured.insert(name.to_string(), column.clone());
+        }
+    }
+
+    /// Run `f`, recording its wall-clock duration under `op_name`.
+    pub fn time<R>(&mut self, op_name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.timings.push((op_name.to_string(), start.elapsed()));
+        result
+    }
+
+    /// All recorded columns.
+    pub fn records(&self) -> &[ColumnRecord] {
+        &self.records
+    }
+
+    /// All recorded operator timings, in execution order.
+    pub fn timings(&self) -> &[(String, Duration)] {
+        &self.timings
+    }
+
+    /// Total physical size of all recorded columns (bytes).
+    pub fn total_footprint_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total physical size of the recorded base columns (bytes).
+    pub fn base_footprint_bytes(&self) -> usize {
+        self.records.iter().filter(|r| r.is_base).map(|r| r.bytes).sum()
+    }
+
+    /// Total physical size of the recorded intermediates (bytes).
+    pub fn intermediate_footprint_bytes(&self) -> usize {
+        self.records.iter().filter(|r| !r.is_base).map(|r| r.bytes).sum()
+    }
+
+    /// Sum of all recorded operator durations.
+    pub fn total_runtime(&self) -> Duration {
+        self.timings.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Number of recorded intermediates.
+    pub fn intermediate_count(&self) -> usize {
+        self.records.iter().filter(|r| !r.is_base).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_labels_and_default() {
+        assert_eq!(IntegrationDegree::all().len(), 4);
+        assert_eq!(
+            IntegrationDegree::default(),
+            IntegrationDegree::OnTheFlyDeRecompression
+        );
+        let labels: std::collections::HashSet<&str> =
+            IntegrationDegree::all().iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn exec_settings_presets() {
+        let scalar = ExecSettings::scalar_uncompressed();
+        assert_eq!(scalar.style, ProcessingStyle::Scalar);
+        assert_eq!(scalar.degree, IntegrationDegree::PurelyUncompressed);
+        let compressed = ExecSettings::vectorized_compressed();
+        assert_eq!(compressed.style, ProcessingStyle::Vectorized);
+        assert_eq!(compressed.degree, IntegrationDegree::OnTheFlyDeRecompression);
+        assert_eq!(
+            ExecSettings::vectorized_uncompressed().degree,
+            IntegrationDegree::PurelyUncompressed
+        );
+    }
+
+    #[test]
+    fn format_config_lookup_precedence() {
+        let config = FormatConfig::with_default(Format::DynBp).set("x", Format::Rle);
+        assert_eq!(config.format_for("x", Format::Uncompressed), Format::Rle);
+        assert_eq!(config.format_for("y", Format::Uncompressed), Format::DynBp);
+        let empty = FormatConfig::default();
+        assert_eq!(empty.format_for("z", Format::StaticBp(7)), Format::StaticBp(7));
+        assert_eq!(empty.default_format(), None);
+        assert_eq!(
+            FormatConfig::uncompressed().format_for("q", Format::Rle),
+            Format::Uncompressed
+        );
+    }
+
+    #[test]
+    fn format_config_insert_and_iterate() {
+        let mut config = FormatConfig::uncompressed();
+        config.insert("a", Format::Rle);
+        config.insert("b", Format::DynBp);
+        let mut columns: Vec<&str> = config.explicit_columns().collect();
+        columns.sort_unstable();
+        assert_eq!(columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn execution_context_accounts_footprints() {
+        let mut ctx = ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        let base = Column::from_slice(&[1, 2, 3, 4]);
+        let inter = Column::compress(&(0..1000u64).collect::<Vec<_>>(), &Format::StaticBp(10));
+        ctx.record_base("base", &base);
+        ctx.record_intermediate("inter", &inter);
+        assert_eq!(ctx.base_footprint_bytes(), 32);
+        assert_eq!(ctx.intermediate_footprint_bytes(), inter.size_used_bytes());
+        assert_eq!(
+            ctx.total_footprint_bytes(),
+            32 + inter.size_used_bytes()
+        );
+        assert_eq!(ctx.records().len(), 2);
+        assert_eq!(ctx.intermediate_count(), 1);
+    }
+
+    #[test]
+    fn execution_context_times_operators() {
+        let mut ctx = ExecutionContext::default();
+        let result = ctx.time("op1", || 21 * 2);
+        assert_eq!(result, 42);
+        ctx.time("op2", || std::thread::sleep(Duration::from_millis(1)));
+        assert_eq!(ctx.timings().len(), 2);
+        assert!(ctx.total_runtime() >= Duration::from_millis(1));
+        assert_eq!(ctx.timings()[0].0, "op1");
+    }
+}

@@ -1,0 +1,62 @@
+//! # morphstore-engine
+//!
+//! Query operators and the holistic compression-enabled processing model of
+//! MorphStore-rs.
+//!
+//! The engine follows the operator-at-a-time model of MonetDB (design
+//! principle DP1): every operator consumes one or more columns and fully
+//! materialises its output column(s) before the next operator runs.  The
+//! difference to MonetDB — and the paper's core contribution — is that every
+//! input *and* output column can be held in a lightweight integer compression
+//! format, chosen independently per column (DP2), and that no operator ever
+//! materialises a whole column uncompressed (DP3).
+//!
+//! ## Degrees of integration (Figure 2 of the paper)
+//!
+//! Every operator can be executed at one of four [`IntegrationDegree`]s:
+//!
+//! 1. **Purely uncompressed** — the baseline: uncompressed input, output and
+//!    internal processing.
+//! 2. **On-the-fly de/re-compression** — the workhorse degree: inputs are
+//!    decompressed one cache-resident block (or vector register) at a time
+//!    and fed to the operator core, whose uncompressed output values are
+//!    gathered in a 16 KiB cache-resident buffer and recompressed into the
+//!    output format whenever it fills up (the three-layer architecture of
+//!    Figure 4: column layer / buffer layer / vector-register layer).
+//! 3. **Specialized operators** — process the compressed representation
+//!    directly (e.g. run-value comparisons on RLE data, per-block shortcuts
+//!    on FOR data) for specific format combinations.
+//! 4. **On-the-fly morphing** — inputs/outputs are *morphed* between
+//!    compressed formats so that specialized operators can be used even when
+//!    the intermediates carry different formats.
+//!
+//! ## Operators
+//!
+//! The operator set mirrors the one the paper needs for the Star Schema
+//! Benchmark (Section 4.2): [`select`], [`project`], [`join`], [`semi_join`],
+//! [`intersect_sorted`], [`merge_sorted`], [`group_by`], [`group_by_refine`],
+//! [`agg_sum`], [`agg_sum_grouped`] and [`calc_binary`], plus the
+//! column-level [`morph`] operator that re-encodes a column in another
+//! format.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exec;
+pub mod ops;
+pub mod specialized;
+
+pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
+pub use morph_vector::kernels::BinaryOp;
+pub use morph_vector::ProcessingStyle;
+pub use ops::agg::{agg_max, agg_sum, agg_sum_grouped};
+pub use ops::calc::calc_binary;
+pub use ops::group::{group_by, group_by_refine, GroupResult};
+pub use ops::join::{join, semi_join};
+pub use ops::merge::{intersect_sorted, merge_sorted};
+pub use ops::morph_op::morph;
+pub use ops::project::project;
+pub use ops::select::{select, select_between};
+
+/// Comparison predicate of the [`select`] operator (re-exported from the
+/// vector crate, where the SIMD comparison kernels live).
+pub type CmpOp = morph_vector::VecCmp;

@@ -1,0 +1,194 @@
+//! Position-list set operations: intersection and union of sorted position
+//! columns.
+//!
+//! Conjunctive predicates over different columns (e.g. the lineorder filters
+//! of SSB query flight 1: `lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25`)
+//! are evaluated as one select per column followed by an intersection of the
+//! resulting sorted position lists; disjunctions use the union.  Both inputs
+//! are consumed chunk-wise, so compressed position lists are never fully
+//! decompressed.
+
+use morph_compression::Format;
+use morph_storage::{Column, ColumnBuilder};
+
+use crate::exec::{ExecSettings, IntegrationDegree};
+
+/// Merge-intersect two sorted position columns.
+///
+/// Both inputs must be strictly increasing (as produced by [`crate::select`]).
+pub fn intersect_sorted(
+    a: &Column,
+    b: &Column,
+    out_format: &Format,
+    settings: &ExecSettings,
+) -> Column {
+    set_op(a, b, out_format, settings, SetOp::Intersect)
+}
+
+/// Merge-union two sorted position columns (duplicates collapse).
+pub fn merge_sorted(a: &Column, b: &Column, out_format: &Format, settings: &ExecSettings) -> Column {
+    set_op(a, b, out_format, settings, SetOp::Union)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SetOp {
+    Intersect,
+    Union,
+}
+
+fn set_op(
+    a: &Column,
+    b: &Column,
+    out_format: &Format,
+    settings: &ExecSettings,
+    op: SetOp,
+) -> Column {
+    // The merge needs pull-style access to both inputs; the shorter column is
+    // decompressed into a transient buffer (cf. the note on `zip_chunks`),
+    // the longer one is streamed chunk-wise.
+    let (streamed, buffered, swapped) = if a.logical_len() >= b.logical_len() {
+        (a, b.decompress(), false)
+    } else {
+        (b, a.decompress(), true)
+    };
+    let uncompressed = settings.degree == IntegrationDegree::PurelyUncompressed;
+    let mut plain: Vec<u64> = Vec::new();
+    let mut builder = ColumnBuilder::new(*out_format);
+    let mut push = |value: u64| {
+        if uncompressed {
+            plain.push(value);
+        } else {
+            builder.push(value);
+        }
+    };
+    let mut i = 0usize; // cursor into `buffered`
+    streamed.for_each_chunk(&mut |chunk| {
+        for &value in chunk {
+            match op {
+                SetOp::Intersect => {
+                    while i < buffered.len() && buffered[i] < value {
+                        i += 1;
+                    }
+                    if i < buffered.len() && buffered[i] == value {
+                        push(value);
+                        i += 1;
+                    }
+                }
+                SetOp::Union => {
+                    while i < buffered.len() && buffered[i] < value {
+                        push(buffered[i]);
+                        i += 1;
+                    }
+                    if i < buffered.len() && buffered[i] == value {
+                        i += 1;
+                    }
+                    push(value);
+                }
+            }
+        }
+    });
+    if op == SetOp::Union {
+        while i < buffered.len() {
+            push(buffered[i]);
+            i += 1;
+        }
+    }
+    let _ = swapped;
+    if uncompressed {
+        Column::from_vec(plain)
+    } else {
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_intersect(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let set: std::collections::HashSet<u64> = b.iter().copied().collect();
+        a.iter().copied().filter(|v| set.contains(v)).collect()
+    }
+
+    fn reference_union(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut set: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        set.extend(b.iter().copied());
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn intersect_matches_reference() {
+        let a_values: Vec<u64> = (0..10_000u64).filter(|i| i % 3 == 0).collect();
+        let b_values: Vec<u64> = (0..10_000u64).filter(|i| i % 5 == 0).collect();
+        let expected = reference_intersect(&a_values, &b_values);
+        for format in [Format::Uncompressed, Format::DeltaDynBp, Format::DynBp] {
+            let a = Column::compress(&a_values, &format);
+            let b = Column::compress(&b_values, &format);
+            let out = intersect_sorted(&a, &b, &Format::DeltaDynBp, &ExecSettings::default());
+            assert_eq!(out.decompress(), expected, "format {format}");
+            // Intersection is symmetric.
+            let out_rev = intersect_sorted(&b, &a, &Format::DeltaDynBp, &ExecSettings::default());
+            assert_eq!(out_rev.decompress(), expected);
+        }
+    }
+
+    #[test]
+    fn union_matches_reference() {
+        let a_values: Vec<u64> = (0..5000u64).filter(|i| i % 7 == 0).collect();
+        let b_values: Vec<u64> = (0..5000u64).filter(|i| i % 11 == 0).collect();
+        let expected = reference_union(&a_values, &b_values);
+        let a = Column::compress(&a_values, &Format::DeltaDynBp);
+        let b = Column::compress(&b_values, &Format::DeltaDynBp);
+        let out = merge_sorted(&a, &b, &Format::DeltaDynBp, &ExecSettings::default());
+        assert_eq!(out.decompress(), expected);
+        let out_rev = merge_sorted(&b, &a, &Format::DeltaDynBp, &ExecSettings::default());
+        assert_eq!(out_rev.decompress(), expected);
+    }
+
+    #[test]
+    fn disjoint_and_identical_inputs() {
+        let a = Column::from_slice(&[1, 3, 5]);
+        let b = Column::from_slice(&[2, 4, 6]);
+        assert!(intersect_sorted(&a, &b, &Format::Uncompressed, &ExecSettings::default()).is_empty());
+        assert_eq!(
+            merge_sorted(&a, &b, &Format::Uncompressed, &ExecSettings::default()).decompress(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(
+            intersect_sorted(&a, &a, &Format::Uncompressed, &ExecSettings::default()).decompress(),
+            vec![1, 3, 5]
+        );
+        assert_eq!(
+            merge_sorted(&a, &a, &Format::Uncompressed, &ExecSettings::default()).decompress(),
+            vec![1, 3, 5]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = Column::from_slice(&[1, 2, 3]);
+        let empty = Column::from_slice(&[]);
+        assert!(intersect_sorted(&a, &empty, &Format::Uncompressed, &ExecSettings::default()).is_empty());
+        assert_eq!(
+            merge_sorted(&a, &empty, &Format::Uncompressed, &ExecSettings::default()).decompress(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            merge_sorted(&empty, &a, &Format::Uncompressed, &ExecSettings::default()).decompress(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn output_format_and_degree_are_respected() {
+        let a_values: Vec<u64> = (0..4000u64).step_by(2).collect();
+        let b_values: Vec<u64> = (0..4000u64).step_by(3).collect();
+        let a = Column::compress(&a_values, &Format::DeltaDynBp);
+        let b = Column::compress(&b_values, &Format::DeltaDynBp);
+        let compressed = intersect_sorted(&a, &b, &Format::DeltaDynBp, &ExecSettings::default());
+        assert_eq!(compressed.format(), &Format::DeltaDynBp);
+        let plain = intersect_sorted(&a, &b, &Format::DeltaDynBp, &ExecSettings::scalar_uncompressed());
+        assert_eq!(plain.format(), &Format::Uncompressed);
+        assert_eq!(plain.decompress(), compressed.decompress());
+    }
+}

@@ -1,0 +1,82 @@
+//! The physical query operators of the engine.
+//!
+//! The operator set is the one needed to execute the Star Schema Benchmark
+//! (Section 4.2 of the paper); all operators are "strongly inspired by those
+//! of MonetDB" and work on headless columns (mere sequences of unsigned
+//! integers).  Every operator follows the three-layer architecture of
+//! Figure 4:
+//!
+//! * the **column layer** is the public operator function, which handles the
+//!   split of each column into a compressed main part and an uncompressed
+//!   remainder (this is hidden inside [`morph_storage::Column::for_each_chunk`]
+//!   and [`morph_storage::ColumnBuilder`]),
+//! * the **buffer layer** is the pair of `for_each_chunk` (input side,
+//!   decompression into cache-resident chunks) and `ColumnBuilder` (output
+//!   side, recompression of a cache-resident buffer),
+//! * the **vector register layer** is the operator core, a kernel from
+//!   [`morph_vector::kernels`] monomorphised for scalar or vectorized
+//!   processing.
+
+pub mod agg;
+pub mod calc;
+pub mod group;
+pub mod join;
+pub mod merge;
+pub mod morph_op;
+pub mod project;
+pub mod select;
+
+use morph_storage::Column;
+
+/// Iterate two equally long columns position-wise, invoking `f` with pairs of
+/// equally long uncompressed chunks.
+///
+/// The first column is streamed chunk-wise (cache-resident, DP3-conforming);
+/// the second column is currently decompressed once into a transient buffer
+/// because two push-style block decoders cannot be interleaved on one thread.
+/// The transient buffer is not an intermediate result of the query plan (it
+/// is never materialised as a column), so the footprint accounting of the
+/// evaluation is unaffected; a fully streaming pairwise reader is future
+/// work and is called out in DESIGN.md.
+pub(crate) fn zip_chunks(a: &Column, b: &Column, f: &mut dyn FnMut(&[u64], &[u64])) {
+    assert_eq!(
+        a.logical_len(),
+        b.logical_len(),
+        "position-wise operators require equally long inputs"
+    );
+    let b_values = b.decompress();
+    let mut offset = 0usize;
+    a.for_each_chunk(&mut |chunk| {
+        f(chunk, &b_values[offset..offset + chunk.len()]);
+        offset += chunk.len();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_compression::Format;
+
+    #[test]
+    fn zip_chunks_pairs_values_in_order() {
+        let a_values: Vec<u64> = (0..5000).collect();
+        let b_values: Vec<u64> = (0..5000).map(|i| i * 2).collect();
+        let a = Column::compress(&a_values, &Format::DynBp);
+        let b = Column::compress(&b_values, &Format::DeltaDynBp);
+        let mut pairs = Vec::new();
+        zip_chunks(&a, &b, &mut |ca, cb| {
+            assert_eq!(ca.len(), cb.len());
+            pairs.extend(ca.iter().zip(cb.iter()).map(|(&x, &y)| (x, y)));
+        });
+        assert_eq!(pairs.len(), 5000);
+        assert!(pairs.iter().all(|&(x, y)| y == x * 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn zip_chunks_rejects_length_mismatch() {
+        let a = Column::from_slice(&[1, 2, 3]);
+        let b = Column::from_slice(&[1, 2]);
+        zip_chunks(&a, &b, &mut |_, _| {});
+    }
+}

@@ -1,0 +1,280 @@
+//! The select operator: evaluate a predicate on a column and produce the
+//! sorted list of matching positions.
+//!
+//! This is the operator the paper uses for its single-operator
+//! micro-benchmark (Section 5.1, Figure 5): its input is a data column in an
+//! arbitrary format and its output — a sorted column of positions, itself an
+//! intermediate — can be materialised in any format as well, giving the 25
+//! input×output format combinations of Figure 5.
+
+use morph_compression::Format;
+use morph_storage::{Column, ColumnBuilder};
+use morph_vector::emu::V512;
+use morph_vector::kernels;
+use morph_vector::scalar::Scalar;
+use morph_vector::ProcessingStyle;
+
+use crate::exec::{ExecSettings, IntegrationDegree};
+use crate::specialized;
+use crate::CmpOp;
+
+/// The vector-register-layer core of the select operator: filter one
+/// uncompressed chunk, appending matching positions (offset by `base`).
+#[inline]
+pub(crate) fn filter_chunk(
+    style: ProcessingStyle,
+    op: CmpOp,
+    chunk: &[u64],
+    constant: u64,
+    base: u64,
+    out: &mut Vec<u64>,
+) {
+    match style {
+        ProcessingStyle::Scalar => {
+            kernels::filter_positions::<Scalar>(op, chunk, constant, base, out)
+        }
+        ProcessingStyle::Vectorized => {
+            kernels::filter_positions::<V512>(op, chunk, constant, base, out)
+        }
+    }
+}
+
+/// Select the positions of `input` whose value satisfies `op` against
+/// `constant`; the output column is materialised in `out_format`.
+///
+/// The execution follows the chosen [`IntegrationDegree`]:
+/// * purely uncompressed — the output is uncompressed regardless of
+///   `out_format` (the baseline involves no compressed data at all),
+/// * on-the-fly de/re-compression — input chunks are decompressed into the
+///   cache, filtered, and the resulting positions recompressed,
+/// * specialized — if the input is RLE-compressed, the run-based kernel of
+///   [`specialized::select_on_rle`] processes the compressed data directly;
+///   otherwise the operator falls back to on-the-fly de/re-compression,
+/// * on-the-fly morphing — the input is morphed to RLE first so the
+///   specialized kernel can be used irrespective of the input format.
+pub fn select(
+    op: CmpOp,
+    input: &Column,
+    constant: u64,
+    out_format: &Format,
+    settings: &ExecSettings,
+) -> Column {
+    match settings.degree {
+        IntegrationDegree::PurelyUncompressed => {
+            let mut positions = Vec::new();
+            let mut base = 0u64;
+            input.for_each_chunk(&mut |chunk| {
+                filter_chunk(settings.style, op, chunk, constant, base, &mut positions);
+                base += chunk.len() as u64;
+            });
+            Column::from_vec(positions)
+        }
+        IntegrationDegree::OnTheFlyDeRecompression => {
+            select_de_recompress(op, input, constant, out_format, settings)
+        }
+        IntegrationDegree::Specialized => {
+            if input.format() == &Format::Rle {
+                specialized::select_on_rle(op, input, constant, out_format)
+            } else {
+                // No specialization available for this input format: fall
+                // back to the general degree (Section 3.3: the degree choice
+                // depends on the availability of the respective variant).
+                select_de_recompress(op, input, constant, out_format, settings)
+            }
+        }
+        IntegrationDegree::OnTheFlyMorphing => {
+            let morphed = input.to_format(&Format::Rle);
+            specialized::select_on_rle(op, &morphed, constant, out_format)
+        }
+    }
+}
+
+fn select_de_recompress(
+    op: CmpOp,
+    input: &Column,
+    constant: u64,
+    out_format: &Format,
+    settings: &ExecSettings,
+) -> Column {
+    let mut builder = ColumnBuilder::new(*out_format);
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut base = 0u64;
+    input.for_each_chunk(&mut |chunk| {
+        scratch.clear();
+        filter_chunk(settings.style, op, chunk, constant, base, &mut scratch);
+        builder.push_slice(&scratch);
+        base += chunk.len() as u64;
+    });
+    builder.finish()
+}
+
+/// Select the positions of `input` whose value lies in `[low, high]`
+/// (inclusive range predicate, used by the SSB queries for date and discount
+/// ranges).
+pub fn select_between(
+    input: &Column,
+    low: u64,
+    high: u64,
+    out_format: &Format,
+    settings: &ExecSettings,
+) -> Column {
+    assert!(low <= high, "select_between requires low <= high");
+    let produce = |builder_push: &mut dyn FnMut(&[u64])| {
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut base = 0u64;
+        input.for_each_chunk(&mut |chunk| {
+            scratch.clear();
+            for (i, &value) in chunk.iter().enumerate() {
+                if value >= low && value <= high {
+                    scratch.push(base + i as u64);
+                }
+            }
+            builder_push(&scratch);
+            base += chunk.len() as u64;
+        });
+    };
+    match settings.degree {
+        IntegrationDegree::PurelyUncompressed => {
+            let mut positions = Vec::new();
+            produce(&mut |chunk| positions.extend_from_slice(chunk));
+            Column::from_vec(positions)
+        }
+        _ => {
+            let mut builder = ColumnBuilder::new(*out_format);
+            produce(&mut |chunk| builder.push_slice(chunk));
+            builder.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_positions(values: &[u64], op: CmpOp, constant: u64) -> Vec<u64> {
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| op.eval(v, constant))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    fn sample(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761) % 1000).collect()
+    }
+
+    #[test]
+    fn select_matches_reference_for_all_degrees_and_formats() {
+        let values = sample(5000);
+        let expected = reference_positions(&values, CmpOp::Lt, 100);
+        for format in Format::all_formats(999) {
+            let input = Column::compress(&values, &format);
+            for degree in IntegrationDegree::all() {
+                for style in [ProcessingStyle::Scalar, ProcessingStyle::Vectorized] {
+                    let settings = ExecSettings { style, degree };
+                    let out = select(CmpOp::Lt, &input, 100, &Format::DeltaDynBp, &settings);
+                    assert_eq!(
+                        out.decompress(),
+                        expected,
+                        "format {format}, degree {degree:?}, style {style:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_output_format_is_respected() {
+        let values = sample(10_000);
+        let input = Column::compress(&values, &Format::DynBp);
+        let settings = ExecSettings::default();
+        for out_format in Format::all_formats(10_000) {
+            let out = select(CmpOp::Ge, &input, 500, &out_format, &settings);
+            assert_eq!(out.format(), &out_format);
+            assert_eq!(out.decompress(), reference_positions(&values, CmpOp::Ge, 500));
+        }
+    }
+
+    #[test]
+    fn purely_uncompressed_ignores_output_format() {
+        let values = sample(1000);
+        let input = Column::from_slice(&values);
+        let settings = ExecSettings::scalar_uncompressed();
+        let out = select(CmpOp::Eq, &input, values[17], &Format::Rle, &settings);
+        assert_eq!(out.format(), &Format::Uncompressed);
+    }
+
+    #[test]
+    fn select_on_empty_column() {
+        let input = Column::from_slice(&[]);
+        let out = select(CmpOp::Eq, &input, 5, &Format::DynBp, &ExecSettings::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_all_and_none() {
+        let values = vec![7u64; 3000];
+        let input = Column::compress(&values, &Format::Rle);
+        let settings = ExecSettings::default();
+        let all = select(CmpOp::Eq, &input, 7, &Format::DeltaDynBp, &settings);
+        assert_eq!(all.logical_len(), 3000);
+        assert_eq!(all.decompress(), (0..3000u64).collect::<Vec<_>>());
+        let none = select(CmpOp::Gt, &input, 7, &Format::DeltaDynBp, &settings);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn all_comparison_operators() {
+        let values = sample(2000);
+        let input = Column::compress(&values, &Format::StaticBp(10));
+        let settings = ExecSettings::default();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let out = select(op, &input, 500, &Format::DynBp, &settings);
+            assert_eq!(out.decompress(), reference_positions(&values, op, 500), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn select_between_matches_reference() {
+        let values = sample(4000);
+        let expected: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (100..=300).contains(&v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        for format in [Format::Uncompressed, Format::DynBp, Format::Rle] {
+            let input = Column::compress(&values, &format);
+            let out = select_between(&input, 100, 300, &Format::DeltaDynBp, &ExecSettings::default());
+            assert_eq!(out.decompress(), expected, "format {format}");
+        }
+        let uncompressed_out = select_between(
+            &Column::from_slice(&values),
+            100,
+            300,
+            &Format::DynBp,
+            &ExecSettings::scalar_uncompressed(),
+        );
+        assert_eq!(uncompressed_out.decompress(), expected);
+        assert_eq!(uncompressed_out.format(), &Format::Uncompressed);
+    }
+
+    #[test]
+    #[should_panic(expected = "low <= high")]
+    fn select_between_rejects_inverted_range() {
+        let input = Column::from_slice(&[1, 2, 3]);
+        select_between(&input, 10, 5, &Format::Uncompressed, &ExecSettings::default());
+    }
+
+    #[test]
+    fn select_output_is_sorted_for_delta_friendliness() {
+        // The paper notes the select output is always sorted, which is why
+        // DELTA + SIMD-BP is the best output format (Section 5.1).
+        let values = sample(8000);
+        let input = Column::compress(&values, &Format::DynBp);
+        let out = select(CmpOp::Lt, &input, 900, &Format::DeltaDynBp, &ExecSettings::default());
+        let positions = out.decompress();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+}

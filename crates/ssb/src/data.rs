@@ -1,0 +1,168 @@
+//! The SSB database: tables, named base columns, and format application.
+
+use std::collections::HashMap;
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morphstore_engine::exec::FormatConfig;
+
+/// The four dimension tables and the fact table of the SSB schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SsbTable {
+    /// The `date` dimension.
+    Date,
+    /// The `customer` dimension.
+    Customer,
+    /// The `supplier` dimension.
+    Supplier,
+    /// The `part` dimension.
+    Part,
+    /// The `lineorder` fact table.
+    Lineorder,
+}
+
+/// An in-memory SSB database: every column is a [`Column`] of dictionary keys
+/// or integers, addressable by its SSB column name (e.g. `"lo_orderdate"`).
+#[derive(Debug, Clone)]
+pub struct SsbData {
+    /// Scale factor the data was generated with.
+    pub scale_factor: f64,
+    columns: HashMap<String, Column>,
+    /// Number of rows per table.
+    row_counts: HashMap<SsbTable, usize>,
+}
+
+impl SsbData {
+    /// Assemble a database from named columns and row counts.  Used by
+    /// [`crate::dbgen::generate`].
+    pub(crate) fn from_columns(
+        scale_factor: f64,
+        columns: HashMap<String, Column>,
+        row_counts: HashMap<SsbTable, usize>,
+    ) -> SsbData {
+        SsbData {
+            scale_factor,
+            columns,
+            row_counts,
+        }
+    }
+
+    /// The column with the given SSB name.
+    ///
+    /// # Panics
+    /// Panics if the name is unknown.
+    pub fn column(&self, name: &str) -> &Column {
+        self.columns
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown SSB column {name}"))
+    }
+
+    /// Names of all base columns, sorted.
+    pub fn column_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.columns.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of rows of `table`.
+    pub fn row_count(&self, table: SsbTable) -> usize {
+        self.row_counts[&table]
+    }
+
+    /// Total physical size of all base columns in bytes.
+    pub fn total_size_bytes(&self) -> usize {
+        self.columns.values().map(|c| c.size_used_bytes()).sum()
+    }
+
+    /// Re-encode the base columns according to `config` (columns without an
+    /// assignment keep their current format).  This is how the benchmark
+    /// harness prepares the database for a particular base-column format
+    /// combination (Figures 7–9).
+    pub fn with_formats(&self, config: &FormatConfig) -> SsbData {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(name, column)| {
+                let format = config.format_for(name, *column.format());
+                (name.clone(), column.to_format(&format))
+            })
+            .collect();
+        SsbData {
+            scale_factor: self.scale_factor,
+            columns,
+            row_counts: self.row_counts.clone(),
+        }
+    }
+
+    /// Re-encode every base column with one uniform format.
+    pub fn with_uniform_format(&self, format: &Format) -> SsbData {
+        self.with_formats(&FormatConfig::with_default(*format))
+    }
+
+    /// Re-encode every base column with the static-BP width matching its
+    /// maximum value — the "narrowest integer type possible" configuration
+    /// the paper uses to simulate compression in MonetDB (Figure 9), except
+    /// with bit rather than byte granularity when `byte_aligned` is false.
+    pub fn with_narrow_static_bp(&self, byte_aligned: bool) -> SsbData {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(name, column)| {
+                let max = column
+                    .decompress()
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+                let mut width = morph_compression::bitpack::bit_width_of(max);
+                if byte_aligned {
+                    width = width.div_ceil(8) * 8;
+                }
+                (name.clone(), column.to_format(&Format::StaticBp(width)))
+            })
+            .collect();
+        SsbData {
+            scale_factor: self.scale_factor,
+            columns,
+            row_counts: self.row_counts.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen;
+
+    #[test]
+    fn with_formats_changes_only_assigned_columns() {
+        let data = dbgen::generate(0.002, 1);
+        let config = FormatConfig::default().set("lo_quantity", Format::StaticBp(6));
+        let reencoded = data.with_formats(&config);
+        assert_eq!(reencoded.column("lo_quantity").format(), &Format::StaticBp(6));
+        assert_eq!(reencoded.column("lo_discount").format(), &Format::Uncompressed);
+        assert_eq!(
+            reencoded.column("lo_quantity").decompress(),
+            data.column("lo_quantity").decompress()
+        );
+    }
+
+    #[test]
+    fn uniform_and_narrow_formats() {
+        let data = dbgen::generate(0.002, 1);
+        let dyn_bp = data.with_uniform_format(&Format::DynBp);
+        assert!(dyn_bp.column_names().iter().all(|n| dyn_bp.column(n).format() == &Format::DynBp));
+        assert!(dyn_bp.total_size_bytes() < data.total_size_bytes());
+        let narrow = data.with_narrow_static_bp(true);
+        let quantity_format = narrow.column("lo_quantity").format();
+        assert_eq!(quantity_format, &Format::StaticBp(8));
+        let narrow_bits = data.with_narrow_static_bp(false);
+        assert_eq!(narrow_bits.column("lo_quantity").format(), &Format::StaticBp(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SSB column")]
+    fn unknown_column_panics() {
+        let data = dbgen::generate(0.002, 1);
+        data.column("no_such_column");
+    }
+}

@@ -1,0 +1,174 @@
+//! Order-preserving dictionary encoding of the SSB string attributes.
+//!
+//! The paper (Section 3.1 and 5.2) assumes an individual, order-preserving
+//! dictionary per domain, so that point and range predicates on strings can
+//! be evaluated directly on the integer keys.  The SSB string domains are
+//! small and regular, which lets us define the dictionaries statically:
+//!
+//! * **regions** (5): `AFRICA < AMERICA < ASIA < EUROPE < MIDDLE EAST`,
+//! * **nations** (25): five per region, keyed `region * 5 + i` so that the
+//!   region of a nation is `nation_key / 5`,
+//! * **cities** (250): ten per nation, keyed `nation * 10 + i`,
+//! * **manufacturers** (5): `MFGR#1 … MFGR#5`, keyed 0–4,
+//! * **categories** (25): `MFGR#<m><c>`, keyed `mfgr * 5 + (c - 1)`,
+//! * **brands** (1000): `MFGR#<m><c><b>`, keyed `category * 40 + (b - 1)`.
+//!
+//! Dates are encoded as integers directly (`yyyymmdd`, `yyyymm`, year), which
+//! is already order-preserving.
+
+/// Number of regions.
+pub const REGIONS: u64 = 5;
+/// Number of nations (5 per region).
+pub const NATIONS: u64 = 25;
+/// Number of cities (10 per nation).
+pub const CITIES: u64 = 250;
+/// Number of part manufacturers.
+pub const MFGRS: u64 = 5;
+/// Number of part categories (5 per manufacturer).
+pub const CATEGORIES: u64 = 25;
+/// Number of part brands (40 per category).
+pub const BRANDS: u64 = 1000;
+
+/// Dictionary key of region `AFRICA`.
+pub const REGION_AFRICA: u64 = 0;
+/// Dictionary key of region `AMERICA`.
+pub const REGION_AMERICA: u64 = 1;
+/// Dictionary key of region `ASIA`.
+pub const REGION_ASIA: u64 = 2;
+/// Dictionary key of region `EUROPE`.
+pub const REGION_EUROPE: u64 = 3;
+/// Dictionary key of region `MIDDLE EAST`.
+pub const REGION_MIDDLE_EAST: u64 = 4;
+
+/// Dictionary key of nation `UNITED STATES` (a nation of AMERICA).
+pub const NATION_UNITED_STATES: u64 = REGION_AMERICA * 5 + 4;
+/// Dictionary key of nation `UNITED KINGDOM` (a nation of EUROPE).
+pub const NATION_UNITED_KINGDOM: u64 = REGION_EUROPE * 5 + 3;
+/// Dictionary key of nation `CHINA` (a nation of ASIA).
+pub const NATION_CHINA: u64 = REGION_ASIA * 5 + 1;
+
+/// Dictionary key of city `UNITED KI1` (first city of UNITED KINGDOM).
+pub const CITY_UNITED_KI1: u64 = NATION_UNITED_KINGDOM * 10;
+/// Dictionary key of city `UNITED KI5` (fifth city of UNITED KINGDOM).
+pub const CITY_UNITED_KI5: u64 = NATION_UNITED_KINGDOM * 10 + 4;
+
+/// Region of a nation key.
+#[inline]
+pub fn region_of_nation(nation: u64) -> u64 {
+    nation / 5
+}
+
+/// Nation of a city key.
+#[inline]
+pub fn nation_of_city(city: u64) -> u64 {
+    city / 10
+}
+
+/// Region of a city key.
+#[inline]
+pub fn region_of_city(city: u64) -> u64 {
+    region_of_nation(nation_of_city(city))
+}
+
+/// Dictionary key of category `MFGR#<mfgr><cat>` (1-based as in the SSB
+/// constants, e.g. `category(1, 2)` is `MFGR#12`).
+#[inline]
+pub fn category(mfgr: u64, cat: u64) -> u64 {
+    debug_assert!((1..=5).contains(&mfgr) && (1..=5).contains(&cat));
+    (mfgr - 1) * 5 + (cat - 1)
+}
+
+/// Dictionary key of brand `MFGR#<mfgr><cat><brand>` (brand 1-based, 1..=40).
+#[inline]
+pub fn brand(mfgr: u64, cat: u64, brand: u64) -> u64 {
+    debug_assert!((1..=40).contains(&brand));
+    category(mfgr, cat) * 40 + (brand - 1)
+}
+
+/// Dictionary key of the manufacturer `MFGR#<mfgr>` (1-based).
+#[inline]
+pub fn mfgr(mfgr: u64) -> u64 {
+    debug_assert!((1..=5).contains(&mfgr));
+    mfgr - 1
+}
+
+/// Category of a brand key.
+#[inline]
+pub fn category_of_brand(brand: u64) -> u64 {
+    brand / 40
+}
+
+/// Manufacturer of a category key.
+#[inline]
+pub fn mfgr_of_category(category: u64) -> u64 {
+    category / 5
+}
+
+/// Encode a date as the `yyyymmdd` integer used for `d_datekey` and
+/// `lo_orderdate`.
+#[inline]
+pub fn datekey(year: u64, month: u64, day: u64) -> u64 {
+    year * 10_000 + month * 100 + day
+}
+
+/// Encode a year and month as the `yyyymm` integer used for
+/// `d_yearmonthnum`.
+#[inline]
+pub fn yearmonthnum(year: u64, month: u64) -> u64 {
+    year * 100 + month
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nation_city_region_hierarchy_is_consistent() {
+        assert_eq!(region_of_nation(NATION_UNITED_STATES), REGION_AMERICA);
+        assert_eq!(region_of_nation(NATION_UNITED_KINGDOM), REGION_EUROPE);
+        assert_eq!(region_of_nation(NATION_CHINA), REGION_ASIA);
+        assert_eq!(nation_of_city(CITY_UNITED_KI1), NATION_UNITED_KINGDOM);
+        assert_eq!(nation_of_city(CITY_UNITED_KI5), NATION_UNITED_KINGDOM);
+        assert_eq!(region_of_city(CITY_UNITED_KI1), REGION_EUROPE);
+        for nation in 0..NATIONS {
+            assert!(region_of_nation(nation) < REGIONS);
+            for c in 0..10 {
+                assert_eq!(nation_of_city(nation * 10 + c), nation);
+            }
+        }
+    }
+
+    #[test]
+    fn part_hierarchy_is_consistent() {
+        assert_eq!(category(1, 2), 1);
+        assert_eq!(mfgr_of_category(category(1, 2)), mfgr(1));
+        assert_eq!(category_of_brand(brand(2, 2, 21)), category(2, 2));
+        assert_eq!(brand(2, 2, 39), category(2, 2) * 40 + 38);
+        for m in 1..=5u64 {
+            for c in 1..=5u64 {
+                assert!(category(m, c) < CATEGORIES);
+                for b in [1u64, 40] {
+                    assert!(brand(m, c, b) < BRANDS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brand_ranges_are_contiguous_within_a_category() {
+        // SSB Q2.2 filters p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'; with
+        // an order-preserving dictionary this is a contiguous key range.
+        let low = brand(2, 2, 21);
+        let high = brand(2, 2, 28);
+        assert_eq!(high - low, 7);
+        assert!((low..=high).all(|b| category_of_brand(b) == category(2, 2)));
+    }
+
+    #[test]
+    fn date_encodings_are_order_preserving() {
+        assert!(datekey(1993, 1, 1) < datekey(1993, 1, 2));
+        assert!(datekey(1993, 12, 28) < datekey(1994, 1, 1));
+        assert_eq!(yearmonthnum(1994, 1), 199401);
+        assert_eq!(datekey(1997, 12, 5), 19971205);
+    }
+}

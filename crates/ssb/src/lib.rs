@@ -1,0 +1,31 @@
+//! # morph-ssb
+//!
+//! The Star Schema Benchmark (SSB) for MorphStore-rs: schema, deterministic
+//! data generator, order-preserving dictionary encoding of the string
+//! attributes, and all 13 queries implemented operator-at-a-time against the
+//! engine.
+//!
+//! The paper evaluates MorphStore with SSB at scale factor 10 (Section 5.2),
+//! applying "an order-preserving dictionary encoding to all string columns in
+//! the schema to obtain integer columns", so that "all 13 queries can be
+//! executed on dictionary keys without looking up the string values".  This
+//! crate does the same: the generator directly produces dictionary keys
+//! (the [`dict`] module documents the mapping) and the query implementations
+//! translate the SSB predicate constants to keys.
+//!
+//! The QEPs of the queries "involve between 6 and 16 base columns and between
+//! 15 and 56 intermediates"; every base column and intermediate produced here
+//! has a *name*, so the format-selection strategies of `morph-cost` and the
+//! benchmark harness can assign each one an individual compression format —
+//! the new degree of freedom the paper introduces.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod dbgen;
+pub mod dict;
+pub mod queries;
+pub mod reference;
+
+pub use data::{SsbData, SsbTable};
+pub use queries::{QueryResult, SsbQuery};

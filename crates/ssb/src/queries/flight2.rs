@@ -1,0 +1,80 @@
+//! SSB query flight 2 (Q2.1–Q2.3): restrict by a part attribute and the
+//! supplier region, group by `d_year, p_brand1` and sum `lo_revenue`.
+//!
+//! ```sql
+//! SELECT SUM(lo_revenue), d_year, p_brand1
+//! FROM lineorder, date, part, supplier
+//! WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+//!   AND lo_suppkey = s_suppkey
+//!   AND <part predicate> AND s_region = <region>
+//! GROUP BY d_year, p_brand1;
+//! ```
+
+use crate::dict;
+
+use super::{attribute_per_row, Pred, QueryCtx, QueryResult, SsbQuery};
+
+pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+    let (part_column, part_pred, supplier_region) = match query {
+        SsbQuery::Q2_1 => (
+            "p_category",
+            Pred::Eq(dict::category(1, 2)),
+            dict::REGION_AMERICA,
+        ),
+        SsbQuery::Q2_2 => (
+            "p_brand1",
+            Pred::Between(dict::brand(2, 2, 21), dict::brand(2, 2, 28)),
+            dict::REGION_ASIA,
+        ),
+        SsbQuery::Q2_3 => (
+            "p_brand1",
+            Pred::Eq(dict::brand(2, 2, 39)),
+            dict::REGION_EUROPE,
+        ),
+        _ => unreachable!("flight 2 handles Q2.x only"),
+    };
+
+    // Restrict the part dimension and the fact table by it.
+    let part_attr = q.base(part_column);
+    let part_pos = q.filter("part_pos", part_attr, part_pred);
+    let p_partkey = q.base("p_partkey");
+    let part_keys = q.project("part_keys", p_partkey, &part_pos);
+    let lo_partkey = q.base("lo_partkey");
+    let pos_part = q.semi_join("lo_pos_part", lo_partkey, &part_keys);
+
+    // Restrict the supplier dimension and the fact table by it.
+    let s_region = q.base("s_region");
+    let supplier_pos = q.filter("supplier_pos", s_region, Pred::Eq(supplier_region));
+    let s_suppkey = q.base("s_suppkey");
+    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
+    let lo_suppkey = q.base("lo_suppkey");
+    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+
+    let pos = q.intersect("lo_pos", &pos_part, &pos_supplier);
+
+    // Group-by attributes: d_year and p_brand1 per restricted fact row.
+    let lo_orderdate = q.base("lo_orderdate");
+    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
+    let d_datekey = q.base("d_datekey");
+    let d_year = q.base("d_year");
+    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+
+    let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
+    let p_brand1 = q.base("p_brand1");
+    let brand_per_row = attribute_per_row(q, "brand", &partkey_at_pos, p_partkey, p_brand1);
+
+    // Grouping and aggregation.
+    let group_year = q.group("group_year", &year_per_row);
+    let group = q.group_refine("group_year_brand", &group_year, &brand_per_row);
+    let lo_revenue = q.base("lo_revenue");
+    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
+    let sums = q.grouped_sum("sum_revenue", &group, &revenue_at_pos);
+
+    let year_keys = q.project("result_year", &year_per_row, &group.representatives);
+    let brand_keys = q.project("result_brand", &brand_per_row, &group.representatives);
+
+    QueryResult {
+        group_keys: vec![year_keys.decompress(), brand_keys.decompress()],
+        values: sums.decompress(),
+    }
+}

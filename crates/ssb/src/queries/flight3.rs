@@ -1,0 +1,144 @@
+//! SSB query flight 3 (Q3.1–Q3.4): restrict by customer and supplier
+//! geography and a date range, group by the geography attributes and the
+//! year, and sum `lo_revenue`.
+//!
+//! ```sql
+//! SELECT <c_attr>, <s_attr>, d_year, SUM(lo_revenue) AS revenue
+//! FROM customer, lineorder, supplier, date
+//! WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+//!   AND lo_orderdate = d_datekey
+//!   AND <customer predicate> AND <supplier predicate> AND <date predicate>
+//! GROUP BY <c_attr>, <s_attr>, d_year;
+//! ```
+
+use crate::dict;
+
+use super::{attribute_per_row, Pred, QueryCtx, QueryResult, SsbQuery};
+
+struct Flight3Spec {
+    customer_column: &'static str,
+    customer_pred: Pred,
+    supplier_column: &'static str,
+    supplier_pred: Pred,
+    /// Column of the date dimension the date predicate applies to and the
+    /// predicate itself.
+    date_column: &'static str,
+    date_pred: Pred,
+    /// The customer/supplier attribute reported in the result rows.
+    customer_group_column: &'static str,
+    supplier_group_column: &'static str,
+}
+
+fn spec(query: SsbQuery) -> Flight3Spec {
+    match query {
+        SsbQuery::Q3_1 => Flight3Spec {
+            customer_column: "c_region",
+            customer_pred: Pred::Eq(dict::REGION_ASIA),
+            supplier_column: "s_region",
+            supplier_pred: Pred::Eq(dict::REGION_ASIA),
+            date_column: "d_year",
+            date_pred: Pred::Between(1992, 1997),
+            customer_group_column: "c_nation",
+            supplier_group_column: "s_nation",
+        },
+        SsbQuery::Q3_2 => Flight3Spec {
+            customer_column: "c_nation",
+            customer_pred: Pred::Eq(dict::NATION_UNITED_STATES),
+            supplier_column: "s_nation",
+            supplier_pred: Pred::Eq(dict::NATION_UNITED_STATES),
+            date_column: "d_year",
+            date_pred: Pred::Between(1992, 1997),
+            customer_group_column: "c_city",
+            supplier_group_column: "s_city",
+        },
+        SsbQuery::Q3_3 => Flight3Spec {
+            customer_column: "c_city",
+            customer_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            supplier_column: "s_city",
+            supplier_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            date_column: "d_year",
+            date_pred: Pred::Between(1992, 1997),
+            customer_group_column: "c_city",
+            supplier_group_column: "s_city",
+        },
+        SsbQuery::Q3_4 => Flight3Spec {
+            customer_column: "c_city",
+            customer_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            supplier_column: "s_city",
+            supplier_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            date_column: "d_yearmonthnum",
+            date_pred: Pred::Eq(dict::yearmonthnum(1997, 12)),
+            customer_group_column: "c_city",
+            supplier_group_column: "s_city",
+        },
+        _ => unreachable!("flight 3 handles Q3.x only"),
+    }
+}
+
+pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+    let spec = spec(query);
+
+    // Customer restriction.
+    let customer_attr = q.base(spec.customer_column);
+    let customer_pos = q.filter("customer_pos", customer_attr, spec.customer_pred);
+    let c_custkey = q.base("c_custkey");
+    let customer_keys = q.project("customer_keys", c_custkey, &customer_pos);
+    let lo_custkey = q.base("lo_custkey");
+    let pos_customer = q.semi_join("lo_pos_customer", lo_custkey, &customer_keys);
+
+    // Supplier restriction.
+    let supplier_attr = q.base(spec.supplier_column);
+    let supplier_pos = q.filter("supplier_pos", supplier_attr, spec.supplier_pred);
+    let s_suppkey = q.base("s_suppkey");
+    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
+    let lo_suppkey = q.base("lo_suppkey");
+    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+
+    // Date restriction.
+    let date_attr = q.base(spec.date_column);
+    let date_pos = q.filter("date_pos", date_attr, spec.date_pred);
+    let d_datekey = q.base("d_datekey");
+    let date_keys = q.project("date_keys", d_datekey, &date_pos);
+    let lo_orderdate = q.base("lo_orderdate");
+    let pos_date = q.semi_join("lo_pos_date", lo_orderdate, &date_keys);
+
+    let pos = q.intersect("lo_pos_cust_supp", &pos_customer, &pos_supplier);
+    let pos = q.intersect("lo_pos", &pos, &pos_date);
+
+    // Group-by attributes per restricted fact row.
+    let custkey_at_pos = q.project("custkey_at_pos", lo_custkey, &pos);
+    let customer_group_attr = q.base(spec.customer_group_column);
+    let customer_per_row =
+        attribute_per_row(q, "customer_attr", &custkey_at_pos, c_custkey, customer_group_attr);
+
+    let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
+    let supplier_group_attr = q.base(spec.supplier_group_column);
+    let supplier_per_row =
+        attribute_per_row(q, "supplier_attr", &suppkey_at_pos, s_suppkey, supplier_group_attr);
+
+    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
+    let d_year = q.base("d_year");
+    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+
+    // Grouping and aggregation.
+    let group_customer = q.group("group_customer", &customer_per_row);
+    let group_supplier = q.group_refine("group_customer_supplier", &group_customer, &supplier_per_row);
+    let group = q.group_refine("group_customer_supplier_year", &group_supplier, &year_per_row);
+
+    let lo_revenue = q.base("lo_revenue");
+    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
+    let sums = q.grouped_sum("sum_revenue", &group, &revenue_at_pos);
+
+    let customer_keys_out = q.project("result_customer", &customer_per_row, &group.representatives);
+    let supplier_keys_out = q.project("result_supplier", &supplier_per_row, &group.representatives);
+    let year_keys_out = q.project("result_year", &year_per_row, &group.representatives);
+
+    QueryResult {
+        group_keys: vec![
+            customer_keys_out.decompress(),
+            supplier_keys_out.decompress(),
+            year_keys_out.decompress(),
+        ],
+        values: sums.decompress(),
+    }
+}

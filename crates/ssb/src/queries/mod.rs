@@ -1,0 +1,460 @@
+//! The 13 SSB queries, implemented operator-at-a-time against the engine.
+//!
+//! Every query follows the same star-join pattern MonetDB-style plans use
+//! (and which the paper's MorphStore plans imitate, Section 5.2):
+//!
+//! 1. each filtered dimension table is reduced to the set of its qualifying
+//!    primary keys (select + project),
+//! 2. the fact table is restricted by one semi-join per qualifying dimension
+//!    (producing sorted lineorder position lists) and the position lists are
+//!    intersected,
+//! 3. the group-by attributes are fetched by joining the restricted foreign
+//!    keys back to the dimensions and projecting the attribute columns,
+//! 4. grouping and grouped summation produce the result.
+//!
+//! Every base column touched and every intermediate produced is recorded in
+//! the [`ExecutionContext`] under a stable name (`"<query>/<step>"`), so the
+//! format-selection strategies can assign each one an individual format and
+//! the harness can account footprints exactly like the paper does.
+
+mod flight1;
+mod flight2;
+mod flight3;
+mod flight4;
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morphstore_engine::{
+    agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join, project,
+    select, select_between, semi_join, BinaryOp, CmpOp, ExecutionContext, GroupResult,
+};
+
+use crate::data::SsbData;
+
+/// Identifier of one of the 13 SSB queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SsbQuery {
+    Q1_1,
+    Q1_2,
+    Q1_3,
+    Q2_1,
+    Q2_2,
+    Q2_3,
+    Q3_1,
+    Q3_2,
+    Q3_3,
+    Q3_4,
+    Q4_1,
+    Q4_2,
+    Q4_3,
+}
+
+impl SsbQuery {
+    /// All 13 queries in benchmark order.
+    pub fn all() -> [SsbQuery; 13] {
+        use SsbQuery::*;
+        [Q1_1, Q1_2, Q1_3, Q2_1, Q2_2, Q2_3, Q3_1, Q3_2, Q3_3, Q3_4, Q4_1, Q4_2, Q4_3]
+    }
+
+    /// The label used by the paper's figures ("1.1" … "4.3").
+    pub fn label(&self) -> &'static str {
+        use SsbQuery::*;
+        match self {
+            Q1_1 => "1.1",
+            Q1_2 => "1.2",
+            Q1_3 => "1.3",
+            Q2_1 => "2.1",
+            Q2_2 => "2.2",
+            Q2_3 => "2.3",
+            Q3_1 => "3.1",
+            Q3_2 => "3.2",
+            Q3_3 => "3.3",
+            Q3_4 => "3.4",
+            Q4_1 => "4.1",
+            Q4_2 => "4.2",
+            Q4_3 => "4.3",
+        }
+    }
+
+    /// The base columns the query touches (used by the format-combination
+    /// searches of Figures 7–10 to enumerate assignable columns).
+    pub fn base_columns(&self) -> &'static [&'static str] {
+        use SsbQuery::*;
+        match self {
+            Q1_1 => &[
+                "d_datekey", "d_year", "lo_orderdate", "lo_quantity", "lo_discount",
+                "lo_extendedprice",
+            ],
+            Q1_2 => &[
+                "d_datekey", "d_yearmonthnum", "lo_orderdate", "lo_quantity", "lo_discount",
+                "lo_extendedprice",
+            ],
+            Q1_3 => &[
+                "d_datekey", "d_year", "d_weeknuminyear", "lo_orderdate", "lo_quantity",
+                "lo_discount", "lo_extendedprice",
+            ],
+            Q2_1 | Q2_2 | Q2_3 => &[
+                "p_partkey", "p_category", "p_brand1", "s_suppkey", "s_region", "d_datekey",
+                "d_year", "lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
+            ],
+            Q3_1 => &[
+                "c_custkey", "c_region", "c_nation", "s_suppkey", "s_region", "s_nation",
+                "d_datekey", "d_year", "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
+            ],
+            Q3_2 | Q3_3 => &[
+                "c_custkey", "c_nation", "c_city", "s_suppkey", "s_nation", "s_city", "d_datekey",
+                "d_year", "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
+            ],
+            Q3_4 => &[
+                "c_custkey", "c_city", "s_suppkey", "s_city", "d_datekey", "d_year",
+                "d_yearmonthnum", "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
+            ],
+            Q4_1 => &[
+                "c_custkey", "c_region", "c_nation", "s_suppkey", "s_region", "p_partkey",
+                "p_mfgr", "d_datekey", "d_year", "lo_custkey", "lo_suppkey", "lo_partkey",
+                "lo_orderdate", "lo_revenue", "lo_supplycost",
+            ],
+            Q4_2 => &[
+                "c_custkey", "c_region", "s_suppkey", "s_region", "s_nation", "p_partkey",
+                "p_mfgr", "p_category", "d_datekey", "d_year", "lo_custkey", "lo_suppkey",
+                "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost",
+            ],
+            Q4_3 => &[
+                "c_custkey", "c_region", "s_suppkey", "s_nation", "s_city", "p_partkey",
+                "p_category", "p_brand1", "d_datekey", "d_year", "lo_custkey", "lo_suppkey",
+                "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost",
+            ],
+        }
+    }
+
+    /// Execute the query on `data`, recording footprints and timings in
+    /// `ctx`.
+    pub fn execute(&self, data: &SsbData, ctx: &mut ExecutionContext) -> QueryResult {
+        let mut q = QueryCtx {
+            data,
+            ctx,
+            prefix: self.label(),
+        };
+        use SsbQuery::*;
+        match self {
+            Q1_1 | Q1_2 | Q1_3 => flight1::run(*self, &mut q),
+            Q2_1 | Q2_2 | Q2_3 => flight2::run(*self, &mut q),
+            Q3_1 | Q3_2 | Q3_3 | Q3_4 => flight3::run(*self, &mut q),
+            Q4_1 | Q4_2 | Q4_3 => flight4::run(*self, &mut q),
+        }
+    }
+}
+
+impl std::fmt::Display for SsbQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}", self.label())
+    }
+}
+
+/// The result of an SSB query: zero or more group-key columns plus the
+/// aggregated measure, row-aligned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// One vector per `GROUP BY` attribute, in query order.
+    pub group_keys: Vec<Vec<u64>>,
+    /// The aggregated value per result row (a single element for the
+    /// ungrouped flight-1 queries).
+    pub values: Vec<u64>,
+}
+
+impl QueryResult {
+    /// The single aggregate of an ungrouped query (flight 1).
+    pub fn single(&self) -> u64 {
+        assert!(self.group_keys.is_empty() && self.values.len() == 1);
+        self.values[0]
+    }
+
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Result rows `(group key tuple, aggregate)` sorted by key tuple, for
+    /// order-insensitive comparisons.
+    pub fn sorted_rows(&self) -> Vec<(Vec<u64>, u64)> {
+        let mut rows: Vec<(Vec<u64>, u64)> = (0..self.values.len())
+            .map(|i| {
+                (
+                    self.group_keys.iter().map(|col| col[i]).collect(),
+                    self.values[i],
+                )
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+/// A filter predicate on a dimension column, as needed by the SSB queries.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Pred {
+    /// Equality with a constant.
+    Eq(u64),
+    /// Inclusive range.
+    Between(u64, u64),
+    /// Comparison with a constant.
+    Cmp(CmpOp, u64),
+    /// Equality with either of two constants (`IN (a, b)`).
+    In2(u64, u64),
+}
+
+/// Per-query execution state shared by the flight implementations: the data,
+/// the execution context and the query prefix for intermediate names.
+pub(crate) struct QueryCtx<'a> {
+    pub data: &'a SsbData,
+    pub ctx: &'a mut ExecutionContext,
+    pub prefix: &'static str,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Fetch a base column, recording it (and its physical size) once.
+    pub fn base(&mut self, name: &str) -> &'a Column {
+        let column = self.data.column(name);
+        self.ctx.record_base(name, column);
+        column
+    }
+
+    /// The format assigned to the intermediate `name` (prefixed with the
+    /// query label).
+    fn fmt(&self, name: &str) -> Format {
+        self.ctx.format_for(&format!("{}/{}", self.prefix, name))
+    }
+
+    fn record(&mut self, name: &str, column: &Column) {
+        let full = format!("{}/{}", self.prefix, name);
+        self.ctx.record_intermediate(&full, column);
+    }
+
+    /// Select positions of `input` matching `pred`, materialised in the
+    /// format assigned to intermediate `name`.
+    pub fn filter(&mut self, name: &str, input: &Column, pred: Pred) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/select:{}", self.prefix, name), || match pred {
+            Pred::Eq(c) => select(CmpOp::Eq, input, c, &format, &settings),
+            Pred::Cmp(op, c) => select(op, input, c, &format, &settings),
+            Pred::Between(lo, hi) => select_between(input, lo, hi, &format, &settings),
+            Pred::In2(a, b) => {
+                let pa = select(CmpOp::Eq, input, a, &format, &settings);
+                let pb = select(CmpOp::Eq, input, b, &format, &settings);
+                intersect_or_merge(&pa, &pb, &format, &settings, false)
+            }
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// Intersect two sorted position columns.
+    pub fn intersect(&mut self, name: &str, a: &Column, b: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/intersect:{}", self.prefix, name), || {
+            intersect_sorted(a, b, &format, &settings)
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// Project `data[positions]`.
+    pub fn project(&mut self, name: &str, data: &Column, positions: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/project:{}", self.prefix, name), || {
+            project(data, positions, &format, &settings)
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// Semi-join: positions of `probe` whose value occurs in `build`.
+    pub fn semi_join(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/semijoin:{}", self.prefix, name), || {
+            semi_join(probe, build, &format, &settings)
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// N:1 join of foreign keys against a dimension key column; returns the
+    /// build-side (dimension) positions aligned with the probe rows.
+    pub fn join_positions(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        // The probe-side positions of an N:1 foreign-key join are simply
+        // 0..len (every fact row matches exactly one dimension row); they are
+        // not used by the plan, so they are materialised in DELTA + BP (which
+        // is ideal for a sorted identity sequence) irrespective of the format
+        // assigned to the recorded build-side positions.
+        let (probe_pos, build_pos) = self.ctx.time(&format!("{}/join:{}", self.prefix, name), || {
+            join(probe, build, (&Format::DeltaDynBp, &format), &settings)
+        });
+        assert_eq!(
+            probe_pos.logical_len(),
+            probe.logical_len(),
+            "SSB foreign keys must all find their dimension row"
+        );
+        self.record(name, &build_pos);
+        build_pos
+    }
+
+    /// Group by one key column.  The per-row group identifiers and the
+    /// per-group representative positions are distinct intermediates with
+    /// distinct data characteristics (dense small ids vs. sorted positions),
+    /// so they are named and format-assigned separately (`<name>` and
+    /// `<name>_reps`).
+    pub fn group(&mut self, name: &str, keys: &Column) -> GroupResult {
+        let ids_format = self.fmt(name);
+        let reps_name = format!("{name}_reps");
+        let reps_format = self.fmt(&reps_name);
+        let settings = self.ctx.settings;
+        let result = self.ctx.time(&format!("{}/group:{}", self.prefix, name), || {
+            group_by(keys, (&ids_format, &reps_format), &settings)
+        });
+        self.record(name, &result.group_ids);
+        self.record(&reps_name, &result.representatives);
+        result
+    }
+
+    /// Refine a grouping by an additional key column (see [`QueryCtx::group`]
+    /// for the naming of the two outputs).
+    pub fn group_refine(&mut self, name: &str, previous: &GroupResult, keys: &Column) -> GroupResult {
+        let ids_format = self.fmt(name);
+        let reps_name = format!("{name}_reps");
+        let reps_format = self.fmt(&reps_name);
+        let settings = self.ctx.settings;
+        let result = self.ctx.time(&format!("{}/group:{}", self.prefix, name), || {
+            group_by_refine(previous, keys, (&ids_format, &reps_format), &settings)
+        });
+        self.record(name, &result.group_ids);
+        self.record(&reps_name, &result.representatives);
+        result
+    }
+
+    /// Element-wise binary calculation.
+    pub fn calc(&mut self, name: &str, op: BinaryOp, lhs: &Column, rhs: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/calc:{}", self.prefix, name), || {
+            calc_binary(op, lhs, rhs, &format, &settings)
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// Grouped summation; the result is a final query output and therefore
+    /// always uncompressed (Section 3.3: the final query output columns
+    /// should always be uncompressed).
+    pub fn grouped_sum(&mut self, name: &str, group: &GroupResult, values: &Column) -> Column {
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
+            agg_sum_grouped(
+                &group.group_ids,
+                values,
+                group.group_count,
+                &Format::Uncompressed,
+                &settings,
+            )
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// Whole-column summation (flight 1).
+    pub fn sum(&mut self, name: &str, values: &Column) -> u64 {
+        let settings = self.ctx.settings;
+        self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
+            morphstore_engine::agg_sum(values, &settings)
+        })
+    }
+}
+
+/// Union or intersection helper for `Pred::In2` (kept outside the struct to
+/// avoid borrowing issues inside the timing closure).
+fn intersect_or_merge(
+    a: &Column,
+    b: &Column,
+    format: &Format,
+    settings: &morphstore_engine::ExecSettings,
+    intersect: bool,
+) -> Column {
+    if intersect {
+        morphstore_engine::intersect_sorted(a, b, format, settings)
+    } else {
+        morphstore_engine::merge_sorted(a, b, format, settings)
+    }
+}
+
+/// Shared tail of query flights 2–4: fetch a dimension attribute for every
+/// restricted fact row by joining the projected foreign keys with the
+/// dimension key column and projecting the attribute.
+pub(crate) fn attribute_per_row(
+    q: &mut QueryCtx<'_>,
+    name: &str,
+    fact_fk_at_pos: &Column,
+    dim_key: &Column,
+    dim_attr: &Column,
+) -> Column {
+    let dim_positions = q.join_positions(&format!("{name}_dimpos"), fact_fk_at_pos, dim_key);
+    q.project(&format!("{name}_per_row"), dim_attr, &dim_positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_labels_and_enumeration() {
+        assert_eq!(SsbQuery::all().len(), 13);
+        let labels: std::collections::HashSet<&str> =
+            SsbQuery::all().iter().map(|q| q.label()).collect();
+        assert_eq!(labels.len(), 13);
+        assert_eq!(SsbQuery::Q1_1.to_string(), "Q1.1");
+        assert_eq!(SsbQuery::Q4_3.label(), "4.3");
+    }
+
+    #[test]
+    fn base_columns_are_plausible() {
+        for query in SsbQuery::all() {
+            let columns = query.base_columns();
+            assert!(columns.len() >= 6, "{query} lists too few base columns");
+            assert!(columns.len() <= 16, "{query} lists too many base columns");
+            // Every query reads at least one lineorder measure or key.
+            assert!(columns.iter().any(|c| c.starts_with("lo_")));
+        }
+    }
+
+    #[test]
+    fn query_result_helpers() {
+        let result = QueryResult {
+            group_keys: vec![vec![1997, 1998], vec![5, 3]],
+            values: vec![100, 200],
+        };
+        assert_eq!(result.row_count(), 2);
+        let rows = result.sorted_rows();
+        assert_eq!(rows[0], (vec![1997, 5], 100));
+        assert_eq!(rows[1], (vec![1998, 3], 200));
+        let single = QueryResult {
+            group_keys: vec![],
+            values: vec![42],
+        };
+        assert_eq!(single.single(), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_panics_on_grouped_results() {
+        let result = QueryResult {
+            group_keys: vec![vec![1]],
+            values: vec![1],
+        };
+        result.single();
+    }
+}

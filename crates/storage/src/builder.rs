@@ -1,0 +1,199 @@
+//! The compressing column builder — the output-side buffer layer of the
+//! on-the-fly de/re-compression wrapper (Figure 4 of the paper).
+//!
+//! Operators produce uncompressed values (one vector register or one small
+//! chunk at a time) and push them into a [`ColumnBuilder`].  The builder
+//! appends them to an internal L1-cache-resident buffer of
+//! [`CACHE_BUFFER_ELEMENTS`] values (16 KiB, half the L1 data cache — the
+//! size used in the paper's evaluation, Section 5).  Whenever the buffer
+//! fills up, the output format's compression routine is invoked on it and the
+//! compressed bytes are appended to the output column's buffer.  At the end,
+//! whatever whole blocks remain are compressed and the rest is stored as the
+//! uncompressed remainder — steps 6–9 of Figure 4.
+
+use morph_compression::{compressor_for, uncompressed, Compressor, Format, CACHE_BUFFER_ELEMENTS};
+
+use crate::Column;
+
+/// Incrementally builds a [`Column`] in a chosen format from a stream of
+/// uncompressed values.
+pub struct ColumnBuilder {
+    format: Format,
+    buffer: Vec<u64>,
+    compressor: Box<dyn Compressor>,
+    data: Vec<u8>,
+    main_len: usize,
+    total_len: usize,
+}
+
+impl std::fmt::Debug for ColumnBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnBuilder")
+            .field("format", &self.format)
+            .field("buffered", &self.buffer.len())
+            .field("total_len", &self.total_len)
+            .finish()
+    }
+}
+
+impl ColumnBuilder {
+    /// Create a builder producing a column in `format`.
+    pub fn new(format: Format) -> ColumnBuilder {
+        ColumnBuilder {
+            format,
+            buffer: Vec::with_capacity(CACHE_BUFFER_ELEMENTS),
+            compressor: compressor_for(&format),
+            data: Vec::new(),
+            main_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// The output format of this builder.
+    pub fn format(&self) -> &Format {
+        &self.format
+    }
+
+    /// Number of values pushed so far.
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Whether no values have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// Append a single value.
+    #[inline]
+    pub fn push(&mut self, value: u64) {
+        self.buffer.push(value);
+        self.total_len += 1;
+        if self.buffer.len() == CACHE_BUFFER_ELEMENTS {
+            self.flush_full_buffer();
+        }
+    }
+
+    /// Append a slice of values.
+    pub fn push_slice(&mut self, values: &[u64]) {
+        let mut rest = values;
+        self.total_len += values.len();
+        while !rest.is_empty() {
+            let space = CACHE_BUFFER_ELEMENTS - self.buffer.len();
+            let take = space.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() == CACHE_BUFFER_ELEMENTS {
+                self.flush_full_buffer();
+            }
+        }
+    }
+
+    /// Compress the full cache-resident buffer.  The buffer size is a
+    /// multiple of every format's block size, so the whole buffer can be
+    /// handed to the compressor.
+    fn flush_full_buffer(&mut self) {
+        debug_assert_eq!(self.buffer.len(), CACHE_BUFFER_ELEMENTS);
+        self.compressor.append(&self.buffer, &mut self.data);
+        self.main_len += self.buffer.len();
+        self.buffer.clear();
+    }
+
+    /// Finish the column: compress the remaining whole blocks, then append
+    /// the rest as the uncompressed remainder.
+    pub fn finish(mut self) -> Column {
+        let block = self.format.block_size();
+        let compressible = self.buffer.len() - self.buffer.len() % block;
+        if compressible > 0 {
+            self.compressor
+                .append(&self.buffer[..compressible], &mut self.data);
+            self.main_len += compressible;
+        }
+        self.compressor.finish(&mut self.data);
+        let main_bytes = self.data.len();
+        uncompressed::encode_into(&self.buffer[compressible..], &mut self.data);
+        Column::from_parts(
+            self.format,
+            self.total_len,
+            self.main_len,
+            main_bytes,
+            self.data,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 31) % 509).collect()
+    }
+
+    #[test]
+    fn builder_equals_whole_buffer_compression() {
+        let values = sample(10_000);
+        let max = *values.iter().max().unwrap();
+        for format in Format::all_formats(max) {
+            let mut builder = ColumnBuilder::new(format);
+            for &v in &values {
+                builder.push(v);
+            }
+            let streamed = builder.finish();
+            let direct = Column::compress(&values, &format);
+            assert_eq!(streamed, direct, "format {format}");
+        }
+    }
+
+    #[test]
+    fn push_slice_equals_push_loop() {
+        let values = sample(7531);
+        for format in [Format::DynBp, Format::DeltaDynBp, Format::Rle] {
+            let mut by_slice = ColumnBuilder::new(format);
+            // Push in odd-sized pieces to exercise buffer boundaries.
+            for chunk in values.chunks(777) {
+                by_slice.push_slice(chunk);
+            }
+            let mut by_value = ColumnBuilder::new(format);
+            for &v in &values {
+                by_value.push(v);
+            }
+            assert_eq!(by_slice.finish(), by_value.finish());
+        }
+    }
+
+    #[test]
+    fn builder_tracks_length() {
+        let mut builder = ColumnBuilder::new(Format::DynBp);
+        assert!(builder.is_empty());
+        builder.push_slice(&[1, 2, 3]);
+        builder.push(4);
+        assert_eq!(builder.len(), 4);
+        assert_eq!(builder.format(), &Format::DynBp);
+        let column = builder.finish();
+        assert_eq!(column.decompress(), vec![1, 2, 3, 4]);
+        assert_eq!(column.main_part_len(), 0);
+        assert_eq!(column.remainder_len(), 4);
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_column() {
+        for format in Format::all_formats(100) {
+            let column = ColumnBuilder::new(format).finish();
+            assert!(column.is_empty());
+            assert_eq!(column.size_used_bytes(), 0, "format {format}");
+        }
+    }
+
+    #[test]
+    fn remainder_is_at_most_one_block() {
+        let values = sample(5000);
+        let column = {
+            let mut b = ColumnBuilder::new(Format::DynBp);
+            b.push_slice(&values);
+            b.finish()
+        };
+        assert!(column.remainder_len() < 512);
+        assert_eq!(column.main_part_len() + column.remainder_len(), 5000);
+    }
+}

@@ -1,0 +1,322 @@
+//! The column data structure.
+
+use morph_compression::{
+    compress_main_part, for_each_decompressed_block, get_element, morph, uncompressed, Format,
+};
+
+use crate::builder::ColumnBuilder;
+
+/// An immutable column of unsigned 64-bit integers, stored in one contiguous
+/// byte buffer as a compressed main part followed by an uncompressed
+/// remainder (Figure 3 of the paper).
+///
+/// For a column of `n` data elements and a format with block size `bs`, the
+/// main part holds the first `n - n % bs` elements encoded in the column's
+/// format and the remainder holds the last `n % bs` elements as plain 64-bit
+/// integers.  The metadata (logical length, main-part length and byte sizes)
+/// is kept alongside the buffer, mirroring the separate metadata structure of
+/// the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    format: Format,
+    /// Logical number of data elements.
+    len: usize,
+    /// Number of data elements in the compressed main part.
+    main_len: usize,
+    /// Byte length of the compressed main part within `data`.
+    main_bytes: usize,
+    /// Main part bytes followed by the uncompressed remainder.
+    data: Vec<u8>,
+}
+
+impl Column {
+    /// Create an uncompressed column from a slice of values.
+    pub fn from_slice(values: &[u64]) -> Column {
+        Column::compress(values, &Format::Uncompressed)
+    }
+
+    /// Create an uncompressed column from a vector of values.
+    pub fn from_vec(values: Vec<u64>) -> Column {
+        Column::from_slice(&values)
+    }
+
+    /// Compress `values` into a column with the given `format`.
+    pub fn compress(values: &[u64], format: &Format) -> Column {
+        let (main, main_len) = compress_main_part(format, values);
+        let mut data = main;
+        let main_bytes = data.len();
+        uncompressed::encode_into(&values[main_len..], &mut data);
+        Column {
+            format: *format,
+            len: values.len(),
+            main_len,
+            main_bytes,
+            data,
+        }
+    }
+
+    /// Assemble a column from raw parts.  Used by [`ColumnBuilder`]; not part
+    /// of the public construction API.
+    pub(crate) fn from_parts(
+        format: Format,
+        len: usize,
+        main_len: usize,
+        main_bytes: usize,
+        data: Vec<u8>,
+    ) -> Column {
+        debug_assert!(main_len <= len);
+        debug_assert_eq!(data.len(), main_bytes + (len - main_len) * 8);
+        Column {
+            format,
+            len,
+            main_len,
+            main_bytes,
+            data,
+        }
+    }
+
+    /// The column's compression format.
+    pub fn format(&self) -> &Format {
+        &self.format
+    }
+
+    /// Logical number of data elements.
+    pub fn logical_len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column holds no data elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of data elements stored in the compressed main part.
+    pub fn main_part_len(&self) -> usize {
+        self.main_len
+    }
+
+    /// Number of data elements stored in the uncompressed remainder.
+    pub fn remainder_len(&self) -> usize {
+        self.len - self.main_len
+    }
+
+    /// Bytes of the compressed main part.
+    pub fn main_part_bytes(&self) -> &[u8] {
+        &self.data[..self.main_bytes]
+    }
+
+    /// The uncompressed remainder, decoded.
+    pub fn remainder_values(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.remainder_len());
+        let bytes = &self.data[self.main_bytes..];
+        for chunk in bytes.chunks_exact(8) {
+            out.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        out
+    }
+
+    /// Total number of bytes used by the column's data (compressed main part
+    /// plus uncompressed remainder).  This is the "memory footprint" metric
+    /// used throughout the paper's evaluation.
+    pub fn size_used_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Decompress the whole column into a vector.
+    pub fn decompress(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_chunk(&mut |chunk| out.extend_from_slice(chunk));
+        out
+    }
+
+    /// Visit the column's values as a sequence of cache-resident uncompressed
+    /// chunks: the main part is decompressed block by block, then the
+    /// remainder is passed as one final chunk.
+    ///
+    /// This is the input-side buffer layer of Figure 4 — no operator ever
+    /// needs the whole column in uncompressed form (DP3).
+    pub fn for_each_chunk(&self, consumer: &mut dyn FnMut(&[u64])) {
+        for_each_decompressed_block(
+            &self.format,
+            self.main_part_bytes(),
+            self.main_len,
+            consumer,
+        );
+        if self.remainder_len() > 0 {
+            let remainder = self.remainder_values();
+            consumer(&remainder);
+        }
+    }
+
+    /// Random read access to the value at logical position `idx`.
+    ///
+    /// Returns `None` if `idx` is out of bounds *or* the format does not
+    /// support random access (Section 4.2: only uncompressed data and static
+    /// BP do); the caller is expected to morph the column first in that case.
+    pub fn get(&self, idx: usize) -> Option<u64> {
+        if idx >= self.len {
+            return None;
+        }
+        if idx >= self.main_len {
+            let offset = self.main_bytes + (idx - self.main_len) * 8;
+            return Some(u64::from_le_bytes(
+                self.data[offset..offset + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        get_element(&self.format, self.main_part_bytes(), self.main_len, idx)
+    }
+
+    /// Whether [`Column::get`] is supported for every position of this column.
+    pub fn supports_random_access(&self) -> bool {
+        self.format.supports_random_access()
+    }
+
+    /// Re-encode the column in `target` format ("morphing" at column
+    /// granularity).
+    ///
+    /// When the main part lengths of the source and target representation
+    /// coincide, the direct morph of the compression crate is used; otherwise
+    /// the column is streamed chunk-wise through a [`ColumnBuilder`], so the
+    /// uncompressed data never exceeds a cache-resident chunk either way.
+    pub fn to_format(&self, target: &Format) -> Column {
+        if &self.format == target {
+            return self.clone();
+        }
+        let target_main_len = self.len - self.len % target.block_size();
+        if target_main_len == self.main_len {
+            let main = morph(
+                &self.format,
+                target,
+                self.main_part_bytes(),
+                self.main_len,
+            );
+            let mut data = main;
+            let main_bytes = data.len();
+            data.extend_from_slice(&self.data[self.main_bytes..]);
+            return Column {
+                format: *target,
+                len: self.len,
+                main_len: self.main_len,
+                main_bytes,
+                data,
+            };
+        }
+        let mut builder = ColumnBuilder::new(*target);
+        self.for_each_chunk(&mut |chunk| builder.push_slice(chunk));
+        builder.finish()
+    }
+
+    /// Convenience: decompress and collect into a `Vec<u64>` only if needed,
+    /// otherwise borrow nothing — used by tests and examples for assertions.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.decompress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 13) % 977).collect()
+    }
+
+    #[test]
+    fn figure3_layout_main_part_and_remainder() {
+        // 450 elements with a 512-element block format: everything lands in
+        // the remainder (cf. Figure 3, format C requiring multiples of 100).
+        let values = sample(450);
+        let column = Column::compress(&values, &Format::DynBp);
+        assert_eq!(column.logical_len(), 450);
+        assert_eq!(column.main_part_len(), 0);
+        assert_eq!(column.remainder_len(), 450);
+        assert_eq!(column.size_used_bytes(), 450 * 8);
+        // With static BP (block 64): 448 elements compressed, 2 uncompressed.
+        let column = Column::compress(&values, &Format::StaticBp(10));
+        assert_eq!(column.main_part_len(), 448);
+        assert_eq!(column.remainder_len(), 2);
+        assert_eq!(column.size_used_bytes(), 448 * 10 / 8 + 2 * 8);
+        assert_eq!(column.decompress(), values);
+    }
+
+    #[test]
+    fn roundtrip_all_formats() {
+        let values = sample(3000);
+        let max = *values.iter().max().unwrap();
+        for format in Format::all_formats(max) {
+            let column = Column::compress(&values, &format);
+            assert_eq!(column.logical_len(), values.len());
+            assert_eq!(column.decompress(), values, "format {format}");
+        }
+    }
+
+    #[test]
+    fn compressed_columns_are_smaller() {
+        let values: Vec<u64> = (0..100_000u64).map(|i| i % 64).collect();
+        let uncompressed = Column::from_slice(&values);
+        let compressed = Column::compress(&values, &Format::StaticBp(6));
+        assert_eq!(uncompressed.size_used_bytes(), 800_000);
+        assert!(compressed.size_used_bytes() < uncompressed.size_used_bytes() / 10);
+    }
+
+    #[test]
+    fn random_access() {
+        let values = sample(1000);
+        let column = Column::compress(&values, &Format::StaticBp(10));
+        assert!(column.supports_random_access());
+        for idx in [0, 1, 63, 64, 500, 960, 999] {
+            assert_eq!(column.get(idx), Some(values[idx]));
+        }
+        assert_eq!(column.get(1000), None);
+        let rle = Column::compress(&values, &Format::Rle);
+        assert!(!rle.supports_random_access());
+        assert_eq!(rle.get(3), None);
+        // Positions in the remainder are accessible for every format.
+        let dyn_bp = Column::compress(&values, &Format::DynBp);
+        assert_eq!(dyn_bp.main_part_len(), 512);
+        assert_eq!(dyn_bp.get(700), Some(values[700]));
+    }
+
+    #[test]
+    fn to_format_preserves_content() {
+        let values = sample(2500);
+        let max = *values.iter().max().unwrap();
+        let formats = Format::all_formats(max);
+        for src in &formats {
+            let column = Column::compress(&values, src);
+            for dst in &formats {
+                let morphed = column.to_format(dst);
+                assert_eq!(morphed.format(), dst);
+                assert_eq!(morphed.decompress(), values, "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_format_same_format_is_identity() {
+        let values = sample(1024);
+        let column = Column::compress(&values, &Format::DynBp);
+        let same = column.to_format(&Format::DynBp);
+        assert_eq!(same, column);
+    }
+
+    #[test]
+    fn chunks_cover_all_values_in_order() {
+        let values = sample(5000);
+        let column = Column::compress(&values, &Format::DeltaDynBp);
+        let mut collected = Vec::new();
+        column.for_each_chunk(&mut |chunk| collected.extend_from_slice(chunk));
+        assert_eq!(collected, values);
+    }
+
+    #[test]
+    fn empty_column() {
+        let column = Column::from_slice(&[]);
+        assert!(column.is_empty());
+        assert_eq!(column.size_used_bytes(), 0);
+        assert_eq!(column.decompress(), Vec::<u64>::new());
+        assert_eq!(column.get(0), None);
+        let morphed = column.to_format(&Format::Rle);
+        assert!(morphed.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Synthetic data generators reproducing the columns of the paper's
+//! micro-benchmarks (Table 1) and generic building blocks for workloads.
+//!
+//! All generators are deterministic for a given seed (the benchmark harness
+//! uses fixed seeds so that paper-style experiments are reproducible run to
+//! run).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four synthetic columns of Table 1.
+///
+/// | column | distribution                                   | sorted | max bits |
+/// |--------|-----------------------------------------------|--------|----------|
+/// | C1     | uniform in `[0, 63]`                           | no     | 6        |
+/// | C2     | 99.99 % uniform in `[0, 63]`, 0.01 % `2^63 - 1`| no     | 63       |
+/// | C3     | uniform in `[2^62, 2^62 + 63]`                 | no     | 63       |
+/// | C4     | uniform in `[2^47, 2^47 + 100_000]`            | yes    | 48       |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticColumn {
+    /// Uniform small values.
+    C1,
+    /// Small values with rare huge outliers.
+    C2,
+    /// Narrow range of huge values.
+    C3,
+    /// Sorted values around `2^47`.
+    C4,
+}
+
+impl SyntheticColumn {
+    /// All four columns, in Table 1 order.
+    pub fn all() -> [SyntheticColumn; 4] {
+        [
+            SyntheticColumn::C1,
+            SyntheticColumn::C2,
+            SyntheticColumn::C3,
+            SyntheticColumn::C4,
+        ]
+    }
+
+    /// Label used in the figures ("C1" … "C4").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyntheticColumn::C1 => "C1",
+            SyntheticColumn::C2 => "C2",
+            SyntheticColumn::C3 => "C3",
+            SyntheticColumn::C4 => "C4",
+        }
+    }
+
+    /// Maximum effective bit width of the column per Table 1.
+    pub fn max_bit_width(&self) -> u8 {
+        match self {
+            SyntheticColumn::C1 => 6,
+            SyntheticColumn::C2 | SyntheticColumn::C3 => 63,
+            SyntheticColumn::C4 => 48,
+        }
+    }
+
+    /// Whether the column is sorted per Table 1.
+    pub fn is_sorted(&self) -> bool {
+        matches!(self, SyntheticColumn::C4)
+    }
+
+    /// Generate `n` data elements of this column with the given `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (*self as u64 + 1).wrapping_mul(0x9E37));
+        match self {
+            SyntheticColumn::C1 => (0..n).map(|_| rng.gen_range(0..=63u64)).collect(),
+            SyntheticColumn::C2 => (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.0001) {
+                        (1u64 << 63) - 1
+                    } else {
+                        rng.gen_range(0..=63u64)
+                    }
+                })
+                .collect(),
+            SyntheticColumn::C3 => {
+                let base = 1u64 << 62;
+                (0..n).map(|_| base + rng.gen_range(0..=63u64)).collect()
+            }
+            SyntheticColumn::C4 => {
+                let base = 1u64 << 47;
+                let mut values: Vec<u64> =
+                    (0..n).map(|_| base + rng.gen_range(0..=100_000u64)).collect();
+                values.sort_unstable();
+                values
+            }
+        }
+    }
+
+    /// Generate the select-operator micro-benchmark variant of this column
+    /// (Section 5.1): 90 % of the elements are the a-priori known lowest
+    /// value of the distribution, the remaining 10 % follow the distribution.
+    ///
+    /// Returns the values and the predicate constant (the lowest value).
+    pub fn generate_select_input(&self, n: usize, seed: u64) -> (Vec<u64>, u64) {
+        let lowest = match self {
+            SyntheticColumn::C1 | SyntheticColumn::C2 => 0,
+            SyntheticColumn::C3 => 1u64 << 62,
+            SyntheticColumn::C4 => 1u64 << 47,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE ^ (*self as u64 + 1));
+        let tail = self.generate(n, seed.wrapping_add(17));
+        let mut values: Vec<u64> = (0..n)
+            .map(|i| {
+                if rng.gen_bool(0.9) {
+                    lowest
+                } else {
+                    tail[i]
+                }
+            })
+            .collect();
+        if self.is_sorted() {
+            values.sort_unstable();
+        }
+        (values, lowest)
+    }
+}
+
+/// Uniformly distributed values in `[low, high]`.
+pub fn uniform(n: usize, low: u64, high: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(low..=high)).collect()
+}
+
+/// Sorted uniformly distributed values in `[low, high]`.
+pub fn sorted_uniform(n: usize, low: u64, high: u64, seed: u64) -> Vec<u64> {
+    let mut values = uniform(n, low, high, seed);
+    values.sort_unstable();
+    values
+}
+
+/// Values with runs: each run's value is uniform in `[0, distinct)` and each
+/// run's length is uniform in `[1, max_run_len]`.
+pub fn with_runs(n: usize, distinct: u64, max_run_len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    while values.len() < n {
+        let value = rng.gen_range(0..distinct);
+        let run = rng.gen_range(1..=max_run_len).min(n - values.len());
+        values.extend(std::iter::repeat(value).take(run));
+    }
+    values
+}
+
+/// A skewed (approximately Zipfian) key distribution over `[0, domain)`,
+/// used to model foreign-key columns with popular values.
+pub fn skewed_keys(n: usize, domain: u64, skew: f64, seed: u64) -> Vec<u64> {
+    assert!(domain > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Inverse-power transform: dense near 0, sparse near `domain`.
+            let key = (u.powf(1.0 + skew) * domain as f64) as u64;
+            key.min(domain - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnStats;
+
+    const N: usize = 100_000;
+
+    #[test]
+    fn c1_characteristics_match_table1() {
+        let values = SyntheticColumn::C1.generate(N, 42);
+        let stats = ColumnStats::from_values(&values);
+        assert_eq!(stats.len, N);
+        assert!(stats.max <= 63);
+        assert_eq!(stats.max_bit_width(), 6);
+        assert!(!stats.sorted);
+    }
+
+    #[test]
+    fn c2_has_rare_huge_outliers() {
+        let values = SyntheticColumn::C2.generate(N, 42);
+        let stats = ColumnStats::from_values(&values);
+        assert_eq!(stats.max, (1 << 63) - 1);
+        assert_eq!(stats.max_bit_width(), 63);
+        let outliers = values.iter().filter(|&&v| v > 63).count();
+        // 0.01 % of 100k = ~10 outliers; allow generous slack.
+        assert!(outliers > 0 && outliers < 60, "outliers = {outliers}");
+    }
+
+    #[test]
+    fn c3_narrow_range_of_huge_values() {
+        let values = SyntheticColumn::C3.generate(N, 42);
+        let stats = ColumnStats::from_values(&values);
+        assert!(stats.min >= 1 << 62);
+        assert!(stats.max <= (1 << 62) + 63);
+        assert_eq!(stats.max_bit_width(), 63);
+        assert_eq!(stats.range_bit_width, 6);
+    }
+
+    #[test]
+    fn c4_sorted_around_2_pow_47() {
+        let values = SyntheticColumn::C4.generate(N, 42);
+        let stats = ColumnStats::from_values(&values);
+        assert!(stats.sorted);
+        assert_eq!(stats.max_bit_width(), 48);
+        assert!(stats.min >= 1 << 47);
+        assert!(stats.max <= (1 << 47) + 100_000);
+    }
+
+    #[test]
+    fn table1_metadata_helpers() {
+        assert_eq!(SyntheticColumn::all().len(), 4);
+        assert_eq!(SyntheticColumn::C1.label(), "C1");
+        assert_eq!(SyntheticColumn::C1.max_bit_width(), 6);
+        assert_eq!(SyntheticColumn::C4.max_bit_width(), 48);
+        assert!(SyntheticColumn::C4.is_sorted());
+        assert!(!SyntheticColumn::C2.is_sorted());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for column in SyntheticColumn::all() {
+            assert_eq!(column.generate(1000, 7), column.generate(1000, 7));
+            assert_ne!(column.generate(1000, 7), column.generate(1000, 8));
+        }
+        assert_eq!(uniform(100, 0, 50, 3), uniform(100, 0, 50, 3));
+    }
+
+    #[test]
+    fn select_input_has_ninety_percent_selectivity() {
+        for column in SyntheticColumn::all() {
+            let (values, constant) = column.generate_select_input(N, 99);
+            let matches = values.iter().filter(|&&v| v == constant).count();
+            let fraction = matches as f64 / N as f64;
+            assert!(
+                (0.85..=0.95).contains(&fraction),
+                "{}: fraction {fraction}",
+                column.label()
+            );
+            if column.is_sorted() {
+                assert!(values.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn run_generator_produces_runs() {
+        let values = with_runs(50_000, 10, 100, 5);
+        let stats = ColumnStats::from_values(&values);
+        assert_eq!(stats.len, 50_000);
+        assert!(stats.avg_run_length() > 5.0);
+        assert!(stats.max < 10);
+    }
+
+    #[test]
+    fn sorted_uniform_is_sorted_and_bounded() {
+        let values = sorted_uniform(10_000, 100, 10_000, 11);
+        let stats = ColumnStats::from_values(&values);
+        assert!(stats.sorted);
+        assert!(stats.min >= 100);
+        assert!(stats.max <= 10_000);
+    }
+
+    #[test]
+    fn skewed_keys_prefer_small_values() {
+        let keys = skewed_keys(100_000, 1000, 1.0, 3);
+        assert!(keys.iter().all(|&k| k < 1000));
+        let small = keys.iter().filter(|&&k| k < 100).count();
+        // With skew, far more than 10 % of the keys fall into the first 10 %.
+        assert!(small > 20_000, "small = {small}");
+    }
+}

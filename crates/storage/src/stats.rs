@@ -1,0 +1,217 @@
+//! Column statistics: the basic data characteristics the cost-based format
+//! selection of Section 5.2 assumes to be known for all intermediates —
+//! "the number of (distinct) data elements, the bit width histogram, and the
+//! sort order".
+
+use std::collections::HashSet;
+
+use morph_compression::bitpack;
+
+use crate::Column;
+
+/// Data characteristics of a column, used by the cost model of `morph-cost`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of data elements.
+    pub len: usize,
+    /// Smallest value (0 for an empty column).
+    pub min: u64,
+    /// Largest value (0 for an empty column).
+    pub max: u64,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Whether the values are in non-decreasing order.
+    pub sorted: bool,
+    /// Number of runs of equal adjacent values (`0` for an empty column).
+    pub runs: usize,
+    /// Histogram of effective bit widths: `bit_width_histogram[w - 1]` counts
+    /// the values whose effective bit width is `w`.
+    pub bit_width_histogram: [usize; 64],
+    /// Average of the absolute differences of consecutive values, as an
+    /// effective bit width; characterises how well DELTA works.
+    pub avg_delta_bit_width: f64,
+    /// Effective bit width of `max - min`; characterises how well FOR works.
+    pub range_bit_width: u8,
+}
+
+impl ColumnStats {
+    /// Compute statistics from a slice of values.
+    pub fn from_values(values: &[u64]) -> ColumnStats {
+        let len = values.len();
+        if len == 0 {
+            return ColumnStats {
+                len: 0,
+                min: 0,
+                max: 0,
+                distinct: 0,
+                sorted: true,
+                runs: 0,
+                bit_width_histogram: [0; 64],
+                avg_delta_bit_width: 0.0,
+                range_bit_width: 1,
+            };
+        }
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sorted = true;
+        let mut runs = 1usize;
+        let mut histogram = [0usize; 64];
+        let mut delta_bits_sum = 0f64;
+        let mut distinct_set: HashSet<u64> = HashSet::with_capacity(len.min(1 << 16));
+        for (i, &value) in values.iter().enumerate() {
+            min = min.min(value);
+            max = max.max(value);
+            histogram[(bitpack::bit_width_of(value) - 1) as usize] += 1;
+            distinct_set.insert(value);
+            if i > 0 {
+                let prev = values[i - 1];
+                if value < prev {
+                    sorted = false;
+                }
+                if value != prev {
+                    runs += 1;
+                }
+                let delta = value.abs_diff(prev);
+                delta_bits_sum += bitpack::bit_width_of(delta) as f64;
+            }
+        }
+        let avg_delta_bit_width = if len > 1 {
+            delta_bits_sum / (len - 1) as f64
+        } else {
+            1.0
+        };
+        ColumnStats {
+            len,
+            min,
+            max,
+            distinct: distinct_set.len(),
+            sorted,
+            runs,
+            bit_width_histogram: histogram,
+            avg_delta_bit_width,
+            range_bit_width: bitpack::bit_width_of(max - min),
+        }
+    }
+
+    /// Compute statistics from a column (decompressing it chunk-wise).
+    ///
+    /// Note: `sorted`, `runs` and `avg_delta_bit_width` are computed across
+    /// chunk boundaries, so the result is identical to
+    /// [`ColumnStats::from_values`] on the decompressed data.
+    pub fn from_column(column: &Column) -> ColumnStats {
+        // Chunk-wise computation would duplicate the logic; columns used for
+        // statistics in the engine are moderate in size, so decompress once.
+        ColumnStats::from_values(&column.decompress())
+    }
+
+    /// Effective bit width of the largest value.
+    pub fn max_bit_width(&self) -> u8 {
+        bitpack::bit_width_of(self.max)
+    }
+
+    /// Average effective bit width over all values.
+    pub fn avg_bit_width(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        let total: usize = self
+            .bit_width_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (i + 1) * count)
+            .sum();
+        total as f64 / self.len as f64
+    }
+
+    /// Average run length.
+    pub fn avg_run_length(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        self.len as f64 / self.runs as f64
+    }
+
+    /// Fraction of distinct values (`distinct / len`).
+    pub fn distinct_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.distinct as f64 / self.len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_compression::Format;
+
+    #[test]
+    fn basic_statistics() {
+        let values = vec![5, 5, 5, 9, 9, 2, 1000];
+        let stats = ColumnStats::from_values(&values);
+        assert_eq!(stats.len, 7);
+        assert_eq!(stats.min, 2);
+        assert_eq!(stats.max, 1000);
+        assert_eq!(stats.distinct, 4);
+        assert!(!stats.sorted);
+        assert_eq!(stats.runs, 4);
+        assert_eq!(stats.max_bit_width(), 10);
+        assert_eq!(stats.range_bit_width, 10);
+        assert!((stats.avg_run_length() - 7.0 / 4.0).abs() < 1e-9);
+        assert!((stats.distinct_fraction() - 4.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_detection_and_delta_width() {
+        let sorted: Vec<u64> = (0..1000).map(|i| 1_000_000 + i * 2).collect();
+        let stats = ColumnStats::from_values(&sorted);
+        assert!(stats.sorted);
+        assert_eq!(stats.runs, 1000);
+        assert!(stats.avg_delta_bit_width <= 2.0);
+        assert_eq!(stats.max_bit_width(), 20);
+        // FOR would reduce the data to ~11 bits.
+        assert_eq!(stats.range_bit_width, 11);
+    }
+
+    #[test]
+    fn bit_width_histogram_sums_to_len() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(97) % (1 << 20)).collect();
+        let stats = ColumnStats::from_values(&values);
+        assert_eq!(stats.bit_width_histogram.iter().sum::<usize>(), values.len());
+        assert!(stats.avg_bit_width() <= 20.0);
+        assert!(stats.avg_bit_width() >= 15.0);
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let empty = ColumnStats::from_values(&[]);
+        assert_eq!(empty.len, 0);
+        assert!(empty.sorted);
+        assert_eq!(empty.runs, 0);
+        assert_eq!(empty.avg_run_length(), 0.0);
+        let single = ColumnStats::from_values(&[42]);
+        assert_eq!(single.len, 1);
+        assert_eq!(single.min, 42);
+        assert_eq!(single.max, 42);
+        assert_eq!(single.distinct, 1);
+        assert_eq!(single.runs, 1);
+        assert!(single.sorted);
+    }
+
+    #[test]
+    fn stats_from_column_match_values() {
+        let values: Vec<u64> = (0..3000u64).map(|i| (i * 7) % 100).collect();
+        let column = Column::compress(&values, &Format::DynBp);
+        assert_eq!(ColumnStats::from_column(&column), ColumnStats::from_values(&values));
+    }
+
+    #[test]
+    fn constant_column_is_one_run() {
+        let values = vec![7u64; 500];
+        let stats = ColumnStats::from_values(&values);
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.distinct, 1);
+        assert_eq!(stats.avg_run_length(), 500.0);
+        assert!(stats.sorted);
+    }
+}

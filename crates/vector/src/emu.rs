@@ -1,0 +1,298 @@
+//! Emulated wide backends: 2, 4 and 8 lanes of `u64` in fixed-size arrays.
+//!
+//! The lane-wise loops below are written so that the optimiser turns them
+//! into SSE/AVX2/AVX-512/NEON instructions on targets where those are
+//! available (the arrays have a constant, power-of-two length and the loops
+//! have no data-dependent control flow).  This reproduces the
+//! hardware-oblivious design of the TVL: one operator implementation,
+//! specialised per register width by a type parameter, without committing the
+//! source code to a particular instruction set.
+
+use crate::{VecCmp, VectorExtension};
+
+/// Generic emulated register of `L` 64-bit lanes.
+///
+/// `V128`, `V256` and `V512` are the concrete widths used by the engine and
+/// correspond to SSE, AVX2 and AVX-512 register widths respectively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Wide<const L: usize>;
+
+/// 128-bit registers (2 × u64 lanes).
+pub type V128 = Wide<2>;
+/// 256-bit registers (4 × u64 lanes).
+pub type V256 = Wide<4>;
+/// 512-bit registers (8 × u64 lanes).
+pub type V512 = Wide<8>;
+
+impl<const L: usize> VectorExtension for Wide<L> {
+    const LANES: usize = L;
+    type Reg = [u64; L];
+
+    #[inline(always)]
+    fn set1(value: u64) -> [u64; L] {
+        [value; L]
+    }
+
+    #[inline(always)]
+    fn set_sequence(start: u64, step: u64) -> [u64; L] {
+        let mut reg = [0u64; L];
+        for (i, lane) in reg.iter_mut().enumerate() {
+            *lane = start.wrapping_add(step.wrapping_mul(i as u64));
+        }
+        reg
+    }
+
+    #[inline(always)]
+    fn load(src: &[u64]) -> [u64; L] {
+        let mut reg = [0u64; L];
+        reg.copy_from_slice(&src[..L]);
+        reg
+    }
+
+    #[inline(always)]
+    fn store(dst: &mut [u64], reg: [u64; L]) {
+        dst[..L].copy_from_slice(&reg);
+    }
+
+    #[inline(always)]
+    fn add(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i].wrapping_add(b[i]);
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn sub(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i].wrapping_sub(b[i]);
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn mul(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i].wrapping_mul(b[i]);
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn and(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i] & b[i];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn or(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i] | b[i];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn xor(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i] ^ b[i];
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn shl(a: [u64; L], amount: u32) -> [u64; L] {
+        let mut out = [0u64; L];
+        if amount < 64 {
+            for i in 0..L {
+                out[i] = a[i] << amount;
+            }
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn shr(a: [u64; L], amount: u32) -> [u64; L] {
+        let mut out = [0u64; L];
+        if amount < 64 {
+            for i in 0..L {
+                out[i] = a[i] >> amount;
+            }
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn min(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i].min(b[i]);
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn max(a: [u64; L], b: [u64; L]) -> [u64; L] {
+        let mut out = [0u64; L];
+        for i in 0..L {
+            out[i] = a[i].max(b[i]);
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn cmp(op: VecCmp, a: [u64; L], b: [u64; L]) -> u64 {
+        let mut mask = 0u64;
+        for i in 0..L {
+            mask |= (op.eval(a[i], b[i]) as u64) << i;
+        }
+        mask
+    }
+
+    #[inline(always)]
+    fn hadd(a: [u64; L]) -> u64 {
+        let mut acc = 0u64;
+        for lane in a {
+            acc = acc.wrapping_add(lane);
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn hmax(a: [u64; L]) -> u64 {
+        let mut acc = 0u64;
+        for lane in a {
+            acc = acc.max(lane);
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn hor(a: [u64; L]) -> u64 {
+        let mut acc = 0u64;
+        for lane in a {
+            acc |= lane;
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn compress_store(dst: &mut [u64], mask: u64, reg: [u64; L]) -> usize {
+        let mut written = 0usize;
+        for (i, lane) in reg.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                dst[written] = *lane;
+                written += 1;
+            }
+        }
+        written
+    }
+
+    #[inline(always)]
+    fn extract(reg: [u64; L], idx: usize) -> u64 {
+        reg[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq<const L: usize>() -> [u64; L] {
+        Wide::<L>::set_sequence(0, 1)
+    }
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(V128::LANES, 2);
+        assert_eq!(V256::LANES, 4);
+        assert_eq!(V512::LANES, 8);
+    }
+
+    #[test]
+    fn set_sequence_and_extract() {
+        let reg = V512::set_sequence(10, 3);
+        for i in 0..8 {
+            assert_eq!(V512::extract(reg, i), 10 + 3 * i as u64);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src: Vec<u64> = (100..108).collect();
+        let reg = V512::load(&src);
+        let mut dst = vec![0u64; 8];
+        V512::store(&mut dst, reg);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = seq::<4>();
+        let b = V256::set1(10);
+        assert_eq!(V256::add(a, b), [10, 11, 12, 13]);
+        assert_eq!(V256::sub(b, a), [10, 9, 8, 7]);
+        assert_eq!(V256::mul(a, b), [0, 10, 20, 30]);
+        assert_eq!(V256::min(a, V256::set1(2)), [0, 1, 2, 2]);
+        assert_eq!(V256::max(a, V256::set1(2)), [2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn wrapping_behaviour_matches_scalar() {
+        let a = V128::set1(u64::MAX);
+        let b = V128::set1(2);
+        assert_eq!(V128::add(a, b), [1, 1]);
+        assert_eq!(V128::sub([0, 0], [1, 1]), [u64::MAX, u64::MAX]);
+        assert_eq!(V128::mul(a, b), [u64::MAX - 1, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        let a = V256::set1(0b1100);
+        let b = V256::set1(0b1010);
+        assert_eq!(V256::and(a, b), [0b1000; 4]);
+        assert_eq!(V256::or(a, b), [0b1110; 4]);
+        assert_eq!(V256::xor(a, b), [0b0110; 4]);
+        assert_eq!(V256::shl(a, 2), [0b110000; 4]);
+        assert_eq!(V256::shr(a, 2), [0b11; 4]);
+        assert_eq!(V256::shl(a, 64), [0; 4]);
+        assert_eq!(V256::shr(a, 64), [0; 4]);
+    }
+
+    #[test]
+    fn cmp_masks() {
+        let a = seq::<8>();
+        let mask = V512::cmp(VecCmp::Lt, a, V512::set1(3));
+        assert_eq!(mask, 0b0000_0111);
+        let mask = V512::cmp(VecCmp::Eq, a, V512::set1(5));
+        assert_eq!(mask, 0b0010_0000);
+        let mask = V512::cmp(VecCmp::Ge, a, V512::set1(6));
+        assert_eq!(mask, 0b1100_0000);
+        assert_eq!(V512::mask_count(mask), 2);
+    }
+
+    #[test]
+    fn horizontal_reductions() {
+        let a = seq::<8>();
+        assert_eq!(V512::hadd(a), 28);
+        assert_eq!(V512::hmax(a), 7);
+        assert_eq!(V512::hor([1, 2, 4, 8, 16, 32, 64, 128]), 255);
+    }
+
+    #[test]
+    fn compress_store_compacts_selected_lanes() {
+        let a = seq::<8>();
+        let mut out = vec![0u64; 8];
+        let n = V512::compress_store(&mut out, 0b1010_1010, a);
+        assert_eq!(n, 4);
+        assert_eq!(&out[..4], &[1, 3, 5, 7]);
+    }
+}

@@ -1,0 +1,195 @@
+//! The scalar backend: one 64-bit lane per "register".
+//!
+//! This backend corresponds to the TVL's scalar specialisation used for the
+//! "MorphStore scalar" configurations of the paper (Figures 1 and 9).  All
+//! operations degenerate to plain integer arithmetic, so kernels
+//! monomorphised over [`Scalar`] compile to the same code a hand-written
+//! scalar loop would.
+
+use crate::{VecCmp, VectorExtension};
+
+/// Zero-sized tag for scalar processing (`LANES == 1`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scalar;
+
+impl VectorExtension for Scalar {
+    const LANES: usize = 1;
+    type Reg = u64;
+
+    #[inline(always)]
+    fn set1(value: u64) -> u64 {
+        value
+    }
+
+    #[inline(always)]
+    fn set_sequence(start: u64, _step: u64) -> u64 {
+        start
+    }
+
+    #[inline(always)]
+    fn load(src: &[u64]) -> u64 {
+        src[0]
+    }
+
+    #[inline(always)]
+    fn store(dst: &mut [u64], reg: u64) {
+        dst[0] = reg;
+    }
+
+    #[inline(always)]
+    fn add(a: u64, b: u64) -> u64 {
+        a.wrapping_add(b)
+    }
+
+    #[inline(always)]
+    fn sub(a: u64, b: u64) -> u64 {
+        a.wrapping_sub(b)
+    }
+
+    #[inline(always)]
+    fn mul(a: u64, b: u64) -> u64 {
+        a.wrapping_mul(b)
+    }
+
+    #[inline(always)]
+    fn and(a: u64, b: u64) -> u64 {
+        a & b
+    }
+
+    #[inline(always)]
+    fn or(a: u64, b: u64) -> u64 {
+        a | b
+    }
+
+    #[inline(always)]
+    fn xor(a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+
+    #[inline(always)]
+    fn shl(a: u64, amount: u32) -> u64 {
+        if amount >= 64 {
+            0
+        } else {
+            a << amount
+        }
+    }
+
+    #[inline(always)]
+    fn shr(a: u64, amount: u32) -> u64 {
+        if amount >= 64 {
+            0
+        } else {
+            a >> amount
+        }
+    }
+
+    #[inline(always)]
+    fn min(a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    #[inline(always)]
+    fn max(a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+
+    #[inline(always)]
+    fn cmp(op: VecCmp, a: u64, b: u64) -> u64 {
+        op.eval(a, b) as u64
+    }
+
+    #[inline(always)]
+    fn hadd(a: u64) -> u64 {
+        a
+    }
+
+    #[inline(always)]
+    fn hmax(a: u64) -> u64 {
+        a
+    }
+
+    #[inline(always)]
+    fn hor(a: u64) -> u64 {
+        a
+    }
+
+    #[inline(always)]
+    fn compress_store(dst: &mut [u64], mask: u64, reg: u64) -> usize {
+        if mask & 1 == 1 {
+            dst[0] = reg;
+            1
+        } else {
+            0
+        }
+    }
+
+    #[inline(always)]
+    fn extract(reg: u64, idx: usize) -> u64 {
+        debug_assert_eq!(idx, 0);
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_arithmetic() {
+        assert_eq!(Scalar::add(3, 4), 7);
+        assert_eq!(Scalar::sub(3, 4), u64::MAX);
+        assert_eq!(Scalar::mul(3, 4), 12);
+        assert_eq!(Scalar::and(0b1100, 0b1010), 0b1000);
+        assert_eq!(Scalar::or(0b1100, 0b1010), 0b1110);
+        assert_eq!(Scalar::xor(0b1100, 0b1010), 0b0110);
+        assert_eq!(Scalar::min(3, 4), 3);
+        assert_eq!(Scalar::max(3, 4), 4);
+    }
+
+    #[test]
+    fn scalar_shifts_saturate_at_width() {
+        assert_eq!(Scalar::shl(1, 3), 8);
+        assert_eq!(Scalar::shl(1, 64), 0);
+        assert_eq!(Scalar::shr(8, 3), 1);
+        assert_eq!(Scalar::shr(8, 64), 0);
+    }
+
+    #[test]
+    fn scalar_cmp_produces_single_bit_mask() {
+        assert_eq!(Scalar::cmp(VecCmp::Eq, 5, 5), 1);
+        assert_eq!(Scalar::cmp(VecCmp::Eq, 5, 6), 0);
+        assert_eq!(Scalar::cmp(VecCmp::Lt, 5, 6), 1);
+        assert_eq!(Scalar::mask_count(1), 1);
+        assert_eq!(Scalar::mask_count(0), 0);
+    }
+
+    #[test]
+    fn scalar_horizontal_ops_are_identity() {
+        assert_eq!(Scalar::hadd(42), 42);
+        assert_eq!(Scalar::hmax(42), 42);
+        assert_eq!(Scalar::hor(42), 42);
+        assert_eq!(Scalar::extract(42, 0), 42);
+    }
+
+    #[test]
+    fn scalar_compress_store() {
+        let mut out = [0u64; 1];
+        assert_eq!(Scalar::compress_store(&mut out, 1, 7), 1);
+        assert_eq!(out[0], 7);
+        assert_eq!(Scalar::compress_store(&mut out, 0, 9), 0);
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn scalar_load_store_sequence() {
+        let src = [11u64, 22];
+        let reg = Scalar::load(&src);
+        assert_eq!(reg, 11);
+        let mut dst = [0u64; 1];
+        Scalar::store(&mut dst, reg);
+        assert_eq!(dst, [11]);
+        assert_eq!(Scalar::set_sequence(5, 3), 5);
+        assert_eq!(Scalar::set1(9), 9);
+    }
+}

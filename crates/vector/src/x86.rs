@@ -1,0 +1,216 @@
+//! Optional `std::arch` kernels for x86_64 (AVX2).
+//!
+//! The original MorphStore uses AVX-512 intrinsics through the TVL.  Here we
+//! provide a small set of AVX2 kernels for the hottest inner loops
+//! (comparison scans and summation) as an illustration of how native
+//! intrinsics plug into the hardware-oblivious design.  They are selected at
+//! run time via [`avx2_available`] and always have portable fallbacks in
+//! [`crate::kernels`]; on non-x86_64 targets this module only exposes the
+//! detection function, which returns `false`.
+
+#![allow(unsafe_code)]
+
+use crate::VecCmp;
+
+/// Returns `true` if the current CPU supports AVX2 (always `false` on
+/// non-x86_64 targets).
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Scan `data` with `predicate(value, constant)` and append the *positions*
+/// (offset by `base_pos`) of matching elements to `out`.
+///
+/// Returns `true` if the AVX2 path was taken, `false` if the caller must use
+/// the portable fallback (non-x86_64 target or AVX2 not available).
+#[inline]
+pub fn try_filter_positions(
+    op: VecCmp,
+    data: &[u64],
+    constant: u64,
+    base_pos: u64,
+    out: &mut Vec<u64>,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: AVX2 support was verified at run time immediately above.
+            unsafe { filter_positions_avx2(op, data, constant, base_pos, out) };
+            return true;
+        }
+    }
+    let _ = (op, data, constant, base_pos, out);
+    false
+}
+
+/// Sum `data` with wrapping arithmetic using AVX2 if available.
+///
+/// Returns `Some(sum)` if the AVX2 path was taken and `None` otherwise.
+#[inline]
+pub fn try_sum(data: &[u64]) -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: AVX2 support was verified at run time immediately above.
+            return Some(unsafe { sum_avx2(data) });
+        }
+    }
+    let _ = data;
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Bias added to flip unsigned 64-bit comparisons into signed ones
+    /// (`_mm256_cmpgt_epi64` is a signed comparison).
+    const SIGN_BIAS: i64 = i64::MIN;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn filter_positions_avx2(
+        op: VecCmp,
+        data: &[u64],
+        constant: u64,
+        base_pos: u64,
+        out: &mut Vec<u64>,
+    ) {
+        let n = data.len();
+        out.reserve(n);
+        let biased_const = _mm256_set1_epi64x((constant as i64) ^ SIGN_BIAS);
+        let plain_const = _mm256_set1_epi64x(constant as i64);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` guarantees the 32-byte read stays in bounds.
+            let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+            let biased = _mm256_xor_si256(v, _mm256_set1_epi64x(SIGN_BIAS));
+            // Compute a 4-bit match mask for the predicate.
+            let match_vec = match op {
+                VecCmp::Eq => _mm256_cmpeq_epi64(v, plain_const),
+                VecCmp::Ne => {
+                    let eq = _mm256_cmpeq_epi64(v, plain_const);
+                    _mm256_xor_si256(eq, _mm256_set1_epi64x(-1))
+                }
+                VecCmp::Gt => _mm256_cmpgt_epi64(biased, biased_const),
+                VecCmp::Le => {
+                    let gt = _mm256_cmpgt_epi64(biased, biased_const);
+                    _mm256_xor_si256(gt, _mm256_set1_epi64x(-1))
+                }
+                VecCmp::Lt => _mm256_cmpgt_epi64(biased_const, biased),
+                VecCmp::Ge => {
+                    let lt = _mm256_cmpgt_epi64(biased_const, biased);
+                    _mm256_xor_si256(lt, _mm256_set1_epi64x(-1))
+                }
+            };
+            let mask = _mm256_movemask_pd(_mm256_castsi256_pd(match_vec)) as u32;
+            if mask != 0 {
+                for lane in 0..4u32 {
+                    if (mask >> lane) & 1 == 1 {
+                        out.push(base_pos + (i as u64) + lane as u64);
+                    }
+                }
+            }
+            i += 4;
+        }
+        for (offset, &value) in data[i..].iter().enumerate() {
+            if op.eval(value, constant) {
+                out.push(base_pos + (i + offset) as u64);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sum_avx2(data: &[u64]) -> u64 {
+        let n = data.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` guarantees the 32-byte read stays in bounds.
+            let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+            acc = _mm256_add_epi64(acc, v);
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        let mut total = lanes
+            .iter()
+            .fold(0u64, |a, &b| a.wrapping_add(b));
+        for &value in &data[i..] {
+            total = total.wrapping_add(value);
+        }
+        total
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{filter_positions_avx2, sum_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_does_not_panic() {
+        // Just exercise the detection path; the result is hardware-dependent.
+        let _ = avx2_available();
+    }
+
+    #[test]
+    fn filter_positions_matches_portable_reference() {
+        let data: Vec<u64> = (0..1003).map(|i| (i * 7919) % 1000).collect();
+        for op in [
+            VecCmp::Eq,
+            VecCmp::Ne,
+            VecCmp::Lt,
+            VecCmp::Le,
+            VecCmp::Gt,
+            VecCmp::Ge,
+        ] {
+            let mut fast = Vec::new();
+            let taken = try_filter_positions(op, &data, 500, 10, &mut fast);
+            let reference: Vec<u64> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| op.eval(v, 500))
+                .map(|(i, _)| 10 + i as u64)
+                .collect();
+            if taken {
+                assert_eq!(fast, reference, "mismatch for {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_positions_handles_large_values() {
+        // Values above i64::MAX exercise the sign-bias trick for unsigned
+        // comparisons.
+        let data = vec![u64::MAX, 1, u64::MAX - 1, 2, 3, u64::MAX, 0, 5, 9];
+        let mut fast = Vec::new();
+        let taken = try_filter_positions(VecCmp::Gt, &data, u64::MAX - 1, 0, &mut fast);
+        if taken {
+            assert_eq!(fast, vec![0, 5]);
+        }
+    }
+
+    #[test]
+    fn sum_matches_portable_reference() {
+        let data: Vec<u64> = (0..997).collect();
+        if let Some(total) = try_sum(&data) {
+            assert_eq!(total, 996 * 997 / 2);
+        }
+        let data = vec![u64::MAX, 2, u64::MAX, 5];
+        if let Some(total) = try_sum(&data) {
+            let expected = data.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+            assert_eq!(total, expected);
+        }
+    }
+}

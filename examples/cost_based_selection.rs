@@ -1,0 +1,55 @@
+//! Compression-aware query optimisation: use the cost model to pick a format
+//! for every base column and intermediate of an SSB query, and compare the
+//! resulting memory footprint against static BP everywhere and against the
+//! exhaustive best combination (the experiment of Figure 10).
+//!
+//! Run with: `cargo run --release --example cost_based_selection [-- <scale factor>]`
+
+use morphstore::cost::FormatSelectionStrategy;
+use morphstore::prelude::*;
+use morphstore::ssb::dbgen;
+
+fn footprint(query: SsbQuery, data: &morphstore::ssb::SsbData, config: &FormatConfig) -> usize {
+    let base = data.with_formats(config);
+    let mut ctx = ExecutionContext::new(ExecSettings::vectorized_compressed(), config.clone());
+    query.execute(&base, &mut ctx);
+    ctx.total_footprint_bytes()
+}
+
+fn main() {
+    let scale_factor: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let data = dbgen::generate(scale_factor, 42);
+    let query = SsbQuery::Q2_1;
+    println!("query {query} at scale factor {scale_factor}\n");
+
+    // Capture one reference execution to learn all assignable columns.
+    let mut capture_ctx =
+        ExecutionContext::new(ExecSettings::vectorized_uncompressed(), FormatConfig::uncompressed());
+    capture_ctx.enable_capture();
+    query.execute(&data, &mut capture_ctx);
+    let mut columns = capture_ctx.captured_columns().clone();
+    for name in query.base_columns() {
+        columns.insert((*name).to_string(), data.column(name).clone());
+    }
+    println!("assignable columns (base + intermediates): {}", columns.len());
+
+    for strategy in [
+        FormatSelectionStrategy::AllUncompressed,
+        FormatSelectionStrategy::AllStaticBp,
+        FormatSelectionStrategy::CostBased,
+        FormatSelectionStrategy::ExhaustiveBestFootprint,
+    ] {
+        let config = strategy.build_config(&columns);
+        let bytes = footprint(query, &data, &config);
+        println!(
+            "{:<20} total footprint = {:>10.3} MiB",
+            strategy.label(),
+            bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("\nthe cost-based selection should be close to the exhaustive best combination");
+    println!("(Figure 10 of the paper), at a fraction of the search cost.");
+}

@@ -1,0 +1,115 @@
+//! Property-based workspace tests of the compression-enabled processing
+//! model: for arbitrary data, every operator must produce identical results
+//! regardless of the processing style, the integration degree and the
+//! formats of its inputs and outputs — compression is an implementation
+//! detail of the physical representation, never of the query semantics.
+
+use morphstore::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_values() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        prop::collection::vec(0u64..2000, 1..4000),
+        prop::collection::vec(any::<u64>(), 1..1500),
+        prop::collection::vec((0u64..10, 1usize..100), 1..60).prop_map(|runs| runs
+            .into_iter()
+            .flat_map(|(v, n)| std::iter::repeat(v).take(n))
+            .collect()),
+    ]
+}
+
+fn formats_for(values: &[u64]) -> Vec<Format> {
+    Format::all_formats(values.iter().copied().max().unwrap_or(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn select_is_invariant_under_formats_styles_and_degrees(
+        values in arbitrary_values(),
+        constant in 0u64..2000,
+    ) {
+        let reference: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v <= constant)
+            .map(|(i, _)| i as u64)
+            .collect();
+        for format in formats_for(&values) {
+            let input = Column::compress(&values, &format);
+            for degree in IntegrationDegree::all() {
+                for style in [ProcessingStyle::Scalar, ProcessingStyle::Vectorized] {
+                    let settings = ExecSettings { style, degree };
+                    let out = select(CmpOp::Le, &input, constant, &Format::DeltaDynBp, &settings);
+                    prop_assert_eq!(out.decompress(), reference.clone(),
+                        "format {} degree {:?} style {:?}", format, degree, style);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_is_invariant_under_formats_and_degrees(values in arbitrary_values()) {
+        let expected = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        for format in formats_for(&values) {
+            let input = Column::compress(&values, &format);
+            for degree in IntegrationDegree::all() {
+                let settings = ExecSettings { style: ProcessingStyle::Vectorized, degree };
+                prop_assert_eq!(agg_sum(&input, &settings), expected, "format {}", format);
+            }
+        }
+    }
+
+    #[test]
+    fn project_then_select_roundtrip(values in arbitrary_values()) {
+        // Selecting all positions and projecting them back must reproduce the
+        // column, whatever formats are involved.
+        let max = values.iter().copied().max().unwrap_or(0);
+        for format in [Format::Uncompressed, Format::DynBp, Format::Rle] {
+            let data = Column::compress(&values, &format);
+            let settings = ExecSettings::vectorized_compressed();
+            let all = select(CmpOp::Le, &data, max, &Format::DeltaDynBp, &settings);
+            prop_assert_eq!(all.logical_len(), values.len());
+            let restored = project(&data, &all, &Format::DynBp, &settings);
+            prop_assert_eq!(restored.decompress(), values.clone());
+        }
+    }
+
+    #[test]
+    fn group_sums_partition_the_total(values in arbitrary_values()) {
+        let keys: Vec<u64> = values.iter().map(|v| v % 5).collect();
+        let keys_col = Column::compress(&keys, &Format::StaticBp(3));
+        let values_col = Column::compress(&values, &Format::DynBp);
+        let settings = ExecSettings::default();
+        let grouping = group_by(&keys_col, (&Format::StaticBp(4), &Format::DeltaDynBp), &settings);
+        let sums = agg_sum_grouped(
+            &grouping.group_ids,
+            &values_col,
+            grouping.group_count,
+            &Format::Uncompressed,
+            &settings,
+        );
+        let total_from_groups = sums.decompress().iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        let total = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(total_from_groups, total);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both_inputs(values in arbitrary_values()) {
+        let a_positions: Vec<u64> = values.iter().enumerate()
+            .filter(|(_, &v)| v % 2 == 0).map(|(i, _)| i as u64).collect();
+        let b_positions: Vec<u64> = values.iter().enumerate()
+            .filter(|(_, &v)| v % 3 == 0).map(|(i, _)| i as u64).collect();
+        let a = Column::compress(&a_positions, &Format::DeltaDynBp);
+        let b = Column::compress(&b_positions, &Format::DeltaDynBp);
+        let settings = ExecSettings::default();
+        let both = intersect_sorted(&a, &b, &Format::DeltaDynBp, &settings).decompress();
+        let union = merge_sorted(&a, &b, &Format::DeltaDynBp, &settings).decompress();
+        let a_set: std::collections::HashSet<u64> = a_positions.iter().copied().collect();
+        let b_set: std::collections::HashSet<u64> = b_positions.iter().copied().collect();
+        prop_assert!(both.iter().all(|p| a_set.contains(p) && b_set.contains(p)));
+        prop_assert_eq!(union.len(), a_set.union(&b_set).count());
+        prop_assert_eq!(both.len() + union.len(), a_positions.len() + b_positions.len());
+    }
+}
