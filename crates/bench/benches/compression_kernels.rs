@@ -19,7 +19,7 @@ fn bench_compression(c: &mut Criterion) {
         let max = values.iter().copied().max().unwrap_or(0);
         for format in Format::all_formats(max) {
             group.bench_with_input(
-                BenchmarkId::new(format.label(), column.label()),
+                BenchmarkId::new(format.to_string(), column.label()),
                 &values,
                 |b, values| b.iter(|| compress_main_part(&format, values)),
             );
@@ -40,7 +40,7 @@ fn bench_decompression(c: &mut Criterion) {
         for format in Format::all_formats(max) {
             let (bytes, main_len) = compress_main_part(&format, &values);
             group.bench_with_input(
-                BenchmarkId::new(format.label(), column.label()),
+                BenchmarkId::new(format.to_string(), column.label()),
                 &bytes,
                 |b, bytes| {
                     b.iter(|| {

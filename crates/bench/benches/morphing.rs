@@ -25,7 +25,7 @@ fn bench_morphing(c: &mut Criterion) {
     ];
     for (src, dst) in pairs {
         let column = Column::compress(&values, &src);
-        let label = format!("{} -> {}", src.label(), dst.label());
+        let label = format!("{src} -> {dst}");
         group.bench_with_input(BenchmarkId::from_parameter(label), &column, |b, column| {
             b.iter(|| column.to_format(&dst))
         });

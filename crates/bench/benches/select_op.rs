@@ -26,18 +26,22 @@ fn bench_select_formats(c: &mut Criterion) {
     ];
     for (input_format, output_format) in combos {
         let input = uncompressed.to_format(&input_format);
-        let label = format!("{} -> {}", input_format.label(), output_format.label());
-        group.bench_with_input(BenchmarkId::new("de_recompress", label), &input, |b, input| {
-            b.iter(|| {
-                select(
-                    CmpOp::Eq,
-                    input,
-                    constant,
-                    &output_format,
-                    &ExecSettings::vectorized_compressed(),
-                )
-            })
-        });
+        let label = format!("{input_format} -> {output_format}");
+        group.bench_with_input(
+            BenchmarkId::new("de_recompress", label),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    select(
+                        CmpOp::Eq,
+                        input,
+                        constant,
+                        &output_format,
+                        &ExecSettings::vectorized_compressed(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -54,9 +58,11 @@ fn bench_select_degrees(c: &mut Criterion) {
             style: ProcessingStyle::Vectorized,
             degree,
         };
-        group.bench_with_input(BenchmarkId::new("rle_input", degree.label()), &rle, |b, input| {
-            b.iter(|| select(CmpOp::Eq, input, 3, &Format::DeltaDynBp, &settings))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rle_input", degree.label()),
+            &rle,
+            |b, input| b.iter(|| select(CmpOp::Eq, input, 3, &Format::DeltaDynBp, &settings)),
+        );
     }
     group.finish();
 }

@@ -30,10 +30,30 @@ fn bench_simple_query(c: &mut Criterion) {
     let (x_values, constant) = SyntheticColumn::C1.generate_select_input(ELEMENTS, 42);
     let y_values = SyntheticColumn::C4.generate(ELEMENTS, 43);
     let configs = [
-        ("uncompressed", Format::Uncompressed, Format::Uncompressed, Format::Uncompressed),
-        ("staticBP_base_only", Format::StaticBp(6), Format::Uncompressed, Format::Uncompressed),
-        ("staticBP_everything", Format::StaticBp(6), Format::StaticBp(18), Format::StaticBp(48)),
-        ("cascades_for_intermediates", Format::StaticBp(6), Format::DeltaDynBp, Format::ForDynBp),
+        (
+            "uncompressed",
+            Format::Uncompressed,
+            Format::Uncompressed,
+            Format::Uncompressed,
+        ),
+        (
+            "staticBP_base_only",
+            Format::StaticBp(6),
+            Format::Uncompressed,
+            Format::Uncompressed,
+        ),
+        (
+            "staticBP_everything",
+            Format::StaticBp(6),
+            Format::StaticBp(18),
+            Format::StaticBp(48),
+        ),
+        (
+            "cascades_for_intermediates",
+            Format::StaticBp(6),
+            Format::DeltaDynBp,
+            Format::ForDynBp,
+        ),
     ];
     for (label, base_format, positions_format, projected_format) in configs {
         let x = Column::compress(&x_values, &base_format);
@@ -54,7 +74,16 @@ fn bench_simple_query(c: &mut Criterion) {
             ..ExecSettings::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &(x, y), |b, (x, y)| {
-            b.iter(|| simple_query(x, y, constant, &positions_format, &projected_format, &settings))
+            b.iter(|| {
+                simple_query(
+                    x,
+                    y,
+                    constant,
+                    &positions_format,
+                    &projected_format,
+                    &settings,
+                )
+            })
         });
     }
     group.finish();

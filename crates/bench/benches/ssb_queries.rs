@@ -17,35 +17,49 @@ fn bench_ssb_queries(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     let data = dbgen::generate(SCALE_FACTOR, 42);
     let compressed = data.with_uniform_format(&Format::DynBp);
-    let queries = [SsbQuery::Q1_1, SsbQuery::Q2_1, SsbQuery::Q3_2, SsbQuery::Q4_1];
+    let queries = [
+        SsbQuery::Q1_1,
+        SsbQuery::Q2_1,
+        SsbQuery::Q3_2,
+        SsbQuery::Q4_1,
+    ];
     for query in queries {
-        group.bench_function(BenchmarkId::new("scalar_uncompressed", query.label()), |b| {
-            b.iter(|| {
-                let mut ctx = ExecutionContext::new(
-                    ExecSettings::scalar_uncompressed(),
-                    FormatConfig::uncompressed(),
-                );
-                query.execute(&data, &mut ctx)
-            })
-        });
-        group.bench_function(BenchmarkId::new("vectorized_uncompressed", query.label()), |b| {
-            b.iter(|| {
-                let mut ctx = ExecutionContext::new(
-                    ExecSettings::vectorized_uncompressed(),
-                    FormatConfig::uncompressed(),
-                );
-                query.execute(&data, &mut ctx)
-            })
-        });
-        group.bench_function(BenchmarkId::new("vectorized_compressed", query.label()), |b| {
-            b.iter(|| {
-                let mut ctx = ExecutionContext::new(
-                    ExecSettings::vectorized_compressed(),
-                    FormatConfig::with_default(Format::DynBp),
-                );
-                query.execute(&compressed, &mut ctx)
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("scalar_uncompressed", query.label()),
+            |b| {
+                b.iter(|| {
+                    let mut ctx = ExecutionContext::new(
+                        ExecSettings::scalar_uncompressed(),
+                        FormatConfig::uncompressed(),
+                    );
+                    query.execute(&data, &mut ctx)
+                })
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("vectorized_uncompressed", query.label()),
+            |b| {
+                b.iter(|| {
+                    let mut ctx = ExecutionContext::new(
+                        ExecSettings::vectorized_uncompressed(),
+                        FormatConfig::uncompressed(),
+                    );
+                    query.execute(&data, &mut ctx)
+                })
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("vectorized_compressed", query.label()),
+            |b| {
+                b.iter(|| {
+                    let mut ctx = ExecutionContext::new(
+                        ExecSettings::vectorized_compressed(),
+                        FormatConfig::with_default(Format::DynBp),
+                    );
+                    query.execute(&compressed, &mut ctx)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -32,8 +32,13 @@ fn main() {
         for strategy in strategies {
             let config = strategy_config(query, &data, strategy);
             let base = apply_to_base(&data, &config);
-            let measurement =
-                measure_query(query, &base, ExecSettings::vectorized_compressed(), &config, 1);
+            let measurement = measure_query(
+                query,
+                &base,
+                ExecSettings::vectorized_compressed(),
+                &config,
+                1,
+            );
             *totals.entry(strategy.label()).or_default() += measurement.footprint_bytes as f64;
             print_row(&[
                 query.label().to_string(),

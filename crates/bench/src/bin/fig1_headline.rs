@@ -27,10 +27,26 @@ fn main() {
         let best = runtime_cost_based_config(query, &data);
         let compressed_base = apply_to_base(&data, &best);
         let configurations = [
-            (&data, ExecSettings::scalar_uncompressed(), FormatConfig::uncompressed()),
-            (&data, ExecSettings::scalar_uncompressed(), FormatConfig::uncompressed()),
-            (&data, ExecSettings::vectorized_uncompressed(), FormatConfig::uncompressed()),
-            (&compressed_base, ExecSettings::vectorized_compressed(), best.clone()),
+            (
+                &data,
+                ExecSettings::scalar_uncompressed(),
+                FormatConfig::uncompressed(),
+            ),
+            (
+                &data,
+                ExecSettings::scalar_uncompressed(),
+                FormatConfig::uncompressed(),
+            ),
+            (
+                &data,
+                ExecSettings::vectorized_uncompressed(),
+                FormatConfig::uncompressed(),
+            ),
+            (
+                &compressed_base,
+                ExecSettings::vectorized_compressed(),
+                best.clone(),
+            ),
         ];
         for (i, (base, settings, config)) in configurations.into_iter().enumerate() {
             totals[i] += measure_query(query, base, settings, &config, args.runs).runtime;
@@ -53,5 +69,7 @@ fn main() {
     }
     println!();
     println!("summary: vectorization reduces the average runtime vs. scalar, and continuous");
-    println!("         compression reduces it further (cf. the ~19% and ~54% reductions of the paper).");
+    println!(
+        "         compression reduces it further (cf. the ~19% and ~54% reductions of the paper)."
+    );
 }

@@ -19,7 +19,13 @@ fn main() {
         "# Figure 5: select-operator runtime, all format combinations ({} elements, {} runs)",
         args.elements, args.runs
     );
-    print_header(&["column", "input_format", "output_format", "runtime_ms", "selected"]);
+    print_header(&[
+        "column",
+        "input_format",
+        "output_format",
+        "runtime_ms",
+        "selected",
+    ]);
     for column in SyntheticColumn::all() {
         let (values, constant) = column.generate_select_input(args.elements, args.seed);
         let max = values.iter().copied().max().unwrap_or(0);
@@ -50,14 +56,14 @@ fn main() {
                 if !input_format.is_compressed() && !output_format.is_compressed() {
                     baseline = mean;
                 }
-                let label = format!("{} -> {}", input_format.label(), output_format.label());
+                let label = format!("{input_format} -> {output_format}");
                 if fastest.as_ref().map(|(d, _)| mean < *d).unwrap_or(true) {
                     fastest = Some((mean, label));
                 }
                 print_row(&[
                     column.label().to_string(),
-                    input_format.label(),
-                    output_format.label(),
+                    input_format.to_string(),
+                    output_format.to_string(),
                     fmt_ms(mean),
                     selected.to_string(),
                 ]);

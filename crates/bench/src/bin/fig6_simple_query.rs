@@ -15,10 +15,10 @@ use morph_bench::{fmt_mib, fmt_ms, print_header, print_row, HarnessArgs};
 use morph_compression::Format;
 use morph_storage::datagen::SyntheticColumn;
 use morph_storage::Column;
+use morphstore_engine::exec::FormatConfig;
 use morphstore_engine::{
     agg_sum, project, select, CmpOp, ExecSettings, ExecutionContext, IntegrationDegree,
 };
-use morphstore_engine::exec::FormatConfig;
 
 /// One format configuration of the simple query: formats for the base
 /// columns X and Y and the intermediates X' (positions) and Y' (projected
@@ -109,8 +109,15 @@ fn main() {
         },
     ];
     print_header(&[
-        "case", "config", "X_mib", "Y_mib", "Xprime_mib", "Yprime_mib", "total_mib",
-        "runtime_ms", "sum",
+        "case",
+        "config",
+        "X_mib",
+        "Y_mib",
+        "Xprime_mib",
+        "Yprime_mib",
+        "total_mib",
+        "runtime_ms",
+        "sum",
     ]);
     for (case, x_col, y_col) in cases {
         let (x_values, constant) = x_col.generate_select_input(args.elements, args.seed);
@@ -176,6 +183,10 @@ fn main() {
         }
         println!();
     }
-    println!("summary: compressing base columns AND intermediates shrinks both footprint and runtime;");
-    println!("         the best intermediate format depends on the case (cf. Figure 6 of the paper).");
+    println!(
+        "summary: compressing base columns AND intermediates shrinks both footprint and runtime;"
+    );
+    println!(
+        "         the best intermediate format depends on the case (cf. Figure 6 of the paper)."
+    );
 }

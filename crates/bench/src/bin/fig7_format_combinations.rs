@@ -28,14 +28,18 @@ fn main() {
         "# Figure 7: impact of format combinations on SSB (scale factor {}, {} runs)",
         args.scale_factor, args.runs
     );
-    print_header(&[
-        "query", "combination", "footprint_mib", "runtime_ms",
-    ]);
+    print_header(&["query", "combination", "footprint_mib", "runtime_ms"]);
     let strategies = [
-        ("worst combination", FormatSelectionStrategy::ExhaustiveWorstFootprint),
+        (
+            "worst combination",
+            FormatSelectionStrategy::ExhaustiveWorstFootprint,
+        ),
         ("uncompressed", FormatSelectionStrategy::AllUncompressed),
         ("static BP", FormatSelectionStrategy::AllStaticBp),
-        ("best combination", FormatSelectionStrategy::ExhaustiveBestFootprint),
+        (
+            "best combination",
+            FormatSelectionStrategy::ExhaustiveBestFootprint,
+        ),
     ];
     let mut totals: HashMap<&str, (f64, f64)> = HashMap::new();
     for query in SsbQuery::all() {

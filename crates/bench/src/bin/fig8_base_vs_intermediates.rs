@@ -28,7 +28,11 @@ fn main() {
     print_header(&["query", "configuration", "footprint_mib", "runtime_ms"]);
     let mut totals: HashMap<&str, (f64, f64)> = HashMap::new();
     for query in SsbQuery::all() {
-        let best = strategy_config(query, &data, FormatSelectionStrategy::ExhaustiveBestFootprint);
+        let best = strategy_config(
+            query,
+            &data,
+            FormatSelectionStrategy::ExhaustiveBestFootprint,
+        );
         let configs = [
             ("uncompressed", FormatConfig::uncompressed()),
             ("compressed base columns", base_only_config(query, &best)),

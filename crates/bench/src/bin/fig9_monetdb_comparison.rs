@@ -37,11 +37,26 @@ fn main() {
     );
     print_header(&["query", "configuration", "runtime_ms"]);
     let series: [(&str, ExecSettings); 5] = [
-        ("monetdb-like scalar uncompressed", ExecSettings::scalar_uncompressed()),
-        ("morphstore scalar uncompressed", ExecSettings::scalar_uncompressed()),
-        ("morphstore vectorized uncompressed", ExecSettings::vectorized_uncompressed()),
-        ("morphstore vectorized compressed", ExecSettings::vectorized_compressed()),
-        ("monetdb-like scalar narrow types", ExecSettings::scalar_uncompressed()),
+        (
+            "monetdb-like scalar uncompressed",
+            ExecSettings::scalar_uncompressed(),
+        ),
+        (
+            "morphstore scalar uncompressed",
+            ExecSettings::scalar_uncompressed(),
+        ),
+        (
+            "morphstore vectorized uncompressed",
+            ExecSettings::vectorized_uncompressed(),
+        ),
+        (
+            "morphstore vectorized compressed",
+            ExecSettings::vectorized_compressed(),
+        ),
+        (
+            "monetdb-like scalar narrow types",
+            ExecSettings::scalar_uncompressed(),
+        ),
     ];
     let mut totals: HashMap<&str, Duration> = HashMap::new();
     let narrow_base = data.with_narrow_static_bp(true);
@@ -72,7 +87,11 @@ fn main() {
     }
     println!();
     println!("# Figure 1: average runtime over the 13 SSB queries");
-    print_header(&["configuration", "avg_runtime_ms", "relative_to_scalar_uncompressed"]);
+    print_header(&[
+        "configuration",
+        "avg_runtime_ms",
+        "relative_to_scalar_uncompressed",
+    ]);
     let scalar = totals["morphstore scalar uncompressed"].as_secs_f64();
     for (label, _) in series {
         let total = totals[label].as_secs_f64();

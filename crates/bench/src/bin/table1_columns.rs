@@ -11,8 +11,18 @@ use morph_storage::ColumnStats;
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("# Table 1: synthetic column properties ({} elements)", args.elements);
-    print_header(&["column", "distribution", "sorted", "max_bit_width", "distinct", "runs"]);
+    println!(
+        "# Table 1: synthetic column properties ({} elements)",
+        args.elements
+    );
+    print_header(&[
+        "column",
+        "distribution",
+        "sorted",
+        "max_bit_width",
+        "distinct",
+        "runs",
+    ]);
     let descriptions = [
         "uniform in [0,63]",
         "99.99% uniform in [0,63]; 0.01% 2^63-1",
@@ -35,14 +45,17 @@ fn main() {
     }
 
     println!();
-    println!("# Compressed sizes per format [MiB] (uncompressed = {} MiB)", fmt_mib(args.elements * 8));
+    println!(
+        "# Compressed sizes per format [MiB] (uncompressed = {} MiB)",
+        fmt_mib(args.elements * 8)
+    );
     print_header(&["column", "format", "size_mib", "fraction_of_uncompressed"]);
     for (column, values, stats) in &generated {
         for format in Format::all_formats(stats.max) {
             let size = compressed_size_bytes(&format, values);
             print_row(&[
                 column.label().to_string(),
-                format.label(),
+                format.to_string(),
                 fmt_mib(size),
                 format!("{:.3}", size as f64 / (values.len() * 8) as f64),
             ]);

@@ -149,9 +149,10 @@ pub fn measure_query(
     }
 }
 
-/// Gather all columns a strategy may assign a format to: the base columns the
-/// query touches plus every intermediate of one captured reference execution
-/// (run uncompressed, which is format-neutral).
+/// Gather all columns a strategy may assign a format to, enumerated from the
+/// query plan's edges: the base columns the plan scans (data from the
+/// database) plus every intermediate edge (data from one captured reference
+/// execution, run uncompressed, which is format-neutral).
 pub fn assignable_columns(query: SsbQuery, data: &SsbData) -> HashMap<String, Column> {
     let (_, ctx) = run_query_once(
         query,
@@ -160,20 +161,28 @@ pub fn assignable_columns(query: SsbQuery, data: &SsbData) -> HashMap<String, Co
         &FormatConfig::uncompressed(),
         true,
     );
-    let mut columns: HashMap<String, Column> = ctx.captured_columns().clone();
-    for name in query.base_columns() {
-        columns.insert((*name).to_string(), data.column(name).clone());
+    let mut columns = HashMap::new();
+    for edge in query.plan().edges() {
+        let column = if edge.is_base {
+            Some(data.column(&edge.name))
+        } else {
+            ctx.captured_columns().get(&edge.name)
+        };
+        if let Some(column) = column {
+            columns.insert(edge.name, column.clone());
+        }
     }
     columns
 }
 
-/// Build the format configuration a selection strategy chooses for `query`.
+/// Build the format configuration a selection strategy chooses for `query`,
+/// scoped to the edges of the query's plan.
 pub fn strategy_config(
     query: SsbQuery,
     data: &SsbData,
     strategy: FormatSelectionStrategy,
 ) -> FormatConfig {
-    strategy.build_config(&assignable_columns(query, data))
+    strategy.build_config_for_plan(&query.plan(), &assignable_columns(query, data))
 }
 
 /// Cost-based per-column format selection with the *runtime* objective —
@@ -196,11 +205,12 @@ pub fn apply_to_base(data: &SsbData, config: &FormatConfig) -> SsbData {
 }
 
 /// Restrict a configuration to base columns only (intermediates fall back to
-/// uncompressed) — used by the Figure 8 experiment.
+/// uncompressed) — used by the Figure 8 experiment.  The base columns come
+/// from the query plan's scan edges.
 pub fn base_only_config(query: SsbQuery, config: &FormatConfig) -> FormatConfig {
     let mut restricted = FormatConfig::with_default(Format::Uncompressed);
     for name in query.base_columns() {
-        restricted.insert(name, config.format_for(name, Format::Uncompressed));
+        restricted.insert(&name, config.format_for(&name, Format::Uncompressed));
     }
     restricted
 }

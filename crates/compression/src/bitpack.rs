@@ -14,7 +14,7 @@
 /// Number of bytes needed to pack `count` values of `width` bits.
 #[inline]
 pub fn packed_size_bytes(count: usize, width: u8) -> usize {
-    (count * width as usize + 7) / 8
+    (count * width as usize).div_ceil(8)
 }
 
 /// Effective bit width of `value` (at least 1).
@@ -83,7 +83,7 @@ pub fn pack_into(values: &[u64], width: u8, out: &mut Vec<u8>) {
         }
     }
     if bits_in_acc > 0 {
-        let bytes_needed = ((bits_in_acc + 7) / 8) as usize;
+        let bytes_needed = bits_in_acc.div_ceil(8) as usize;
         out.extend_from_slice(&acc.to_le_bytes()[..bytes_needed]);
     }
 }
@@ -153,7 +153,7 @@ pub fn get_packed(bytes: &[u8], width: u8, idx: usize) -> u64 {
     let bit_in_byte = bit_pos % 8;
     // Read up to 9 bytes covering the (width + 7)-bit window.
     let mut window = [0u8; 16];
-    let end = (byte_pos + (bit_in_byte + width + 7) / 8 + 1).min(bytes.len());
+    let end = (byte_pos + (bit_in_byte + width).div_ceil(8) + 1).min(bytes.len());
     let len = end - byte_pos;
     window[..len].copy_from_slice(&bytes[byte_pos..end]);
     let lo = u64::from_le_bytes(window[..8].try_into().expect("8 bytes"));

@@ -69,7 +69,11 @@ impl Compressor for DeltaDynBpCompressor {
 /// Decode `count` values (a multiple of the block size), handing one block of
 /// 512 uncompressed values at a time to `consumer`.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(count % DYN_BP_BLOCK, 0, "DELTA+BP main part must be whole blocks");
+    assert_eq!(
+        count % DYN_BP_BLOCK,
+        0,
+        "DELTA+BP main part must be whole blocks"
+    );
     let blocks = count / DYN_BP_BLOCK;
     let mut deltas: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut values: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
@@ -78,11 +82,19 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
         let reference = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
         offset += 8;
         let width = bytes[offset];
-        assert!((1..=64).contains(&width), "corrupt DELTA+BP header: width {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "corrupt DELTA+BP header: width {width}"
+        );
         offset += 1;
         let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
         deltas.clear();
-        bitpack::unpack_into(&bytes[offset..offset + packed], width, DYN_BP_BLOCK, &mut deltas);
+        bitpack::unpack_into(
+            &bytes[offset..offset + packed],
+            width,
+            DYN_BP_BLOCK,
+            &mut deltas,
+        );
         offset += packed;
         values.clear();
         let mut prev = reference;
@@ -116,7 +128,10 @@ mod tests {
         let delta_size = compressed_size_bytes(&Format::DeltaDynBp, &values);
         let dyn_size = compressed_size_bytes(&Format::DynBp, &values);
         let uncompressed = values.len() * 8;
-        assert!(delta_size * 4 < dyn_size, "delta {delta_size} vs dyn {dyn_size}");
+        assert!(
+            delta_size * 4 < dyn_size,
+            "delta {delta_size} vs dyn {dyn_size}"
+        );
         assert!(delta_size * 10 < uncompressed);
     }
 

@@ -32,7 +32,9 @@ pub struct DictCompressor {
 impl DictCompressor {
     /// Create an empty dictionary compressor.
     pub fn new() -> Self {
-        DictCompressor { buffered: Vec::new() }
+        DictCompressor {
+            buffered: Vec::new(),
+        }
     }
 }
 
@@ -98,7 +100,7 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
         // chunk with get_packed when misaligned and with unpack_into when the
         // chunk starts at a byte boundary.
         let start_bit = done * width as usize;
-        if start_bit % 8 == 0 {
+        if start_bit.is_multiple_of(8) {
             bitpack::unpack_into(&packed[start_bit / 8..], width, chunk, &mut keys);
         } else {
             for i in 0..chunk {
@@ -128,7 +130,9 @@ mod tests {
 
     #[test]
     fn roundtrip_low_cardinality() {
-        let values: Vec<u64> = (0..10_000u64).map(|i| (i * 7919) % 23 + 1_000_000).collect();
+        let values: Vec<u64> = (0..10_000u64)
+            .map(|i| (i * 7919) % 23 + 1_000_000)
+            .collect();
         let (bytes, main_len) = compress_main_part(&Format::Dict, &values);
         assert_eq!(main_len, values.len());
         let mut decoded = Vec::new();
@@ -138,7 +142,9 @@ mod tests {
 
     #[test]
     fn low_cardinality_compresses_well() {
-        let values: Vec<u64> = (0..100_000u64).map(|i| ((i * 31) % 16) * (u64::MAX / 16)).collect();
+        let values: Vec<u64> = (0..100_000u64)
+            .map(|i| ((i * 31) % 16) * (u64::MAX / 16))
+            .collect();
         let size = compressed_size_bytes(&Format::Dict, &values);
         let uncompressed = values.len() * 8;
         // 4-bit keys + tiny dictionary => ~1/16 of the uncompressed size.
@@ -187,6 +193,9 @@ mod tests {
         decompress_into(&Format::Dict, &bytes, main_len, &mut decoded);
         assert_eq!(decoded, values);
         // 1 distinct value -> 1-bit keys: 8 (count) + 8 (dict) + 1 (width) + ceil(5000/8).
-        assert_eq!(compressed_size_bytes(&Format::Dict, &values), 8 + 8 + 1 + 625);
+        assert_eq!(
+            compressed_size_bytes(&Format::Dict, &values),
+            8 + 8 + 1 + 625
+        );
     }
 }

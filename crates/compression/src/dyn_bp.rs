@@ -51,13 +51,20 @@ pub fn block_encoded_size(width: u8) -> usize {
 /// Decode `count` values (a multiple of the block size), handing one block of
 /// 512 uncompressed values at a time to `consumer`.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(count % DYN_BP_BLOCK, 0, "dynamic BP main part must be whole blocks");
+    assert_eq!(
+        count % DYN_BP_BLOCK,
+        0,
+        "dynamic BP main part must be whole blocks"
+    );
     let mut buffer: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut offset_bytes = 0usize;
     let blocks = count / DYN_BP_BLOCK;
     for _ in 0..blocks {
         let width = bytes[offset_bytes];
-        assert!((1..=64).contains(&width), "corrupt dynamic BP header: width {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "corrupt dynamic BP header: width {width}"
+        );
         offset_bytes += 1;
         let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
         buffer.clear();

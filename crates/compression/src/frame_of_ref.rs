@@ -42,7 +42,11 @@ impl Compressor for ForDynBpCompressor {
 /// Decode `count` values (a multiple of the block size), handing one block of
 /// 512 uncompressed values at a time to `consumer`.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(count % DYN_BP_BLOCK, 0, "FOR+BP main part must be whole blocks");
+    assert_eq!(
+        count % DYN_BP_BLOCK,
+        0,
+        "FOR+BP main part must be whole blocks"
+    );
     let blocks = count / DYN_BP_BLOCK;
     let mut offsets: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut values: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
@@ -51,11 +55,19 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
         let reference = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
         offset += 8;
         let width = bytes[offset];
-        assert!((1..=64).contains(&width), "corrupt FOR+BP header: width {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "corrupt FOR+BP header: width {width}"
+        );
         offset += 1;
         let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
         offsets.clear();
-        bitpack::unpack_into(&bytes[offset..offset + packed], width, DYN_BP_BLOCK, &mut offsets);
+        bitpack::unpack_into(
+            &bytes[offset..offset + packed],
+            width,
+            DYN_BP_BLOCK,
+            &mut offsets,
+        );
         offset += packed;
         values.clear();
         values.extend(offsets.iter().map(|&o| reference.wrapping_add(o)));

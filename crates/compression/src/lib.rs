@@ -159,24 +159,78 @@ impl Format {
         !matches!(self, Format::Dict)
     }
 
-    /// Short human-readable label used by the benchmark harness (matches the
-    /// terminology of the paper's figures).
+    /// Short human-readable label (matches the terminology of the paper's
+    /// figures).  Alias for the `Display` implementation, which owns the
+    /// canonical spelling; `FromStr` parses it back.
     pub fn label(&self) -> String {
-        match self {
-            Format::Uncompressed => "uncompr".to_string(),
-            Format::StaticBp(w) => format!("staticBP({w})"),
-            Format::DynBp => "SIMD-BP".to_string(),
-            Format::DeltaDynBp => "DELTA+SIMD-BP".to_string(),
-            Format::ForDynBp => "FOR+SIMD-BP".to_string(),
-            Format::Rle => "RLE".to_string(),
-            Format::Dict => "DICT".to_string(),
-        }
+        self.to_string()
     }
 }
 
 impl fmt::Display for Format {
+    /// The canonical format-name spelling, shared by the benchmark harness
+    /// and the plan debug printer, and parseable via `FromStr`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.label())
+        match self {
+            Format::Uncompressed => f.write_str("uncompr"),
+            Format::StaticBp(w) => write!(f, "staticBP({w})"),
+            Format::DynBp => f.write_str("SIMD-BP"),
+            Format::DeltaDynBp => f.write_str("DELTA+SIMD-BP"),
+            Format::ForDynBp => f.write_str("FOR+SIMD-BP"),
+            Format::Rle => f.write_str("RLE"),
+            Format::Dict => f.write_str("DICT"),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Format`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError {
+    input: String,
+}
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown compression format {:?} (expected one of: uncompr, staticBP(<bits>), \
+             SIMD-BP, DELTA+SIMD-BP, FOR+SIMD-BP, RLE, DICT)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+impl std::str::FromStr for Format {
+    type Err = ParseFormatError;
+
+    /// Parse the canonical spelling produced by `Display`, so format names
+    /// round-trip through benchmark CSV output and the plan debug printer.
+    fn from_str(s: &str) -> Result<Format, ParseFormatError> {
+        let s = s.trim();
+        match s {
+            "uncompr" => return Ok(Format::Uncompressed),
+            "SIMD-BP" => return Ok(Format::DynBp),
+            "DELTA+SIMD-BP" => return Ok(Format::DeltaDynBp),
+            "FOR+SIMD-BP" => return Ok(Format::ForDynBp),
+            "RLE" => return Ok(Format::Rle),
+            "DICT" => return Ok(Format::Dict),
+            _ => {}
+        }
+        if let Some(width) = s
+            .strip_prefix("staticBP(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            if let Ok(width) = width.trim().parse::<u8>() {
+                if (1..=64).contains(&width) {
+                    return Ok(Format::StaticBp(width));
+                }
+            }
+        }
+        Err(ParseFormatError {
+            input: s.to_string(),
+        })
     }
 }
 
@@ -227,7 +281,9 @@ pub fn compress_main_part(format: &Format, values: &[u64]) -> (Vec<u8>, usize) {
 /// Decompress the whole compressed main part (`count` elements) into `out`.
 pub fn decompress_into(format: &Format, bytes: &[u8], count: usize, out: &mut Vec<u64>) {
     out.reserve(count);
-    for_each_decompressed_block(format, bytes, count, &mut |chunk| out.extend_from_slice(chunk));
+    for_each_decompressed_block(format, bytes, count, &mut |chunk| {
+        out.extend_from_slice(chunk)
+    });
 }
 
 /// Decompress the compressed main part block-wise, invoking `consumer` with
@@ -336,10 +392,24 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         let formats = Format::all_formats(63);
-        let labels: std::collections::HashSet<String> =
-            formats.iter().map(|f| f.label()).collect();
+        let labels: std::collections::HashSet<String> = formats.iter().map(|f| f.label()).collect();
         assert_eq!(labels.len(), formats.len());
         assert_eq!(Format::StaticBp(6).to_string(), "staticBP(6)");
+    }
+
+    #[test]
+    fn format_names_round_trip_through_from_str() {
+        for format in Format::all_formats(123_456) {
+            let spelled = format.to_string();
+            assert_eq!(spelled.parse::<Format>(), Ok(format), "{spelled}");
+            assert_eq!(format.label(), spelled);
+        }
+        assert_eq!(" staticBP(7) ".parse::<Format>(), Ok(Format::StaticBp(7)));
+        assert!("staticBP(0)".parse::<Format>().is_err());
+        assert!("staticBP(65)".parse::<Format>().is_err());
+        assert!("staticBP(x)".parse::<Format>().is_err());
+        let err = "simd-bp".parse::<Format>().unwrap_err();
+        assert!(err.to_string().contains("unknown compression format"));
     }
 
     #[test]
@@ -352,7 +422,10 @@ mod tests {
 
     #[test]
     fn ns_scheme_extraction() {
-        assert_eq!(NsScheme::of(&Format::StaticBp(9)), Some(NsScheme::StaticBp(9)));
+        assert_eq!(
+            NsScheme::of(&Format::StaticBp(9)),
+            Some(NsScheme::StaticBp(9))
+        );
         assert_eq!(NsScheme::of(&Format::DynBp), Some(NsScheme::DynBp));
         assert_eq!(NsScheme::of(&Format::DeltaDynBp), Some(NsScheme::DynBp));
         assert_eq!(NsScheme::of(&Format::Uncompressed), None);

@@ -84,7 +84,9 @@ fn repack_static(bytes: &[u8], src_width: u8, dst_width: u8, count: usize) -> Ve
         let byte_start = bitpack::packed_size_bytes(offset, src_width);
         bitpack::unpack_into(&bytes[byte_start..], src_width, chunk, &mut buffer);
         debug_assert!(
-            buffer.iter().all(|&v| v <= bitpack::max_value_for_width(dst_width)),
+            buffer
+                .iter()
+                .all(|&v| v <= bitpack::max_value_for_width(dst_width)),
             "value does not fit into the target static width"
         );
         bitpack::pack_into(&buffer, dst_width, &mut out);
@@ -116,7 +118,10 @@ pub fn main_part_len(format: &Format, len: usize) -> usize {
 /// Pick a static-BP width that can hold every value of a dynamic-BP encoded
 /// main part by inspecting only the per-block headers.
 pub fn static_width_from_dyn_bp(bytes: &[u8], count: usize) -> u8 {
-    dyn_bp::block_widths(bytes, count).into_iter().max().unwrap_or(1)
+    dyn_bp::block_widths(bytes, count)
+        .into_iter()
+        .max()
+        .unwrap_or(1)
 }
 
 /// Pick a static-BP width for a static-BP encoded main part (identity helper
@@ -151,7 +156,10 @@ mod tests {
         // The morphed bytes must be identical to compressing from scratch,
         // i.e. morphing is exactly "re-encode in the target format".
         let (direct, _) = compress_main_part(&dst, &values[..main_len]);
-        assert_eq!(morphed, direct, "morph {src} -> {dst} differs from direct compression");
+        assert_eq!(
+            morphed, direct,
+            "morph {src} -> {dst} differs from direct compression"
+        );
     }
 
     #[test]
@@ -169,7 +177,12 @@ mod tests {
     fn morph_involving_rle_and_dict() {
         let mut values = vec![42u64; 2048];
         values.extend(sample_values(2048));
-        let formats = [Format::Rle, Format::Dict, Format::DynBp, Format::Uncompressed];
+        let formats = [
+            Format::Rle,
+            Format::Dict,
+            Format::DynBp,
+            Format::Uncompressed,
+        ];
         for src in &formats {
             for dst in &formats {
                 roundtrip_via_morph(*src, *dst, &values);
@@ -183,19 +196,31 @@ mod tests {
         let (bytes, main_len) = compress_main_part(&Format::DynBp, &values);
         let morphed = morph_main_part(&Format::DynBp, &Format::DynBp, &bytes, main_len);
         assert_eq!(morphed, bytes);
-        assert_eq!(morph_cost_elements(&Format::DynBp, &Format::DynBp, main_len, &bytes), 0);
+        assert_eq!(
+            morph_cost_elements(&Format::DynBp, &Format::DynBp, main_len, &bytes),
+            0
+        );
     }
 
     #[test]
     fn static_repack_widens_and_narrows() {
         let values: Vec<u64> = (0..1024u64).map(|i| i % 200).collect();
         let (narrow, main_len) = compress_main_part(&Format::StaticBp(8), &values);
-        let widened = morph_main_part(&Format::StaticBp(8), &Format::StaticBp(20), &narrow, main_len);
+        let widened = morph_main_part(
+            &Format::StaticBp(8),
+            &Format::StaticBp(20),
+            &narrow,
+            main_len,
+        );
         let mut decoded = Vec::new();
         decompress_into(&Format::StaticBp(20), &widened, main_len, &mut decoded);
         assert_eq!(decoded, values);
-        let renarrowed =
-            morph_main_part(&Format::StaticBp(20), &Format::StaticBp(8), &widened, main_len);
+        let renarrowed = morph_main_part(
+            &Format::StaticBp(20),
+            &Format::StaticBp(8),
+            &widened,
+            main_len,
+        );
         assert_eq!(renarrowed, narrow);
     }
 
@@ -212,7 +237,10 @@ mod tests {
     fn morph_cost_is_cheap_for_rle_sources() {
         let values = vec![9u64; 100_000];
         let (bytes, main_len) = compress_main_part(&Format::Rle, &values);
-        assert_eq!(morph_cost_elements(&Format::Rle, &Format::DynBp, main_len, &bytes), 2);
+        assert_eq!(
+            morph_cost_elements(&Format::Rle, &Format::DynBp, main_len, &bytes),
+            2
+        );
         assert_eq!(
             morph_cost_elements(&Format::DynBp, &Format::Rle, main_len, &bytes),
             main_len

@@ -105,7 +105,7 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
         while remaining > 0 {
             let space = RLE_CHUNK - buffer.len();
             let take = remaining.min(space);
-            buffer.extend(std::iter::repeat(value).take(take));
+            buffer.extend(std::iter::repeat_n(value, take));
             remaining -= take;
             if buffer.len() == RLE_CHUNK {
                 consumer(&buffer);
@@ -127,7 +127,7 @@ mod tests {
     fn roundtrip_runs() {
         let mut values = Vec::new();
         for i in 0..100u64 {
-            values.extend(std::iter::repeat(i % 7).take((i % 13 + 1) as usize));
+            values.extend(std::iter::repeat_n(i % 7, (i % 13 + 1) as usize));
         }
         let (bytes, main_len) = compress_main_part(&Format::Rle, &values);
         assert_eq!(main_len, values.len());

@@ -65,7 +65,11 @@ pub fn encoded_size(count: usize, width: u8) -> usize {
 /// Decode `count` values packed with `width` bits, handing cache-resident
 /// chunks to `consumer`.
 pub fn for_each_block(bytes: &[u8], width: u8, count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(count % STATIC_BP_BLOCK, 0, "static BP main part must be whole blocks");
+    assert_eq!(
+        count % STATIC_BP_BLOCK,
+        0,
+        "static BP main part must be whole blocks"
+    );
     let mut buffer: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
     let mut offset = 0usize;
     while offset < count {

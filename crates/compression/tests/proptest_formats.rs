@@ -19,7 +19,7 @@ fn value_vectors() -> impl Strategy<Value = Vec<u64>> {
         // Runs of repeated values.
         prop::collection::vec((0u64..5, 1usize..200), 0..40).prop_map(|runs| {
             runs.into_iter()
-                .flat_map(|(v, n)| std::iter::repeat(v).take(n))
+                .flat_map(|(v, n)| std::iter::repeat_n(v, n))
                 .collect()
         }),
         // Sorted sequences (select-operator outputs).

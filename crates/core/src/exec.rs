@@ -284,12 +284,20 @@ impl ExecutionContext {
 
     /// Total physical size of the recorded base columns (bytes).
     pub fn base_footprint_bytes(&self) -> usize {
-        self.records.iter().filter(|r| r.is_base).map(|r| r.bytes).sum()
+        self.records
+            .iter()
+            .filter(|r| r.is_base)
+            .map(|r| r.bytes)
+            .sum()
     }
 
     /// Total physical size of the recorded intermediates (bytes).
     pub fn intermediate_footprint_bytes(&self) -> usize {
-        self.records.iter().filter(|r| !r.is_base).map(|r| r.bytes).sum()
+        self.records
+            .iter()
+            .filter(|r| !r.is_base)
+            .map(|r| r.bytes)
+            .sum()
     }
 
     /// Sum of all recorded operator durations.
@@ -326,7 +334,10 @@ mod tests {
         assert_eq!(scalar.degree, IntegrationDegree::PurelyUncompressed);
         let compressed = ExecSettings::vectorized_compressed();
         assert_eq!(compressed.style, ProcessingStyle::Vectorized);
-        assert_eq!(compressed.degree, IntegrationDegree::OnTheFlyDeRecompression);
+        assert_eq!(
+            compressed.degree,
+            IntegrationDegree::OnTheFlyDeRecompression
+        );
         assert_eq!(
             ExecSettings::vectorized_uncompressed().degree,
             IntegrationDegree::PurelyUncompressed
@@ -339,7 +350,10 @@ mod tests {
         assert_eq!(config.format_for("x", Format::Uncompressed), Format::Rle);
         assert_eq!(config.format_for("y", Format::Uncompressed), Format::DynBp);
         let empty = FormatConfig::default();
-        assert_eq!(empty.format_for("z", Format::StaticBp(7)), Format::StaticBp(7));
+        assert_eq!(
+            empty.format_for("z", Format::StaticBp(7)),
+            Format::StaticBp(7)
+        );
         assert_eq!(empty.default_format(), None);
         assert_eq!(
             FormatConfig::uncompressed().format_for("q", Format::Rle),
@@ -366,10 +380,7 @@ mod tests {
         ctx.record_intermediate("inter", &inter);
         assert_eq!(ctx.base_footprint_bytes(), 32);
         assert_eq!(ctx.intermediate_footprint_bytes(), inter.size_used_bytes());
-        assert_eq!(
-            ctx.total_footprint_bytes(),
-            32 + inter.size_used_bytes()
-        );
+        assert_eq!(ctx.total_footprint_bytes(), 32 + inter.size_used_bytes());
         assert_eq!(ctx.records().len(), 2);
         assert_eq!(ctx.intermediate_count(), 1);
     }

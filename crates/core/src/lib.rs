@@ -38,11 +38,22 @@
 //! [`agg_sum`], [`agg_sum_grouped`] and [`calc_binary`], plus the
 //! column-level [`morph`] operator that re-encodes a column in another
 //! format.
+//!
+//! ## Query plans
+//!
+//! Operators compose into a declarative DAG via the [`plan`] module: a
+//! [`plan::PlanBuilder`] offers one constructor per operator and returns
+//! typed handles, and a [`plan::PlanExecutor`] walks the finished
+//! [`plan::QueryPlan`] in topological order, resolving each edge's
+//! compression format from the [`exec::FormatConfig`] and recording
+//! footprints and timings in the [`ExecutionContext`].  See DESIGN.md for
+//! how the plan layer sits on top of the three-layer operator architecture.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod exec;
 pub mod ops;
+pub mod plan;
 pub mod specialized;
 
 pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
@@ -56,6 +67,7 @@ pub use ops::merge::{intersect_sorted, merge_sorted};
 pub use ops::morph_op::morph;
 pub use ops::project::project;
 pub use ops::select::{select, select_between};
+pub use plan::{ColRef, ColumnSource, GroupRef, PlanBuilder, PlanExecutor, QueryPlan, ScalarRef};
 
 /// Comparison predicate of the [`select`] operator (re-exported from the
 /// vector crate, where the SIMD comparison kernels live).

@@ -140,10 +140,18 @@ mod tests {
     fn max_matches_reference() {
         let values = sample(3000);
         let expected = *values.iter().max().unwrap();
-        for format in [Format::Uncompressed, Format::DynBp, Format::Rle, Format::ForDynBp] {
+        for format in [
+            Format::Uncompressed,
+            Format::DynBp,
+            Format::Rle,
+            Format::ForDynBp,
+        ] {
             let input = Column::compress(&values, &format);
             assert_eq!(agg_max(&input, &ExecSettings::default()), expected);
-            assert_eq!(agg_max(&input, &ExecSettings::scalar_uncompressed()), expected);
+            assert_eq!(
+                agg_max(&input, &ExecSettings::scalar_uncompressed()),
+                expected
+            );
         }
     }
 
@@ -177,7 +185,13 @@ mod tests {
         let sums = agg_sum_grouped(&ids, &vals, 3, &Format::DynBp, &ExecSettings::default());
         assert_eq!(sums.format(), &Format::DynBp);
         assert_eq!(sums.decompress(), vec![40, 60, 50]);
-        let plain = agg_sum_grouped(&ids, &vals, 3, &Format::DynBp, &ExecSettings::scalar_uncompressed());
+        let plain = agg_sum_grouped(
+            &ids,
+            &vals,
+            3,
+            &Format::DynBp,
+            &ExecSettings::scalar_uncompressed(),
+        );
         assert_eq!(plain.format(), &Format::Uncompressed);
     }
 
@@ -185,7 +199,13 @@ mod tests {
     fn grouped_sum_with_empty_groups() {
         let ids = Column::from_slice(&[0, 3]);
         let vals = Column::from_slice(&[5, 9]);
-        let sums = agg_sum_grouped(&ids, &vals, 5, &Format::Uncompressed, &ExecSettings::default());
+        let sums = agg_sum_grouped(
+            &ids,
+            &vals,
+            5,
+            &Format::Uncompressed,
+            &ExecSettings::default(),
+        );
         assert_eq!(sums.decompress(), vec![5, 0, 0, 9, 0]);
     }
 }

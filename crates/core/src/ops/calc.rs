@@ -34,7 +34,9 @@ pub fn calc_binary(
     match settings.degree {
         IntegrationDegree::PurelyUncompressed => {
             let mut values = Vec::with_capacity(lhs.logical_len());
-            zip_chunks(lhs, rhs, &mut |a, b| apply(settings.style, a, b, &mut values));
+            zip_chunks(lhs, rhs, &mut |a, b| {
+                apply(settings.style, a, b, &mut values)
+            });
             Column::from_vec(values)
         }
         _ => {
@@ -84,7 +86,10 @@ mod tests {
         let a = Column::from_slice(&sample(2000, 3));
         let b = Column::from_slice(&sample(2000, 7));
         for style in [ProcessingStyle::Scalar, ProcessingStyle::Vectorized] {
-            let settings = ExecSettings { style, ..ExecSettings::default() };
+            let settings = ExecSettings {
+                style,
+                ..ExecSettings::default()
+            };
             let out = calc_binary(BinaryOp::Mul, &a, &b, &Format::DeltaDynBp, &settings);
             assert_eq!(out.format(), &Format::DeltaDynBp);
             assert_eq!(out.logical_len(), 2000);
@@ -102,7 +107,13 @@ mod tests {
     #[test]
     fn calc_on_empty_columns() {
         let empty = Column::from_slice(&[]);
-        let out = calc_binary(BinaryOp::Add, &empty, &empty, &Format::DynBp, &ExecSettings::default());
+        let out = calc_binary(
+            BinaryOp::Add,
+            &empty,
+            &empty,
+            &Format::DynBp,
+            &ExecSettings::default(),
+        );
         assert!(out.is_empty());
     }
 
@@ -111,6 +122,12 @@ mod tests {
     fn calc_rejects_length_mismatch() {
         let a = Column::from_slice(&[1, 2, 3]);
         let b = Column::from_slice(&[1, 2]);
-        calc_binary(BinaryOp::Add, &a, &b, &Format::DynBp, &ExecSettings::default());
+        calc_binary(
+            BinaryOp::Add,
+            &a,
+            &b,
+            &Format::DynBp,
+            &ExecSettings::default(),
+        );
     }
 }

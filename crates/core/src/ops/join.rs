@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn join_output_formats_are_respected() {
-        let probe = Column::compress(&(0..3000u64).map(|i| i % 50).collect::<Vec<_>>(), &Format::DynBp);
+        let probe = Column::compress(
+            &(0..3000u64).map(|i| i % 50).collect::<Vec<_>>(),
+            &Format::DynBp,
+        );
         let build = Column::from_slice(&(0..50).collect::<Vec<u64>>());
         let (p, b) = join(
             &probe,
@@ -211,7 +214,12 @@ mod tests {
         for probe_format in [Format::Uncompressed, Format::DynBp, Format::Dict] {
             let probe = Column::compress(&probe_values, &probe_format);
             let build = Column::compress(&build_values, &Format::StaticBp(10));
-            let out = semi_join(&probe, &build, &Format::DeltaDynBp, &ExecSettings::default());
+            let out = semi_join(
+                &probe,
+                &build,
+                &Format::DeltaDynBp,
+                &ExecSettings::default(),
+            );
             assert_eq!(out.decompress(), expected, "probe {probe_format}");
         }
     }
@@ -220,9 +228,21 @@ mod tests {
     fn semi_join_with_no_matches_and_empty_inputs() {
         let probe = Column::from_slice(&[1, 2, 3]);
         let build = Column::from_slice(&[9, 10]);
-        assert!(semi_join(&probe, &build, &Format::Uncompressed, &ExecSettings::default()).is_empty());
+        assert!(semi_join(
+            &probe,
+            &build,
+            &Format::Uncompressed,
+            &ExecSettings::default()
+        )
+        .is_empty());
         let empty = Column::from_slice(&[]);
-        assert!(semi_join(&empty, &build, &Format::Uncompressed, &ExecSettings::default()).is_empty());
+        assert!(semi_join(
+            &empty,
+            &build,
+            &Format::Uncompressed,
+            &ExecSettings::default()
+        )
+        .is_empty());
         let (p, b) = join(
             &empty,
             &build,

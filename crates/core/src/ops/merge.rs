@@ -26,7 +26,12 @@ pub fn intersect_sorted(
 }
 
 /// Merge-union two sorted position columns (duplicates collapse).
-pub fn merge_sorted(a: &Column, b: &Column, out_format: &Format, settings: &ExecSettings) -> Column {
+pub fn merge_sorted(
+    a: &Column,
+    b: &Column,
+    out_format: &Format,
+    settings: &ExecSettings,
+) -> Column {
     set_op(a, b, out_format, settings, SetOp::Union)
 }
 
@@ -149,7 +154,9 @@ mod tests {
     fn disjoint_and_identical_inputs() {
         let a = Column::from_slice(&[1, 3, 5]);
         let b = Column::from_slice(&[2, 4, 6]);
-        assert!(intersect_sorted(&a, &b, &Format::Uncompressed, &ExecSettings::default()).is_empty());
+        assert!(
+            intersect_sorted(&a, &b, &Format::Uncompressed, &ExecSettings::default()).is_empty()
+        );
         assert_eq!(
             merge_sorted(&a, &b, &Format::Uncompressed, &ExecSettings::default()).decompress(),
             vec![1, 2, 3, 4, 5, 6]
@@ -168,7 +175,10 @@ mod tests {
     fn empty_inputs() {
         let a = Column::from_slice(&[1, 2, 3]);
         let empty = Column::from_slice(&[]);
-        assert!(intersect_sorted(&a, &empty, &Format::Uncompressed, &ExecSettings::default()).is_empty());
+        assert!(
+            intersect_sorted(&a, &empty, &Format::Uncompressed, &ExecSettings::default())
+                .is_empty()
+        );
         assert_eq!(
             merge_sorted(&a, &empty, &Format::Uncompressed, &ExecSettings::default()).decompress(),
             vec![1, 2, 3]
@@ -187,7 +197,12 @@ mod tests {
         let b = Column::compress(&b_values, &Format::DeltaDynBp);
         let compressed = intersect_sorted(&a, &b, &Format::DeltaDynBp, &ExecSettings::default());
         assert_eq!(compressed.format(), &Format::DeltaDynBp);
-        let plain = intersect_sorted(&a, &b, &Format::DeltaDynBp, &ExecSettings::scalar_uncompressed());
+        let plain = intersect_sorted(
+            &a,
+            &b,
+            &Format::DeltaDynBp,
+            &ExecSettings::scalar_uncompressed(),
+        );
         assert_eq!(plain.format(), &Format::Uncompressed);
         assert_eq!(plain.decompress(), compressed.decompress());
     }

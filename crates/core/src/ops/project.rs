@@ -83,7 +83,11 @@ mod tests {
             .collect();
         for data_format in Format::all_formats(2047) {
             let data = Column::compress(&data_values, &data_format);
-            for pos_format in [Format::Uncompressed, Format::DeltaDynBp, Format::StaticBp(13)] {
+            for pos_format in [
+                Format::Uncompressed,
+                Format::DeltaDynBp,
+                Format::StaticBp(13),
+            ] {
                 let positions = Column::compress(&position_values, &pos_format);
                 let out = project(&data, &positions, &Format::DynBp, &ExecSettings::default());
                 assert_eq!(
@@ -110,7 +114,12 @@ mod tests {
     fn project_preserves_position_order_and_duplicates() {
         let data = Column::from_slice(&[10, 20, 30, 40]);
         let positions = Column::from_slice(&[3, 0, 3, 1, 1]);
-        let out = project(&data, &positions, &Format::Uncompressed, &ExecSettings::default());
+        let out = project(
+            &data,
+            &positions,
+            &Format::Uncompressed,
+            &ExecSettings::default(),
+        );
         assert_eq!(out.decompress(), vec![40, 10, 40, 20, 20]);
     }
 
@@ -118,7 +127,12 @@ mod tests {
     fn purely_uncompressed_output() {
         let data = Column::from_slice(&sample(100));
         let positions = Column::from_slice(&[5, 6, 7]);
-        let out = project(&data, &positions, &Format::Rle, &ExecSettings::scalar_uncompressed());
+        let out = project(
+            &data,
+            &positions,
+            &Format::Rle,
+            &ExecSettings::scalar_uncompressed(),
+        );
         assert_eq!(out.format(), &Format::Uncompressed);
     }
 
@@ -135,7 +149,12 @@ mod tests {
     fn out_of_bounds_position_panics() {
         let data = Column::from_slice(&[1, 2, 3]);
         let positions = Column::from_slice(&[7]);
-        project(&data, &positions, &Format::Uncompressed, &ExecSettings::default());
+        project(
+            &data,
+            &positions,
+            &Format::Uncompressed,
+            &ExecSettings::default(),
+        );
     }
 
     #[test]
@@ -146,7 +165,12 @@ mod tests {
         let data = Column::compress(&data_values, &Format::DynBp);
         assert_eq!(data.main_part_len(), 512);
         let positions = Column::from_slice(&[511, 512, 599]);
-        let out = project(&data, &positions, &Format::Uncompressed, &ExecSettings::default());
+        let out = project(
+            &data,
+            &positions,
+            &Format::Uncompressed,
+            &ExecSettings::default(),
+        );
         assert_eq!(
             out.decompress(),
             vec![data_values[511], data_values[512], data_values[599]]

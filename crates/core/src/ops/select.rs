@@ -192,7 +192,10 @@ mod tests {
         for out_format in Format::all_formats(10_000) {
             let out = select(CmpOp::Ge, &input, 500, &out_format, &settings);
             assert_eq!(out.format(), &out_format);
-            assert_eq!(out.decompress(), reference_positions(&values, CmpOp::Ge, 500));
+            assert_eq!(
+                out.decompress(),
+                reference_positions(&values, CmpOp::Ge, 500)
+            );
         }
     }
 
@@ -208,7 +211,13 @@ mod tests {
     #[test]
     fn select_on_empty_column() {
         let input = Column::from_slice(&[]);
-        let out = select(CmpOp::Eq, &input, 5, &Format::DynBp, &ExecSettings::default());
+        let out = select(
+            CmpOp::Eq,
+            &input,
+            5,
+            &Format::DynBp,
+            &ExecSettings::default(),
+        );
         assert!(out.is_empty());
     }
 
@@ -229,9 +238,20 @@ mod tests {
         let values = sample(2000);
         let input = Column::compress(&values, &Format::StaticBp(10));
         let settings = ExecSettings::default();
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let out = select(op, &input, 500, &Format::DynBp, &settings);
-            assert_eq!(out.decompress(), reference_positions(&values, op, 500), "{op:?}");
+            assert_eq!(
+                out.decompress(),
+                reference_positions(&values, op, 500),
+                "{op:?}"
+            );
         }
     }
 
@@ -246,7 +266,13 @@ mod tests {
             .collect();
         for format in [Format::Uncompressed, Format::DynBp, Format::Rle] {
             let input = Column::compress(&values, &format);
-            let out = select_between(&input, 100, 300, &Format::DeltaDynBp, &ExecSettings::default());
+            let out = select_between(
+                &input,
+                100,
+                300,
+                &Format::DeltaDynBp,
+                &ExecSettings::default(),
+            );
             assert_eq!(out.decompress(), expected, "format {format}");
         }
         let uncompressed_out = select_between(
@@ -264,7 +290,13 @@ mod tests {
     #[should_panic(expected = "low <= high")]
     fn select_between_rejects_inverted_range() {
         let input = Column::from_slice(&[1, 2, 3]);
-        select_between(&input, 10, 5, &Format::Uncompressed, &ExecSettings::default());
+        select_between(
+            &input,
+            10,
+            5,
+            &Format::Uncompressed,
+            &ExecSettings::default(),
+        );
     }
 
     #[test]
@@ -273,7 +305,13 @@ mod tests {
         // DELTA + SIMD-BP is the best output format (Section 5.1).
         let values = sample(8000);
         let input = Column::compress(&values, &Format::DynBp);
-        let out = select(CmpOp::Lt, &input, 900, &Format::DeltaDynBp, &ExecSettings::default());
+        let out = select(
+            CmpOp::Lt,
+            &input,
+            900,
+            &Format::DeltaDynBp,
+            &ExecSettings::default(),
+        );
         let positions = out.decompress();
         assert!(positions.windows(2).all(|w| w[0] < w[1]));
     }

@@ -1,0 +1,1079 @@
+//! The logical query-plan DAG: construction ([`PlanBuilder`]), inspection
+//! ([`QueryPlan`]) and execution ([`PlanExecutor`]).
+//!
+//! The paper's processing model deliberately keeps query planning ordinary:
+//! a plan is "constructed using our compression-enabled query operators in
+//! the same manner as for uncompressed processing" (Section 3.3), and the
+//! per-column compression format is the *only* new degree of freedom.  This
+//! module makes that plan a first-class value instead of a hand-written
+//! sequence of operator calls:
+//!
+//! * [`PlanBuilder`] offers one constructor per physical operator
+//!   ([`PlanBuilder::scan`], [`PlanBuilder::select`],
+//!   [`PlanBuilder::project`], [`PlanBuilder::join`], …) and returns typed
+//!   node handles ([`ColRef`], [`GroupRef`], [`ScalarRef`]) that later
+//!   constructors consume.  Handles can only refer to nodes that already
+//!   exist, so the node list is always in topological order.
+//! * [`QueryPlan`] is the finished DAG.  It knows every *edge* — every base
+//!   column and every named intermediate the plan materialises — which is
+//!   what the format-selection strategies enumerate ([`QueryPlan::edges`])
+//!   and what the debug printer renders ([`QueryPlan::describe`]).
+//! * [`PlanExecutor`] walks the DAG in topological order, resolves each
+//!   edge's format from the [`FormatConfig`] of the given
+//!   [`ExecutionContext`] under the stable name `"<plan label>/<step>"`,
+//!   runs the physical operator, and records footprints and timings exactly
+//!   like the paper's evaluation requires — the bookkeeping every query
+//!   used to copy-paste by hand.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use morph_compression::Format;
+use morph_storage::Column;
+
+use crate::exec::{ExecutionContext, FormatConfig};
+use crate::ops::agg::{agg_sum, agg_sum_grouped};
+use crate::ops::calc::calc_binary;
+use crate::ops::group::{group_by, group_by_refine, GroupResult};
+use crate::ops::join::{join, semi_join};
+use crate::ops::merge::{intersect_sorted, merge_sorted};
+use crate::ops::morph_op::morph;
+use crate::ops::project::project;
+use crate::ops::select::{select, select_between};
+use crate::{BinaryOp, CmpOp};
+
+/// A provider of base columns by name — the leaf inputs of a plan.
+///
+/// [`crate::exec::ExecutionContext`] is deliberately not involved: a source
+/// is pure storage, the context only records what an execution touched.
+pub trait ColumnSource {
+    /// The base column named `name`.
+    ///
+    /// # Panics
+    /// Implementations panic when no column of that name exists; a plan
+    /// referencing an unknown column is a construction bug, not a runtime
+    /// condition.
+    fn column(&self, name: &str) -> &Column;
+}
+
+impl ColumnSource for HashMap<String, Column> {
+    fn column(&self, name: &str) -> &Column {
+        self.get(name)
+            .unwrap_or_else(|| panic!("unknown base column {name:?}"))
+    }
+}
+
+/// Typed handle to the single column produced by a plan node (or to one of
+/// the two columns of a grouping node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    node: usize,
+    port: u8,
+}
+
+/// Typed handle to a grouping node (which produces *two* columns — per-row
+/// group identifiers and per-group representative positions — plus the group
+/// count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupRef {
+    node: usize,
+}
+
+impl GroupRef {
+    /// The per-row dense group identifiers (recorded under the node's own
+    /// step name).
+    pub fn ids(&self) -> ColRef {
+        ColRef {
+            node: self.node,
+            port: 0,
+        }
+    }
+
+    /// The per-group representative positions (recorded under
+    /// `"<step>_reps"`).
+    pub fn representatives(&self) -> ColRef {
+        ColRef {
+            node: self.node,
+            port: 1,
+        }
+    }
+}
+
+/// Typed handle to a scalar-producing node (whole-column aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScalarRef {
+    node: usize,
+}
+
+/// The physical operator a plan node executes.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    Scan {
+        column: String,
+    },
+    Select {
+        input: ColRef,
+        op: CmpOp,
+        constant: u64,
+    },
+    SelectBetween {
+        input: ColRef,
+        low: u64,
+        high: u64,
+    },
+    SelectIn2 {
+        input: ColRef,
+        first: u64,
+        second: u64,
+    },
+    IntersectSorted {
+        a: ColRef,
+        b: ColRef,
+    },
+    MergeSorted {
+        a: ColRef,
+        b: ColRef,
+    },
+    Project {
+        data: ColRef,
+        positions: ColRef,
+    },
+    SemiJoin {
+        probe: ColRef,
+        build: ColRef,
+    },
+    Join {
+        probe: ColRef,
+        build: ColRef,
+    },
+    CalcBinary {
+        op: BinaryOp,
+        lhs: ColRef,
+        rhs: ColRef,
+    },
+    GroupBy {
+        keys: ColRef,
+    },
+    GroupByRefine {
+        previous: GroupRef,
+        keys: ColRef,
+    },
+    AggSumGrouped {
+        group: GroupRef,
+        values: ColRef,
+    },
+    AggSum {
+        values: ColRef,
+    },
+    Morph {
+        input: ColRef,
+        target: Format,
+    },
+}
+
+impl PlanOp {
+    /// The operator mnemonic used in timing labels and the debug printer.
+    fn mnemonic(&self) -> &'static str {
+        match self {
+            PlanOp::Scan { .. } => "scan",
+            PlanOp::Select { .. } | PlanOp::SelectBetween { .. } | PlanOp::SelectIn2 { .. } => {
+                "select"
+            }
+            PlanOp::IntersectSorted { .. } => "intersect",
+            PlanOp::MergeSorted { .. } => "merge",
+            PlanOp::Project { .. } => "project",
+            PlanOp::SemiJoin { .. } => "semijoin",
+            PlanOp::Join { .. } => "join",
+            PlanOp::CalcBinary { .. } => "calc",
+            PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. } => "group",
+            PlanOp::AggSumGrouped { .. } | PlanOp::AggSum { .. } => "agg",
+            PlanOp::Morph { .. } => "morph",
+        }
+    }
+
+    /// The column handles this operator consumes (for the debug printer).
+    fn inputs(&self) -> Vec<ColRef> {
+        match *self {
+            PlanOp::Scan { .. } => vec![],
+            PlanOp::Select { input, .. }
+            | PlanOp::SelectBetween { input, .. }
+            | PlanOp::SelectIn2 { input, .. }
+            | PlanOp::Morph { input, .. } => vec![input],
+            PlanOp::IntersectSorted { a, b } | PlanOp::MergeSorted { a, b } => vec![a, b],
+            PlanOp::Project { data, positions } => vec![data, positions],
+            PlanOp::SemiJoin { probe, build } | PlanOp::Join { probe, build } => {
+                vec![probe, build]
+            }
+            PlanOp::CalcBinary { lhs, rhs, .. } => vec![lhs, rhs],
+            PlanOp::GroupBy { keys } => vec![keys],
+            PlanOp::GroupByRefine { previous, keys } => {
+                vec![previous.ids(), previous.representatives(), keys]
+            }
+            PlanOp::AggSumGrouped { group, values } => vec![group.ids(), values],
+            PlanOp::AggSum { values } => vec![values],
+        }
+    }
+}
+
+/// One node of the DAG: a step name plus the operator it runs.
+#[derive(Debug, Clone)]
+struct PlanNode {
+    name: String,
+    op: PlanOp,
+}
+
+/// What the plan returns to the caller.
+#[derive(Debug, Clone)]
+enum PlanOutputs {
+    /// A single scalar (the ungrouped SSB flight-1 queries).
+    Scalar(ScalarRef),
+    /// Row-aligned group-key columns plus the aggregated measure.
+    Grouped { keys: Vec<ColRef>, values: ColRef },
+}
+
+/// One materialised column of a plan: a base column or a named intermediate.
+///
+/// The format-selection strategies enumerate these instead of hard-coded
+/// per-query column-name lists — the set of assignable columns is a property
+/// of the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEdge {
+    /// The name the column is recorded (and format-assigned) under: the bare
+    /// column name for base columns, `"<plan label>/<step>"` for
+    /// intermediates.
+    pub name: String,
+    /// Mnemonic of the operator producing the column.
+    pub op: &'static str,
+    /// Whether this is a base column (scan) rather than an intermediate.
+    pub is_base: bool,
+}
+
+/// The decompressed result of executing a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOutput {
+    /// One vector per group-key output column, row-aligned with `values`
+    /// (empty for scalar plans).
+    pub group_keys: Vec<Vec<u64>>,
+    /// The aggregated value per result row (a single element for scalar
+    /// plans).
+    pub values: Vec<u64>,
+}
+
+/// A finished logical operator DAG.
+///
+/// Nodes are stored in construction order, which [`PlanBuilder`] guarantees
+/// to be a topological order; [`PlanExecutor`] therefore walks the node list
+/// linearly.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    label: String,
+    nodes: Vec<PlanNode>,
+    outputs: PlanOutputs,
+}
+
+impl QueryPlan {
+    /// The plan label, used as the prefix of every intermediate name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of operator nodes (including scans).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The full (prefixed) name of the column produced by `node`, given its
+    /// step `name`; grouping nodes record their second output under
+    /// `"<step>_reps"`.
+    fn full_name(&self, name: &str) -> String {
+        format!("{}/{}", self.label, name)
+    }
+
+    /// The distinct base columns the plan scans, in first-use order.
+    pub fn base_columns(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for node in &self.nodes {
+            if let PlanOp::Scan { column } = &node.op {
+                if !seen.iter().any(|s| s == column) {
+                    seen.push(column.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// The full names of every intermediate the plan materialises, in
+    /// execution order (grouping nodes contribute two names).
+    pub fn intermediate_names(&self) -> Vec<String> {
+        self.edges()
+            .into_iter()
+            .filter(|e| !e.is_base)
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// Every materialised column of the plan — base columns and
+    /// intermediates — in execution order.
+    ///
+    /// Scalar aggregations produce no column and therefore no edge.
+    pub fn edges(&self) -> Vec<PlanEdge> {
+        let mut edges = Vec::new();
+        let mut seen_bases: Vec<&str> = Vec::new();
+        for node in &self.nodes {
+            match &node.op {
+                PlanOp::Scan { column } => {
+                    if !seen_bases.contains(&column.as_str()) {
+                        seen_bases.push(column);
+                        edges.push(PlanEdge {
+                            name: column.clone(),
+                            op: "scan",
+                            is_base: true,
+                        });
+                    }
+                }
+                PlanOp::AggSum { .. } => {}
+                PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. } => {
+                    edges.push(PlanEdge {
+                        name: self.full_name(&node.name),
+                        op: node.op.mnemonic(),
+                        is_base: false,
+                    });
+                    edges.push(PlanEdge {
+                        name: self.full_name(&format!("{}_reps", node.name)),
+                        op: node.op.mnemonic(),
+                        is_base: false,
+                    });
+                }
+                _ => {
+                    edges.push(PlanEdge {
+                        name: self.full_name(&node.name),
+                        op: node.op.mnemonic(),
+                        is_base: false,
+                    });
+                }
+            }
+        }
+        edges
+    }
+
+    /// Render the plan with the format every edge would be materialised in
+    /// under `formats` — the debug printer of the plan layer.  Formats are
+    /// spelled via [`Format`]'s `Display` implementation, the same canonical
+    /// spelling the benchmark harness uses.
+    pub fn describe(&self, formats: &FormatConfig) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "plan {:?} ({} nodes)", self.label, self.nodes.len());
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let inputs: Vec<String> = node
+                .op
+                .inputs()
+                .iter()
+                .map(|r| {
+                    if r.port == 0 {
+                        format!("#{}", r.node)
+                    } else {
+                        format!("#{}.reps", r.node)
+                    }
+                })
+                .collect();
+            let detail = match &node.op {
+                // The step name of a scan *is* the column name.
+                PlanOp::Scan { .. } => String::new(),
+                PlanOp::Select { op, constant, .. } => format!("{op:?} {constant}"),
+                PlanOp::SelectBetween { low, high, .. } => format!("between {low} {high}"),
+                PlanOp::SelectIn2 { first, second, .. } => format!("in ({first}, {second})"),
+                PlanOp::CalcBinary { op, .. } => format!("{op:?}"),
+                PlanOp::Morph { target, .. } => format!("to {target}"),
+                _ => String::new(),
+            };
+            let format_of = |name: &str| formats.format_for(name, Format::Uncompressed);
+            let materialised = match &node.op {
+                PlanOp::Scan { .. } => String::new(),
+                PlanOp::AggSum { .. } => " -> scalar".to_string(),
+                PlanOp::AggSumGrouped { .. } => {
+                    format!(
+                        " -> {} : {}",
+                        self.full_name(&node.name),
+                        Format::Uncompressed
+                    )
+                }
+                PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. } => {
+                    let ids = self.full_name(&node.name);
+                    let reps = self.full_name(&format!("{}_reps", node.name));
+                    format!(
+                        " -> {} : {}, {} : {}",
+                        ids,
+                        format_of(&ids),
+                        reps,
+                        format_of(&reps)
+                    )
+                }
+                _ => {
+                    let name = self.full_name(&node.name);
+                    format!(" -> {} : {}", name, format_of(&name))
+                }
+            };
+            let detail = if detail.is_empty() {
+                String::new()
+            } else {
+                format!(" {detail}")
+            };
+            let sources = if inputs.is_empty() {
+                String::new()
+            } else {
+                format!(" <- [{}]", inputs.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "  [{idx:>3}] {:<9} {}{detail}{sources}{materialised}",
+                node.op.mnemonic(),
+                node.name,
+            );
+        }
+        match &self.outputs {
+            PlanOutputs::Scalar(s) => {
+                let _ = writeln!(out, "  output: scalar #{}", s.node);
+            }
+            PlanOutputs::Grouped { keys, values } => {
+                let keys: Vec<String> = keys.iter().map(|k| format!("#{}", k.node)).collect();
+                let _ = writeln!(
+                    out,
+                    "  output: keys [{}], values #{}",
+                    keys.join(", "),
+                    values.node
+                );
+            }
+        }
+        out
+    }
+
+    /// Execute the plan against `source`, recording footprints and timings
+    /// in `ctx` (convenience wrapper around [`PlanExecutor`]).
+    pub fn execute(&self, source: &dyn ColumnSource, ctx: &mut ExecutionContext) -> PlanOutput {
+        PlanExecutor.execute(self, source, ctx)
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe(&FormatConfig::default()))
+    }
+}
+
+/// Incremental construction of a [`QueryPlan`].
+///
+/// Every method appends one node and returns a typed handle; because a
+/// handle can only be obtained from this builder, every edge points
+/// backwards and the node list is a topological order by construction.  Step
+/// names must be unique within a plan — they become the
+/// `"<label>/<step>"` intermediate names that [`FormatConfig`] assigns
+/// formats to.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    label: String,
+    nodes: Vec<PlanNode>,
+}
+
+impl PlanBuilder {
+    /// Start a plan labelled `label` (the prefix of its intermediate names,
+    /// e.g. the SSB query label `"1.1"`).
+    pub fn new(label: impl Into<String>) -> PlanBuilder {
+        PlanBuilder {
+            label: label.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The intermediate names a non-scan node records under: its step name,
+    /// plus the reserved `"<step>_reps"` for grouping nodes.
+    fn claimed_names(name: &str, op: &PlanOp) -> Vec<String> {
+        match op {
+            PlanOp::Scan { .. } => vec![],
+            PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. } => {
+                vec![name.to_string(), format!("{name}_reps")]
+            }
+            _ => vec![name.to_string()],
+        }
+    }
+
+    fn push(&mut self, name: &str, op: PlanOp) -> usize {
+        // Every intermediate name — including the implicit "<step>_reps" of
+        // grouping nodes — must be unique: it is the column's identity in
+        // the execution records and in the format assignment.
+        let claims = Self::claimed_names(name, &op);
+        for node in &self.nodes {
+            for existing in Self::claimed_names(&node.name, &node.op) {
+                assert!(
+                    !claims.contains(&existing),
+                    "duplicate plan step name {existing:?}"
+                );
+            }
+        }
+        for input in op.inputs() {
+            assert!(
+                input.node < self.nodes.len(),
+                "plan step {name:?} references a node that does not exist yet"
+            );
+        }
+        self.nodes.push(PlanNode {
+            name: name.to_string(),
+            op,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn col(&mut self, name: &str, op: PlanOp) -> ColRef {
+        ColRef {
+            node: self.push(name, op),
+            port: 0,
+        }
+    }
+
+    /// Scan the base column `column`.  Scanning the same column twice
+    /// returns the original handle (base columns are recorded once per
+    /// query, as in the paper's footprint accounting).
+    pub fn scan(&mut self, column: &str) -> ColRef {
+        if let Some(existing) = self
+            .nodes
+            .iter()
+            .position(|n| matches!(&n.op, PlanOp::Scan { column: c } if c == column))
+        {
+            return ColRef {
+                node: existing,
+                port: 0,
+            };
+        }
+        self.col(
+            column,
+            PlanOp::Scan {
+                column: column.to_string(),
+            },
+        )
+    }
+
+    /// Positions of `input` satisfying `value <op> constant`.
+    pub fn select(&mut self, name: &str, input: ColRef, op: CmpOp, constant: u64) -> ColRef {
+        self.col(
+            name,
+            PlanOp::Select {
+                input,
+                op,
+                constant,
+            },
+        )
+    }
+
+    /// Positions of `input` with a value in `[low, high]`.
+    pub fn select_between(&mut self, name: &str, input: ColRef, low: u64, high: u64) -> ColRef {
+        self.col(name, PlanOp::SelectBetween { input, low, high })
+    }
+
+    /// Positions of `input` equal to `first` or `second` (`IN (a, b)`):
+    /// two selections whose sorted position lists are merged, materialised
+    /// as a single intermediate.
+    pub fn select_in2(&mut self, name: &str, input: ColRef, first: u64, second: u64) -> ColRef {
+        self.col(
+            name,
+            PlanOp::SelectIn2 {
+                input,
+                first,
+                second,
+            },
+        )
+    }
+
+    /// Intersection of two sorted position columns.
+    pub fn intersect_sorted(&mut self, name: &str, a: ColRef, b: ColRef) -> ColRef {
+        self.col(name, PlanOp::IntersectSorted { a, b })
+    }
+
+    /// Union of two sorted position columns (duplicates collapse).
+    pub fn merge_sorted(&mut self, name: &str, a: ColRef, b: ColRef) -> ColRef {
+        self.col(name, PlanOp::MergeSorted { a, b })
+    }
+
+    /// `data[positions]`.
+    pub fn project(&mut self, name: &str, data: ColRef, positions: ColRef) -> ColRef {
+        self.col(name, PlanOp::Project { data, positions })
+    }
+
+    /// Positions of `probe` whose value occurs in `build`.
+    pub fn semi_join(&mut self, name: &str, probe: ColRef, build: ColRef) -> ColRef {
+        self.col(name, PlanOp::SemiJoin { probe, build })
+    }
+
+    /// N:1 join of `probe` (foreign keys) against `build` (a key column);
+    /// materialises the build-side positions aligned with the probe rows.
+    /// Execution asserts that every probe row finds exactly one match.
+    pub fn join(&mut self, name: &str, probe: ColRef, build: ColRef) -> ColRef {
+        self.col(name, PlanOp::Join { probe, build })
+    }
+
+    /// Element-wise binary calculation over two aligned columns.
+    pub fn calc_binary(&mut self, name: &str, op: BinaryOp, lhs: ColRef, rhs: ColRef) -> ColRef {
+        self.col(name, PlanOp::CalcBinary { op, lhs, rhs })
+    }
+
+    /// Group rows by a key column.  The per-row group identifiers and the
+    /// per-group representatives are distinct intermediates with distinct
+    /// data characteristics, named `<name>` and `<name>_reps`.
+    pub fn group_by(&mut self, name: &str, keys: ColRef) -> GroupRef {
+        GroupRef {
+            node: self.push(name, PlanOp::GroupBy { keys }),
+        }
+    }
+
+    /// Refine an existing grouping by an additional key column (multi-column
+    /// `GROUP BY`, one refinement per further key).
+    pub fn group_by_refine(&mut self, name: &str, previous: GroupRef, keys: ColRef) -> GroupRef {
+        assert!(
+            previous.node < self.nodes.len(),
+            "plan step {name:?} references a grouping that does not exist yet"
+        );
+        GroupRef {
+            node: self.push(name, PlanOp::GroupByRefine { previous, keys }),
+        }
+    }
+
+    /// Per-group sum of `values`.  The output is a final query result and is
+    /// always materialised uncompressed (Section 3.3 of the paper).
+    pub fn agg_sum_grouped(&mut self, name: &str, group: GroupRef, values: ColRef) -> ColRef {
+        assert!(
+            group.node < self.nodes.len(),
+            "plan step {name:?} references a grouping that does not exist yet"
+        );
+        self.col(name, PlanOp::AggSumGrouped { group, values })
+    }
+
+    /// Whole-column sum, producing a scalar.
+    pub fn agg_sum(&mut self, name: &str, values: ColRef) -> ScalarRef {
+        ScalarRef {
+            node: self.push(name, PlanOp::AggSum { values }),
+        }
+    }
+
+    /// Re-encode a column in `target` format (the morph operator as an
+    /// explicit plan step).
+    pub fn morph(&mut self, name: &str, input: ColRef, target: Format) -> ColRef {
+        self.col(name, PlanOp::Morph { input, target })
+    }
+
+    /// Finish a plan whose result is the scalar produced by `value`.
+    pub fn finish_scalar(self, value: ScalarRef) -> QueryPlan {
+        assert!(value.node < self.nodes.len());
+        QueryPlan {
+            label: self.label,
+            nodes: self.nodes,
+            outputs: PlanOutputs::Scalar(value),
+        }
+    }
+
+    /// Finish a plan returning row-aligned group-key columns plus the
+    /// aggregated measure.
+    pub fn finish_grouped(self, keys: Vec<ColRef>, values: ColRef) -> QueryPlan {
+        for key in &keys {
+            assert!(key.node < self.nodes.len());
+        }
+        assert!(values.node < self.nodes.len());
+        QueryPlan {
+            label: self.label,
+            nodes: self.nodes,
+            outputs: PlanOutputs::Grouped { keys, values },
+        }
+    }
+}
+
+/// One materialised value during execution.
+enum Slot<'a> {
+    Base(&'a Column),
+    Col(Column),
+    Group(GroupResult),
+    Scalar(u64),
+}
+
+impl Slot<'_> {
+    fn column(&self, port: u8) -> &Column {
+        match (self, port) {
+            (Slot::Base(c), 0) => c,
+            (Slot::Col(c), 0) => c,
+            (Slot::Group(g), 0) => &g.group_ids,
+            (Slot::Group(g), 1) => &g.representatives,
+            _ => panic!("plan node does not produce the requested column"),
+        }
+    }
+
+    fn group(&self) -> &GroupResult {
+        match self {
+            Slot::Group(g) => g,
+            _ => panic!("plan node is not a grouping"),
+        }
+    }
+
+    fn scalar(&self) -> u64 {
+        match self {
+            Slot::Scalar(v) => *v,
+            _ => panic!("plan node does not produce a scalar"),
+        }
+    }
+}
+
+/// Walks a [`QueryPlan`] in topological order against a [`ColumnSource`],
+/// materialising every node under the execution settings and format
+/// assignment of an [`ExecutionContext`].
+///
+/// Per node, the executor
+///
+/// 1. resolves the output format from the context's [`FormatConfig`] under
+///    the stable name `"<plan label>/<step>"` (grouped representatives:
+///    `"<plan label>/<step>_reps"`),
+/// 2. runs the physical operator under the context's [`crate::ExecSettings`],
+///    timing it as `"<plan label>/<mnemonic>:<step>"`,
+/// 3. records the result in the context — base columns once per query,
+///    intermediates always — so footprints match the paper's accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PlanExecutor;
+
+impl PlanExecutor {
+    /// Execute `plan` against `source`, recording into `ctx`.
+    pub fn execute(
+        &self,
+        plan: &QueryPlan,
+        source: &dyn ColumnSource,
+        ctx: &mut ExecutionContext,
+    ) -> PlanOutput {
+        let mut slots: Vec<Slot<'_>> = Vec::with_capacity(plan.nodes.len());
+        for node in &plan.nodes {
+            let slot = self.run_node(plan, node, &slots, source, ctx);
+            slots.push(slot);
+        }
+        match &plan.outputs {
+            PlanOutputs::Scalar(value) => PlanOutput {
+                group_keys: vec![],
+                values: vec![slots[value.node].scalar()],
+            },
+            PlanOutputs::Grouped { keys, values } => PlanOutput {
+                group_keys: keys
+                    .iter()
+                    .map(|k| slots[k.node].column(k.port).decompress())
+                    .collect(),
+                values: slots[values.node].column(values.port).decompress(),
+            },
+        }
+    }
+
+    fn run_node<'a>(
+        &self,
+        plan: &QueryPlan,
+        node: &PlanNode,
+        slots: &[Slot<'a>],
+        source: &'a dyn ColumnSource,
+        ctx: &mut ExecutionContext,
+    ) -> Slot<'a> {
+        let col = |r: ColRef| slots[r.node].column(r.port);
+        let settings = ctx.settings;
+        let full = plan.full_name(&node.name);
+        let out_format = ctx.formats.format_for(&full, Format::Uncompressed);
+        let timing = format!("{}/{}:{}", plan.label, node.op.mnemonic(), node.name);
+
+        match &node.op {
+            PlanOp::Scan { column } => {
+                let base = source.column(column);
+                ctx.record_base(column, base);
+                return Slot::Base(base);
+            }
+            PlanOp::AggSum { values } => {
+                let input = col(*values);
+                let total = ctx.time(&timing, || agg_sum(input, &settings));
+                return Slot::Scalar(total);
+            }
+            PlanOp::GroupBy { keys } | PlanOp::GroupByRefine { keys, .. } => {
+                let reps_name = format!("{full}_reps");
+                let reps_format = ctx.formats.format_for(&reps_name, Format::Uncompressed);
+                let keys = col(*keys);
+                let result = match &node.op {
+                    PlanOp::GroupBy { .. } => ctx.time(&timing, || {
+                        group_by(keys, (&out_format, &reps_format), &settings)
+                    }),
+                    PlanOp::GroupByRefine { previous, .. } => {
+                        let previous = slots[previous.node].group();
+                        ctx.time(&timing, || {
+                            group_by_refine(previous, keys, (&out_format, &reps_format), &settings)
+                        })
+                    }
+                    _ => unreachable!(),
+                };
+                ctx.record_intermediate(&full, &result.group_ids);
+                ctx.record_intermediate(&reps_name, &result.representatives);
+                return Slot::Group(result);
+            }
+            _ => {}
+        }
+
+        let out = match &node.op {
+            PlanOp::Select {
+                input,
+                op,
+                constant,
+            } => {
+                let input = col(*input);
+                ctx.time(&timing, || {
+                    select(*op, input, *constant, &out_format, &settings)
+                })
+            }
+            PlanOp::SelectBetween { input, low, high } => {
+                let input = col(*input);
+                ctx.time(&timing, || {
+                    select_between(input, *low, *high, &out_format, &settings)
+                })
+            }
+            PlanOp::SelectIn2 {
+                input,
+                first,
+                second,
+            } => {
+                let input = col(*input);
+                ctx.time(&timing, || {
+                    let first = select(CmpOp::Eq, input, *first, &out_format, &settings);
+                    let second = select(CmpOp::Eq, input, *second, &out_format, &settings);
+                    merge_sorted(&first, &second, &out_format, &settings)
+                })
+            }
+            PlanOp::IntersectSorted { a, b } => {
+                let (a, b) = (col(*a), col(*b));
+                ctx.time(&timing, || intersect_sorted(a, b, &out_format, &settings))
+            }
+            PlanOp::MergeSorted { a, b } => {
+                let (a, b) = (col(*a), col(*b));
+                ctx.time(&timing, || merge_sorted(a, b, &out_format, &settings))
+            }
+            PlanOp::Project { data, positions } => {
+                let (data, positions) = (col(*data), col(*positions));
+                ctx.time(&timing, || project(data, positions, &out_format, &settings))
+            }
+            PlanOp::SemiJoin { probe, build } => {
+                let (probe, build) = (col(*probe), col(*build));
+                ctx.time(&timing, || semi_join(probe, build, &out_format, &settings))
+            }
+            PlanOp::Join { probe, build } => {
+                let (probe, build) = (col(*probe), col(*build));
+                // The probe-side positions of an N:1 key join are the
+                // identity sequence 0..len; they are not part of the plan, so
+                // they are materialised in DELTA + BP (ideal for a sorted
+                // identity sequence) irrespective of the recorded output.
+                let (probe_pos, build_pos) = ctx.time(&timing, || {
+                    join(probe, build, (&Format::DeltaDynBp, &out_format), &settings)
+                });
+                assert_eq!(
+                    probe_pos.logical_len(),
+                    probe.logical_len(),
+                    "plan join is N:1 — every probe row must match exactly one build row"
+                );
+                build_pos
+            }
+            PlanOp::CalcBinary { op, lhs, rhs } => {
+                let (lhs, rhs) = (col(*lhs), col(*rhs));
+                ctx.time(&timing, || {
+                    calc_binary(*op, lhs, rhs, &out_format, &settings)
+                })
+            }
+            PlanOp::AggSumGrouped { group, values } => {
+                let grouping = slots[group.node].group();
+                let values = col(*values);
+                // Grouped sums are final query outputs and stay uncompressed
+                // (Section 3.3).
+                ctx.time(&timing, || {
+                    agg_sum_grouped(
+                        &grouping.group_ids,
+                        values,
+                        grouping.group_count,
+                        &Format::Uncompressed,
+                        &settings,
+                    )
+                })
+            }
+            PlanOp::Morph { input, target } => {
+                let input = col(*input);
+                ctx.time(&timing, || morph(input, target))
+            }
+            PlanOp::Scan { .. }
+            | PlanOp::GroupBy { .. }
+            | PlanOp::GroupByRefine { .. }
+            | PlanOp::AggSum { .. } => unreachable!("handled above"),
+        };
+        ctx.record_intermediate(&full, &out);
+        Slot::Col(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecSettings;
+
+    fn source() -> HashMap<String, Column> {
+        let mut columns = HashMap::new();
+        columns.insert(
+            "x".to_string(),
+            Column::from_slice(&[5, 1, 5, 9, 5, 1, 9, 5]),
+        );
+        columns.insert(
+            "y".to_string(),
+            Column::from_slice(&[10, 20, 30, 40, 50, 60, 70, 80]),
+        );
+        columns
+    }
+
+    /// `SELECT SUM(y) WHERE x = 5` as a plan.
+    fn scalar_plan() -> QueryPlan {
+        let mut p = PlanBuilder::new("t");
+        let x = p.scan("x");
+        let y = p.scan("y");
+        let pos = p.select("pos", x, CmpOp::Eq, 5);
+        let projected = p.project("y_at_pos", y, pos);
+        let total = p.agg_sum("total", projected);
+        p.finish_scalar(total)
+    }
+
+    #[test]
+    fn scalar_plan_executes_and_records() {
+        let source = source();
+        let mut ctx = ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        let out = scalar_plan().execute(&source, &mut ctx);
+        assert_eq!(out.values, vec![10 + 30 + 50 + 80]);
+        assert!(out.group_keys.is_empty());
+        let names: Vec<&str> = ctx.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["x", "y", "t/pos", "t/y_at_pos"]);
+        let timings: Vec<&str> = ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            timings,
+            vec!["t/select:pos", "t/project:y_at_pos", "t/agg:total"]
+        );
+    }
+
+    #[test]
+    fn grouped_plan_executes() {
+        let source = source();
+        let mut p = PlanBuilder::new("g");
+        let x = p.scan("x");
+        let y = p.scan("y");
+        let group = p.group_by("by_x", x);
+        let sums = p.agg_sum_grouped("sum_y", group, y);
+        let keys = p.project("key_x", x, group.representatives());
+        let plan = p.finish_grouped(vec![keys], sums);
+        let mut ctx = ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        let out = plan.execute(&source, &mut ctx);
+        // Groups in first-occurrence order: 5, 1, 9.
+        assert_eq!(out.group_keys, vec![vec![5, 1, 9]]);
+        assert_eq!(out.values, vec![10 + 30 + 50 + 80, 20 + 60, 40 + 70]);
+        let names: Vec<&str> = ctx.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["x", "y", "g/by_x", "g/by_x_reps", "g/sum_y", "g/key_x"]
+        );
+    }
+
+    #[test]
+    fn formats_are_resolved_per_edge() {
+        let source = source();
+        let formats = FormatConfig::uncompressed().set("t/pos", Format::DeltaDynBp);
+        let mut ctx = ExecutionContext::new(ExecSettings::vectorized_compressed(), formats);
+        scalar_plan().execute(&source, &mut ctx);
+        let pos = ctx.records().iter().find(|r| r.name == "t/pos").unwrap();
+        assert_eq!(pos.format, Format::DeltaDynBp);
+    }
+
+    #[test]
+    fn scan_deduplicates_and_edges_enumerate_all_columns() {
+        let mut p = PlanBuilder::new("t");
+        let a = p.scan("x");
+        let b = p.scan("x");
+        assert_eq!(a, b);
+        let pos = p.select("pos", a, CmpOp::Lt, 7);
+        let total = p.agg_sum("total", pos);
+        let plan = p.finish_scalar(total);
+        assert_eq!(plan.base_columns(), vec!["x".to_string()]);
+        assert_eq!(plan.intermediate_names(), vec!["t/pos".to_string()]);
+        let edges = plan.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0].is_base && edges[0].name == "x");
+        assert_eq!(edges[1].op, "select");
+    }
+
+    #[test]
+    fn select_in2_matches_two_selects_merged() {
+        let source = source();
+        let mut p = PlanBuilder::new("t");
+        let x = p.scan("x");
+        let pos = p.select_in2("pos", x, 1, 9);
+        let total = p.agg_sum("total", pos);
+        let plan = p.finish_scalar(total);
+        let mut ctx = ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        let out = plan.execute(&source, &mut ctx);
+        // Positions of values 1 or 9: 1, 3, 5, 6 — summed as positions.
+        assert_eq!(out.values, vec![1 + 3 + 5 + 6]);
+        assert_eq!(
+            ctx.intermediate_count(),
+            1,
+            "IN(2) is a single intermediate"
+        );
+    }
+
+    #[test]
+    fn describe_lists_nodes_and_formats() {
+        let plan = scalar_plan();
+        let formats = FormatConfig::uncompressed().set("t/pos", Format::Rle);
+        let rendered = plan.describe(&formats);
+        assert!(rendered.contains("plan \"t\""));
+        assert!(rendered.contains("t/pos : RLE"));
+        assert!(rendered.contains("output: scalar"));
+        assert!(plan.to_string().contains("scan"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate plan step name")]
+    fn duplicate_step_names_are_rejected() {
+        let mut p = PlanBuilder::new("t");
+        let x = p.scan("x");
+        p.select("pos", x, CmpOp::Eq, 1);
+        p.select("pos", x, CmpOp::Eq, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate plan step name \"g_reps\"")]
+    fn step_colliding_with_reserved_reps_name_is_rejected() {
+        let mut p = PlanBuilder::new("t");
+        let x = p.scan("x");
+        p.group_by("g", x);
+        // "g_reps" is already claimed by the grouping's second output.
+        p.select("g_reps", x, CmpOp::Eq, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate plan step name \"h_reps\"")]
+    fn grouping_claiming_an_existing_name_is_rejected() {
+        let mut p = PlanBuilder::new("t");
+        let x = p.scan("x");
+        p.select("h_reps", x, CmpOp::Eq, 1);
+        // The grouping's reserved "h_reps" output collides the other way.
+        p.group_by("h", x);
+    }
+
+    #[test]
+    fn morph_node_re_encodes() {
+        let source = source();
+        let mut p = PlanBuilder::new("t");
+        let x = p.scan("x");
+        let morphed = p.morph("x_rle", x, Format::Rle);
+        let pos = p.select("pos", morphed, CmpOp::Eq, 5);
+        let total = p.agg_sum("total", pos);
+        let plan = p.finish_scalar(total);
+        let mut ctx = ExecutionContext::new(
+            ExecSettings::vectorized_compressed(),
+            FormatConfig::uncompressed(),
+        );
+        plan.execute(&source, &mut ctx);
+        let rec = ctx.records().iter().find(|r| r.name == "t/x_rle").unwrap();
+        assert_eq!(rec.format, Format::Rle);
+    }
+}

@@ -87,7 +87,11 @@ pub fn sum_on_rle(input: &Column) -> u64 {
 /// Count of the elements of an RLE-compressed column satisfying a predicate,
 /// computed directly on the runs (used by ablation benchmarks).
 pub fn count_matches_on_rle(op: CmpOp, input: &Column, constant: u64) -> u64 {
-    assert_eq!(input.format(), &Format::Rle, "count_matches_on_rle requires RLE");
+    assert_eq!(
+        input.format(),
+        &Format::Rle,
+        "count_matches_on_rle requires RLE"
+    );
     let mut count = 0u64;
     rle::for_each_run(
         input.main_part_bytes(),
@@ -153,7 +157,10 @@ mod tests {
         let values = runny_values(10_000);
         let rle = Column::compress(&values, &Format::Rle);
         let selected = select_on_rle(CmpOp::Lt, &rle, 4, &Format::Uncompressed);
-        assert_eq!(count_matches_on_rle(CmpOp::Lt, &rle, 4), selected.logical_len() as u64);
+        assert_eq!(
+            count_matches_on_rle(CmpOp::Lt, &rle, 4),
+            selected.logical_len() as u64
+        );
     }
 
     #[test]

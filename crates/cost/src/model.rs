@@ -62,8 +62,8 @@ pub fn estimate_compressed_bytes(format: &Format, stats: &ColumnStats) -> f64 {
             // (narrow-range columns like C3) and by the expected in-block
             // maximum (outlier columns like C2, where most blocks never see
             // the outliers that blow up the global range).
-            let width = (stats.range_bit_width as f64)
-                .min(expected_block_max_width(stats, DYN_BP_BLOCK));
+            let width =
+                (stats.range_bit_width as f64).min(expected_block_max_width(stats, DYN_BP_BLOCK));
             blocks * (9.0 + DYN_BP_BLOCK as f64 * width / 8.0) + remainder * 8.0
         }
         Format::Rle => stats.runs as f64 * 16.0,
@@ -199,7 +199,9 @@ mod tests {
         let width = expected_block_max_width(&stats, 512);
         assert!(width < 10.0, "width {width}");
         // …while static BP must pay the full 63 bits.
-        assert!(estimate_compressed_bytes(&Format::DynBp, &stats)
-            < estimate_compressed_bytes(&Format::StaticBp(63), &stats) / 4.0);
+        assert!(
+            estimate_compressed_bytes(&Format::DynBp, &stats)
+                < estimate_compressed_bytes(&Format::StaticBp(63), &stats) / 4.0
+        );
     }
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 use morph_compression::Format;
 use morph_storage::{Column, ColumnStats};
 use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::plan::QueryPlan;
 
 use crate::model::{estimate_compressed_bytes, exact_compressed_bytes};
 
@@ -89,6 +90,38 @@ impl FormatSelectionStrategy {
             FormatSelectionStrategy::ExhaustiveWorstFootprint => exhaustive_config(columns, false),
         }
     }
+
+    /// Build a [`FormatConfig`] for a query plan: the assignable columns are
+    /// the plan's *edges* — its base columns and named intermediates — not a
+    /// hard-coded per-query list.  `columns` supplies the data (or a
+    /// captured reference execution's data) per edge name; edges without
+    /// data are left to the config's default.
+    pub fn build_config_for_plan(
+        &self,
+        plan: &QueryPlan,
+        columns: &HashMap<String, Column>,
+    ) -> FormatConfig {
+        let edge_names: std::collections::HashSet<String> =
+            plan.edges().into_iter().map(|edge| edge.name).collect();
+        // The common caller already passes a map scoped to the plan's edges;
+        // only fall back to a filtered copy when foreign columns are present.
+        if columns.keys().all(|name| edge_names.contains(name)) {
+            return self.build_config(columns);
+        }
+        let relevant: HashMap<String, Column> = columns
+            .iter()
+            .filter(|(name, _)| edge_names.contains(*name))
+            .map(|(name, column)| (name.clone(), column.clone()))
+            .collect();
+        self.build_config(&relevant)
+    }
+}
+
+/// The names a selection strategy may assign a format to for `plan`: one per
+/// plan edge (base columns by their bare name, intermediates by their
+/// prefixed `"<label>/<step>"` name).
+pub fn assignable_edge_names(plan: &QueryPlan) -> Vec<String> {
+    plan.edges().into_iter().map(|edge| edge.name).collect()
 }
 
 /// The candidate formats for a column with the given maximum value: the five
@@ -226,8 +259,10 @@ mod tests {
 
     #[test]
     fn strategies_have_unique_labels() {
-        let labels: std::collections::HashSet<&str> =
-            FormatSelectionStrategy::all().iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<&str> = FormatSelectionStrategy::all()
+            .iter()
+            .map(|s| s.label())
+            .collect();
         assert_eq!(labels.len(), 5);
     }
 
@@ -247,8 +282,16 @@ mod tests {
         let worst = footprint(&exhaustive_config(&columns, false));
         for strategy in FormatSelectionStrategy::all() {
             let size = footprint(&strategy.build_config(&columns));
-            assert!(size >= best, "{} beat the exhaustive best", strategy.label());
-            assert!(size <= worst, "{} exceeded the exhaustive worst", strategy.label());
+            assert!(
+                size >= best,
+                "{} beat the exhaustive best",
+                strategy.label()
+            );
+            assert!(
+                size <= worst,
+                "{} exceeded the exhaustive worst",
+                strategy.label()
+            );
         }
     }
 
@@ -269,15 +312,24 @@ mod tests {
         let best = footprint(&exhaustive_config(&columns, true)) as f64;
         let cost_based =
             footprint(&FormatSelectionStrategy::CostBased.build_config(&columns)) as f64;
-        assert!(cost_based <= best * 1.15, "cost-based {cost_based} vs best {best}");
+        assert!(
+            cost_based <= best * 1.15,
+            "cost-based {cost_based} vs best {best}"
+        );
     }
 
     #[test]
     fn static_bp_config_uses_per_column_widths() {
         let columns = captured_columns();
         let config = static_bp_config(&columns);
-        assert_eq!(config.format_for("C1", Format::Uncompressed), Format::StaticBp(6));
-        assert_eq!(config.format_for("C4", Format::Uncompressed), Format::StaticBp(48));
+        assert_eq!(
+            config.format_for("C1", Format::Uncompressed),
+            Format::StaticBp(6)
+        );
+        assert_eq!(
+            config.format_for("C4", Format::Uncompressed),
+            Format::StaticBp(48)
+        );
     }
 
     #[test]
@@ -308,10 +360,45 @@ mod tests {
             Duration::from_millis(cost as u64)
         };
         let fastest = greedy_runtime_search(&columns, fake_measure, true);
-        assert_eq!(fastest.format_for("a", Format::Uncompressed), Format::DeltaDynBp);
+        assert_eq!(
+            fastest.format_for("a", Format::Uncompressed),
+            Format::DeltaDynBp
+        );
         assert_ne!(fastest.format_for("b", Format::Uncompressed), Format::Rle);
         let slowest = greedy_runtime_search(&columns, fake_measure, false);
         assert_eq!(slowest.format_for("b", Format::Uncompressed), Format::Rle);
+    }
+
+    #[test]
+    fn plan_scoped_config_covers_exactly_the_plan_edges() {
+        use morphstore_engine::plan::PlanBuilder;
+        use morphstore_engine::CmpOp;
+        let mut p = PlanBuilder::new("q");
+        let x = p.scan("x");
+        let pos = p.select("pos", x, CmpOp::Lt, 100);
+        let total = p.agg_sum("total", pos);
+        let plan = p.finish_scalar(total);
+        assert_eq!(
+            assignable_edge_names(&plan),
+            vec!["x".to_string(), "q/pos".to_string()]
+        );
+        let mut columns = HashMap::new();
+        columns.insert(
+            "x".to_string(),
+            Column::from_slice(&(0..5000u64).collect::<Vec<_>>()),
+        );
+        columns.insert(
+            "q/pos".to_string(),
+            Column::from_slice(&(0..100u64).collect::<Vec<_>>()),
+        );
+        // Captured data from another query must not leak into this plan's
+        // configuration.
+        columns.insert("unrelated".to_string(), Column::from_slice(&[1, 2, 3]));
+        let config = FormatSelectionStrategy::CostBased.build_config_for_plan(&plan, &columns);
+        let explicit: std::collections::HashSet<&str> = config.explicit_columns().collect();
+        assert!(explicit.contains("x"));
+        assert!(explicit.contains("q/pos"));
+        assert!(!explicit.contains("unrelated"));
     }
 
     #[test]

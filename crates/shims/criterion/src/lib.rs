@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Covers the subset this workspace's benches use: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`] with sample size,
+//! warm-up / measurement time and [`Throughput`] annotations,
+//! `bench_function` / `bench_with_input` with [`BenchmarkId`]s, and
+//! [`Bencher::iter`].  Results (mean ns/iteration and derived throughput)
+//! are printed to stdout.  Set `MORPH_BENCH_FAST=1` to clamp warm-up and
+//! measurement times for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Work-per-iteration annotation used to derive a throughput rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many data elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter label.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.to_string(), parameter.to_string()),
+        }
+    }
+
+    /// Identifier from a parameter label alone.
+    pub fn from_parameter(parameter: impl ToString) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the mean time.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, then time batches until the measurement budget
+    /// is spent; the mean ns/iteration is recorded for reporting.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_up_until = Instant::now() + self.warm_up;
+        let mut batch = 1u64;
+        while Instant::now() < warm_up_until {
+            black_box(f());
+            batch += 1;
+        }
+        // One sample = one timed batch; size the batch so all samples fit
+        // into the measurement budget.
+        let probe = Instant::now();
+        black_box(f());
+        let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+        let total_iters = (self.measurement.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+        let per_sample = (total_iters / self.sample_size as u64).max(1);
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            spent += start.elapsed();
+            iters += per_sample;
+            if spent > self.measurement * 2 {
+                break;
+            }
+        }
+        let _ = batch;
+        self.mean_ns = spent.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up = t;
+        self
+    }
+
+    /// Total sampling budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Annotate the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let fast = std::env::var_os("MORPH_BENCH_FAST").is_some();
+        let mut bencher = Bencher {
+            warm_up: if fast {
+                Duration::from_millis(1)
+            } else {
+                self.warm_up
+            },
+            measurement: if fast {
+                Duration::from_millis(10)
+            } else {
+                self.measurement
+            },
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:>10.1} Melem/s", n as f64 / bencher.mean_ns * 1e9 / 1e6)
+            }
+            Throughput::Bytes(n) => format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / bencher.mean_ns * 1e9 / (1024.0 * 1024.0)
+            ),
+        });
+        println!(
+            "{}/{:<60} {:>14.1} ns/iter{}",
+            self.name,
+            id,
+            bencher.mean_ns,
+            rate.unwrap_or_default()
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        self.run(id.into().id, f);
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.into().id, |b| f(b, input));
+    }
+
+    /// End the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Bundle benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            eprintln!("ran {} benchmarks", criterion.benchmarks_run());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_reports() {
+        std::env::set_var("MORPH_BENCH_FAST", "1");
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("f", "p"), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7u64), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs > 0);
+        assert_eq!(criterion.benchmarks_run(), 2);
+    }
+}

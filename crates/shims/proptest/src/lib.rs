@@ -1,0 +1,363 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, range / tuple / collection
+//! strategies, [`Strategy::prop_map`], [`prop_oneof!`], [`any`], and the
+//! `prop_assert*` macros.  Inputs are generated from a per-test
+//! deterministic stream (the test name and the case index), so failures are
+//! reproducible run-to-run; there is no shrinking — the failing case index
+//! is part of the panic message instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case input stream (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for case number `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index, so each
+        // test and each case draw from an independent stream.
+        let mut hash: u64 = 0xCBF29CE484222325;
+        for byte in name.bytes() {
+            hash = (hash ^ byte as u64).wrapping_mul(0x100000001B3);
+        }
+        TestRng {
+            state: hash ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return raw % bound;
+            }
+        }
+    }
+}
+
+/// Number of cases each `proptest!` test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated inputs the test body is executed with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value from the stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every produced value with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between several strategies of one value type (the
+/// expansion of [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Choose uniformly among `arms` (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_range_strategies!(u64, u32, u8, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<E>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of the real crate (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::Union::new(arms)
+    }};
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)` body
+/// runs for every generated case; the panic message of a failing case
+/// includes the case index for reproduction.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $( #[test] fn $name:ident ( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case} of {} failed (deterministic; rerun reproduces it)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 0);
+        let mut c = TestRng::for_case("t", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn strategies_cover_the_requested_shapes() {
+        let mut rng = TestRng::for_case("shapes", 0);
+        let v = prop::collection::vec(0u64..10, 5..6).generate(&mut rng);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| x < 10));
+        let (a, b) = (0u64..3, 10usize..12).generate(&mut rng);
+        assert!(a < 3 && (10..12).contains(&b));
+        let mapped = (0u64..4).prop_map(|x| x * 100).generate(&mut rng);
+        assert!(mapped % 100 == 0 && mapped < 400);
+        let one = prop_oneof![0u64..1, 5u64..6].generate(&mut rng);
+        assert!(one == 0 || one == 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs_cases(x in 0u64..100, v in prop::collection::vec(any::<u64>(), 0..10)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(x in 0u32..7) {
+            prop_assert!(x < 7);
+        }
+    }
+}

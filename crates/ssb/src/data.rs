@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use morph_compression::Format;
 use morph_storage::Column;
 use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::plan::ColumnSource;
 
 /// The four dimension tables and the fact table of the SSB schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,11 +109,7 @@ impl SsbData {
             .columns
             .iter()
             .map(|(name, column)| {
-                let max = column
-                    .decompress()
-                    .into_iter()
-                    .max()
-                    .unwrap_or(0);
+                let max = column.decompress().into_iter().max().unwrap_or(0);
                 let mut width = morph_compression::bitpack::bit_width_of(max);
                 if byte_aligned {
                     width = width.div_ceil(8) * 8;
@@ -128,6 +125,14 @@ impl SsbData {
     }
 }
 
+/// An SSB database is a plan [`ColumnSource`]: query plans scan its base
+/// columns by name.
+impl ColumnSource for SsbData {
+    fn column(&self, name: &str) -> &Column {
+        SsbData::column(self, name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,8 +143,14 @@ mod tests {
         let data = dbgen::generate(0.002, 1);
         let config = FormatConfig::default().set("lo_quantity", Format::StaticBp(6));
         let reencoded = data.with_formats(&config);
-        assert_eq!(reencoded.column("lo_quantity").format(), &Format::StaticBp(6));
-        assert_eq!(reencoded.column("lo_discount").format(), &Format::Uncompressed);
+        assert_eq!(
+            reencoded.column("lo_quantity").format(),
+            &Format::StaticBp(6)
+        );
+        assert_eq!(
+            reencoded.column("lo_discount").format(),
+            &Format::Uncompressed
+        );
         assert_eq!(
             reencoded.column("lo_quantity").decompress(),
             data.column("lo_quantity").decompress()
@@ -150,13 +161,19 @@ mod tests {
     fn uniform_and_narrow_formats() {
         let data = dbgen::generate(0.002, 1);
         let dyn_bp = data.with_uniform_format(&Format::DynBp);
-        assert!(dyn_bp.column_names().iter().all(|n| dyn_bp.column(n).format() == &Format::DynBp));
+        assert!(dyn_bp
+            .column_names()
+            .iter()
+            .all(|n| dyn_bp.column(n).format() == &Format::DynBp));
         assert!(dyn_bp.total_size_bytes() < data.total_size_bytes());
         let narrow = data.with_narrow_static_bp(true);
         let quantity_format = narrow.column("lo_quantity").format();
         assert_eq!(quantity_format, &Format::StaticBp(8));
         let narrow_bits = data.with_narrow_static_bp(false);
-        assert_eq!(narrow_bits.column("lo_quantity").format(), &Format::StaticBp(6));
+        assert_eq!(
+            narrow_bits.column("lo_quantity").format(),
+            &Format::StaticBp(6)
+        );
     }
 
     #[test]

@@ -176,7 +176,10 @@ pub fn generate(scale_factor: f64, seed: u64) -> SsbData {
     columns.insert("lo_suppkey".into(), Column::from_vec(lo_suppkey));
     columns.insert("lo_partkey".into(), Column::from_vec(lo_partkey));
     columns.insert("lo_quantity".into(), Column::from_vec(lo_quantity));
-    columns.insert("lo_extendedprice".into(), Column::from_vec(lo_extendedprice));
+    columns.insert(
+        "lo_extendedprice".into(),
+        Column::from_vec(lo_extendedprice),
+    );
     columns.insert("lo_discount".into(), Column::from_vec(lo_discount));
     columns.insert("lo_revenue".into(), Column::from_vec(lo_revenue));
     columns.insert("lo_supplycost".into(), Column::from_vec(lo_supplycost));

@@ -14,10 +14,11 @@
 //! translate the SSB predicate constants to keys.
 //!
 //! The QEPs of the queries "involve between 6 and 16 base columns and between
-//! 15 and 56 intermediates"; every base column and intermediate produced here
-//! has a *name*, so the format-selection strategies of `morph-cost` and the
-//! benchmark harness can assign each one an individual compression format —
-//! the new degree of freedom the paper introduces.
+//! 15 and 56 intermediates"; every query is a declarative
+//! [`morphstore_engine::plan::QueryPlan`] ([`SsbQuery::plan`]) whose *edges*
+//! — base columns and named intermediates — are what the format-selection
+//! strategies of `morph-cost` and the benchmark harness assign individual
+//! compression formats to: the new degree of freedom the paper introduces.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,664 @@
+//! The pre-redesign, hand-written operator-at-a-time implementations of the
+//! 13 SSB queries.
+//!
+//! This module is the *reference execution path* for the plan layer: it
+//! threads an [`ExecutionContext`] by hand through free operator functions,
+//! inventing the intermediate names and timing labels the plan executor now
+//! generates.  It is kept (frozen) so the differential tests and the
+//! `plan_overhead` benchmark can assert that plan-based execution produces
+//! byte-identical results, records and timing labels — see
+//! `crates/ssb/tests/plan_vs_direct.rs`.  New query work goes into the plan
+//! builders in the flight modules, not here.
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morphstore_engine::{
+    agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join, project,
+    select, select_between, semi_join, BinaryOp, CmpOp, ExecutionContext, GroupResult,
+};
+
+use crate::data::SsbData;
+use crate::dict;
+
+use super::{Pred, QueryResult, SsbQuery};
+
+/// Execute `query` through the hand-written path, recording footprints and
+/// timings in `ctx` exactly as before the plan redesign.
+pub(crate) fn run(query: SsbQuery, data: &SsbData, ctx: &mut ExecutionContext) -> QueryResult {
+    let mut q = QueryCtx {
+        data,
+        ctx,
+        prefix: query.label(),
+    };
+    use SsbQuery::*;
+    match query {
+        Q1_1 | Q1_2 | Q1_3 => flight1(query, &mut q),
+        Q2_1 | Q2_2 | Q2_3 => flight2(query, &mut q),
+        Q3_1 | Q3_2 | Q3_3 | Q3_4 => flight3(query, &mut q),
+        Q4_1 | Q4_2 | Q4_3 => flight4(query, &mut q),
+    }
+}
+
+/// Per-query execution state shared by the flight implementations: the data,
+/// the execution context and the query prefix for intermediate names.
+struct QueryCtx<'a> {
+    data: &'a SsbData,
+    ctx: &'a mut ExecutionContext,
+    prefix: &'static str,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Fetch a base column, recording it (and its physical size) once.
+    fn base(&mut self, name: &str) -> &'a Column {
+        let column = self.data.column(name);
+        self.ctx.record_base(name, column);
+        column
+    }
+
+    /// The format assigned to the intermediate `name` (prefixed with the
+    /// query label).
+    fn fmt(&self, name: &str) -> Format {
+        self.ctx.format_for(&format!("{}/{}", self.prefix, name))
+    }
+
+    fn record(&mut self, name: &str, column: &Column) {
+        let full = format!("{}/{}", self.prefix, name);
+        self.ctx.record_intermediate(&full, column);
+    }
+
+    /// Select positions of `input` matching `pred`, materialised in the
+    /// format assigned to intermediate `name`.
+    fn filter(&mut self, name: &str, input: &Column, pred: Pred) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self
+            .ctx
+            .time(&format!("{}/select:{}", self.prefix, name), || match pred {
+                Pred::Eq(c) => select(CmpOp::Eq, input, c, &format, &settings),
+                Pred::Cmp(op, c) => select(op, input, c, &format, &settings),
+                Pred::Between(lo, hi) => select_between(input, lo, hi, &format, &settings),
+                Pred::In2(a, b) => {
+                    let pa = select(CmpOp::Eq, input, a, &format, &settings);
+                    let pb = select(CmpOp::Eq, input, b, &format, &settings);
+                    intersect_or_merge(&pa, &pb, &format, &settings, false)
+                }
+            });
+        self.record(name, &out);
+        out
+    }
+
+    /// Intersect two sorted position columns.
+    fn intersect(&mut self, name: &str, a: &Column, b: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self
+            .ctx
+            .time(&format!("{}/intersect:{}", self.prefix, name), || {
+                intersect_sorted(a, b, &format, &settings)
+            });
+        self.record(name, &out);
+        out
+    }
+
+    /// Project `data[positions]`.
+    fn project(&mut self, name: &str, data: &Column, positions: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self
+            .ctx
+            .time(&format!("{}/project:{}", self.prefix, name), || {
+                project(data, positions, &format, &settings)
+            });
+        self.record(name, &out);
+        out
+    }
+
+    /// Semi-join: positions of `probe` whose value occurs in `build`.
+    fn semi_join(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self
+            .ctx
+            .time(&format!("{}/semijoin:{}", self.prefix, name), || {
+                semi_join(probe, build, &format, &settings)
+            });
+        self.record(name, &out);
+        out
+    }
+
+    /// N:1 join of foreign keys against a dimension key column; returns the
+    /// build-side (dimension) positions aligned with the probe rows.
+    fn join_positions(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        // The probe-side positions of an N:1 foreign-key join are simply
+        // 0..len (every fact row matches exactly one dimension row); they are
+        // not used by the plan, so they are materialised in DELTA + BP (which
+        // is ideal for a sorted identity sequence) irrespective of the format
+        // assigned to the recorded build-side positions.
+        let (probe_pos, build_pos) = self
+            .ctx
+            .time(&format!("{}/join:{}", self.prefix, name), || {
+                join(probe, build, (&Format::DeltaDynBp, &format), &settings)
+            });
+        assert_eq!(
+            probe_pos.logical_len(),
+            probe.logical_len(),
+            "SSB foreign keys must all find their dimension row"
+        );
+        self.record(name, &build_pos);
+        build_pos
+    }
+
+    /// Group by one key column.  The per-row group identifiers and the
+    /// per-group representative positions are distinct intermediates with
+    /// distinct data characteristics (dense small ids vs. sorted positions),
+    /// so they are named and format-assigned separately (`<name>` and
+    /// `<name>_reps`).
+    fn group(&mut self, name: &str, keys: &Column) -> GroupResult {
+        let ids_format = self.fmt(name);
+        let reps_name = format!("{name}_reps");
+        let reps_format = self.fmt(&reps_name);
+        let settings = self.ctx.settings;
+        let result = self
+            .ctx
+            .time(&format!("{}/group:{}", self.prefix, name), || {
+                group_by(keys, (&ids_format, &reps_format), &settings)
+            });
+        self.record(name, &result.group_ids);
+        self.record(&reps_name, &result.representatives);
+        result
+    }
+
+    /// Refine a grouping by an additional key column (see [`QueryCtx::group`]
+    /// for the naming of the two outputs).
+    fn group_refine(&mut self, name: &str, previous: &GroupResult, keys: &Column) -> GroupResult {
+        let ids_format = self.fmt(name);
+        let reps_name = format!("{name}_reps");
+        let reps_format = self.fmt(&reps_name);
+        let settings = self.ctx.settings;
+        let result = self
+            .ctx
+            .time(&format!("{}/group:{}", self.prefix, name), || {
+                group_by_refine(previous, keys, (&ids_format, &reps_format), &settings)
+            });
+        self.record(name, &result.group_ids);
+        self.record(&reps_name, &result.representatives);
+        result
+    }
+
+    /// Element-wise binary calculation.
+    fn calc(&mut self, name: &str, op: BinaryOp, lhs: &Column, rhs: &Column) -> Column {
+        let format = self.fmt(name);
+        let settings = self.ctx.settings;
+        let out = self
+            .ctx
+            .time(&format!("{}/calc:{}", self.prefix, name), || {
+                calc_binary(op, lhs, rhs, &format, &settings)
+            });
+        self.record(name, &out);
+        out
+    }
+
+    /// Grouped summation; the result is a final query output and therefore
+    /// always uncompressed (Section 3.3: the final query output columns
+    /// should always be uncompressed).
+    fn grouped_sum(&mut self, name: &str, group: &GroupResult, values: &Column) -> Column {
+        let settings = self.ctx.settings;
+        let out = self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
+            agg_sum_grouped(
+                &group.group_ids,
+                values,
+                group.group_count,
+                &Format::Uncompressed,
+                &settings,
+            )
+        });
+        self.record(name, &out);
+        out
+    }
+
+    /// Whole-column summation (flight 1).
+    fn sum(&mut self, name: &str, values: &Column) -> u64 {
+        let settings = self.ctx.settings;
+        self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
+            morphstore_engine::agg_sum(values, &settings)
+        })
+    }
+}
+
+/// Union or intersection helper for `Pred::In2` (kept outside the struct to
+/// avoid borrowing issues inside the timing closure).
+fn intersect_or_merge(
+    a: &Column,
+    b: &Column,
+    format: &Format,
+    settings: &morphstore_engine::ExecSettings,
+    intersect: bool,
+) -> Column {
+    if intersect {
+        morphstore_engine::intersect_sorted(a, b, format, settings)
+    } else {
+        morphstore_engine::merge_sorted(a, b, format, settings)
+    }
+}
+
+/// Shared tail of query flights 2–4: fetch a dimension attribute for every
+/// restricted fact row by joining the projected foreign keys with the
+/// dimension key column and projecting the attribute.
+fn attribute_per_row(
+    q: &mut QueryCtx<'_>,
+    name: &str,
+    fact_fk_at_pos: &Column,
+    dim_key: &Column,
+    dim_attr: &Column,
+) -> Column {
+    let dim_positions = q.join_positions(&format!("{name}_dimpos"), fact_fk_at_pos, dim_key);
+    q.project(&format!("{name}_per_row"), dim_attr, &dim_positions)
+}
+
+fn flight1(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+    // Step 1: restrict the date dimension.
+    let date_positions = match query {
+        SsbQuery::Q1_1 => {
+            let d_year = q.base("d_year");
+            q.filter("date_pos", d_year, Pred::Eq(1993))
+        }
+        SsbQuery::Q1_2 => {
+            let d_yearmonthnum = q.base("d_yearmonthnum");
+            q.filter("date_pos", d_yearmonthnum, Pred::Eq(199401))
+        }
+        SsbQuery::Q1_3 => {
+            let d_week = q.base("d_weeknuminyear");
+            let week_pos = q.filter("date_pos_week", d_week, Pred::Eq(6));
+            let d_year = q.base("d_year");
+            let year_pos = q.filter("date_pos_year", d_year, Pred::Eq(1994));
+            q.intersect("date_pos", &week_pos, &year_pos)
+        }
+        _ => unreachable!("flight 1 handles Q1.x only"),
+    };
+    let (discount_low, discount_high, quantity_pred) = match query {
+        SsbQuery::Q1_1 => (1, 3, Pred::Cmp(CmpOp::Lt, 25)),
+        SsbQuery::Q1_2 => (4, 6, Pred::Between(26, 35)),
+        SsbQuery::Q1_3 => (5, 7, Pred::Between(26, 35)),
+        _ => unreachable!(),
+    };
+
+    // Step 2: qualifying date keys and the lineorder restriction.
+    let d_datekey = q.base("d_datekey");
+    let date_keys = q.project("date_keys", d_datekey, &date_positions);
+    let lo_orderdate = q.base("lo_orderdate");
+    let pos_date = q.semi_join("lo_pos_date", lo_orderdate, &date_keys);
+
+    let lo_discount = q.base("lo_discount");
+    let pos_discount = q.filter(
+        "lo_pos_discount",
+        lo_discount,
+        Pred::Between(discount_low, discount_high),
+    );
+    let lo_quantity = q.base("lo_quantity");
+    let pos_quantity = q.filter("lo_pos_quantity", lo_quantity, quantity_pred);
+
+    let pos = q.intersect("lo_pos_date_discount", &pos_date, &pos_discount);
+    let pos = q.intersect("lo_pos", &pos, &pos_quantity);
+
+    // Step 3: the aggregate.
+    let lo_extendedprice = q.base("lo_extendedprice");
+    let price_at_pos = q.project("price_at_pos", lo_extendedprice, &pos);
+    let discount_at_pos = q.project("discount_at_pos", lo_discount, &pos);
+    let revenue = q.calc("revenue", BinaryOp::Mul, &price_at_pos, &discount_at_pos);
+    let total = q.sum("sum_revenue", &revenue);
+
+    QueryResult {
+        group_keys: vec![],
+        values: vec![total],
+    }
+}
+
+fn flight2(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+    let (part_column, part_pred, supplier_region) = match query {
+        SsbQuery::Q2_1 => (
+            "p_category",
+            Pred::Eq(dict::category(1, 2)),
+            dict::REGION_AMERICA,
+        ),
+        SsbQuery::Q2_2 => (
+            "p_brand1",
+            Pred::Between(dict::brand(2, 2, 21), dict::brand(2, 2, 28)),
+            dict::REGION_ASIA,
+        ),
+        SsbQuery::Q2_3 => (
+            "p_brand1",
+            Pred::Eq(dict::brand(2, 2, 39)),
+            dict::REGION_EUROPE,
+        ),
+        _ => unreachable!("flight 2 handles Q2.x only"),
+    };
+
+    // Restrict the part dimension and the fact table by it.
+    let part_attr = q.base(part_column);
+    let part_pos = q.filter("part_pos", part_attr, part_pred);
+    let p_partkey = q.base("p_partkey");
+    let part_keys = q.project("part_keys", p_partkey, &part_pos);
+    let lo_partkey = q.base("lo_partkey");
+    let pos_part = q.semi_join("lo_pos_part", lo_partkey, &part_keys);
+
+    // Restrict the supplier dimension and the fact table by it.
+    let s_region = q.base("s_region");
+    let supplier_pos = q.filter("supplier_pos", s_region, Pred::Eq(supplier_region));
+    let s_suppkey = q.base("s_suppkey");
+    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
+    let lo_suppkey = q.base("lo_suppkey");
+    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+
+    let pos = q.intersect("lo_pos", &pos_part, &pos_supplier);
+
+    // Group-by attributes: d_year and p_brand1 per restricted fact row.
+    let lo_orderdate = q.base("lo_orderdate");
+    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
+    let d_datekey = q.base("d_datekey");
+    let d_year = q.base("d_year");
+    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+
+    let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
+    let p_brand1 = q.base("p_brand1");
+    let brand_per_row = attribute_per_row(q, "brand", &partkey_at_pos, p_partkey, p_brand1);
+
+    // Grouping and aggregation.
+    let group_year = q.group("group_year", &year_per_row);
+    let group = q.group_refine("group_year_brand", &group_year, &brand_per_row);
+    let lo_revenue = q.base("lo_revenue");
+    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
+    let sums = q.grouped_sum("sum_revenue", &group, &revenue_at_pos);
+
+    let year_keys = q.project("result_year", &year_per_row, &group.representatives);
+    let brand_keys = q.project("result_brand", &brand_per_row, &group.representatives);
+
+    QueryResult {
+        group_keys: vec![year_keys.decompress(), brand_keys.decompress()],
+        values: sums.decompress(),
+    }
+}
+
+struct Flight3Spec {
+    customer_column: &'static str,
+    customer_pred: Pred,
+    supplier_column: &'static str,
+    supplier_pred: Pred,
+    /// Column of the date dimension the date predicate applies to and the
+    /// predicate itself.
+    date_column: &'static str,
+    date_pred: Pred,
+    /// The customer/supplier attribute reported in the result rows.
+    customer_group_column: &'static str,
+    supplier_group_column: &'static str,
+}
+
+fn spec(query: SsbQuery) -> Flight3Spec {
+    match query {
+        SsbQuery::Q3_1 => Flight3Spec {
+            customer_column: "c_region",
+            customer_pred: Pred::Eq(dict::REGION_ASIA),
+            supplier_column: "s_region",
+            supplier_pred: Pred::Eq(dict::REGION_ASIA),
+            date_column: "d_year",
+            date_pred: Pred::Between(1992, 1997),
+            customer_group_column: "c_nation",
+            supplier_group_column: "s_nation",
+        },
+        SsbQuery::Q3_2 => Flight3Spec {
+            customer_column: "c_nation",
+            customer_pred: Pred::Eq(dict::NATION_UNITED_STATES),
+            supplier_column: "s_nation",
+            supplier_pred: Pred::Eq(dict::NATION_UNITED_STATES),
+            date_column: "d_year",
+            date_pred: Pred::Between(1992, 1997),
+            customer_group_column: "c_city",
+            supplier_group_column: "s_city",
+        },
+        SsbQuery::Q3_3 => Flight3Spec {
+            customer_column: "c_city",
+            customer_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            supplier_column: "s_city",
+            supplier_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            date_column: "d_year",
+            date_pred: Pred::Between(1992, 1997),
+            customer_group_column: "c_city",
+            supplier_group_column: "s_city",
+        },
+        SsbQuery::Q3_4 => Flight3Spec {
+            customer_column: "c_city",
+            customer_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            supplier_column: "s_city",
+            supplier_pred: Pred::In2(dict::CITY_UNITED_KI1, dict::CITY_UNITED_KI5),
+            date_column: "d_yearmonthnum",
+            date_pred: Pred::Eq(dict::yearmonthnum(1997, 12)),
+            customer_group_column: "c_city",
+            supplier_group_column: "s_city",
+        },
+        _ => unreachable!("flight 3 handles Q3.x only"),
+    }
+}
+
+fn flight3(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+    let spec = spec(query);
+
+    // Customer restriction.
+    let customer_attr = q.base(spec.customer_column);
+    let customer_pos = q.filter("customer_pos", customer_attr, spec.customer_pred);
+    let c_custkey = q.base("c_custkey");
+    let customer_keys = q.project("customer_keys", c_custkey, &customer_pos);
+    let lo_custkey = q.base("lo_custkey");
+    let pos_customer = q.semi_join("lo_pos_customer", lo_custkey, &customer_keys);
+
+    // Supplier restriction.
+    let supplier_attr = q.base(spec.supplier_column);
+    let supplier_pos = q.filter("supplier_pos", supplier_attr, spec.supplier_pred);
+    let s_suppkey = q.base("s_suppkey");
+    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
+    let lo_suppkey = q.base("lo_suppkey");
+    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+
+    // Date restriction.
+    let date_attr = q.base(spec.date_column);
+    let date_pos = q.filter("date_pos", date_attr, spec.date_pred);
+    let d_datekey = q.base("d_datekey");
+    let date_keys = q.project("date_keys", d_datekey, &date_pos);
+    let lo_orderdate = q.base("lo_orderdate");
+    let pos_date = q.semi_join("lo_pos_date", lo_orderdate, &date_keys);
+
+    let pos = q.intersect("lo_pos_cust_supp", &pos_customer, &pos_supplier);
+    let pos = q.intersect("lo_pos", &pos, &pos_date);
+
+    // Group-by attributes per restricted fact row.
+    let custkey_at_pos = q.project("custkey_at_pos", lo_custkey, &pos);
+    let customer_group_attr = q.base(spec.customer_group_column);
+    let customer_per_row = attribute_per_row(
+        q,
+        "customer_attr",
+        &custkey_at_pos,
+        c_custkey,
+        customer_group_attr,
+    );
+
+    let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
+    let supplier_group_attr = q.base(spec.supplier_group_column);
+    let supplier_per_row = attribute_per_row(
+        q,
+        "supplier_attr",
+        &suppkey_at_pos,
+        s_suppkey,
+        supplier_group_attr,
+    );
+
+    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
+    let d_year = q.base("d_year");
+    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+
+    // Grouping and aggregation.
+    let group_customer = q.group("group_customer", &customer_per_row);
+    let group_supplier = q.group_refine(
+        "group_customer_supplier",
+        &group_customer,
+        &supplier_per_row,
+    );
+    let group = q.group_refine(
+        "group_customer_supplier_year",
+        &group_supplier,
+        &year_per_row,
+    );
+
+    let lo_revenue = q.base("lo_revenue");
+    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
+    let sums = q.grouped_sum("sum_revenue", &group, &revenue_at_pos);
+
+    let customer_keys_out = q.project("result_customer", &customer_per_row, &group.representatives);
+    let supplier_keys_out = q.project("result_supplier", &supplier_per_row, &group.representatives);
+    let year_keys_out = q.project("result_year", &year_per_row, &group.representatives);
+
+    QueryResult {
+        group_keys: vec![
+            customer_keys_out.decompress(),
+            supplier_keys_out.decompress(),
+            year_keys_out.decompress(),
+        ],
+        values: sums.decompress(),
+    }
+}
+
+fn flight4(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+    // --- restrictions --------------------------------------------------------
+    // Customer restriction (all of flight 4 restricts the customer region).
+    let c_region = q.base("c_region");
+    let customer_pos = q.filter("customer_pos", c_region, Pred::Eq(dict::REGION_AMERICA));
+    let c_custkey = q.base("c_custkey");
+    let customer_keys = q.project("customer_keys", c_custkey, &customer_pos);
+    let lo_custkey = q.base("lo_custkey");
+    let pos_customer = q.semi_join("lo_pos_customer", lo_custkey, &customer_keys);
+
+    // Supplier restriction.
+    let (supplier_column, supplier_pred) = match query {
+        SsbQuery::Q4_1 | SsbQuery::Q4_2 => ("s_region", Pred::Eq(dict::REGION_AMERICA)),
+        SsbQuery::Q4_3 => ("s_nation", Pred::Eq(dict::NATION_UNITED_STATES)),
+        _ => unreachable!("flight 4 handles Q4.x only"),
+    };
+    let supplier_attr = q.base(supplier_column);
+    let supplier_pos = q.filter("supplier_pos", supplier_attr, supplier_pred);
+    let s_suppkey = q.base("s_suppkey");
+    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
+    let lo_suppkey = q.base("lo_suppkey");
+    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+
+    // Part restriction.
+    let (part_column, part_pred) = match query {
+        SsbQuery::Q4_1 | SsbQuery::Q4_2 => ("p_mfgr", Pred::In2(dict::mfgr(1), dict::mfgr(2))),
+        SsbQuery::Q4_3 => ("p_category", Pred::Eq(dict::category(1, 4))),
+        _ => unreachable!(),
+    };
+    let part_attr = q.base(part_column);
+    let part_pos = q.filter("part_pos", part_attr, part_pred);
+    let p_partkey = q.base("p_partkey");
+    let part_keys = q.project("part_keys", p_partkey, &part_pos);
+    let lo_partkey = q.base("lo_partkey");
+    let pos_part = q.semi_join("lo_pos_part", lo_partkey, &part_keys);
+
+    // Date restriction (Q4.2 and Q4.3 only: d_year IN (1997, 1998)).
+    let lo_orderdate = q.base("lo_orderdate");
+    let d_datekey = q.base("d_datekey");
+    let pos_date = match query {
+        SsbQuery::Q4_1 => None,
+        _ => {
+            let d_year = q.base("d_year");
+            let date_pos = q.filter("date_pos", d_year, Pred::Between(1997, 1998));
+            let date_keys = q.project("date_keys", d_datekey, &date_pos);
+            Some(q.semi_join("lo_pos_date", lo_orderdate, &date_keys))
+        }
+    };
+
+    let pos = q.intersect("lo_pos_cust_supp", &pos_customer, &pos_supplier);
+    let pos = q.intersect("lo_pos_cust_supp_part", &pos, &pos_part);
+    let pos = match pos_date {
+        Some(ref date_positions) => q.intersect("lo_pos", &pos, date_positions),
+        None => pos,
+    };
+
+    // --- group-by attributes -------------------------------------------------
+    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
+    let d_year = q.base("d_year");
+    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+
+    let second_per_row = match query {
+        SsbQuery::Q4_1 => {
+            let custkey_at_pos = q.project("custkey_at_pos", lo_custkey, &pos);
+            let c_nation = q.base("c_nation");
+            attribute_per_row(q, "customer_nation", &custkey_at_pos, c_custkey, c_nation)
+        }
+        SsbQuery::Q4_2 => {
+            let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
+            let s_nation = q.base("s_nation");
+            attribute_per_row(q, "supplier_nation", &suppkey_at_pos, s_suppkey, s_nation)
+        }
+        SsbQuery::Q4_3 => {
+            let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
+            let s_city = q.base("s_city");
+            attribute_per_row(q, "supplier_city", &suppkey_at_pos, s_suppkey, s_city)
+        }
+        _ => unreachable!(),
+    };
+
+    // Q4.2 and Q4.3 group by a third, part-derived attribute.
+    let third_per_row = match query {
+        SsbQuery::Q4_1 => None,
+        SsbQuery::Q4_2 => {
+            let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
+            let p_category = q.base("p_category");
+            Some(attribute_per_row(
+                q,
+                "part_category",
+                &partkey_at_pos,
+                p_partkey,
+                p_category,
+            ))
+        }
+        SsbQuery::Q4_3 => {
+            let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
+            let p_brand1 = q.base("p_brand1");
+            Some(attribute_per_row(
+                q,
+                "part_brand",
+                &partkey_at_pos,
+                p_partkey,
+                p_brand1,
+            ))
+        }
+        _ => unreachable!(),
+    };
+
+    // --- grouping and aggregation ---------------------------------------------
+    let group_year = q.group("group_year", &year_per_row);
+    let group_two = q.group_refine("group_year_second", &group_year, &second_per_row);
+    let group = match third_per_row {
+        Some(ref third) => q.group_refine("group_year_second_third", &group_two, third),
+        None => group_two,
+    };
+
+    let lo_revenue = q.base("lo_revenue");
+    let lo_supplycost = q.base("lo_supplycost");
+    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
+    let supplycost_at_pos = q.project("supplycost_at_pos", lo_supplycost, &pos);
+    let profit = q.calc("profit", BinaryOp::Sub, &revenue_at_pos, &supplycost_at_pos);
+    let sums = q.grouped_sum("sum_profit", &group, &profit);
+
+    let year_keys = q.project("result_year", &year_per_row, &group.representatives);
+    let second_keys = q.project("result_second", &second_per_row, &group.representatives);
+    let mut group_keys = vec![year_keys.decompress(), second_keys.decompress()];
+    if let Some(ref third) = third_per_row {
+        let third_keys = q.project("result_third", third, &group.representatives);
+        group_keys.push(third_keys.decompress());
+    }
+
+    QueryResult {
+        group_keys,
+        values: sums.decompress(),
+    }
+}

@@ -11,27 +11,30 @@
 //!   AND <quantity predicate>;
 //! ```
 
+use morphstore_engine::plan::{PlanBuilder, QueryPlan};
 use morphstore_engine::{BinaryOp, CmpOp};
 
-use super::{Pred, QueryCtx, QueryResult, SsbQuery};
+use super::{filter, Pred, SsbQuery};
 
-pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+pub(crate) fn plan(query: SsbQuery) -> QueryPlan {
+    let mut p = PlanBuilder::new(query.label());
+
     // Step 1: restrict the date dimension.
     let date_positions = match query {
         SsbQuery::Q1_1 => {
-            let d_year = q.base("d_year");
-            q.filter("date_pos", d_year, Pred::Eq(1993))
+            let d_year = p.scan("d_year");
+            filter(&mut p, "date_pos", d_year, Pred::Eq(1993))
         }
         SsbQuery::Q1_2 => {
-            let d_yearmonthnum = q.base("d_yearmonthnum");
-            q.filter("date_pos", d_yearmonthnum, Pred::Eq(199401))
+            let d_yearmonthnum = p.scan("d_yearmonthnum");
+            filter(&mut p, "date_pos", d_yearmonthnum, Pred::Eq(199401))
         }
         SsbQuery::Q1_3 => {
-            let d_week = q.base("d_weeknuminyear");
-            let week_pos = q.filter("date_pos_week", d_week, Pred::Eq(6));
-            let d_year = q.base("d_year");
-            let year_pos = q.filter("date_pos_year", d_year, Pred::Eq(1994));
-            q.intersect("date_pos", &week_pos, &year_pos)
+            let d_week = p.scan("d_weeknuminyear");
+            let week_pos = filter(&mut p, "date_pos_week", d_week, Pred::Eq(6));
+            let d_year = p.scan("d_year");
+            let year_pos = filter(&mut p, "date_pos_year", d_year, Pred::Eq(1994));
+            p.intersect_sorted("date_pos", week_pos, year_pos)
         }
         _ => unreachable!("flight 1 handles Q1.x only"),
     };
@@ -43,32 +46,30 @@ pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
     };
 
     // Step 2: qualifying date keys and the lineorder restriction.
-    let d_datekey = q.base("d_datekey");
-    let date_keys = q.project("date_keys", d_datekey, &date_positions);
-    let lo_orderdate = q.base("lo_orderdate");
-    let pos_date = q.semi_join("lo_pos_date", lo_orderdate, &date_keys);
+    let d_datekey = p.scan("d_datekey");
+    let date_keys = p.project("date_keys", d_datekey, date_positions);
+    let lo_orderdate = p.scan("lo_orderdate");
+    let pos_date = p.semi_join("lo_pos_date", lo_orderdate, date_keys);
 
-    let lo_discount = q.base("lo_discount");
-    let pos_discount = q.filter(
+    let lo_discount = p.scan("lo_discount");
+    let pos_discount = filter(
+        &mut p,
         "lo_pos_discount",
         lo_discount,
         Pred::Between(discount_low, discount_high),
     );
-    let lo_quantity = q.base("lo_quantity");
-    let pos_quantity = q.filter("lo_pos_quantity", lo_quantity, quantity_pred);
+    let lo_quantity = p.scan("lo_quantity");
+    let pos_quantity = filter(&mut p, "lo_pos_quantity", lo_quantity, quantity_pred);
 
-    let pos = q.intersect("lo_pos_date_discount", &pos_date, &pos_discount);
-    let pos = q.intersect("lo_pos", &pos, &pos_quantity);
+    let pos = p.intersect_sorted("lo_pos_date_discount", pos_date, pos_discount);
+    let pos = p.intersect_sorted("lo_pos", pos, pos_quantity);
 
     // Step 3: the aggregate.
-    let lo_extendedprice = q.base("lo_extendedprice");
-    let price_at_pos = q.project("price_at_pos", lo_extendedprice, &pos);
-    let discount_at_pos = q.project("discount_at_pos", lo_discount, &pos);
-    let revenue = q.calc("revenue", BinaryOp::Mul, &price_at_pos, &discount_at_pos);
-    let total = q.sum("sum_revenue", &revenue);
+    let lo_extendedprice = p.scan("lo_extendedprice");
+    let price_at_pos = p.project("price_at_pos", lo_extendedprice, pos);
+    let discount_at_pos = p.project("discount_at_pos", lo_discount, pos);
+    let revenue = p.calc_binary("revenue", BinaryOp::Mul, price_at_pos, discount_at_pos);
+    let total = p.agg_sum("sum_revenue", revenue);
 
-    QueryResult {
-        group_keys: vec![],
-        values: vec![total],
-    }
+    p.finish_scalar(total)
 }

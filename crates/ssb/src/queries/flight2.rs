@@ -10,11 +10,13 @@
 //! GROUP BY d_year, p_brand1;
 //! ```
 
+use morphstore_engine::plan::{PlanBuilder, QueryPlan};
+
 use crate::dict;
 
-use super::{attribute_per_row, Pred, QueryCtx, QueryResult, SsbQuery};
+use super::{attribute_per_row, filter, Pred, SsbQuery};
 
-pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+pub(crate) fn plan(query: SsbQuery) -> QueryPlan {
     let (part_column, part_pred, supplier_region) = match query {
         SsbQuery::Q2_1 => (
             "p_category",
@@ -33,48 +35,46 @@ pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
         ),
         _ => unreachable!("flight 2 handles Q2.x only"),
     };
+    let mut p = PlanBuilder::new(query.label());
 
     // Restrict the part dimension and the fact table by it.
-    let part_attr = q.base(part_column);
-    let part_pos = q.filter("part_pos", part_attr, part_pred);
-    let p_partkey = q.base("p_partkey");
-    let part_keys = q.project("part_keys", p_partkey, &part_pos);
-    let lo_partkey = q.base("lo_partkey");
-    let pos_part = q.semi_join("lo_pos_part", lo_partkey, &part_keys);
+    let part_attr = p.scan(part_column);
+    let part_pos = filter(&mut p, "part_pos", part_attr, part_pred);
+    let p_partkey = p.scan("p_partkey");
+    let part_keys = p.project("part_keys", p_partkey, part_pos);
+    let lo_partkey = p.scan("lo_partkey");
+    let pos_part = p.semi_join("lo_pos_part", lo_partkey, part_keys);
 
     // Restrict the supplier dimension and the fact table by it.
-    let s_region = q.base("s_region");
-    let supplier_pos = q.filter("supplier_pos", s_region, Pred::Eq(supplier_region));
-    let s_suppkey = q.base("s_suppkey");
-    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
-    let lo_suppkey = q.base("lo_suppkey");
-    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+    let s_region = p.scan("s_region");
+    let supplier_pos = filter(&mut p, "supplier_pos", s_region, Pred::Eq(supplier_region));
+    let s_suppkey = p.scan("s_suppkey");
+    let supplier_keys = p.project("supplier_keys", s_suppkey, supplier_pos);
+    let lo_suppkey = p.scan("lo_suppkey");
+    let pos_supplier = p.semi_join("lo_pos_supplier", lo_suppkey, supplier_keys);
 
-    let pos = q.intersect("lo_pos", &pos_part, &pos_supplier);
+    let pos = p.intersect_sorted("lo_pos", pos_part, pos_supplier);
 
     // Group-by attributes: d_year and p_brand1 per restricted fact row.
-    let lo_orderdate = q.base("lo_orderdate");
-    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
-    let d_datekey = q.base("d_datekey");
-    let d_year = q.base("d_year");
-    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+    let lo_orderdate = p.scan("lo_orderdate");
+    let orderdate_at_pos = p.project("orderdate_at_pos", lo_orderdate, pos);
+    let d_datekey = p.scan("d_datekey");
+    let d_year = p.scan("d_year");
+    let year_per_row = attribute_per_row(&mut p, "year", orderdate_at_pos, d_datekey, d_year);
 
-    let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
-    let p_brand1 = q.base("p_brand1");
-    let brand_per_row = attribute_per_row(q, "brand", &partkey_at_pos, p_partkey, p_brand1);
+    let partkey_at_pos = p.project("partkey_at_pos", lo_partkey, pos);
+    let p_brand1 = p.scan("p_brand1");
+    let brand_per_row = attribute_per_row(&mut p, "brand", partkey_at_pos, p_partkey, p_brand1);
 
     // Grouping and aggregation.
-    let group_year = q.group("group_year", &year_per_row);
-    let group = q.group_refine("group_year_brand", &group_year, &brand_per_row);
-    let lo_revenue = q.base("lo_revenue");
-    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
-    let sums = q.grouped_sum("sum_revenue", &group, &revenue_at_pos);
+    let group_year = p.group_by("group_year", year_per_row);
+    let group = p.group_by_refine("group_year_brand", group_year, brand_per_row);
+    let lo_revenue = p.scan("lo_revenue");
+    let revenue_at_pos = p.project("revenue_at_pos", lo_revenue, pos);
+    let sums = p.agg_sum_grouped("sum_revenue", group, revenue_at_pos);
 
-    let year_keys = q.project("result_year", &year_per_row, &group.representatives);
-    let brand_keys = q.project("result_brand", &brand_per_row, &group.representatives);
+    let year_keys = p.project("result_year", year_per_row, group.representatives());
+    let brand_keys = p.project("result_brand", brand_per_row, group.representatives());
 
-    QueryResult {
-        group_keys: vec![year_keys.decompress(), brand_keys.decompress()],
-        values: sums.decompress(),
-    }
+    p.finish_grouped(vec![year_keys, brand_keys], sums)
 }

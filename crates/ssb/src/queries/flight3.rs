@@ -11,9 +11,11 @@
 //! GROUP BY <c_attr>, <s_attr>, d_year;
 //! ```
 
+use morphstore_engine::plan::{PlanBuilder, QueryPlan};
+
 use crate::dict;
 
-use super::{attribute_per_row, Pred, QueryCtx, QueryResult, SsbQuery};
+use super::{attribute_per_row, filter, Pred, SsbQuery};
 
 struct Flight3Spec {
     customer_column: &'static str,
@@ -75,70 +77,78 @@ fn spec(query: SsbQuery) -> Flight3Spec {
     }
 }
 
-pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+pub(crate) fn plan(query: SsbQuery) -> QueryPlan {
     let spec = spec(query);
+    let mut p = PlanBuilder::new(query.label());
 
     // Customer restriction.
-    let customer_attr = q.base(spec.customer_column);
-    let customer_pos = q.filter("customer_pos", customer_attr, spec.customer_pred);
-    let c_custkey = q.base("c_custkey");
-    let customer_keys = q.project("customer_keys", c_custkey, &customer_pos);
-    let lo_custkey = q.base("lo_custkey");
-    let pos_customer = q.semi_join("lo_pos_customer", lo_custkey, &customer_keys);
+    let customer_attr = p.scan(spec.customer_column);
+    let customer_pos = filter(&mut p, "customer_pos", customer_attr, spec.customer_pred);
+    let c_custkey = p.scan("c_custkey");
+    let customer_keys = p.project("customer_keys", c_custkey, customer_pos);
+    let lo_custkey = p.scan("lo_custkey");
+    let pos_customer = p.semi_join("lo_pos_customer", lo_custkey, customer_keys);
 
     // Supplier restriction.
-    let supplier_attr = q.base(spec.supplier_column);
-    let supplier_pos = q.filter("supplier_pos", supplier_attr, spec.supplier_pred);
-    let s_suppkey = q.base("s_suppkey");
-    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
-    let lo_suppkey = q.base("lo_suppkey");
-    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+    let supplier_attr = p.scan(spec.supplier_column);
+    let supplier_pos = filter(&mut p, "supplier_pos", supplier_attr, spec.supplier_pred);
+    let s_suppkey = p.scan("s_suppkey");
+    let supplier_keys = p.project("supplier_keys", s_suppkey, supplier_pos);
+    let lo_suppkey = p.scan("lo_suppkey");
+    let pos_supplier = p.semi_join("lo_pos_supplier", lo_suppkey, supplier_keys);
 
     // Date restriction.
-    let date_attr = q.base(spec.date_column);
-    let date_pos = q.filter("date_pos", date_attr, spec.date_pred);
-    let d_datekey = q.base("d_datekey");
-    let date_keys = q.project("date_keys", d_datekey, &date_pos);
-    let lo_orderdate = q.base("lo_orderdate");
-    let pos_date = q.semi_join("lo_pos_date", lo_orderdate, &date_keys);
+    let date_attr = p.scan(spec.date_column);
+    let date_pos = filter(&mut p, "date_pos", date_attr, spec.date_pred);
+    let d_datekey = p.scan("d_datekey");
+    let date_keys = p.project("date_keys", d_datekey, date_pos);
+    let lo_orderdate = p.scan("lo_orderdate");
+    let pos_date = p.semi_join("lo_pos_date", lo_orderdate, date_keys);
 
-    let pos = q.intersect("lo_pos_cust_supp", &pos_customer, &pos_supplier);
-    let pos = q.intersect("lo_pos", &pos, &pos_date);
+    let pos = p.intersect_sorted("lo_pos_cust_supp", pos_customer, pos_supplier);
+    let pos = p.intersect_sorted("lo_pos", pos, pos_date);
 
     // Group-by attributes per restricted fact row.
-    let custkey_at_pos = q.project("custkey_at_pos", lo_custkey, &pos);
-    let customer_group_attr = q.base(spec.customer_group_column);
-    let customer_per_row =
-        attribute_per_row(q, "customer_attr", &custkey_at_pos, c_custkey, customer_group_attr);
+    let custkey_at_pos = p.project("custkey_at_pos", lo_custkey, pos);
+    let customer_group_attr = p.scan(spec.customer_group_column);
+    let customer_per_row = attribute_per_row(
+        &mut p,
+        "customer_attr",
+        custkey_at_pos,
+        c_custkey,
+        customer_group_attr,
+    );
 
-    let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
-    let supplier_group_attr = q.base(spec.supplier_group_column);
-    let supplier_per_row =
-        attribute_per_row(q, "supplier_attr", &suppkey_at_pos, s_suppkey, supplier_group_attr);
+    let suppkey_at_pos = p.project("suppkey_at_pos", lo_suppkey, pos);
+    let supplier_group_attr = p.scan(spec.supplier_group_column);
+    let supplier_per_row = attribute_per_row(
+        &mut p,
+        "supplier_attr",
+        suppkey_at_pos,
+        s_suppkey,
+        supplier_group_attr,
+    );
 
-    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
-    let d_year = q.base("d_year");
-    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+    let orderdate_at_pos = p.project("orderdate_at_pos", lo_orderdate, pos);
+    let d_year = p.scan("d_year");
+    let year_per_row = attribute_per_row(&mut p, "year", orderdate_at_pos, d_datekey, d_year);
 
     // Grouping and aggregation.
-    let group_customer = q.group("group_customer", &customer_per_row);
-    let group_supplier = q.group_refine("group_customer_supplier", &group_customer, &supplier_per_row);
-    let group = q.group_refine("group_customer_supplier_year", &group_supplier, &year_per_row);
+    let group_customer = p.group_by("group_customer", customer_per_row);
+    let group_supplier =
+        p.group_by_refine("group_customer_supplier", group_customer, supplier_per_row);
+    let group = p.group_by_refine("group_customer_supplier_year", group_supplier, year_per_row);
 
-    let lo_revenue = q.base("lo_revenue");
-    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
-    let sums = q.grouped_sum("sum_revenue", &group, &revenue_at_pos);
+    let lo_revenue = p.scan("lo_revenue");
+    let revenue_at_pos = p.project("revenue_at_pos", lo_revenue, pos);
+    let sums = p.agg_sum_grouped("sum_revenue", group, revenue_at_pos);
 
-    let customer_keys_out = q.project("result_customer", &customer_per_row, &group.representatives);
-    let supplier_keys_out = q.project("result_supplier", &supplier_per_row, &group.representatives);
-    let year_keys_out = q.project("result_year", &year_per_row, &group.representatives);
+    let customer_keys_out = p.project("result_customer", customer_per_row, group.representatives());
+    let supplier_keys_out = p.project("result_supplier", supplier_per_row, group.representatives());
+    let year_keys_out = p.project("result_year", year_per_row, group.representatives());
 
-    QueryResult {
-        group_keys: vec![
-            customer_keys_out.decompress(),
-            supplier_keys_out.decompress(),
-            year_keys_out.decompress(),
-        ],
-        values: sums.decompress(),
-    }
+    p.finish_grouped(
+        vec![customer_keys_out, supplier_keys_out, year_keys_out],
+        sums,
+    )
 }

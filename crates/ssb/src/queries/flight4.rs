@@ -2,21 +2,29 @@
 //! customer/supplier geography, part attributes and (for Q4.2/4.3) a year
 //! range, group by varying attributes and sum `lo_revenue - lo_supplycost`.
 
+use morphstore_engine::plan::{PlanBuilder, QueryPlan};
 use morphstore_engine::BinaryOp;
 
 use crate::dict;
 
-use super::{attribute_per_row, Pred, QueryCtx, QueryResult, SsbQuery};
+use super::{attribute_per_row, filter, Pred, SsbQuery};
 
-pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
+pub(crate) fn plan(query: SsbQuery) -> QueryPlan {
+    let mut p = PlanBuilder::new(query.label());
+
     // --- restrictions --------------------------------------------------------
     // Customer restriction (all of flight 4 restricts the customer region).
-    let c_region = q.base("c_region");
-    let customer_pos = q.filter("customer_pos", c_region, Pred::Eq(dict::REGION_AMERICA));
-    let c_custkey = q.base("c_custkey");
-    let customer_keys = q.project("customer_keys", c_custkey, &customer_pos);
-    let lo_custkey = q.base("lo_custkey");
-    let pos_customer = q.semi_join("lo_pos_customer", lo_custkey, &customer_keys);
+    let c_region = p.scan("c_region");
+    let customer_pos = filter(
+        &mut p,
+        "customer_pos",
+        c_region,
+        Pred::Eq(dict::REGION_AMERICA),
+    );
+    let c_custkey = p.scan("c_custkey");
+    let customer_keys = p.project("customer_keys", c_custkey, customer_pos);
+    let lo_custkey = p.scan("lo_custkey");
+    let pos_customer = p.semi_join("lo_pos_customer", lo_custkey, customer_keys);
 
     // Supplier restriction.
     let (supplier_column, supplier_pred) = match query {
@@ -24,68 +32,78 @@ pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
         SsbQuery::Q4_3 => ("s_nation", Pred::Eq(dict::NATION_UNITED_STATES)),
         _ => unreachable!("flight 4 handles Q4.x only"),
     };
-    let supplier_attr = q.base(supplier_column);
-    let supplier_pos = q.filter("supplier_pos", supplier_attr, supplier_pred);
-    let s_suppkey = q.base("s_suppkey");
-    let supplier_keys = q.project("supplier_keys", s_suppkey, &supplier_pos);
-    let lo_suppkey = q.base("lo_suppkey");
-    let pos_supplier = q.semi_join("lo_pos_supplier", lo_suppkey, &supplier_keys);
+    let supplier_attr = p.scan(supplier_column);
+    let supplier_pos = filter(&mut p, "supplier_pos", supplier_attr, supplier_pred);
+    let s_suppkey = p.scan("s_suppkey");
+    let supplier_keys = p.project("supplier_keys", s_suppkey, supplier_pos);
+    let lo_suppkey = p.scan("lo_suppkey");
+    let pos_supplier = p.semi_join("lo_pos_supplier", lo_suppkey, supplier_keys);
 
     // Part restriction.
     let (part_column, part_pred) = match query {
-        SsbQuery::Q4_1 | SsbQuery::Q4_2 => {
-            ("p_mfgr", Pred::In2(dict::mfgr(1), dict::mfgr(2)))
-        }
+        SsbQuery::Q4_1 | SsbQuery::Q4_2 => ("p_mfgr", Pred::In2(dict::mfgr(1), dict::mfgr(2))),
         SsbQuery::Q4_3 => ("p_category", Pred::Eq(dict::category(1, 4))),
         _ => unreachable!(),
     };
-    let part_attr = q.base(part_column);
-    let part_pos = q.filter("part_pos", part_attr, part_pred);
-    let p_partkey = q.base("p_partkey");
-    let part_keys = q.project("part_keys", p_partkey, &part_pos);
-    let lo_partkey = q.base("lo_partkey");
-    let pos_part = q.semi_join("lo_pos_part", lo_partkey, &part_keys);
+    let part_attr = p.scan(part_column);
+    let part_pos = filter(&mut p, "part_pos", part_attr, part_pred);
+    let p_partkey = p.scan("p_partkey");
+    let part_keys = p.project("part_keys", p_partkey, part_pos);
+    let lo_partkey = p.scan("lo_partkey");
+    let pos_part = p.semi_join("lo_pos_part", lo_partkey, part_keys);
 
     // Date restriction (Q4.2 and Q4.3 only: d_year IN (1997, 1998)).
-    let lo_orderdate = q.base("lo_orderdate");
-    let d_datekey = q.base("d_datekey");
+    let lo_orderdate = p.scan("lo_orderdate");
+    let d_datekey = p.scan("d_datekey");
     let pos_date = match query {
         SsbQuery::Q4_1 => None,
         _ => {
-            let d_year = q.base("d_year");
-            let date_pos = q.filter("date_pos", d_year, Pred::Between(1997, 1998));
-            let date_keys = q.project("date_keys", d_datekey, &date_pos);
-            Some(q.semi_join("lo_pos_date", lo_orderdate, &date_keys))
+            let d_year = p.scan("d_year");
+            let date_pos = filter(&mut p, "date_pos", d_year, Pred::Between(1997, 1998));
+            let date_keys = p.project("date_keys", d_datekey, date_pos);
+            Some(p.semi_join("lo_pos_date", lo_orderdate, date_keys))
         }
     };
 
-    let pos = q.intersect("lo_pos_cust_supp", &pos_customer, &pos_supplier);
-    let pos = q.intersect("lo_pos_cust_supp_part", &pos, &pos_part);
+    let pos = p.intersect_sorted("lo_pos_cust_supp", pos_customer, pos_supplier);
+    let pos = p.intersect_sorted("lo_pos_cust_supp_part", pos, pos_part);
     let pos = match pos_date {
-        Some(ref date_positions) => q.intersect("lo_pos", &pos, date_positions),
+        Some(date_positions) => p.intersect_sorted("lo_pos", pos, date_positions),
         None => pos,
     };
 
     // --- group-by attributes -------------------------------------------------
-    let orderdate_at_pos = q.project("orderdate_at_pos", lo_orderdate, &pos);
-    let d_year = q.base("d_year");
-    let year_per_row = attribute_per_row(q, "year", &orderdate_at_pos, d_datekey, d_year);
+    let orderdate_at_pos = p.project("orderdate_at_pos", lo_orderdate, pos);
+    let d_year = p.scan("d_year");
+    let year_per_row = attribute_per_row(&mut p, "year", orderdate_at_pos, d_datekey, d_year);
 
     let second_per_row = match query {
         SsbQuery::Q4_1 => {
-            let custkey_at_pos = q.project("custkey_at_pos", lo_custkey, &pos);
-            let c_nation = q.base("c_nation");
-            attribute_per_row(q, "customer_nation", &custkey_at_pos, c_custkey, c_nation)
+            let custkey_at_pos = p.project("custkey_at_pos", lo_custkey, pos);
+            let c_nation = p.scan("c_nation");
+            attribute_per_row(
+                &mut p,
+                "customer_nation",
+                custkey_at_pos,
+                c_custkey,
+                c_nation,
+            )
         }
         SsbQuery::Q4_2 => {
-            let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
-            let s_nation = q.base("s_nation");
-            attribute_per_row(q, "supplier_nation", &suppkey_at_pos, s_suppkey, s_nation)
+            let suppkey_at_pos = p.project("suppkey_at_pos", lo_suppkey, pos);
+            let s_nation = p.scan("s_nation");
+            attribute_per_row(
+                &mut p,
+                "supplier_nation",
+                suppkey_at_pos,
+                s_suppkey,
+                s_nation,
+            )
         }
         SsbQuery::Q4_3 => {
-            let suppkey_at_pos = q.project("suppkey_at_pos", lo_suppkey, &pos);
-            let s_city = q.base("s_city");
-            attribute_per_row(q, "supplier_city", &suppkey_at_pos, s_suppkey, s_city)
+            let suppkey_at_pos = p.project("suppkey_at_pos", lo_suppkey, pos);
+            let s_city = p.scan("s_city");
+            attribute_per_row(&mut p, "supplier_city", suppkey_at_pos, s_suppkey, s_city)
         }
         _ => unreachable!(),
     };
@@ -94,43 +112,51 @@ pub(crate) fn run(query: SsbQuery, q: &mut QueryCtx<'_>) -> QueryResult {
     let third_per_row = match query {
         SsbQuery::Q4_1 => None,
         SsbQuery::Q4_2 => {
-            let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
-            let p_category = q.base("p_category");
-            Some(attribute_per_row(q, "part_category", &partkey_at_pos, p_partkey, p_category))
+            let partkey_at_pos = p.project("partkey_at_pos", lo_partkey, pos);
+            let p_category = p.scan("p_category");
+            Some(attribute_per_row(
+                &mut p,
+                "part_category",
+                partkey_at_pos,
+                p_partkey,
+                p_category,
+            ))
         }
         SsbQuery::Q4_3 => {
-            let partkey_at_pos = q.project("partkey_at_pos", lo_partkey, &pos);
-            let p_brand1 = q.base("p_brand1");
-            Some(attribute_per_row(q, "part_brand", &partkey_at_pos, p_partkey, p_brand1))
+            let partkey_at_pos = p.project("partkey_at_pos", lo_partkey, pos);
+            let p_brand1 = p.scan("p_brand1");
+            Some(attribute_per_row(
+                &mut p,
+                "part_brand",
+                partkey_at_pos,
+                p_partkey,
+                p_brand1,
+            ))
         }
         _ => unreachable!(),
     };
 
     // --- grouping and aggregation ---------------------------------------------
-    let group_year = q.group("group_year", &year_per_row);
-    let group_two = q.group_refine("group_year_second", &group_year, &second_per_row);
+    let group_year = p.group_by("group_year", year_per_row);
+    let group_two = p.group_by_refine("group_year_second", group_year, second_per_row);
     let group = match third_per_row {
-        Some(ref third) => q.group_refine("group_year_second_third", &group_two, third),
+        Some(third) => p.group_by_refine("group_year_second_third", group_two, third),
         None => group_two,
     };
 
-    let lo_revenue = q.base("lo_revenue");
-    let lo_supplycost = q.base("lo_supplycost");
-    let revenue_at_pos = q.project("revenue_at_pos", lo_revenue, &pos);
-    let supplycost_at_pos = q.project("supplycost_at_pos", lo_supplycost, &pos);
-    let profit = q.calc("profit", BinaryOp::Sub, &revenue_at_pos, &supplycost_at_pos);
-    let sums = q.grouped_sum("sum_profit", &group, &profit);
+    let lo_revenue = p.scan("lo_revenue");
+    let lo_supplycost = p.scan("lo_supplycost");
+    let revenue_at_pos = p.project("revenue_at_pos", lo_revenue, pos);
+    let supplycost_at_pos = p.project("supplycost_at_pos", lo_supplycost, pos);
+    let profit = p.calc_binary("profit", BinaryOp::Sub, revenue_at_pos, supplycost_at_pos);
+    let sums = p.agg_sum_grouped("sum_profit", group, profit);
 
-    let year_keys = q.project("result_year", &year_per_row, &group.representatives);
-    let second_keys = q.project("result_second", &second_per_row, &group.representatives);
-    let mut group_keys = vec![year_keys.decompress(), second_keys.decompress()];
-    if let Some(ref third) = third_per_row {
-        let third_keys = q.project("result_third", third, &group.representatives);
-        group_keys.push(third_keys.decompress());
+    let year_keys = p.project("result_year", year_per_row, group.representatives());
+    let second_keys = p.project("result_second", second_per_row, group.representatives());
+    let mut result_keys = vec![year_keys, second_keys];
+    if let Some(third) = third_per_row {
+        result_keys.push(p.project("result_third", third, group.representatives()));
     }
 
-    QueryResult {
-        group_keys,
-        values: sums.decompress(),
-    }
+    p.finish_grouped(result_keys, sums)
 }

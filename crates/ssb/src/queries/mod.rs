@@ -1,4 +1,4 @@
-//! The 13 SSB queries, implemented operator-at-a-time against the engine.
+//! The 13 SSB queries as declarative query plans against the engine.
 //!
 //! Every query follows the same star-join pattern MonetDB-style plans use
 //! (and which the paper's MorphStore plans imitate, Section 5.2):
@@ -12,22 +12,27 @@
 //!    keys back to the dimensions and projecting the attribute columns,
 //! 4. grouping and grouped summation produce the result.
 //!
-//! Every base column touched and every intermediate produced is recorded in
-//! the [`ExecutionContext`] under a stable name (`"<query>/<step>"`), so the
-//! format-selection strategies can assign each one an individual format and
-//! the harness can account footprints exactly like the paper does.
+//! Each flight module builds a [`QueryPlan`] via
+//! [`morphstore_engine::plan::PlanBuilder`]; [`SsbQuery::execute`] hands the
+//! plan to the [`PlanExecutor`], which resolves per-edge compression formats
+//! from the [`ExecutionContext`]'s format assignment, auto-generates the
+//! stable `"<query>/<step>"` intermediate names, and records every base
+//! column and intermediate — so the format-selection strategies can assign
+//! each one an individual format and the harness can account footprints
+//! exactly like the paper does.
+//!
+//! The pre-redesign hand-written implementations are kept frozen in
+//! [`direct`] (reachable via [`SsbQuery::execute_direct`]) as the reference
+//! the differential tests compare plan-based execution against.
 
+mod direct;
 mod flight1;
 mod flight2;
 mod flight3;
 mod flight4;
 
-use morph_compression::Format;
-use morph_storage::Column;
-use morphstore_engine::{
-    agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join, project,
-    select, select_between, semi_join, BinaryOp, CmpOp, ExecutionContext, GroupResult,
-};
+use morphstore_engine::plan::{ColRef, PlanBuilder, PlanExecutor, QueryPlan};
+use morphstore_engine::{CmpOp, ExecutionContext};
 
 use crate::data::SsbData;
 
@@ -54,7 +59,9 @@ impl SsbQuery {
     /// All 13 queries in benchmark order.
     pub fn all() -> [SsbQuery; 13] {
         use SsbQuery::*;
-        [Q1_1, Q1_2, Q1_3, Q2_1, Q2_2, Q2_3, Q3_1, Q3_2, Q3_3, Q3_4, Q4_1, Q4_2, Q4_3]
+        [
+            Q1_1, Q1_2, Q1_3, Q2_1, Q2_2, Q2_3, Q3_1, Q3_2, Q3_3, Q3_4, Q4_1, Q4_2, Q4_3,
+        ]
     }
 
     /// The label used by the paper's figures ("1.1" … "4.3").
@@ -77,72 +84,42 @@ impl SsbQuery {
         }
     }
 
-    /// The base columns the query touches (used by the format-combination
-    /// searches of Figures 7–10 to enumerate assignable columns).
-    pub fn base_columns(&self) -> &'static [&'static str] {
+    /// The query's logical operator DAG, labelled with the query label so
+    /// every intermediate gets its stable `"<query>/<step>"` name.
+    pub fn plan(&self) -> QueryPlan {
         use SsbQuery::*;
         match self {
-            Q1_1 => &[
-                "d_datekey", "d_year", "lo_orderdate", "lo_quantity", "lo_discount",
-                "lo_extendedprice",
-            ],
-            Q1_2 => &[
-                "d_datekey", "d_yearmonthnum", "lo_orderdate", "lo_quantity", "lo_discount",
-                "lo_extendedprice",
-            ],
-            Q1_3 => &[
-                "d_datekey", "d_year", "d_weeknuminyear", "lo_orderdate", "lo_quantity",
-                "lo_discount", "lo_extendedprice",
-            ],
-            Q2_1 | Q2_2 | Q2_3 => &[
-                "p_partkey", "p_category", "p_brand1", "s_suppkey", "s_region", "d_datekey",
-                "d_year", "lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
-            ],
-            Q3_1 => &[
-                "c_custkey", "c_region", "c_nation", "s_suppkey", "s_region", "s_nation",
-                "d_datekey", "d_year", "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
-            ],
-            Q3_2 | Q3_3 => &[
-                "c_custkey", "c_nation", "c_city", "s_suppkey", "s_nation", "s_city", "d_datekey",
-                "d_year", "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
-            ],
-            Q3_4 => &[
-                "c_custkey", "c_city", "s_suppkey", "s_city", "d_datekey", "d_year",
-                "d_yearmonthnum", "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue",
-            ],
-            Q4_1 => &[
-                "c_custkey", "c_region", "c_nation", "s_suppkey", "s_region", "p_partkey",
-                "p_mfgr", "d_datekey", "d_year", "lo_custkey", "lo_suppkey", "lo_partkey",
-                "lo_orderdate", "lo_revenue", "lo_supplycost",
-            ],
-            Q4_2 => &[
-                "c_custkey", "c_region", "s_suppkey", "s_region", "s_nation", "p_partkey",
-                "p_mfgr", "p_category", "d_datekey", "d_year", "lo_custkey", "lo_suppkey",
-                "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost",
-            ],
-            Q4_3 => &[
-                "c_custkey", "c_region", "s_suppkey", "s_nation", "s_city", "p_partkey",
-                "p_category", "p_brand1", "d_datekey", "d_year", "lo_custkey", "lo_suppkey",
-                "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost",
-            ],
+            Q1_1 | Q1_2 | Q1_3 => flight1::plan(*self),
+            Q2_1 | Q2_2 | Q2_3 => flight2::plan(*self),
+            Q3_1 | Q3_2 | Q3_3 | Q3_4 => flight3::plan(*self),
+            Q4_1 | Q4_2 | Q4_3 => flight4::plan(*self),
         }
     }
 
-    /// Execute the query on `data`, recording footprints and timings in
-    /// `ctx`.
+    /// The base columns the query touches, derived from its plan (used by
+    /// the format-combination searches of Figures 7–10 to enumerate
+    /// assignable columns).
+    pub fn base_columns(&self) -> Vec<String> {
+        self.plan().base_columns()
+    }
+
+    /// Execute the query on `data` by building its plan and walking it with
+    /// the [`PlanExecutor`], recording footprints and timings in `ctx`.
     pub fn execute(&self, data: &SsbData, ctx: &mut ExecutionContext) -> QueryResult {
-        let mut q = QueryCtx {
-            data,
-            ctx,
-            prefix: self.label(),
-        };
-        use SsbQuery::*;
-        match self {
-            Q1_1 | Q1_2 | Q1_3 => flight1::run(*self, &mut q),
-            Q2_1 | Q2_2 | Q2_3 => flight2::run(*self, &mut q),
-            Q3_1 | Q3_2 | Q3_3 | Q3_4 => flight3::run(*self, &mut q),
-            Q4_1 | Q4_2 | Q4_3 => flight4::run(*self, &mut q),
+        let output = PlanExecutor.execute(&self.plan(), data, ctx);
+        QueryResult {
+            group_keys: output.group_keys,
+            values: output.values,
         }
+    }
+
+    /// Execute the query through the frozen pre-redesign hand-written path.
+    ///
+    /// Kept for differential testing (plan-based execution must produce
+    /// byte-identical results and context records) and for the
+    /// `plan_overhead` benchmark; not intended for new callers.
+    pub fn execute_direct(&self, data: &SsbData, ctx: &mut ExecutionContext) -> QueryResult {
+        direct::run(*self, data, ctx)
     }
 }
 
@@ -204,191 +181,13 @@ pub(crate) enum Pred {
     In2(u64, u64),
 }
 
-/// Per-query execution state shared by the flight implementations: the data,
-/// the execution context and the query prefix for intermediate names.
-pub(crate) struct QueryCtx<'a> {
-    pub data: &'a SsbData,
-    pub ctx: &'a mut ExecutionContext,
-    pub prefix: &'static str,
-}
-
-impl<'a> QueryCtx<'a> {
-    /// Fetch a base column, recording it (and its physical size) once.
-    pub fn base(&mut self, name: &str) -> &'a Column {
-        let column = self.data.column(name);
-        self.ctx.record_base(name, column);
-        column
-    }
-
-    /// The format assigned to the intermediate `name` (prefixed with the
-    /// query label).
-    fn fmt(&self, name: &str) -> Format {
-        self.ctx.format_for(&format!("{}/{}", self.prefix, name))
-    }
-
-    fn record(&mut self, name: &str, column: &Column) {
-        let full = format!("{}/{}", self.prefix, name);
-        self.ctx.record_intermediate(&full, column);
-    }
-
-    /// Select positions of `input` matching `pred`, materialised in the
-    /// format assigned to intermediate `name`.
-    pub fn filter(&mut self, name: &str, input: &Column, pred: Pred) -> Column {
-        let format = self.fmt(name);
-        let settings = self.ctx.settings;
-        let out = self.ctx.time(&format!("{}/select:{}", self.prefix, name), || match pred {
-            Pred::Eq(c) => select(CmpOp::Eq, input, c, &format, &settings),
-            Pred::Cmp(op, c) => select(op, input, c, &format, &settings),
-            Pred::Between(lo, hi) => select_between(input, lo, hi, &format, &settings),
-            Pred::In2(a, b) => {
-                let pa = select(CmpOp::Eq, input, a, &format, &settings);
-                let pb = select(CmpOp::Eq, input, b, &format, &settings);
-                intersect_or_merge(&pa, &pb, &format, &settings, false)
-            }
-        });
-        self.record(name, &out);
-        out
-    }
-
-    /// Intersect two sorted position columns.
-    pub fn intersect(&mut self, name: &str, a: &Column, b: &Column) -> Column {
-        let format = self.fmt(name);
-        let settings = self.ctx.settings;
-        let out = self.ctx.time(&format!("{}/intersect:{}", self.prefix, name), || {
-            intersect_sorted(a, b, &format, &settings)
-        });
-        self.record(name, &out);
-        out
-    }
-
-    /// Project `data[positions]`.
-    pub fn project(&mut self, name: &str, data: &Column, positions: &Column) -> Column {
-        let format = self.fmt(name);
-        let settings = self.ctx.settings;
-        let out = self.ctx.time(&format!("{}/project:{}", self.prefix, name), || {
-            project(data, positions, &format, &settings)
-        });
-        self.record(name, &out);
-        out
-    }
-
-    /// Semi-join: positions of `probe` whose value occurs in `build`.
-    pub fn semi_join(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
-        let format = self.fmt(name);
-        let settings = self.ctx.settings;
-        let out = self.ctx.time(&format!("{}/semijoin:{}", self.prefix, name), || {
-            semi_join(probe, build, &format, &settings)
-        });
-        self.record(name, &out);
-        out
-    }
-
-    /// N:1 join of foreign keys against a dimension key column; returns the
-    /// build-side (dimension) positions aligned with the probe rows.
-    pub fn join_positions(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
-        let format = self.fmt(name);
-        let settings = self.ctx.settings;
-        // The probe-side positions of an N:1 foreign-key join are simply
-        // 0..len (every fact row matches exactly one dimension row); they are
-        // not used by the plan, so they are materialised in DELTA + BP (which
-        // is ideal for a sorted identity sequence) irrespective of the format
-        // assigned to the recorded build-side positions.
-        let (probe_pos, build_pos) = self.ctx.time(&format!("{}/join:{}", self.prefix, name), || {
-            join(probe, build, (&Format::DeltaDynBp, &format), &settings)
-        });
-        assert_eq!(
-            probe_pos.logical_len(),
-            probe.logical_len(),
-            "SSB foreign keys must all find their dimension row"
-        );
-        self.record(name, &build_pos);
-        build_pos
-    }
-
-    /// Group by one key column.  The per-row group identifiers and the
-    /// per-group representative positions are distinct intermediates with
-    /// distinct data characteristics (dense small ids vs. sorted positions),
-    /// so they are named and format-assigned separately (`<name>` and
-    /// `<name>_reps`).
-    pub fn group(&mut self, name: &str, keys: &Column) -> GroupResult {
-        let ids_format = self.fmt(name);
-        let reps_name = format!("{name}_reps");
-        let reps_format = self.fmt(&reps_name);
-        let settings = self.ctx.settings;
-        let result = self.ctx.time(&format!("{}/group:{}", self.prefix, name), || {
-            group_by(keys, (&ids_format, &reps_format), &settings)
-        });
-        self.record(name, &result.group_ids);
-        self.record(&reps_name, &result.representatives);
-        result
-    }
-
-    /// Refine a grouping by an additional key column (see [`QueryCtx::group`]
-    /// for the naming of the two outputs).
-    pub fn group_refine(&mut self, name: &str, previous: &GroupResult, keys: &Column) -> GroupResult {
-        let ids_format = self.fmt(name);
-        let reps_name = format!("{name}_reps");
-        let reps_format = self.fmt(&reps_name);
-        let settings = self.ctx.settings;
-        let result = self.ctx.time(&format!("{}/group:{}", self.prefix, name), || {
-            group_by_refine(previous, keys, (&ids_format, &reps_format), &settings)
-        });
-        self.record(name, &result.group_ids);
-        self.record(&reps_name, &result.representatives);
-        result
-    }
-
-    /// Element-wise binary calculation.
-    pub fn calc(&mut self, name: &str, op: BinaryOp, lhs: &Column, rhs: &Column) -> Column {
-        let format = self.fmt(name);
-        let settings = self.ctx.settings;
-        let out = self.ctx.time(&format!("{}/calc:{}", self.prefix, name), || {
-            calc_binary(op, lhs, rhs, &format, &settings)
-        });
-        self.record(name, &out);
-        out
-    }
-
-    /// Grouped summation; the result is a final query output and therefore
-    /// always uncompressed (Section 3.3: the final query output columns
-    /// should always be uncompressed).
-    pub fn grouped_sum(&mut self, name: &str, group: &GroupResult, values: &Column) -> Column {
-        let settings = self.ctx.settings;
-        let out = self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
-            agg_sum_grouped(
-                &group.group_ids,
-                values,
-                group.group_count,
-                &Format::Uncompressed,
-                &settings,
-            )
-        });
-        self.record(name, &out);
-        out
-    }
-
-    /// Whole-column summation (flight 1).
-    pub fn sum(&mut self, name: &str, values: &Column) -> u64 {
-        let settings = self.ctx.settings;
-        self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
-            morphstore_engine::agg_sum(values, &settings)
-        })
-    }
-}
-
-/// Union or intersection helper for `Pred::In2` (kept outside the struct to
-/// avoid borrowing issues inside the timing closure).
-fn intersect_or_merge(
-    a: &Column,
-    b: &Column,
-    format: &Format,
-    settings: &morphstore_engine::ExecSettings,
-    intersect: bool,
-) -> Column {
-    if intersect {
-        morphstore_engine::intersect_sorted(a, b, format, settings)
-    } else {
-        morphstore_engine::merge_sorted(a, b, format, settings)
+/// Append a selection for `pred` over `input` to the plan.
+pub(crate) fn filter(p: &mut PlanBuilder, name: &str, input: ColRef, pred: Pred) -> ColRef {
+    match pred {
+        Pred::Eq(c) => p.select(name, input, CmpOp::Eq, c),
+        Pred::Cmp(op, c) => p.select(name, input, op, c),
+        Pred::Between(low, high) => p.select_between(name, input, low, high),
+        Pred::In2(a, b) => p.select_in2(name, input, a, b),
     }
 }
 
@@ -396,14 +195,14 @@ fn intersect_or_merge(
 /// restricted fact row by joining the projected foreign keys with the
 /// dimension key column and projecting the attribute.
 pub(crate) fn attribute_per_row(
-    q: &mut QueryCtx<'_>,
+    p: &mut PlanBuilder,
     name: &str,
-    fact_fk_at_pos: &Column,
-    dim_key: &Column,
-    dim_attr: &Column,
-) -> Column {
-    let dim_positions = q.join_positions(&format!("{name}_dimpos"), fact_fk_at_pos, dim_key);
-    q.project(&format!("{name}_per_row"), dim_attr, &dim_positions)
+    fact_fk_at_pos: ColRef,
+    dim_key: ColRef,
+    dim_attr: ColRef,
+) -> ColRef {
+    let dim_positions = p.join(&format!("{name}_dimpos"), fact_fk_at_pos, dim_key);
+    p.project(&format!("{name}_per_row"), dim_attr, dim_positions)
 }
 
 #[cfg(test)]
@@ -428,6 +227,25 @@ mod tests {
             assert!(columns.len() <= 16, "{query} lists too many base columns");
             // Every query reads at least one lineorder measure or key.
             assert!(columns.iter().any(|c| c.starts_with("lo_")));
+        }
+    }
+
+    #[test]
+    fn plans_have_labels_and_intermediates_in_paper_ballpark() {
+        for query in SsbQuery::all() {
+            let plan = query.plan();
+            assert_eq!(plan.label(), query.label());
+            let intermediates = plan.intermediate_names();
+            // "between 15 and 56 intermediates" at scale factor 10; our
+            // simplified plans stay within an order of magnitude.
+            assert!(
+                (8..=60).contains(&intermediates.len()),
+                "{query} has {} intermediates",
+                intermediates.len()
+            );
+            // Every intermediate name carries the query prefix.
+            let prefix = format!("{}/", query.label());
+            assert!(intermediates.iter().all(|n| n.starts_with(&prefix)));
         }
     }
 

@@ -159,8 +159,9 @@ pub fn evaluate(query: SsbQuery, data: &SsbData) -> QueryResult {
                     && (p_mfgr == dict::mfgr(1) || p_mfgr == dict::mfgr(2))
                     && (1997..=1998).contains(&d_year)
                 {
-                    *grouped.entry(vec![d_year, s_nation, p_category]).or_default() +=
-                        revenue[i] - supplycost[i];
+                    *grouped
+                        .entry(vec![d_year, s_nation, p_category])
+                        .or_default() += revenue[i] - supplycost[i];
                 }
             }
             SsbQuery::Q4_3 => {
@@ -208,10 +209,7 @@ mod tests {
         let data = dbgen::generate(0.01, 42);
         for query in SsbQuery::all() {
             let result = evaluate(query, &data);
-            assert!(
-                result.row_count() > 0,
-                "{query} produced no reference rows"
-            );
+            assert!(result.row_count() > 0, "{query} produced no reference rows");
             if matches!(query, SsbQuery::Q1_1 | SsbQuery::Q1_2 | SsbQuery::Q1_3) {
                 assert!(result.single() > 0, "{query} sums to zero");
             }

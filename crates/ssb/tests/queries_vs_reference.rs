@@ -5,8 +5,8 @@
 
 use morph_compression::Format;
 use morph_ssb::{dbgen, reference, SsbQuery};
-use morphstore_engine::{ExecSettings, ExecutionContext, IntegrationDegree, ProcessingStyle};
 use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::{ExecSettings, ExecutionContext, IntegrationDegree, ProcessingStyle};
 
 const SCALE_FACTOR: f64 = 0.01;
 const SEED: u64 = 42;
@@ -76,7 +76,12 @@ fn results_are_independent_of_format_combinations() {
     // A representative subset (one query per flight) across heterogeneous
     // format assignments; the full cross-product runs in the uncompressed and
     // compressed tests above.
-    for query in [SsbQuery::Q1_1, SsbQuery::Q2_1, SsbQuery::Q3_2, SsbQuery::Q4_1] {
+    for query in [
+        SsbQuery::Q1_1,
+        SsbQuery::Q2_1,
+        SsbQuery::Q3_2,
+        SsbQuery::Q4_1,
+    ] {
         let expected = reference::evaluate(query, &raw);
         for config in &configs {
             let (result, _) = run_query(
@@ -107,7 +112,11 @@ fn results_are_independent_of_integration_degree() {
                 settings,
                 FormatConfig::with_default(Format::DynBp),
             );
-            assert_eq!(result.sorted_rows(), expected.sorted_rows(), "{query} {degree:?}");
+            assert_eq!(
+                result.sorted_rows(),
+                expected.sorted_rows(),
+                "{query} {degree:?}"
+            );
         }
     }
 }

@@ -184,12 +184,7 @@ impl Column {
         }
         let target_main_len = self.len - self.len % target.block_size();
         if target_main_len == self.main_len {
-            let main = morph(
-                &self.format,
-                target,
-                self.main_part_bytes(),
-                self.main_len,
-            );
+            let main = morph(&self.format, target, self.main_part_bytes(), self.main_len);
             let mut data = main;
             let main_bytes = data.len();
             data.extend_from_slice(&self.data[self.main_bytes..]);

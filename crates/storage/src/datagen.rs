@@ -83,8 +83,9 @@ impl SyntheticColumn {
             }
             SyntheticColumn::C4 => {
                 let base = 1u64 << 47;
-                let mut values: Vec<u64> =
-                    (0..n).map(|_| base + rng.gen_range(0..=100_000u64)).collect();
+                let mut values: Vec<u64> = (0..n)
+                    .map(|_| base + rng.gen_range(0..=100_000u64))
+                    .collect();
                 values.sort_unstable();
                 values
             }
@@ -105,13 +106,7 @@ impl SyntheticColumn {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE ^ (*self as u64 + 1));
         let tail = self.generate(n, seed.wrapping_add(17));
         let mut values: Vec<u64> = (0..n)
-            .map(|i| {
-                if rng.gen_bool(0.9) {
-                    lowest
-                } else {
-                    tail[i]
-                }
-            })
+            .map(|i| if rng.gen_bool(0.9) { lowest } else { tail[i] })
             .collect();
         if self.is_sorted() {
             values.sort_unstable();
@@ -141,7 +136,7 @@ pub fn with_runs(n: usize, distinct: u64, max_run_len: usize, seed: u64) -> Vec<
     while values.len() < n {
         let value = rng.gen_range(0..distinct);
         let run = rng.gen_range(1..=max_run_len).min(n - values.len());
-        values.extend(std::iter::repeat(value).take(run));
+        values.extend(std::iter::repeat_n(value, run));
     }
     values
 }

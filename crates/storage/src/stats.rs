@@ -175,9 +175,14 @@ mod tests {
 
     #[test]
     fn bit_width_histogram_sums_to_len() {
-        let values: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(97) % (1 << 20)).collect();
+        let values: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(97) % (1 << 20))
+            .collect();
         let stats = ColumnStats::from_values(&values);
-        assert_eq!(stats.bit_width_histogram.iter().sum::<usize>(), values.len());
+        assert_eq!(
+            stats.bit_width_histogram.iter().sum::<usize>(),
+            values.len()
+        );
         assert!(stats.avg_bit_width() <= 20.0);
         assert!(stats.avg_bit_width() >= 15.0);
     }
@@ -202,7 +207,10 @@ mod tests {
     fn stats_from_column_match_values() {
         let values: Vec<u64> = (0..3000u64).map(|i| (i * 7) % 100).collect();
         let column = Column::compress(&values, &Format::DynBp);
-        assert_eq!(ColumnStats::from_column(&column), ColumnStats::from_values(&values));
+        assert_eq!(
+            ColumnStats::from_column(&column),
+            ColumnStats::from_values(&values)
+        );
     }
 
     #[test]

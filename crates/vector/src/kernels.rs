@@ -146,7 +146,11 @@ pub enum BinaryOp {
 /// Used by the engine's `calc` operator (e.g. `extendedprice * discount` in
 /// SSB query flight 1).
 pub fn binary_op<V: VectorExtension>(op: BinaryOp, lhs: &[u64], rhs: &[u64], out: &mut Vec<u64>) {
-    assert_eq!(lhs.len(), rhs.len(), "binary_op requires equally long inputs");
+    assert_eq!(
+        lhs.len(),
+        rhs.len(),
+        "binary_op requires equally long inputs"
+    );
     let lanes = V::LANES;
     let chunks = lhs.len() / lanes;
     out.reserve(lhs.len());
@@ -355,7 +359,10 @@ mod tests {
     #[test]
     fn binary_ops_match_scalar_semantics() {
         let lhs = test_data(133);
-        let rhs: Vec<u64> = lhs.iter().map(|v| v.wrapping_mul(3).wrapping_add(7)).collect();
+        let rhs: Vec<u64> = lhs
+            .iter()
+            .map(|v| v.wrapping_mul(3).wrapping_add(7))
+            .collect();
         for op in [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul] {
             let mut out = Vec::new();
             binary_op::<V512>(op, &lhs, &rhs, &mut out);

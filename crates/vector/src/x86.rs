@@ -141,9 +141,7 @@ mod avx2 {
         }
         let mut lanes = [0u64; 4];
         _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
-        let mut total = lanes
-            .iter()
-            .fold(0u64, |a, &b| a.wrapping_add(b));
+        let mut total = lanes.iter().fold(0u64, |a, &b| a.wrapping_add(b));
         for &value in &data[i..] {
             total = total.wrapping_add(value);
         }

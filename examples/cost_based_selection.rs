@@ -1,7 +1,7 @@
 //! Compression-aware query optimisation: use the cost model to pick a format
-//! for every base column and intermediate of an SSB query, and compare the
-//! resulting memory footprint against static BP everywhere and against the
-//! exhaustive best combination (the experiment of Figure 10).
+//! for every edge of an SSB query plan — base columns and intermediates —
+//! and compare the resulting memory footprint against static BP everywhere
+//! and against the exhaustive best combination (the experiment of Figure 10).
 //!
 //! Run with: `cargo run --release --example cost_based_selection [-- <scale factor>]`
 
@@ -23,33 +23,51 @@ fn main() {
         .unwrap_or(0.02);
     let data = dbgen::generate(scale_factor, 42);
     let query = SsbQuery::Q2_1;
+    let plan = query.plan();
     println!("query {query} at scale factor {scale_factor}\n");
 
-    // Capture one reference execution to learn all assignable columns.
-    let mut capture_ctx =
-        ExecutionContext::new(ExecSettings::vectorized_uncompressed(), FormatConfig::uncompressed());
+    // The assignable columns are the plan's edges; capture one reference
+    // execution to learn the intermediates' data.
+    let mut capture_ctx = ExecutionContext::new(
+        ExecSettings::vectorized_uncompressed(),
+        FormatConfig::uncompressed(),
+    );
     capture_ctx.enable_capture();
     query.execute(&data, &mut capture_ctx);
     let mut columns = capture_ctx.captured_columns().clone();
-    for name in query.base_columns() {
-        columns.insert((*name).to_string(), data.column(name).clone());
+    for name in plan.base_columns() {
+        let column = data.column(&name).clone();
+        columns.insert(name, column);
     }
-    println!("assignable columns (base + intermediates): {}", columns.len());
+    println!(
+        "assignable columns (plan edges: base + intermediates): {}",
+        plan.edges().len()
+    );
 
+    let mut cost_based_config = None;
     for strategy in [
         FormatSelectionStrategy::AllUncompressed,
         FormatSelectionStrategy::AllStaticBp,
         FormatSelectionStrategy::CostBased,
         FormatSelectionStrategy::ExhaustiveBestFootprint,
     ] {
-        let config = strategy.build_config(&columns);
+        let config = strategy.build_config_for_plan(&plan, &columns);
         let bytes = footprint(query, &data, &config);
         println!(
             "{:<20} total footprint = {:>10.3} MiB",
             strategy.label(),
             bytes as f64 / (1024.0 * 1024.0)
         );
+        if strategy == FormatSelectionStrategy::CostBased {
+            cost_based_config = Some(config);
+        }
     }
     println!("\nthe cost-based selection should be close to the exhaustive best combination");
     println!("(Figure 10 of the paper), at a fraction of the search cost.");
+
+    println!("\nplan with the cost-based per-edge formats:");
+    print!(
+        "{}",
+        plan.describe(&cost_based_config.expect("strategy ran"))
+    );
 }

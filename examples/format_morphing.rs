@@ -37,7 +37,8 @@ fn main() {
     for column in SyntheticColumn::all() {
         let values = column.generate(N, 7);
         let stats = ColumnStats::from_values(&values);
-        let cost_based = morphstore::cost::strategy::cost_based_format(&stats, SelectionObjective::Footprint);
+        let cost_based =
+            morphstore::cost::strategy::cost_based_format(&stats, SelectionObjective::Footprint);
         let exhaustive = Format::paper_formats(stats.max)
             .into_iter()
             .min_by_key(|f| Column::compress(&values, f).size_used_bytes())

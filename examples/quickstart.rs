@@ -34,7 +34,13 @@ fn main() {
     // 4. Run a small query with compressed base data AND compressed
     //    intermediates: SELECT SUM(v) FROM t WHERE v < 10.
     let settings = ExecSettings::vectorized_compressed();
-    let positions = select(CmpOp::Lt, &compressed, 10, &Format::delta_dyn_bp(), &settings);
+    let positions = select(
+        CmpOp::Lt,
+        &compressed,
+        10,
+        &Format::delta_dyn_bp(),
+        &settings,
+    );
     println!(
         "select produced {} positions, stored in {} ({} bytes)",
         positions.logical_len(),

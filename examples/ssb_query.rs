@@ -21,16 +21,35 @@ fn main() {
     let compressed_data = data.with_uniform_format(&Format::DynBp);
 
     let configurations = [
-        ("scalar, uncompressed", ExecSettings::scalar_uncompressed(), &data, Format::Uncompressed),
-        ("vectorized, uncompressed", ExecSettings::vectorized_uncompressed(), &data, Format::Uncompressed),
-        ("vectorized, compressed", ExecSettings::vectorized_compressed(), &compressed_data, Format::DynBp),
+        (
+            "scalar, uncompressed",
+            ExecSettings::scalar_uncompressed(),
+            &data,
+            Format::Uncompressed,
+        ),
+        (
+            "vectorized, uncompressed",
+            ExecSettings::vectorized_uncompressed(),
+            &data,
+            Format::Uncompressed,
+        ),
+        (
+            "vectorized, compressed",
+            ExecSettings::vectorized_compressed(),
+            &compressed_data,
+            Format::DynBp,
+        ),
     ];
 
-    println!("{:<6} {:<28} {:>12} {:>14}", "query", "configuration", "runtime[ms]", "footprint[MiB]");
+    println!(
+        "{:<6} {:<28} {:>12} {:>14}",
+        "query", "configuration", "runtime[ms]", "footprint[MiB]"
+    );
     for query in SsbQuery::all() {
         let mut reference = None;
         for (label, settings, base, default_format) in &configurations {
-            let mut ctx = ExecutionContext::new(*settings, FormatConfig::with_default(*default_format));
+            let mut ctx =
+                ExecutionContext::new(*settings, FormatConfig::with_default(*default_format));
             let start = Instant::now();
             let result = query.execute(base, &mut ctx);
             let elapsed = start.elapsed();

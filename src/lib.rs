@@ -57,6 +57,9 @@ pub mod prelude {
     pub use morph_ssb::{SsbData, SsbQuery};
     pub use morph_storage::{Column, ColumnBuilder, ColumnStats};
     pub use morphstore_engine::exec::FormatConfig;
+    pub use morphstore_engine::plan::{
+        ColRef, ColumnSource, GroupRef, PlanBuilder, PlanExecutor, QueryPlan,
+    };
     pub use morphstore_engine::{
         agg_sum, agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join,
         merge_sorted, morph, project, select, select_between, semi_join, BinaryOp, CmpOp,

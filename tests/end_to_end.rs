@@ -28,7 +28,11 @@ fn grouped_aggregation_pipeline() {
     let keys_col = Column::compress(&keys, &Format::StaticBp(3));
     let amounts_col = Column::compress(&amounts, &Format::DynBp);
     let settings = ExecSettings::default();
-    let grouping = group_by(&keys_col, (&Format::StaticBp(3), &Format::DeltaDynBp), &settings);
+    let grouping = group_by(
+        &keys_col,
+        (&Format::StaticBp(3), &Format::DeltaDynBp),
+        &settings,
+    );
     assert_eq!(grouping.group_count, 7);
     let sums = agg_sum_grouped(
         &grouping.group_ids,
@@ -53,7 +57,11 @@ fn morphing_preserves_content_across_every_format_pair() {
         for src in &formats {
             let compressed = Column::compress(&values, src);
             for dst in &formats {
-                assert_eq!(morph(&compressed, dst).decompress(), values, "{src} -> {dst}");
+                assert_eq!(
+                    morph(&compressed, dst).decompress(),
+                    values,
+                    "{src} -> {dst}"
+                );
             }
         }
     }
@@ -73,15 +81,20 @@ fn ssb_query_with_cost_based_formats_matches_reference() {
         query.execute(&data, &mut capture);
         let mut columns = capture.captured_columns().clone();
         for name in query.base_columns() {
-            columns.insert((*name).to_string(), data.column(name).clone());
+            let column = data.column(&name).clone();
+            columns.insert(name, column);
         }
-        let config = FormatSelectionStrategy::CostBased.build_config(&columns);
+        let config =
+            FormatSelectionStrategy::CostBased.build_config_for_plan(&query.plan(), &columns);
         let compressed_base = data.with_formats(&config);
         let mut ctx = ExecutionContext::new(ExecSettings::vectorized_compressed(), config);
         let result = query.execute(&compressed_base, &mut ctx);
         let expected = reference::evaluate(query, &data);
         assert_eq!(result.sorted_rows(), expected.sorted_rows(), "{query}");
-        assert!(ctx.total_footprint_bytes() < capture.total_footprint_bytes(), "{query}");
+        assert!(
+            ctx.total_footprint_bytes() < capture.total_footprint_bytes(),
+            "{query}"
+        );
     }
 }
 

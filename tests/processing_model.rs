@@ -13,7 +13,7 @@ fn arbitrary_values() -> impl Strategy<Value = Vec<u64>> {
         prop::collection::vec(any::<u64>(), 1..1500),
         prop::collection::vec((0u64..10, 1usize..100), 1..60).prop_map(|runs| runs
             .into_iter()
-            .flat_map(|(v, n)| std::iter::repeat(v).take(n))
+            .flat_map(|(v, n)| std::iter::repeat_n(v, n))
             .collect()),
     ]
 }
