@@ -1,0 +1,132 @@
+//! `parallel_speedup` — wall-clock comparison of serial vs. parallel plan
+//! execution over all 13 SSB queries, sweeping the worker-pool size.
+//!
+//! For every query, the harness measures the serial executor
+//! (`SsbQuery::execute`) and the dependency-driven parallel executor
+//! (`SsbQuery::execute_parallel`) with 1, 2, 4 and 8 workers, under the
+//! headline vectorized + continuously-compressed configuration.  The
+//! best-of-`runs` wall clock is reported (robust against scheduler noise).
+//!
+//! The multi-join Q4.x plans are the showcase: their dimension-table
+//! subtrees (select → project → semi-join per dimension) are independent, so
+//! with ≥ 2 workers on a multi-core machine they overlap.  `threads = 1`
+//! delegates to the serial executor and must be within noise of it.
+//!
+//! Output: a CSV table on stdout plus the machine-readable `BENCH_ssb.json`
+//! (path overridable via the `MORPH_BENCH_JSON` environment variable) with
+//! per-query serial and parallel wall-clock in nanoseconds — the document a
+//! CI step can archive and diff across commits.
+//!
+//! Usual harness flags apply: `--scale-factor`, `--runs`, `--seed`.
+
+use std::time::{Duration, Instant};
+
+use morph_bench::{fmt_ms, print_header, print_row, ssb_speedup_json, HarnessArgs, SpeedupRow};
+use morph_compression::Format;
+use morph_ssb::{dbgen, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::{ExecSettings, ExecutionContext};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`runs` wall clock of `f` (which returns the query result, kept
+/// alive so the work cannot be optimised away).
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let result = f();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        last = Some(result);
+    }
+    (best, last.expect("at least one run"))
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let settings = ExecSettings::vectorized_compressed();
+    let formats = FormatConfig::with_default(Format::DynBp);
+    eprintln!(
+        "generating SSB data (scale factor {}, seed {}) ...",
+        args.scale_factor, args.seed
+    );
+    let data = dbgen::generate(args.scale_factor, args.seed).with_uniform_format(&Format::DynBp);
+
+    let mut header = vec!["query".to_string(), "serial_ms".to_string()];
+    for threads in THREAD_COUNTS {
+        header.push(format!("par{threads}_ms"));
+        header.push(format!("speedup_x{threads}"));
+    }
+    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let mut rows = Vec::new();
+    for query in SsbQuery::all() {
+        let (serial, serial_result) = best_of(args.runs, || {
+            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            query.execute(&data, &mut ctx)
+        });
+        let mut row = vec![query.label().to_string(), fmt_ms(serial)];
+        let mut parallel = Vec::new();
+        for threads in THREAD_COUNTS {
+            let (elapsed, result) = best_of(args.runs, || {
+                let mut ctx = ExecutionContext::new(settings, formats.clone());
+                query.execute_parallel(&data, &mut ctx, threads)
+            });
+            assert_eq!(
+                result, serial_result,
+                "{query} threads={threads}: parallel result diverged"
+            );
+            row.push(fmt_ms(elapsed));
+            row.push(format!(
+                "{:.2}",
+                serial.as_secs_f64() / elapsed.as_secs_f64()
+            ));
+            parallel.push(elapsed);
+        }
+        print_row(&row);
+        rows.push(SpeedupRow {
+            query: query.label().to_string(),
+            serial,
+            parallel,
+        });
+    }
+
+    let json_path =
+        std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| "BENCH_ssb.json".to_string());
+    let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(err) => eprintln!("could not write {json_path}: {err}"),
+    }
+
+    // Human-readable summary: the acceptance-relevant numbers.
+    let best = |row: &SpeedupRow| {
+        let fastest = row
+            .parallel
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Duration::MAX)
+            .as_secs_f64();
+        row.serial.as_secs_f64() / fastest
+    };
+    for row in rows.iter().filter(|r| r.query.starts_with('4')) {
+        eprintln!(
+            "Q{}: serial {} ms, best parallel speedup {:.2}x (threads=1 ratio {:.2})",
+            row.query,
+            fmt_ms(row.serial),
+            best(row),
+            row.serial.as_secs_f64() / row.parallel[0].as_secs_f64()
+        );
+    }
+    eprintln!(
+        "note: speedups > 1 require multiple CPU cores; this host exposes {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+}

@@ -225,6 +225,67 @@ pub fn fmt_mib(bytes: usize) -> String {
     format!("{:.3}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// One SSB query's wall-clock measurements for the machine-readable bench
+/// report: serial runtime plus one parallel runtime per swept thread count.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Query label ("1.1" … "4.3").
+    pub query: String,
+    /// Serial (`SsbQuery::execute`) wall clock.
+    pub serial: Duration,
+    /// Parallel (`SsbQuery::execute_parallel`) wall clock, aligned with the
+    /// swept thread counts.
+    pub parallel: Vec<Duration>,
+}
+
+/// Serialise per-query serial/parallel wall-clock measurements as the
+/// `BENCH_ssb.json` document (hand-rolled: the environment has no serde).
+///
+/// Schema: `{benchmark, scale_factor, seed, runs, threads: [..], queries:
+/// [{query, serial_ns, parallel_ns: [..], best_speedup}]}` with durations in
+/// integer nanoseconds, so CI tooling can diff runs without parsing the
+/// human-readable CSV.
+pub fn ssb_speedup_json(args: &HarnessArgs, threads: &[usize], rows: &[SpeedupRow]) -> String {
+    let threads_json: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let queries: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let parallel_ns: Vec<String> = row
+                .parallel
+                .iter()
+                .map(|d| d.as_nanos().to_string())
+                .collect();
+            let best = row
+                .parallel
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .fold(f64::INFINITY, f64::min);
+            let best_speedup = if best > 0.0 {
+                row.serial.as_secs_f64() / best
+            } else {
+                0.0
+            };
+            format!(
+                "    {{\"query\": \"{}\", \"serial_ns\": {}, \"parallel_ns\": [{}], \
+                 \"best_speedup\": {:.4}}}",
+                row.query,
+                row.serial.as_nanos(),
+                parallel_ns.join(", "),
+                best_speedup
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"scale_factor\": {},\n  \
+         \"seed\": {},\n  \"runs\": {},\n  \"threads\": [{}],\n  \"queries\": [\n{}\n  ]\n}}\n",
+        args.scale_factor,
+        args.seed,
+        args.runs,
+        threads_json.join(", "),
+        queries.join(",\n")
+    )
+}
+
 /// Print a CSV header row.
 pub fn print_header(columns: &[&str]) {
     println!("{}", columns.join(","));
@@ -252,6 +313,32 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500.000");
         assert_eq!(fmt_mib(1024 * 1024), "1.000");
+    }
+
+    #[test]
+    fn speedup_json_has_expected_shape() {
+        let args = HarnessArgs::default();
+        let rows = vec![SpeedupRow {
+            query: "4.1".to_string(),
+            serial: Duration::from_micros(100),
+            parallel: vec![Duration::from_micros(101), Duration::from_micros(50)],
+        }];
+        let json = ssb_speedup_json(&args, &[1, 2], &rows);
+        assert!(json.contains("\"benchmark\": \"ssb_parallel_speedup\""));
+        assert!(json.contains("\"threads\": [1, 2]"));
+        assert!(json.contains("\"query\": \"4.1\""));
+        assert!(json.contains("\"serial_ns\": 100000"));
+        assert!(json.contains("\"parallel_ns\": [101000, 50000]"));
+        assert!(json.contains("\"best_speedup\": 2.0000"));
+        // Balanced braces/brackets — cheap well-formedness check without a
+        // JSON parser in the dependency-free environment.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{open}{close}"
+            );
+        }
     }
 
     #[test]

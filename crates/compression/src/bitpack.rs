@@ -88,12 +88,15 @@ pub fn pack_into(values: &[u64], width: u8, out: &mut Vec<u8>) {
     }
 }
 
-/// Unpack `count` values of `width` bits each from `bytes`, appending them to
-/// `out`.
+/// Walk `count` values of `width` bits each from `bytes`, invoking
+/// `consumer` once per decoded value — the single copy of the bit-stream
+/// traversal that [`unpack_into`] and [`sum_packed`] specialise
+/// (monomorphised per consumer, so there is no per-value indirection).
 ///
 /// # Panics
 /// Panics if `bytes` is too short for `count` values of the given width.
-pub fn unpack_into(bytes: &[u8], width: u8, count: usize, out: &mut Vec<u64>) {
+#[inline]
+fn for_each_packed_value(bytes: &[u8], width: u8, count: usize, consumer: &mut impl FnMut(u64)) {
     assert!((1..=64).contains(&width), "bit width must be in 1..=64");
     let needed = packed_size_bytes(count, width);
     assert!(
@@ -103,7 +106,6 @@ pub fn unpack_into(bytes: &[u8], width: u8, count: usize, out: &mut Vec<u64>) {
     );
     let width = width as u32;
     let mask = max_value_for_width(width as u8);
-    out.reserve(count);
     let mut word_idx = 0usize; // index of the next full word to read
     let mut acc: u64 = 0;
     let mut bits_in_acc: u32 = 0;
@@ -120,14 +122,13 @@ pub fn unpack_into(bytes: &[u8], width: u8, count: usize, out: &mut Vec<u64>) {
     };
     for _ in 0..count {
         if bits_in_acc >= width {
-            out.push(acc & mask);
+            consumer(acc & mask);
             acc = acc.wrapping_shr(width);
             bits_in_acc -= width;
         } else {
             let next = read_word(word_idx);
             word_idx += 1;
-            let value = (acc | next.wrapping_shl(bits_in_acc)) & mask;
-            out.push(value);
+            consumer((acc | next.wrapping_shl(bits_in_acc)) & mask);
             let bits_from_next = width - bits_in_acc;
             acc = if bits_from_next >= 64 {
                 0
@@ -137,6 +138,33 @@ pub fn unpack_into(bytes: &[u8], width: u8, count: usize, out: &mut Vec<u64>) {
             bits_in_acc = 64 - bits_from_next;
         }
     }
+}
+
+/// Unpack `count` values of `width` bits each from `bytes`, appending them to
+/// `out`.
+///
+/// # Panics
+/// Panics if `bytes` is too short for `count` values of the given width.
+pub fn unpack_into(bytes: &[u8], width: u8, count: usize, out: &mut Vec<u64>) {
+    out.reserve(count);
+    for_each_packed_value(bytes, width, count, &mut |value| out.push(value));
+}
+
+/// Wrapping sum of `count` values of `width` bits each, read directly from
+/// the packed bit stream — no decode buffer is materialised.
+///
+/// This is the primitive behind the specialized static-BP summation operator
+/// (Figure 2(c) of the paper: compressed internal processing with direct
+/// data access).
+///
+/// # Panics
+/// Panics if `bytes` is too short for `count` values of the given width.
+pub fn sum_packed(bytes: &[u8], width: u8, count: usize) -> u64 {
+    let mut total = 0u64;
+    for_each_packed_value(bytes, width, count, &mut |value| {
+        total = total.wrapping_add(value);
+    });
+    total
 }
 
 /// Random access: read the value at logical position `idx` from a bit stream
@@ -212,6 +240,31 @@ mod tests {
         roundtrip(&vec![1u64; 128], 1);
         let max63 = max_value_for_width(63);
         roundtrip(&[max63, 0, max63, 7], 63);
+    }
+
+    #[test]
+    fn sum_packed_matches_unpacked_sum() {
+        for width in [1u8, 5, 8, 13, 31, 63, 64] {
+            let max = max_value_for_width(width);
+            let values: Vec<u64> = (0..513u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & max)
+                .collect();
+            let mut packed = Vec::new();
+            pack_into(&values, width, &mut packed);
+            let expected = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+            assert_eq!(
+                sum_packed(&packed, width, values.len()),
+                expected,
+                "width {width}"
+            );
+            assert_eq!(sum_packed(&packed, width, 0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn sum_packed_rejects_short_buffer() {
+        sum_packed(&[0u8; 4], 8, 64);
     }
 
     #[test]

@@ -178,6 +178,69 @@ pub struct ColumnRecord {
     pub is_base: bool,
 }
 
+/// Bookkeeping of a single plan node's execution, recorded independently of
+/// the [`ExecutionContext`] so nodes can run on worker threads.
+///
+/// The parallel plan executor gives every node its own `NodeRecords`; once
+/// all nodes have completed, the per-node records are merged back into the
+/// context **in topological (node-list) order** via
+/// [`ExecutionContext::merge_node_records`].  Because the serial executor
+/// visits nodes in exactly that order, the merged footprint records and
+/// operator-timing label sequences are identical to serial execution no
+/// matter which thread ran which node when.
+#[derive(Debug, Default)]
+pub struct NodeRecords {
+    records: Vec<ColumnRecord>,
+    timings: Vec<(String, Duration)>,
+    captured: Vec<(String, Column)>,
+    capture: bool,
+}
+
+impl NodeRecords {
+    /// Create a recorder; `capture` keeps a copy of every recorded
+    /// intermediate (mirroring [`ExecutionContext::enable_capture`]).
+    pub fn new(capture: bool) -> NodeRecords {
+        NodeRecords {
+            capture,
+            ..NodeRecords::default()
+        }
+    }
+
+    /// Record a base column touched by this node.  Per-query deduplication
+    /// happens at merge time, in the context.
+    pub fn record_base(&mut self, name: &str, column: &Column) {
+        self.records.push(ColumnRecord {
+            name: name.to_string(),
+            format: *column.format(),
+            len: column.logical_len(),
+            bytes: column.size_used_bytes(),
+            is_base: true,
+        });
+    }
+
+    /// Record an intermediate result produced by this node.
+    pub fn record_intermediate(&mut self, name: &str, column: &Column) {
+        self.records.push(ColumnRecord {
+            name: name.to_string(),
+            format: *column.format(),
+            len: column.logical_len(),
+            bytes: column.size_used_bytes(),
+            is_base: false,
+        });
+        if self.capture {
+            self.captured.push((name.to_string(), column.clone()));
+        }
+    }
+
+    /// Run `f`, recording its wall-clock duration under `op_name`.
+    pub fn time<R>(&mut self, op_name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.timings.push((op_name.to_string(), start.elapsed()));
+        result
+    }
+}
+
 /// Records what a query execution did: which columns were touched (with their
 /// formats and physical sizes) and how long each operator took.
 ///
@@ -265,6 +328,38 @@ impl ExecutionContext {
         let result = f();
         self.timings.push((op_name.to_string(), start.elapsed()));
         result
+    }
+
+    /// Whether intermediate capture is enabled (see
+    /// [`ExecutionContext::enable_capture`]).
+    pub fn capture_enabled(&self) -> bool {
+        self.capture
+    }
+
+    /// Merge the records of one executed plan node into the context.
+    ///
+    /// The plan executors call this once per node **in topological
+    /// (node-list) order**, which makes the merged footprint and timing
+    /// sequences independent of the actual (possibly parallel) execution
+    /// schedule.  Base-column records deduplicate exactly like
+    /// [`ExecutionContext::record_base`]: the footprint of a base column is
+    /// counted once per query.
+    pub fn merge_node_records(&mut self, node: NodeRecords) {
+        for record in node.records {
+            if record.is_base
+                && self
+                    .records
+                    .iter()
+                    .any(|r| r.is_base && r.name == record.name)
+            {
+                continue;
+            }
+            self.records.push(record);
+        }
+        self.timings.extend(node.timings);
+        if self.capture {
+            self.captured.extend(node.captured);
+        }
     }
 
     /// All recorded columns.

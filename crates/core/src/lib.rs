@@ -46,13 +46,18 @@
 //! typed handles, and a [`plan::PlanExecutor`] walks the finished
 //! [`plan::QueryPlan`] in topological order, resolving each edge's
 //! compression format from the [`exec::FormatConfig`] and recording
-//! footprints and timings in the [`ExecutionContext`].  See DESIGN.md for
-//! how the plan layer sits on top of the three-layer operator architecture.
+//! footprints and timings in the [`ExecutionContext`].  Because DP1
+//! materialises every intermediate, the plan is an explicit dependency
+//! graph, and the [`parallel::ParallelExecutor`] schedules independent
+//! subtrees on a worker pool with bookkeeping identical to the serial
+//! walk.  See DESIGN.md for how the plan layer sits on top of the
+//! three-layer operator architecture.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod exec;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod specialized;
 
@@ -67,6 +72,7 @@ pub use ops::merge::{intersect_sorted, merge_sorted};
 pub use ops::morph_op::morph;
 pub use ops::project::project;
 pub use ops::select::{select, select_between};
+pub use parallel::ParallelExecutor;
 pub use plan::{ColRef, ColumnSource, GroupRef, PlanBuilder, PlanExecutor, QueryPlan, ScalarRef};
 
 /// Comparison predicate of the [`select`] operator (re-exported from the

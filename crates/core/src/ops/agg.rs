@@ -29,13 +29,18 @@ pub(crate) fn sum_chunk(style: ProcessingStyle, chunk: &[u64]) -> u64 {
 
 /// Sum of all values of `input` (wrapping 64-bit arithmetic).
 ///
-/// With the specialized or morphing degree and an RLE input (or an input that
-/// can be morphed to RLE), the sum is computed directly on the compressed
-/// runs.
+/// With the specialized degree, an RLE input is summed directly on the runs
+/// and a static-BP input directly on the packed bit stream
+/// ([`specialized::agg_sum_on_static_bp`]); any other format falls back to
+/// on-the-fly decompression.  With the morphing degree the input is morphed
+/// to RLE first so the run-based kernel applies irrespective of the format.
 pub fn agg_sum(input: &Column, settings: &ExecSettings) -> u64 {
     match settings.degree {
         IntegrationDegree::Specialized if input.format() == &Format::Rle => {
             specialized::sum_on_rle(input)
+        }
+        IntegrationDegree::Specialized if matches!(input.format(), Format::StaticBp(_)) => {
+            specialized::agg_sum_on_static_bp(input)
         }
         IntegrationDegree::OnTheFlyMorphing => {
             let morphed = input.to_format(&Format::Rle);

@@ -1,0 +1,383 @@
+//! Parallel plan execution: schedule independent plan subtrees on a worker
+//! pool.
+//!
+//! The operator-at-a-time model (DP1) materialises every intermediate as a
+//! real named column, which makes a [`QueryPlan`] an *explicit* dependency
+//! graph — exactly what a scheduler needs.  MonetDB, the materialising
+//! engine the paper benchmarks against (Figure 9), exploits the same
+//! inter-operator parallelism; the multi-join SSB plans are the showcase:
+//! their dimension-table subtrees (select → project → semi-join per
+//! dimension) are mutually independent and can run concurrently.
+//!
+//! ## Scheduling
+//!
+//! [`ParallelExecutor`] computes each node's in-degree from
+//! [`QueryPlan::dependencies`], seeds a shared ready queue with the
+//! zero-in-degree nodes (the scans), and lets `threads` scoped workers
+//! (`std::thread::scope` — no external dependencies) pull node indices from
+//! the queue.  A worker executes a node via the same
+//! [`execute_node`] core the serial executor uses, publishes the result in a
+//! per-node `OnceLock` cell, decrements the in-degree of every dependent and
+//! enqueues those that become ready.  Workers exit when all nodes have
+//! completed.
+//!
+//! ## Determinism
+//!
+//! Results are bit-identical to serial execution because every operator is a
+//! pure function of its input columns and the format assignment.  Footprint
+//! and timing **records** are kept identical too: each node records into its
+//! own [`NodeRecords`], and after the pool drains, the per-node records are
+//! merged into the [`ExecutionContext`] in topological (node-list) order —
+//! the exact order the serial executor produces
+//! ([`ExecutionContext::merge_node_records`]).  Only the measured durations
+//! differ; names, formats, sizes and label sequences do not.
+//!
+//! ## `threads = 1`
+//!
+//! A single-threaded `ParallelExecutor` delegates to the serial
+//! [`PlanExecutor`] outright — no queue, no cells, no thread spawn — so the
+//! documented fast path degenerates to today's executor; the only extra
+//! work is the worker-count clamp.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::exec::{ExecutionContext, NodeRecords};
+use crate::plan::{execute_node, ColumnSource, PlanExecutor, PlanOutput, QueryPlan, Slot};
+
+/// The result of one plan node, published for dependent nodes and the final
+/// record merge.
+struct NodeResult<'a> {
+    slot: Slot<'a>,
+    records: NodeRecords,
+}
+
+/// Shared scheduler state of one parallel plan execution.
+struct Scheduler {
+    /// Node indices whose dependencies have all completed.
+    ready: Mutex<VecDeque<usize>>,
+    /// Signalled whenever `ready` gains entries or `done` flips.
+    wakeup: Condvar,
+    /// Per node, the number of dependencies that have not completed yet.
+    remaining: Vec<AtomicUsize>,
+    /// Number of completed nodes.
+    completed: AtomicUsize,
+    /// All nodes completed (or a worker panicked): workers must exit.
+    done: AtomicBool,
+}
+
+impl Scheduler {
+    /// Block until a node is ready; `None` once the execution is done.
+    fn next_ready(&self) -> Option<usize> {
+        let mut queue = self.ready.lock().expect("scheduler lock");
+        loop {
+            // `done` first: on normal completion the queue is empty anyway,
+            // and after a sibling's panic the survivors must stop instead of
+            // draining the rest of the plan before the panic propagates.
+            if self.done.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(idx) = queue.pop_front() {
+                return Some(idx);
+            }
+            queue = self.wakeup.wait(queue).expect("scheduler lock");
+        }
+    }
+
+    /// Publish newly-ready nodes and wake waiting workers.
+    fn enqueue_ready(&self, nodes: Vec<usize>, finished: bool) {
+        if nodes.is_empty() && !finished {
+            return;
+        }
+        let mut queue = self.ready.lock().expect("scheduler lock");
+        queue.extend(nodes);
+        drop(queue);
+        self.wakeup.notify_all();
+    }
+}
+
+/// Unblocks the sibling workers when a worker thread panics (an operator
+/// assertion, an unknown column), so `std::thread::scope` can join all
+/// threads and propagate the panic instead of deadlocking on the condvar.
+struct PanicRelease<'s>(&'s Scheduler);
+
+impl Drop for PanicRelease<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Flip `done` while holding the queue mutex: a sibling that has
+            // checked `done` under the lock is either already waiting (and
+            // gets the notification) or has not checked yet (and will see
+            // the flag).  Without the lock the notify could land in the
+            // check-to-wait window and be lost, leaving the sibling — and
+            // the scope join — blocked forever.  `into_inner` instead of
+            // `unwrap`: panicking inside a drop during unwind would abort.
+            let _guard = self
+                .0
+                .ready
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            self.0.done.store(true, Ordering::Release);
+            self.0.wakeup.notify_all();
+        }
+    }
+}
+
+/// Executes a [`QueryPlan`] with a pool of `threads` scoped workers,
+/// dispatching every node whose dependencies have completed.
+///
+/// Drop-in alternative to the serial [`PlanExecutor`]: identical results,
+/// identical footprint records and identical timing-label sequences (see the
+/// [module docs](self) for why).  The column source must be [`Sync`] because
+/// the workers scan base columns concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// Create an executor with a pool of `threads` workers (clamped to at
+    /// least 1; `threads = 1` delegates to the serial [`PlanExecutor`]).
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `plan` against `source`, recording footprints and timings in
+    /// `ctx` exactly like the serial executor would.
+    pub fn execute(
+        &self,
+        plan: &QueryPlan,
+        source: &(dyn ColumnSource + Sync),
+        ctx: &mut ExecutionContext,
+    ) -> PlanOutput {
+        let node_count = plan.node_count();
+        // More workers than nodes can never be utilised; a single worker is
+        // the serial executor with queue overhead, so skip the machinery.
+        let workers = self.threads.min(node_count);
+        if workers <= 1 {
+            return PlanExecutor.execute(plan, source, ctx);
+        }
+
+        let dependencies = plan.dependencies();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        let mut seeds = Vec::new();
+        for (idx, deps) in dependencies.iter().enumerate() {
+            for &dep in deps {
+                dependents[dep].push(idx);
+            }
+            if deps.is_empty() {
+                seeds.push(idx);
+            }
+        }
+
+        let scheduler = Scheduler {
+            ready: Mutex::new(seeds.into_iter().collect()),
+            wakeup: Condvar::new(),
+            remaining: dependencies
+                .iter()
+                .map(|deps| AtomicUsize::new(deps.len()))
+                .collect(),
+            completed: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+        };
+        let cells: Vec<OnceLock<NodeResult<'_>>> =
+            (0..node_count).map(|_| OnceLock::new()).collect();
+        let settings = ctx.settings;
+        let formats = &ctx.formats;
+        let capture = ctx.capture_enabled();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let scheduler = &scheduler;
+                    let cells = &cells;
+                    let dependents = &dependents;
+                    scope.spawn(move || {
+                        let _release = PanicRelease(scheduler);
+                        while let Some(idx) = scheduler.next_ready() {
+                            let mut records = NodeRecords::new(capture);
+                            let slot = execute_node(
+                                plan,
+                                idx,
+                                // `OnceLock::get` pairs its acquire load with the
+                                // publishing `set`, so a dependent worker sees the
+                                // dependency's slot fully initialised.
+                                |i| &cells[i].get().expect("dependency completed").slot,
+                                source,
+                                settings,
+                                formats,
+                                &mut records,
+                            );
+                            if cells[idx].set(NodeResult { slot, records }).is_err() {
+                                unreachable!("plan node {idx} executed twice");
+                            }
+                            let mut newly_ready = Vec::new();
+                            for &dependent in &dependents[idx] {
+                                let left =
+                                    scheduler.remaining[dependent].fetch_sub(1, Ordering::AcqRel);
+                                debug_assert!(left > 0, "in-degree underflow");
+                                if left == 1 {
+                                    newly_ready.push(dependent);
+                                }
+                            }
+                            let finished = scheduler.completed.fetch_add(1, Ordering::AcqRel) + 1
+                                == node_count;
+                            if finished {
+                                scheduler.done.store(true, Ordering::Release);
+                            }
+                            scheduler.enqueue_ready(newly_ready, finished);
+                        }
+                    })
+                })
+                .collect();
+            // Re-raise a worker's original panic payload (scope itself would
+            // replace it with a generic "a scoped thread panicked").  The
+            // `PanicRelease` guard has already unblocked the siblings.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        // Merge per-node records in topological (node-list) order — this is
+        // what keeps the context byte-identical to serial execution — and
+        // collect the slots for output assembly.
+        let mut slots = Vec::with_capacity(node_count);
+        for cell in cells {
+            let result = cell
+                .into_inner()
+                .expect("all plan nodes completed before the pool drained");
+            ctx.merge_node_records(result.records);
+            slots.push(result.slot);
+        }
+        plan.collect_output(|i| &slots[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecSettings, FormatConfig};
+    use crate::plan::PlanBuilder;
+    use crate::CmpOp;
+    use morph_compression::Format;
+    use morph_storage::Column;
+    use std::collections::HashMap;
+
+    fn source() -> HashMap<String, Column> {
+        let mut columns = HashMap::new();
+        columns.insert(
+            "a".to_string(),
+            Column::from_vec((0..4000u64).map(|i| i % 97).collect()),
+        );
+        columns.insert(
+            "b".to_string(),
+            Column::from_vec((0..4000u64).map(|i| (i * 7) % 113).collect()),
+        );
+        columns
+    }
+
+    /// Two independent select subtrees intersected — minimal parallelism.
+    fn diamond_plan() -> crate::plan::QueryPlan {
+        let mut p = PlanBuilder::new("par");
+        let a = p.scan("a");
+        let b = p.scan("b");
+        let left = p.select("left", a, CmpOp::Lt, 50);
+        let right = p.select("right", b, CmpOp::Lt, 60);
+        let both = p.intersect_sorted("both", left, right);
+        let total = p.agg_sum("total", both);
+        p.finish_scalar(total)
+    }
+
+    #[test]
+    fn dependencies_point_backwards_and_ready_sets_cover_all_nodes() {
+        let plan = diamond_plan();
+        let deps = plan.dependencies();
+        assert_eq!(deps.len(), plan.node_count());
+        for (idx, d) in deps.iter().enumerate() {
+            assert!(d.iter().all(|&dep| dep < idx), "node {idx} deps {d:?}");
+        }
+        // scans ; selects ; intersect ; agg
+        let levels = plan.ready_sets();
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[0], vec![0, 1]);
+        assert_eq!(levels[1], vec![2, 3]);
+        let covered: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(covered, plan.node_count());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_all_thread_counts() {
+        let source = source();
+        let plan = diamond_plan();
+        for formats in [
+            FormatConfig::uncompressed(),
+            FormatConfig::with_default(Format::DynBp).set("par/left", Format::DeltaDynBp),
+        ] {
+            let mut serial_ctx =
+                ExecutionContext::new(ExecSettings::vectorized_compressed(), formats.clone());
+            let serial = PlanExecutor.execute(&plan, &source, &mut serial_ctx);
+            for threads in [1, 2, 4, 64] {
+                let mut ctx =
+                    ExecutionContext::new(ExecSettings::vectorized_compressed(), formats.clone());
+                let parallel = ParallelExecutor::new(threads).execute(&plan, &source, &mut ctx);
+                assert_eq!(parallel, serial, "threads {threads}");
+                assert_eq!(ctx.records(), serial_ctx.records(), "threads {threads}");
+                let labels: Vec<&str> = ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+                let serial_labels: Vec<&str> = serial_ctx
+                    .timings()
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect();
+                assert_eq!(labels, serial_labels, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_capture_matches_serial_capture() {
+        let source = source();
+        let plan = diamond_plan();
+        let mut serial_ctx =
+            ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        serial_ctx.enable_capture();
+        PlanExecutor.execute(&plan, &source, &mut serial_ctx);
+        let mut parallel_ctx =
+            ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        parallel_ctx.enable_capture();
+        ParallelExecutor::new(3).execute(&plan, &source, &mut parallel_ctx);
+        assert_eq!(
+            parallel_ctx.captured_columns(),
+            serial_ctx.captured_columns()
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ParallelExecutor::new(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown base column")]
+    fn worker_panics_propagate() {
+        let source = source();
+        let mut p = PlanBuilder::new("bad");
+        let a = p.scan("a");
+        let missing = p.scan("no_such_column");
+        let left = p.select("left", a, CmpOp::Lt, 10);
+        let right = p.select("right", missing, CmpOp::Lt, 10);
+        let both = p.intersect_sorted("both", left, right);
+        let total = p.agg_sum("total", both);
+        let plan = p.finish_scalar(total);
+        let mut ctx = ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
+        ParallelExecutor::new(2).execute(&plan, &source, &mut ctx);
+    }
+}

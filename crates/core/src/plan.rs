@@ -24,6 +24,11 @@
 //!   runs the physical operator, and records footprints and timings exactly
 //!   like the paper's evaluation requires — the bookkeeping every query
 //!   used to copy-paste by hand.
+//!
+//! The DAG is also an explicit dependency graph ([`QueryPlan::dependencies`],
+//! [`QueryPlan::ready_sets`]): the [`crate::parallel::ParallelExecutor`]
+//! schedules independent subtrees on a worker pool through the same
+//! node-execution core, with identical observable bookkeeping.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -31,7 +36,7 @@ use std::fmt;
 use morph_compression::Format;
 use morph_storage::Column;
 
-use crate::exec::{ExecutionContext, FormatConfig};
+use crate::exec::{ExecSettings, ExecutionContext, FormatConfig, NodeRecords};
 use crate::ops::agg::{agg_sum, agg_sum_grouped};
 use crate::ops::calc::calc_binary;
 use crate::ops::group::{group_by, group_by_refine, GroupResult};
@@ -448,6 +453,73 @@ impl QueryPlan {
         out
     }
 
+    /// Per node, the indices of the nodes whose outputs it consumes
+    /// (sorted, deduplicated).  Handles can only refer to already-appended
+    /// nodes, so `dependencies()[i]` contains only indices `< i` — this is
+    /// the explicit dependency graph the parallel scheduler runs on.
+    pub fn dependencies(&self) -> Vec<Vec<usize>> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let mut deps: Vec<usize> = node.op.inputs().iter().map(|r| r.node).collect();
+                deps.sort_unstable();
+                deps.dedup();
+                deps
+            })
+            .collect()
+    }
+
+    /// Partition the nodes into *ready sets*: level 0 holds the nodes with
+    /// no inputs (scans), level `k` the nodes whose inputs all lie in levels
+    /// `< k` with at least one in level `k - 1`.  All nodes of one level are
+    /// mutually independent and could run concurrently.
+    ///
+    /// This is the plan's parallelism profile (its length is the critical
+    /// path in operator counts).  The [`crate::parallel::ParallelExecutor`]
+    /// schedules *dynamically* by in-degree instead of level-by-level — a
+    /// level barrier would serialise unbalanced subtrees — but the level
+    /// structure is what tests and tools inspect.
+    pub fn ready_sets(&self) -> Vec<Vec<usize>> {
+        let deps = self.dependencies();
+        let mut level_of = vec![0usize; self.nodes.len()];
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            // Nodes are in topological order, so dependency levels are known.
+            let level = deps[idx]
+                .iter()
+                .map(|&d| level_of[d] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of[idx] = level;
+            if levels.len() <= level {
+                levels.resize(level + 1, Vec::new());
+            }
+            levels[level].push(idx);
+        }
+        levels
+    }
+
+    /// Assemble the caller-facing [`PlanOutput`] from the executed slots.
+    pub(crate) fn collect_output<'a, 's, F>(&self, slots: F) -> PlanOutput
+    where
+        'a: 's,
+        F: Fn(usize) -> &'s Slot<'a>,
+    {
+        match &self.outputs {
+            PlanOutputs::Scalar(value) => PlanOutput {
+                group_keys: vec![],
+                values: vec![slots(value.node).scalar()],
+            },
+            PlanOutputs::Grouped { keys, values } => PlanOutput {
+                group_keys: keys
+                    .iter()
+                    .map(|k| slots(k.node).column(k.port).decompress())
+                    .collect(),
+                values: slots(values.node).column(values.port).decompress(),
+            },
+        }
+    }
+
     /// Execute the plan against `source`, recording footprints and timings
     /// in `ctx` (convenience wrapper around [`PlanExecutor`]).
     pub fn execute(&self, source: &dyn ColumnSource, ctx: &mut ExecutionContext) -> PlanOutput {
@@ -685,7 +757,10 @@ impl PlanBuilder {
 }
 
 /// One materialised value during execution.
-enum Slot<'a> {
+///
+/// Slots hold only owned data or borrows of the (shared) column source, so a
+/// slot table can be filled by worker threads and read by their dependents.
+pub(crate) enum Slot<'a> {
     Base(&'a Column),
     Col(Column),
     Group(GroupResult),
@@ -693,7 +768,7 @@ enum Slot<'a> {
 }
 
 impl Slot<'_> {
-    fn column(&self, port: u8) -> &Column {
+    pub(crate) fn column(&self, port: u8) -> &Column {
         match (self, port) {
             (Slot::Base(c), 0) => c,
             (Slot::Col(c), 0) => c,
@@ -703,14 +778,14 @@ impl Slot<'_> {
         }
     }
 
-    fn group(&self) -> &GroupResult {
+    pub(crate) fn group(&self) -> &GroupResult {
         match self {
             Slot::Group(g) => g,
             _ => panic!("plan node is not a grouping"),
         }
     }
 
-    fn scalar(&self) -> u64 {
+    pub(crate) fn scalar(&self) -> u64 {
         match self {
             Slot::Scalar(v) => *v,
             _ => panic!("plan node does not produce a scalar"),
@@ -743,167 +818,177 @@ impl PlanExecutor {
         ctx: &mut ExecutionContext,
     ) -> PlanOutput {
         let mut slots: Vec<Slot<'_>> = Vec::with_capacity(plan.nodes.len());
-        for node in &plan.nodes {
-            let slot = self.run_node(plan, node, &slots, source, ctx);
+        for idx in 0..plan.nodes.len() {
+            let mut rec = NodeRecords::new(ctx.capture_enabled());
+            let slot = execute_node(
+                plan,
+                idx,
+                |i| &slots[i],
+                source,
+                ctx.settings,
+                &ctx.formats,
+                &mut rec,
+            );
+            ctx.merge_node_records(rec);
             slots.push(slot);
         }
-        match &plan.outputs {
-            PlanOutputs::Scalar(value) => PlanOutput {
-                group_keys: vec![],
-                values: vec![slots[value.node].scalar()],
-            },
-            PlanOutputs::Grouped { keys, values } => PlanOutput {
-                group_keys: keys
-                    .iter()
-                    .map(|k| slots[k.node].column(k.port).decompress())
-                    .collect(),
-                values: slots[values.node].column(values.port).decompress(),
-            },
+        plan.collect_output(|i| &slots[i])
+    }
+}
+
+/// Execute one plan node: the shared core of the serial [`PlanExecutor`] and
+/// the [`crate::parallel::ParallelExecutor`].
+///
+/// `slots` resolves an already-executed node index to its materialised value
+/// (a borrow of the serial slot vector, or of the parallel executor's
+/// completed cells).  All bookkeeping goes to the node-local `rec`; the
+/// caller merges it into the [`ExecutionContext`] in topological order.
+pub(crate) fn execute_node<'a, 's, F>(
+    plan: &QueryPlan,
+    idx: usize,
+    slots: F,
+    source: &'a dyn ColumnSource,
+    settings: ExecSettings,
+    formats: &FormatConfig,
+    rec: &mut NodeRecords,
+) -> Slot<'a>
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    let node = &plan.nodes[idx];
+    let col = |r: ColRef| slots(r.node).column(r.port);
+    let full = plan.full_name(&node.name);
+    let out_format = formats.format_for(&full, Format::Uncompressed);
+    let timing = format!("{}/{}:{}", plan.label, node.op.mnemonic(), node.name);
+
+    match &node.op {
+        PlanOp::Scan { column } => {
+            let base = source.column(column);
+            rec.record_base(column, base);
+            return Slot::Base(base);
         }
+        PlanOp::AggSum { values } => {
+            let input = col(*values);
+            let total = rec.time(&timing, || agg_sum(input, &settings));
+            return Slot::Scalar(total);
+        }
+        PlanOp::GroupBy { keys } | PlanOp::GroupByRefine { keys, .. } => {
+            let reps_name = format!("{full}_reps");
+            let reps_format = formats.format_for(&reps_name, Format::Uncompressed);
+            let keys = col(*keys);
+            let result = match &node.op {
+                PlanOp::GroupBy { .. } => rec.time(&timing, || {
+                    group_by(keys, (&out_format, &reps_format), &settings)
+                }),
+                PlanOp::GroupByRefine { previous, .. } => {
+                    let previous = slots(previous.node).group();
+                    rec.time(&timing, || {
+                        group_by_refine(previous, keys, (&out_format, &reps_format), &settings)
+                    })
+                }
+                _ => unreachable!(),
+            };
+            rec.record_intermediate(&full, &result.group_ids);
+            rec.record_intermediate(&reps_name, &result.representatives);
+            return Slot::Group(result);
+        }
+        _ => {}
     }
 
-    fn run_node<'a>(
-        &self,
-        plan: &QueryPlan,
-        node: &PlanNode,
-        slots: &[Slot<'a>],
-        source: &'a dyn ColumnSource,
-        ctx: &mut ExecutionContext,
-    ) -> Slot<'a> {
-        let col = |r: ColRef| slots[r.node].column(r.port);
-        let settings = ctx.settings;
-        let full = plan.full_name(&node.name);
-        let out_format = ctx.formats.format_for(&full, Format::Uncompressed);
-        let timing = format!("{}/{}:{}", plan.label, node.op.mnemonic(), node.name);
-
-        match &node.op {
-            PlanOp::Scan { column } => {
-                let base = source.column(column);
-                ctx.record_base(column, base);
-                return Slot::Base(base);
-            }
-            PlanOp::AggSum { values } => {
-                let input = col(*values);
-                let total = ctx.time(&timing, || agg_sum(input, &settings));
-                return Slot::Scalar(total);
-            }
-            PlanOp::GroupBy { keys } | PlanOp::GroupByRefine { keys, .. } => {
-                let reps_name = format!("{full}_reps");
-                let reps_format = ctx.formats.format_for(&reps_name, Format::Uncompressed);
-                let keys = col(*keys);
-                let result = match &node.op {
-                    PlanOp::GroupBy { .. } => ctx.time(&timing, || {
-                        group_by(keys, (&out_format, &reps_format), &settings)
-                    }),
-                    PlanOp::GroupByRefine { previous, .. } => {
-                        let previous = slots[previous.node].group();
-                        ctx.time(&timing, || {
-                            group_by_refine(previous, keys, (&out_format, &reps_format), &settings)
-                        })
-                    }
-                    _ => unreachable!(),
-                };
-                ctx.record_intermediate(&full, &result.group_ids);
-                ctx.record_intermediate(&reps_name, &result.representatives);
-                return Slot::Group(result);
-            }
-            _ => {}
+    let out = match &node.op {
+        PlanOp::Select {
+            input,
+            op,
+            constant,
+        } => {
+            let input = col(*input);
+            rec.time(&timing, || {
+                select(*op, input, *constant, &out_format, &settings)
+            })
         }
-
-        let out = match &node.op {
-            PlanOp::Select {
-                input,
-                op,
-                constant,
-            } => {
-                let input = col(*input);
-                ctx.time(&timing, || {
-                    select(*op, input, *constant, &out_format, &settings)
-                })
-            }
-            PlanOp::SelectBetween { input, low, high } => {
-                let input = col(*input);
-                ctx.time(&timing, || {
-                    select_between(input, *low, *high, &out_format, &settings)
-                })
-            }
-            PlanOp::SelectIn2 {
-                input,
-                first,
-                second,
-            } => {
-                let input = col(*input);
-                ctx.time(&timing, || {
-                    let first = select(CmpOp::Eq, input, *first, &out_format, &settings);
-                    let second = select(CmpOp::Eq, input, *second, &out_format, &settings);
-                    merge_sorted(&first, &second, &out_format, &settings)
-                })
-            }
-            PlanOp::IntersectSorted { a, b } => {
-                let (a, b) = (col(*a), col(*b));
-                ctx.time(&timing, || intersect_sorted(a, b, &out_format, &settings))
-            }
-            PlanOp::MergeSorted { a, b } => {
-                let (a, b) = (col(*a), col(*b));
-                ctx.time(&timing, || merge_sorted(a, b, &out_format, &settings))
-            }
-            PlanOp::Project { data, positions } => {
-                let (data, positions) = (col(*data), col(*positions));
-                ctx.time(&timing, || project(data, positions, &out_format, &settings))
-            }
-            PlanOp::SemiJoin { probe, build } => {
-                let (probe, build) = (col(*probe), col(*build));
-                ctx.time(&timing, || semi_join(probe, build, &out_format, &settings))
-            }
-            PlanOp::Join { probe, build } => {
-                let (probe, build) = (col(*probe), col(*build));
-                // The probe-side positions of an N:1 key join are the
-                // identity sequence 0..len; they are not part of the plan, so
-                // they are materialised in DELTA + BP (ideal for a sorted
-                // identity sequence) irrespective of the recorded output.
-                let (probe_pos, build_pos) = ctx.time(&timing, || {
-                    join(probe, build, (&Format::DeltaDynBp, &out_format), &settings)
-                });
-                assert_eq!(
-                    probe_pos.logical_len(),
-                    probe.logical_len(),
-                    "plan join is N:1 — every probe row must match exactly one build row"
-                );
-                build_pos
-            }
-            PlanOp::CalcBinary { op, lhs, rhs } => {
-                let (lhs, rhs) = (col(*lhs), col(*rhs));
-                ctx.time(&timing, || {
-                    calc_binary(*op, lhs, rhs, &out_format, &settings)
-                })
-            }
-            PlanOp::AggSumGrouped { group, values } => {
-                let grouping = slots[group.node].group();
-                let values = col(*values);
-                // Grouped sums are final query outputs and stay uncompressed
-                // (Section 3.3).
-                ctx.time(&timing, || {
-                    agg_sum_grouped(
-                        &grouping.group_ids,
-                        values,
-                        grouping.group_count,
-                        &Format::Uncompressed,
-                        &settings,
-                    )
-                })
-            }
-            PlanOp::Morph { input, target } => {
-                let input = col(*input);
-                ctx.time(&timing, || morph(input, target))
-            }
-            PlanOp::Scan { .. }
-            | PlanOp::GroupBy { .. }
-            | PlanOp::GroupByRefine { .. }
-            | PlanOp::AggSum { .. } => unreachable!("handled above"),
-        };
-        ctx.record_intermediate(&full, &out);
-        Slot::Col(out)
-    }
+        PlanOp::SelectBetween { input, low, high } => {
+            let input = col(*input);
+            rec.time(&timing, || {
+                select_between(input, *low, *high, &out_format, &settings)
+            })
+        }
+        PlanOp::SelectIn2 {
+            input,
+            first,
+            second,
+        } => {
+            let input = col(*input);
+            rec.time(&timing, || {
+                let first = select(CmpOp::Eq, input, *first, &out_format, &settings);
+                let second = select(CmpOp::Eq, input, *second, &out_format, &settings);
+                merge_sorted(&first, &second, &out_format, &settings)
+            })
+        }
+        PlanOp::IntersectSorted { a, b } => {
+            let (a, b) = (col(*a), col(*b));
+            rec.time(&timing, || intersect_sorted(a, b, &out_format, &settings))
+        }
+        PlanOp::MergeSorted { a, b } => {
+            let (a, b) = (col(*a), col(*b));
+            rec.time(&timing, || merge_sorted(a, b, &out_format, &settings))
+        }
+        PlanOp::Project { data, positions } => {
+            let (data, positions) = (col(*data), col(*positions));
+            rec.time(&timing, || project(data, positions, &out_format, &settings))
+        }
+        PlanOp::SemiJoin { probe, build } => {
+            let (probe, build) = (col(*probe), col(*build));
+            rec.time(&timing, || semi_join(probe, build, &out_format, &settings))
+        }
+        PlanOp::Join { probe, build } => {
+            let (probe, build) = (col(*probe), col(*build));
+            // The probe-side positions of an N:1 key join are the
+            // identity sequence 0..len; they are not part of the plan, so
+            // they are materialised in DELTA + BP (ideal for a sorted
+            // identity sequence) irrespective of the recorded output.
+            let (probe_pos, build_pos) = rec.time(&timing, || {
+                join(probe, build, (&Format::DeltaDynBp, &out_format), &settings)
+            });
+            assert_eq!(
+                probe_pos.logical_len(),
+                probe.logical_len(),
+                "plan join is N:1 — every probe row must match exactly one build row"
+            );
+            build_pos
+        }
+        PlanOp::CalcBinary { op, lhs, rhs } => {
+            let (lhs, rhs) = (col(*lhs), col(*rhs));
+            rec.time(&timing, || {
+                calc_binary(*op, lhs, rhs, &out_format, &settings)
+            })
+        }
+        PlanOp::AggSumGrouped { group, values } => {
+            let grouping = slots(group.node).group();
+            let values = col(*values);
+            // Grouped sums are final query outputs and stay uncompressed
+            // (Section 3.3).
+            rec.time(&timing, || {
+                agg_sum_grouped(
+                    &grouping.group_ids,
+                    values,
+                    grouping.group_count,
+                    &Format::Uncompressed,
+                    &settings,
+                )
+            })
+        }
+        PlanOp::Morph { input, target } => {
+            let input = col(*input);
+            rec.time(&timing, || morph(input, target))
+        }
+        PlanOp::Scan { .. }
+        | PlanOp::GroupBy { .. }
+        | PlanOp::GroupByRefine { .. }
+        | PlanOp::AggSum { .. } => unreachable!("handled above"),
+    };
+    rec.record_intermediate(&full, &out);
+    Slot::Col(out)
 }
 
 #[cfg(test)]

@@ -26,6 +26,11 @@ use crate::CmpOp;
 /// Select on an RLE-compressed column: the predicate is evaluated once per
 /// run; matching runs contribute `run_length` consecutive positions.
 ///
+/// Matching runs are emitted straight into the builder's cache-resident
+/// buffer ([`ColumnBuilder::push_run`]) — no scratch `Vec` is materialised
+/// per run, so an arbitrarily long run costs no allocation beyond the
+/// builder's fixed 16 KiB buffer.
+///
 /// The uncompressed remainder of the column (if any) is processed
 /// element-wise.
 ///
@@ -39,15 +44,12 @@ pub fn select_on_rle(op: CmpOp, input: &Column, constant: u64, out_format: &Form
     );
     let mut builder = ColumnBuilder::new(*out_format);
     let mut position = 0u64;
-    let mut run_positions: Vec<u64> = Vec::new();
     rle::for_each_run(
         input.main_part_bytes(),
         input.main_part_len(),
         &mut |value, run_len| {
             if op.eval(value, constant) {
-                run_positions.clear();
-                run_positions.extend(position..position + run_len);
-                builder.push_slice(&run_positions);
+                builder.push_run(position, run_len);
             }
             position += run_len;
         },
@@ -77,6 +79,35 @@ pub fn sum_on_rle(input: &Column) -> u64 {
         &mut |value, run_len| {
             total = total.wrapping_add(value.wrapping_mul(run_len));
         },
+    );
+    for value in input.remainder_values() {
+        total = total.wrapping_add(value);
+    }
+    total
+}
+
+/// Sum of a static-BP-compressed column computed block-wise directly on the
+/// packed bit stream — the values are never materialised in uncompressed
+/// form (compressed internal processing with direct data access,
+/// Figure 2(c)).
+///
+/// The uncompressed remainder of the column (if any) is summed element-wise.
+///
+/// Registered behind [`crate::IntegrationDegree::Specialized`] in
+/// [`crate::agg_sum`]; inputs in any other format keep the existing
+/// fallback behaviour.
+///
+/// # Panics
+/// Panics if `input` is not static-BP-compressed.
+pub fn agg_sum_on_static_bp(input: &Column) -> u64 {
+    let width = match input.format() {
+        Format::StaticBp(width) => *width,
+        other => panic!("agg_sum_on_static_bp requires a static-BP-compressed input, got {other}"),
+    };
+    let mut total = morph_compression::bitpack::sum_packed(
+        input.main_part_bytes(),
+        width,
+        input.main_part_len(),
     );
     for value in input.remainder_values() {
         total = total.wrapping_add(value);
@@ -161,6 +192,42 @@ mod tests {
             count_matches_on_rle(CmpOp::Lt, &rle, 4),
             selected.logical_len() as u64
         );
+    }
+
+    #[test]
+    fn select_on_rle_with_one_giant_run() {
+        // A single run far larger than the builder's 16 KiB buffer: the
+        // direct-emit path must chunk it through the builder correctly.
+        let mut values = vec![42u64; 100_000];
+        values.extend_from_slice(&[1, 1, 1]);
+        let rle = Column::compress(&values, &Format::Rle);
+        let out = select_on_rle(CmpOp::Eq, &rle, 42, &Format::DeltaDynBp);
+        assert_eq!(out.logical_len(), 100_000);
+        assert_eq!(out.decompress(), (0..100_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn agg_sum_on_static_bp_matches_general_sum() {
+        let values = runny_values(50_000);
+        let expected: u64 = values.iter().sum();
+        for width in [8u8, 13, 32] {
+            let packed = Column::compress(&values, &Format::StaticBp(width));
+            assert!(packed.remainder_len() > 0, "test should cover a remainder");
+            assert_eq!(agg_sum_on_static_bp(&packed), expected, "width {width}");
+        }
+        // Wrapping semantics match the general operator.
+        let big = Column::compress(&[u64::MAX, 7, u64::MAX], &Format::StaticBp(64));
+        assert_eq!(
+            agg_sum_on_static_bp(&big),
+            agg_sum(&big, &ExecSettings::default())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a static-BP-compressed input")]
+    fn agg_sum_on_static_bp_rejects_other_formats() {
+        let column = Column::from_slice(&[1, 2, 3]);
+        agg_sum_on_static_bp(&column);
     }
 
     #[test]

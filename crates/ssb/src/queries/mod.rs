@@ -32,7 +32,7 @@ mod flight3;
 mod flight4;
 
 use morphstore_engine::plan::{ColRef, PlanBuilder, PlanExecutor, QueryPlan};
-use morphstore_engine::{CmpOp, ExecutionContext};
+use morphstore_engine::{CmpOp, ExecutionContext, ParallelExecutor};
 
 use crate::data::SsbData;
 
@@ -107,6 +107,28 @@ impl SsbQuery {
     /// the [`PlanExecutor`], recording footprints and timings in `ctx`.
     pub fn execute(&self, data: &SsbData, ctx: &mut ExecutionContext) -> QueryResult {
         let output = PlanExecutor.execute(&self.plan(), data, ctx);
+        QueryResult {
+            group_keys: output.group_keys,
+            values: output.values,
+        }
+    }
+
+    /// Execute the query's plan on a pool of `threads` workers, scheduling
+    /// independent plan subtrees concurrently (the per-dimension
+    /// select → project → semi-join chains of the star joins are mutually
+    /// independent).
+    ///
+    /// Results, footprint records and operator-timing label sequences are
+    /// identical to [`SsbQuery::execute`] at every thread count — the
+    /// parallel executor merges per-node records back in topological order;
+    /// `threads = 1` delegates to the serial executor outright.
+    pub fn execute_parallel(
+        &self,
+        data: &SsbData,
+        ctx: &mut ExecutionContext,
+        threads: usize,
+    ) -> QueryResult {
+        let output = ParallelExecutor::new(threads).execute(&self.plan(), data, ctx);
         QueryResult {
             group_keys: output.group_keys,
             values: output.values,

@@ -1,0 +1,114 @@
+//! Determinism suite for parallel plan execution: for all 13 SSB queries and
+//! `threads ∈ {1, 2, 4}`, [`SsbQuery::execute_parallel`] must produce
+//!
+//! * byte-identical results (including row order) to the serial
+//!   [`SsbQuery::execute`],
+//! * an identical footprint-record *sequence* (names, formats, lengths,
+//!   physical sizes, base/intermediate classification, in order), and
+//! * an identical operator-timing label sequence,
+//!
+//! under both the scalar-uncompressed and the vectorized-compressed
+//! configuration, plus a heterogeneous per-edge format assignment.  The
+//! parallel executor achieves this by recording per node and merging the
+//! records back in topological order — so whichever worker runs whichever
+//! node whenever, the observable bookkeeping is that of the serial walk.
+
+use morph_compression::Format;
+use morph_ssb::{dbgen, SsbData, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::{ExecSettings, ExecutionContext};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn check_all_queries(data: &SsbData, settings: ExecSettings, formats: &FormatConfig) {
+    for query in SsbQuery::all() {
+        let mut serial_ctx = ExecutionContext::new(settings, formats.clone());
+        let serial = query.execute(data, &mut serial_ctx);
+        for threads in THREAD_COUNTS {
+            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let parallel = query.execute_parallel(data, &mut ctx, threads);
+
+            assert_eq!(
+                parallel, serial,
+                "{query} threads={threads}: result diverged"
+            );
+            assert_eq!(
+                ctx.records(),
+                serial_ctx.records(),
+                "{query} threads={threads}: footprint records diverged"
+            );
+            assert_eq!(
+                ctx.total_footprint_bytes(),
+                serial_ctx.total_footprint_bytes(),
+                "{query} threads={threads}"
+            );
+            let labels: Vec<&str> = ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+            let serial_labels: Vec<&str> = serial_ctx
+                .timings()
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect();
+            assert_eq!(
+                labels, serial_labels,
+                "{query} threads={threads}: operator sequence diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_execution_is_deterministic_across_thread_counts() {
+    let raw = dbgen::generate(0.004, 7);
+
+    // Scalar processing on uncompressed data.
+    check_all_queries(
+        &raw,
+        ExecSettings::scalar_uncompressed(),
+        &FormatConfig::uncompressed(),
+    );
+
+    // Vectorized processing with continuous compression.
+    let compressed = raw.with_uniform_format(&Format::DynBp);
+    check_all_queries(
+        &compressed,
+        ExecSettings::vectorized_compressed(),
+        &FormatConfig::with_default(Format::DynBp),
+    );
+
+    // A heterogeneous assignment: formats resolved per plan edge (26 bits
+    // cover the widest intermediate; projected datekeys need 25).
+    let mixed = FormatConfig::with_default(Format::StaticBp(26))
+        .set("1.1/lo_pos", Format::DeltaDynBp)
+        .set("2.1/lo_pos", Format::Uncompressed)
+        .set("3.2/revenue_at_pos", Format::ForDynBp)
+        .set("4.1/group_year", Format::Rle)
+        .set("4.1/group_year_reps", Format::DeltaDynBp);
+    check_all_queries(
+        &raw.with_narrow_static_bp(false),
+        ExecSettings::vectorized_compressed(),
+        &mixed,
+    );
+}
+
+#[test]
+fn ssb_plans_expose_independent_dimension_subtrees() {
+    // The scheduler's raw material: every multi-join SSB plan must have at
+    // least one ready set with two or more mutually independent operator
+    // nodes beyond the scans (the per-dimension restriction chains).
+    for query in [
+        SsbQuery::Q2_1,
+        SsbQuery::Q3_1,
+        SsbQuery::Q4_1,
+        SsbQuery::Q4_2,
+    ] {
+        let plan = query.plan();
+        let levels = plan.ready_sets();
+        let widest_inner = levels[1..].iter().map(|l| l.len()).max().unwrap_or(0);
+        assert!(
+            widest_inner >= 2,
+            "{query}: no inter-operator parallelism in {levels:?}"
+        );
+        let covered: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(covered, plan.node_count());
+    }
+}

@@ -89,6 +89,28 @@ impl ColumnBuilder {
         }
     }
 
+    /// Append the consecutive positions `start..start + len` without any
+    /// caller-side scratch buffer: the run is written straight into the
+    /// internal cache-resident buffer, one buffer-full at a time.
+    ///
+    /// This is the sink of the specialized RLE select kernel, whose matching
+    /// runs can be arbitrarily long — materialising them in a caller-owned
+    /// `Vec` first would grow that allocation to the longest run.
+    pub fn push_run(&mut self, start: u64, len: u64) {
+        let mut next = start;
+        let end = start + len;
+        self.total_len += len as usize;
+        while next < end {
+            let space = (CACHE_BUFFER_ELEMENTS - self.buffer.len()) as u64;
+            let take = space.min(end - next);
+            self.buffer.extend(next..next + take);
+            next += take;
+            if self.buffer.len() == CACHE_BUFFER_ELEMENTS {
+                self.flush_full_buffer();
+            }
+        }
+    }
+
     /// Compress the full cache-resident buffer.  The buffer size is a
     /// multiple of every format's block size, so the whole buffer can be
     /// handed to the compressor.
@@ -159,6 +181,24 @@ mod tests {
                 by_value.push(v);
             }
             assert_eq!(by_slice.finish(), by_value.finish());
+        }
+    }
+
+    #[test]
+    fn push_run_equals_push_slice_of_the_range() {
+        // Runs shorter, equal to and much longer than the internal buffer,
+        // starting at unaligned buffer offsets.
+        for format in [Format::DeltaDynBp, Format::DynBp, Format::Rle] {
+            let mut by_run = ColumnBuilder::new(format);
+            let mut by_slice = ColumnBuilder::new(format);
+            let mut start = 3u64;
+            for len in [0u64, 1, 7, 2048, 2049, 10_000] {
+                by_run.push_run(start, len);
+                let range: Vec<u64> = (start..start + len).collect();
+                by_slice.push_slice(&range);
+                start += len + 11;
+            }
+            assert_eq!(by_run.finish(), by_slice.finish(), "format {format}");
         }
     }
 

@@ -29,6 +29,14 @@ pub struct Column {
     data: Vec<u8>,
 }
 
+// Columns are shared across the worker threads of the parallel plan executor
+// (as `&Column` borrows of the source and as `Arc<Column>` in caches); the
+// type must stay `Send + Sync`, i.e. hold only plain owned data.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Column>();
+};
+
 impl Column {
     /// Create an uncompressed column from a slice of values.
     pub fn from_slice(values: &[u64]) -> Column {

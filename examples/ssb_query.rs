@@ -20,24 +20,37 @@ fn main() {
     let data = dbgen::generate(scale_factor, 42);
     let compressed_data = data.with_uniform_format(&Format::DynBp);
 
+    // `threads`: 1 runs the serial executor, > 1 the dependency-driven
+    // parallel executor (independent plan subtrees overlap on multi-core
+    // hosts; results and footprint records are identical either way).
     let configurations = [
         (
             "scalar, uncompressed",
             ExecSettings::scalar_uncompressed(),
             &data,
             Format::Uncompressed,
+            1usize,
         ),
         (
             "vectorized, uncompressed",
             ExecSettings::vectorized_uncompressed(),
             &data,
             Format::Uncompressed,
+            1,
         ),
         (
             "vectorized, compressed",
             ExecSettings::vectorized_compressed(),
             &compressed_data,
             Format::DynBp,
+            1,
+        ),
+        (
+            "vectorized, compressed, 4 thr",
+            ExecSettings::vectorized_compressed(),
+            &compressed_data,
+            Format::DynBp,
+            4,
         ),
     ];
 
@@ -47,11 +60,15 @@ fn main() {
     );
     for query in SsbQuery::all() {
         let mut reference = None;
-        for (label, settings, base, default_format) in &configurations {
+        for (label, settings, base, default_format, threads) in &configurations {
             let mut ctx =
                 ExecutionContext::new(*settings, FormatConfig::with_default(*default_format));
             let start = Instant::now();
-            let result = query.execute(base, &mut ctx);
+            let result = if *threads > 1 {
+                query.execute_parallel(base, &mut ctx, *threads)
+            } else {
+                query.execute(base, &mut ctx)
+            };
             let elapsed = start.elapsed();
             match &reference {
                 None => reference = Some(result.sorted_rows()),
