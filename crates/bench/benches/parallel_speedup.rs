@@ -1,33 +1,40 @@
 //! `parallel_speedup` — wall-clock comparison of serial vs. parallel plan
-//! execution over all 13 SSB queries, sweeping the worker-pool size.
+//! execution over all 13 SSB queries, sweeping the worker-pool size and the
+//! intra-operator morsel threshold.
 //!
 //! For every query, the harness measures the serial executor
 //! (`SsbQuery::execute`) and the dependency-driven parallel executor
-//! (`SsbQuery::execute_parallel`) with 1, 2, 4 and 8 workers, under the
-//! headline vectorized + continuously-compressed configuration.  The
-//! best-of-`runs` wall clock is reported (robust against scheduler noise).
+//! (`SsbQuery::execute_parallel`) with 1, 2, 4 and 8 workers — first with
+//! morsels off (inter-operator parallelism only, PR 2's configuration),
+//! then with `morsel_threshold` ∈ {64 Ki, 256 Ki} so single large
+//! fact-table operators fan out as chunk-range morsels.  Everything runs
+//! under the headline vectorized + continuously-compressed configuration;
+//! the best-of-`runs` wall clock is reported (robust against scheduler
+//! noise).
 //!
-//! The multi-join Q4.x plans are the showcase: their dimension-table
-//! subtrees (select → project → semi-join per dimension) are independent, so
-//! with ≥ 2 workers on a multi-core machine they overlap.  `threads = 1`
-//! delegates to the serial executor and must be within noise of it.
+//! The multi-join Q4.x plans showcase inter-operator parallelism (their
+//! dimension subtrees are independent); the single-chain Q1.x plans are
+//! flat without morsels and only scale through the intra-operator path.
 //!
 //! Output: a CSV table on stdout plus the machine-readable `BENCH_ssb.json`
 //! (path overridable via the `MORPH_BENCH_JSON` environment variable) with
-//! per-query serial and parallel wall-clock in nanoseconds — the document a
-//! CI step can archive and diff across commits.
+//! per-query serial, parallel and morsel-sweep wall-clock in nanoseconds —
+//! the document a CI step can archive and diff across commits.
 //!
 //! Usual harness flags apply: `--scale-factor`, `--runs`, `--seed`.
 
 use std::time::{Duration, Instant};
 
-use morph_bench::{fmt_ms, print_header, print_row, ssb_speedup_json, HarnessArgs, SpeedupRow};
+use morph_bench::{
+    fmt_ms, print_header, print_row, ssb_speedup_json, HarnessArgs, MorselSweep, SpeedupRow,
+};
 use morph_compression::Format;
 use morph_ssb::{dbgen, SsbQuery};
 use morphstore_engine::exec::FormatConfig;
 use morphstore_engine::{ExecSettings, ExecutionContext};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const MORSEL_THRESHOLDS: [usize; 2] = [64 * 1024, 256 * 1024];
 
 /// Best-of-`runs` wall clock of `f` (which returns the query result, kept
 /// alive so the work cannot be optimised away).
@@ -46,9 +53,16 @@ fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     (best, last.expect("at least one run"))
 }
 
+/// Short column tag of a sweep configuration ("off", "m64Ki", "m256Ki").
+fn threshold_tag(threshold: Option<usize>) -> String {
+    match threshold {
+        None => "off".to_string(),
+        Some(t) => format!("m{}Ki", t / 1024),
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
-    let settings = ExecSettings::vectorized_compressed();
     let formats = FormatConfig::with_default(Format::DynBp);
     eprintln!(
         "generating SSB data (scale factor {}, seed {}) ...",
@@ -56,71 +70,109 @@ fn main() {
     );
     let data = dbgen::generate(args.scale_factor, args.seed).with_uniform_format(&Format::DynBp);
 
+    let sweeps: Vec<Option<usize>> = std::iter::once(None)
+        .chain(MORSEL_THRESHOLDS.iter().copied().map(Some))
+        .collect();
+
     let mut header = vec!["query".to_string(), "serial_ms".to_string()];
-    for threads in THREAD_COUNTS {
-        header.push(format!("par{threads}_ms"));
-        header.push(format!("speedup_x{threads}"));
+    for &threshold in &sweeps {
+        let tag = threshold_tag(threshold);
+        for threads in THREAD_COUNTS {
+            header.push(format!("{tag}_par{threads}_ms"));
+            header.push(format!("{tag}_x{threads}"));
+        }
     }
     print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
     let mut rows = Vec::new();
     for query in SsbQuery::all() {
+        let serial_settings = ExecSettings::vectorized_compressed();
         let (serial, serial_result) = best_of(args.runs, || {
-            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let mut ctx = ExecutionContext::new(serial_settings, formats.clone());
             query.execute(&data, &mut ctx)
         });
         let mut row = vec![query.label().to_string(), fmt_ms(serial)];
-        let mut parallel = Vec::new();
-        for threads in THREAD_COUNTS {
-            let (elapsed, result) = best_of(args.runs, || {
-                let mut ctx = ExecutionContext::new(settings, formats.clone());
-                query.execute_parallel(&data, &mut ctx, threads)
-            });
-            assert_eq!(
-                result, serial_result,
-                "{query} threads={threads}: parallel result diverged"
-            );
-            row.push(fmt_ms(elapsed));
-            row.push(format!(
-                "{:.2}",
-                serial.as_secs_f64() / elapsed.as_secs_f64()
-            ));
-            parallel.push(elapsed);
+        let mut parallel_off = Vec::new();
+        let mut morsel = Vec::new();
+        for &threshold in &sweeps {
+            let settings = match threshold {
+                None => ExecSettings::vectorized_compressed(),
+                Some(t) => ExecSettings::vectorized_compressed().with_morsel_threshold(t),
+            };
+            let mut timings = Vec::new();
+            for threads in THREAD_COUNTS {
+                let (elapsed, result) = best_of(args.runs, || {
+                    let mut ctx = ExecutionContext::new(settings, formats.clone());
+                    query.execute_parallel(&data, &mut ctx, threads)
+                });
+                assert_eq!(
+                    result, serial_result,
+                    "{query} threads={threads} morsels={:?}: parallel result diverged",
+                    threshold
+                );
+                row.push(fmt_ms(elapsed));
+                row.push(format!(
+                    "{:.2}",
+                    serial.as_secs_f64() / elapsed.as_secs_f64()
+                ));
+                timings.push(elapsed);
+            }
+            match threshold {
+                None => parallel_off = timings,
+                Some(t) => morsel.push(MorselSweep {
+                    threshold: t,
+                    parallel: timings,
+                }),
+            }
         }
         print_row(&row);
         rows.push(SpeedupRow {
             query: query.label().to_string(),
             serial,
-            parallel,
+            parallel: parallel_off,
+            morsel,
         });
     }
 
-    let json_path =
-        std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| "BENCH_ssb.json".to_string());
+    // Anchored to the workspace root: `cargo bench` runs with the package
+    // root as CWD, and a CWD-relative default would silently write a stray
+    // copy next to crates/bench/ instead of the committed measurement.
+    let json_path = std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ssb.json").to_string()
+    });
     let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(err) => eprintln!("could not write {json_path}: {err}"),
     }
 
-    // Human-readable summary: the acceptance-relevant numbers.
-    let best = |row: &SpeedupRow| {
-        let fastest = row
-            .parallel
+    // Human-readable summary: the acceptance-relevant numbers.  Q4.x gains
+    // from inter-operator parallelism alone; the single-chain Q1.x rows are
+    // flat without morsels and only scale through the intra-operator path.
+    let best_of_slice = |serial: Duration, timings: &[Duration]| {
+        let fastest = timings
             .iter()
             .copied()
             .min()
             .unwrap_or(Duration::MAX)
             .as_secs_f64();
-        row.serial.as_secs_f64() / fastest
+        serial.as_secs_f64() / fastest
     };
-    for row in rows.iter().filter(|r| r.query.starts_with('4')) {
+    for row in rows
+        .iter()
+        .filter(|r| r.query.starts_with('1') || r.query.starts_with('4'))
+    {
+        let best_morsel = row
+            .morsel
+            .iter()
+            .map(|sweep| best_of_slice(row.serial, &sweep.parallel))
+            .fold(0.0f64, f64::max);
         eprintln!(
-            "Q{}: serial {} ms, best parallel speedup {:.2}x (threads=1 ratio {:.2})",
+            "Q{}: serial {} ms, best inter-op speedup {:.2}x, best intra-op (morsel) speedup {:.2}x",
             row.query,
             fmt_ms(row.serial),
-            best(row),
-            row.serial.as_secs_f64() / row.parallel[0].as_secs_f64()
+            best_of_slice(row.serial, &row.parallel),
+            best_morsel,
         );
     }
     eprintln!(

@@ -57,6 +57,7 @@ fn bench_select_degrees(c: &mut Criterion) {
         let settings = ExecSettings {
             style: ProcessingStyle::Vectorized,
             degree,
+            ..ExecSettings::default()
         };
         group.bench_with_input(
             BenchmarkId::new("rle_input", degree.label()),

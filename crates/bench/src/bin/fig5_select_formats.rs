@@ -43,6 +43,7 @@ fn main() {
                     } else {
                         IntegrationDegree::PurelyUncompressed
                     },
+                    ..ExecSettings::default()
                 };
                 let mut total = Duration::ZERO;
                 let mut selected = 0usize;

@@ -225,63 +225,98 @@ pub fn fmt_mib(bytes: usize) -> String {
     format!("{:.3}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// One intra-operator (morsel) sweep point of a query: the parallel wall
+/// clocks measured with `morsel_threshold = Some(threshold)`, aligned with
+/// the swept thread counts.
+#[derive(Debug, Clone)]
+pub struct MorselSweep {
+    /// The `ExecSettings::morsel_threshold` value of this sweep point.
+    pub threshold: usize,
+    /// Parallel wall clock per swept thread count.
+    pub parallel: Vec<Duration>,
+}
+
 /// One SSB query's wall-clock measurements for the machine-readable bench
-/// report: serial runtime plus one parallel runtime per swept thread count.
+/// report: serial runtime, one parallel runtime per swept thread count
+/// (morsels off), and one sweep row per morsel threshold.
 #[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Query label ("1.1" … "4.3").
     pub query: String,
     /// Serial (`SsbQuery::execute`) wall clock.
     pub serial: Duration,
-    /// Parallel (`SsbQuery::execute_parallel`) wall clock, aligned with the
-    /// swept thread counts.
+    /// Parallel (`SsbQuery::execute_parallel`) wall clock with morsels off,
+    /// aligned with the swept thread counts.
     pub parallel: Vec<Duration>,
+    /// Intra-operator sweep points (may be empty when only inter-operator
+    /// parallelism was measured).
+    pub morsel: Vec<MorselSweep>,
+}
+
+fn ns_list(durations: &[Duration]) -> String {
+    durations
+        .iter()
+        .map(|d| d.as_nanos().to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Serialise per-query serial/parallel wall-clock measurements as the
 /// `BENCH_ssb.json` document (hand-rolled: the environment has no serde).
 ///
-/// Schema: `{benchmark, scale_factor, seed, runs, threads: [..], queries:
-/// [{query, serial_ns, parallel_ns: [..], best_speedup}]}` with durations in
+/// Schema: `{benchmark, scale_factor, seed, runs, threads: [..],
+/// morsel_thresholds: [..], queries: [{query, serial_ns, parallel_ns: [..],
+/// morsel_parallel_ns: [[..], ..], best_speedup}]}` with durations in
 /// integer nanoseconds, so CI tooling can diff runs without parsing the
-/// human-readable CSV.
+/// human-readable CSV.  `morsel_parallel_ns` holds one inner list per entry
+/// of `morsel_thresholds`, each aligned with `threads`; `best_speedup` is
+/// the serial runtime over the fastest parallel run of any configuration.
 pub fn ssb_speedup_json(args: &HarnessArgs, threads: &[usize], rows: &[SpeedupRow]) -> String {
     let threads_json: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let thresholds: Vec<usize> = rows
+        .first()
+        .map(|row| row.morsel.iter().map(|m| m.threshold).collect())
+        .unwrap_or_default();
+    let thresholds_json: Vec<String> = thresholds.iter().map(|t| t.to_string()).collect();
     let queries: Vec<String> = rows
         .iter()
         .map(|row| {
-            let parallel_ns: Vec<String> = row
-                .parallel
+            let morsel_ns: Vec<String> = row
+                .morsel
                 .iter()
-                .map(|d| d.as_nanos().to_string())
+                .map(|sweep| format!("[{}]", ns_list(&sweep.parallel)))
                 .collect();
             let best = row
                 .parallel
                 .iter()
+                .chain(row.morsel.iter().flat_map(|sweep| sweep.parallel.iter()))
                 .map(|d| d.as_secs_f64())
                 .fold(f64::INFINITY, f64::min);
-            let best_speedup = if best > 0.0 {
+            let best_speedup = if best > 0.0 && best.is_finite() {
                 row.serial.as_secs_f64() / best
             } else {
                 0.0
             };
             format!(
                 "    {{\"query\": \"{}\", \"serial_ns\": {}, \"parallel_ns\": [{}], \
-                 \"best_speedup\": {:.4}}}",
+                 \"morsel_parallel_ns\": [{}], \"best_speedup\": {:.4}}}",
                 row.query,
                 row.serial.as_nanos(),
-                parallel_ns.join(", "),
+                ns_list(&row.parallel),
+                morsel_ns.join(", "),
                 best_speedup
             )
         })
         .collect();
     format!(
         "{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"scale_factor\": {},\n  \
-         \"seed\": {},\n  \"runs\": {},\n  \"threads\": [{}],\n  \"queries\": [\n{}\n  ]\n}}\n",
+         \"seed\": {},\n  \"runs\": {},\n  \"threads\": [{}],\n  \
+         \"morsel_thresholds\": [{}],\n  \"queries\": [\n{}\n  ]\n}}\n",
         args.scale_factor,
         args.seed,
         args.runs,
         threads_json.join(", "),
+        thresholds_json.join(", "),
         queries.join(",\n")
     )
 }
@@ -322,14 +357,27 @@ mod tests {
             query: "4.1".to_string(),
             serial: Duration::from_micros(100),
             parallel: vec![Duration::from_micros(101), Duration::from_micros(50)],
+            morsel: vec![
+                MorselSweep {
+                    threshold: 65536,
+                    parallel: vec![Duration::from_micros(99), Duration::from_micros(40)],
+                },
+                MorselSweep {
+                    threshold: 262144,
+                    parallel: vec![Duration::from_micros(100), Duration::from_micros(45)],
+                },
+            ],
         }];
         let json = ssb_speedup_json(&args, &[1, 2], &rows);
         assert!(json.contains("\"benchmark\": \"ssb_parallel_speedup\""));
         assert!(json.contains("\"threads\": [1, 2]"));
+        assert!(json.contains("\"morsel_thresholds\": [65536, 262144]"));
         assert!(json.contains("\"query\": \"4.1\""));
         assert!(json.contains("\"serial_ns\": 100000"));
         assert!(json.contains("\"parallel_ns\": [101000, 50000]"));
-        assert!(json.contains("\"best_speedup\": 2.0000"));
+        assert!(json.contains("\"morsel_parallel_ns\": [[99000, 40000], [100000, 45000]]"));
+        // Best over every configuration: 100µs / 40µs.
+        assert!(json.contains("\"best_speedup\": 2.5000"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the dependency-free environment.
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -71,23 +71,29 @@ pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
     bitpack::pack_into(&keys, width, out);
 }
 
+/// Decode the embedded dictionary of a non-empty encoding: the sorted
+/// distinct values, the byte offset of the packed key stream and the key
+/// width in bits.  Shared by the sequential and the seekable block decoders.
+fn decode_dictionary(bytes: &[u8]) -> (Vec<u64>, usize, u8) {
+    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+    let mut dictionary: Vec<u64> = Vec::with_capacity(distinct);
+    for i in 0..distinct {
+        let offset = 8 + i * 8;
+        dictionary.push(u64::from_le_bytes(
+            bytes[offset..offset + 8].try_into().expect("8 bytes"),
+        ));
+    }
+    let (keys_offset, width) = header_layout(bytes);
+    (dictionary, keys_offset, width)
+}
+
 /// Decode `count` values, handing cache-resident chunks to `consumer`.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
     if count == 0 {
         return;
     }
-    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
-    let mut offset = 8usize;
-    let mut dictionary: Vec<u64> = Vec::with_capacity(distinct);
-    for _ in 0..distinct {
-        dictionary.push(u64::from_le_bytes(
-            bytes[offset..offset + 8].try_into().expect("8 bytes"),
-        ));
-        offset += 8;
-    }
-    let width = bytes[offset];
-    offset += 1;
-    let packed = &bytes[offset..];
+    let (dictionary, keys_offset, width) = decode_dictionary(bytes);
+    let packed = &bytes[keys_offset..];
     let mut keys: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
     let mut values: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
     let mut done = 0usize;
@@ -107,6 +113,58 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
                 keys.push(bitpack::get_packed(packed, width, done + i));
             }
         }
+        values.clear();
+        values.extend(keys.iter().map(|&k| dictionary[k as usize]));
+        consumer(&values);
+        done += chunk;
+    }
+}
+
+/// Parse the header of a non-empty dictionary encoding: returns the byte
+/// offset of the packed key stream and the key width in bits.
+///
+/// Used by the chunk directory to compute seek points into the key stream
+/// without decoding any values.
+pub fn header_layout(bytes: &[u8]) -> (usize, u8) {
+    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+    let width_offset = 8 + distinct * 8;
+    (width_offset + 1, bytes[width_offset])
+}
+
+/// Decode the `count` values starting at logical position `start`, handing
+/// cache-resident chunks to `consumer` — the seekable variant of
+/// [`for_each_block`].
+///
+/// `start` must be a multiple of 8 elements so the seek into the packed key
+/// stream falls on a whole byte (the chunk directory only records such
+/// positions).
+pub fn for_each_block_in(
+    bytes: &[u8],
+    start: usize,
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) {
+    if count == 0 {
+        return;
+    }
+    let (dictionary, keys_offset, width) = decode_dictionary(bytes);
+    let start_bit = start * width as usize;
+    assert!(
+        start_bit.is_multiple_of(8),
+        "dictionary seek position {start} is not byte-aligned"
+    );
+    let packed = &bytes[keys_offset + start_bit / 8..];
+    let mut keys: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
+    let mut values: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
+    let mut done = 0usize;
+    while done < count {
+        let chunk = (count - done).min(CACHE_BUFFER_ELEMENTS);
+        keys.clear();
+        // Chunks are CACHE_BUFFER_ELEMENTS apart, so every chunk after a
+        // byte-aligned start is byte-aligned as well.
+        let bit = done * width as usize;
+        debug_assert!(bit.is_multiple_of(8));
+        bitpack::unpack_into(&packed[bit / 8..], width, chunk, &mut keys);
         values.clear();
         values.extend(keys.iter().map(|&k| dictionary[k as usize]));
         consumer(&values);

@@ -309,6 +309,168 @@ pub fn for_each_decompressed_block(
     }
 }
 
+/// One entry of a [chunk directory](chunk_directory): a position in the
+/// encoded main part at which decoding can start without replaying the
+/// prefix.
+///
+/// Every entry marks the beginning of an independently decodable *chunk* —
+/// a bit-packing block, a group of RLE runs, or a fixed stride of a
+/// random-access format — identified by the byte offset of its first encoded
+/// byte and the logical index of its first data element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkEntry {
+    /// Offset of the chunk's first byte within the encoded main part.
+    pub byte_offset: usize,
+    /// Logical index of the chunk's first data element.
+    pub logical_start: usize,
+}
+
+/// Target number of logical elements per directory chunk for formats whose
+/// natural unit is smaller than a cache-resident buffer (single runs, single
+/// elements).  Matches [`CACHE_BUFFER_ELEMENTS`], so a chunk is the same
+/// granularity the on-the-fly wrapper works at.
+pub const CHUNK_DIRECTORY_TARGET: usize = CACHE_BUFFER_ELEMENTS;
+
+/// Build the chunk directory of an encoded main part: the sequence of
+/// [`ChunkEntry`] seek points at which [`for_each_decompressed_block_in`]
+/// can start decoding.
+///
+/// The directory is recorded at compression time by the column layer and is
+/// what makes a compressed column *seekable* — a worker can decode an
+/// arbitrary contiguous range of chunks without touching the prefix.  The
+/// construction never decompresses data:
+///
+/// * uncompressed and static BP have fixed strides, so entries are pure
+///   arithmetic (one per [`CHUNK_DIRECTORY_TARGET`] elements),
+/// * the dynamic BP family ([`Format::DynBp`], [`Format::DeltaDynBp`],
+///   [`Format::ForDynBp`]) walks the per-block headers, yielding one entry
+///   per 512-element block (DELTA blocks carry their reference value, so
+///   every block is self-contained),
+/// * RLE walks the run headers, starting a new chunk at the first run
+///   boundary after [`CHUNK_DIRECTORY_TARGET`] logical elements,
+/// * DICT seeks into the packed key stream behind the embedded dictionary
+///   (entries at [`CHUNK_DIRECTORY_TARGET`] strides, which are byte-aligned
+///   for every key width).
+pub fn chunk_directory(format: &Format, bytes: &[u8], count: usize) -> Vec<ChunkEntry> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let stride_entries = |bytes_per_element_num: usize, bytes_per_element_den: usize| {
+        (0..count)
+            .step_by(CHUNK_DIRECTORY_TARGET)
+            .map(|logical_start| ChunkEntry {
+                byte_offset: logical_start * bytes_per_element_num / bytes_per_element_den,
+                logical_start,
+            })
+            .collect()
+    };
+    match format {
+        Format::Uncompressed => stride_entries(8, 1),
+        // CHUNK_DIRECTORY_TARGET is a multiple of 8 elements, so every
+        // stride boundary of a `width`-bit stream falls on a whole byte.
+        Format::StaticBp(width) => stride_entries(*width as usize, 8),
+        Format::DynBp => {
+            let mut entries = Vec::with_capacity(count / DYN_BP_BLOCK);
+            let mut byte_offset = 0usize;
+            for block in 0..count / DYN_BP_BLOCK {
+                entries.push(ChunkEntry {
+                    byte_offset,
+                    logical_start: block * DYN_BP_BLOCK,
+                });
+                byte_offset += dyn_bp::block_encoded_size(bytes[byte_offset]);
+            }
+            entries
+        }
+        Format::DeltaDynBp | Format::ForDynBp => {
+            let mut entries = Vec::with_capacity(count / DYN_BP_BLOCK);
+            let mut byte_offset = 0usize;
+            for block in 0..count / DYN_BP_BLOCK {
+                entries.push(ChunkEntry {
+                    byte_offset,
+                    logical_start: block * DYN_BP_BLOCK,
+                });
+                // [reference: u64][width: u8][packed values]
+                let width = bytes[byte_offset + 8];
+                byte_offset += 9 + bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+            }
+            entries
+        }
+        Format::Rle => {
+            let mut entries = Vec::new();
+            let mut logical = 0usize;
+            let mut run_idx = 0usize;
+            let mut next_chunk_at = 0usize;
+            rle::for_each_run(bytes, count, &mut |_, run_len| {
+                if logical >= next_chunk_at {
+                    entries.push(ChunkEntry {
+                        // RLE runs are fixed-size (value, length) pairs.
+                        byte_offset: run_idx * 16,
+                        logical_start: logical,
+                    });
+                    next_chunk_at = logical + CHUNK_DIRECTORY_TARGET;
+                }
+                logical += run_len as usize;
+                run_idx += 1;
+            });
+            entries
+        }
+        Format::Dict => {
+            let (keys_offset, width) = dict::header_layout(bytes);
+            (0..count)
+                .step_by(CHUNK_DIRECTORY_TARGET)
+                .map(|logical_start| ChunkEntry {
+                    byte_offset: keys_offset + logical_start * width as usize / 8,
+                    logical_start,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Decompress the contiguous directory chunks `entries` of an encoded main
+/// part, handing cache-resident pieces of uncompressed values to `consumer`
+/// — [`for_each_decompressed_block`] restricted to a seekable sub-range.
+///
+/// `directory` must be the [`chunk_directory`] of exactly this main part and
+/// `count` its total logical length.  Decoding starts at the first entry's
+/// seek point; no prefix of the buffer is replayed, which is what makes
+/// chunk-range partitions of one operator independent.
+pub fn for_each_decompressed_block_in(
+    format: &Format,
+    bytes: &[u8],
+    count: usize,
+    directory: &[ChunkEntry],
+    entries: std::ops::Range<usize>,
+    consumer: &mut dyn FnMut(&[u64]),
+) {
+    if entries.start >= entries.end {
+        return;
+    }
+    assert!(
+        entries.end <= directory.len(),
+        "chunk range {entries:?} exceeds the directory ({} entries)",
+        directory.len()
+    );
+    let start = directory[entries.start];
+    let (end_byte, end_logical) = match directory.get(entries.end) {
+        Some(next) => (next.byte_offset, next.logical_start),
+        None => (bytes.len(), count),
+    };
+    let span = end_logical - start.logical_start;
+    let sub = &bytes[start.byte_offset..end_byte];
+    match format {
+        Format::Uncompressed => uncompressed::for_each_block(sub, span, consumer),
+        Format::StaticBp(width) => static_bp::for_each_block(sub, *width, span, consumer),
+        Format::DynBp => dyn_bp::for_each_block(sub, span, consumer),
+        Format::DeltaDynBp => delta::for_each_block(sub, span, consumer),
+        Format::ForDynBp => frame_of_ref::for_each_block(sub, span, consumer),
+        Format::Rle => rle::for_each_block(sub, span, consumer),
+        // DICT needs the embedded dictionary from the buffer head; the seek
+        // happens inside the packed key stream.
+        Format::Dict => dict::for_each_block_in(bytes, start.logical_start, span, consumer),
+    }
+}
+
 /// Random read access to element `idx` of a compressed main part.
 ///
 /// Returns `None` if the format does not support random access (see

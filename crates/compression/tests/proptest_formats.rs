@@ -4,7 +4,8 @@
 //! decompression.
 
 use morph_compression::{
-    compress_main_part, compressed_size_bytes, decompress_into, get_element, morph, Format,
+    chunk_directory, compress_main_part, compressed_size_bytes, decompress_into,
+    for_each_decompressed_block_in, get_element, morph, Format,
 };
 use proptest::prelude::*;
 
@@ -77,6 +78,51 @@ proptest! {
             for idx in (0..main_len).step_by(97.max(main_len / 13 + 1)) {
                 prop_assert_eq!(get_element(&format, &bytes, main_len, idx), Some(decoded[idx]));
             }
+        }
+    }
+
+    #[test]
+    fn chunk_directory_seeks_match_sequential_decode(values in value_vectors(), splits in prop::collection::vec(any::<u32>(), 0..6)) {
+        for format in all_formats(&values) {
+            let (bytes, main_len) = compress_main_part(&format, &values);
+            let directory = chunk_directory(&format, &bytes, main_len);
+            let mut expected = Vec::new();
+            decompress_into(&format, &bytes, main_len, &mut expected);
+            // Directory invariants: entry 0 is the origin, starts strictly
+            // increase and stay in bounds.
+            if main_len > 0 {
+                prop_assert_eq!(directory[0].logical_start, 0, "format {}", format);
+                // DICT's first seek point sits behind the embedded
+                // dictionary; every other format starts at byte 0.
+                if format != Format::Dict {
+                    prop_assert_eq!(directory[0].byte_offset, 0, "format {}", format);
+                }
+            }
+            for pair in directory.windows(2) {
+                prop_assert!(pair[0].logical_start < pair[1].logical_start);
+                prop_assert!(pair[0].byte_offset <= pair[1].byte_offset);
+            }
+            // Any split of 0..n_chunks concatenates to the full decode.
+            let mut bounds: Vec<usize> = splits
+                .iter()
+                .map(|&s| if directory.is_empty() { 0 } else { s as usize % (directory.len() + 1) })
+                .collect();
+            bounds.push(0);
+            bounds.push(directory.len());
+            bounds.sort_unstable();
+            bounds.dedup();
+            let mut collected = Vec::new();
+            for window in bounds.windows(2) {
+                for_each_decompressed_block_in(
+                    &format,
+                    &bytes,
+                    main_len,
+                    &directory,
+                    window[0]..window[1],
+                    &mut |chunk| collected.extend_from_slice(chunk),
+                );
+            }
+            prop_assert_eq!(&collected, &expected, "format {}", format);
         }
     }
 

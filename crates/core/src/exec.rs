@@ -72,6 +72,12 @@ pub struct ExecSettings {
     pub style: ProcessingStyle,
     /// Degree of integrating compression into the operators.
     pub degree: IntegrationDegree,
+    /// Minimum input length (in data elements) above which the parallel
+    /// executor splits a single hot operator (select, project, semi-join
+    /// probe, whole-column sum) into chunk-range *morsels* processed by
+    /// several workers.  `None` (the default) disables intra-operator
+    /// parallelism; the serial executor ignores the setting entirely.
+    pub morsel_threshold: Option<usize>,
 }
 
 impl ExecSettings {
@@ -82,6 +88,7 @@ impl ExecSettings {
         ExecSettings {
             style: ProcessingStyle::Scalar,
             degree: IntegrationDegree::PurelyUncompressed,
+            ..ExecSettings::default()
         }
     }
 
@@ -90,6 +97,7 @@ impl ExecSettings {
         ExecSettings {
             style: ProcessingStyle::Vectorized,
             degree: IntegrationDegree::PurelyUncompressed,
+            ..ExecSettings::default()
         }
     }
 
@@ -99,7 +107,17 @@ impl ExecSettings {
         ExecSettings {
             style: ProcessingStyle::Vectorized,
             degree: IntegrationDegree::OnTheFlyDeRecompression,
+            ..ExecSettings::default()
         }
+    }
+
+    /// The same settings with intra-operator morsel parallelism enabled for
+    /// operator inputs of at least `threshold` data elements (builder style,
+    /// for sweeps: `ExecSettings::vectorized_compressed()
+    /// .with_morsel_threshold(64 * 1024)`).
+    pub fn with_morsel_threshold(mut self, threshold: usize) -> ExecSettings {
+        self.morsel_threshold = Some(threshold);
+        self
     }
 }
 
@@ -238,6 +256,13 @@ impl NodeRecords {
         let result = f();
         self.timings.push((op_name.to_string(), start.elapsed()));
         result
+    }
+
+    /// Record an externally measured duration under `op_name` — used by the
+    /// morsel path, where one operator's wall clock spans several workers
+    /// and cannot be measured around a single closure.
+    pub fn push_timing(&mut self, op_name: &str, elapsed: Duration) {
+        self.timings.push((op_name.to_string(), elapsed));
     }
 }
 

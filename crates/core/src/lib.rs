@@ -50,8 +50,11 @@
 //! materialises every intermediate, the plan is an explicit dependency
 //! graph, and the [`parallel::ParallelExecutor`] schedules independent
 //! subtrees on a worker pool with bookkeeping identical to the serial
-//! walk.  See DESIGN.md for how the plan layer sits on top of the
-//! three-layer operator architecture.
+//! walk.  With [`ExecSettings::morsel_threshold`] set it additionally
+//! splits single large operators into chunk-range morsels over the
+//! columns' seekable chunk directories ([`ops::partitioned`]), spliced
+//! back byte-identically.  See DESIGN.md for how the plan layer sits on
+//! top of the three-layer operator architecture.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -115,7 +115,11 @@ mod tests {
             let input = Column::compress(&values, &format);
             for degree in IntegrationDegree::all() {
                 for style in [ProcessingStyle::Scalar, ProcessingStyle::Vectorized] {
-                    let settings = ExecSettings { style, degree };
+                    let settings = ExecSettings {
+                        style,
+                        degree,
+                        ..ExecSettings::default()
+                    };
                     assert_eq!(
                         agg_sum(&input, &settings),
                         expected,

@@ -73,8 +73,8 @@ pub fn semi_join(
     out_format: &Format,
     settings: &ExecSettings,
 ) -> Column {
-    let mut set: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    build.for_each_chunk(&mut |chunk| set.extend(chunk.iter().copied()));
+    // Shared with the morsel path, which must build the identical set.
+    let set = crate::ops::partitioned::build_semi_join_set(build);
     let uncompressed = settings.degree == IntegrationDegree::PurelyUncompressed;
     let mut out = OutCol::new(*out_format, uncompressed);
     let mut pos = 0u64;

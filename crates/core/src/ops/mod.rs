@@ -23,6 +23,7 @@ pub mod group;
 pub mod join;
 pub mod merge;
 pub mod morph_op;
+pub mod partitioned;
 pub mod project;
 pub mod select;
 

@@ -1,0 +1,315 @@
+//! Chunk-partitioned variants of the hot operator kernels — the operator
+//! side of intra-operator (morsel) parallelism.
+//!
+//! The paper's block-at-a-time processing (DP3) makes a compressed column a
+//! sequence of independently decodable chunks, recorded in the column's
+//! seekable chunk directory ([`Column::chunk_count`],
+//! [`Column::for_each_chunk_in`]).  A *morsel* is a contiguous range of
+//! those chunks; each per-part kernel in this module processes one range
+//! into a private partial result, and [`concat_partials`] splices the
+//! partials back — in range order — into a column that is **byte-identical**
+//! to the single-threaded operator:
+//!
+//! * every per-part kernel emits exactly the values the serial kernel would
+//!   emit for that logical range (select positions are computed from the
+//!   chunk's global logical start, so no rebasing pass is needed at merge
+//!   time),
+//! * [`morph_storage::ColumnBuilder::append_column`] re-creates the serial
+//!   builder's byte stream (splicing without re-encoding where the format's
+//!   blocks are position-independent), and
+//! * partial sums of the wrapping [`agg_sum`](crate::agg_sum) reduce
+//!   associatively.
+//!
+//! The [`crate::parallel::ParallelExecutor`] drives these kernels from its
+//! worker pool; the functions are public so tests (and other schedulers)
+//! can exercise the partition → process → merge pipeline directly.
+
+use std::collections::HashSet;
+use std::ops::Range;
+
+use morph_compression::Format;
+use morph_storage::{Column, ColumnBuilder};
+use morph_vector::ProcessingStyle;
+
+use crate::exec::{ExecSettings, IntegrationDegree};
+use crate::ops::agg::sum_chunk;
+use crate::ops::select::filter_chunk;
+use crate::CmpOp;
+
+/// Partition a column's seekable chunks into at most `parts` contiguous
+/// ranges of roughly equal logical span (delegates to
+/// [`Column::partition_chunks`]).
+pub fn partition(input: &Column, parts: usize) -> Vec<Range<usize>> {
+    input.partition_chunks(parts)
+}
+
+/// The format a partial result (and the merged column) is materialised in:
+/// the requested output format, except under the purely uncompressed degree,
+/// where operators ignore the output format (the baseline involves no
+/// compressed data at all).
+pub fn effective_output_format(out_format: &Format, settings: &ExecSettings) -> Format {
+    if settings.degree == IntegrationDegree::PurelyUncompressed {
+        Format::Uncompressed
+    } else {
+        *out_format
+    }
+}
+
+/// Partial select: the positions of the chunk range `chunks` of `input`
+/// whose value satisfies `op` against `constant`, materialised in `format`.
+///
+/// Positions are global (offset by each chunk's logical start), so
+/// concatenating the partials of a contiguous partition in range order
+/// yields exactly the serial [`crate::select`] output.
+pub fn select_part(
+    op: CmpOp,
+    input: &Column,
+    constant: u64,
+    chunks: Range<usize>,
+    format: &Format,
+    style: ProcessingStyle,
+) -> Column {
+    let mut builder = ColumnBuilder::new(*format);
+    let mut scratch: Vec<u64> = Vec::new();
+    input.for_each_chunk_in(chunks, &mut |start, chunk| {
+        scratch.clear();
+        filter_chunk(style, op, chunk, constant, start, &mut scratch);
+        builder.push_slice(&scratch);
+    });
+    builder.finish()
+}
+
+/// Partial range select: the positions of the chunk range `chunks` of
+/// `input` whose value lies in `[low, high]` (the partitioned
+/// [`crate::select_between`]).
+pub fn select_between_part(
+    input: &Column,
+    low: u64,
+    high: u64,
+    chunks: Range<usize>,
+    format: &Format,
+) -> Column {
+    let mut builder = ColumnBuilder::new(*format);
+    let mut scratch: Vec<u64> = Vec::new();
+    input.for_each_chunk_in(chunks, &mut |start, chunk| {
+        scratch.clear();
+        for (i, &value) in chunk.iter().enumerate() {
+            if value >= low && value <= high {
+                scratch.push(start + i as u64);
+            }
+        }
+        builder.push_slice(&scratch);
+    });
+    builder.finish()
+}
+
+/// Partial project: gather `data[position]` for the chunk range `chunks` of
+/// the position list.  `data` must support random access — the caller morphs
+/// it **once** before fanning out (mirroring the serial
+/// [`crate::project`]), so workers never repeat the morph.
+pub fn project_part(
+    data: &Column,
+    positions: &Column,
+    chunks: Range<usize>,
+    format: &Format,
+) -> Column {
+    assert!(
+        data.supports_random_access(),
+        "project_part requires a random-access data column; morph before fanning out"
+    );
+    let mut builder = ColumnBuilder::new(*format);
+    let mut scratch: Vec<u64> = Vec::new();
+    positions.for_each_chunk_in(chunks, &mut |_, chunk| {
+        scratch.clear();
+        for &position in chunk {
+            let value = data
+                .get(position as usize)
+                .unwrap_or_else(|| panic!("project: position {position} out of bounds"));
+            scratch.push(value);
+        }
+        builder.push_slice(&scratch);
+    });
+    builder.finish()
+}
+
+/// The hash set of build-side values of a semi-join, built once by the
+/// coordinator and shared by all probe-side parts.
+pub fn build_semi_join_set(build: &Column) -> HashSet<u64> {
+    let mut set = HashSet::new();
+    build.for_each_chunk(&mut |chunk| set.extend(chunk.iter().copied()));
+    set
+}
+
+/// Partial semi-join: the global positions of the chunk range `chunks` of
+/// `probe` whose value occurs in the shared build `set` (the partitioned
+/// probe side of [`crate::semi_join`]).
+pub fn semi_join_part(
+    probe: &Column,
+    set: &HashSet<u64>,
+    chunks: Range<usize>,
+    format: &Format,
+) -> Column {
+    let mut builder = ColumnBuilder::new(*format);
+    probe.for_each_chunk_in(chunks, &mut |start, chunk| {
+        for (i, value) in chunk.iter().enumerate() {
+            if set.contains(value) {
+                builder.push(start + i as u64);
+            }
+        }
+    });
+    builder.finish()
+}
+
+/// Partial whole-column sum over the chunk range `chunks` (wrapping 64-bit
+/// arithmetic, like [`crate::agg_sum`]).  Partials reduce with
+/// [`u64::wrapping_add`].
+pub fn agg_sum_part(input: &Column, chunks: Range<usize>, style: ProcessingStyle) -> u64 {
+    let mut total = 0u64;
+    input.for_each_chunk_in(chunks, &mut |_, chunk| {
+        total = total.wrapping_add(sum_chunk(style, chunk));
+    });
+    total
+}
+
+/// Splice the partial columns of a contiguous chunk partition — in range
+/// order — into one column in `format`.
+///
+/// The result is byte-identical to a single [`ColumnBuilder`] fed the
+/// concatenated value sequence, i.e. to the serial operator
+/// ([`ColumnBuilder::append_column`] splices position-independent formats
+/// without re-encoding and re-pushes the rest through the streaming
+/// compressor).
+pub fn concat_partials<'a>(
+    format: &Format,
+    partials: impl IntoIterator<Item = &'a Column>,
+) -> Column {
+    let mut builder = ColumnBuilder::new(*format);
+    for partial in partials {
+        builder.append_column(partial);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::select::{select, select_between};
+    use crate::{agg_sum, project, semi_join};
+
+    fn sample(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761) % 1000).collect()
+    }
+
+    #[test]
+    fn partitioned_select_is_byte_identical_to_serial_for_all_formats() {
+        let values = sample(20_000);
+        let settings = ExecSettings::vectorized_compressed();
+        for in_format in Format::all_formats(999) {
+            let input = Column::compress(&values, &in_format);
+            for out_format in [Format::DeltaDynBp, Format::DynBp, Format::Rle, Format::Dict] {
+                let serial = select(CmpOp::Lt, &input, 300, &out_format, &settings);
+                for parts in [1, 2, 3, 7] {
+                    let ranges = partition(&input, parts);
+                    let partials: Vec<Column> = ranges
+                        .iter()
+                        .map(|r| {
+                            select_part(
+                                CmpOp::Lt,
+                                &input,
+                                300,
+                                r.clone(),
+                                &out_format,
+                                settings.style,
+                            )
+                        })
+                        .collect();
+                    let merged = concat_partials(&out_format, &partials);
+                    assert_eq!(merged, serial, "{in_format} -> {out_format}, {parts} parts");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_select_between_matches_serial() {
+        let values = sample(12_000);
+        let input = Column::compress(&values, &Format::DynBp);
+        let settings = ExecSettings::vectorized_compressed();
+        let serial = select_between(&input, 100, 400, &Format::DeltaDynBp, &settings);
+        let partials: Vec<Column> = partition(&input, 4)
+            .iter()
+            .map(|r| select_between_part(&input, 100, 400, r.clone(), &Format::DeltaDynBp))
+            .collect();
+        assert_eq!(concat_partials(&Format::DeltaDynBp, &partials), serial);
+    }
+
+    #[test]
+    fn partitioned_project_matches_serial() {
+        let data_values = sample(8000);
+        let positions: Vec<u64> = (0..8000u64).filter(|p| p % 3 == 0).collect();
+        let data = Column::compress(&data_values, &Format::StaticBp(10));
+        let pos = Column::compress(&positions, &Format::DeltaDynBp);
+        let settings = ExecSettings::vectorized_compressed();
+        let serial = project(&data, &pos, &Format::DynBp, &settings);
+        let partials: Vec<Column> = partition(&pos, 3)
+            .iter()
+            .map(|r| project_part(&data, &pos, r.clone(), &Format::DynBp))
+            .collect();
+        assert_eq!(concat_partials(&Format::DynBp, &partials), serial);
+    }
+
+    #[test]
+    fn partitioned_semi_join_matches_serial() {
+        let probe_values: Vec<u64> = (0..15_000u64).map(|i| i % 997).collect();
+        let build_values: Vec<u64> = (0..200u64).map(|i| i * 5).collect();
+        let probe = Column::compress(&probe_values, &Format::DynBp);
+        let build = Column::compress(&build_values, &Format::StaticBp(10));
+        let settings = ExecSettings::vectorized_compressed();
+        let serial = semi_join(&probe, &build, &Format::DeltaDynBp, &settings);
+        let set = build_semi_join_set(&build);
+        let partials: Vec<Column> = partition(&probe, 5)
+            .iter()
+            .map(|r| semi_join_part(&probe, &set, r.clone(), &Format::DeltaDynBp))
+            .collect();
+        assert_eq!(concat_partials(&Format::DeltaDynBp, &partials), serial);
+    }
+
+    #[test]
+    fn partitioned_sum_matches_serial_including_wrapping() {
+        let mut values = sample(9000);
+        values[17] = u64::MAX;
+        values[8000] = u64::MAX - 3;
+        for format in [Format::Uncompressed, Format::DynBp, Format::Rle] {
+            let input = Column::compress(&values, &format);
+            let serial = agg_sum(&input, &ExecSettings::vectorized_compressed());
+            let total = partition(&input, 4)
+                .into_iter()
+                .map(|r| agg_sum_part(&input, r, ProcessingStyle::Vectorized))
+                .fold(0u64, u64::wrapping_add);
+            assert_eq!(total, serial, "format {format}");
+        }
+    }
+
+    #[test]
+    fn effective_format_mirrors_the_purely_uncompressed_degree() {
+        let compressed = ExecSettings::vectorized_compressed();
+        let plain = ExecSettings::scalar_uncompressed();
+        assert_eq!(
+            effective_output_format(&Format::Rle, &compressed),
+            Format::Rle
+        );
+        assert_eq!(
+            effective_output_format(&Format::Rle, &plain),
+            Format::Uncompressed
+        );
+    }
+
+    #[test]
+    fn empty_and_single_chunk_partitions() {
+        let empty = Column::from_slice(&[]);
+        assert!(partition(&empty, 4).is_empty());
+        let tiny = Column::from_slice(&[1, 2, 3]);
+        let ranges = partition(&tiny, 4);
+        assert_eq!(ranges, vec![0..1]);
+    }
+}

@@ -14,20 +14,39 @@ use morph_storage::{Column, ColumnBuilder};
 
 use crate::exec::{ExecSettings, IntegrationDegree};
 use crate::ops::agg::agg_max;
+use crate::specialized;
 
 /// Ensure `data` supports random access, morphing it to static BP when it
 /// does not.  Returns either a borrowed or a morphed column.
 fn with_random_access(data: &Column) -> std::borrow::Cow<'_, Column> {
+    match ensure_random_access(data) {
+        None => std::borrow::Cow::Borrowed(data),
+        Some(morphed) => std::borrow::Cow::Owned(morphed),
+    }
+}
+
+/// The morph a project must apply before random-accessing `data`:
+/// `Some(static BP copy)` when the format does not support random access,
+/// `None` when `data` can be gathered from directly.
+///
+/// Exposed to the morsel scheduler so the (serial) morph happens once per
+/// operator, before the gather fans out across workers.
+pub(crate) fn ensure_random_access(data: &Column) -> Option<Column> {
     if data.supports_random_access() {
-        std::borrow::Cow::Borrowed(data)
+        None
     } else {
         let max = agg_max(data, &ExecSettings::default());
-        std::borrow::Cow::Owned(data.to_format(&Format::static_bp_for_max(max)))
+        Some(data.to_format(&Format::static_bp_for_max(max)))
     }
 }
 
 /// Gather `data[position]` for every position in `positions` (in order),
 /// materialising the output in `out_format`.
+///
+/// With the specialized degree, a static-BP data column is gathered straight
+/// off the packed bit stream ([`specialized::project_on_static_bp`]); any
+/// other format keeps the general path (morph to a random-access format if
+/// needed, then per-element access).
 ///
 /// # Panics
 /// Panics if a position is out of bounds for `data`.
@@ -37,6 +56,11 @@ pub fn project(
     out_format: &Format,
     settings: &ExecSettings,
 ) -> Column {
+    if settings.degree == IntegrationDegree::Specialized
+        && matches!(data.format(), Format::StaticBp(_))
+    {
+        return specialized::project_on_static_bp(data, positions, out_format);
+    }
     let data = with_random_access(data);
     let gather = |chunk: &[u64], out: &mut Vec<u64>| {
         for &position in chunk {

@@ -172,7 +172,11 @@ mod tests {
             let input = Column::compress(&values, &format);
             for degree in IntegrationDegree::all() {
                 for style in [ProcessingStyle::Scalar, ProcessingStyle::Vectorized] {
-                    let settings = ExecSettings { style, degree };
+                    let settings = ExecSettings {
+                        style,
+                        degree,
+                        ..ExecSettings::default()
+                    };
                     let out = select(CmpOp::Lt, &input, 100, &Format::DeltaDynBp, &settings);
                     assert_eq!(
                         out.decompress(),

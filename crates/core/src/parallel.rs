@@ -1,5 +1,5 @@
-//! Parallel plan execution: schedule independent plan subtrees on a worker
-//! pool.
+//! Parallel plan execution: schedule independent plan subtrees — and
+//! chunk-range *morsels* of single large operators — on a worker pool.
 //!
 //! The operator-at-a-time model (DP1) materialises every intermediate as a
 //! real named column, which makes a [`QueryPlan`] an *explicit* dependency
@@ -12,23 +12,43 @@
 //! ## Scheduling
 //!
 //! [`ParallelExecutor`] computes each node's in-degree from
-//! [`QueryPlan::dependencies`], seeds a shared ready queue with the
+//! [`QueryPlan::dependencies`], seeds a shared task queue with the
 //! zero-in-degree nodes (the scans), and lets `threads` scoped workers
-//! (`std::thread::scope` — no external dependencies) pull node indices from
-//! the queue.  A worker executes a node via the same
-//! [`execute_node`] core the serial executor uses, publishes the result in a
-//! per-node `OnceLock` cell, decrements the in-degree of every dependent and
-//! enqueues those that become ready.  Workers exit when all nodes have
-//! completed.
+//! (`std::thread::scope` — no external dependencies) pull tasks from
+//! the queue, parking on a `Condvar` while it is empty (idle workers burn
+//! no cycles while one long operator runs).  A worker executes a node via
+//! the same [`execute_node`] core the serial executor uses, publishes the
+//! result in a per-node `OnceLock` cell, decrements the in-degree of every
+//! dependent and enqueues those that become ready.  Workers exit when all
+//! nodes have completed.
+//!
+//! ## Intra-operator parallelism (morsels)
+//!
+//! Inter-operator parallelism alone leaves the Q1.x SSB plans serial: they
+//! are one chain of huge fact-table operators.  When
+//! [`crate::ExecSettings::morsel_threshold`] is set and a ready node's
+//! partitioned input (see [`QueryPlan::morsel_op`]) reaches the threshold,
+//! the worker that pops the node does not execute it; instead it builds the
+//! operator's shared state once (a semi-join build set, a project morph),
+//! splits the input's seekable chunk directory into `k` contiguous ranges
+//! ([`Column::partition_chunks`]) and publishes a [`MorselJob`].  Every
+//! worker — including the one that published — then claims parts from the
+//! job; the worker completing the *last* part splices the partials back in
+//! range order ([`partitioned::concat_partials`]) and completes the node
+//! exactly like the single-task path.  Chunk-range decoding never replays a
+//! prefix (each chunk is an independently decodable block), so parts cost
+//! what their share of the column costs.
 //!
 //! ## Determinism
 //!
 //! Results are bit-identical to serial execution because every operator is a
-//! pure function of its input columns and the format assignment.  Footprint
-//! and timing **records** are kept identical too: each node records into its
-//! own [`NodeRecords`], and after the pool drains, the per-node records are
-//! merged into the [`ExecutionContext`] in topological (node-list) order —
-//! the exact order the serial executor produces
+//! pure function of its input columns and the format assignment — and
+//! because the morsel merge reconstructs the serial builder's byte stream
+//! (see [`partitioned`]).  Footprint and timing **records** are kept
+//! identical too: each node records into its own [`NodeRecords`], and after
+//! the pool drains, the per-node records are merged into the
+//! [`ExecutionContext`] in topological (node-list) order — the exact order
+//! the serial executor produces
 //! ([`ExecutionContext::merge_node_records`]).  Only the measured durations
 //! differ; names, formats, sizes and label sequences do not.
 //!
@@ -39,12 +59,21 @@
 //! documented fast path degenerates to today's executor; the only extra
 //! work is the worker-count clamp.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
-use crate::exec::{ExecutionContext, NodeRecords};
-use crate::plan::{execute_node, ColumnSource, PlanExecutor, PlanOutput, QueryPlan, Slot};
+use morph_compression::Format;
+use morph_storage::Column;
+
+use crate::exec::{ExecSettings, ExecutionContext, FormatConfig, NodeRecords};
+use crate::ops::partitioned;
+use crate::ops::project::ensure_random_access;
+use crate::plan::{
+    execute_node, ColumnSource, MorselOp, PlanExecutor, PlanOutput, QueryPlan, Slot,
+};
 
 /// The result of one plan node, published for dependent nodes and the final
 /// record merge.
@@ -53,11 +82,68 @@ struct NodeResult<'a> {
     records: NodeRecords,
 }
 
+/// Operator state built once by the fanning-out worker and shared by all
+/// parts of a morsel job.
+enum MorselAux {
+    /// No shared state (selects, sums, projects on random-access data).
+    None,
+    /// The semi-join build set.
+    Set(HashSet<u64>),
+    /// The project data column, morphed to a random-access format.
+    Morphed(Column),
+}
+
+/// The partial result of one morsel part.
+enum MorselPartial {
+    /// A partial output column (select, project, semi-join).
+    Col(Column),
+    /// A partial wrapping sum (agg_sum).
+    Sum(u64),
+}
+
+/// One fanned-out operator: `parts` contiguous chunk ranges of the
+/// partitioned input, claimed by workers one at a time.
+struct MorselJob {
+    /// The plan node this job executes.
+    node: usize,
+    /// Contiguous chunk ranges, covering the input in order.
+    parts: Vec<Range<usize>>,
+    /// Next unclaimed part (claims happen under the queue lock).
+    next: AtomicUsize,
+    /// Completed parts; the worker completing the last one merges.
+    done: AtomicUsize,
+    /// Partial results, indexed like `parts`.
+    partials: Vec<OnceLock<MorselPartial>>,
+    /// Shared operator state (build set, morphed data column).
+    aux: MorselAux,
+    /// Format the partials and the merged column are materialised in.
+    out_format: Format,
+    /// Fan-out time: the node's recorded duration spans shared-state
+    /// construction through merge, like the serial operator timing.
+    started: Instant,
+}
+
+/// A unit of work pulled from the task queue.
+enum Task {
+    /// Execute (or fan out) one plan node.
+    Node(usize),
+    /// Process part `1` of morsel job `0`.
+    Morsel(Arc<MorselJob>, usize),
+}
+
+/// The queue proper, guarded by one mutex so Condvar parking covers both
+/// task kinds without lost wakeups.
+struct TaskQueue {
+    /// Node indices whose dependencies have all completed.
+    nodes: VecDeque<usize>,
+    /// Morsel jobs with unclaimed parts, oldest first.
+    morsels: VecDeque<Arc<MorselJob>>,
+}
+
 /// Shared scheduler state of one parallel plan execution.
 struct Scheduler {
-    /// Node indices whose dependencies have all completed.
-    ready: Mutex<VecDeque<usize>>,
-    /// Signalled whenever `ready` gains entries or `done` flips.
+    queue: Mutex<TaskQueue>,
+    /// Signalled whenever the queue gains entries or `done` flips.
     wakeup: Condvar,
     /// Per node, the number of dependencies that have not completed yet.
     remaining: Vec<AtomicUsize>,
@@ -68,9 +154,13 @@ struct Scheduler {
 }
 
 impl Scheduler {
-    /// Block until a node is ready; `None` once the execution is done.
-    fn next_ready(&self) -> Option<usize> {
-        let mut queue = self.ready.lock().expect("scheduler lock");
+    /// Block until a task is available; `None` once the execution is done.
+    ///
+    /// Morsel parts are claimed before whole nodes: finishing an in-flight
+    /// fan-out unblocks its dependents soonest, and the job was only created
+    /// because its operator dominates the plan.
+    fn next_task(&self) -> Option<Task> {
+        let mut queue = self.queue.lock().expect("scheduler lock");
         loop {
             // `done` first: on normal completion the queue is empty anyway,
             // and after a sibling's panic the survivors must stop instead of
@@ -78,20 +168,47 @@ impl Scheduler {
             if self.done.load(Ordering::Acquire) {
                 return None;
             }
-            if let Some(idx) = queue.pop_front() {
-                return Some(idx);
+            while let Some(job) = queue.morsels.front() {
+                // Claims happen under the queue lock, so `next` never skips.
+                let part = job.next.fetch_add(1, Ordering::Relaxed);
+                if part < job.parts.len() {
+                    let job = Arc::clone(job);
+                    if part + 1 == job.parts.len() {
+                        queue.morsels.pop_front();
+                    }
+                    return Some(Task::Morsel(job, part));
+                }
+                queue.morsels.pop_front();
+            }
+            if let Some(idx) = queue.nodes.pop_front() {
+                return Some(Task::Node(idx));
             }
             queue = self.wakeup.wait(queue).expect("scheduler lock");
         }
     }
 
-    /// Publish newly-ready nodes and wake waiting workers.
+    /// Publish newly-ready nodes and wake waiting workers.  A single new
+    /// node needs a single worker; `finished` and multi-node batches wake
+    /// everyone.
     fn enqueue_ready(&self, nodes: Vec<usize>, finished: bool) {
         if nodes.is_empty() && !finished {
             return;
         }
-        let mut queue = self.ready.lock().expect("scheduler lock");
-        queue.extend(nodes);
+        let single = nodes.len() == 1 && !finished;
+        let mut queue = self.queue.lock().expect("scheduler lock");
+        queue.nodes.extend(nodes);
+        drop(queue);
+        if single {
+            self.wakeup.notify_one();
+        } else {
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// Publish a morsel job and wake all parked workers to claim parts.
+    fn publish_morsels(&self, job: Arc<MorselJob>) {
+        let mut queue = self.queue.lock().expect("scheduler lock");
+        queue.morsels.push_back(job);
         drop(queue);
         self.wakeup.notify_all();
     }
@@ -114,7 +231,7 @@ impl Drop for PanicRelease<'_> {
             // `unwrap`: panicking inside a drop during unwind would abort.
             let _guard = self
                 .0
-                .ready
+                .queue
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             self.0.done.store(true, Ordering::Release);
@@ -124,7 +241,9 @@ impl Drop for PanicRelease<'_> {
 }
 
 /// Executes a [`QueryPlan`] with a pool of `threads` scoped workers,
-/// dispatching every node whose dependencies have completed.
+/// dispatching every node whose dependencies have completed — and, when
+/// [`ExecSettings::morsel_threshold`] is set, splitting single large
+/// operators into chunk-range morsels across the same pool.
 ///
 /// Drop-in alternative to the serial [`PlanExecutor`]: identical results,
 /// identical footprint records and identical timing-label sequences (see the
@@ -158,10 +277,16 @@ impl ParallelExecutor {
         ctx: &mut ExecutionContext,
     ) -> PlanOutput {
         let node_count = plan.node_count();
-        // More workers than nodes can never be utilised; a single worker is
-        // the serial executor with queue overhead, so skip the machinery.
-        let workers = self.threads.min(node_count);
-        if workers <= 1 {
+        // Without morsels, more workers than nodes can never be utilised;
+        // with morsels, extra workers process parts of fanned-out nodes.  A
+        // single worker is the serial executor with queue overhead, so skip
+        // the machinery.
+        let workers = if ctx.settings.morsel_threshold.is_some() {
+            self.threads
+        } else {
+            self.threads.min(node_count)
+        };
+        if workers <= 1 || node_count == 0 {
             return PlanExecutor.execute(plan, source, ctx);
         }
 
@@ -178,7 +303,10 @@ impl ParallelExecutor {
         }
 
         let scheduler = Scheduler {
-            ready: Mutex::new(seeds.into_iter().collect()),
+            queue: Mutex::new(TaskQueue {
+                nodes: seeds.into_iter().collect(),
+                morsels: VecDeque::new(),
+            }),
             wakeup: Condvar::new(),
             remaining: dependencies
                 .iter()
@@ -201,38 +329,52 @@ impl ParallelExecutor {
                     let dependents = &dependents;
                     scope.spawn(move || {
                         let _release = PanicRelease(scheduler);
-                        while let Some(idx) = scheduler.next_ready() {
-                            let mut records = NodeRecords::new(capture);
-                            let slot = execute_node(
-                                plan,
-                                idx,
-                                // `OnceLock::get` pairs its acquire load with the
-                                // publishing `set`, so a dependent worker sees the
-                                // dependency's slot fully initialised.
-                                |i| &cells[i].get().expect("dependency completed").slot,
-                                source,
-                                settings,
-                                formats,
-                                &mut records,
-                            );
-                            if cells[idx].set(NodeResult { slot, records }).is_err() {
-                                unreachable!("plan node {idx} executed twice");
-                            }
-                            let mut newly_ready = Vec::new();
-                            for &dependent in &dependents[idx] {
-                                let left =
-                                    scheduler.remaining[dependent].fetch_sub(1, Ordering::AcqRel);
-                                debug_assert!(left > 0, "in-degree underflow");
-                                if left == 1 {
-                                    newly_ready.push(dependent);
+                        // `OnceLock::get` pairs its acquire load with the
+                        // publishing `set`, so a dependent worker sees the
+                        // dependency's slot fully initialised.
+                        let slot_of =
+                            |i: usize| &cells[i].get().expect("dependency completed").slot;
+                        while let Some(task) = scheduler.next_task() {
+                            match task {
+                                Task::Node(idx) => {
+                                    if let Some(job) = plan_morsel_job(
+                                        plan, idx, &slot_of, &settings, formats, workers,
+                                    ) {
+                                        scheduler.publish_morsels(Arc::new(job));
+                                        continue;
+                                    }
+                                    let mut records = NodeRecords::new(capture);
+                                    let slot = execute_node(
+                                        plan,
+                                        idx,
+                                        slot_of,
+                                        source,
+                                        settings,
+                                        formats,
+                                        &mut records,
+                                    );
+                                    complete_node(
+                                        scheduler, cells, dependents, node_count, idx, slot,
+                                        records,
+                                    );
+                                }
+                                Task::Morsel(job, part) => {
+                                    let partial =
+                                        run_morsel_part(plan, &job, part, &slot_of, &settings);
+                                    if job.partials[part].set(partial).is_err() {
+                                        unreachable!("morsel part {part} executed twice");
+                                    }
+                                    let finished_parts =
+                                        job.done.fetch_add(1, Ordering::AcqRel) + 1;
+                                    if finished_parts == job.parts.len() {
+                                        let (slot, records) = merge_morsel_job(plan, &job, capture);
+                                        complete_node(
+                                            scheduler, cells, dependents, node_count, job.node,
+                                            slot, records,
+                                        );
+                                    }
                                 }
                             }
-                            let finished = scheduler.completed.fetch_add(1, Ordering::AcqRel) + 1
-                                == node_count;
-                            if finished {
-                                scheduler.done.store(true, Ordering::Release);
-                            }
-                            scheduler.enqueue_ready(newly_ready, finished);
                         }
                     })
                 })
@@ -260,6 +402,200 @@ impl ParallelExecutor {
         }
         plan.collect_output(|i| &slots[i])
     }
+}
+
+/// Publish one completed node: store its slot and records, release its
+/// dependents and flip `done` when it was the last node.  Shared by the
+/// single-task path and the morsel merge.
+fn complete_node<'a>(
+    scheduler: &Scheduler,
+    cells: &[OnceLock<NodeResult<'a>>],
+    dependents: &[Vec<usize>],
+    node_count: usize,
+    idx: usize,
+    slot: Slot<'a>,
+    records: NodeRecords,
+) {
+    if cells[idx].set(NodeResult { slot, records }).is_err() {
+        unreachable!("plan node {idx} executed twice");
+    }
+    let mut newly_ready = Vec::new();
+    for &dependent in &dependents[idx] {
+        let left = scheduler.remaining[dependent].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(left > 0, "in-degree underflow");
+        if left == 1 {
+            newly_ready.push(dependent);
+        }
+    }
+    let finished = scheduler.completed.fetch_add(1, Ordering::AcqRel) + 1 == node_count;
+    if finished {
+        scheduler.done.store(true, Ordering::Release);
+    }
+    scheduler.enqueue_ready(newly_ready, finished);
+}
+
+/// Decide whether node `idx` is fanned out and, if so, build the job: the
+/// input must have a partitioned kernel ([`QueryPlan::morsel_op`]), reach
+/// the morsel threshold and split into at least two chunk ranges.  Shared
+/// operator state (semi-join build set, project morph) is built here, once.
+fn plan_morsel_job<'a, 's, F>(
+    plan: &QueryPlan,
+    idx: usize,
+    slots: &F,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+    workers: usize,
+) -> Option<MorselJob>
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    let threshold = settings.morsel_threshold?;
+    let op = plan.morsel_op(idx)?;
+    let input_ref = op.partitioned_input();
+    let input = slots(input_ref.node).column(input_ref.port);
+    if input.logical_len() < threshold.max(1) || input.chunk_count() < 2 {
+        return None;
+    }
+    // Enough parts that each carries roughly a threshold's worth of work,
+    // but never more than the pool could process concurrently.
+    let parts_wanted = workers
+        .min(input.chunk_count())
+        .min((input.logical_len() / threshold.max(1)).max(2));
+    let parts = input.partition_chunks(parts_wanted);
+    if parts.len() < 2 {
+        return None;
+    }
+    // Timing starts before the shared state is built: the serial operator
+    // includes set construction and the project morph in its measurement.
+    let started = Instant::now();
+    let aux = match op {
+        MorselOp::SemiJoin { build, .. } => {
+            let build = slots(build.node).column(build.port);
+            MorselAux::Set(partitioned::build_semi_join_set(build))
+        }
+        MorselOp::Project { data, .. } => {
+            let data = slots(data.node).column(data.port);
+            match ensure_random_access(data) {
+                Some(morphed) => MorselAux::Morphed(morphed),
+                None => MorselAux::None,
+            }
+        }
+        _ => MorselAux::None,
+    };
+    let out_format = partitioned::effective_output_format(
+        &formats.format_for(&plan.node_full_name(idx), Format::Uncompressed),
+        settings,
+    );
+    let partials = (0..parts.len()).map(|_| OnceLock::new()).collect();
+    Some(MorselJob {
+        node: idx,
+        parts,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        partials,
+        aux,
+        out_format,
+        started,
+    })
+}
+
+/// Process one claimed part of a morsel job with the matching partitioned
+/// kernel from [`partitioned`].
+fn run_morsel_part<'a, 's, F>(
+    plan: &QueryPlan,
+    job: &MorselJob,
+    part: usize,
+    slots: &F,
+    settings: &ExecSettings,
+) -> MorselPartial
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    let range = job.parts[part].clone();
+    let op = plan.morsel_op(job.node).expect("morsel node");
+    let col = |r: crate::plan::ColRef| slots(r.node).column(r.port);
+    match op {
+        MorselOp::Select {
+            input,
+            op,
+            constant,
+        } => MorselPartial::Col(partitioned::select_part(
+            op,
+            col(input),
+            constant,
+            range,
+            &job.out_format,
+            settings.style,
+        )),
+        MorselOp::SelectBetween { input, low, high } => MorselPartial::Col(
+            partitioned::select_between_part(col(input), low, high, range, &job.out_format),
+        ),
+        MorselOp::Project { data, positions } => {
+            let data = match &job.aux {
+                MorselAux::Morphed(morphed) => morphed,
+                _ => col(data),
+            };
+            MorselPartial::Col(partitioned::project_part(
+                data,
+                col(positions),
+                range,
+                &job.out_format,
+            ))
+        }
+        MorselOp::SemiJoin { probe, .. } => {
+            let set = match &job.aux {
+                MorselAux::Set(set) => set,
+                _ => unreachable!("semi-join job without a build set"),
+            };
+            MorselPartial::Col(partitioned::semi_join_part(
+                col(probe),
+                set,
+                range,
+                &job.out_format,
+            ))
+        }
+        MorselOp::AggSum { values } => MorselPartial::Sum(partitioned::agg_sum_part(
+            col(values),
+            range,
+            settings.style,
+        )),
+    }
+}
+
+/// Merge the partials of a fully processed morsel job — in range order —
+/// into the node's slot and records, byte-identical to the serial operator.
+fn merge_morsel_job(
+    plan: &QueryPlan,
+    job: &MorselJob,
+    capture: bool,
+) -> (Slot<'static>, NodeRecords) {
+    let mut records = NodeRecords::new(capture);
+    let partials = job
+        .partials
+        .iter()
+        .map(|cell| cell.get().expect("all parts completed"));
+    let slot = match plan.morsel_op(job.node).expect("morsel node") {
+        MorselOp::AggSum { .. } => {
+            let total = partials.fold(0u64, |acc, partial| match partial {
+                MorselPartial::Sum(sum) => acc.wrapping_add(*sum),
+                MorselPartial::Col(_) => unreachable!("sum job with column partial"),
+            });
+            Slot::Scalar(total)
+        }
+        _ => {
+            let columns = partials.map(|partial| match partial {
+                MorselPartial::Col(column) => column,
+                MorselPartial::Sum(_) => unreachable!("column job with sum partial"),
+            });
+            let merged = partitioned::concat_partials(&job.out_format, columns);
+            records.record_intermediate(&plan.node_full_name(job.node), &merged);
+            Slot::Col(merged)
+        }
+    };
+    records.push_timing(&plan.node_timing_label(job.node), job.started.elapsed());
+    (slot, records)
 }
 
 #[cfg(test)]
@@ -343,6 +679,77 @@ mod tests {
     }
 
     #[test]
+    fn morsel_fanout_matches_serial_bookkeeping_exactly() {
+        let source = source();
+        let plan = diamond_plan();
+        for formats in [
+            FormatConfig::uncompressed(),
+            FormatConfig::with_default(Format::DynBp).set("par/left", Format::DeltaDynBp),
+            FormatConfig::with_default(Format::Rle),
+        ] {
+            // Threshold far below the 4000-element inputs: every select (and
+            // the final agg over "both") fans out where possible.
+            let settings = ExecSettings::vectorized_compressed().with_morsel_threshold(256);
+            let mut serial_ctx = ExecutionContext::new(settings, formats.clone());
+            let serial = PlanExecutor.execute(&plan, &source, &mut serial_ctx);
+            for threads in [2, 3, 8] {
+                let mut ctx = ExecutionContext::new(settings, formats.clone());
+                let parallel = ParallelExecutor::new(threads).execute(&plan, &source, &mut ctx);
+                assert_eq!(parallel, serial, "threads {threads}");
+                assert_eq!(ctx.records(), serial_ctx.records(), "threads {threads}");
+                let labels: Vec<&str> = ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+                let serial_labels: Vec<&str> = serial_ctx
+                    .timings()
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect();
+                assert_eq!(labels, serial_labels, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_fanout_covers_project_and_semi_join() {
+        // A plan whose hot nodes are a project and a semi-join, with a
+        // non-random-access data column (forces the one-time morph).
+        let mut columns = HashMap::new();
+        columns.insert(
+            "keys".to_string(),
+            Column::compress(
+                &(0..6000u64).map(|i| i % 211).collect::<Vec<_>>(),
+                &Format::DynBp,
+            ),
+        );
+        columns.insert(
+            "values".to_string(),
+            Column::compress(
+                &(0..6000u64).map(|i| (i * 13) % 1000).collect::<Vec<_>>(),
+                &Format::DynBp,
+            ),
+        );
+        columns.insert("dim".to_string(), Column::from_vec((0..100u64).collect()));
+        let mut p = PlanBuilder::new("psj");
+        let keys = p.scan("keys");
+        let values = p.scan("values");
+        let dim = p.scan("dim");
+        let pos = p.semi_join("pos", keys, dim);
+        let projected = p.project("projected", values, pos);
+        let total = p.agg_sum("total", projected);
+        let plan = p.finish_scalar(total);
+
+        let settings = ExecSettings::vectorized_compressed().with_morsel_threshold(512);
+        let formats = FormatConfig::with_default(Format::DynBp);
+        let mut serial_ctx = ExecutionContext::new(settings, formats.clone());
+        let serial = PlanExecutor.execute(&plan, &columns, &mut serial_ctx);
+        for threads in [2, 4] {
+            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let parallel = ParallelExecutor::new(threads).execute(&plan, &columns, &mut ctx);
+            assert_eq!(parallel, serial, "threads {threads}");
+            assert_eq!(ctx.records(), serial_ctx.records(), "threads {threads}");
+        }
+    }
+
+    #[test]
     fn parallel_capture_matches_serial_capture() {
         let source = source();
         let plan = diamond_plan();
@@ -350,14 +757,18 @@ mod tests {
             ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
         serial_ctx.enable_capture();
         PlanExecutor.execute(&plan, &source, &mut serial_ctx);
-        let mut parallel_ctx =
-            ExecutionContext::new(ExecSettings::default(), FormatConfig::uncompressed());
-        parallel_ctx.enable_capture();
-        ParallelExecutor::new(3).execute(&plan, &source, &mut parallel_ctx);
-        assert_eq!(
-            parallel_ctx.captured_columns(),
-            serial_ctx.captured_columns()
-        );
+        for settings in [
+            ExecSettings::default(),
+            ExecSettings::default().with_morsel_threshold(128),
+        ] {
+            let mut parallel_ctx = ExecutionContext::new(settings, FormatConfig::uncompressed());
+            parallel_ctx.enable_capture();
+            ParallelExecutor::new(3).execute(&plan, &source, &mut parallel_ctx);
+            assert_eq!(
+                parallel_ctx.captured_columns(),
+                serial_ctx.captured_columns()
+            );
+        }
     }
 
     #[test]

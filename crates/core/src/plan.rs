@@ -72,8 +72,8 @@ impl ColumnSource for HashMap<String, Column> {
 /// the two columns of a grouping node).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColRef {
-    node: usize,
-    port: u8,
+    pub(crate) node: usize,
+    pub(crate) port: u8,
 }
 
 /// Typed handle to a grouping node (which produces *two* columns — per-row
@@ -499,6 +499,43 @@ impl QueryPlan {
         levels
     }
 
+    /// The full (prefixed) name node `idx` records its output column under.
+    pub(crate) fn node_full_name(&self, idx: usize) -> String {
+        self.full_name(&self.nodes[idx].name)
+    }
+
+    /// The timing label node `idx` is measured under
+    /// (`"<label>/<mnemonic>:<step>"`).
+    pub(crate) fn node_timing_label(&self, idx: usize) -> String {
+        let node = &self.nodes[idx];
+        format!("{}/{}:{}", self.label, node.op.mnemonic(), node.name)
+    }
+
+    /// The morsel decomposition of node `idx`, if its operator has a
+    /// chunk-partitioned variant: which input column is streamed (and thus
+    /// range-partitioned) and what per-part kernel applies.  `None` for
+    /// operators without a partitioned variant.
+    pub(crate) fn morsel_op(&self, idx: usize) -> Option<MorselOp> {
+        match self.nodes[idx].op {
+            PlanOp::Select {
+                input,
+                op,
+                constant,
+            } => Some(MorselOp::Select {
+                input,
+                op,
+                constant,
+            }),
+            PlanOp::SelectBetween { input, low, high } => {
+                Some(MorselOp::SelectBetween { input, low, high })
+            }
+            PlanOp::Project { data, positions } => Some(MorselOp::Project { data, positions }),
+            PlanOp::SemiJoin { probe, build } => Some(MorselOp::SemiJoin { probe, build }),
+            PlanOp::AggSum { values } => Some(MorselOp::AggSum { values }),
+            _ => None,
+        }
+    }
+
     /// Assemble the caller-facing [`PlanOutput`] from the executed slots.
     pub(crate) fn collect_output<'a, 's, F>(&self, slots: F) -> PlanOutput
     where
@@ -756,6 +793,67 @@ impl PlanBuilder {
     }
 }
 
+/// The chunk-partitionable operator of a plan node, as seen by the morsel
+/// scheduler: the handle of the input column that is range-partitioned plus
+/// the operator parameters the per-part kernels need.
+///
+/// Only the hot unary/binary operators dominated by one streamed input have
+/// partitioned variants: `select` / `select_between` (partition the data
+/// column), `project` (partition the position list), `semi_join` (partition
+/// the probe side; the build set is shared) and the whole-column `agg_sum`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MorselOp {
+    /// Comparison select over a partitioned data column.
+    Select {
+        /// The filtered column (partitioned).
+        input: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Comparison constant.
+        constant: u64,
+    },
+    /// Inclusive range select over a partitioned data column.
+    SelectBetween {
+        /// The filtered column (partitioned).
+        input: ColRef,
+        /// Lower bound (inclusive).
+        low: u64,
+        /// Upper bound (inclusive).
+        high: u64,
+    },
+    /// Gather over a partitioned position list.
+    Project {
+        /// The random-accessed data column (shared).
+        data: ColRef,
+        /// The position list (partitioned).
+        positions: ColRef,
+    },
+    /// Semi-join probing a partitioned column against a shared build set.
+    SemiJoin {
+        /// The probe column (partitioned).
+        probe: ColRef,
+        /// The build column (hashed once, shared).
+        build: ColRef,
+    },
+    /// Whole-column sum over a partitioned column.
+    AggSum {
+        /// The summed column (partitioned).
+        values: ColRef,
+    },
+}
+
+impl MorselOp {
+    /// The handle of the input column the morsel scheduler partitions.
+    pub(crate) fn partitioned_input(&self) -> ColRef {
+        match *self {
+            MorselOp::Select { input, .. } | MorselOp::SelectBetween { input, .. } => input,
+            MorselOp::Project { positions, .. } => positions,
+            MorselOp::SemiJoin { probe, .. } => probe,
+            MorselOp::AggSum { values } => values,
+        }
+    }
+}
+
 /// One materialised value during execution.
 ///
 /// Slots hold only owned data or borrows of the (shared) column source, so a
@@ -858,9 +956,9 @@ where
 {
     let node = &plan.nodes[idx];
     let col = |r: ColRef| slots(r.node).column(r.port);
-    let full = plan.full_name(&node.name);
+    let full = plan.node_full_name(idx);
     let out_format = formats.format_for(&full, Format::Uncompressed);
-    let timing = format!("{}/{}:{}", plan.label, node.op.mnemonic(), node.name);
+    let timing = plan.node_timing_label(idx);
 
     match &node.op {
         PlanOp::Scan { column } => {

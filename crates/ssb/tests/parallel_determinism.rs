@@ -1,5 +1,5 @@
 //! Determinism suite for parallel plan execution: for all 13 SSB queries and
-//! `threads ∈ {1, 2, 4}`, [`SsbQuery::execute_parallel`] must produce
+//! `threads ∈ {1, 2, 4, 8}`, [`SsbQuery::execute_parallel`] must produce
 //!
 //! * byte-identical results (including row order) to the serial
 //!   [`SsbQuery::execute`],
@@ -8,17 +8,26 @@
 //! * an identical operator-timing label sequence,
 //!
 //! under both the scalar-uncompressed and the vectorized-compressed
-//! configuration, plus a heterogeneous per-edge format assignment.  The
-//! parallel executor achieves this by recording per node and merging the
-//! records back in topological order — so whichever worker runs whichever
-//! node whenever, the observable bookkeeping is that of the serial walk.
+//! configuration, plus a heterogeneous per-edge format assignment — and the
+//! same again with intra-operator morsel parallelism enabled (a threshold
+//! far below the fact-table size, so the hot selects, semi-joins, projects
+//! and sums actually fan out and merge).  The parallel executor achieves
+//! this by recording per node and merging the records back in topological
+//! order, and by splicing morsel partials in range order — so whichever
+//! worker runs whichever node (or part) whenever, the observable
+//! bookkeeping is that of the serial walk.
 
 use morph_compression::Format;
 use morph_ssb::{dbgen, SsbData, SsbQuery};
 use morphstore_engine::exec::FormatConfig;
 use morphstore_engine::{ExecSettings, ExecutionContext};
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Fans out every operator over a few thousand elements — small enough that
+/// the 0.004-scale-factor fact table (≈ 24 k rows) exercises the morsel
+/// path on every query.
+const TEST_MORSEL_THRESHOLD: usize = 4096;
 
 fn check_all_queries(data: &SsbData, settings: ExecSettings, formats: &FormatConfig) {
     for query in SsbQuery::all() {
@@ -86,6 +95,42 @@ fn parallel_execution_is_deterministic_across_thread_counts() {
     check_all_queries(
         &raw.with_narrow_static_bp(false),
         ExecSettings::vectorized_compressed(),
+        &mixed,
+    );
+}
+
+#[test]
+fn parallel_execution_with_morsels_is_deterministic() {
+    let raw = dbgen::generate(0.004, 7);
+
+    // Vectorized + compressed with the morsel path enabled: the single-chain
+    // Q1.x plans only parallelise through fanned-out operators, so this is
+    // the configuration that exercises partition → process → merge on every
+    // query.
+    let compressed = raw.with_uniform_format(&Format::DynBp);
+    check_all_queries(
+        &compressed,
+        ExecSettings::vectorized_compressed().with_morsel_threshold(TEST_MORSEL_THRESHOLD),
+        &FormatConfig::with_default(Format::DynBp),
+    );
+
+    // Morsels under the purely uncompressed baseline (partials merged as
+    // plain columns) and under a heterogeneous assignment including the
+    // stateful DELTA and RLE output formats, whose merge re-pushes values
+    // instead of splicing bytes.
+    check_all_queries(
+        &raw,
+        ExecSettings::scalar_uncompressed().with_morsel_threshold(TEST_MORSEL_THRESHOLD),
+        &FormatConfig::uncompressed(),
+    );
+    let mixed = FormatConfig::with_default(Format::StaticBp(26))
+        .set("1.1/lo_pos", Format::DeltaDynBp)
+        .set("1.2/lo_pos_discount", Format::Rle)
+        .set("2.1/lo_pos", Format::Uncompressed)
+        .set("3.2/revenue_at_pos", Format::ForDynBp);
+    check_all_queries(
+        &raw.with_narrow_static_bp(false),
+        ExecSettings::vectorized_compressed().with_morsel_threshold(TEST_MORSEL_THRESHOLD),
         &mixed,
     );
 }

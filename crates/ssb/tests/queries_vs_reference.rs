@@ -105,6 +105,7 @@ fn results_are_independent_of_integration_degree() {
             let settings = ExecSettings {
                 style: ProcessingStyle::Vectorized,
                 degree,
+                ..ExecSettings::default()
             };
             let (result, _) = run_query(
                 query,

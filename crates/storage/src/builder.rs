@@ -111,6 +111,39 @@ impl ColumnBuilder {
         }
     }
 
+    /// Append the entire logical content of `column`, exactly as if every
+    /// one of its values had been pushed individually — the splice primitive
+    /// that merges the partial outputs of a chunk-partitioned operator back
+    /// into one column.
+    ///
+    /// For formats whose encoding is *position-independent* (uncompressed,
+    /// static BP, dynamic BP, FOR + BP: stateless compressors whose blocks
+    /// depend only on the block's own values), an aligned append splices the
+    /// column's compressed main part byte-for-byte without re-encoding; only
+    /// the sub-block remainder is re-buffered.  Stateful formats (DELTA's
+    /// running reference, RLE's pending run, DICT's whole-column dictionary)
+    /// and unaligned appends re-push the values through the streaming
+    /// compressor instead.  Either way the resulting column is byte-identical
+    /// to a single builder fed the concatenated value sequence.
+    pub fn append_column(&mut self, column: &Column) {
+        let splice_safe = matches!(
+            self.format,
+            Format::Uncompressed | Format::StaticBp(_) | Format::DynBp | Format::ForDynBp
+        );
+        // The spliced blocks must land where the serial builder would have
+        // compressed them: with an empty buffer, `main_len` is a multiple of
+        // the block size (it only ever grows by whole blocks), so the
+        // incoming block grid lines up with the global one.
+        if splice_safe && self.buffer.is_empty() && column.format() == &self.format {
+            self.data.extend_from_slice(column.main_part_bytes());
+            self.main_len += column.main_part_len();
+            self.total_len += column.main_part_len();
+            self.push_slice(&column.remainder_values());
+            return;
+        }
+        column.for_each_chunk(&mut |chunk| self.push_slice(chunk));
+    }
+
     /// Compress the full cache-resident buffer.  The buffer size is a
     /// multiple of every format's block size, so the whole buffer can be
     /// handed to the compressor.
@@ -200,6 +233,45 @@ mod tests {
             }
             assert_eq!(by_run.finish(), by_slice.finish(), "format {format}");
         }
+    }
+
+    #[test]
+    fn append_column_equals_pushing_the_values_for_all_formats() {
+        let values = sample(12_000);
+        let max = *values.iter().max().unwrap();
+        // Split into three uneven pieces, build each as its own column, then
+        // splice; the result must be byte-identical to one continuous build
+        // — for splice-safe formats (fast path) and stateful ones alike.
+        let cuts = [0usize, 2048, 2048 + 3001, values.len()];
+        for format in Format::all_formats(max) {
+            let mut merged = ColumnBuilder::new(format);
+            for window in cuts.windows(2) {
+                let partial = {
+                    let mut b = ColumnBuilder::new(format);
+                    b.push_slice(&values[window[0]..window[1]]);
+                    b.finish()
+                };
+                merged.append_column(&partial);
+            }
+            let direct = Column::compress(&values, &format);
+            assert_eq!(merged.finish(), direct, "format {format}");
+        }
+    }
+
+    #[test]
+    fn append_column_merges_rle_runs_across_the_seam() {
+        // A run spanning the splice point must re-merge (the serial builder
+        // would have counted it as one run).
+        let mut left = ColumnBuilder::new(Format::Rle);
+        left.push_slice(&[1, 1, 4, 4, 4]);
+        let right = {
+            let mut b = ColumnBuilder::new(Format::Rle);
+            b.push_slice(&[4, 4, 9]);
+            b.finish()
+        };
+        left.append_column(&right);
+        let direct = Column::compress(&[1, 1, 4, 4, 4, 4, 4, 9], &Format::Rle);
+        assert_eq!(left.finish(), direct);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The column data structure.
 
 use morph_compression::{
-    compress_main_part, for_each_decompressed_block, get_element, morph, uncompressed, Format,
+    chunk_directory, compress_main_part, for_each_decompressed_block,
+    for_each_decompressed_block_in, get_element, morph, uncompressed, ChunkEntry, Format,
 };
 
 use crate::builder::ColumnBuilder;
@@ -27,6 +28,12 @@ pub struct Column {
     main_bytes: usize,
     /// Main part bytes followed by the uncompressed remainder.
     data: Vec<u8>,
+    /// Seekable chunk directory of the main part, recorded at compression
+    /// time: per decodable chunk, the byte offset and logical start
+    /// ([`morph_compression::chunk_directory`]).  Deterministically derived
+    /// from `(format, data, main_len)`, so equal columns carry equal
+    /// directories and the derived `PartialEq` stays byte-identity.
+    chunks: Vec<ChunkEntry>,
 }
 
 // Columns are shared across the worker threads of the parallel plan executor
@@ -54,17 +61,12 @@ impl Column {
         let mut data = main;
         let main_bytes = data.len();
         uncompressed::encode_into(&values[main_len..], &mut data);
-        Column {
-            format: *format,
-            len: values.len(),
-            main_len,
-            main_bytes,
-            data,
-        }
+        Column::from_parts(*format, values.len(), main_len, main_bytes, data)
     }
 
-    /// Assemble a column from raw parts.  Used by [`ColumnBuilder`]; not part
-    /// of the public construction API.
+    /// Assemble a column from raw parts, recording the chunk directory of
+    /// the main part.  Used by [`ColumnBuilder`] and the morph fast path;
+    /// not part of the public construction API.
     pub(crate) fn from_parts(
         format: Format,
         len: usize,
@@ -74,12 +76,14 @@ impl Column {
     ) -> Column {
         debug_assert!(main_len <= len);
         debug_assert_eq!(data.len(), main_bytes + (len - main_len) * 8);
+        let chunks = chunk_directory(&format, &data[..main_bytes], main_len);
         Column {
             format,
             len,
             main_len,
             main_bytes,
             data,
+            chunks,
         }
     }
 
@@ -156,6 +160,106 @@ impl Column {
         }
     }
 
+    /// Number of seekable chunks of the column: the chunk-directory entries
+    /// of the compressed main part plus one final chunk for the uncompressed
+    /// remainder (if any).
+    ///
+    /// `for_each_chunk_in(0..chunk_count())` visits exactly the values of
+    /// [`Column::decompress`], and any contiguous partition of the chunk
+    /// range can be decoded independently — the raw material of
+    /// intra-operator parallelism.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len() + usize::from(self.remainder_len() > 0)
+    }
+
+    /// Logical index of the first data element of chunk `chunk`; the total
+    /// length for `chunk == chunk_count()` (end sentinel).
+    pub fn chunk_logical_start(&self, chunk: usize) -> usize {
+        assert!(chunk <= self.chunk_count(), "chunk {chunk} out of bounds");
+        match self.chunks.get(chunk) {
+            Some(entry) => entry.logical_start,
+            None if chunk == self.chunks.len() && self.remainder_len() > 0 => self.main_len,
+            None => self.len,
+        }
+    }
+
+    /// Visit the values of the seekable chunks `chunks` as cache-resident
+    /// uncompressed pieces, without decoding anything before the range.
+    ///
+    /// `consumer` receives, per piece, the global logical index of its first
+    /// element and the decoded values — so a worker processing an interior
+    /// chunk range can compute positions without knowing about the rest of
+    /// the column.  The union of any contiguous partition of
+    /// `0..chunk_count()` is exactly [`Column::decompress`], in order.
+    pub fn for_each_chunk_in(
+        &self,
+        chunks: std::ops::Range<usize>,
+        consumer: &mut dyn FnMut(u64, &[u64]),
+    ) {
+        assert!(
+            chunks.end <= self.chunk_count(),
+            "chunk range {chunks:?} exceeds {} chunks",
+            self.chunk_count()
+        );
+        let main_entries = self.chunks.len();
+        let main_end = chunks.end.min(main_entries);
+        if chunks.start < main_end {
+            let mut pos = self.chunks[chunks.start].logical_start as u64;
+            for_each_decompressed_block_in(
+                &self.format,
+                self.main_part_bytes(),
+                self.main_len,
+                &self.chunks,
+                chunks.start..main_end,
+                &mut |piece| {
+                    consumer(pos, piece);
+                    pos += piece.len() as u64;
+                },
+            );
+        }
+        if chunks.end > main_entries && chunks.start <= main_entries && self.remainder_len() > 0 {
+            let remainder = self.remainder_values();
+            consumer(self.main_len as u64, &remainder);
+        }
+    }
+
+    /// Partition `0..chunk_count()` into at most `parts` contiguous,
+    /// non-empty chunk ranges of roughly equal *logical* span (chunks vary
+    /// in logical size for RLE, so the split is balanced by element count,
+    /// not chunk count).
+    ///
+    /// Fewer ranges are returned when the column has fewer chunks than
+    /// requested parts; an empty column yields no ranges.
+    pub fn partition_chunks(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.chunk_count();
+        let parts = parts.max(1).min(n);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut bounds = vec![0usize];
+        for i in 1..parts {
+            let target = self.len * i / parts;
+            let mut lo = *bounds.last().expect("non-empty");
+            let mut hi = n;
+            // First chunk whose logical start reaches the target split point.
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.chunk_logical_start(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            bounds.push(lo);
+        }
+        bounds.push(n);
+        bounds
+            .windows(2)
+            .map(|w| w[0]..w[1])
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
     /// Random read access to the value at logical position `idx`.
     ///
     /// Returns `None` if `idx` is out of bounds *or* the format does not
@@ -196,13 +300,7 @@ impl Column {
             let mut data = main;
             let main_bytes = data.len();
             data.extend_from_slice(&self.data[self.main_bytes..]);
-            return Column {
-                format: *target,
-                len: self.len,
-                main_len: self.main_len,
-                main_bytes,
-                data,
-            };
+            return Column::from_parts(*target, self.len, self.main_len, main_bytes, data);
         }
         let mut builder = ColumnBuilder::new(*target);
         self.for_each_chunk(&mut |chunk| builder.push_slice(chunk));
@@ -319,7 +417,96 @@ mod tests {
         assert_eq!(column.size_used_bytes(), 0);
         assert_eq!(column.decompress(), Vec::<u64>::new());
         assert_eq!(column.get(0), None);
+        assert_eq!(column.chunk_count(), 0);
+        assert!(column.partition_chunks(4).is_empty());
         let morphed = column.to_format(&Format::Rle);
         assert!(morphed.is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_concatenate_to_decompress_for_all_formats() {
+        // 5003 elements: every 512-block format gets a remainder chunk.
+        let values = sample(5003);
+        let max = *values.iter().max().unwrap();
+        for format in Format::all_formats(max) {
+            let column = Column::compress(&values, &format);
+            let n = column.chunk_count();
+            assert_eq!(column.chunk_logical_start(0), 0, "format {format}");
+            assert_eq!(column.chunk_logical_start(n), values.len());
+            // Whole range == for_each_chunk == decompress, with correct
+            // logical starts per piece.
+            let mut collected = Vec::new();
+            column.for_each_chunk_in(0..n, &mut |start, chunk| {
+                assert_eq!(start as usize, collected.len(), "format {format}");
+                collected.extend_from_slice(chunk);
+            });
+            assert_eq!(collected, values, "format {format}");
+            // Every contiguous two-way split concatenates to the same.
+            for split in [1, n / 2, n - 1] {
+                let mut parts = Vec::new();
+                column.for_each_chunk_in(0..split, &mut |_, c| parts.extend_from_slice(c));
+                column.for_each_chunk_in(split..n, &mut |_, c| parts.extend_from_slice(c));
+                assert_eq!(parts, values, "format {format}, split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_chunk_ranges_decode_without_the_prefix() {
+        let values = sample(10_000);
+        let column = Column::compress(&values, &Format::DeltaDynBp);
+        let n = column.chunk_count();
+        assert!(n > 4);
+        let start = column.chunk_logical_start(2);
+        let end = column.chunk_logical_start(4);
+        let mut collected = Vec::new();
+        column.for_each_chunk_in(2..4, &mut |pos, chunk| {
+            assert!(pos as usize >= start);
+            collected.extend_from_slice(chunk);
+        });
+        assert_eq!(collected, values[start..end], "interior range");
+    }
+
+    #[test]
+    fn partition_chunks_covers_everything_in_order() {
+        let values = sample(9000);
+        for format in [Format::DynBp, Format::Rle, Format::Uncompressed] {
+            let column = Column::compress(&values, &format);
+            for parts in [1, 2, 3, 8, 100] {
+                let ranges = column.partition_chunks(parts);
+                assert!(ranges.len() <= parts, "format {format}");
+                assert!(!ranges.is_empty());
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, column.chunk_count());
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                }
+                let mut collected = Vec::new();
+                for range in &ranges {
+                    column.for_each_chunk_in(range.clone(), &mut |_, c| {
+                        collected.extend_from_slice(c)
+                    });
+                }
+                assert_eq!(collected, values, "format {format}, {parts} parts");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_directory_groups_runs_and_long_runs_stream_bounded() {
+        // Long runs: the directory must still seek to run boundaries and the
+        // decoded pieces stay cache-resident.
+        let mut values = vec![7u64; 10_000];
+        values.extend((0..5000u64).map(|i| i % 3));
+        let column = Column::compress(&values, &Format::Rle);
+        assert!(column.chunk_count() >= 2);
+        let mut max_piece = 0usize;
+        let mut collected = Vec::new();
+        column.for_each_chunk_in(0..column.chunk_count(), &mut |_, chunk| {
+            max_piece = max_piece.max(chunk.len());
+            collected.extend_from_slice(chunk);
+        });
+        assert_eq!(collected, values);
+        assert!(max_piece <= 2048);
     }
 }

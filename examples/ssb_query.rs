@@ -23,6 +23,14 @@ fn main() {
     // `threads`: 1 runs the serial executor, > 1 the dependency-driven
     // parallel executor (independent plan subtrees overlap on multi-core
     // hosts; results and footprint records are identical either way).
+    //
+    // `morsel_threshold` additionally enables *intra*-operator parallelism:
+    // any select / project / semi-join / sum whose input reaches the
+    // threshold is split into chunk-range morsels processed by several
+    // workers and spliced back byte-identically.  This is what makes the
+    // single-chain Q1.x plans — which have no independent subtrees — scale
+    // with threads; 64 Ki elements is a sensible default (a few cache
+    // buffers of work per part).
     let configurations = [
         (
             "scalar, uncompressed",
@@ -48,6 +56,13 @@ fn main() {
         (
             "vectorized, compressed, 4 thr",
             ExecSettings::vectorized_compressed(),
+            &compressed_data,
+            Format::DynBp,
+            4,
+        ),
+        (
+            "vect., compr., 4 thr + morsels",
+            ExecSettings::vectorized_compressed().with_morsel_threshold(64 * 1024),
             &compressed_data,
             Format::DynBp,
             4,

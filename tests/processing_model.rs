@@ -40,7 +40,11 @@ proptest! {
             let input = Column::compress(&values, &format);
             for degree in IntegrationDegree::all() {
                 for style in [ProcessingStyle::Scalar, ProcessingStyle::Vectorized] {
-                    let settings = ExecSettings { style, degree };
+                    let settings = ExecSettings {
+                        style,
+                        degree,
+                        ..ExecSettings::default()
+                    };
                     let out = select(CmpOp::Le, &input, constant, &Format::DeltaDynBp, &settings);
                     prop_assert_eq!(out.decompress(), reference.clone(),
                         "format {} degree {:?} style {:?}", format, degree, style);
@@ -55,7 +59,11 @@ proptest! {
         for format in formats_for(&values) {
             let input = Column::compress(&values, &format);
             for degree in IntegrationDegree::all() {
-                let settings = ExecSettings { style: ProcessingStyle::Vectorized, degree };
+                let settings = ExecSettings {
+                    style: ProcessingStyle::Vectorized,
+                    degree,
+                    ..ExecSettings::default()
+                };
                 prop_assert_eq!(agg_sum(&input, &settings), expected, "format {}", format);
             }
         }
@@ -74,6 +82,59 @@ proptest! {
             let restored = project(&data, &all, &Format::DynBp, &settings);
             prop_assert_eq!(restored.decompress(), values.clone());
         }
+    }
+
+    #[test]
+    fn partitioned_kernels_equal_their_serial_operators(
+        values in arbitrary_values(),
+        parts in 1usize..9,
+        constant in 0u64..2000,
+    ) {
+        // Intra-operator parallelism must be invisible: processing any
+        // chunk partition of the input and splicing the partials in range
+        // order reproduces the serial operator byte for byte.
+        use morphstore::engine::ops::partitioned::{
+            agg_sum_part, concat_partials, partition, project_part, select_part,
+        };
+        let settings = ExecSettings::vectorized_compressed();
+        for format in formats_for(&values) {
+            let input = Column::compress(&values, &format);
+            let ranges = partition(&input, parts);
+            prop_assert_eq!(
+                ranges.iter().map(|r| r.len()).sum::<usize>(),
+                input.chunk_count(),
+                "format {}", format
+            );
+
+            let serial = select(CmpOp::Le, &input, constant, &Format::DeltaDynBp, &settings);
+            let partials: Vec<Column> = ranges.iter()
+                .map(|r| select_part(CmpOp::Le, &input, constant, r.clone(),
+                    &Format::DeltaDynBp, settings.style))
+                .collect();
+            prop_assert_eq!(
+                concat_partials(&Format::DeltaDynBp, &partials), serial,
+                "select, format {}", format
+            );
+
+            let expected_sum = agg_sum(&input, &settings);
+            let total = ranges.iter()
+                .map(|r| agg_sum_part(&input, r.clone(), settings.style))
+                .fold(0u64, u64::wrapping_add);
+            prop_assert_eq!(total, expected_sum, "sum, format {}", format);
+        }
+        // Project: partition the position list, gather from static BP data.
+        let data = Column::compress(
+            &values,
+            &Format::static_bp_for_max(values.iter().copied().max().unwrap_or(0)),
+        );
+        let position_values: Vec<u64> =
+            (0..values.len() as u64).filter(|p| p % 3 == 0).collect();
+        let positions = Column::compress(&position_values, &Format::DeltaDynBp);
+        let serial = project(&data, &positions, &Format::DynBp, &settings);
+        let partials: Vec<Column> = partition(&positions, parts).iter()
+            .map(|r| project_part(&data, &positions, r.clone(), &Format::DynBp))
+            .collect();
+        prop_assert_eq!(concat_partials(&Format::DynBp, &partials), serial, "project");
     }
 
     #[test]
