@@ -16,22 +16,32 @@
 //! dimension subtrees are independent); the single-chain Q1.x plans are
 //! flat without morsels and only scale through the intra-operator path.
 //!
+//! After the parallel sweeps, a **cold-vs-warm repeated-run workload**
+//! measures the plan-level cache: all 13 queries share one `QueryCache`
+//! (512 MiB budget), each query is run once cold (populating) and then
+//! `runs` times warm; the warm best-of, the hit rate over the warm lookups
+//! and the cold/warm speedup are recorded — the serving profile of heavy
+//! repeated traffic, where identical subplans are never recomputed.
+//!
 //! Output: a CSV table on stdout plus the machine-readable `BENCH_ssb.json`
 //! (path overridable via the `MORPH_BENCH_JSON` environment variable) with
-//! per-query serial, parallel and morsel-sweep wall-clock in nanoseconds —
-//! the document a CI step can archive and diff across commits.
+//! per-query serial, parallel, morsel-sweep and cache-workload wall-clock
+//! in nanoseconds — the document a CI step can archive and diff across
+//! commits.
 //!
 //! Usual harness flags apply: `--scale-factor`, `--runs`, `--seed`.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use morph_bench::{
-    fmt_ms, print_header, print_row, ssb_speedup_json, HarnessArgs, MorselSweep, SpeedupRow,
+    fmt_ms, print_header, print_row, ssb_speedup_json, CacheRow, HarnessArgs, MorselSweep,
+    SpeedupRow,
 };
 use morph_compression::Format;
 use morph_ssb::{dbgen, SsbQuery};
 use morphstore_engine::exec::FormatConfig;
-use morphstore_engine::{ExecSettings, ExecutionContext};
+use morphstore_engine::{ExecSettings, ExecutionContext, QueryCache};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const MORSEL_THRESHOLDS: [usize; 2] = [64 * 1024, 256 * 1024];
@@ -82,13 +92,25 @@ fn main() {
             header.push(format!("{tag}_x{threads}"));
         }
     }
+    for column in [
+        "cache_cold_ms",
+        "cache_warm_ms",
+        "cache_warm_x",
+        "cache_hit_rate",
+    ] {
+        header.push(column.to_string());
+    }
     print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
 
+    // One cache shared by all queries: structurally identical subplans are
+    // shared across them, exactly like a server handling repeated traffic.
+    let cache = Arc::new(QueryCache::with_budget(512 * 1024 * 1024));
     let mut rows = Vec::new();
+    let mut cache_rows = Vec::new();
     for query in SsbQuery::all() {
         let serial_settings = ExecSettings::vectorized_compressed();
         let (serial, serial_result) = best_of(args.runs, || {
-            let mut ctx = ExecutionContext::new(serial_settings, formats.clone());
+            let mut ctx = ExecutionContext::new(serial_settings.clone(), formats.clone());
             query.execute(&data, &mut ctx)
         });
         let mut row = vec![query.label().to_string(), fmt_ms(serial)];
@@ -102,7 +124,7 @@ fn main() {
             let mut timings = Vec::new();
             for threads in THREAD_COUNTS {
                 let (elapsed, result) = best_of(args.runs, || {
-                    let mut ctx = ExecutionContext::new(settings, formats.clone());
+                    let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
                     query.execute_parallel(&data, &mut ctx, threads)
                 });
                 assert_eq!(
@@ -125,6 +147,48 @@ fn main() {
                 }),
             }
         }
+        // Cold-vs-warm repeated-run workload: first run populates the
+        // shared cache, the warm best-of is served from it.
+        let cached_settings = ExecSettings::vectorized_compressed().with_cache(Arc::clone(&cache));
+        let cold_started = Instant::now();
+        let cold_result = {
+            let mut ctx = ExecutionContext::new(cached_settings.clone(), formats.clone());
+            query.execute(&data, &mut ctx)
+        };
+        let cold = cold_started.elapsed();
+        assert_eq!(
+            cold_result, serial_result,
+            "{query}: cold cached run diverged"
+        );
+        let warm_started_stats = cache.stats();
+        let (warm, warm_result) = best_of(args.runs, || {
+            let mut ctx = ExecutionContext::new(cached_settings.clone(), formats.clone());
+            query.execute(&data, &mut ctx)
+        });
+        assert_eq!(
+            warm_result, serial_result,
+            "{query}: warm cached run diverged"
+        );
+        let warm_stats = cache.stats();
+        let lookups = (warm_stats.hits + warm_stats.misses)
+            - (warm_started_stats.hits + warm_started_stats.misses);
+        let hit_rate = if lookups > 0 {
+            (warm_stats.hits - warm_started_stats.hits) as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        let cache_row = CacheRow {
+            query: query.label().to_string(),
+            cold,
+            warm,
+            hit_rate,
+        };
+        row.push(fmt_ms(cold));
+        row.push(fmt_ms(warm));
+        row.push(format!("{:.2}", cache_row.warm_speedup()));
+        row.push(format!("{hit_rate:.3}"));
+        cache_rows.push(cache_row);
+
         print_row(&row);
         rows.push(SpeedupRow {
             query: query.label().to_string(),
@@ -140,7 +204,7 @@ fn main() {
     let json_path = std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ssb.json").to_string()
     });
-    let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows);
+    let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows, &cache_rows);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(err) => eprintln!("could not write {json_path}: {err}"),
@@ -175,6 +239,26 @@ fn main() {
             best_morsel,
         );
     }
+    // Cache-workload summary: the acceptance numbers of the repeated-run
+    // profile (warm speedup needs no extra cores — a hit skips the work).
+    let total_cold: f64 = cache_rows.iter().map(|r| r.cold.as_secs_f64()).sum();
+    let total_warm: f64 = cache_rows.iter().map(|r| r.warm.as_secs_f64()).sum();
+    let mean_hit_rate: f64 =
+        cache_rows.iter().map(|r| r.hit_rate).sum::<f64>() / cache_rows.len().max(1) as f64;
+    eprintln!(
+        "plan cache: warm runs {:.2}x faster than cold over all 13 queries \
+         (cold {:.3} ms, warm {:.3} ms), mean warm hit rate {:.1}%, {} entries / {:.1} MiB used",
+        if total_warm > 0.0 {
+            total_cold / total_warm
+        } else {
+            0.0
+        },
+        total_cold * 1e3,
+        total_warm * 1e3,
+        mean_hit_rate * 100.0,
+        cache.stats().entries,
+        cache.bytes_used() as f64 / (1024.0 * 1024.0),
+    );
     eprintln!(
         "note: speedups > 1 require multiple CPU cores; this host exposes {}",
         std::thread::available_parallelism()

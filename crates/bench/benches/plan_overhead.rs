@@ -30,13 +30,13 @@ fn bench_plan_overhead(c: &mut Criterion) {
 
     group.bench_function("direct", |b| {
         b.iter(|| {
-            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
             query.execute_direct(&data, &mut ctx)
         })
     });
     group.bench_function("plan", |b| {
         b.iter(|| {
-            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
             query.execute(&data, &mut ctx)
         })
     });

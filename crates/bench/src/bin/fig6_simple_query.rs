@@ -41,7 +41,7 @@ fn run_simple_query(
         degree: config.degree,
         ..ExecSettings::default()
     };
-    let mut ctx = ExecutionContext::new(settings, FormatConfig::uncompressed());
+    let mut ctx = ExecutionContext::new(settings.clone(), FormatConfig::uncompressed());
     let start = Instant::now();
     let x_base = x.to_format(&config.base);
     let y_base = y.to_format(&config.base);

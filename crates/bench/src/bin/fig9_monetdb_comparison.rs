@@ -63,7 +63,7 @@ fn main() {
     for query in SsbQuery::all() {
         let best = runtime_cost_based_config(query, &data);
         let mut reference_rows = None;
-        for (label, settings) in series {
+        for (label, settings) in series.clone() {
             let (base, config) = match label {
                 "morphstore vectorized compressed" => (apply_to_base(&data, &best), best.clone()),
                 "monetdb-like scalar narrow types" => (

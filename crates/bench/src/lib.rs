@@ -135,7 +135,7 @@ pub fn measure_query(
     let mut last: Option<(QueryResult, ExecutionContext)> = None;
     for _ in 0..runs.max(1) {
         let start = Instant::now();
-        let outcome = run_query_once(query, data, settings, formats, false);
+        let outcome = run_query_once(query, data, settings.clone(), formats, false);
         total += start.elapsed();
         last = Some(outcome);
     }
@@ -183,6 +183,23 @@ pub fn strategy_config(
     strategy: FormatSelectionStrategy,
 ) -> FormatConfig {
     strategy.build_config_for_plan(&query.plan(), &assignable_columns(query, data))
+}
+
+/// Memoised variant of [`strategy_config`]: the decision is replayed from
+/// the plan-level `cache` when the same plan shape with the same column
+/// statistics was decided before (see `morph_cost::cached_config_for_plan`).
+pub fn strategy_config_cached(
+    query: SsbQuery,
+    data: &SsbData,
+    strategy: FormatSelectionStrategy,
+    cache: &morph_cache::QueryCache,
+) -> FormatConfig {
+    morph_cost::cached_config_for_plan(
+        cache,
+        strategy,
+        &query.plan(),
+        &assignable_columns(query, data),
+    )
 }
 
 /// Cost-based per-column format selection with the *runtime* objective —
@@ -236,6 +253,33 @@ pub struct MorselSweep {
     pub parallel: Vec<Duration>,
 }
 
+/// One SSB query's cold-vs-warm plan-cache measurement: the first
+/// (populating) run against a shared `QueryCache`, the best warm repeat,
+/// and the warm phase's observed hit rate.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Query label ("1.1" … "4.3").
+    pub query: String,
+    /// Wall clock of the first cached run (inserts subplan results).
+    pub cold: Duration,
+    /// Best wall clock of the warm repeats (served from the cache).
+    pub warm: Duration,
+    /// Cache hit rate over the warm repeats' lookups (0.0–1.0).
+    pub hit_rate: f64,
+}
+
+impl CacheRow {
+    /// Cold runtime over warm runtime (the repeated-traffic speedup).
+    pub fn warm_speedup(&self) -> f64 {
+        let warm = self.warm.as_secs_f64();
+        if warm > 0.0 {
+            self.cold.as_secs_f64() / warm
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One SSB query's wall-clock measurements for the machine-readable bench
 /// report: serial runtime, one parallel runtime per swept thread count
 /// (morsels off), and one sweep row per morsel threshold.
@@ -266,12 +310,20 @@ fn ns_list(durations: &[Duration]) -> String {
 ///
 /// Schema: `{benchmark, scale_factor, seed, runs, threads: [..],
 /// morsel_thresholds: [..], queries: [{query, serial_ns, parallel_ns: [..],
-/// morsel_parallel_ns: [[..], ..], best_speedup}]}` with durations in
-/// integer nanoseconds, so CI tooling can diff runs without parsing the
+/// morsel_parallel_ns: [[..], ..], best_speedup}], cache: [{query, cold_ns,
+/// warm_ns, warm_speedup, hit_rate}]}` with durations in integer
+/// nanoseconds, so CI tooling can diff runs without parsing the
 /// human-readable CSV.  `morsel_parallel_ns` holds one inner list per entry
 /// of `morsel_thresholds`, each aligned with `threads`; `best_speedup` is
-/// the serial runtime over the fastest parallel run of any configuration.
-pub fn ssb_speedup_json(args: &HarnessArgs, threads: &[usize], rows: &[SpeedupRow]) -> String {
+/// the serial runtime over the fastest parallel run of any configuration;
+/// `cache` holds the cold-vs-warm repeated-run workload against a shared
+/// plan cache (empty when the workload was not measured).
+pub fn ssb_speedup_json(
+    args: &HarnessArgs,
+    threads: &[usize],
+    rows: &[SpeedupRow],
+    cache_rows: &[CacheRow],
+) -> String {
     let threads_json: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
     let thresholds: Vec<usize> = rows
         .first()
@@ -308,16 +360,32 @@ pub fn ssb_speedup_json(args: &HarnessArgs, threads: &[usize], rows: &[SpeedupRo
             )
         })
         .collect();
+    let cache: Vec<String> = cache_rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"query\": \"{}\", \"cold_ns\": {}, \"warm_ns\": {}, \
+                 \"warm_speedup\": {:.4}, \"hit_rate\": {:.4}}}",
+                row.query,
+                row.cold.as_nanos(),
+                row.warm.as_nanos(),
+                row.warm_speedup(),
+                row.hit_rate
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"scale_factor\": {},\n  \
          \"seed\": {},\n  \"runs\": {},\n  \"threads\": [{}],\n  \
-         \"morsel_thresholds\": [{}],\n  \"queries\": [\n{}\n  ]\n}}\n",
+         \"morsel_thresholds\": [{}],\n  \"queries\": [\n{}\n  ],\n  \
+         \"cache\": [\n{}\n  ]\n}}\n",
         args.scale_factor,
         args.seed,
         args.runs,
         threads_json.join(", "),
         thresholds_json.join(", "),
-        queries.join(",\n")
+        queries.join(",\n"),
+        cache.join(",\n")
     )
 }
 
@@ -368,7 +436,13 @@ mod tests {
                 },
             ],
         }];
-        let json = ssb_speedup_json(&args, &[1, 2], &rows);
+        let cache_rows = vec![CacheRow {
+            query: "4.1".to_string(),
+            cold: Duration::from_micros(100),
+            warm: Duration::from_micros(10),
+            hit_rate: 0.975,
+        }];
+        let json = ssb_speedup_json(&args, &[1, 2], &rows, &cache_rows);
         assert!(json.contains("\"benchmark\": \"ssb_parallel_speedup\""));
         assert!(json.contains("\"threads\": [1, 2]"));
         assert!(json.contains("\"morsel_thresholds\": [65536, 262144]"));
@@ -378,6 +452,11 @@ mod tests {
         assert!(json.contains("\"morsel_parallel_ns\": [[99000, 40000], [100000, 45000]]"));
         // Best over every configuration: 100µs / 40µs.
         assert!(json.contains("\"best_speedup\": 2.5000"));
+        // The cold-vs-warm cache workload: 100µs / 10µs.
+        assert!(json.contains("\"cold_ns\": 100000"));
+        assert!(json.contains("\"warm_ns\": 10000"));
+        assert!(json.contains("\"warm_speedup\": 10.0000"));
+        assert!(json.contains("\"hit_rate\": 0.9750"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the dependency-free environment.
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -1,0 +1,73 @@
+//! Property-based tests of the cache's eviction invariants: under random
+//! insert / lookup / invalidation sequences the byte budget is never
+//! exceeded, the statistics stay consistent, and every hit returns exactly
+//! the bytes that were inserted under the key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use morph_cache::{CacheKey, CachedValue, QueryCache};
+use morph_storage::Column;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn byte_budget_and_hit_identity_hold_under_random_operations(
+        budget in 64usize..40_000,
+        ops in prop::collection::vec(
+            (0u64..4, 0u64..24, 1usize..1200, 0u64..10_000_000),
+            1..120,
+        ),
+    ) {
+        let cache = QueryCache::with_budget(budget);
+        // Model of what each key was last *successfully* inserted with.
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (kind, key_id, size, benefit) in ops {
+            let key = CacheKey(key_id as u128);
+            let dep = format!("col{}", key_id % 4);
+            match kind {
+                // Insert a column derived deterministically from the key.
+                0 | 3 => {
+                    let values: Vec<u64> = (0..size as u64)
+                        .map(|i| i.wrapping_mul(key_id + 1))
+                        .collect();
+                    let column = Column::from_slice(&values);
+                    let stored = cache.insert(
+                        key,
+                        CachedValue::Column(Arc::new(column)),
+                        Duration::from_nanos(benefit),
+                        std::slice::from_ref(&dep),
+                    );
+                    if stored {
+                        model.insert(key_id, values);
+                    }
+                    // A rejected (oversized) insert leaves any existing
+                    // entry under the key untouched — the model keeps it.
+                }
+                // Lookup: a hit must be byte-identical to what was inserted.
+                1 => {
+                    if let Some(CachedValue::Column(column)) = cache.lookup(&key) {
+                        let expected = model.get(&key_id);
+                        prop_assert!(expected.is_some(), "hit on never-inserted key");
+                        prop_assert_eq!(&column.decompress(), expected.unwrap());
+                    }
+                }
+                // Invalidate one base column: all dependent keys must drop.
+                _ => {
+                    cache.bump_generation(&dep);
+                    model.retain(|id, _| id % 4 != key_id % 4);
+                    prop_assert!(cache.lookup(&key).is_none());
+                }
+            }
+            // The hard invariants, after every single operation.
+            prop_assert!(cache.bytes_used() <= cache.budget_bytes());
+            let stats = cache.stats();
+            prop_assert_eq!(stats.bytes_used, cache.bytes_used());
+            prop_assert_eq!(stats.entries, cache.len());
+            prop_assert!(stats.entries <= 24);
+        }
+    }
+}

@@ -12,8 +12,10 @@
 //! evaluation reports (Figures 6–10).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use morph_cache::QueryCache;
 use morph_compression::Format;
 use morph_storage::Column;
 use morph_vector::ProcessingStyle;
@@ -64,21 +66,46 @@ impl IntegrationDegree {
     }
 }
 
-/// How operators execute: processing style (scalar vs. vectorized) and degree
-/// of integration of compression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// How operators execute: processing style (scalar vs. vectorized), degree
+/// of integration of compression, intra-operator parallelism, and the
+/// optional cross-query plan cache.
+#[derive(Debug, Clone, Default)]
 pub struct ExecSettings {
     /// Scalar or vectorized operator cores.
     pub style: ProcessingStyle,
     /// Degree of integrating compression into the operators.
     pub degree: IntegrationDegree,
     /// Minimum input length (in data elements) above which the parallel
-    /// executor splits a single hot operator (select, project, semi-join
-    /// probe, whole-column sum) into chunk-range *morsels* processed by
-    /// several workers.  `None` (the default) disables intra-operator
-    /// parallelism; the serial executor ignores the setting entirely.
+    /// executor splits a single hot operator (select, select-between,
+    /// project, semi-join probe, calc, sorted intersection, whole-column
+    /// sum) into chunk-range *morsels* processed by several workers.
+    /// `None` (the default) disables intra-operator parallelism; the serial
+    /// executor ignores the setting entirely.
     pub morsel_threshold: Option<usize>,
+    /// Cross-query plan-level cache consulted by both executors before a
+    /// node is scheduled: a hit completes the node without running the
+    /// operator, a miss inserts the node's result on completion.  `None`
+    /// (the default) disables caching.  The handle is shared — clone the
+    /// settings (or the `Arc`) to let several queries populate one cache.
+    pub cache: Option<Arc<QueryCache>>,
 }
+
+/// Settings compare by configuration; the cache handle compares by identity
+/// (two settings sharing one cache are equal, two distinct caches are not).
+impl PartialEq for ExecSettings {
+    fn eq(&self, other: &Self) -> bool {
+        self.style == other.style
+            && self.degree == other.degree
+            && self.morsel_threshold == other.morsel_threshold
+            && match (&self.cache, &other.cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for ExecSettings {}
 
 impl ExecSettings {
     /// Scalar processing on uncompressed data — the configuration the paper
@@ -117,6 +144,15 @@ impl ExecSettings {
     /// .with_morsel_threshold(64 * 1024)`).
     pub fn with_morsel_threshold(mut self, threshold: usize) -> ExecSettings {
         self.morsel_threshold = Some(threshold);
+        self
+    }
+
+    /// The same settings with the given cross-query plan cache attached
+    /// (builder style).  Both executors consult the cache before running a
+    /// node and insert results on completion; warm runs return byte-identical
+    /// results and bookkeeping to cold runs.
+    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> ExecSettings {
+        self.cache = Some(cache);
         self
     }
 }
@@ -212,6 +248,7 @@ pub struct NodeRecords {
     timings: Vec<(String, Duration)>,
     captured: Vec<(String, Column)>,
     capture: bool,
+    cache_hits: usize,
 }
 
 impl NodeRecords {
@@ -260,9 +297,27 @@ impl NodeRecords {
 
     /// Record an externally measured duration under `op_name` — used by the
     /// morsel path, where one operator's wall clock spans several workers
-    /// and cannot be measured around a single closure.
+    /// and cannot be measured around a single closure, and by the cache-hit
+    /// path, where the recorded duration is the lookup time.
     pub fn push_timing(&mut self, op_name: &str, elapsed: Duration) {
         self.timings.push((op_name.to_string(), elapsed));
+    }
+
+    /// The duration of the most recent timing record — the node's measured
+    /// runtime, which becomes the eviction *benefit* of its cache entry.
+    pub fn last_duration(&self) -> Duration {
+        self.timings
+            .last()
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Flag this node as served from the plan-level cache.  The footprint
+    /// and timing records stay identical to an executed node (that is the
+    /// warm-run determinism guarantee); the flag keeps the accounting
+    /// honest by making hits countable.
+    pub fn note_cache_hit(&mut self) {
+        self.cache_hits += 1;
     }
 }
 
@@ -282,6 +337,7 @@ pub struct ExecutionContext {
     timings: Vec<(String, Duration)>,
     capture: bool,
     captured: HashMap<String, Column>,
+    cache_hits: usize,
 }
 
 impl ExecutionContext {
@@ -294,6 +350,7 @@ impl ExecutionContext {
             timings: Vec::new(),
             capture: false,
             captured: HashMap::new(),
+            cache_hits: 0,
         }
     }
 
@@ -385,6 +442,14 @@ impl ExecutionContext {
         if self.capture {
             self.captured.extend(node.captured);
         }
+        self.cache_hits += node.cache_hits;
+    }
+
+    /// Number of plan nodes this execution served from the plan-level cache
+    /// (0 without a cache).  Footprint and timing records are identical for
+    /// hit and executed nodes; this counter is the explicit hit flag.
+    pub fn cache_hit_count(&self) -> usize {
+        self.cache_hits
     }
 
     /// All recorded columns.

@@ -53,8 +53,14 @@
 //! walk.  With [`ExecSettings::morsel_threshold`] set it additionally
 //! splits single large operators into chunk-range morsels over the
 //! columns' seekable chunk directories ([`ops::partitioned`]), spliced
-//! back byte-identically.  See DESIGN.md for how the plan layer sits on
-//! top of the three-layer operator architecture.
+//! back byte-identically.  With an [`ExecSettings::cache`] handle set,
+//! both executors additionally consult the cross-query plan-level
+//! [`QueryCache`] (`morph-cache`): every non-scan node is keyed by a
+//! canonical fingerprint of the subplan rooted at it, a hit completes the
+//! node without running the operator — with footprint and timing records
+//! identical to an execution — and a miss inserts the result for the next
+//! query.  See DESIGN.md for how the plan layer sits on top of the
+//! three-layer operator architecture.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -65,6 +71,7 @@ pub mod plan;
 pub mod specialized;
 
 pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
+pub use morph_cache::{CacheKey, CacheStats, QueryCache};
 pub use morph_vector::kernels::BinaryOp;
 pub use morph_vector::ProcessingStyle;
 pub use ops::agg::{agg_max, agg_sum, agg_sum_grouped};

@@ -17,13 +17,17 @@ use crate::ops::zip_chunks;
 /// The result of a grouping: per-row group identifiers and, per group, the
 /// position of its first occurrence (the "extents" in MonetDB terminology,
 /// used to look up the group's key values for the final result).
+///
+/// The two output columns are `Arc`-shared so the plan-level cache can
+/// retain and serve a grouping without copying column bytes (consumers take
+/// `&Column` and deref transparently).
 #[derive(Debug, Clone)]
 pub struct GroupResult {
     /// For every input row, the dense identifier (`0..group_count`) of its
     /// group, in input order.
-    pub group_ids: Column,
+    pub group_ids: std::sync::Arc<Column>,
     /// For every group, the position of its first occurrence in the input.
-    pub representatives: Column,
+    pub representatives: std::sync::Arc<Column>,
     /// Number of distinct groups.
     pub group_count: usize,
 }
@@ -37,8 +41,8 @@ fn finish_outputs(
     let group_count = reps.len();
     if settings.degree == IntegrationDegree::PurelyUncompressed {
         return GroupResult {
-            group_ids: Column::from_vec(ids),
-            representatives: Column::from_vec(reps),
+            group_ids: std::sync::Arc::new(Column::from_vec(ids)),
+            representatives: std::sync::Arc::new(Column::from_vec(reps)),
             group_count,
         };
     }
@@ -47,8 +51,8 @@ fn finish_outputs(
     let mut rep_builder = ColumnBuilder::new(*out_formats.1);
     rep_builder.push_slice(&reps);
     GroupResult {
-        group_ids: id_builder.finish(),
-        representatives: rep_builder.finish(),
+        group_ids: std::sync::Arc::new(id_builder.finish()),
+        representatives: std::sync::Arc::new(rep_builder.finish()),
         group_count,
     }
 }

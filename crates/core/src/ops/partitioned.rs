@@ -29,6 +29,9 @@ use std::ops::Range;
 
 use morph_compression::Format;
 use morph_storage::{Column, ColumnBuilder};
+use morph_vector::emu::V512;
+use morph_vector::kernels::{self, BinaryOp};
+use morph_vector::scalar::Scalar;
 use morph_vector::ProcessingStyle;
 
 use crate::exec::{ExecSettings, IntegrationDegree};
@@ -171,6 +174,98 @@ pub fn agg_sum_part(input: &Column, chunks: Range<usize>, style: ProcessingStyle
     total
 }
 
+/// Partial element-wise calculation: `lhs[i] op rhs[i]` for the logical
+/// span of the chunk range `chunks` of `lhs` (the partitioned
+/// [`crate::calc_binary`]).
+///
+/// `lhs` is streamed by its own chunk directory; the *aligned logical
+/// range* of `rhs` is pulled through [`Column::for_each_logical_range`]
+/// into a transient part-local buffer — the partitioned analogue of the
+/// serial operator's pairwise buffer (`zip_chunks`), bounded by the part's
+/// span instead of the whole column.
+pub fn calc_binary_part(
+    op: BinaryOp,
+    lhs: &Column,
+    rhs: &Column,
+    chunks: Range<usize>,
+    format: &Format,
+    style: ProcessingStyle,
+) -> Column {
+    assert_eq!(
+        lhs.logical_len(),
+        rhs.logical_len(),
+        "position-wise operators require equally long inputs"
+    );
+    let start = lhs.chunk_logical_start(chunks.start);
+    let end = lhs.chunk_logical_start(chunks.end);
+    let mut rhs_values: Vec<u64> = Vec::with_capacity(end - start);
+    rhs.for_each_logical_range(start..end, &mut |piece| rhs_values.extend_from_slice(piece));
+    let mut builder = ColumnBuilder::new(*format);
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut offset = 0usize;
+    lhs.for_each_chunk_in(chunks, &mut |_, chunk| {
+        scratch.clear();
+        let rhs_chunk = &rhs_values[offset..offset + chunk.len()];
+        match style {
+            ProcessingStyle::Scalar => {
+                kernels::binary_op::<Scalar>(op, chunk, rhs_chunk, &mut scratch)
+            }
+            ProcessingStyle::Vectorized => {
+                kernels::binary_op::<V512>(op, chunk, rhs_chunk, &mut scratch)
+            }
+        }
+        builder.push_slice(&scratch);
+        offset += chunk.len();
+    });
+    builder.finish()
+}
+
+/// The decompressed (sorted) values of the buffered side of a partitioned
+/// sorted intersection, built once by the coordinator and shared by all
+/// parts — the analogue of [`build_semi_join_set`] for ordered merging.
+pub fn sorted_values(column: &Column) -> Vec<u64> {
+    column.decompress()
+}
+
+/// Partial sorted intersection: the values of the chunk range `chunks` of
+/// `a` that also occur in the shared sorted `b` (the partitioned
+/// [`crate::intersect_sorted`]).
+///
+/// Each part seeks its starting cursor into `b` by binary search on the
+/// part's first value and merge-walks from there, so a part costs its share
+/// of `a` plus the matching span of `b`.  Both position lists are strictly
+/// increasing, so concatenating the partials of a contiguous partition in
+/// range order yields exactly the serial intersection.
+pub fn intersect_sorted_part(
+    a: &Column,
+    b: &[u64],
+    chunks: Range<usize>,
+    format: &Format,
+) -> Column {
+    let mut builder = ColumnBuilder::new(*format);
+    let mut cursor: Option<usize> = None;
+    a.for_each_chunk_in(chunks, &mut |_, chunk| {
+        let Some(&first) = chunk.first() else {
+            return;
+        };
+        let mut i = match cursor {
+            Some(i) => i,
+            None => b.partition_point(|&value| value < first),
+        };
+        for &value in chunk {
+            while i < b.len() && b[i] < value {
+                i += 1;
+            }
+            if i < b.len() && b[i] == value {
+                builder.push(value);
+                i += 1;
+            }
+        }
+        cursor = Some(i);
+    });
+    builder.finish()
+}
+
 /// Splice the partial columns of a contiguous chunk partition — in range
 /// order — into one column in `format`.
 ///
@@ -270,6 +365,84 @@ mod tests {
         let partials: Vec<Column> = partition(&probe, 5)
             .iter()
             .map(|r| semi_join_part(&probe, &set, r.clone(), &Format::DeltaDynBp))
+            .collect();
+        assert_eq!(concat_partials(&Format::DeltaDynBp, &partials), serial);
+    }
+
+    #[test]
+    fn partitioned_calc_is_byte_identical_to_serial_for_all_formats() {
+        let lhs_values = sample(18_000);
+        let rhs_values: Vec<u64> = (0..18_000u64).map(|i| (i * 31) % 4000 + 1).collect();
+        let settings = ExecSettings::vectorized_compressed();
+        for lhs_format in Format::all_formats(999) {
+            let lhs = Column::compress(&lhs_values, &lhs_format);
+            // The right operand deliberately carries a different chunk grid.
+            let rhs = Column::compress(&rhs_values, &Format::DeltaDynBp);
+            for out_format in [Format::DynBp, Format::Rle, Format::DeltaDynBp] {
+                for op in [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul] {
+                    let serial = crate::calc_binary(op, &lhs, &rhs, &out_format, &settings);
+                    for parts in [1, 2, 5] {
+                        let partials: Vec<Column> = partition(&lhs, parts)
+                            .iter()
+                            .map(|r| {
+                                calc_binary_part(
+                                    op,
+                                    &lhs,
+                                    &rhs,
+                                    r.clone(),
+                                    &out_format,
+                                    settings.style,
+                                )
+                            })
+                            .collect();
+                        let merged = concat_partials(&out_format, &partials);
+                        assert_eq!(
+                            merged, serial,
+                            "{lhs_format} {op:?} -> {out_format}, {parts} parts"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_intersect_is_byte_identical_to_serial() {
+        let a_values: Vec<u64> = (0..40_000u64).filter(|i| i % 3 == 0).collect();
+        let b_values: Vec<u64> = (0..40_000u64).filter(|i| i % 5 == 0).collect();
+        let settings = ExecSettings::vectorized_compressed();
+        for (a_format, b_format) in [
+            (Format::DeltaDynBp, Format::DeltaDynBp),
+            (Format::DynBp, Format::Uncompressed),
+            (Format::Uncompressed, Format::DynBp),
+        ] {
+            let a = Column::compress(&a_values, &a_format);
+            let b = Column::compress(&b_values, &b_format);
+            for out_format in [Format::DeltaDynBp, Format::Uncompressed, Format::Rle] {
+                let serial = crate::intersect_sorted(&a, &b, &out_format, &settings);
+                let shared = sorted_values(&b);
+                for parts in [1, 2, 4, 9] {
+                    let partials: Vec<Column> = partition(&a, parts)
+                        .iter()
+                        .map(|r| intersect_sorted_part(&a, &shared, r.clone(), &out_format))
+                        .collect();
+                    let merged = concat_partials(&out_format, &partials);
+                    assert_eq!(
+                        merged, serial,
+                        "{a_format}/{b_format} -> {out_format}, {parts} parts"
+                    );
+                }
+            }
+        }
+        // Asymmetric sizes: the partitioned side may be the shorter one.
+        let small: Vec<u64> = (0..500u64).map(|i| i * 16).collect();
+        let a = Column::compress(&small, &Format::DeltaDynBp);
+        let b = Column::compress(&a_values, &Format::DeltaDynBp);
+        let serial = crate::intersect_sorted(&a, &b, &Format::DeltaDynBp, &settings);
+        let shared = sorted_values(&b);
+        let partials: Vec<Column> = partition(&a, 3)
+            .iter()
+            .map(|r| intersect_sorted_part(&a, &shared, r.clone(), &Format::DeltaDynBp))
             .collect();
         assert_eq!(concat_partials(&Format::DeltaDynBp, &partials), serial);
     }

@@ -72,7 +72,8 @@ use crate::exec::{ExecSettings, ExecutionContext, FormatConfig, NodeRecords};
 use crate::ops::partitioned;
 use crate::ops::project::ensure_random_access;
 use crate::plan::{
-    execute_node, ColumnSource, MorselOp, PlanExecutor, PlanOutput, QueryPlan, Slot,
+    cached_from_slot, execute_node, plan_cache_info, ColumnSource, MorselOp, NodeCacheInfo,
+    PlanExecutor, PlanOutput, QueryPlan, Slot,
 };
 
 /// The result of one plan node, published for dependent nodes and the final
@@ -85,12 +86,15 @@ struct NodeResult<'a> {
 /// Operator state built once by the fanning-out worker and shared by all
 /// parts of a morsel job.
 enum MorselAux {
-    /// No shared state (selects, sums, projects on random-access data).
+    /// No shared state (selects, calcs, sums, projects on random-access
+    /// data).
     None,
     /// The semi-join build set.
     Set(HashSet<u64>),
     /// The project data column, morphed to a random-access format.
     Morphed(Column),
+    /// The decompressed buffered side of a sorted intersection.
+    Sorted(Vec<u64>),
 }
 
 /// The partial result of one morsel part.
@@ -317,9 +321,16 @@ impl ParallelExecutor {
         };
         let cells: Vec<OnceLock<NodeResult<'_>>> =
             (0..node_count).map(|_| OnceLock::new()).collect();
-        let settings = ctx.settings;
+        let settings = ctx.settings.clone();
         let formats = &ctx.formats;
         let capture = ctx.capture_enabled();
+        // Subplan cache keys are a pure function of the plan, the format
+        // assignment and the base columns — computed once here, before the
+        // pool starts, and shared read-only by all workers.
+        let cache_info = settings
+            .cache
+            .as_deref()
+            .map(|cache| plan_cache_info(plan, source, formats, &settings, cache));
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -327,6 +338,8 @@ impl ParallelExecutor {
                     let scheduler = &scheduler;
                     let cells = &cells;
                     let dependents = &dependents;
+                    let settings = &settings;
+                    let cache_info = &cache_info;
                     scope.spawn(move || {
                         let _release = PanicRelease(scheduler);
                         // `OnceLock::get` pairs its acquire load with the
@@ -337,11 +350,23 @@ impl ParallelExecutor {
                         while let Some(task) = scheduler.next_task() {
                             match task {
                                 Task::Node(idx) => {
-                                    if let Some(job) = plan_morsel_job(
-                                        plan, idx, &slot_of, &settings, formats, workers,
-                                    ) {
-                                        scheduler.publish_morsels(Arc::new(job));
-                                        continue;
+                                    let info = cache_info.as_ref().map(|infos| &infos[idx]);
+                                    // A cached node never fans out: the hit
+                                    // inside `execute_node` completes it
+                                    // immediately, so building morsel state
+                                    // (build sets, morphs) would be wasted.
+                                    let cached = settings
+                                        .cache
+                                        .as_deref()
+                                        .zip(info.and_then(|i| i.key))
+                                        .is_some_and(|(cache, key)| cache.contains(&key));
+                                    if !cached {
+                                        if let Some(job) = plan_morsel_job(
+                                            plan, idx, &slot_of, settings, formats, workers,
+                                        ) {
+                                            scheduler.publish_morsels(Arc::new(job));
+                                            continue;
+                                        }
                                     }
                                     let mut records = NodeRecords::new(capture);
                                     let slot = execute_node(
@@ -351,6 +376,7 @@ impl ParallelExecutor {
                                         source,
                                         settings,
                                         formats,
+                                        info,
                                         &mut records,
                                     );
                                     complete_node(
@@ -360,14 +386,17 @@ impl ParallelExecutor {
                                 }
                                 Task::Morsel(job, part) => {
                                     let partial =
-                                        run_morsel_part(plan, &job, part, &slot_of, &settings);
+                                        run_morsel_part(plan, &job, part, &slot_of, settings);
                                     if job.partials[part].set(partial).is_err() {
                                         unreachable!("morsel part {part} executed twice");
                                     }
                                     let finished_parts =
                                         job.done.fetch_add(1, Ordering::AcqRel) + 1;
                                     if finished_parts == job.parts.len() {
-                                        let (slot, records) = merge_morsel_job(plan, &job, capture);
+                                        let info =
+                                            cache_info.as_ref().map(|infos| &infos[job.node]);
+                                        let (slot, records) =
+                                            merge_morsel_job(plan, &job, capture, settings, info);
                                         complete_node(
                                             scheduler, cells, dependents, node_count, job.node,
                                             slot, records,
@@ -481,6 +510,10 @@ where
                 None => MorselAux::None,
             }
         }
+        MorselOp::IntersectSorted { b, .. } => {
+            let b = slots(b.node).column(b.port);
+            MorselAux::Sorted(partitioned::sorted_values(b))
+        }
         _ => MorselAux::None,
     };
     let out_format = partitioned::effective_output_format(
@@ -556,6 +589,26 @@ where
                 &job.out_format,
             ))
         }
+        MorselOp::CalcBinary { op, lhs, rhs } => MorselPartial::Col(partitioned::calc_binary_part(
+            op,
+            col(lhs),
+            col(rhs),
+            range,
+            &job.out_format,
+            settings.style,
+        )),
+        MorselOp::IntersectSorted { a, .. } => {
+            let sorted = match &job.aux {
+                MorselAux::Sorted(values) => values,
+                _ => unreachable!("intersect job without the buffered side"),
+            };
+            MorselPartial::Col(partitioned::intersect_sorted_part(
+                col(a),
+                sorted,
+                range,
+                &job.out_format,
+            ))
+        }
         MorselOp::AggSum { values } => MorselPartial::Sum(partitioned::agg_sum_part(
             col(values),
             range,
@@ -565,11 +618,16 @@ where
 }
 
 /// Merge the partials of a fully processed morsel job — in range order —
-/// into the node's slot and records, byte-identical to the serial operator.
+/// into the node's slot and records, byte-identical to the serial operator,
+/// and insert the merged result into the plan cache (when one is attached):
+/// because the splice reconstructs the serial byte stream, morsel-produced
+/// entries are interchangeable with serially produced ones.
 fn merge_morsel_job(
     plan: &QueryPlan,
     job: &MorselJob,
     capture: bool,
+    settings: &ExecSettings,
+    cache_info: Option<&NodeCacheInfo>,
 ) -> (Slot<'static>, NodeRecords) {
     let mut records = NodeRecords::new(capture);
     let partials = job
@@ -591,10 +649,20 @@ fn merge_morsel_job(
             });
             let merged = partitioned::concat_partials(&job.out_format, columns);
             records.record_intermediate(&plan.node_full_name(job.node), &merged);
-            Slot::Col(merged)
+            Slot::Col(Arc::new(merged))
         }
     };
     records.push_timing(&plan.node_timing_label(job.node), job.started.elapsed());
+    if let Some((cache, key)) = settings
+        .cache
+        .as_deref()
+        .zip(cache_info.and_then(|info| info.key))
+    {
+        if let Some(value) = cached_from_slot(&slot) {
+            let deps = cache_info.map(|info| info.deps.as_slice()).unwrap_or(&[]);
+            cache.insert(key, value, records.last_duration(), deps);
+        }
+    }
     (slot, records)
 }
 
@@ -690,10 +758,10 @@ mod tests {
             // Threshold far below the 4000-element inputs: every select (and
             // the final agg over "both") fans out where possible.
             let settings = ExecSettings::vectorized_compressed().with_morsel_threshold(256);
-            let mut serial_ctx = ExecutionContext::new(settings, formats.clone());
+            let mut serial_ctx = ExecutionContext::new(settings.clone(), formats.clone());
             let serial = PlanExecutor.execute(&plan, &source, &mut serial_ctx);
             for threads in [2, 3, 8] {
-                let mut ctx = ExecutionContext::new(settings, formats.clone());
+                let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
                 let parallel = ParallelExecutor::new(threads).execute(&plan, &source, &mut ctx);
                 assert_eq!(parallel, serial, "threads {threads}");
                 assert_eq!(ctx.records(), serial_ctx.records(), "threads {threads}");
@@ -739,10 +807,10 @@ mod tests {
 
         let settings = ExecSettings::vectorized_compressed().with_morsel_threshold(512);
         let formats = FormatConfig::with_default(Format::DynBp);
-        let mut serial_ctx = ExecutionContext::new(settings, formats.clone());
+        let mut serial_ctx = ExecutionContext::new(settings.clone(), formats.clone());
         let serial = PlanExecutor.execute(&plan, &columns, &mut serial_ctx);
         for threads in [2, 4] {
-            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
             let parallel = ParallelExecutor::new(threads).execute(&plan, &columns, &mut ctx);
             assert_eq!(parallel, serial, "threads {threads}");
             assert_eq!(ctx.records(), serial_ctx.records(), "threads {threads}");
@@ -761,7 +829,8 @@ mod tests {
             ExecSettings::default(),
             ExecSettings::default().with_morsel_threshold(128),
         ] {
-            let mut parallel_ctx = ExecutionContext::new(settings, FormatConfig::uncompressed());
+            let mut parallel_ctx =
+                ExecutionContext::new(settings.clone(), FormatConfig::uncompressed());
             parallel_ctx.enable_capture();
             ParallelExecutor::new(3).execute(&plan, &source, &mut parallel_ctx);
             assert_eq!(
@@ -774,6 +843,48 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(ParallelExecutor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_executors_share_one_cache() {
+        use morph_cache::QueryCache;
+
+        let source = source();
+        let plan = diamond_plan();
+        let cache = Arc::new(QueryCache::unbounded());
+        let formats = FormatConfig::with_default(Format::DynBp);
+        // Morsels on: the cold parallel run inserts morsel-merged columns,
+        // which must be byte-identical to what the serial executor would
+        // have produced — so the serial warm run below can hit on them.
+        let settings = ExecSettings::vectorized_compressed()
+            .with_morsel_threshold(256)
+            .with_cache(Arc::clone(&cache));
+
+        let mut reference_ctx =
+            ExecutionContext::new(ExecSettings::vectorized_compressed(), formats.clone());
+        let reference = PlanExecutor.execute(&plan, &source, &mut reference_ctx);
+
+        let mut cold_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let cold = ParallelExecutor::new(3).execute(&plan, &source, &mut cold_ctx);
+        assert_eq!(cold, reference);
+        assert_eq!(cold_ctx.cache_hit_count(), 0);
+
+        // Warm serial run: every non-scan node (2 selects, intersect, agg)
+        // is served from entries the parallel run inserted.
+        let mut warm_serial_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let warm_serial = PlanExecutor.execute(&plan, &source, &mut warm_serial_ctx);
+        assert_eq!(warm_serial, reference);
+        assert_eq!(warm_serial_ctx.records(), reference_ctx.records());
+        assert_eq!(warm_serial_ctx.cache_hit_count(), 4);
+
+        // Warm parallel runs at several widths hit the same entries.
+        for threads in [2, 8] {
+            let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
+            let warm = ParallelExecutor::new(threads).execute(&plan, &source, &mut ctx);
+            assert_eq!(warm, reference, "threads {threads}");
+            assert_eq!(ctx.records(), reference_ctx.records(), "threads {threads}");
+            assert_eq!(ctx.cache_hit_count(), 4, "threads {threads}");
+        }
     }
 
     #[test]

@@ -32,7 +32,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
+use morph_cache::{CacheKey, CachedValue, Fingerprint, QueryCache};
 use morph_compression::Format;
 use morph_storage::Column;
 
@@ -511,6 +514,46 @@ impl QueryPlan {
         format!("{}/{}:{}", self.label, node.op.mnemonic(), node.name)
     }
 
+    /// A canonical fingerprint of the plan's *structure*: label, step names,
+    /// operators with their parameters, the wiring between nodes, and the
+    /// outputs — but no formats, no settings and no data.
+    ///
+    /// Two constructions of the same plan produce the same fingerprint; any
+    /// differing step, parameter or edge produces a different one.  This is
+    /// the "plan shape" component of memoised format decisions
+    /// (`morph_cost`): strategy search runs once per plan shape and
+    /// statistics digest.
+    pub fn structural_fingerprint(&self) -> CacheKey {
+        let mut fp = Fingerprint::with_tag("morph-plan");
+        fp.write_str(&self.label);
+        for node in &self.nodes {
+            fp.write_str(&node.name);
+            // Scans fingerprint as tag + column name and have no inputs, so
+            // the uniform path covers them too.
+            write_op_fingerprint(&mut fp, &node.op);
+            for input in node.op.inputs() {
+                fp.write_u64(input.node as u64);
+                fp.write_u8(input.port);
+            }
+        }
+        match &self.outputs {
+            PlanOutputs::Scalar(value) => {
+                fp.write_str("scalar");
+                fp.write_u64(value.node as u64);
+            }
+            PlanOutputs::Grouped { keys, values } => {
+                fp.write_str("grouped");
+                for key in keys {
+                    fp.write_u64(key.node as u64);
+                    fp.write_u8(key.port);
+                }
+                fp.write_u64(values.node as u64);
+                fp.write_u8(values.port);
+            }
+        }
+        fp.finish()
+    }
+
     /// The morsel decomposition of node `idx`, if its operator has a
     /// chunk-partitioned variant: which input column is streamed (and thus
     /// range-partitioned) and what per-part kernel applies.  `None` for
@@ -531,6 +574,8 @@ impl QueryPlan {
             }
             PlanOp::Project { data, positions } => Some(MorselOp::Project { data, positions }),
             PlanOp::SemiJoin { probe, build } => Some(MorselOp::SemiJoin { probe, build }),
+            PlanOp::CalcBinary { op, lhs, rhs } => Some(MorselOp::CalcBinary { op, lhs, rhs }),
+            PlanOp::IntersectSorted { a, b } => Some(MorselOp::IntersectSorted { a, b }),
             PlanOp::AggSum { values } => Some(MorselOp::AggSum { values }),
             _ => None,
         }
@@ -797,10 +842,13 @@ impl PlanBuilder {
 /// scheduler: the handle of the input column that is range-partitioned plus
 /// the operator parameters the per-part kernels need.
 ///
-/// Only the hot unary/binary operators dominated by one streamed input have
-/// partitioned variants: `select` / `select_between` (partition the data
-/// column), `project` (partition the position list), `semi_join` (partition
-/// the probe side; the build set is shared) and the whole-column `agg_sum`.
+/// Only the hot operators dominated by one streamed input have partitioned
+/// variants: `select` / `select_between` (partition the data column),
+/// `project` (partition the position list), `semi_join` (partition the
+/// probe side; the build set is shared), `calc_binary` (partition the left
+/// operand; the right operand's aligned logical ranges are pulled per
+/// part), `intersect_sorted` (partition the first position list; the second
+/// is decompressed once and shared) and the whole-column `agg_sum`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum MorselOp {
     /// Comparison select over a partitioned data column.
@@ -835,6 +883,22 @@ pub(crate) enum MorselOp {
         /// The build column (hashed once, shared).
         build: ColRef,
     },
+    /// Element-wise binary calculation over a partitioned left operand.
+    CalcBinary {
+        /// The arithmetic operator.
+        op: crate::BinaryOp,
+        /// The left operand (partitioned).
+        lhs: ColRef,
+        /// The right operand (aligned logical ranges pulled per part).
+        rhs: ColRef,
+    },
+    /// Sorted intersection over a partitioned first position list.
+    IntersectSorted {
+        /// The first position list (partitioned).
+        a: ColRef,
+        /// The second position list (decompressed once, shared).
+        b: ColRef,
+    },
     /// Whole-column sum over a partitioned column.
     AggSum {
         /// The summed column (partitioned).
@@ -849,8 +913,201 @@ impl MorselOp {
             MorselOp::Select { input, .. } | MorselOp::SelectBetween { input, .. } => input,
             MorselOp::Project { positions, .. } => positions,
             MorselOp::SemiJoin { probe, .. } => probe,
+            MorselOp::CalcBinary { lhs, .. } => lhs,
+            MorselOp::IntersectSorted { a, .. } => a,
             MorselOp::AggSum { values } => values,
         }
+    }
+}
+
+/// Mix one operator's tag and parameters (not its inputs — the caller mixes
+/// those, either as sub-fingerprints or as node indices).
+///
+/// Every operator kind gets a distinct tag and every parameter is mixed, so
+/// two nodes fingerprint equal exactly when they run the same operator with
+/// the same parameters.
+fn write_op_fingerprint(fp: &mut Fingerprint, op: &PlanOp) {
+    match op {
+        PlanOp::Scan { column } => {
+            fp.write_str("scan");
+            fp.write_str(column);
+        }
+        PlanOp::Select { op, constant, .. } => {
+            fp.write_str("select");
+            fp.write_str(&format!("{op:?}"));
+            fp.write_u64(*constant);
+        }
+        PlanOp::SelectBetween { low, high, .. } => {
+            fp.write_str("select_between");
+            fp.write_u64(*low);
+            fp.write_u64(*high);
+        }
+        PlanOp::SelectIn2 { first, second, .. } => {
+            fp.write_str("select_in2");
+            fp.write_u64(*first);
+            fp.write_u64(*second);
+        }
+        PlanOp::IntersectSorted { .. } => fp.write_str("intersect_sorted"),
+        PlanOp::MergeSorted { .. } => fp.write_str("merge_sorted"),
+        PlanOp::Project { .. } => fp.write_str("project"),
+        PlanOp::SemiJoin { .. } => fp.write_str("semi_join"),
+        PlanOp::Join { .. } => fp.write_str("join"),
+        PlanOp::CalcBinary { op, .. } => {
+            fp.write_str("calc_binary");
+            fp.write_str(&format!("{op:?}"));
+        }
+        PlanOp::GroupBy { .. } => fp.write_str("group_by"),
+        PlanOp::GroupByRefine { .. } => fp.write_str("group_by_refine"),
+        PlanOp::AggSumGrouped { .. } => fp.write_str("agg_sum_grouped"),
+        PlanOp::AggSum { .. } => fp.write_str("agg_sum"),
+        PlanOp::Morph { target, .. } => {
+            fp.write_str("morph");
+            fp.write_format(target);
+        }
+    }
+}
+
+/// Per-node cache data, precomputed by [`plan_cache_info`] before execution
+/// starts (both executors share it; the parallel executor computes it once
+/// on the coordinating thread).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeCacheInfo {
+    /// Canonical fingerprint of the subplan rooted at this node, under the
+    /// current format assignment, settings digest and base-column
+    /// generations.  `None` for scans — base columns are never cached.
+    pub(crate) key: Option<CacheKey>,
+    /// The base columns the subplan scans, in first-use order — the
+    /// generation-invalidation tags of the node's cache entry.
+    pub(crate) deps: Vec<String>,
+}
+
+/// Compute every node's canonical cache key and dependency tags.
+///
+/// A node's fingerprint mixes, bottom-up:
+///
+/// * the settings components that change materialised bytes (integration
+///   degree, processing style — deliberately **not** the morsel threshold:
+///   morsel merges are byte-identical to serial execution, so serial and
+///   parallel runs at any thread count share entries),
+/// * the operator tag and parameters,
+/// * the fingerprints of its input nodes (with ports), which recursively
+///   cover the whole subplan,
+/// * the resolved output format(s) of the node's edge(s), and
+/// * for scans: the base column's name, its cache *generation* and its
+///   memoised content fingerprint — so a changed base table, a bumped
+///   generation or a re-encoded column never serves stale entries.
+pub(crate) fn plan_cache_info(
+    plan: &QueryPlan,
+    source: &dyn ColumnSource,
+    formats: &FormatConfig,
+    settings: &ExecSettings,
+    cache: &QueryCache,
+) -> Vec<NodeCacheInfo> {
+    let mut fps: Vec<CacheKey> = Vec::with_capacity(plan.nodes.len());
+    let mut infos: Vec<NodeCacheInfo> = Vec::with_capacity(plan.nodes.len());
+    for (idx, node) in plan.nodes.iter().enumerate() {
+        let mut fp = Fingerprint::with_tag("morph-subplan");
+        fp.write_str(settings.degree.label());
+        fp.write_str(settings.style.label());
+        let info = match &node.op {
+            PlanOp::Scan { column } => {
+                let base = source.column(column);
+                fp.write_str("scan");
+                fp.write_str(column);
+                fp.write_u64(cache.generation(column));
+                fp.write_u64(base.fingerprint());
+                fps.push(fp.finish());
+                NodeCacheInfo {
+                    key: None,
+                    deps: vec![column.clone()],
+                }
+            }
+            op => {
+                write_op_fingerprint(&mut fp, op);
+                let mut deps: Vec<String> = Vec::new();
+                for input in op.inputs() {
+                    fp.write_key(fps[input.node]);
+                    fp.write_u8(input.port);
+                    for dep in &infos[input.node].deps {
+                        if !deps.contains(dep) {
+                            deps.push(dep.clone());
+                        }
+                    }
+                }
+                let full = plan.node_full_name(idx);
+                fp.write_format(&formats.format_for(&full, Format::Uncompressed));
+                if matches!(op, PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. }) {
+                    let reps_name = format!("{full}_reps");
+                    fp.write_format(&formats.format_for(&reps_name, Format::Uncompressed));
+                }
+                let key = fp.finish();
+                fps.push(key);
+                NodeCacheInfo {
+                    key: Some(key),
+                    deps,
+                }
+            }
+        };
+        infos.push(info);
+    }
+    infos
+}
+
+/// Reconstruct a node's slot from a cache hit, replaying the bookkeeping an
+/// execution would have produced (same record names, formats, sizes; the
+/// timing label is pushed by the caller).  Returns `None` when the cached
+/// value's shape does not match the node (a 128-bit key collision — treat
+/// as a miss and execute).
+fn slot_from_cached(
+    plan: &QueryPlan,
+    idx: usize,
+    full: &str,
+    value: CachedValue,
+    rec: &mut NodeRecords,
+) -> Option<Slot<'static>> {
+    match (value, &plan.nodes[idx].op) {
+        (CachedValue::Scalar(total), PlanOp::AggSum { .. }) => Some(Slot::Scalar(total)),
+        (
+            CachedValue::Pair { a, b, count },
+            PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. },
+        ) => {
+            rec.record_intermediate(full, &a);
+            rec.record_intermediate(&format!("{full}_reps"), &b);
+            Some(Slot::Group(Box::new(GroupResult {
+                group_ids: a,
+                representatives: b,
+                group_count: count,
+            })))
+        }
+        (CachedValue::Column(column), op)
+            if !matches!(
+                op,
+                PlanOp::Scan { .. }
+                    | PlanOp::AggSum { .. }
+                    | PlanOp::GroupBy { .. }
+                    | PlanOp::GroupByRefine { .. }
+            ) =>
+        {
+            rec.record_intermediate(full, &column);
+            Some(Slot::Col(column))
+        }
+        _ => None,
+    }
+}
+
+/// The cacheable image of a completed node's slot (`None` for scans — base
+/// columns are never cached).  Columns and grouping outputs are
+/// `Arc`-shared with the slot, so insertion copies no bytes.
+pub(crate) fn cached_from_slot(slot: &Slot<'_>) -> Option<CachedValue> {
+    match slot {
+        Slot::Base(_) => None,
+        Slot::Col(column) => Some(CachedValue::Column(Arc::clone(column))),
+        Slot::Group(group) => Some(CachedValue::Pair {
+            a: Arc::clone(&group.group_ids),
+            b: Arc::clone(&group.representatives),
+            count: group.group_count,
+        }),
+        Slot::Scalar(total) => Some(CachedValue::Scalar(*total)),
     }
 }
 
@@ -858,10 +1115,13 @@ impl MorselOp {
 ///
 /// Slots hold only owned data or borrows of the (shared) column source, so a
 /// slot table can be filled by worker threads and read by their dependents.
+/// Node outputs are `Arc`-shared so the plan cache can retain a result
+/// without copying its bytes (insertion is an `Arc` clone).
 pub(crate) enum Slot<'a> {
     Base(&'a Column),
-    Col(Column),
-    Group(GroupResult),
+    Col(Arc<Column>),
+    // Boxed: a grouping's two inline columns dwarf the other variants.
+    Group(Box<GroupResult>),
     Scalar(u64),
 }
 
@@ -915,6 +1175,11 @@ impl PlanExecutor {
         source: &dyn ColumnSource,
         ctx: &mut ExecutionContext,
     ) -> PlanOutput {
+        let cache_info = ctx
+            .settings
+            .cache
+            .as_deref()
+            .map(|cache| plan_cache_info(plan, source, &ctx.formats, &ctx.settings, cache));
         let mut slots: Vec<Slot<'_>> = Vec::with_capacity(plan.nodes.len());
         for idx in 0..plan.nodes.len() {
             let mut rec = NodeRecords::new(ctx.capture_enabled());
@@ -923,8 +1188,9 @@ impl PlanExecutor {
                 idx,
                 |i| &slots[i],
                 source,
-                ctx.settings,
+                &ctx.settings,
                 &ctx.formats,
+                cache_info.as_ref().map(|infos| &infos[idx]),
                 &mut rec,
             );
             ctx.merge_node_records(rec);
@@ -941,13 +1207,22 @@ impl PlanExecutor {
 /// (a borrow of the serial slot vector, or of the parallel executor's
 /// completed cells).  All bookkeeping goes to the node-local `rec`; the
 /// caller merges it into the [`ExecutionContext`] in topological order.
+///
+/// With a plan cache attached (`settings.cache` plus this node's
+/// precomputed `cache_info`), the node is first looked up by its canonical
+/// subplan key: a hit replays the node's records under the identical names
+/// and timing label — flagged via [`NodeRecords::note_cache_hit`] — and
+/// returns without running the operator; a miss executes and inserts the
+/// result, with the node's measured runtime as the eviction benefit.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_node<'a, 's, F>(
     plan: &QueryPlan,
     idx: usize,
     slots: F,
     source: &'a dyn ColumnSource,
-    settings: ExecSettings,
+    settings: &ExecSettings,
     formats: &FormatConfig,
+    cache_info: Option<&NodeCacheInfo>,
     rec: &mut NodeRecords,
 ) -> Slot<'a>
 where
@@ -955,20 +1230,69 @@ where
     F: Fn(usize) -> &'s Slot<'a>,
 {
     let node = &plan.nodes[idx];
+    if let PlanOp::Scan { column } = &node.op {
+        let base = source.column(column);
+        rec.record_base(column, base);
+        return Slot::Base(base);
+    }
     let col = |r: ColRef| slots(r.node).column(r.port);
     let full = plan.node_full_name(idx);
-    let out_format = formats.format_for(&full, Format::Uncompressed);
     let timing = plan.node_timing_label(idx);
 
-    match &node.op {
-        PlanOp::Scan { column } => {
-            let base = source.column(column);
-            rec.record_base(column, base);
-            return Slot::Base(base);
+    let cache = settings
+        .cache
+        .as_deref()
+        .zip(cache_info.and_then(|info| info.key));
+    if let Some((cache, key)) = cache {
+        let lookup_started = Instant::now();
+        if let Some(value) = cache.lookup(&key) {
+            if let Some(slot) = slot_from_cached(plan, idx, &full, value, rec) {
+                rec.note_cache_hit();
+                rec.push_timing(&timing, lookup_started.elapsed());
+                return slot;
+            }
         }
+    }
+
+    let slot = run_node_op(
+        plan, idx, &col, &slots, settings, formats, &full, &timing, rec,
+    );
+    if let Some((cache, key)) = cache {
+        if let Some(value) = cached_from_slot(&slot) {
+            let deps = cache_info.map(|info| info.deps.as_slice()).unwrap_or(&[]);
+            cache.insert(key, value, rec.last_duration(), deps);
+        }
+    }
+    slot
+}
+
+/// Run the physical operator of one (non-scan) plan node and record its
+/// output — the execution half of [`execute_node`], shared by the hit-miss
+/// wrapper above.
+#[allow(clippy::too_many_arguments)]
+fn run_node_op<'a, 's, F>(
+    plan: &QueryPlan,
+    idx: usize,
+    col: &impl Fn(ColRef) -> &'s Column,
+    slots: &F,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+    full: &str,
+    timing: &str,
+    rec: &mut NodeRecords,
+) -> Slot<'a>
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    let node = &plan.nodes[idx];
+    let out_format = formats.format_for(full, Format::Uncompressed);
+
+    match &node.op {
+        PlanOp::Scan { .. } => unreachable!("scans are handled by execute_node"),
         PlanOp::AggSum { values } => {
             let input = col(*values);
-            let total = rec.time(&timing, || agg_sum(input, &settings));
+            let total = rec.time(timing, || agg_sum(input, settings));
             return Slot::Scalar(total);
         }
         PlanOp::GroupBy { keys } | PlanOp::GroupByRefine { keys, .. } => {
@@ -976,20 +1300,20 @@ where
             let reps_format = formats.format_for(&reps_name, Format::Uncompressed);
             let keys = col(*keys);
             let result = match &node.op {
-                PlanOp::GroupBy { .. } => rec.time(&timing, || {
-                    group_by(keys, (&out_format, &reps_format), &settings)
+                PlanOp::GroupBy { .. } => rec.time(timing, || {
+                    group_by(keys, (&out_format, &reps_format), settings)
                 }),
                 PlanOp::GroupByRefine { previous, .. } => {
                     let previous = slots(previous.node).group();
-                    rec.time(&timing, || {
-                        group_by_refine(previous, keys, (&out_format, &reps_format), &settings)
+                    rec.time(timing, || {
+                        group_by_refine(previous, keys, (&out_format, &reps_format), settings)
                     })
                 }
                 _ => unreachable!(),
             };
-            rec.record_intermediate(&full, &result.group_ids);
+            rec.record_intermediate(full, &result.group_ids);
             rec.record_intermediate(&reps_name, &result.representatives);
-            return Slot::Group(result);
+            return Slot::Group(Box::new(result));
         }
         _ => {}
     }
@@ -1001,14 +1325,14 @@ where
             constant,
         } => {
             let input = col(*input);
-            rec.time(&timing, || {
-                select(*op, input, *constant, &out_format, &settings)
+            rec.time(timing, || {
+                select(*op, input, *constant, &out_format, settings)
             })
         }
         PlanOp::SelectBetween { input, low, high } => {
             let input = col(*input);
-            rec.time(&timing, || {
-                select_between(input, *low, *high, &out_format, &settings)
+            rec.time(timing, || {
+                select_between(input, *low, *high, &out_format, settings)
             })
         }
         PlanOp::SelectIn2 {
@@ -1017,27 +1341,27 @@ where
             second,
         } => {
             let input = col(*input);
-            rec.time(&timing, || {
-                let first = select(CmpOp::Eq, input, *first, &out_format, &settings);
-                let second = select(CmpOp::Eq, input, *second, &out_format, &settings);
-                merge_sorted(&first, &second, &out_format, &settings)
+            rec.time(timing, || {
+                let first = select(CmpOp::Eq, input, *first, &out_format, settings);
+                let second = select(CmpOp::Eq, input, *second, &out_format, settings);
+                merge_sorted(&first, &second, &out_format, settings)
             })
         }
         PlanOp::IntersectSorted { a, b } => {
             let (a, b) = (col(*a), col(*b));
-            rec.time(&timing, || intersect_sorted(a, b, &out_format, &settings))
+            rec.time(timing, || intersect_sorted(a, b, &out_format, settings))
         }
         PlanOp::MergeSorted { a, b } => {
             let (a, b) = (col(*a), col(*b));
-            rec.time(&timing, || merge_sorted(a, b, &out_format, &settings))
+            rec.time(timing, || merge_sorted(a, b, &out_format, settings))
         }
         PlanOp::Project { data, positions } => {
             let (data, positions) = (col(*data), col(*positions));
-            rec.time(&timing, || project(data, positions, &out_format, &settings))
+            rec.time(timing, || project(data, positions, &out_format, settings))
         }
         PlanOp::SemiJoin { probe, build } => {
             let (probe, build) = (col(*probe), col(*build));
-            rec.time(&timing, || semi_join(probe, build, &out_format, &settings))
+            rec.time(timing, || semi_join(probe, build, &out_format, settings))
         }
         PlanOp::Join { probe, build } => {
             let (probe, build) = (col(*probe), col(*build));
@@ -1045,8 +1369,8 @@ where
             // identity sequence 0..len; they are not part of the plan, so
             // they are materialised in DELTA + BP (ideal for a sorted
             // identity sequence) irrespective of the recorded output.
-            let (probe_pos, build_pos) = rec.time(&timing, || {
-                join(probe, build, (&Format::DeltaDynBp, &out_format), &settings)
+            let (probe_pos, build_pos) = rec.time(timing, || {
+                join(probe, build, (&Format::DeltaDynBp, &out_format), settings)
             });
             assert_eq!(
                 probe_pos.logical_len(),
@@ -1057,36 +1381,34 @@ where
         }
         PlanOp::CalcBinary { op, lhs, rhs } => {
             let (lhs, rhs) = (col(*lhs), col(*rhs));
-            rec.time(&timing, || {
-                calc_binary(*op, lhs, rhs, &out_format, &settings)
-            })
+            rec.time(timing, || calc_binary(*op, lhs, rhs, &out_format, settings))
         }
         PlanOp::AggSumGrouped { group, values } => {
             let grouping = slots(group.node).group();
             let values = col(*values);
             // Grouped sums are final query outputs and stay uncompressed
             // (Section 3.3).
-            rec.time(&timing, || {
+            rec.time(timing, || {
                 agg_sum_grouped(
                     &grouping.group_ids,
                     values,
                     grouping.group_count,
                     &Format::Uncompressed,
-                    &settings,
+                    settings,
                 )
             })
         }
         PlanOp::Morph { input, target } => {
             let input = col(*input);
-            rec.time(&timing, || morph(input, target))
+            rec.time(timing, || morph(input, target))
         }
         PlanOp::Scan { .. }
         | PlanOp::GroupBy { .. }
         | PlanOp::GroupByRefine { .. }
         | PlanOp::AggSum { .. } => unreachable!("handled above"),
     };
-    rec.record_intermediate(&full, &out);
-    Slot::Col(out)
+    rec.record_intermediate(full, &out);
+    Slot::Col(Arc::new(out))
 }
 
 #[cfg(test)]
@@ -1240,6 +1562,116 @@ mod tests {
         p.select("h_reps", x, CmpOp::Eq, 1);
         // The grouping's reserved "h_reps" output collides the other way.
         p.group_by("h", x);
+    }
+
+    #[test]
+    fn warm_cache_run_is_byte_identical_to_cold_run() {
+        let source = source();
+        let cache = Arc::new(QueryCache::unbounded());
+        let formats = FormatConfig::with_default(Format::DynBp);
+        let settings = ExecSettings::vectorized_compressed().with_cache(Arc::clone(&cache));
+
+        // Grouped plan: exercises Column, Pair and Scalar cache values.
+        let plan = {
+            let mut p = PlanBuilder::new("g");
+            let x = p.scan("x");
+            let y = p.scan("y");
+            let group = p.group_by("by_x", x);
+            let sums = p.agg_sum_grouped("sum_y", group, y);
+            let keys = p.project("key_x", x, group.representatives());
+            p.finish_grouped(vec![keys], sums)
+        };
+
+        let mut cold_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let cold = plan.execute(&source, &mut cold_ctx);
+        assert_eq!(cold_ctx.cache_hit_count(), 0);
+        assert!(cache.len() >= 3, "cold run populates the cache");
+
+        let mut warm_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let warm = plan.execute(&source, &mut warm_ctx);
+        assert_eq!(warm, cold);
+        assert_eq!(warm_ctx.records(), cold_ctx.records());
+        let warm_labels: Vec<&str> = warm_ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+        let cold_labels: Vec<&str> = cold_ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(warm_labels, cold_labels);
+        // Every non-scan node hit: group, grouped sum, project.
+        assert_eq!(warm_ctx.cache_hit_count(), 3);
+
+        // A cache-free reference run matches too.
+        let mut plain_ctx =
+            ExecutionContext::new(ExecSettings::vectorized_compressed(), formats.clone());
+        let plain = plan.execute(&source, &mut plain_ctx);
+        assert_eq!(plain, cold);
+        assert_eq!(plain_ctx.records(), cold_ctx.records());
+    }
+
+    #[test]
+    fn differing_formats_generations_and_settings_miss() {
+        let source = source();
+        let cache = Arc::new(QueryCache::unbounded());
+        let plan = scalar_plan();
+        let run = |formats: FormatConfig, settings: ExecSettings| {
+            let mut ctx = ExecutionContext::new(settings.with_cache(Arc::clone(&cache)), formats);
+            let out = plan.execute(&source, &mut ctx);
+            (out, ctx.cache_hit_count())
+        };
+        let (cold, hits) = run(
+            FormatConfig::uncompressed(),
+            ExecSettings::vectorized_compressed(),
+        );
+        assert_eq!(hits, 0);
+        // Same everything: all three non-scan nodes hit.
+        let (warm, hits) = run(
+            FormatConfig::uncompressed(),
+            ExecSettings::vectorized_compressed(),
+        );
+        assert_eq!((warm, hits), (cold.clone(), 3));
+        // A different edge format changes that edge's key and its
+        // dependents' keys.
+        let (refmt, hits) = run(
+            FormatConfig::uncompressed().set("t/pos", Format::DeltaDynBp),
+            ExecSettings::vectorized_compressed(),
+        );
+        assert_eq!(refmt, cold);
+        assert_eq!(hits, 0);
+        // A different integration degree misses entirely.
+        let (plain, hits) = run(
+            FormatConfig::uncompressed(),
+            ExecSettings::scalar_uncompressed(),
+        );
+        assert_eq!(plain, cold);
+        assert_eq!(hits, 0);
+        // Bumping a base column's generation invalidates its subplans.
+        cache.bump_generation("x");
+        let (again, hits) = run(
+            FormatConfig::uncompressed(),
+            ExecSettings::vectorized_compressed(),
+        );
+        assert_eq!(again, cold);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn structural_fingerprint_is_stable_and_parameter_sensitive() {
+        let make = |constant: u64| {
+            let mut p = PlanBuilder::new("t");
+            let x = p.scan("x");
+            let pos = p.select("pos", x, CmpOp::Eq, constant);
+            let total = p.agg_sum("total", pos);
+            p.finish_scalar(total)
+        };
+        assert_eq!(
+            make(5).structural_fingerprint(),
+            make(5).structural_fingerprint()
+        );
+        assert_ne!(
+            make(5).structural_fingerprint(),
+            make(6).structural_fingerprint()
+        );
+        assert_ne!(
+            scalar_plan().structural_fingerprint(),
+            make(5).structural_fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property-based tests of cache-key canonicalisation, through the public
+//! executor API:
+//!
+//! * **same subplan ⇒ same key** — re-executing an identical plan under an
+//!   identical format assignment hits on every non-scan node, and the hits
+//!   are byte-identical to recomputation (results *and* footprint records
+//!   match a cache-free reference execution);
+//! * **any differing parameter / format / generation ⇒ different key** — a
+//!   mutated plan executed against the *polluted* cache still produces
+//!   exactly what a fresh cache-free execution produces.  If two distinct
+//!   subplans ever aliased one key, the stale hit would leak the other
+//!   subplan's bytes into the result or the records, and the comparison
+//!   would fail.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::plan::{PlanBuilder, QueryPlan};
+use morphstore_engine::{CmpOp, ExecSettings, ExecutionContext, QueryCache};
+use proptest::prelude::*;
+
+/// A small parameterised plan family: two filtered scans intersected,
+/// projected and summed — every operator parameter and edge format below is
+/// part of the canonical key.
+#[derive(Debug, Clone, PartialEq)]
+struct PlanParams {
+    select_constant: u64,
+    between_low: u64,
+    between_span: u64,
+    pos_format: usize,
+    out_format: usize,
+}
+
+const EDGE_FORMATS: [Format; 4] = [
+    Format::Uncompressed,
+    Format::DynBp,
+    Format::DeltaDynBp,
+    Format::Rle,
+];
+
+fn params() -> impl Strategy<Value = PlanParams> {
+    (0u64..97, 0u64..50, 0u64..60, 0usize..4, 0usize..4).prop_map(
+        |(select_constant, between_low, between_span, pos_format, out_format)| PlanParams {
+            select_constant,
+            between_low,
+            between_span,
+            pos_format,
+            out_format,
+        },
+    )
+}
+
+fn build_plan(p: &PlanParams) -> QueryPlan {
+    let mut b = PlanBuilder::new("prop");
+    let x = b.scan("x");
+    let y = b.scan("y");
+    let left = b.select("left", x, CmpOp::Lt, p.select_constant);
+    let right = b.select_between("right", y, p.between_low, p.between_low + p.between_span);
+    let both = b.intersect_sorted("both", left, right);
+    let projected = b.project("projected", y, both);
+    let total = b.agg_sum("total", projected);
+    b.finish_scalar(total)
+}
+
+fn formats_of(p: &PlanParams) -> FormatConfig {
+    FormatConfig::with_default(Format::DynBp)
+        .set("prop/left", EDGE_FORMATS[p.pos_format])
+        .set("prop/projected", EDGE_FORMATS[p.out_format])
+}
+
+fn source() -> HashMap<String, Column> {
+    let mut columns = HashMap::new();
+    columns.insert(
+        "x".to_string(),
+        Column::from_vec((0..3000u64).map(|i| i % 97).collect()),
+    );
+    columns.insert(
+        "y".to_string(),
+        Column::from_vec((0..3000u64).map(|i| (i * 7) % 113).collect()),
+    );
+    columns
+}
+
+/// One footprint record, flattened for comparison.
+type RecordRow = (String, Format, usize, usize);
+
+/// Execute under the given cache (or none), returning the output, the
+/// record sequence and the number of cache hits.
+fn run(
+    p: &PlanParams,
+    source: &HashMap<String, Column>,
+    cache: Option<&Arc<QueryCache>>,
+) -> (morphstore_engine::plan::PlanOutput, Vec<RecordRow>, usize) {
+    let mut settings = ExecSettings::vectorized_compressed();
+    if let Some(cache) = cache {
+        settings = settings.with_cache(Arc::clone(cache));
+    }
+    let mut ctx = ExecutionContext::new(settings, formats_of(p));
+    let out = build_plan(p).execute(source, &mut ctx);
+    let records = ctx
+        .records()
+        .iter()
+        .map(|r| (r.name.clone(), r.format, r.len, r.bytes))
+        .collect();
+    (out, records, ctx.cache_hit_count())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn identical_subplans_hit_and_any_difference_misses(
+        original in params(),
+        mutated in params(),
+    ) {
+        let source = source();
+        let cache = Arc::new(QueryCache::unbounded());
+
+        // Cache-free references for both parameterisations.
+        let (ref_out, ref_records, _) = run(&original, &source, None);
+        let (mut_out, mut_records, _) = run(&mutated, &source, None);
+
+        // Cold run populates; identical warm run hits on all 5 non-scan
+        // nodes, byte-identical to the reference.
+        let (cold_out, cold_records, cold_hits) = run(&original, &source, Some(&cache));
+        prop_assert_eq!(cold_hits, 0);
+        prop_assert_eq!(&cold_out, &ref_out);
+        prop_assert_eq!(&cold_records, &ref_records);
+        let (warm_out, warm_records, warm_hits) = run(&original, &source, Some(&cache));
+        prop_assert_eq!(warm_hits, 5, "same subplan must produce the same keys");
+        prop_assert_eq!(&warm_out, &ref_out);
+        prop_assert_eq!(&warm_records, &ref_records);
+
+        // The mutated plan against the polluted cache must behave exactly
+        // like its own fresh execution — and when anything differs, the
+        // mutated root select (or range / format) must not hit.
+        let (poll_out, poll_records, poll_hits) = run(&mutated, &source, Some(&cache));
+        prop_assert_eq!(&poll_out, &mut_out);
+        prop_assert_eq!(&poll_records, &mut_records);
+        if mutated == original {
+            prop_assert_eq!(poll_hits, 5);
+        }
+
+        // Bumping a base generation invalidates every subplan scanning that
+        // column.  Only the `right` select depends on `y` alone, so after
+        // bumping `x` at most that one node can still hit; bumping `y` too
+        // leaves nothing.
+        cache.bump_generation("x");
+        let (after_out, after_records, after_hits) = run(&original, &source, Some(&cache));
+        prop_assert!(after_hits <= 1, "only the y-only subplan may survive an x bump");
+        prop_assert_eq!(&after_out, &ref_out);
+        prop_assert_eq!(&after_records, &ref_records);
+        // The post-bump run re-populated every entry under the new `x`
+        // generation; bumping `y` now drops everything that scans `y`,
+        // leaving exactly the x-only `left` select to hit.
+        cache.bump_generation("y");
+        let (_, _, final_hits) = run(&original, &source, Some(&cache));
+        prop_assert_eq!(final_hits, 1, "only the x-only subplan survives a y bump");
+    }
+}

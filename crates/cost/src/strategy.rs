@@ -10,8 +10,9 @@
 //! the best/worst *runtime* combinations).
 
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use morph_cache::{CachedValue, Fingerprint, FormatDecision, QueryCache};
 use morph_compression::Format;
 use morph_storage::{Column, ColumnStats};
 use morphstore_engine::exec::FormatConfig;
@@ -115,6 +116,79 @@ impl FormatSelectionStrategy {
             .collect();
         self.build_config(&relevant)
     }
+}
+
+/// Build the format configuration a strategy chooses for `plan`, memoised
+/// in the plan-level `cache`: the decision is keyed by the plan's
+/// *structural fingerprint* (operators, parameters, wiring — see
+/// [`QueryPlan::structural_fingerprint`]), the strategy and a digest of the
+/// per-edge [`ColumnStats`], so the strategy search runs **once per plan
+/// shape** and is replayed for every later query with the same shape and
+/// data characteristics.
+///
+/// The memoised decision shares the cache's byte budget with subplan
+/// results; its eviction benefit is the measured duration of the search it
+/// saves.  Data characteristics are read through the columns' compute-once
+/// stats memo, so even the digest computation scans each column at most
+/// once per column lifetime.
+pub fn cached_config_for_plan(
+    cache: &QueryCache,
+    strategy: FormatSelectionStrategy,
+    plan: &QueryPlan,
+    columns: &HashMap<String, Column>,
+) -> FormatConfig {
+    let mut fp = Fingerprint::with_tag("morph-format-decision");
+    fp.write_key(plan.structural_fingerprint());
+    fp.write_str(strategy.label());
+    // Only the plan's edges influence the decision (build_config_for_plan
+    // filters to them), so only their statistics belong in the key —
+    // foreign columns in the map must neither perturb the key nor be
+    // scanned for a digest.
+    let edge_names: std::collections::HashSet<String> =
+        plan.edges().into_iter().map(|edge| edge.name).collect();
+    let mut names: Vec<&String> = columns
+        .keys()
+        .filter(|name| edge_names.contains(*name))
+        .collect();
+    names.sort_unstable();
+    for name in names {
+        fp.write_str(name);
+        fp.write_u64(columns[name].stats().digest());
+    }
+    let key = fp.finish();
+    if let Some(CachedValue::Formats(decision)) = cache.lookup(&key) {
+        let mut config = match decision.default {
+            Some(format) => FormatConfig::with_default(format),
+            None => FormatConfig::default(),
+        };
+        for (name, format) in &decision.per_column {
+            config.insert(name, *format);
+        }
+        return config;
+    }
+    let started = Instant::now();
+    let config = strategy.build_config_for_plan(plan, columns);
+    let elapsed = started.elapsed();
+    let mut per_column: Vec<(String, Format)> = config
+        .explicit_columns()
+        .map(|name| {
+            (
+                name.to_string(),
+                config.format_for(name, Format::Uncompressed),
+            )
+        })
+        .collect();
+    per_column.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    cache.insert(
+        key,
+        CachedValue::Formats(FormatDecision {
+            default: config.default_format(),
+            per_column,
+        }),
+        elapsed,
+        &[],
+    );
+    config
 }
 
 /// The names a selection strategy may assign a format to for `plan`: one per
@@ -399,6 +473,70 @@ mod tests {
         assert!(explicit.contains("x"));
         assert!(explicit.contains("q/pos"));
         assert!(!explicit.contains("unrelated"));
+    }
+
+    #[test]
+    fn cached_decision_replays_the_strategy_search() {
+        use morphstore_engine::plan::PlanBuilder;
+        use morphstore_engine::CmpOp;
+        let plan = {
+            let mut p = PlanBuilder::new("q");
+            let x = p.scan("x");
+            let pos = p.select("pos", x, CmpOp::Lt, 100);
+            let total = p.agg_sum("total", pos);
+            p.finish_scalar(total)
+        };
+        let mut columns = HashMap::new();
+        columns.insert(
+            "x".to_string(),
+            Column::from_slice(&(0..5000u64).collect::<Vec<_>>()),
+        );
+        columns.insert(
+            "q/pos".to_string(),
+            Column::from_slice(&(0..100u64).collect::<Vec<_>>()),
+        );
+        let cache = QueryCache::unbounded();
+        let strategy = FormatSelectionStrategy::CostBased;
+        let fresh = strategy.build_config_for_plan(&plan, &columns);
+        let cold = cached_config_for_plan(&cache, strategy, &plan, &columns);
+        assert_eq!(cache.stats().insertions, 1);
+        let warm = cached_config_for_plan(&cache, strategy, &plan, &columns);
+        assert_eq!(cache.stats().hits, 1);
+        for name in ["x", "q/pos", "unassigned"] {
+            assert_eq!(
+                warm.format_for(name, Format::Uncompressed),
+                cold.format_for(name, Format::Uncompressed),
+                "{name}"
+            );
+            assert_eq!(
+                warm.format_for(name, Format::Uncompressed),
+                fresh.format_for(name, Format::Uncompressed),
+                "{name}"
+            );
+        }
+        // Foreign (non-edge) columns in the map neither perturb the key
+        // nor trigger a new search.
+        columns.insert("unrelated".to_string(), Column::from_slice(&[1, 2, 3]));
+        cached_config_for_plan(&cache, strategy, &plan, &columns);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().insertions, 1);
+        columns.remove("unrelated");
+        // Different data characteristics produce a different key: the
+        // search runs again instead of replaying a stale decision.
+        columns.insert(
+            "q/pos".to_string(),
+            Column::from_slice(&(0..5000u64).map(|i| i * 1_000_000).collect::<Vec<_>>()),
+        );
+        cached_config_for_plan(&cache, strategy, &plan, &columns);
+        assert_eq!(cache.stats().insertions, 2);
+        // A different strategy misses as well.
+        cached_config_for_plan(
+            &cache,
+            FormatSelectionStrategy::AllStaticBp,
+            &plan,
+            &columns,
+        );
+        assert_eq!(cache.stats().insertions, 3);
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl<'a> QueryCtx<'a> {
     /// format assigned to intermediate `name`.
     fn filter(&mut self, name: &str, input: &Column, pred: Pred) -> Column {
         let format = self.fmt(name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let out = self
             .ctx
             .time(&format!("{}/select:{}", self.prefix, name), || match pred {
@@ -90,7 +90,7 @@ impl<'a> QueryCtx<'a> {
     /// Intersect two sorted position columns.
     fn intersect(&mut self, name: &str, a: &Column, b: &Column) -> Column {
         let format = self.fmt(name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let out = self
             .ctx
             .time(&format!("{}/intersect:{}", self.prefix, name), || {
@@ -103,7 +103,7 @@ impl<'a> QueryCtx<'a> {
     /// Project `data[positions]`.
     fn project(&mut self, name: &str, data: &Column, positions: &Column) -> Column {
         let format = self.fmt(name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let out = self
             .ctx
             .time(&format!("{}/project:{}", self.prefix, name), || {
@@ -116,7 +116,7 @@ impl<'a> QueryCtx<'a> {
     /// Semi-join: positions of `probe` whose value occurs in `build`.
     fn semi_join(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
         let format = self.fmt(name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let out = self
             .ctx
             .time(&format!("{}/semijoin:{}", self.prefix, name), || {
@@ -130,7 +130,7 @@ impl<'a> QueryCtx<'a> {
     /// build-side (dimension) positions aligned with the probe rows.
     fn join_positions(&mut self, name: &str, probe: &Column, build: &Column) -> Column {
         let format = self.fmt(name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         // The probe-side positions of an N:1 foreign-key join are simply
         // 0..len (every fact row matches exactly one dimension row); they are
         // not used by the plan, so they are materialised in DELTA + BP (which
@@ -159,7 +159,7 @@ impl<'a> QueryCtx<'a> {
         let ids_format = self.fmt(name);
         let reps_name = format!("{name}_reps");
         let reps_format = self.fmt(&reps_name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let result = self
             .ctx
             .time(&format!("{}/group:{}", self.prefix, name), || {
@@ -176,7 +176,7 @@ impl<'a> QueryCtx<'a> {
         let ids_format = self.fmt(name);
         let reps_name = format!("{name}_reps");
         let reps_format = self.fmt(&reps_name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let result = self
             .ctx
             .time(&format!("{}/group:{}", self.prefix, name), || {
@@ -190,7 +190,7 @@ impl<'a> QueryCtx<'a> {
     /// Element-wise binary calculation.
     fn calc(&mut self, name: &str, op: BinaryOp, lhs: &Column, rhs: &Column) -> Column {
         let format = self.fmt(name);
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let out = self
             .ctx
             .time(&format!("{}/calc:{}", self.prefix, name), || {
@@ -204,7 +204,7 @@ impl<'a> QueryCtx<'a> {
     /// always uncompressed (Section 3.3: the final query output columns
     /// should always be uncompressed).
     fn grouped_sum(&mut self, name: &str, group: &GroupResult, values: &Column) -> Column {
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         let out = self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
             agg_sum_grouped(
                 &group.group_ids,
@@ -220,7 +220,7 @@ impl<'a> QueryCtx<'a> {
 
     /// Whole-column summation (flight 1).
     fn sum(&mut self, name: &str, values: &Column) -> u64 {
-        let settings = self.ctx.settings;
+        let settings = self.ctx.settings.clone();
         self.ctx.time(&format!("{}/agg:{}", self.prefix, name), || {
             morphstore_engine::agg_sum(values, &settings)
         })

@@ -105,6 +105,12 @@ impl SsbQuery {
 
     /// Execute the query on `data` by building its plan and walking it with
     /// the [`PlanExecutor`], recording footprints and timings in `ctx`.
+    ///
+    /// When the context's settings carry a plan-level cache handle
+    /// (`ExecSettings::cache`), memoised subplan results are served instead
+    /// of recomputed: warm runs return byte-identical results, footprint
+    /// records and timing-label sequences, with
+    /// `ExecutionContext::cache_hit_count` reporting how many nodes hit.
     pub fn execute(&self, data: &SsbData, ctx: &mut ExecutionContext) -> QueryResult {
         let output = PlanExecutor.execute(&self.plan(), data, ctx);
         QueryResult {
@@ -121,7 +127,10 @@ impl SsbQuery {
     /// Results, footprint records and operator-timing label sequences are
     /// identical to [`SsbQuery::execute`] at every thread count — the
     /// parallel executor merges per-node records back in topological order;
-    /// `threads = 1` delegates to the serial executor outright.
+    /// `threads = 1` delegates to the serial executor outright.  A plan
+    /// cache attached via `ExecSettings::cache` is shared with the serial
+    /// path: entries inserted by either executor (including morsel-merged
+    /// columns, which are byte-identical to serial outputs) hit in both.
     pub fn execute_parallel(
         &self,
         data: &SsbData,

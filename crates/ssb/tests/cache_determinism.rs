@@ -1,0 +1,125 @@
+//! Warm-cache determinism suite: with a populated plan-level cache, every
+//! SSB query must return **byte-identical results, footprint records and
+//! operator-timing label sequences** to a cache-free cold run — across the
+//! serial executor and the parallel executor at 1/2/4/8 threads with
+//! intra-operator morsels enabled.
+//!
+//! The cache is shared across all 13 queries (subplan keys carry no query
+//! label, so structurally identical dimension subtrees are shared between
+//! queries — that sharing must also stay invisible in the bookkeeping), and
+//! the warm phase must serve ≥ 90 % of its lookups from the cache.
+
+use std::sync::Arc;
+
+use morph_compression::Format;
+use morph_ssb::{dbgen, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::{ExecSettings, ExecutionContext, QueryCache};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Same as the `parallel_determinism` suite: low enough that the
+/// 0.004-scale-factor fact table fans out the hot operators as morsels.
+const TEST_MORSEL_THRESHOLD: usize = 4096;
+
+#[test]
+fn warm_cache_runs_are_byte_identical_across_executors() {
+    let raw = dbgen::generate(0.004, 7);
+    let data = raw.with_uniform_format(&Format::DynBp);
+    let formats = FormatConfig::with_default(Format::DynBp);
+    let cache = Arc::new(QueryCache::with_budget(256 << 20));
+    let cached_settings = ExecSettings::vectorized_compressed()
+        .with_morsel_threshold(TEST_MORSEL_THRESHOLD)
+        .with_cache(Arc::clone(&cache));
+
+    // Phase 1 (cold): cache-free references, then populate the cache with
+    // one serial cached run per query — which must already be identical.
+    let mut references = Vec::new();
+    for query in SsbQuery::all() {
+        let mut ref_ctx =
+            ExecutionContext::new(ExecSettings::vectorized_compressed(), formats.clone());
+        let reference = query.execute(&data, &mut ref_ctx);
+        let mut cold_ctx = ExecutionContext::new(cached_settings.clone(), formats.clone());
+        let cold = query.execute(&data, &mut cold_ctx);
+        assert_eq!(cold, reference, "{query}: cold cached run diverged");
+        assert_eq!(
+            cold_ctx.records(),
+            ref_ctx.records(),
+            "{query}: cold cached records diverged"
+        );
+        references.push((query, reference, ref_ctx));
+    }
+
+    // Phase 2 (warm): serial and parallel runs at every thread count are
+    // fully served from the cache with unchanged observable bookkeeping.
+    let warm_started = cache.stats();
+    for (query, reference, ref_ctx) in &references {
+        let plan = query.plan();
+        let cacheable_nodes = plan.node_count() - plan.base_columns().len();
+        let ref_labels: Vec<&str> = ref_ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+
+        let mut serial_ctx = ExecutionContext::new(cached_settings.clone(), formats.clone());
+        let serial = query.execute(&data, &mut serial_ctx);
+        assert_eq!(&serial, reference, "{query}: warm serial diverged");
+        assert_eq!(
+            serial_ctx.records(),
+            ref_ctx.records(),
+            "{query}: warm serial records diverged"
+        );
+        assert_eq!(
+            serial_ctx.cache_hit_count(),
+            cacheable_nodes,
+            "{query}: warm serial run must hit on every non-scan node"
+        );
+
+        for threads in THREAD_COUNTS {
+            let mut ctx = ExecutionContext::new(cached_settings.clone(), formats.clone());
+            let warm = query.execute_parallel(&data, &mut ctx, threads);
+            assert_eq!(&warm, reference, "{query} threads={threads}: warm result");
+            assert_eq!(
+                ctx.records(),
+                ref_ctx.records(),
+                "{query} threads={threads}: warm footprint records"
+            );
+            let labels: Vec<&str> = ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(
+                labels, ref_labels,
+                "{query} threads={threads}: warm timing labels"
+            );
+            assert_eq!(
+                ctx.cache_hit_count(),
+                cacheable_nodes,
+                "{query} threads={threads}: warm hits"
+            );
+        }
+    }
+    let warm_finished = cache.stats();
+    let lookups =
+        (warm_finished.hits + warm_finished.misses) - (warm_started.hits + warm_started.misses);
+    let hits = warm_finished.hits - warm_started.hits;
+    let hit_rate = hits as f64 / lookups as f64;
+    assert!(
+        hit_rate >= 0.9,
+        "warm-phase hit rate {hit_rate:.3} below 90% ({hits}/{lookups})"
+    );
+    assert!(
+        cache.bytes_used() <= cache.budget_bytes(),
+        "byte budget exceeded"
+    );
+
+    // Phase 3 (invalidation): bumping a base column's generation makes its
+    // dependent subplans recompute — correctly — instead of serving stale
+    // entries.
+    cache.bump_generation("lo_discount");
+    let (query, reference, ref_ctx) = &references[0];
+    let plan = query.plan();
+    let cacheable_nodes = plan.node_count() - plan.base_columns().len();
+    let mut ctx = ExecutionContext::new(cached_settings.clone(), formats.clone());
+    let again = query.execute(&data, &mut ctx);
+    assert_eq!(&again, reference, "{query}: post-invalidation result");
+    assert_eq!(ctx.records(), ref_ctx.records());
+    assert!(
+        ctx.cache_hit_count() < cacheable_nodes,
+        "{query}: invalidated subplans must miss"
+    );
+}

@@ -31,10 +31,10 @@ const TEST_MORSEL_THRESHOLD: usize = 4096;
 
 fn check_all_queries(data: &SsbData, settings: ExecSettings, formats: &FormatConfig) {
     for query in SsbQuery::all() {
-        let mut serial_ctx = ExecutionContext::new(settings, formats.clone());
+        let mut serial_ctx = ExecutionContext::new(settings.clone(), formats.clone());
         let serial = query.execute(data, &mut serial_ctx);
         for threads in THREAD_COUNTS {
-            let mut ctx = ExecutionContext::new(settings, formats.clone());
+            let mut ctx = ExecutionContext::new(settings.clone(), formats.clone());
             let parallel = query.execute_parallel(data, &mut ctx, threads);
 
             assert_eq!(

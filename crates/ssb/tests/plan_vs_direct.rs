@@ -27,9 +27,9 @@ fn check_all_queries(
     formats: &FormatConfig,
 ) {
     for query in SsbQuery::all() {
-        let mut plan_ctx = ExecutionContext::new(settings, formats.clone());
+        let mut plan_ctx = ExecutionContext::new(settings.clone(), formats.clone());
         let plan_result = query.execute(data, &mut plan_ctx);
-        let mut direct_ctx = ExecutionContext::new(settings, formats.clone());
+        let mut direct_ctx = ExecutionContext::new(settings.clone(), formats.clone());
         let direct_result = query.execute_direct(data, &mut direct_ctx);
 
         // Byte-identical results, including row order.

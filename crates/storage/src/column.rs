@@ -1,11 +1,14 @@
 //! The column data structure.
 
+use std::sync::{Arc, OnceLock};
+
 use morph_compression::{
     chunk_directory, compress_main_part, for_each_decompressed_block,
     for_each_decompressed_block_in, get_element, morph, uncompressed, ChunkEntry, Format,
 };
 
 use crate::builder::ColumnBuilder;
+use crate::stats::ColumnStats;
 
 /// An immutable column of unsigned 64-bit integers, stored in one contiguous
 /// byte buffer as a compressed main part followed by an uncompressed
@@ -17,7 +20,7 @@ use crate::builder::ColumnBuilder;
 /// integers.  The metadata (logical length, main-part length and byte sizes)
 /// is kept alongside the buffer, mirroring the separate metadata structure of
 /// the paper.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Column {
     format: Format,
     /// Logical number of data elements.
@@ -32,9 +35,32 @@ pub struct Column {
     /// time: per decodable chunk, the byte offset and logical start
     /// ([`morph_compression::chunk_directory`]).  Deterministically derived
     /// from `(format, data, main_len)`, so equal columns carry equal
-    /// directories and the derived `PartialEq` stays byte-identity.
+    /// directories and `PartialEq` stays byte-identity.
     chunks: Vec<ChunkEntry>,
+    /// Compute-once memo of [`Column::stats`] (cloned along with the
+    /// column, so a captured copy keeps the already-computed statistics).
+    /// `Arc`-boxed: the statistics struct is large (a 64-entry histogram)
+    /// and must not inflate every `Column` move.
+    stats: OnceLock<Arc<ColumnStats>>,
+    /// Compute-once memo of [`Column::fingerprint`].
+    content_hash: OnceLock<u64>,
 }
+
+/// Byte identity of the stored representation: format, logical layout and
+/// the data buffer.  The compute-once memo fields are deliberately excluded
+/// — a column that has computed its statistics is still *equal* to a fresh
+/// copy that has not.
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        self.format == other.format
+            && self.len == other.len
+            && self.main_len == other.main_len
+            && self.main_bytes == other.main_bytes
+            && self.data == other.data
+    }
+}
+
+impl Eq for Column {}
 
 // Columns are shared across the worker threads of the parallel plan executor
 // (as `&Column` borrows of the source and as `Arc<Column>` in caches); the
@@ -84,6 +110,8 @@ impl Column {
             main_bytes,
             data,
             chunks,
+            stats: OnceLock::new(),
+            content_hash: OnceLock::new(),
         }
     }
 
@@ -312,6 +340,106 @@ impl Column {
     pub fn to_vec(&self) -> Vec<u64> {
         self.decompress()
     }
+
+    /// The column's data characteristics, computed once and memoised.
+    ///
+    /// Repeated cost-strategy and cache-digest calls on the same column
+    /// (the format-selection search touches every edge several times) hit
+    /// the memo instead of rescanning the data; the memo travels with
+    /// clones of the column.
+    pub fn stats(&self) -> &ColumnStats {
+        self.stats
+            .get_or_init(|| Arc::new(ColumnStats::from_values(&self.decompress())))
+    }
+
+    /// A 64-bit content fingerprint of the stored representation (format,
+    /// logical length and data bytes), computed once and memoised.
+    ///
+    /// Equal columns (see [`PartialEq`]) have equal fingerprints.  The
+    /// plan-level cache folds base-column fingerprints into its subplan
+    /// keys, so two databases whose columns differ in content or format
+    /// never share cache entries.
+    pub fn fingerprint(&self) -> u64 {
+        *self.content_hash.get_or_init(|| {
+            const PRIME: u64 = 0x100000001B3;
+            let mut state: u64 = 0xCBF29CE484222325;
+            let mut mix = |word: u64| state = (state ^ word).wrapping_mul(PRIME);
+            // The format's canonical spelling distinguishes e.g. the static
+            // BP widths; the layout fields guard against framing aliases.
+            for byte in self.format.to_string().bytes() {
+                mix(byte as u64);
+            }
+            mix(self.len as u64);
+            mix(self.main_len as u64);
+            // Word-at-a-time over the data buffer: the buffer is the full
+            // physical representation (main part + remainder).
+            let mut words = self.data.chunks_exact(8);
+            for word in &mut words {
+                mix(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            }
+            for &byte in words.remainder() {
+                mix(byte as u64);
+            }
+            state
+        })
+    }
+
+    /// Visit the values of the logical index range `range` as cache-resident
+    /// uncompressed pieces, seeking through the chunk directory (no prefix
+    /// replay) and trimming the first and last covering chunk.
+    ///
+    /// This is the pairwise companion of [`Column::for_each_chunk_in`]: a
+    /// partitioned position-wise binary operator streams one input by its
+    /// own chunk ranges and pulls the *aligned logical range* of the other
+    /// input through this method.
+    pub fn for_each_logical_range(
+        &self,
+        range: std::ops::Range<usize>,
+        consumer: &mut dyn FnMut(&[u64]),
+    ) {
+        assert!(
+            range.end <= self.len,
+            "logical range {range:?} exceeds {} elements",
+            self.len
+        );
+        if range.start >= range.end {
+            return;
+        }
+        let n = self.chunk_count();
+        // First chunk containing `range.start`: the last chunk whose logical
+        // start is <= range.start.
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.chunk_logical_start(mid + 1) <= range.start {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let first = lo;
+        // One past the last chunk that intersects the range: the first chunk
+        // whose logical start is >= range.end.
+        let (mut lo, mut hi) = (first, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.chunk_logical_start(mid) < range.end {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let end_chunk = lo;
+        self.for_each_chunk_in(first..end_chunk, &mut |start, piece| {
+            let piece_start = start as usize;
+            let piece_end = piece_start + piece.len();
+            let from = range.start.max(piece_start) - piece_start;
+            let to = range.end.min(piece_end) - piece_start;
+            if from < to {
+                consumer(&piece[from..to]);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +618,51 @@ mod tests {
                 assert_eq!(collected, values, "format {format}, {parts} parts");
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_is_memoised_and_content_sensitive() {
+        let values = sample(3000);
+        let column = Column::compress(&values, &Format::DynBp);
+        assert_eq!(column.fingerprint(), column.fingerprint());
+        assert_eq!(column.clone().fingerprint(), column.fingerprint());
+        // Same content, same format, fresh instance: equal fingerprints.
+        let again = Column::compress(&values, &Format::DynBp);
+        assert_eq!(again.fingerprint(), column.fingerprint());
+        // Different format or different content: different fingerprints.
+        let other_format = Column::compress(&values, &Format::DeltaDynBp);
+        assert_ne!(other_format.fingerprint(), column.fingerprint());
+        let mut changed = values.clone();
+        changed[17] += 1;
+        let other_content = Column::compress(&changed, &Format::DynBp);
+        assert_ne!(other_content.fingerprint(), column.fingerprint());
+    }
+
+    #[test]
+    fn logical_ranges_decode_exactly_for_all_formats() {
+        let values = sample(5003);
+        let max = *values.iter().max().unwrap();
+        for format in Format::all_formats(max) {
+            let column = Column::compress(&values, &format);
+            for range in [0..0, 0..1, 0..5003, 17..17, 13..1400, 511..513, 4000..5003] {
+                let mut collected = Vec::new();
+                column.for_each_logical_range(range.clone(), &mut |piece| {
+                    collected.extend_from_slice(piece)
+                });
+                assert_eq!(
+                    collected,
+                    values[range.clone()],
+                    "format {format}, {range:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn logical_range_out_of_bounds_panics() {
+        let column = Column::from_slice(&[1, 2, 3]);
+        column.for_each_logical_range(0..4, &mut |_| {});
     }
 
     #[test]

@@ -93,15 +93,35 @@ impl ColumnStats {
         }
     }
 
-    /// Compute statistics from a column (decompressing it chunk-wise).
+    /// Statistics of a column, served from the column's compute-once memo
+    /// ([`Column::stats`]) — repeated calls on the same column (or a clone
+    /// of it) never rescan the data.
     ///
-    /// Note: `sorted`, `runs` and `avg_delta_bit_width` are computed across
-    /// chunk boundaries, so the result is identical to
-    /// [`ColumnStats::from_values`] on the decompressed data.
+    /// The result is identical to [`ColumnStats::from_values`] on the
+    /// decompressed data.
     pub fn from_column(column: &Column) -> ColumnStats {
-        // Chunk-wise computation would duplicate the logic; columns used for
-        // statistics in the engine are moderate in size, so decompress once.
-        ColumnStats::from_values(&column.decompress())
+        column.stats().clone()
+    }
+
+    /// A 64-bit digest of the statistics, used by the plan-level cache to
+    /// key memoised format decisions: two columns with equal statistics get
+    /// equal digests, and any differing field changes the digest.
+    pub fn digest(&self) -> u64 {
+        const PRIME: u64 = 0x100000001B3;
+        let mut state: u64 = 0xCBF29CE484222325;
+        let mut mix = |word: u64| state = (state ^ word).wrapping_mul(PRIME);
+        mix(self.len as u64);
+        mix(self.min);
+        mix(self.max);
+        mix(self.distinct as u64);
+        mix(self.sorted as u64);
+        mix(self.runs as u64);
+        for &count in &self.bit_width_histogram {
+            mix(count as u64);
+        }
+        mix(self.avg_delta_bit_width.to_bits());
+        mix(self.range_bit_width as u64);
+        state
     }
 
     /// Effective bit width of the largest value.
@@ -211,6 +231,28 @@ mod tests {
             ColumnStats::from_column(&column),
             ColumnStats::from_values(&values)
         );
+    }
+
+    #[test]
+    fn stats_are_memoised_and_travel_with_clones() {
+        let values: Vec<u64> = (0..2000u64).map(|i| i % 13).collect();
+        let column = Column::compress(&values, &Format::Rle);
+        let first = column.stats() as *const ColumnStats;
+        let second = column.stats() as *const ColumnStats;
+        assert_eq!(first, second, "second call must hit the memo");
+        // A clone keeps the computed statistics and stays byte-equal.
+        let clone = column.clone();
+        assert_eq!(clone.stats(), column.stats());
+        assert_eq!(clone, column, "memo state must not affect equality");
+    }
+
+    #[test]
+    fn digest_distinguishes_differing_stats() {
+        let a = ColumnStats::from_values(&[1, 2, 3, 4]);
+        let b = ColumnStats::from_values(&[1, 2, 3, 5]);
+        let c = ColumnStats::from_values(&[1, 2, 3, 4]);
+        assert_eq!(a.digest(), c.digest());
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

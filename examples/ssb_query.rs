@@ -76,8 +76,10 @@ fn main() {
     for query in SsbQuery::all() {
         let mut reference = None;
         for (label, settings, base, default_format, threads) in &configurations {
-            let mut ctx =
-                ExecutionContext::new(*settings, FormatConfig::with_default(*default_format));
+            let mut ctx = ExecutionContext::new(
+                settings.clone(),
+                FormatConfig::with_default(*default_format),
+            );
             let start = Instant::now();
             let result = if *threads > 1 {
                 query.execute_parallel(base, &mut ctx, *threads)

@@ -43,6 +43,7 @@
 //!     values.iter().filter(|&&v| v < 10).count()
 //! );
 //! ```
+pub use morph_cache as cache;
 pub use morph_compression as compression;
 pub use morph_cost as cost;
 pub use morph_ssb as ssb;
@@ -52,6 +53,7 @@ pub use morphstore_engine as engine;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
+    pub use morph_cache::{CacheKey, CacheStats, QueryCache};
     pub use morph_compression::{Format, NsScheme};
     pub use morph_cost::{DataCharacteristics, FormatSelectionStrategy, SelectionObjective};
     pub use morph_ssb::{SsbData, SsbQuery};
