@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use morph_bench::{
     fmt_ms, print_header, print_row, ssb_speedup_json, CacheRow, HarnessArgs, MorselSweep,
-    SpeedupRow,
+    PairwisePeak, SpeedupRow,
 };
 use morph_compression::Format;
 use morph_ssb::{dbgen, SsbQuery};
@@ -105,6 +105,9 @@ fn main() {
     // One cache shared by all queries: structurally identical subplans are
     // shared across them, exactly like a server handling repeated traffic.
     let cache = Arc::new(QueryCache::with_budget(512 * 1024 * 1024));
+    // Track the pairwise operators' transient carry buffers over the whole
+    // workload: the streaming pairwise reader bounds them by one chunk.
+    morphstore_engine::transient::reset();
     let mut rows = Vec::new();
     let mut cache_rows = Vec::new();
     for query in SsbQuery::all() {
@@ -204,7 +207,22 @@ fn main() {
     let json_path = std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ssb.json").to_string()
     });
-    let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows, &cache_rows);
+    // Every query ran its pairwise operators (serial, parallel, morsel and
+    // cache sweeps) since the reset; the recorded peak must honour the
+    // one-chunk carry bound — fail loudly if a regression reintroduced an
+    // O(column) transient buffer.
+    let pairwise = PairwisePeak::capture();
+    assert!(
+        pairwise.holds(),
+        "pairwise transient peak {} bytes exceeds the one-chunk bound of {} bytes",
+        pairwise.peak_bytes,
+        pairwise.bound_bytes
+    );
+    eprintln!(
+        "pairwise transient peak: {} bytes (bound {} bytes/carry — O(chunk), not O(column))",
+        pairwise.peak_bytes, pairwise.bound_bytes
+    );
+    let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows, &cache_rows, pairwise);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(err) => eprintln!("could not write {json_path}: {err}"),

@@ -305,24 +305,59 @@ fn ns_list(durations: &[Duration]) -> String {
         .join(", ")
 }
 
+/// The transient-buffer measurement of one `parallel_speedup` run: the
+/// high-water mark of the pairwise carry buffers over the whole workload
+/// (serial + parallel + morsel + cache sweeps of all 13 queries) and the
+/// bound it must stay under.
+///
+/// Before the streaming pairwise reader, the pairwise operators
+/// decompressed one input per pairing — O(column) transient bytes; the
+/// carry buffers are O(chunk), and this record is the committed evidence.
+#[derive(Debug, Clone, Copy)]
+pub struct PairwisePeak {
+    /// Peak carry-buffer bytes observed (`morphstore_engine::transient`).
+    pub peak_bytes: usize,
+    /// The one-chunk bound the peak must not exceed.
+    pub bound_bytes: usize,
+}
+
+impl PairwisePeak {
+    /// Capture the current peak from the engine's counter.
+    pub fn capture() -> PairwisePeak {
+        PairwisePeak {
+            peak_bytes: morphstore_engine::transient::peak_bytes(),
+            bound_bytes: morphstore_engine::transient::CARRY_BOUND_BYTES,
+        }
+    }
+
+    /// Whether the recorded peak honours the O(chunk) bound.
+    pub fn holds(&self) -> bool {
+        self.peak_bytes <= self.bound_bytes
+    }
+}
+
 /// Serialise per-query serial/parallel wall-clock measurements as the
 /// `BENCH_ssb.json` document (hand-rolled: the environment has no serde).
 ///
 /// Schema: `{benchmark, scale_factor, seed, runs, threads: [..],
-/// morsel_thresholds: [..], queries: [{query, serial_ns, parallel_ns: [..],
-/// morsel_parallel_ns: [[..], ..], best_speedup}], cache: [{query, cold_ns,
-/// warm_ns, warm_speedup, hit_rate}]}` with durations in integer
-/// nanoseconds, so CI tooling can diff runs without parsing the
-/// human-readable CSV.  `morsel_parallel_ns` holds one inner list per entry
-/// of `morsel_thresholds`, each aligned with `threads`; `best_speedup` is
-/// the serial runtime over the fastest parallel run of any configuration;
-/// `cache` holds the cold-vs-warm repeated-run workload against a shared
-/// plan cache (empty when the workload was not measured).
+/// morsel_thresholds: [..], pairwise_peak_transient_bytes,
+/// pairwise_transient_bound_bytes, queries: [{query, serial_ns,
+/// parallel_ns: [..], morsel_parallel_ns: [[..], ..], best_speedup}],
+/// cache: [{query, cold_ns, warm_ns, warm_speedup, hit_rate}]}` with
+/// durations in integer nanoseconds, so CI tooling can diff runs without
+/// parsing the human-readable CSV.  `morsel_parallel_ns` holds one inner
+/// list per entry of `morsel_thresholds`, each aligned with `threads`;
+/// `best_speedup` is the serial runtime over the fastest parallel run of
+/// any configuration; `cache` holds the cold-vs-warm repeated-run workload
+/// against a shared plan cache (empty when the workload was not measured);
+/// the `pairwise_*` pair records the peak transient carry bytes of the
+/// position-wise binary operators against their one-chunk bound.
 pub fn ssb_speedup_json(
     args: &HarnessArgs,
     threads: &[usize],
     rows: &[SpeedupRow],
     cache_rows: &[CacheRow],
+    pairwise: PairwisePeak,
 ) -> String {
     let threads_json: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
     let thresholds: Vec<usize> = rows
@@ -377,13 +412,17 @@ pub fn ssb_speedup_json(
     format!(
         "{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"scale_factor\": {},\n  \
          \"seed\": {},\n  \"runs\": {},\n  \"threads\": [{}],\n  \
-         \"morsel_thresholds\": [{}],\n  \"queries\": [\n{}\n  ],\n  \
+         \"morsel_thresholds\": [{}],\n  \
+         \"pairwise_peak_transient_bytes\": {},\n  \
+         \"pairwise_transient_bound_bytes\": {},\n  \"queries\": [\n{}\n  ],\n  \
          \"cache\": [\n{}\n  ]\n}}\n",
         args.scale_factor,
         args.seed,
         args.runs,
         threads_json.join(", "),
         thresholds_json.join(", "),
+        pairwise.peak_bytes,
+        pairwise.bound_bytes,
         queries.join(",\n"),
         cache.join(",\n")
     )
@@ -442,10 +481,18 @@ mod tests {
             warm: Duration::from_micros(10),
             hit_rate: 0.975,
         }];
-        let json = ssb_speedup_json(&args, &[1, 2], &rows, &cache_rows);
+        let pairwise = PairwisePeak {
+            peak_bytes: 16384,
+            bound_bytes: 16384,
+        };
+        assert!(pairwise.holds());
+        let json = ssb_speedup_json(&args, &[1, 2], &rows, &cache_rows, pairwise);
         assert!(json.contains("\"benchmark\": \"ssb_parallel_speedup\""));
         assert!(json.contains("\"threads\": [1, 2]"));
         assert!(json.contains("\"morsel_thresholds\": [65536, 262144]"));
+        // The pairwise carry high-water mark and its one-chunk bound.
+        assert!(json.contains("\"pairwise_peak_transient_bytes\": 16384"));
+        assert!(json.contains("\"pairwise_transient_bound_bytes\": 16384"));
         assert!(json.contains("\"query\": \"4.1\""));
         assert!(json.contains("\"serial_ns\": 100000"));
         assert!(json.contains("\"parallel_ns\": [101000, 50000]"));

@@ -14,7 +14,33 @@
 //! it works for unsorted data too, merely with larger widths.
 
 use crate::bitpack;
-use crate::{Compressor, DYN_BP_BLOCK};
+use crate::{ChunkCursor, ChunkEntry, Compressor, DecodeError, DYN_BP_BLOCK};
+
+/// Validate and read the `[reference: u64][width: u8]` header of the block
+/// starting at `offset`, returning the reference, the width and the byte
+/// length of the packed payload behind the header.  Shared by the DELTA and
+/// FOR decoders (both cascades use the same per-block layout).
+pub(crate) fn checked_cascade_header(
+    format: &'static str,
+    bytes: &[u8],
+    offset: usize,
+) -> Result<(u64, u8, usize), DecodeError> {
+    crate::ensure_bytes(format, bytes, offset, 9)?;
+    let reference = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+    let width = bytes[offset + 8];
+    if !(1..=64).contains(&width) {
+        return Err(DecodeError::CorruptHeader {
+            format,
+            detail: format!(
+                "block width {width} at offset {} is not in 1..=64",
+                offset + 8
+            ),
+        });
+    }
+    let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+    crate::ensure_bytes(format, bytes, offset + 9, packed)?;
+    Ok((reference, width, packed))
+}
 
 /// Streaming compressor for DELTA + dynamic BP.  Carries the last value seen
 /// so far so that consecutive [`Compressor::append`] calls form one
@@ -68,41 +94,142 @@ impl Compressor for DeltaDynBpCompressor {
 
 /// Decode `count` values (a multiple of the block size), handing one block of
 /// 512 uncompressed values at a time to `consumer`.
+///
+/// # Panics
+/// Panics if the buffer is truncated or a header is corrupt; use
+/// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(
-        count % DYN_BP_BLOCK,
-        0,
-        "DELTA+BP main part must be whole blocks"
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Decode the block starting at `offset` into `values` via the scratch
+/// `deltas` buffer, returning the offset of the next block.
+fn decode_block(
+    bytes: &[u8],
+    offset: usize,
+    reference: u64,
+    width: u8,
+    packed: usize,
+    deltas: &mut Vec<u64>,
+    values: &mut Vec<u64>,
+) -> usize {
+    deltas.clear();
+    bitpack::unpack_into(
+        &bytes[offset + 9..offset + 9 + packed],
+        width,
+        DYN_BP_BLOCK,
+        deltas,
     );
+    values.clear();
+    let mut prev = reference;
+    for &delta in deltas.iter() {
+        prev = prev.wrapping_add(delta);
+        values.push(prev);
+    }
+    offset + 9 + packed
+}
+
+/// Fallible variant of [`for_each_block`]: truncated payloads and invalid
+/// header fields yield a [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
+    if !count.is_multiple_of(DYN_BP_BLOCK) {
+        return Err(DecodeError::CorruptHeader {
+            format: "DELTA+BP",
+            detail: format!(
+                "main part of {count} elements is not whole {DYN_BP_BLOCK}-element blocks"
+            ),
+        });
+    }
     let blocks = count / DYN_BP_BLOCK;
     let mut deltas: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut values: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut offset = 0usize;
     for _ in 0..blocks {
-        let reference = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
-        offset += 8;
-        let width = bytes[offset];
-        assert!(
-            (1..=64).contains(&width),
-            "corrupt DELTA+BP header: width {width}"
-        );
-        offset += 1;
-        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
-        deltas.clear();
-        bitpack::unpack_into(
-            &bytes[offset..offset + packed],
+        let (reference, width, packed) = checked_cascade_header("DELTA+BP", bytes, offset)?;
+        offset = decode_block(
+            bytes,
+            offset,
+            reference,
             width,
-            DYN_BP_BLOCK,
+            packed,
             &mut deltas,
+            &mut values,
         );
-        offset += packed;
-        values.clear();
-        let mut prev = reference;
-        for &delta in &deltas {
-            prev = prev.wrapping_add(delta);
-            values.push(prev);
-        }
         consumer(&values);
+    }
+    Ok(())
+}
+
+/// Pull-based [`ChunkCursor`] over a DELTA+BP main part: one 512-element
+/// block per chunk.  Every block carries its own reference value, so blocks
+/// are self-contained and seeking needs no prefix replay.
+#[derive(Debug)]
+pub struct DeltaCursor<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    directory: &'a [ChunkEntry],
+    logical: usize,
+    byte_offset: usize,
+    deltas: Vec<u64>,
+    buffer: Vec<u64>,
+}
+
+impl<'a> DeltaCursor<'a> {
+    /// Create a cursor over `count` values (whole blocks) with the main
+    /// part's chunk `directory`, positioned at the first element.
+    pub fn new(bytes: &'a [u8], count: usize, directory: &'a [ChunkEntry]) -> DeltaCursor<'a> {
+        debug_assert_eq!(count % DYN_BP_BLOCK, 0);
+        DeltaCursor {
+            bytes,
+            count,
+            directory,
+            logical: 0,
+            byte_offset: 0,
+            deltas: Vec::with_capacity(DYN_BP_BLOCK.min(count)),
+            buffer: Vec::with_capacity(DYN_BP_BLOCK.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for DeltaCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.logical >= self.count {
+            return None;
+        }
+        let offset = self.byte_offset;
+        let reference =
+            u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"));
+        let width = self.bytes[offset + 8];
+        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+        self.byte_offset = decode_block(
+            self.bytes,
+            offset,
+            reference,
+            width,
+            packed,
+            &mut self.deltas,
+            &mut self.buffer,
+        );
+        self.logical += DYN_BP_BLOCK;
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        match self.directory.get(chunk_idx) {
+            Some(entry) => {
+                self.byte_offset = entry.byte_offset;
+                self.logical = entry.logical_start;
+            }
+            None => self.logical = self.count,
+        }
     }
 }
 

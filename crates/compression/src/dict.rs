@@ -20,7 +20,7 @@
 //! `[key width: u8][packed keys: ceil(count * width / 8) bytes]`.
 
 use crate::bitpack;
-use crate::{Compressor, CACHE_BUFFER_ELEMENTS};
+use crate::{ChunkCursor, Compressor, DecodeError, CACHE_BUFFER_ELEMENTS, CHUNK_DIRECTORY_TARGET};
 
 /// Streaming-interface compressor for the dictionary format (buffers all
 /// input internally; see the module documentation).
@@ -73,8 +73,21 @@ pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
 
 /// Decode the embedded dictionary of a non-empty encoding: the sorted
 /// distinct values, the byte offset of the packed key stream and the key
-/// width in bits.  Shared by the sequential and the seekable block decoders.
+/// width in bits.  Shared by the sequential and the seekable block decoders
+/// and by the pull cursor, all of which operate on engine-produced buffers.
+///
+/// # Panics
+/// Panics if the header is truncated or corrupt; use
+/// [`try_decode_dictionary`] for untrusted bytes.
 fn decode_dictionary(bytes: &[u8]) -> (Vec<u64>, usize, u8) {
+    try_decode_dictionary(bytes).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`decode_dictionary`]: every length is validated
+/// before it is trusted, so a truncated or corrupt header yields a
+/// structured [`DecodeError`] instead of a slicing panic.
+fn try_decode_dictionary(bytes: &[u8]) -> Result<(Vec<u64>, usize, u8), DecodeError> {
+    let (keys_offset, width) = try_header_layout(bytes)?;
     let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
     let mut dictionary: Vec<u64> = Vec::with_capacity(distinct);
     for i in 0..distinct {
@@ -83,16 +96,36 @@ fn decode_dictionary(bytes: &[u8]) -> (Vec<u64>, usize, u8) {
             bytes[offset..offset + 8].try_into().expect("8 bytes"),
         ));
     }
-    let (keys_offset, width) = header_layout(bytes);
-    (dictionary, keys_offset, width)
+    Ok((dictionary, keys_offset, width))
 }
 
 /// Decode `count` values, handing cache-resident chunks to `consumer`.
+///
+/// # Panics
+/// Panics if the buffer is truncated or corrupt; use [`try_for_each_block`]
+/// for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Fallible variant of [`for_each_block`]: a truncated header, a truncated
+/// key stream or a key pointing past the dictionary yields a
+/// [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
     if count == 0 {
-        return;
+        return Ok(());
     }
-    let (dictionary, keys_offset, width) = decode_dictionary(bytes);
+    let (dictionary, keys_offset, width) = try_decode_dictionary(bytes)?;
+    crate::ensure_bytes(
+        "DICT",
+        bytes,
+        keys_offset,
+        bitpack::packed_size_bytes(count, width),
+    )?;
     let packed = &bytes[keys_offset..];
     let mut keys: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
     let mut values: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
@@ -114,10 +147,24 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
             }
         }
         values.clear();
-        values.extend(keys.iter().map(|&k| dictionary[k as usize]));
+        for &k in &keys {
+            match dictionary.get(k as usize) {
+                Some(&value) => values.push(value),
+                None => {
+                    return Err(DecodeError::CorruptHeader {
+                        format: "DICT",
+                        detail: format!(
+                            "key {k} exceeds the dictionary of {} entries",
+                            dictionary.len()
+                        ),
+                    })
+                }
+            }
+        }
         consumer(&values);
         done += chunk;
     }
+    Ok(())
 }
 
 /// Parse the header of a non-empty dictionary encoding: returns the byte
@@ -125,10 +172,40 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
 ///
 /// Used by the chunk directory to compute seek points into the key stream
 /// without decoding any values.
+///
+/// # Panics
+/// Panics if the header is truncated or corrupt; use [`try_header_layout`]
+/// for untrusted bytes.
 pub fn header_layout(bytes: &[u8]) -> (usize, u8) {
-    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
-    let width_offset = 8 + distinct * 8;
-    (width_offset + 1, bytes[width_offset])
+    try_header_layout(bytes).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible variant of [`header_layout`]: validates that the buffer holds
+/// the distinct count, all dictionary entries and the width byte, and that
+/// the width is a legal bit width, before any of them is used.
+pub fn try_header_layout(bytes: &[u8]) -> Result<(usize, u8), DecodeError> {
+    crate::ensure_bytes("DICT", bytes, 0, 8)?;
+    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    // The dictionary must fit into addressable memory before the size
+    // arithmetic below can be trusted (a hostile 2^61-entry count would
+    // overflow `usize` multiplication).
+    let entries_bytes = distinct
+        .checked_mul(8)
+        .and_then(|b| usize::try_from(b).ok())
+        .ok_or_else(|| DecodeError::CorruptHeader {
+            format: "DICT",
+            detail: format!("implausible distinct-value count {distinct}"),
+        })?;
+    crate::ensure_bytes("DICT", bytes, 8, entries_bytes + 1)?;
+    let width_offset = 8 + entries_bytes;
+    let width = bytes[width_offset];
+    if !(1..=64).contains(&width) {
+        return Err(DecodeError::CorruptHeader {
+            format: "DICT",
+            detail: format!("key width {width} is not in 1..=64"),
+        });
+    }
+    Ok((width_offset + 1, width))
 }
 
 /// Decode the `count` values starting at logical position `start`, handing
@@ -169,6 +246,73 @@ pub fn for_each_block_in(
         values.extend(keys.iter().map(|&k| dictionary[k as usize]));
         consumer(&values);
         done += chunk;
+    }
+}
+
+/// Pull-based [`ChunkCursor`] over a dictionary-encoded main part.  The
+/// embedded dictionary is decoded once at construction (it is format
+/// metadata, not transient uncompressed data); chunks decode
+/// [`CACHE_BUFFER_ELEMENTS`]-element strides of the packed key stream, which
+/// are byte-aligned for every key width, so seeks are pure arithmetic.
+#[derive(Debug)]
+pub struct DictCursor<'a> {
+    dictionary: Vec<u64>,
+    packed: &'a [u8],
+    width: u8,
+    count: usize,
+    pos: usize,
+    keys: Vec<u64>,
+    buffer: Vec<u64>,
+}
+
+impl<'a> DictCursor<'a> {
+    /// Create a cursor over `count` values of a dictionary encoding,
+    /// positioned at the first element.
+    pub fn new(bytes: &'a [u8], count: usize) -> DictCursor<'a> {
+        let (dictionary, keys_offset, width) = if count == 0 {
+            (Vec::new(), 0, 1)
+        } else {
+            decode_dictionary(bytes)
+        };
+        DictCursor {
+            dictionary,
+            packed: &bytes[keys_offset..],
+            width,
+            count,
+            pos: 0,
+            keys: Vec::with_capacity(CACHE_BUFFER_ELEMENTS.min(count)),
+            buffer: Vec::with_capacity(CACHE_BUFFER_ELEMENTS.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for DictCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.pos >= self.count {
+            return None;
+        }
+        let chunk = (self.count - self.pos).min(CACHE_BUFFER_ELEMENTS);
+        // `pos` only ever rests on multiples of CACHE_BUFFER_ELEMENTS (seek
+        // strides and chunk advances), so the key window is byte-aligned.
+        let bit = self.pos * self.width as usize;
+        debug_assert!(bit.is_multiple_of(8));
+        self.keys.clear();
+        bitpack::unpack_into(&self.packed[bit / 8..], self.width, chunk, &mut self.keys);
+        self.buffer.clear();
+        self.buffer
+            .extend(self.keys.iter().map(|&k| self.dictionary[k as usize]));
+        self.pos += chunk;
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        self.pos = chunk_idx
+            .saturating_mul(CHUNK_DIRECTORY_TARGET)
+            .min(self.count);
     }
 }
 

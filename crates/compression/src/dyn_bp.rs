@@ -13,7 +13,7 @@
 //! Layout per block: `[width: u8][packed values: 64 * width bytes]`.
 
 use crate::bitpack;
-use crate::{Compressor, DYN_BP_BLOCK};
+use crate::{ChunkCursor, ChunkEntry, Compressor, DecodeError, DYN_BP_BLOCK};
 
 /// Streaming compressor for dynamic bit packing.
 #[derive(Debug, Default, Clone, Copy)]
@@ -50,23 +50,56 @@ pub fn block_encoded_size(width: u8) -> usize {
 
 /// Decode `count` values (a multiple of the block size), handing one block of
 /// 512 uncompressed values at a time to `consumer`.
+///
+/// # Panics
+/// Panics if the buffer is truncated or a header is corrupt; use
+/// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(
-        count % DYN_BP_BLOCK,
-        0,
-        "dynamic BP main part must be whole blocks"
-    );
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Validate and read the width byte of the block starting at `offset`,
+/// returning the width and the byte length of the packed payload behind it.
+/// Shared by the fallible decoder and the pull cursor.
+fn checked_block_header(
+    format: &'static str,
+    bytes: &[u8],
+    offset: usize,
+) -> Result<(u8, usize), DecodeError> {
+    crate::ensure_bytes(format, bytes, offset, 1)?;
+    let width = bytes[offset];
+    if !(1..=64).contains(&width) {
+        return Err(DecodeError::CorruptHeader {
+            format,
+            detail: format!("block width {width} at offset {offset} is not in 1..=64"),
+        });
+    }
+    let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+    crate::ensure_bytes(format, bytes, offset + 1, packed)?;
+    Ok((width, packed))
+}
+
+/// Fallible variant of [`for_each_block`]: truncated payloads and invalid
+/// width bytes yield a [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
+    if !count.is_multiple_of(DYN_BP_BLOCK) {
+        return Err(DecodeError::CorruptHeader {
+            format: "dynamic BP",
+            detail: format!(
+                "main part of {count} elements is not whole {DYN_BP_BLOCK}-element blocks"
+            ),
+        });
+    }
     let mut buffer: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut offset_bytes = 0usize;
     let blocks = count / DYN_BP_BLOCK;
     for _ in 0..blocks {
-        let width = bytes[offset_bytes];
-        assert!(
-            (1..=64).contains(&width),
-            "corrupt dynamic BP header: width {width}"
-        );
+        let (width, packed) = checked_block_header("dynamic BP", bytes, offset_bytes)?;
         offset_bytes += 1;
-        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
         buffer.clear();
         bitpack::unpack_into(
             &bytes[offset_bytes..offset_bytes + packed],
@@ -76,6 +109,70 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
         );
         consumer(&buffer);
         offset_bytes += packed;
+    }
+    Ok(())
+}
+
+/// Pull-based [`ChunkCursor`] over a dynamic-BP main part: one 512-element
+/// block per chunk.  Block offsets are data-dependent, so seeks go through
+/// the chunk directory (one entry per block).
+#[derive(Debug)]
+pub struct DynBpCursor<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    directory: &'a [ChunkEntry],
+    logical: usize,
+    byte_offset: usize,
+    buffer: Vec<u64>,
+}
+
+impl<'a> DynBpCursor<'a> {
+    /// Create a cursor over `count` values (whole blocks) with the main
+    /// part's chunk `directory`, positioned at the first element.
+    pub fn new(bytes: &'a [u8], count: usize, directory: &'a [ChunkEntry]) -> DynBpCursor<'a> {
+        debug_assert_eq!(count % DYN_BP_BLOCK, 0);
+        DynBpCursor {
+            bytes,
+            count,
+            directory,
+            logical: 0,
+            byte_offset: 0,
+            buffer: Vec::with_capacity(DYN_BP_BLOCK.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for DynBpCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.logical >= self.count {
+            return None;
+        }
+        let width = self.bytes[self.byte_offset];
+        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+        self.buffer.clear();
+        bitpack::unpack_into(
+            &self.bytes[self.byte_offset + 1..self.byte_offset + 1 + packed],
+            width,
+            DYN_BP_BLOCK,
+            &mut self.buffer,
+        );
+        self.logical += DYN_BP_BLOCK;
+        self.byte_offset += 1 + packed;
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        match self.directory.get(chunk_idx) {
+            Some(entry) => {
+                self.byte_offset = entry.byte_offset;
+                self.logical = entry.logical_start;
+            }
+            None => self.logical = self.count,
+        }
     }
 }
 

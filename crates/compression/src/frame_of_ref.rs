@@ -10,7 +10,8 @@
 //! `[reference: u64 LE][width: u8][packed offsets: 64 * width bytes]`.
 
 use crate::bitpack;
-use crate::{Compressor, DYN_BP_BLOCK};
+use crate::delta::checked_cascade_header;
+use crate::{ChunkCursor, ChunkEntry, Compressor, DecodeError, DYN_BP_BLOCK};
 
 /// Streaming compressor for FOR + dynamic BP.  The reference is chosen per
 /// block, so the compressor itself is stateless.
@@ -41,37 +42,138 @@ impl Compressor for ForDynBpCompressor {
 
 /// Decode `count` values (a multiple of the block size), handing one block of
 /// 512 uncompressed values at a time to `consumer`.
+///
+/// # Panics
+/// Panics if the buffer is truncated or a header is corrupt; use
+/// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(
-        count % DYN_BP_BLOCK,
-        0,
-        "FOR+BP main part must be whole blocks"
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Decode the block starting at `offset` into `values` via the scratch
+/// `offsets` buffer, returning the offset of the next block.
+fn decode_block(
+    bytes: &[u8],
+    offset: usize,
+    reference: u64,
+    width: u8,
+    packed: usize,
+    offsets: &mut Vec<u64>,
+    values: &mut Vec<u64>,
+) -> usize {
+    offsets.clear();
+    bitpack::unpack_into(
+        &bytes[offset + 9..offset + 9 + packed],
+        width,
+        DYN_BP_BLOCK,
+        offsets,
     );
+    values.clear();
+    values.extend(offsets.iter().map(|&o| reference.wrapping_add(o)));
+    offset + 9 + packed
+}
+
+/// Fallible variant of [`for_each_block`]: truncated payloads and invalid
+/// header fields yield a [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
+    if !count.is_multiple_of(DYN_BP_BLOCK) {
+        return Err(DecodeError::CorruptHeader {
+            format: "FOR+BP",
+            detail: format!(
+                "main part of {count} elements is not whole {DYN_BP_BLOCK}-element blocks"
+            ),
+        });
+    }
     let blocks = count / DYN_BP_BLOCK;
     let mut offsets: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut values: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
     let mut offset = 0usize;
     for _ in 0..blocks {
-        let reference = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
-        offset += 8;
-        let width = bytes[offset];
-        assert!(
-            (1..=64).contains(&width),
-            "corrupt FOR+BP header: width {width}"
-        );
-        offset += 1;
-        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
-        offsets.clear();
-        bitpack::unpack_into(
-            &bytes[offset..offset + packed],
+        let (reference, width, packed) = checked_cascade_header("FOR+BP", bytes, offset)?;
+        offset = decode_block(
+            bytes,
+            offset,
+            reference,
             width,
-            DYN_BP_BLOCK,
+            packed,
             &mut offsets,
+            &mut values,
         );
-        offset += packed;
-        values.clear();
-        values.extend(offsets.iter().map(|&o| reference.wrapping_add(o)));
         consumer(&values);
+    }
+    Ok(())
+}
+
+/// Pull-based [`ChunkCursor`] over a FOR+BP main part: one 512-element block
+/// per chunk.  Every block carries its own reference, so blocks are
+/// self-contained and seeking needs no prefix replay.
+#[derive(Debug)]
+pub struct ForCursor<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    directory: &'a [ChunkEntry],
+    logical: usize,
+    byte_offset: usize,
+    offsets: Vec<u64>,
+    buffer: Vec<u64>,
+}
+
+impl<'a> ForCursor<'a> {
+    /// Create a cursor over `count` values (whole blocks) with the main
+    /// part's chunk `directory`, positioned at the first element.
+    pub fn new(bytes: &'a [u8], count: usize, directory: &'a [ChunkEntry]) -> ForCursor<'a> {
+        debug_assert_eq!(count % DYN_BP_BLOCK, 0);
+        ForCursor {
+            bytes,
+            count,
+            directory,
+            logical: 0,
+            byte_offset: 0,
+            offsets: Vec::with_capacity(DYN_BP_BLOCK.min(count)),
+            buffer: Vec::with_capacity(DYN_BP_BLOCK.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for ForCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.logical >= self.count {
+            return None;
+        }
+        let offset = self.byte_offset;
+        let reference =
+            u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"));
+        let width = self.bytes[offset + 8];
+        let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
+        self.byte_offset = decode_block(
+            self.bytes,
+            offset,
+            reference,
+            width,
+            packed,
+            &mut self.offsets,
+            &mut self.buffer,
+        );
+        self.logical += DYN_BP_BLOCK;
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        match self.directory.get(chunk_idx) {
+            Some(entry) => {
+                self.byte_offset = entry.byte_offset;
+                self.logical = entry.logical_start;
+            }
+            None => self.logical = self.count,
+        }
     }
 }
 

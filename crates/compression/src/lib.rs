@@ -278,6 +278,78 @@ pub fn compress_main_part(format: &Format, values: &[u64]) -> (Vec<u8>, usize) {
     (out, main_len)
 }
 
+/// Error returned by the fallible decoders when an encoded main part is
+/// truncated or structurally corrupt.
+///
+/// Columns produced by this crate are always well-formed, so the engine's
+/// hot paths use the infallible decoders (which panic with the same
+/// diagnostics); the fallible `try_*` entry points exist for bytes that
+/// cross a trust boundary — network buffers, on-disk snapshots, fuzzers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The encoded buffer ends before the data it promises.
+    Truncated {
+        /// Canonical name of the format whose decoder failed.
+        format: &'static str,
+        /// Byte offset at which the decoder needed more input.
+        offset: usize,
+        /// Number of bytes required at `offset`.
+        needed: usize,
+        /// Number of bytes actually available from `offset`.
+        available: usize,
+    },
+    /// A header field holds a value no encoder produces.
+    CorruptHeader {
+        /// Canonical name of the format whose decoder failed.
+        format: &'static str,
+        /// Human-readable description of the impossible field.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated {
+                format,
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {format} input: need {needed} bytes at offset {offset}, \
+                 have {available}"
+            ),
+            DecodeError::CorruptHeader { format, detail } => {
+                write!(f, "corrupt {format} header: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Check that `bytes` holds `needed` bytes starting at `offset`, returning a
+/// [`DecodeError::Truncated`] naming `format` otherwise.  The one bounds
+/// check every fallible decoder shares.
+pub(crate) fn ensure_bytes(
+    format: &'static str,
+    bytes: &[u8],
+    offset: usize,
+    needed: usize,
+) -> Result<(), DecodeError> {
+    let available = bytes.len().saturating_sub(offset);
+    if available < needed {
+        return Err(DecodeError::Truncated {
+            format,
+            offset,
+            needed,
+            available,
+        });
+    }
+    Ok(())
+}
+
 /// Decompress the whole compressed main part (`count` elements) into `out`.
 pub fn decompress_into(format: &Format, bytes: &[u8], count: usize, out: &mut Vec<u64>) {
     out.reserve(count);
@@ -292,20 +364,41 @@ pub fn decompress_into(format: &Format, bytes: &[u8], count: usize, out: &mut Ve
 /// The chunks are bounded in size (at most a few KiB), so the uncompressed
 /// data stays cache-resident — this is the input-side buffer layer of the
 /// paper's Figure 4.
+///
+/// # Panics
+/// Panics if the buffer is truncated or corrupt; use
+/// [`try_for_each_decompressed_block`] for untrusted bytes.
 pub fn for_each_decompressed_block(
     format: &Format,
     bytes: &[u8],
     count: usize,
     consumer: &mut dyn FnMut(&[u64]),
 ) {
+    try_for_each_decompressed_block(format, bytes, count, consumer)
+        .unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Fallible variant of [`for_each_decompressed_block`]: every length and
+/// header field is validated before use, so truncated or corrupt input
+/// yields a structured [`DecodeError`] instead of a panic.
+///
+/// `consumer` may have been invoked with a prefix of the data before an
+/// error is detected (decoding is streaming); on `Err` the decoded prefix
+/// must be discarded.
+pub fn try_for_each_decompressed_block(
+    format: &Format,
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
     match format {
-        Format::Uncompressed => uncompressed::for_each_block(bytes, count, consumer),
-        Format::StaticBp(width) => static_bp::for_each_block(bytes, *width, count, consumer),
-        Format::DynBp => dyn_bp::for_each_block(bytes, count, consumer),
-        Format::DeltaDynBp => delta::for_each_block(bytes, count, consumer),
-        Format::ForDynBp => frame_of_ref::for_each_block(bytes, count, consumer),
-        Format::Rle => rle::for_each_block(bytes, count, consumer),
-        Format::Dict => dict::for_each_block(bytes, count, consumer),
+        Format::Uncompressed => uncompressed::try_for_each_block(bytes, count, consumer),
+        Format::StaticBp(width) => static_bp::try_for_each_block(bytes, *width, count, consumer),
+        Format::DynBp => dyn_bp::try_for_each_block(bytes, count, consumer),
+        Format::DeltaDynBp => delta::try_for_each_block(bytes, count, consumer),
+        Format::ForDynBp => frame_of_ref::try_for_each_block(bytes, count, consumer),
+        Format::Rle => rle::try_for_each_block(bytes, count, consumer),
+        Format::Dict => dict::try_for_each_block(bytes, count, consumer),
     }
 }
 
@@ -468,6 +561,67 @@ pub fn for_each_decompressed_block_in(
         // DICT needs the embedded dictionary from the buffer head; the seek
         // happens inside the packed key stream.
         Format::Dict => dict::for_each_block_in(bytes, start.logical_start, span, consumer),
+    }
+}
+
+/// A pull-based block decoder over an encoded main part.
+///
+/// The push-style [`for_each_decompressed_block`] drives one decoder to
+/// completion, which is exactly wrong for position-wise *binary* operators:
+/// two push decoders cannot be interleaved on one thread.  A `ChunkCursor`
+/// inverts control — the caller pulls one cache-resident chunk at a time —
+/// so any number of compressed inputs can be paired with a carry buffer
+/// bounded by one chunk each, never a whole column.
+///
+/// Contract:
+///
+/// * [`next_chunk`](ChunkCursor::next_chunk) decodes and returns the next
+///   chunk of values, or `None` at the end of the stream.  Chunks come in
+///   stream order; their concatenation is exactly the sequential decode.
+///   Every chunk holds at most [`CACHE_BUFFER_ELEMENTS`] values (long RLE
+///   runs are split), so the uncompressed data stays cache-resident.  The
+///   returned slice borrows the cursor's internal decode buffer and is
+///   invalidated by the next call.
+/// * [`seek`](ChunkCursor::seek) repositions the cursor at the start of
+///   directory chunk `chunk_idx` — the entry index of [`chunk_directory`]
+///   for this main part — without decoding any prefix.  An index at or past
+///   the directory length positions the cursor at the end of the stream.
+pub trait ChunkCursor {
+    /// Decode and return the next chunk of values, or `None` when the
+    /// cursor is exhausted.
+    fn next_chunk(&mut self) -> Option<&[u64]>;
+
+    /// The chunk most recently returned by
+    /// [`next_chunk`](ChunkCursor::next_chunk), still resident in the
+    /// cursor's decode buffer.  Lets a caller re-borrow the current chunk
+    /// after releasing the `next_chunk` borrow (current borrow-checker
+    /// rules cannot express holding it across a conditional re-decode).
+    /// Contents are unspecified before the first decode and after a seek.
+    fn last_chunk(&self) -> &[u64];
+
+    /// Reposition the cursor at the start of directory chunk `chunk_idx`.
+    fn seek(&mut self, chunk_idx: usize);
+}
+
+/// Create a [`ChunkCursor`] over an encoded main part of `count` elements.
+///
+/// `directory` must be the [`chunk_directory`] of exactly this main part;
+/// formats with data-dependent block offsets (the dynamic BP family, RLE)
+/// seek through it, fixed-stride formats seek by arithmetic.
+pub fn cursor_for<'a>(
+    format: &Format,
+    bytes: &'a [u8],
+    count: usize,
+    directory: &'a [ChunkEntry],
+) -> Box<dyn ChunkCursor + Send + 'a> {
+    match format {
+        Format::Uncompressed => Box::new(uncompressed::UncompressedCursor::new(bytes, count)),
+        Format::StaticBp(width) => Box::new(static_bp::StaticBpCursor::new(bytes, *width, count)),
+        Format::DynBp => Box::new(dyn_bp::DynBpCursor::new(bytes, count, directory)),
+        Format::DeltaDynBp => Box::new(delta::DeltaCursor::new(bytes, count, directory)),
+        Format::ForDynBp => Box::new(frame_of_ref::ForCursor::new(bytes, count, directory)),
+        Format::Rle => Box::new(rle::RleCursor::new(bytes, count, directory)),
+        Format::Dict => Box::new(dict::DictCursor::new(bytes, count)),
     }
 }
 

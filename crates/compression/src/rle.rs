@@ -12,7 +12,7 @@
 //! The format can represent any number of data elements (block size 1), so
 //! columns using it never have an uncompressed remainder.
 
-use crate::Compressor;
+use crate::{ChunkCursor, ChunkEntry, Compressor, DecodeError};
 
 /// Maximum number of elements materialised at once when decompressing runs
 /// block-wise (long runs are split so the uncompressed chunks stay
@@ -71,22 +71,49 @@ impl Compressor for RleCompressor {
 
 /// Visit every `(value, run_length)` pair of an RLE-encoded main part without
 /// decompressing it.  `count` is the number of *logical* data elements.
+///
+/// # Panics
+/// Panics if the buffer is truncated or a run header is corrupt; use
+/// [`try_for_each_run`] for untrusted bytes.
 pub fn for_each_run(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(u64, u64)) {
+    try_for_each_run(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Validate and read the `(value, run_length)` pair starting at `offset`.
+/// A zero or over-long run length is rejected — beyond being unencodable,
+/// a zero-length run would make every count-driven walk loop forever.
+fn checked_run(bytes: &[u8], offset: usize, remaining: u64) -> Result<(u64, u64), DecodeError> {
+    crate::ensure_bytes("RLE", bytes, offset, 16)?;
+    let value = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+    let run_len = u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().expect("8 bytes"));
+    if run_len == 0 || run_len > remaining {
+        return Err(DecodeError::CorruptHeader {
+            format: "RLE",
+            detail: format!(
+                "run of length {run_len} at offset {offset} with {remaining} elements remaining"
+            ),
+        });
+    }
+    Ok((value, run_len))
+}
+
+/// Fallible variant of [`for_each_run`]: truncated buffers and impossible
+/// run lengths (zero, or longer than the remaining element count) yield a
+/// [`DecodeError`] instead of a panic or an endless loop.
+pub fn try_for_each_run(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(u64, u64),
+) -> Result<(), DecodeError> {
     let mut remaining = count as u64;
     let mut offset = 0usize;
     while remaining > 0 {
-        assert!(
-            offset + 16 <= bytes.len(),
-            "corrupt RLE buffer: {remaining} elements missing"
-        );
-        let value = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
-        let run_len =
-            u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().expect("8 bytes"));
+        let (value, run_len) = checked_run(bytes, offset, remaining)?;
         offset += 16;
-        assert!(run_len <= remaining, "corrupt RLE buffer: run too long");
         consumer(value, run_len);
         remaining -= run_len;
     }
+    Ok(())
 }
 
 /// Number of runs in an RLE-encoded main part.
@@ -98,9 +125,23 @@ pub fn run_count(bytes: &[u8], count: usize) -> usize {
 
 /// Decode `count` values, handing cache-resident chunks of uncompressed
 /// values to `consumer` (long runs are split across chunks).
+///
+/// # Panics
+/// Panics if the buffer is truncated or a run header is corrupt; use
+/// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    let mut buffer: Vec<u64> = Vec::with_capacity(RLE_CHUNK);
-    for_each_run(bytes, count, &mut |value, run_len| {
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Fallible variant of [`for_each_block`]: truncated buffers and impossible
+/// run lengths yield a [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
+    let mut buffer: Vec<u64> = Vec::with_capacity(RLE_CHUNK.min(count));
+    try_for_each_run(bytes, count, &mut |value, run_len| {
         let mut remaining = run_len as usize;
         while remaining > 0 {
             let space = RLE_CHUNK - buffer.len();
@@ -112,9 +153,92 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
                 buffer.clear();
             }
         }
-    });
+    })?;
     if !buffer.is_empty() {
         consumer(&buffer);
+    }
+    Ok(())
+}
+
+/// Pull-based [`ChunkCursor`] over an RLE main part.  Chunks hold at most
+/// [`RLE_CHUNK`] values (long runs are split); run offsets are
+/// data-dependent, so seeks go through the chunk directory, whose entries
+/// sit on run boundaries.
+#[derive(Debug)]
+pub struct RleCursor<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    directory: &'a [ChunkEntry],
+    logical: usize,
+    byte_offset: usize,
+    run_value: u64,
+    run_remaining: u64,
+    buffer: Vec<u64>,
+}
+
+impl<'a> RleCursor<'a> {
+    /// Create a cursor over `count` logical values with the main part's
+    /// chunk `directory`, positioned at the first element.
+    pub fn new(bytes: &'a [u8], count: usize, directory: &'a [ChunkEntry]) -> RleCursor<'a> {
+        RleCursor {
+            bytes,
+            count,
+            directory,
+            logical: 0,
+            byte_offset: 0,
+            run_value: 0,
+            run_remaining: 0,
+            buffer: Vec::with_capacity(RLE_CHUNK.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for RleCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.logical >= self.count {
+            return None;
+        }
+        self.buffer.clear();
+        while self.buffer.len() < RLE_CHUNK && self.logical < self.count {
+            if self.run_remaining == 0 {
+                let offset = self.byte_offset;
+                self.run_value =
+                    u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"));
+                self.run_remaining = u64::from_le_bytes(
+                    self.bytes[offset + 8..offset + 16]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                self.byte_offset += 16;
+            }
+            let space = (RLE_CHUNK - self.buffer.len()) as u64;
+            let take = self
+                .run_remaining
+                .min(space)
+                .min((self.count - self.logical) as u64) as usize;
+            self.buffer
+                .extend(std::iter::repeat_n(self.run_value, take));
+            self.run_remaining -= take as u64;
+            self.logical += take;
+        }
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        match self.directory.get(chunk_idx) {
+            Some(entry) => {
+                self.byte_offset = entry.byte_offset;
+                self.logical = entry.logical_start;
+                // Directory entries sit on run boundaries: the next read
+                // starts a fresh run.
+                self.run_remaining = 0;
+            }
+            None => self.logical = self.count,
+        }
     }
 }
 

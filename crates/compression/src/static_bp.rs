@@ -13,7 +13,10 @@
 //! bytes and blocks are byte-aligned for every width.
 
 use crate::bitpack;
-use crate::{Compressor, CACHE_BUFFER_ELEMENTS, STATIC_BP_BLOCK};
+use crate::{
+    ChunkCursor, Compressor, DecodeError, CACHE_BUFFER_ELEMENTS, CHUNK_DIRECTORY_TARGET,
+    STATIC_BP_BLOCK,
+};
 
 /// Streaming compressor for static bit packing with a fixed `width`.
 #[derive(Debug, Clone)]
@@ -64,12 +67,42 @@ pub fn encoded_size(count: usize, width: u8) -> usize {
 
 /// Decode `count` values packed with `width` bits, handing cache-resident
 /// chunks to `consumer`.
+///
+/// # Panics
+/// Panics if the buffer is too short or the width invalid; use
+/// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], width: u8, count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert_eq!(
-        count % STATIC_BP_BLOCK,
+    try_for_each_block(bytes, width, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Fallible variant of [`for_each_block`]: an invalid width or a buffer too
+/// short for `count` values yields a [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    width: u8,
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
+    if !(1..=64).contains(&width) {
+        return Err(DecodeError::CorruptHeader {
+            format: "static BP",
+            detail: format!("bit width {width} is not in 1..=64"),
+        });
+    }
+    if !count.is_multiple_of(STATIC_BP_BLOCK) {
+        return Err(DecodeError::CorruptHeader {
+            format: "static BP",
+            detail: format!(
+                "main part of {count} elements is not whole {STATIC_BP_BLOCK}-element blocks"
+            ),
+        });
+    }
+    crate::ensure_bytes(
+        "static BP",
+        bytes,
         0,
-        "static BP main part must be whole blocks"
-    );
+        bitpack::packed_size_bytes(count, width),
+    )?;
     let mut buffer: Vec<u64> = Vec::with_capacity(CACHE_BUFFER_ELEMENTS);
     let mut offset = 0usize;
     while offset < count {
@@ -80,6 +113,65 @@ pub fn for_each_block(bytes: &[u8], width: u8, count: usize, consumer: &mut dyn 
         bitpack::unpack_into(&bytes[byte_start..byte_end], width, chunk, &mut buffer);
         consumer(&buffer);
         offset += chunk;
+    }
+    Ok(())
+}
+
+/// Pull-based [`ChunkCursor`] over a static-BP main part.  The width is
+/// constant, so seeks are pure arithmetic; directory strides are multiples
+/// of 8 elements and therefore always byte-aligned.
+#[derive(Debug)]
+pub struct StaticBpCursor<'a> {
+    bytes: &'a [u8],
+    width: u8,
+    count: usize,
+    pos: usize,
+    buffer: Vec<u64>,
+}
+
+impl<'a> StaticBpCursor<'a> {
+    /// Create a cursor over `count` values of `width` bits each, positioned
+    /// at the first element.
+    pub fn new(bytes: &'a [u8], width: u8, count: usize) -> StaticBpCursor<'a> {
+        StaticBpCursor {
+            bytes,
+            width,
+            count,
+            pos: 0,
+            buffer: Vec::with_capacity(CACHE_BUFFER_ELEMENTS.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for StaticBpCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.pos >= self.count {
+            return None;
+        }
+        let chunk = (self.count - self.pos).min(CACHE_BUFFER_ELEMENTS);
+        // `pos` only ever rests on multiples of CACHE_BUFFER_ELEMENTS (seek
+        // strides and chunk advances), so the start is byte-aligned.
+        let byte_start = bitpack::packed_size_bytes(self.pos, self.width);
+        let byte_end = bitpack::packed_size_bytes(self.pos + chunk, self.width);
+        self.buffer.clear();
+        bitpack::unpack_into(
+            &self.bytes[byte_start..byte_end],
+            self.width,
+            chunk,
+            &mut self.buffer,
+        );
+        self.pos += chunk;
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        self.pos = chunk_idx
+            .saturating_mul(CHUNK_DIRECTORY_TARGET)
+            .min(self.count);
     }
 }
 

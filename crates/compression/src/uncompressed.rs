@@ -7,7 +7,7 @@
 //! best/worst combinations are explicitly "allowed to employ the
 //! uncompressed format", Section 5.2).
 
-use crate::{Compressor, CACHE_BUFFER_ELEMENTS};
+use crate::{ChunkCursor, Compressor, DecodeError, CACHE_BUFFER_ELEMENTS, CHUNK_DIRECTORY_TARGET};
 
 /// Streaming "compressor" that simply serialises values as 8-byte
 /// little-endian words.
@@ -32,8 +32,22 @@ pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
 
 /// Decode `count` values, handing chunks of at most
 /// [`CACHE_BUFFER_ELEMENTS`] values to `consumer`.
+///
+/// # Panics
+/// Panics if the buffer is too short; use [`try_for_each_block`] for
+/// untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    assert!(bytes.len() >= count * 8, "uncompressed buffer too short");
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+}
+
+/// Fallible variant of [`for_each_block`]: a buffer shorter than `count`
+/// values yields a [`DecodeError`] instead of a panic.
+pub fn try_for_each_block(
+    bytes: &[u8],
+    count: usize,
+    consumer: &mut dyn FnMut(&[u64]),
+) -> Result<(), DecodeError> {
+    crate::ensure_bytes("uncompressed", bytes, 0, count * 8)?;
     let mut buffer = Vec::with_capacity(CACHE_BUFFER_ELEMENTS.min(count));
     let mut offset = 0usize;
     while offset < count {
@@ -47,6 +61,58 @@ pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64
         }
         consumer(&buffer);
         offset += chunk;
+    }
+    Ok(())
+}
+
+/// Pull-based [`ChunkCursor`] over an uncompressed main part.  The stride is
+/// fixed (8 bytes per element), so seeks are pure arithmetic.
+#[derive(Debug)]
+pub struct UncompressedCursor<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    pos: usize,
+    buffer: Vec<u64>,
+}
+
+impl<'a> UncompressedCursor<'a> {
+    /// Create a cursor over `count` values encoded in `bytes`, positioned at
+    /// the first element.
+    pub fn new(bytes: &'a [u8], count: usize) -> UncompressedCursor<'a> {
+        UncompressedCursor {
+            bytes,
+            count,
+            pos: 0,
+            buffer: Vec::with_capacity(CACHE_BUFFER_ELEMENTS.min(count)),
+        }
+    }
+}
+
+impl ChunkCursor for UncompressedCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        if self.pos >= self.count {
+            return None;
+        }
+        let chunk = (self.count - self.pos).min(CACHE_BUFFER_ELEMENTS);
+        self.buffer.clear();
+        for i in 0..chunk {
+            let start = (self.pos + i) * 8;
+            self.buffer.push(u64::from_le_bytes(
+                self.bytes[start..start + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        self.pos += chunk;
+        Some(&self.buffer)
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        &self.buffer
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        self.pos = chunk_idx
+            .saturating_mul(CHUNK_DIRECTORY_TARGET)
+            .min(self.count);
     }
 }
 
@@ -105,8 +171,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too short")]
+    #[should_panic(expected = "truncated uncompressed input")]
     fn short_buffer_is_rejected() {
         for_each_block(&[0u8; 10], 2, &mut |_| {});
+    }
+
+    #[test]
+    fn short_buffer_yields_structured_error() {
+        let err = try_for_each_block(&[0u8; 10], 2, &mut |_| {}).unwrap_err();
+        assert_eq!(
+            err,
+            crate::DecodeError::Truncated {
+                format: "uncompressed",
+                offset: 0,
+                needed: 16,
+                available: 10,
+            }
+        );
+    }
+
+    #[test]
+    fn cursor_streams_and_seeks() {
+        let values: Vec<u64> = (0..5000).collect();
+        let mut bytes = Vec::new();
+        encode_into(&values, &mut bytes);
+        let mut cursor = UncompressedCursor::new(&bytes, values.len());
+        let mut collected = Vec::new();
+        while let Some(chunk) = cursor.next_chunk() {
+            assert!(chunk.len() <= CACHE_BUFFER_ELEMENTS);
+            collected.extend_from_slice(chunk);
+        }
+        assert_eq!(collected, values);
+        // Seek to the second directory chunk (2048-element stride).
+        cursor.seek(1);
+        assert_eq!(cursor.next_chunk().unwrap()[0], values[2048]);
+        cursor.seek(usize::MAX / CHUNK_DIRECTORY_TARGET);
+        assert!(cursor.next_chunk().is_none());
     }
 }

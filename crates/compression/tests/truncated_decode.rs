@@ -1,0 +1,194 @@
+//! Fuzz-style regression tests: no format decoder may panic (or hang) on
+//! truncated or corrupt input.
+//!
+//! The engine's own columns are well-formed by construction, but encoded
+//! main parts can cross a trust boundary (disk snapshots, network buffers),
+//! where a bare `unwrap`/slice panic aborts the whole process.  Every
+//! decoder therefore has a fallible `try_*` entry point returning a
+//! structured [`DecodeError`]; these tests feed every format's decoder
+//! byte slices truncated at every plausible boundary plus targeted header
+//! corruptions and assert an `Err` comes back — never a panic.
+
+use morph_compression::{
+    compress_main_part, decompress_into, dict, rle, try_for_each_decompressed_block, DecodeError,
+    Format,
+};
+
+/// Sample data with enough spread to exercise multi-block encodings in
+/// every format (several 512-element blocks plus runs and repeats).
+fn sample_values() -> Vec<u64> {
+    (0..4096u64)
+        .map(|i| if i % 7 == 0 { i / 3 } else { (i * 131) % 1000 })
+        .collect()
+}
+
+fn all_formats() -> Vec<Format> {
+    Format::all_formats(4096)
+}
+
+/// Drive the fallible decoder to completion, discarding output.
+fn try_decode(format: &Format, bytes: &[u8], count: usize) -> Result<(), DecodeError> {
+    try_for_each_decompressed_block(format, bytes, count, &mut |_| {})
+}
+
+#[test]
+fn valid_input_decodes_and_matches_the_infallible_path() {
+    let values = sample_values();
+    for format in all_formats() {
+        let (bytes, main_len) = compress_main_part(&format, &values);
+        let mut streamed = Vec::new();
+        try_for_each_decompressed_block(&format, &bytes, main_len, &mut |chunk| {
+            streamed.extend_from_slice(chunk)
+        })
+        .unwrap_or_else(|err| panic!("format {format}: {err}"));
+        let mut reference = Vec::new();
+        decompress_into(&format, &bytes, main_len, &mut reference);
+        assert_eq!(streamed, reference, "format {format}");
+    }
+}
+
+#[test]
+fn every_truncation_of_every_format_yields_an_error() {
+    let values = sample_values();
+    for format in all_formats() {
+        let (bytes, main_len) = compress_main_part(&format, &values);
+        if main_len == 0 {
+            continue;
+        }
+        // Cut at a spread of byte lengths, including 0, 1, block-ish
+        // boundaries and one-byte-short-of-complete.
+        let cuts: Vec<usize> = [0usize, 1, 7, 8, 9, 16, 17]
+            .into_iter()
+            .chain((1..8).map(|i| bytes.len() * i / 8))
+            .chain([bytes.len() - 1])
+            .filter(|&cut| cut < bytes.len())
+            .collect();
+        for cut in cuts {
+            let truncated = &bytes[..cut];
+            let result = try_decode(&format, truncated, main_len);
+            assert!(
+                result.is_err(),
+                "format {format}: decoding {main_len} elements from {cut}/{} bytes succeeded",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_errors_are_structured_and_printable() {
+    let values = sample_values();
+    for format in all_formats() {
+        let (bytes, main_len) = compress_main_part(&format, &values);
+        if main_len == 0 {
+            continue;
+        }
+        let err = try_decode(&format, &bytes[..bytes.len() / 2], main_len).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("truncated") || message.contains("corrupt"),
+            "format {format}: unhelpful message {message:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_width_bytes_are_rejected() {
+    let values = sample_values();
+    for format in [Format::DynBp, Format::DeltaDynBp, Format::ForDynBp] {
+        let (mut bytes, main_len) = compress_main_part(&format, &values);
+        // The width byte of the first block: offset 0 for DynBp, 8 for the
+        // cascades ([reference: u64][width: u8]).
+        let width_offset = if format == Format::DynBp { 0 } else { 8 };
+        for bad_width in [0u8, 65, 255] {
+            bytes[width_offset] = bad_width;
+            let err = try_decode(&format, &bytes, main_len).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::CorruptHeader { .. }),
+                "format {format}, width {bad_width}: {err}"
+            );
+        }
+    }
+    let err = try_decode(&Format::StaticBp(0), &[0u8; 64], 64).unwrap_err();
+    assert!(matches!(err, DecodeError::CorruptHeader { .. }));
+}
+
+#[test]
+fn rle_zero_length_run_errors_instead_of_hanging() {
+    // A run of length 0 can never be produced by the compressor; a naive
+    // count-driven walk would loop forever on it.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&42u64.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    let err = try_decode(&Format::Rle, &bytes, 10).unwrap_err();
+    assert!(matches!(err, DecodeError::CorruptHeader { .. }), "{err}");
+    let mut runs = Vec::new();
+    let err = rle::try_for_each_run(&bytes, 10, &mut |v, n| runs.push((v, n))).unwrap_err();
+    assert!(matches!(err, DecodeError::CorruptHeader { .. }), "{err}");
+    assert!(runs.is_empty());
+}
+
+#[test]
+fn rle_overlong_run_is_rejected() {
+    // One run claiming more elements than the logical count.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&7u64.to_le_bytes());
+    bytes.extend_from_slice(&100u64.to_le_bytes());
+    let err = try_decode(&Format::Rle, &bytes, 10).unwrap_err();
+    assert!(matches!(err, DecodeError::CorruptHeader { .. }), "{err}");
+}
+
+#[test]
+fn dict_header_corruptions_are_rejected() {
+    let values: Vec<u64> = (0..1000u64).map(|i| i % 17 + 5).collect();
+    let (bytes, main_len) = compress_main_part(&Format::Dict, &values);
+
+    // Truncations inside the header: mid-count, mid-dictionary, and just
+    // before the width byte.
+    for cut in [0usize, 4, 8, 12, 8 + 17 * 8] {
+        let err = try_decode(&Format::Dict, &bytes[..cut], main_len).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::Truncated { .. }),
+            "cut {cut}: {err}"
+        );
+        // The header parse itself must also fail structurally, since the
+        // chunk directory uses it without decoding any values.
+        assert!(dict::try_header_layout(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+
+    // A hostile distinct-value count far beyond the buffer (and beyond
+    // usize multiplication on the dictionary size).
+    let mut huge_count = bytes.clone();
+    huge_count[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(try_decode(&Format::Dict, &huge_count, main_len).is_err());
+    assert!(dict::try_header_layout(&huge_count).is_err());
+
+    // A corrupt key width.
+    let width_offset = 8 + 17 * 8;
+    for bad_width in [0u8, 65] {
+        let mut corrupt = bytes.clone();
+        corrupt[width_offset] = bad_width;
+        let err = try_decode(&Format::Dict, &corrupt, main_len).unwrap_err();
+        assert!(matches!(err, DecodeError::CorruptHeader { .. }), "{err}");
+    }
+
+    // A key stream whose keys point past the dictionary: shrink the
+    // declared dictionary so previously valid keys go out of range.
+    let mut shrunk = bytes.clone();
+    shrunk[..8].copy_from_slice(&2u64.to_le_bytes());
+    // (Layout shifts make several failure modes possible — truncation or
+    // out-of-range keys — but none of them may panic.)
+    assert!(try_decode(&Format::Dict, &shrunk, main_len).is_err());
+}
+
+#[test]
+fn empty_buffers_error_for_nonzero_counts() {
+    for format in all_formats() {
+        let count = match format.block_size() {
+            1 => 64,
+            bs => bs,
+        };
+        let result = try_decode(&format, &[], count);
+        assert!(result.is_err(), "format {format}");
+    }
+}

@@ -82,6 +82,7 @@ pub use ops::merge::{intersect_sorted, merge_sorted};
 pub use ops::morph_op::morph;
 pub use ops::project::project;
 pub use ops::select::{select, select_between};
+pub use ops::transient;
 pub use parallel::ParallelExecutor;
 pub use plan::{ColRef, ColumnSource, GroupRef, PlanBuilder, PlanExecutor, QueryPlan, ScalarRef};
 

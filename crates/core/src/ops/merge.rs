@@ -12,6 +12,7 @@ use morph_compression::Format;
 use morph_storage::{Column, ColumnBuilder};
 
 use crate::exec::{ExecSettings, IntegrationDegree};
+use crate::ops::{MergeStep, PullSide};
 
 /// Merge-intersect two sorted position columns.
 ///
@@ -48,14 +49,9 @@ fn set_op(
     settings: &ExecSettings,
     op: SetOp,
 ) -> Column {
-    // The merge needs pull-style access to both inputs; the shorter column is
-    // decompressed into a transient buffer (cf. the note on `zip_chunks`),
-    // the longer one is streamed chunk-wise.
-    let (streamed, buffered, swapped) = if a.logical_len() >= b.logical_len() {
-        (a, b.decompress(), false)
-    } else {
-        (b, a.decompress(), true)
-    };
+    // Both inputs stay compressed: `a` is streamed push-style, `b` is pulled
+    // through its chunk cursor into a carry buffer bounded by one chunk —
+    // the merge never materialises a whole position list (cf. `zip_chunks`).
     let uncompressed = settings.degree == IntegrationDegree::PurelyUncompressed;
     let mut plain: Vec<u64> = Vec::new();
     let mut builder = ColumnBuilder::new(*out_format);
@@ -66,39 +62,41 @@ fn set_op(
             builder.push(value);
         }
     };
-    let mut i = 0usize; // cursor into `buffered`
-    streamed.for_each_chunk(&mut |chunk| {
+    let mut pulled = PullSide::new(b.cursor());
+    a.for_each_chunk(&mut |chunk| {
         for &value in chunk {
             match op {
+                // An intersection keeps a value iff `b` also holds it;
+                // smaller `b` values are silently skipped.
                 SetOp::Intersect => {
-                    while i < buffered.len() && buffered[i] < value {
-                        i += 1;
-                    }
-                    if i < buffered.len() && buffered[i] == value {
+                    if pulled.merge_step(value, |_| {}) == MergeStep::Matched {
                         push(value);
-                        i += 1;
                     }
                 }
+                // A union emits the smaller `b` values in passing and the
+                // probed value exactly once (duplicates collapse).
                 SetOp::Union => {
-                    while i < buffered.len() && buffered[i] < value {
-                        push(buffered[i]);
-                        i += 1;
-                    }
-                    if i < buffered.len() && buffered[i] == value {
-                        i += 1;
-                    }
+                    pulled.merge_step(value, &mut push);
                     push(value);
                 }
             }
         }
     });
+    // A union keeps whatever remains of `b` once `a` is exhausted.
     if op == SetOp::Union {
-        while i < buffered.len() {
-            push(buffered[i]);
-            i += 1;
+        loop {
+            let available = pulled.peek();
+            if available.is_empty() {
+                break;
+            }
+            for &other in available {
+                push(other);
+            }
+            let n = available.len();
+            pulled.advance(n);
         }
     }
-    let _ = swapped;
+    pulled.finish();
     if uncompressed {
         Column::from_vec(plain)
     } else {

@@ -27,30 +27,198 @@ pub mod partitioned;
 pub mod project;
 pub mod select;
 
+use morph_compression::ChunkCursor;
 use morph_storage::Column;
+
+/// Peak-size accounting for the *transient* carry buffers of the pairwise
+/// operators — the buffers that pair two compressed inputs position-wise
+/// and are never materialised as plan intermediates.
+///
+/// Since the pull-based chunk cursors replaced the old
+/// decompress-one-side-fully pairing, every carry buffer is bounded by one
+/// decoded chunk ([`morph_compression::CACHE_BUFFER_ELEMENTS`] values);
+/// this module records the high-water mark so the bench harness
+/// (`parallel_speedup` → `BENCH_ssb.json`) and a CI test can assert the
+/// O(chunk) bound instead of trusting it.
+pub mod transient {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Upper bound, in bytes, of one pairwise carry buffer: one decoded
+    /// chunk of `u64` values.
+    pub const CARRY_BOUND_BYTES: usize = morph_compression::CACHE_BUFFER_ELEMENTS * 8;
+
+    static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+    /// Record a carry buffer's capacity; keeps the maximum ever seen since
+    /// the last [`reset`].
+    pub(crate) fn record(bytes: usize) {
+        PEAK_BYTES.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// The largest pairwise carry buffer (in bytes) observed since the last
+    /// [`reset`], across all threads.
+    pub fn peak_bytes() -> usize {
+        PEAK_BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to zero.
+    pub fn reset() {
+        PEAK_BYTES.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The outcome of one [`PullSide::merge_step`] of a sorted merge-walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MergeStep {
+    /// The probed value occurs in the pulled stream (and was consumed).
+    Matched,
+    /// The pulled stream's next value exceeds the probed value.
+    Absent,
+    /// The pulled stream ended before reaching the probed value.
+    Exhausted,
+}
+
+/// A pull side of a pairwise pairing: a chunk cursor whose current chunk is
+/// the carry, served in aligned pieces at the pace of the other (pushed)
+/// input.  No bytes are copied — `peek` re-borrows the cursor's resident
+/// decode buffer via [`ChunkCursor::last_chunk`] — and the carry is bounded
+/// by one decoded chunk by construction.
+pub(crate) struct PullSide<'a> {
+    cursor: morph_storage::ColumnCursor<'a>,
+    /// Unserved prefix start within the current chunk.
+    off: usize,
+    /// Length of the current chunk (0 before the first decode).
+    len: usize,
+    /// Largest chunk seen, for the [`transient`] high-water mark.
+    max_len: usize,
+}
+
+impl<'a> PullSide<'a> {
+    pub(crate) fn new(cursor: morph_storage::ColumnCursor<'a>) -> PullSide<'a> {
+        PullSide {
+            cursor,
+            off: 0,
+            len: 0,
+            max_len: 0,
+        }
+    }
+
+    /// Ensure the current chunk holds at least one unserved value; returns
+    /// `false` when the stream has ended.
+    fn refill(&mut self) -> bool {
+        if self.off < self.len {
+            return true;
+        }
+        match self.cursor.next_chunk() {
+            Some(piece) => {
+                self.off = 0;
+                self.len = piece.len();
+                self.max_len = self.max_len.max(self.len);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The unserved values of the current chunk (refilling first); empty
+    /// exactly when the stream has ended.
+    pub(crate) fn peek(&mut self) -> &[u64] {
+        if self.refill() {
+            &self.cursor.last_chunk()[self.off..]
+        } else {
+            &[]
+        }
+    }
+
+    /// Mark the first `n` unserved values as served.
+    pub(crate) fn advance(&mut self, n: usize) {
+        debug_assert!(self.off + n <= self.len);
+        self.off += n;
+    }
+
+    /// One step of a sorted merge-walk against an ascending probe stream:
+    /// skip every pulled value smaller than `value` (handing each to
+    /// `emit_smaller` — a no-op closure for intersections), consume `value`
+    /// itself if present, and report what happened.  The single copy of the
+    /// carry-walk shared by the serial merges and the partitioned
+    /// intersection, so they cannot drift apart.
+    pub(crate) fn merge_step(
+        &mut self,
+        value: u64,
+        mut emit_smaller: impl FnMut(u64),
+    ) -> MergeStep {
+        loop {
+            let available = self.peek();
+            if available.is_empty() {
+                return MergeStep::Exhausted;
+            }
+            let carried = available.len();
+            let smaller = available.partition_point(|&other| other < value);
+            for &other in &available[..smaller] {
+                emit_smaller(other);
+            }
+            let matched = available.get(smaller) == Some(&value);
+            self.advance(smaller + usize::from(matched));
+            if matched {
+                return MergeStep::Matched;
+            }
+            if smaller < carried {
+                return MergeStep::Absent;
+            }
+            // Chunk drained below `value`: pull the next one.
+        }
+    }
+
+    /// Record the carry's high-water mark with [`transient`].  Called once
+    /// per operator, after the pairing loop.
+    pub(crate) fn finish(&self) {
+        transient::record(self.max_len * 8);
+    }
+}
 
 /// Iterate two equally long columns position-wise, invoking `f` with pairs of
 /// equally long uncompressed chunks.
 ///
-/// The first column is streamed chunk-wise (cache-resident, DP3-conforming);
-/// the second column is currently decompressed once into a transient buffer
-/// because two push-style block decoders cannot be interleaved on one thread.
-/// The transient buffer is not an intermediate result of the query plan (it
-/// is never materialised as a column), so the footprint accounting of the
-/// evaluation is unaffected; a fully streaming pairwise reader is future
-/// work and is called out in DESIGN.md.
+/// Both inputs stay compressed end to end: the first column is streamed
+/// push-style (cache-resident, DP3-conforming) and the second is *pulled*
+/// through its [`ChunkCursor`] into a carry buffer bounded by one chunk —
+/// the streaming pairwise reader, so no transient full-column buffer exists
+/// on either side.
+///
+/// # Panics
+/// Panics if the inputs differ in logical length; the message names both
+/// columns' lengths and formats so a plan-level failure is diagnosable.
 pub(crate) fn zip_chunks(a: &Column, b: &Column, f: &mut dyn FnMut(&[u64], &[u64])) {
-    assert_eq!(
+    assert!(
+        a.logical_len() == b.logical_len(),
+        "position-wise operators require equally long inputs: \
+         lhs holds {} elements ({}), rhs holds {} elements ({})",
         a.logical_len(),
+        a.format(),
         b.logical_len(),
-        "position-wise operators require equally long inputs"
+        b.format(),
     );
-    let b_values = b.decompress();
-    let mut offset = 0usize;
+    let mut pulled = PullSide::new(b.cursor());
     a.for_each_chunk(&mut |chunk| {
-        f(chunk, &b_values[offset..offset + chunk.len()]);
-        offset += chunk.len();
+        let mut done = 0usize;
+        while done < chunk.len() {
+            let available = pulled.peek();
+            // A drained pull side here means the rhs decoded fewer values
+            // than its logical length (corrupt directory / truncated main
+            // part) — fail loudly, never spin.
+            assert!(
+                !available.is_empty(),
+                "pairwise rhs ({}) ended early: decoded fewer than {} values",
+                b.format(),
+                b.logical_len(),
+            );
+            let n = (chunk.len() - done).min(available.len());
+            f(&chunk[done..done + n], &available[..n]);
+            pulled.advance(n);
+            done += n;
+        }
     });
+    pulled.finish();
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 use std::collections::HashSet;
 use std::ops::Range;
 
-use morph_compression::Format;
+use morph_compression::{ChunkCursor, Format};
 use morph_storage::{Column, ColumnBuilder};
 use morph_vector::emu::V512;
 use morph_vector::kernels::{self, BinaryOp};
@@ -37,6 +37,7 @@ use morph_vector::ProcessingStyle;
 use crate::exec::{ExecSettings, IntegrationDegree};
 use crate::ops::agg::sum_chunk;
 use crate::ops::select::filter_chunk;
+use crate::ops::PullSide;
 use crate::CmpOp;
 
 /// Partition a column's seekable chunks into at most `parts` contiguous
@@ -179,10 +180,10 @@ pub fn agg_sum_part(input: &Column, chunks: Range<usize>, style: ProcessingStyle
 /// [`crate::calc_binary`]).
 ///
 /// `lhs` is streamed by its own chunk directory; the *aligned logical
-/// range* of `rhs` is pulled through [`Column::for_each_logical_range`]
-/// into a transient part-local buffer — the partitioned analogue of the
-/// serial operator's pairwise buffer (`zip_chunks`), bounded by the part's
-/// span instead of the whole column.
+/// range* of `rhs` is pulled through [`Column::cursor_at`] into a carry
+/// buffer bounded by one chunk — the partitioned analogue of the serial
+/// operator's streaming pairwise reader (`zip_chunks`), so a part's
+/// transient memory is O(chunk) irrespective of its span.
 pub fn calc_binary_part(
     op: BinaryOp,
     lhs: &Column,
@@ -191,79 +192,119 @@ pub fn calc_binary_part(
     format: &Format,
     style: ProcessingStyle,
 ) -> Column {
-    assert_eq!(
+    assert!(
+        lhs.logical_len() == rhs.logical_len(),
+        "position-wise operators require equally long inputs: \
+         lhs holds {} elements ({}), rhs holds {} elements ({})",
         lhs.logical_len(),
+        lhs.format(),
         rhs.logical_len(),
-        "position-wise operators require equally long inputs"
+        rhs.format(),
     );
     let start = lhs.chunk_logical_start(chunks.start);
     let end = lhs.chunk_logical_start(chunks.end);
-    let mut rhs_values: Vec<u64> = Vec::with_capacity(end - start);
-    rhs.for_each_logical_range(start..end, &mut |piece| rhs_values.extend_from_slice(piece));
+    let mut pulled = PullSide::new(rhs.cursor_at(start..end));
     let mut builder = ColumnBuilder::new(*format);
     let mut scratch: Vec<u64> = Vec::new();
-    let mut offset = 0usize;
     lhs.for_each_chunk_in(chunks, &mut |_, chunk| {
-        scratch.clear();
-        let rhs_chunk = &rhs_values[offset..offset + chunk.len()];
-        match style {
-            ProcessingStyle::Scalar => {
-                kernels::binary_op::<Scalar>(op, chunk, rhs_chunk, &mut scratch)
+        let mut done = 0usize;
+        while done < chunk.len() {
+            let available = pulled.peek();
+            // A drained pull side here means the rhs decoded fewer values
+            // than the aligned span — fail loudly, never spin.
+            assert!(
+                !available.is_empty(),
+                "pairwise rhs ({}) ended early inside logical range {start}..{end}",
+                rhs.format(),
+            );
+            let n = (chunk.len() - done).min(available.len());
+            scratch.clear();
+            match style {
+                ProcessingStyle::Scalar => kernels::binary_op::<Scalar>(
+                    op,
+                    &chunk[done..done + n],
+                    &available[..n],
+                    &mut scratch,
+                ),
+                ProcessingStyle::Vectorized => kernels::binary_op::<V512>(
+                    op,
+                    &chunk[done..done + n],
+                    &available[..n],
+                    &mut scratch,
+                ),
             }
-            ProcessingStyle::Vectorized => {
-                kernels::binary_op::<V512>(op, chunk, rhs_chunk, &mut scratch)
-            }
+            builder.push_slice(&scratch);
+            pulled.advance(n);
+            done += n;
         }
-        builder.push_slice(&scratch);
-        offset += chunk.len();
     });
+    pulled.finish();
     builder.finish()
 }
 
-/// The decompressed (sorted) values of the buffered side of a partitioned
-/// sorted intersection, built once by the coordinator and shared by all
-/// parts — the analogue of [`build_semi_join_set`] for ordered merging.
-pub fn sorted_values(column: &Column) -> Vec<u64> {
-    column.decompress()
-}
-
 /// Partial sorted intersection: the values of the chunk range `chunks` of
-/// `a` that also occur in the shared sorted `b` (the partitioned
+/// `a` that also occur in the sorted column `b` (the partitioned
 /// [`crate::intersect_sorted`]).
 ///
-/// Each part seeks its starting cursor into `b` by binary search on the
-/// part's first value and merge-walks from there, so a part costs its share
-/// of `a` plus the matching span of `b`.  Both position lists are strictly
-/// increasing, so concatenating the partials of a contiguous partition in
-/// range order yields exactly the serial intersection.
+/// Both sides stay compressed: each part opens its own [`ChunkCursor`] over
+/// `b`, seeks it to the chunk containing the part's first value (binary
+/// search over `b`'s chunk directory, probing one decoded chunk per step)
+/// and merge-walks from there through a carry buffer bounded by one chunk —
+/// so a part costs its share of `a` plus the matching span of `b`, with
+/// O(chunk) transient memory.  Both position lists are strictly increasing,
+/// so concatenating the partials of a contiguous partition in range order
+/// yields exactly the serial intersection.
 pub fn intersect_sorted_part(
     a: &Column,
-    b: &[u64],
+    b: &Column,
     chunks: Range<usize>,
     format: &Format,
 ) -> Column {
     let mut builder = ColumnBuilder::new(*format);
-    let mut cursor: Option<usize> = None;
+    let mut pulled: Option<PullSide<'_>> = None;
     a.for_each_chunk_in(chunks, &mut |_, chunk| {
         let Some(&first) = chunk.first() else {
             return;
         };
-        let mut i = match cursor {
-            Some(i) => i,
-            None => b.partition_point(|&value| value < first),
-        };
+        // One cursor per part, constructed lazily (DICT decodes its
+        // embedded dictionary at construction) and positioned once by
+        // value-seek; the same cursor then serves the whole merge-walk.
+        let pulled = pulled.get_or_insert_with(|| {
+            let mut cursor = b.cursor();
+            seek_cursor_to_value(b, &mut cursor, first);
+            PullSide::new(cursor)
+        });
         for &value in chunk {
-            while i < b.len() && b[i] < value {
-                i += 1;
-            }
-            if i < b.len() && b[i] == value {
-                builder.push(value);
-                i += 1;
+            match pulled.merge_step(value, |_| {}) {
+                crate::ops::MergeStep::Matched => builder.push(value),
+                crate::ops::MergeStep::Absent => {}
+                crate::ops::MergeStep::Exhausted => return,
             }
         }
-        cursor = Some(i);
     });
+    if let Some(pulled) = &pulled {
+        pulled.finish();
+    }
     builder.finish()
+}
+
+/// Position `cursor` at the start of the chunk of the sorted column `b` in
+/// which a merge for `value` should begin: the last chunk whose first
+/// element is `<= value` (chunk 0 when `value` precedes everything).
+/// Binary search over the chunk directory, decoding one chunk head per
+/// probe through the same seekable cursor that afterwards serves the walk.
+fn seek_cursor_to_value(b: &Column, cursor: &mut morph_storage::ColumnCursor<'_>, value: u64) {
+    let n = b.chunk_count();
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        cursor.seek(mid);
+        match cursor.next_chunk().and_then(|piece| piece.first().copied()) {
+            Some(first) if first <= value => lo = mid + 1,
+            _ => hi = mid,
+        }
+    }
+    cursor.seek(lo.saturating_sub(1));
 }
 
 /// Splice the partial columns of a contiguous chunk partition — in range
@@ -420,11 +461,10 @@ mod tests {
             let b = Column::compress(&b_values, &b_format);
             for out_format in [Format::DeltaDynBp, Format::Uncompressed, Format::Rle] {
                 let serial = crate::intersect_sorted(&a, &b, &out_format, &settings);
-                let shared = sorted_values(&b);
                 for parts in [1, 2, 4, 9] {
                     let partials: Vec<Column> = partition(&a, parts)
                         .iter()
-                        .map(|r| intersect_sorted_part(&a, &shared, r.clone(), &out_format))
+                        .map(|r| intersect_sorted_part(&a, &b, r.clone(), &out_format))
                         .collect();
                     let merged = concat_partials(&out_format, &partials);
                     assert_eq!(
@@ -439,10 +479,9 @@ mod tests {
         let a = Column::compress(&small, &Format::DeltaDynBp);
         let b = Column::compress(&a_values, &Format::DeltaDynBp);
         let serial = crate::intersect_sorted(&a, &b, &Format::DeltaDynBp, &settings);
-        let shared = sorted_values(&b);
         let partials: Vec<Column> = partition(&a, 3)
             .iter()
-            .map(|r| intersect_sorted_part(&a, &shared, r.clone(), &Format::DeltaDynBp))
+            .map(|r| intersect_sorted_part(&a, &b, r.clone(), &Format::DeltaDynBp))
             .collect();
         assert_eq!(concat_partials(&Format::DeltaDynBp, &partials), serial);
     }

@@ -93,8 +93,6 @@ enum MorselAux {
     Set(HashSet<u64>),
     /// The project data column, morphed to a random-access format.
     Morphed(Column),
-    /// The decompressed buffered side of a sorted intersection.
-    Sorted(Vec<u64>),
 }
 
 /// The partial result of one morsel part.
@@ -510,10 +508,8 @@ where
                 None => MorselAux::None,
             }
         }
-        MorselOp::IntersectSorted { b, .. } => {
-            let b = slots(b.node).column(b.port);
-            MorselAux::Sorted(partitioned::sorted_values(b))
-        }
+        // The sorted intersection shares no state: each part opens its own
+        // chunk cursor over the second input and seeks it by value.
         _ => MorselAux::None,
     };
     let out_format = partitioned::effective_output_format(
@@ -597,18 +593,9 @@ where
             &job.out_format,
             settings.style,
         )),
-        MorselOp::IntersectSorted { a, .. } => {
-            let sorted = match &job.aux {
-                MorselAux::Sorted(values) => values,
-                _ => unreachable!("intersect job without the buffered side"),
-            };
-            MorselPartial::Col(partitioned::intersect_sorted_part(
-                col(a),
-                sorted,
-                range,
-                &job.out_format,
-            ))
-        }
+        MorselOp::IntersectSorted { a, b } => MorselPartial::Col(
+            partitioned::intersect_sorted_part(col(a), col(b), range, &job.out_format),
+        ),
         MorselOp::AggSum { values } => MorselPartial::Sum(partitioned::agg_sum_part(
             col(values),
             range,

@@ -1,0 +1,143 @@
+//! CI assertion for the streaming pairwise reader: the transient carry
+//! buffers of every position-wise binary operator stay O(chunk), never
+//! O(column).
+//!
+//! `ops::transient` records the high-water mark of every pairwise carry
+//! buffer (serial `zip_chunks`, the sorted merges, and the partitioned
+//! calc/intersect kernels).  This test drives all of them over columns far
+//! larger than one chunk — in every format — and asserts the recorded peak
+//! never exceeds one chunk-sized carry.  Run in release mode by CI, where
+//! a regression back to `decompress()`-one-side would also be invisible to
+//! the determinism suites (results stay identical, memory does not).
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morphstore_engine::ops::partitioned;
+use morphstore_engine::{
+    agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, merge_sorted,
+    transient, BinaryOp, ExecSettings,
+};
+
+/// ~64 chunks worth of data: any O(column) transient buffer would exceed
+/// the carry bound by more than an order of magnitude.
+const N: usize = 128 * 1024;
+
+/// The peak counter is process-global; the harness runs tests on parallel
+/// threads, so each test holds this lock while it resets and reads it.
+static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn assert_bound(context: &str) {
+    let peak = transient::peak_bytes();
+    assert!(
+        peak <= transient::CARRY_BOUND_BYTES,
+        "{context}: peak transient carry of {peak} bytes exceeds the \
+         one-chunk bound of {} bytes",
+        transient::CARRY_BOUND_BYTES
+    );
+    assert!(
+        peak > 0,
+        "{context}: nothing was recorded — instrumentation lost?"
+    );
+    transient::reset();
+}
+
+#[test]
+fn pairwise_operators_stay_chunk_bounded_in_every_format() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let settings = ExecSettings::vectorized_compressed();
+    let lhs_values: Vec<u64> = (0..N as u64).map(|i| (i * 131) % 10_000).collect();
+    let rhs_values: Vec<u64> = (0..N as u64).map(|i| (i * 31) % 4000 + 1).collect();
+    let max = 10_000;
+    for format in Format::all_formats(max) {
+        let lhs = Column::compress(&lhs_values, &format);
+        // A different chunk grid on the pulled side.
+        let rhs = Column::compress(&rhs_values, &Format::DeltaDynBp);
+
+        transient::reset();
+        let out = calc_binary(BinaryOp::Add, &lhs, &rhs, &Format::DynBp, &settings);
+        assert_eq!(out.logical_len(), N);
+        assert_bound(&format!("calc_binary on {format}"));
+
+        let grouped = group_by(
+            &Column::compress(&(0..N as u64).map(|i| i % 16).collect::<Vec<_>>(), &format),
+            (&Format::StaticBp(8), &Format::DeltaDynBp),
+            &settings,
+        );
+        transient::reset();
+        let refined = group_by_refine(
+            &grouped,
+            &rhs,
+            (&Format::StaticBp(20), &Format::DeltaDynBp),
+            &settings,
+        );
+        assert!(refined.group_count >= grouped.group_count);
+        assert_bound(&format!("group_by_refine on {format}"));
+
+        transient::reset();
+        let sums = agg_sum_grouped(
+            &grouped.group_ids,
+            &lhs,
+            grouped.group_count,
+            &Format::Uncompressed,
+            &settings,
+        );
+        assert_eq!(sums.logical_len(), grouped.group_count);
+        assert_bound(&format!("agg_sum_grouped on {format}"));
+    }
+}
+
+#[test]
+fn sorted_merges_stay_chunk_bounded() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let settings = ExecSettings::vectorized_compressed();
+    let a_values: Vec<u64> = (0..3 * N as u64).filter(|i| i % 3 == 0).collect();
+    let b_values: Vec<u64> = (0..3 * N as u64).filter(|i| i % 5 == 0).collect();
+    for format in [Format::DeltaDynBp, Format::DynBp, Format::Uncompressed] {
+        let a = Column::compress(&a_values, &format);
+        let b = Column::compress(&b_values, &format);
+
+        transient::reset();
+        let both = intersect_sorted(&a, &b, &Format::DeltaDynBp, &settings);
+        assert!(!both.is_empty());
+        assert_bound(&format!("intersect_sorted on {format}"));
+
+        transient::reset();
+        let either = merge_sorted(&a, &b, &Format::DeltaDynBp, &settings);
+        assert!(either.logical_len() >= a.logical_len());
+        assert_bound(&format!("merge_sorted on {format}"));
+    }
+}
+
+#[test]
+fn partitioned_pairwise_kernels_stay_chunk_bounded() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let settings = ExecSettings::vectorized_compressed();
+    let lhs_values: Vec<u64> = (0..N as u64).map(|i| (i * 131) % 10_000).collect();
+    let rhs_values: Vec<u64> = (0..N as u64).map(|i| (i * 31) % 4000 + 1).collect();
+    let lhs = Column::compress(&lhs_values, &Format::DynBp);
+    let rhs = Column::compress(&rhs_values, &Format::DeltaDynBp);
+    transient::reset();
+    for range in partitioned::partition(&lhs, 4) {
+        let part = partitioned::calc_binary_part(
+            BinaryOp::Mul,
+            &lhs,
+            &rhs,
+            range,
+            &Format::DynBp,
+            settings.style,
+        );
+        assert!(!part.is_empty());
+    }
+    assert_bound("calc_binary_part");
+
+    let a_values: Vec<u64> = (0..3 * N as u64).filter(|i| i % 3 == 0).collect();
+    let b_values: Vec<u64> = (0..3 * N as u64).filter(|i| i % 5 == 0).collect();
+    let a = Column::compress(&a_values, &Format::DeltaDynBp);
+    let b = Column::compress(&b_values, &Format::DeltaDynBp);
+    transient::reset();
+    for range in partitioned::partition(&a, 4) {
+        let part = partitioned::intersect_sorted_part(&a, &b, range, &Format::DeltaDynBp);
+        assert!(!part.is_empty());
+    }
+    assert_bound("intersect_sorted_part");
+}

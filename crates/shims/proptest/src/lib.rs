@@ -108,6 +108,19 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
+/// Strategy that always produces a clone of one fixed value, mirroring
+/// `proptest::strategy::Just` — the natural arm for edge-value pools in
+/// `prop_oneof!`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// Uniform choice between several strategies of one value type (the
 /// expansion of [`prop_oneof!`]).
 pub struct Union<V> {
@@ -250,7 +263,7 @@ pub mod prop {
 
 /// The commonly imported surface, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{any, prop, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 

@@ -3,8 +3,9 @@
 use std::sync::{Arc, OnceLock};
 
 use morph_compression::{
-    chunk_directory, compress_main_part, for_each_decompressed_block,
-    for_each_decompressed_block_in, get_element, morph, uncompressed, ChunkEntry, Format,
+    chunk_directory, compress_main_part, cursor_for, for_each_decompressed_block,
+    for_each_decompressed_block_in, get_element, morph, uncompressed, ChunkCursor, ChunkEntry,
+    Format,
 };
 
 use crate::builder::ColumnBuilder;
@@ -388,57 +389,185 @@ impl Column {
     /// uncompressed pieces, seeking through the chunk directory (no prefix
     /// replay) and trimming the first and last covering chunk.
     ///
-    /// This is the pairwise companion of [`Column::for_each_chunk_in`]: a
-    /// partitioned position-wise binary operator streams one input by its
-    /// own chunk ranges and pulls the *aligned logical range* of the other
-    /// input through this method.
+    /// This is the pairwise companion of [`Column::for_each_chunk_in`]; the
+    /// pull-based equivalent is [`Column::cursor_at`], which this method
+    /// merely drives to completion.
     pub fn for_each_logical_range(
         &self,
         range: std::ops::Range<usize>,
         consumer: &mut dyn FnMut(&[u64]),
     ) {
+        let mut cursor = self.cursor_at(range);
+        while let Some(piece) = cursor.next_chunk() {
+            consumer(piece);
+        }
+    }
+
+    /// A pull-based cursor over the column's whole logical content — the
+    /// [`ChunkCursor`] counterpart of [`Column::for_each_chunk`].
+    ///
+    /// Where the push-style visitors drive one decoder to completion, a
+    /// cursor lets the *caller* control the pace, so two compressed columns
+    /// can be paired position-wise on one thread with at most one
+    /// chunk-sized carry buffer per input (the streaming pairwise reader of
+    /// DESIGN.md).
+    pub fn cursor(&self) -> ColumnCursor<'_> {
+        self.cursor_at(0..self.len)
+    }
+
+    /// A pull-based cursor over the logical index range `range`, seeking
+    /// through the chunk directory (no prefix replay) and trimming the
+    /// first and last covering chunk.
+    ///
+    /// # Panics
+    /// Panics if `range.end` exceeds the column's logical length.
+    pub fn cursor_at(&self, range: std::ops::Range<usize>) -> ColumnCursor<'_> {
         assert!(
             range.end <= self.len,
             "logical range {range:?} exceeds {} elements",
             self.len
         );
-        if range.start >= range.end {
-            return;
+        let start = range.start.min(range.end);
+        let mut main = cursor_for(
+            &self.format,
+            self.main_part_bytes(),
+            self.main_len,
+            &self.chunks,
+        );
+        let mut main_pos = self.main_len;
+        if start < self.main_len {
+            // Last main chunk whose logical start is <= start.
+            let first = self.chunks.partition_point(|e| e.logical_start <= start) - 1;
+            main.seek(first);
+            main_pos = self.chunks[first].logical_start;
         }
-        let n = self.chunk_count();
-        // First chunk containing `range.start`: the last chunk whose logical
-        // start is <= range.start.
-        let (mut lo, mut hi) = (0usize, n);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.chunk_logical_start(mid + 1) <= range.start {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+        let remainder = if range.end > self.main_len && self.remainder_len() > 0 {
+            self.remainder_values()
+        } else {
+            Vec::new()
+        };
+        ColumnCursor {
+            column: self,
+            main,
+            remainder,
+            start,
+            pos: start,
+            end: range.end,
+            main_pos,
+            last: LastChunk::None,
+        }
+    }
+}
+
+/// A pull-based cursor over a [`Column`]'s logical content (or a sub-range
+/// of it): the compressed main part is decoded chunk by chunk through the
+/// format's [`ChunkCursor`], then the uncompressed remainder is served as
+/// one final chunk.  Created by [`Column::cursor`] / [`Column::cursor_at`].
+///
+/// The cursor implements [`ChunkCursor`] itself, with *column* chunk
+/// indices for [`seek`](ChunkCursor::seek) (`0..Column::chunk_count()`,
+/// where the last index may be the remainder chunk).  Seeking clamps to the
+/// cursor's construction range: the position never moves before
+/// `range.start` or past `range.end`.
+pub struct ColumnCursor<'a> {
+    column: &'a Column,
+    main: Box<dyn ChunkCursor + Send + 'a>,
+    /// Decoded uncompressed remainder (at most one block of values); empty
+    /// when the cursor's range ends inside the main part.
+    remainder: Vec<u64>,
+    /// Logical start of the cursor's range (seek clamps to it).
+    start: usize,
+    /// Logical index of the next element to emit.
+    pos: usize,
+    /// Logical end (exclusive) of the cursor's range.
+    end: usize,
+    /// Logical index of the next element the main-part cursor will decode
+    /// (lags behind `pos` until the first covering chunk is trimmed).
+    main_pos: usize,
+    /// Provenance and trim window of the chunk `next_chunk` returned last,
+    /// backing [`ChunkCursor::last_chunk`].
+    last: LastChunk,
+}
+
+/// See [`ColumnCursor::last`].
+#[derive(Debug, Clone, Copy)]
+enum LastChunk {
+    /// Nothing returned yet (or a seek invalidated it).
+    None,
+    /// A window of the main-part cursor's decode buffer.
+    Main(usize, usize),
+    /// A window of the decoded remainder.
+    Remainder(usize, usize),
+}
+
+impl std::fmt::Debug for ColumnCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnCursor")
+            .field("format", self.column.format())
+            .field("start", &self.start)
+            .field("pos", &self.pos)
+            .field("end", &self.end)
+            .finish()
+    }
+}
+
+impl ChunkCursor for ColumnCursor<'_> {
+    fn next_chunk(&mut self) -> Option<&[u64]> {
+        while self.pos < self.end && self.pos < self.column.main_len {
+            // Decode the next piece, releasing its borrow immediately (the
+            // geometry is all the skip decision needs); the piece stays
+            // resident in the format cursor's decode buffer and is
+            // re-borrowed via `last_chunk` once it is known to overlap.
+            let len = self
+                .main
+                .next_chunk()
+                .expect("main cursor ends before its logical length")
+                .len();
+            let chunk_start = self.main_pos;
+            self.main_pos += len;
+            // Trim to [pos, end): the first covering piece may begin before
+            // the seek target, the last may extend past the end.
+            let lo = self.pos.max(chunk_start);
+            let hi = self.end.min(self.main_pos);
+            if lo < hi {
+                self.pos = hi;
+                self.last = LastChunk::Main(lo - chunk_start, hi - chunk_start);
+                return Some(&self.main.last_chunk()[lo - chunk_start..hi - chunk_start]);
             }
         }
-        let first = lo;
-        // One past the last chunk that intersects the range: the first chunk
-        // whose logical start is >= range.end.
-        let (mut lo, mut hi) = (first, n);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.chunk_logical_start(mid) < range.end {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
+        if self.pos >= self.end {
+            return None;
         }
-        let end_chunk = lo;
-        self.for_each_chunk_in(first..end_chunk, &mut |start, piece| {
-            let piece_start = start as usize;
-            let piece_end = piece_start + piece.len();
-            let from = range.start.max(piece_start) - piece_start;
-            let to = range.end.min(piece_end) - piece_start;
-            if from < to {
-                consumer(&piece[from..to]);
-            }
-        });
+        let lo = self.pos - self.column.main_len;
+        let hi = self.end - self.column.main_len;
+        self.pos = self.end;
+        self.last = LastChunk::Remainder(lo, hi);
+        Some(&self.remainder[lo..hi])
+    }
+
+    fn last_chunk(&self) -> &[u64] {
+        match self.last {
+            LastChunk::None => &[],
+            LastChunk::Main(lo, hi) => &self.main.last_chunk()[lo..hi],
+            LastChunk::Remainder(lo, hi) => &self.remainder[lo..hi],
+        }
+    }
+
+    fn seek(&mut self, chunk_idx: usize) {
+        // Per the trait contract, an index at or past the chunk count
+        // positions the cursor at the end of the stream.
+        let target = self
+            .column
+            .chunk_logical_start(chunk_idx.min(self.column.chunk_count()));
+        self.last = LastChunk::None;
+        self.pos = target.clamp(self.start, self.end);
+        if self.pos < self.column.main_len {
+            let main_chunk = chunk_idx.min(self.column.chunks.len().saturating_sub(1));
+            self.main.seek(main_chunk);
+            self.main_pos = self.column.chunks[main_chunk].logical_start;
+        } else {
+            self.main_pos = self.column.main_len;
+        }
     }
 }
 

@@ -1,0 +1,194 @@
+//! Property tests for the pull-based chunk cursors — the cursor analogue of
+//! the chunk-directory proptest in `morph-compression`.
+//!
+//! The [`ChunkCursor`] contract the pairwise operators rely on:
+//!
+//! * streaming a cursor to completion yields exactly `decompress()`,
+//! * [`Column::cursor_at`] yields exactly the requested logical slice, for
+//!   ranges straddling chunk boundaries in every format,
+//! * a seek repositions at a chunk start without prefix replay, and the
+//!   remaining stream is exactly the suffix,
+//! * two cursors over *any* format pair can be interleaved into the
+//!   position-wise pairing, with every decoded piece cache-resident.
+
+use morph_compression::{Format, CACHE_BUFFER_ELEMENTS};
+use morph_storage::{ChunkCursor, Column};
+use proptest::prelude::*;
+
+/// Value vectors with diverse characteristics: small values, huge values,
+/// runs, sorted ranges (mirrors the compression-crate proptest).
+fn value_vectors() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        prop::collection::vec(0u64..1000, 0..3000),
+        prop::collection::vec(any::<u64>(), 0..1500),
+        prop::collection::vec((0u64..5, 1usize..200), 0..40).prop_map(|runs| {
+            runs.into_iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(v, n))
+                .collect()
+        }),
+        (0u64..1_000_000, prop::collection::vec(0u64..50, 0..2500)).prop_map(|(start, deltas)| {
+            deltas
+                .into_iter()
+                .scan(start, |acc, d| {
+                    *acc += d;
+                    Some(*acc)
+                })
+                .collect()
+        }),
+    ]
+}
+
+fn all_formats(values: &[u64]) -> Vec<Format> {
+    let max = values.iter().copied().max().unwrap_or(0);
+    Format::all_formats(max)
+}
+
+/// Collect a cursor's remaining stream, asserting cache residency.
+fn drain(cursor: &mut morph_storage::ColumnCursor<'_>) -> Vec<u64> {
+    let mut collected = Vec::new();
+    while let Some(piece) = cursor.next_chunk() {
+        assert!(
+            piece.len() <= CACHE_BUFFER_ELEMENTS,
+            "piece not cache-resident"
+        );
+        collected.extend_from_slice(piece);
+    }
+    collected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cursor_stream_equals_decompress(values in value_vectors()) {
+        for format in all_formats(&values) {
+            let column = Column::compress(&values, &format);
+            let mut cursor = column.cursor();
+            prop_assert_eq!(&drain(&mut cursor), &values, "format {}", format);
+            // Exhausted cursors stay exhausted.
+            prop_assert!(cursor.next_chunk().is_none());
+        }
+    }
+
+    #[test]
+    fn cursor_ranges_equal_decompress_slices(
+        values in value_vectors(),
+        cuts in prop::collection::vec((any::<u32>(), any::<u32>()), 1..5),
+    ) {
+        for format in all_formats(&values) {
+            let column = Column::compress(&values, &format);
+            let n = values.len();
+            for &(a, b) in &cuts {
+                let (mut lo, mut hi) = ((a as usize) % (n + 1), (b as usize) % (n + 1));
+                if lo > hi {
+                    std::mem::swap(&mut lo, &mut hi);
+                }
+                let mut cursor = column.cursor_at(lo..hi);
+                prop_assert_eq!(
+                    &drain(&mut cursor),
+                    &values[lo..hi],
+                    "format {}, range {}..{}",
+                    format, lo, hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_seek_streams_the_suffix(
+        values in value_vectors(),
+        seeks in prop::collection::vec(any::<u32>(), 1..5),
+    ) {
+        for format in all_formats(&values) {
+            let column = Column::compress(&values, &format);
+            let chunks = column.chunk_count();
+            let mut cursor = column.cursor();
+            // Per the trait contract, an index at or past the chunk count
+            // positions at end-of-stream rather than panicking.
+            cursor.seek(chunks + 1 + (seeks[0] as usize % 7));
+            prop_assert!(cursor.next_chunk().is_none(), "format {}", format);
+            for &raw in &seeks {
+                let chunk = (raw as usize) % (chunks + 1);
+                let start = column.chunk_logical_start(chunk);
+                cursor.seek(chunk);
+                prop_assert_eq!(
+                    &drain(&mut cursor),
+                    &values[start..],
+                    "format {}, seek to chunk {}",
+                    format, chunk
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paired_cursors_zip_every_format_pair(
+        values in value_vectors(),
+        mixer in any::<u64>(),
+        cut in (any::<u32>(), any::<u32>()),
+    ) {
+        // A second column of the same length with different (and
+        // differently compressible) content, so the two sides land on
+        // different chunk grids.
+        let other: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v.wrapping_mul(31).wrapping_add(mixer ^ i as u64) % 911)
+            .collect();
+        let n = values.len();
+        let (mut lo, mut hi) = ((cut.0 as usize) % (n + 1), (cut.1 as usize) % (n + 1));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        for a_format in all_formats(&values) {
+            for b_format in all_formats(&other) {
+                let a = Column::compress(&values, &a_format);
+                let b = Column::compress(&other, &b_format);
+                // Interleave the two cursors exactly like the pairwise
+                // operators: pull from both, pair the overlap, carry the
+                // longer side's surplus.
+                let mut ca = a.cursor_at(lo..hi);
+                let mut cb = b.cursor_at(lo..hi);
+                let (mut carry_a, mut carry_b): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+                let (mut off_a, mut off_b) = (0usize, 0usize);
+                let mut pairs: Vec<(u64, u64)> = Vec::new();
+                loop {
+                    if off_a == carry_a.len() {
+                        carry_a.clear();
+                        off_a = 0;
+                        match ca.next_chunk() {
+                            Some(piece) => carry_a.extend_from_slice(piece),
+                            None => break,
+                        }
+                    }
+                    if off_b == carry_b.len() {
+                        carry_b.clear();
+                        off_b = 0;
+                        match cb.next_chunk() {
+                            Some(piece) => carry_b.extend_from_slice(piece),
+                            None => break,
+                        }
+                    }
+                    prop_assert!(carry_a.capacity() <= CACHE_BUFFER_ELEMENTS);
+                    prop_assert!(carry_b.capacity() <= CACHE_BUFFER_ELEMENTS);
+                    let take = (carry_a.len() - off_a).min(carry_b.len() - off_b);
+                    for i in 0..take {
+                        pairs.push((carry_a[off_a + i], carry_b[off_b + i]));
+                    }
+                    off_a += take;
+                    off_b += take;
+                }
+                let expected: Vec<(u64, u64)> = values[lo..hi]
+                    .iter()
+                    .zip(other[lo..hi].iter())
+                    .map(|(&x, &y)| (x, y))
+                    .collect();
+                prop_assert_eq!(
+                    &pairs, &expected,
+                    "pairing {} with {}, range {}..{}",
+                    a_format, b_format, lo, hi
+                );
+            }
+        }
+    }
+}

@@ -131,6 +131,11 @@ pub fn count_matches<V: VectorExtension>(op: VecCmp, data: &[u64], constant: u64
 }
 
 /// Element-wise binary operation applied to two equally long slices.
+///
+/// All operations are **wrapping** (mod 2^64) by contract: the `calc`
+/// operator must produce identical results in debug and release builds and
+/// across the scalar, emulated and native (`std::arch`) backends, so no
+/// path may debug-panic on u64 overflow where another silently wraps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
     /// Wrapping addition.
@@ -141,7 +146,8 @@ pub enum BinaryOp {
     Mul,
 }
 
-/// Apply `op` element-wise to `lhs` and `rhs`, appending results to `out`.
+/// Apply `op` element-wise to `lhs` and `rhs`, appending results to `out`
+/// (wrapping arithmetic on every backend; see [`BinaryOp`]).
 ///
 /// Used by the engine's `calc` operator (e.g. `extendedprice * discount` in
 /// SSB query flight 1).
@@ -152,6 +158,9 @@ pub fn binary_op<V: VectorExtension>(op: BinaryOp, lhs: &[u64], rhs: &[u64], out
         "binary_op requires equally long inputs"
     );
     let lanes = V::LANES;
+    if lanes >= 4 && x86::try_binary_op(op, lhs, rhs, out) {
+        return;
+    }
     let chunks = lhs.len() / lanes;
     out.reserve(lhs.len());
     let mut scratch = vec![0u64; lanes];

@@ -67,6 +67,37 @@ pub fn try_sum(data: &[u64]) -> Option<u64> {
     None
 }
 
+/// Apply `op` element-wise to `lhs` and `rhs` with AVX2 if available,
+/// appending results to `out`.
+///
+/// All three operations use **wrapping** (mod 2^64) arithmetic, matching
+/// the scalar and emulated backends in release *and* debug builds —
+/// `_mm256_add/sub_epi64` wrap inherently, and the multiplication is
+/// composed from `_mm256_mul_epu32` partial products, which computes the
+/// low 64 bits of the full product exactly.
+///
+/// Returns `true` if the AVX2 path was taken, `false` if the caller must
+/// use the portable fallback.
+#[inline]
+pub fn try_binary_op(
+    op: crate::kernels::BinaryOp,
+    lhs: &[u64],
+    rhs: &[u64],
+    out: &mut Vec<u64>,
+) -> bool {
+    debug_assert_eq!(lhs.len(), rhs.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: AVX2 support was verified at run time immediately above.
+            unsafe { binary_op_avx2(op, lhs, rhs, out) };
+            return true;
+        }
+    }
+    let _ = (op, lhs, rhs, out);
+    false
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use super::*;
@@ -128,6 +159,55 @@ mod avx2 {
         }
     }
 
+    /// Wrapping 64-bit multiply from 32-bit partial products:
+    /// `lo(a*b) = a_lo*b_lo + ((a_lo*b_hi + a_hi*b_lo) << 32)` (mod 2^64).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_epi64_wrapping(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let lo_lo = _mm256_mul_epu32(a, b);
+        let lo_hi = _mm256_mul_epu32(a, b_hi);
+        let hi_lo = _mm256_mul_epu32(a_hi, b);
+        let cross = _mm256_add_epi64(lo_hi, hi_lo);
+        _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn binary_op_avx2(
+        op: crate::kernels::BinaryOp,
+        lhs: &[u64],
+        rhs: &[u64],
+        out: &mut Vec<u64>,
+    ) {
+        use crate::kernels::BinaryOp;
+        let n = lhs.len();
+        out.reserve(n);
+        let mut scratch = [0u64; 4];
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` guarantees the 32-byte reads stay in bounds.
+            let a = _mm256_loadu_si256(lhs.as_ptr().add(i) as *const __m256i);
+            let b = _mm256_loadu_si256(rhs.as_ptr().add(i) as *const __m256i);
+            let r = match op {
+                BinaryOp::Add => _mm256_add_epi64(a, b),
+                BinaryOp::Sub => _mm256_sub_epi64(a, b),
+                BinaryOp::Mul => mul_epi64_wrapping(a, b),
+            };
+            _mm256_storeu_si256(scratch.as_mut_ptr() as *mut __m256i, r);
+            out.extend_from_slice(&scratch);
+            i += 4;
+        }
+        for j in i..n {
+            let value = match op {
+                BinaryOp::Add => lhs[j].wrapping_add(rhs[j]),
+                BinaryOp::Sub => lhs[j].wrapping_sub(rhs[j]),
+                BinaryOp::Mul => lhs[j].wrapping_mul(rhs[j]),
+            };
+            out.push(value);
+        }
+    }
+
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sum_avx2(data: &[u64]) -> u64 {
         let n = data.len();
@@ -150,7 +230,7 @@ mod avx2 {
 }
 
 #[cfg(target_arch = "x86_64")]
-use avx2::{filter_positions_avx2, sum_avx2};
+use avx2::{binary_op_avx2, filter_positions_avx2, sum_avx2};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,129 @@
+//! Overflow-edge property tests for the `calc` arithmetic kernels.
+//!
+//! The [`morph_vector::kernels::BinaryOp`] contract is wrapping (mod 2^64)
+//! arithmetic on *every* backend — scalar, the emulated wide registers and
+//! the native AVX2 path — in debug and release builds alike.  A backend
+//! that used plain `+`/`*` would debug-panic (or, worse, diverge) exactly
+//! on the overflow edges, so the generator here deliberately concentrates
+//! values around `u64::MAX`, `2^63` and other carry boundaries.
+
+use morph_vector::emu::{V128, V256, V512};
+use morph_vector::kernels::{self, BinaryOp};
+use morph_vector::scalar::Scalar;
+use proptest::prelude::*;
+
+/// Values clustered on the overflow edges: all-ones, the sign boundary,
+/// single-bit values and small offsets from each.
+fn edge_values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            Just(1u64),
+            Just(u64::MAX),
+            Just(u64::MAX - 1),
+            Just(1u64 << 63),
+            Just((1u64 << 63) - 1),
+            Just(1u64 << 32),
+            Just((1u64 << 32) - 1),
+            any::<u64>(),
+            (0u64..16).prop_map(|d| u64::MAX - d),
+            (0u64..16).prop_map(|d| (1u64 << 63).wrapping_add(d)),
+        ],
+        len,
+    )
+}
+
+fn reference(op: BinaryOp, lhs: &[u64], rhs: &[u64]) -> Vec<u64> {
+    lhs.iter()
+        .zip(rhs.iter())
+        .map(|(&a, &b)| match op {
+            BinaryOp::Add => a.wrapping_add(b),
+            BinaryOp::Sub => a.wrapping_sub(b),
+            BinaryOp::Mul => a.wrapping_mul(b),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_ops_wrap_identically_on_every_backend(
+        pairs in edge_values(0..300).prop_map(|mut v| {
+            // Split one generated vector into two equal halves so the
+            // operands share the edge-value distribution.
+            let half = v.len() / 2;
+            let mut rhs = v.split_off(half);
+            rhs.truncate(v.len());
+            (v, rhs)
+        })
+    ) {
+        let (lhs, rhs) = pairs;
+        for op in [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul] {
+            let expected = reference(op, &lhs, &rhs);
+            let mut scalar = Vec::new();
+            kernels::binary_op::<Scalar>(op, &lhs, &rhs, &mut scalar);
+            prop_assert_eq!(&scalar, &expected, "scalar {:?}", op);
+            let mut v128 = Vec::new();
+            kernels::binary_op::<V128>(op, &lhs, &rhs, &mut v128);
+            prop_assert_eq!(&v128, &expected, "v128 {:?}", op);
+            // V256/V512 take the AVX2 path when the host supports it, the
+            // emulated lane loops otherwise — either way the results must
+            // be the wrapping reference.
+            let mut v256 = Vec::new();
+            kernels::binary_op::<V256>(op, &lhs, &rhs, &mut v256);
+            prop_assert_eq!(&v256, &expected, "v256 {:?}", op);
+            let mut v512 = Vec::new();
+            kernels::binary_op::<V512>(op, &lhs, &rhs, &mut v512);
+            prop_assert_eq!(&v512, &expected, "v512 {:?}", op);
+        }
+    }
+
+    #[test]
+    fn sums_wrap_identically_on_every_backend(values in edge_values(0..300)) {
+        let expected = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(kernels::sum::<Scalar>(&values), expected);
+        prop_assert_eq!(kernels::sum::<V128>(&values), expected);
+        prop_assert_eq!(kernels::sum::<V256>(&values), expected);
+        prop_assert_eq!(kernels::sum::<V512>(&values), expected);
+    }
+}
+
+/// The AVX2 kernel (when the host has it) must agree with the wrapping
+/// reference on a deterministic sweep of the worst edges — kept as a plain
+/// test so a failure pinpoints the native path.
+#[test]
+fn native_path_agrees_on_deterministic_edges() {
+    let edges = [
+        0u64,
+        1,
+        2,
+        u64::MAX,
+        u64::MAX - 1,
+        1 << 63,
+        (1 << 63) - 1,
+        (1 << 63) + 1,
+        1 << 32,
+        (1 << 32) - 1,
+        (1 << 32) + 1,
+        0x9E37_79B9_7F4A_7C15,
+    ];
+    let mut lhs = Vec::new();
+    let mut rhs = Vec::new();
+    for &a in &edges {
+        for &b in &edges {
+            lhs.push(a);
+            rhs.push(b);
+        }
+    }
+    for op in [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul] {
+        let expected = reference(op, &lhs, &rhs);
+        let mut native_or_emulated = Vec::new();
+        kernels::binary_op::<V256>(op, &lhs, &rhs, &mut native_or_emulated);
+        assert_eq!(native_or_emulated, expected, "{op:?}");
+        let mut taken = Vec::new();
+        if morph_vector::x86::try_binary_op(op, &lhs, &rhs, &mut taken) {
+            assert_eq!(taken, expected, "avx2 {op:?}");
+        }
+    }
+}
