@@ -1,0 +1,158 @@
+//! `server_throughput` — end-to-end serving throughput of the multi-tenant
+//! query server: N concurrent client threads (one tenant each, N ∈ {1, 2,
+//! 4, 8}) push the full 13-query SSB workload through a shared
+//! `morph-server` worker pool and the wall clock of the whole run is
+//! reported as queries/second.
+//!
+//! Each client submits the SQL text of every SSB query `runs + 1` times:
+//! the first sweep populates the tenant's private cache shard, the
+//! remaining sweeps measure the steady serving state — so the reported
+//! throughput blends cold compilation + execution with warm cache traffic,
+//! the profile of repeated dashboard-style load.  Per-tenant cache-shard
+//! hit rates and server-side p50/p95 end-to-end latency are recorded
+//! alongside.
+//!
+//! Output: a CSV table on stdout plus a `server` section merged into the
+//! machine-readable `BENCH_ssb.json` (path overridable via the
+//! `MORPH_BENCH_JSON` environment variable) without disturbing the
+//! sections written by `parallel_speedup`.
+//!
+//! Usual harness flags apply: `--scale-factor`, `--runs`, `--seed`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use morph_bench::{
+    merge_server_section, print_header, print_row, server_section_json, HarnessArgs, ServerRow,
+};
+use morph_compression::Format;
+use morph_server::{Server, ServerConfig};
+use morph_ssb::{dbgen, ssb_catalog, SsbData, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::ExecSettings;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKERS: usize = 4;
+
+fn run_workload(data: Arc<SsbData>, clients: usize, sweeps: usize) -> ServerRow {
+    let server = Arc::new(Server::new(
+        ssb_catalog(),
+        data,
+        ServerConfig {
+            workers: WORKERS,
+            threads_per_query: 1,
+            queue_capacity: 64,
+            cache_budget_bytes: 256 << 20,
+            max_tenants: CLIENT_COUNTS[CLIENT_COUNTS.len() - 1],
+            settings: ExecSettings::vectorized_compressed(),
+            formats: FormatConfig::with_default(Format::DeltaDynBp),
+            ..ServerConfig::default()
+        },
+    ));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let session = server.session(&format!("tenant-{client}")).unwrap();
+                for _ in 0..sweeps {
+                    for query in SsbQuery::all() {
+                        session
+                            .submit(query.sql())
+                            .unwrap_or_else(|e| panic!("{query}: {e}"));
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let wall = started.elapsed();
+    let stats = server.stats();
+    assert_eq!(
+        stats.served as usize,
+        clients * sweeps * SsbQuery::all().len()
+    );
+    ServerRow {
+        clients,
+        queries: stats.served,
+        wall,
+        p50_latency_ns: stats.p50_latency_ns,
+        p95_latency_ns: stats.p95_latency_ns,
+        tenant_hit_rates: stats
+            .tenants
+            .iter()
+            .map(|tenant| (tenant.tenant.clone(), tenant.cache_hit_rate()))
+            .collect(),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sweeps = args.runs + 1; // one cold populating sweep + warm repeats
+    eprintln!(
+        "server_throughput: scale factor {}, seed {}, {} workers, {} sweeps of 13 queries per client",
+        args.scale_factor, args.seed, WORKERS, sweeps
+    );
+    let data = Arc::new(dbgen::generate(args.scale_factor, args.seed));
+
+    print_header(&[
+        "clients",
+        "queries",
+        "wall_ms",
+        "qps",
+        "p50_ms",
+        "p95_ms",
+        "mean_hit_rate",
+    ]);
+    let mut rows = Vec::new();
+    for clients in CLIENT_COUNTS {
+        let row = run_workload(Arc::clone(&data), clients, sweeps);
+        let mean_hit_rate = if row.tenant_hit_rates.is_empty() {
+            0.0
+        } else {
+            row.tenant_hit_rates.iter().map(|(_, r)| r).sum::<f64>()
+                / row.tenant_hit_rates.len() as f64
+        };
+        print_row(&[
+            row.clients.to_string(),
+            row.queries.to_string(),
+            format!("{:.3}", row.wall.as_secs_f64() * 1e3),
+            format!("{:.1}", row.qps()),
+            format!("{:.3}", row.p50_latency_ns as f64 / 1e6),
+            format!("{:.3}", row.p95_latency_ns as f64 / 1e6),
+            format!("{mean_hit_rate:.4}"),
+        ]);
+        rows.push(row);
+    }
+
+    let baseline = rows.first().map(ServerRow::qps).unwrap_or(0.0);
+    for row in &rows {
+        eprintln!(
+            "{} clients: {:.1} qps ({:.2}x the single-client rate)",
+            row.clients,
+            row.qps(),
+            if baseline > 0.0 {
+                row.qps() / baseline
+            } else {
+                0.0
+            }
+        );
+    }
+
+    let json_path = std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ssb.json").to_string()
+    });
+    let section = server_section_json(WORKERS, &rows);
+    let merged = match std::fs::read_to_string(&json_path) {
+        Ok(document) => merge_server_section(&document, &section),
+        Err(_) => {
+            format!("{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"server\": {section}\n}}\n")
+        }
+    };
+    match std::fs::write(&json_path, &merged) {
+        Ok(()) => eprintln!("merged server section into {json_path}"),
+        Err(err) => eprintln!("could not write {json_path}: {err}"),
+    }
+}

@@ -428,6 +428,88 @@ pub fn ssb_speedup_json(
     )
 }
 
+/// One measured point of the server-throughput workload: `clients`
+/// concurrent sessions (one tenant each) pushing the full SSB query set
+/// through a shared `morph-server` worker pool.
+#[derive(Debug, Clone)]
+pub struct ServerRow {
+    /// Number of concurrent client threads (= tenants).
+    pub clients: usize,
+    /// Total queries served across all clients.
+    pub queries: u64,
+    /// Wall clock of the whole workload.
+    pub wall: Duration,
+    /// Median end-to-end (enqueue → reply) latency in nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile end-to-end latency in nanoseconds.
+    pub p95_latency_ns: u64,
+    /// Per-tenant cache-shard hit rate, in tenant-registration order.
+    pub tenant_hit_rates: Vec<(String, f64)>,
+}
+
+impl ServerRow {
+    /// Queries per second over the whole workload.
+    pub fn qps(&self) -> f64 {
+        let seconds = self.wall.as_secs_f64();
+        if seconds > 0.0 {
+            self.queries as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Serialise the server-throughput rows as the value of the top-level
+/// `"server"` key of `BENCH_ssb.json` (indented to sit at nesting depth 1).
+pub fn server_section_json(workers: usize, rows: &[ServerRow]) -> String {
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let tenants: Vec<String> = row
+                .tenant_hit_rates
+                .iter()
+                .map(|(tenant, rate)| {
+                    format!("{{\"tenant\": \"{tenant}\", \"cache_hit_rate\": {rate:.4}}}")
+                })
+                .collect();
+            format!(
+                "      {{\"clients\": {}, \"queries\": {}, \"wall_ns\": {}, \
+                 \"qps\": {:.1}, \"p50_latency_ns\": {}, \"p95_latency_ns\": {}, \
+                 \"tenants\": [{}]}}",
+                row.clients,
+                row.queries,
+                row.wall.as_nanos(),
+                row.qps(),
+                row.p50_latency_ns,
+                row.p95_latency_ns,
+                tenants.join(", ")
+            )
+        })
+        .collect();
+    let clients: Vec<String> = rows.iter().map(|row| row.clients.to_string()).collect();
+    format!(
+        "{{\n    \"workers\": {},\n    \"clients\": [{}],\n    \"rows\": [\n{}\n    ]\n  }}",
+        workers,
+        clients.join(", "),
+        row_json.join(",\n")
+    )
+}
+
+/// Merge a `"server"` section (produced by [`server_section_json`]) into an
+/// existing `BENCH_ssb.json` document, replacing any previous server
+/// section.  The section is always kept as the last top-level key, so
+/// replacement is a truncate-and-append on the canonical layout.
+pub fn merge_server_section(document: &str, section: &str) -> String {
+    let trimmed = document.trim_end();
+    let trimmed = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
+    let base = match trimmed.find(",\n  \"server\":") {
+        Some(position) => &trimmed[..position],
+        None => trimmed,
+    };
+    let base = base.trim_end().trim_end_matches(',');
+    format!("{base},\n  \"server\": {section}\n}}\n")
+}
+
 /// Print a CSV header row.
 pub fn print_header(columns: &[&str]) {
     println!("{}", columns.join(","));
@@ -510,6 +592,55 @@ mod tests {
             assert_eq!(
                 json.matches(open).count(),
                 json.matches(close).count(),
+                "{open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_section_merges_idempotently() {
+        let rows = vec![
+            ServerRow {
+                clients: 1,
+                queries: 26,
+                wall: Duration::from_millis(130),
+                p50_latency_ns: 4_000_000,
+                p95_latency_ns: 9_000_000,
+                tenant_hit_rates: vec![("tenant-0".to_string(), 0.5)],
+            },
+            ServerRow {
+                clients: 2,
+                queries: 52,
+                wall: Duration::from_millis(150),
+                p50_latency_ns: 5_000_000,
+                p95_latency_ns: 11_000_000,
+                tenant_hit_rates: vec![
+                    ("tenant-0".to_string(), 0.5),
+                    ("tenant-1".to_string(), 0.5),
+                ],
+            },
+        ];
+        let section = server_section_json(4, &rows);
+        assert!(section.contains("\"workers\": 4"));
+        assert!(section.contains("\"clients\": [1, 2]"));
+        // 26 queries in 130 ms = 200 qps.
+        assert!(section.contains("\"qps\": 200.0"));
+        assert!(section.contains("\"cache_hit_rate\": 0.5000"));
+
+        let base = "{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \
+                    \"cache\": [\n    {\"query\": \"1.1\"}\n  ]\n}\n";
+        let merged = merge_server_section(base, &section);
+        assert!(merged.contains("\"benchmark\": \"ssb_parallel_speedup\""));
+        assert!(merged.contains("\"server\": {"));
+        // Re-merging replaces instead of duplicating.
+        let remerged = merge_server_section(&merged, &section);
+        assert_eq!(remerged.matches("\"server\":").count(), 1);
+        assert_eq!(remerged, merged);
+        // Balanced braces/brackets after the splice.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                merged.matches(open).count(),
+                merged.matches(close).count(),
                 "{open}{close}"
             );
         }

@@ -1,0 +1,686 @@
+//! # morph-server
+//!
+//! A concurrent, multi-tenant query server over the MorphStore engine: SQL
+//! in, decompressed result columns out.
+//!
+//! ## Model
+//!
+//! A [`Server`] owns a worker pool and a shared, immutable column store
+//! (any [`ColumnSource`]).  Clients open a [`Session`] for a named
+//! *tenant* and call [`Session::submit`] from as many threads as they
+//! like; submissions are multiplexed onto the workers through per-tenant
+//! bounded admission queues:
+//!
+//! * **Admission** — each tenant has its own FIFO queue of at most
+//!   [`ServerConfig::queue_capacity`] waiting queries.  A full queue
+//!   rejects immediately with [`ServerError::QueueFull`] (structured
+//!   back-pressure, never a panic or a silent drop).
+//! * **Fairness** — workers pick the next query round-robin across
+//!   tenants, so a tenant flooding its queue cannot starve the others:
+//!   with k active tenants each gets ~1/k of the workers' attention.
+//! * **Isolation** — every tenant gets a private [`QueryCache`] shard
+//!   carved out of [`ServerConfig::cache_budget_bytes`] (budget divided
+//!   evenly across [`ServerConfig::max_tenants`]).  Shards are separate
+//!   cache instances: one tenant's queries can never hit — or evict —
+//!   another tenant's entries, structurally.
+//! * **Failure containment** — compilation failures are returned as
+//!   structured [`ServerError`]s with positions and did-you-mean
+//!   suggestions; engine panics during execution are caught at the worker
+//!   boundary and returned as [`ServerError::Execution`].
+//!
+//! Results are *deterministic*: the same SQL over the same data returns
+//! byte-identical [`PlanOutput`]s regardless of worker count, concurrency
+//! or cache state (the `server_determinism` test drives 1/2/4/8-client
+//! sessions against the serial hand-built SSB plans).
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod stats;
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use morph_cache::{CacheConfig, QueryCache};
+use morph_sql::{Catalog, CompiledQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::plan::{ColumnSource, PlanOutput};
+use morphstore_engine::{ExecSettings, ExecutionContext};
+
+pub use error::ServerError;
+pub use stats::{ServerStats, TenantStats};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (0 accepts submissions but never
+    /// completes them — useful only for tests).
+    pub workers: usize,
+    /// Intra-query parallelism: worker threads each query's plan executor
+    /// uses (1 = serial execution per query).
+    pub threads_per_query: usize,
+    /// Maximum queued (admitted but not yet executing) queries per tenant.
+    pub queue_capacity: usize,
+    /// Total cache budget in bytes, divided evenly into per-tenant shards.
+    pub cache_budget_bytes: usize,
+    /// Maximum number of distinct tenants; the budget division uses this
+    /// as the denominator, so it is fixed up front.
+    pub max_tenants: usize,
+    /// Admission thresholds applied to every tenant's cache shard.
+    pub cache_admission: CacheConfig,
+    /// Engine settings queries execute under (any cache handle in here is
+    /// replaced by the tenant's shard).
+    pub settings: ExecSettings,
+    /// Per-column format assignment for intermediates.
+    pub formats: FormatConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            threads_per_query: 1,
+            queue_capacity: 64,
+            cache_budget_bytes: 64 << 20,
+            max_tenants: 8,
+            cache_admission: CacheConfig::default(),
+            settings: ExecSettings::vectorized_compressed(),
+            formats: FormatConfig::default(),
+        }
+    }
+}
+
+/// One queued query.
+struct Job {
+    tenant: usize,
+    sql: String,
+    enqueued_at: Instant,
+    reply: Arc<ReplySlot>,
+}
+
+/// The rendezvous a [`PendingQuery`] waits on.
+struct ReplySlot {
+    result: Mutex<Option<Result<PlanOutput, ServerError>>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<PlanOutput, ServerError>) {
+        let mut slot = self.result.lock().unwrap();
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<PlanOutput, ServerError> {
+        let mut slot = self.result.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+/// Per-tenant server-side state.
+struct TenantState {
+    name: String,
+    cache: Arc<QueryCache>,
+    queue: VecDeque<Job>,
+    served: u64,
+    rejected: u64,
+}
+
+/// State behind the scheduler lock.
+struct Inner {
+    tenants: Vec<TenantState>,
+    /// Round-robin position: the tenant index to try first.
+    cursor: usize,
+    shutdown: bool,
+    latencies_ns: Vec<u64>,
+}
+
+/// Pick the tenant to serve next: the first tenant with a non-empty queue
+/// at or after `cursor`, wrapping around.  Pure so fairness is unit-testable.
+fn next_tenant(queue_lens: &[usize], cursor: usize) -> Option<usize> {
+    let n = queue_lens.len();
+    (0..n)
+        .map(|offset| (cursor + offset) % n)
+        .find(|&index| queue_lens[index] > 0)
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    catalog: Catalog,
+    source: Arc<dyn ColumnSource + Send + Sync>,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn take_job(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            let lens: Vec<usize> = inner.tenants.iter().map(|t| t.queue.len()).collect();
+            if let Some(index) = next_tenant(&lens, inner.cursor) {
+                inner.cursor = (index + 1) % inner.tenants.len();
+                let job = inner.tenants[index].queue.pop_front().expect("non-empty");
+                return Some(job);
+            }
+            inner = self.work.wait(inner).unwrap();
+        }
+    }
+
+    fn run_job(&self, job: &Job) -> Result<PlanOutput, ServerError> {
+        let cache = {
+            let inner = self.inner.lock().unwrap();
+            Arc::clone(&inner.tenants[job.tenant].cache)
+        };
+        let compiled: CompiledQuery = morph_sql::compile(&job.sql, &self.catalog)?;
+        let settings = self.config.settings.clone().with_cache(cache);
+        let formats = self.config.formats.clone();
+        let source = Arc::clone(&self.source);
+        let threads = self.config.threads_per_query;
+        catch_unwind(AssertUnwindSafe(move || {
+            let mut ctx = ExecutionContext::new(settings, formats);
+            if threads > 1 {
+                compiled.execute_parallel(source.as_ref(), &mut ctx, threads)
+            } else {
+                compiled.execute(source.as_ref(), &mut ctx)
+            }
+        }))
+        .map_err(error::execution_error)
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.take_job() {
+            let result = self.run_job(&job);
+            let latency = job.enqueued_at.elapsed().as_nanos() as u64;
+            {
+                let mut inner = self.inner.lock().unwrap();
+                inner.tenants[job.tenant].served += 1;
+                inner.latencies_ns.push(latency);
+            }
+            job.reply.fill(result);
+        }
+    }
+}
+
+/// A multi-tenant SQL query server over a shared column store.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server over `source`, resolving queries against `catalog`,
+    /// with `config.workers` worker threads.
+    pub fn new(
+        catalog: Catalog,
+        source: Arc<dyn ColumnSource + Send + Sync>,
+        config: ServerConfig,
+    ) -> Server {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                tenants: Vec::new(),
+                cursor: 0,
+                shutdown: false,
+                latencies_ns: Vec::new(),
+            }),
+            work: Condvar::new(),
+            catalog,
+            source,
+            config: config.clone(),
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("morph-server-worker-{index}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Open a session for `tenant`, registering the tenant (and carving out
+    /// its cache shard) on first use.
+    ///
+    /// Returns [`ServerError::TenantLimit`] if the tenant is new and the
+    /// server already serves [`ServerConfig::max_tenants`] tenants, and
+    /// [`ServerError::Shutdown`] after [`Server::shutdown`].
+    pub fn session(&self, tenant: &str) -> Result<Session, ServerError> {
+        let config = &self.shared.config;
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err(ServerError::Shutdown);
+        }
+        let index = match inner.tenants.iter().position(|t| t.name == tenant) {
+            Some(index) => index,
+            None => {
+                if inner.tenants.len() >= config.max_tenants {
+                    return Err(ServerError::TenantLimit {
+                        max_tenants: config.max_tenants,
+                    });
+                }
+                let shard_budget = config.cache_budget_bytes / config.max_tenants.max(1);
+                inner.tenants.push(TenantState {
+                    name: tenant.to_string(),
+                    cache: Arc::new(QueryCache::with_config(
+                        shard_budget,
+                        config.cache_admission,
+                    )),
+                    queue: VecDeque::new(),
+                    served: 0,
+                    rejected: 0,
+                });
+                inner.tenants.len() - 1
+            }
+        };
+        Ok(Session {
+            shared: Arc::clone(&self.shared),
+            tenant: index,
+            tenant_name: tenant.to_string(),
+            submitted: Arc::new(AtomicU64::new(0)),
+            completed: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Server-wide statistics (queries served, rejections, queue depth and
+    /// end-to-end latency percentiles) with a per-tenant breakdown.
+    pub fn stats(&self) -> ServerStats {
+        let inner = self.shared.inner.lock().unwrap();
+        let tenants: Vec<TenantStats> = inner
+            .tenants
+            .iter()
+            .map(|t| TenantStats {
+                tenant: t.name.clone(),
+                served: t.served,
+                rejected: t.rejected,
+                queue_depth: t.queue.len(),
+                cache: t.cache.stats(),
+            })
+            .collect();
+        ServerStats {
+            served: tenants.iter().map(|t| t.served).sum(),
+            rejected: tenants.iter().map(|t| t.rejected).sum(),
+            queue_depth: tenants.iter().map(|t| t.queue_depth).sum(),
+            p50_latency_ns: stats::percentile_ns(&inner.latencies_ns, 50),
+            p95_latency_ns: stats::percentile_ns(&inner.latencies_ns, 95),
+            tenants,
+        }
+    }
+
+    /// Stop accepting work, fail every queued query with
+    /// [`ServerError::Shutdown`], and join the workers.  Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.shutdown = true;
+            let pending: Vec<Job> = inner
+                .tenants
+                .iter_mut()
+                .flat_map(|t| t.queue.drain(..))
+                .collect();
+            drop(inner);
+            for job in pending {
+                job.reply.fill(Err(ServerError::Shutdown));
+            }
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A client handle bound to one tenant.  Cheap to clone; safe to share
+/// across client threads (submissions from any number of threads are
+/// multiplexed onto the server's workers).
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    tenant: usize,
+    tenant_name: String,
+    submitted: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+}
+
+/// An admitted query waiting for its result.
+pub struct PendingQuery {
+    reply: Arc<ReplySlot>,
+    completed: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for PendingQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingQuery").finish_non_exhaustive()
+    }
+}
+
+impl PendingQuery {
+    /// Block until the query finishes and return its result.
+    pub fn wait(self) -> Result<PlanOutput, ServerError> {
+        let result = self.reply.wait();
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+}
+
+/// Per-session counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries this session successfully enqueued.
+    pub submitted: u64,
+    /// Queries this session has collected results for.
+    pub completed: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("tenant", &self.tenant_name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// The tenant this session belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant_name
+    }
+
+    /// Enqueue `sql` without waiting.  Fails fast with
+    /// [`ServerError::QueueFull`] when the tenant's queue is at capacity
+    /// and [`ServerError::Shutdown`] when the server is stopping.
+    pub fn enqueue(&self, sql: &str) -> Result<PendingQuery, ServerError> {
+        let reply = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.shutdown {
+                return Err(ServerError::Shutdown);
+            }
+            let capacity = self.shared.config.queue_capacity;
+            let tenant = &mut inner.tenants[self.tenant];
+            if tenant.queue.len() >= capacity {
+                tenant.rejected += 1;
+                return Err(ServerError::QueueFull {
+                    tenant: tenant.name.clone(),
+                    capacity,
+                });
+            }
+            let reply = ReplySlot::new();
+            tenant.queue.push_back(Job {
+                tenant: self.tenant,
+                sql: sql.to_string(),
+                enqueued_at: Instant::now(),
+                reply: Arc::clone(&reply),
+            });
+            reply
+        };
+        self.shared.work.notify_one();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(PendingQuery {
+            reply,
+            completed: Arc::clone(&self.completed),
+        })
+    }
+
+    /// Submit `sql` and block until its result: enqueue, wait, return the
+    /// decompressed output columns.
+    pub fn submit(&self, sql: &str) -> Result<PlanOutput, ServerError> {
+        self.enqueue(sql)?.wait()
+    }
+
+    /// This session's submission counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_sql::TableDef;
+    use morph_storage::Column;
+    use std::collections::HashMap;
+
+    fn catalog() -> Catalog {
+        Catalog::new().with_table(
+            TableDef::new("t")
+                .with_column("x")
+                .with_column("y")
+                .with_column("ghost"),
+        )
+    }
+
+    fn source() -> Arc<dyn ColumnSource + Send + Sync> {
+        let mut columns: HashMap<String, Column> = HashMap::new();
+        columns.insert("x".to_string(), Column::from_vec(vec![1, 2, 3, 1, 2, 1]));
+        columns.insert(
+            "y".to_string(),
+            Column::from_vec(vec![10, 20, 30, 40, 50, 60]),
+        );
+        // "ghost" is declared in the catalog but absent from the store, so
+        // executing a query over it panics inside the engine — which the
+        // server must catch and convert.
+        Arc::new(columns)
+    }
+
+    fn server(config: ServerConfig) -> Server {
+        Server::new(catalog(), source(), config)
+    }
+
+    #[test]
+    fn round_robin_is_fair_and_live() {
+        // Pure scheduler: starts at the cursor, wraps, skips empty queues.
+        assert_eq!(next_tenant(&[], 0), None);
+        assert_eq!(next_tenant(&[0, 0], 1), None);
+        assert_eq!(next_tenant(&[1, 1, 1], 0), Some(0));
+        assert_eq!(next_tenant(&[1, 1, 1], 2), Some(2));
+        assert_eq!(next_tenant(&[0, 5, 0], 2), Some(1));
+        // A tenant with a huge backlog cannot shadow later tenants: after
+        // serving tenant 0 the cursor moves past it.
+        assert_eq!(next_tenant(&[100, 1], 1), Some(1));
+    }
+
+    #[test]
+    fn submit_executes_and_returns_rows() {
+        let server = server(ServerConfig::default());
+        let session = server.session("acme").unwrap();
+        let output = session.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        assert!(output.group_keys.is_empty());
+        assert_eq!(output.values, vec![10 + 40 + 60]);
+        assert_eq!(session.stats().submitted, 1);
+        assert_eq!(session.stats().completed, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_structured() {
+        let server = server(ServerConfig::default());
+        let session = server.session("acme").unwrap();
+        match session.submit("SELECT SUM(y) FROM tt WHERE x = 1") {
+            Err(ServerError::UnknownTable { name, did_you_mean }) => {
+                assert_eq!(name, "tt");
+                assert_eq!(did_you_mean.as_deref(), Some("t"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match session.submit("SELECT SUM(y FROM t") {
+            Err(ServerError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execution_panics_become_errors_and_workers_survive() {
+        let server = server(ServerConfig::default());
+        let session = server.session("acme").unwrap();
+        match session.submit("SELECT SUM(ghost) FROM t WHERE x = 1") {
+            Err(ServerError::Execution { message, .. }) => {
+                assert!(!message.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The worker that caught the panic keeps serving.
+        let output = session.submit("SELECT SUM(y) FROM t WHERE x = 2").unwrap();
+        assert_eq!(output.values, vec![20 + 50]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_full() {
+        // No workers: nothing drains the queue.
+        let server = server(ServerConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        });
+        let session = server.session("acme").unwrap();
+        let _a = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        let _b = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        match session.enqueue("SELECT SUM(y) FROM t WHERE x = 1") {
+            Err(ServerError::QueueFull { tenant, capacity }) => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.stats().rejected, 1);
+        assert_eq!(server.stats().queue_depth, 2);
+    }
+
+    #[test]
+    fn shutdown_fails_pending_queries() {
+        let mut server = server(ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        });
+        let session = server.session("acme").unwrap();
+        let pending = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        server.shutdown();
+        assert_eq!(pending.wait(), Err(ServerError::Shutdown));
+        match session.enqueue("SELECT SUM(y) FROM t WHERE x = 1") {
+            Err(ServerError::Shutdown) => {}
+            _ => panic!("enqueue after shutdown must fail"),
+        }
+    }
+
+    #[test]
+    fn tenant_limit_is_enforced() {
+        let server = server(ServerConfig {
+            max_tenants: 2,
+            ..ServerConfig::default()
+        });
+        server.session("a").unwrap();
+        server.session("b").unwrap();
+        // Existing tenants reopen fine; a third is rejected.
+        server.session("a").unwrap();
+        match server.session("c") {
+            Err(ServerError::TenantLimit { max_tenants }) => assert_eq!(max_tenants, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_caches_are_isolated_shards() {
+        let server = server(ServerConfig {
+            workers: 1,
+            cache_budget_bytes: 1 << 20,
+            max_tenants: 4,
+            ..ServerConfig::default()
+        });
+        let a = server.session("a").unwrap();
+        let b = server.session("b").unwrap();
+        let sql = "SELECT SUM(y) FROM t WHERE x = 1";
+        // Warm tenant a twice: the second run hits a's shard.
+        a.submit(sql).unwrap();
+        a.submit(sql).unwrap();
+        let stats = server.stats();
+        let shard_a = &stats.tenants[0];
+        assert_eq!(shard_a.tenant, "a");
+        assert!(shard_a.cache.hits > 0, "warm rerun should hit: {shard_a:?}");
+        // Tenant b runs the same SQL but must not see a's entries.
+        b.submit(sql).unwrap();
+        let stats = server.stats();
+        let shard_b = &stats.tenants[1];
+        assert_eq!(shard_b.tenant, "b");
+        assert_eq!(shard_b.cache.hits, 0, "cross-tenant leak: {shard_b:?}");
+        // Shard budgets partition the configured total.
+        let per_shard = (1 << 20) / 4;
+        let inner = server.shared.inner.lock().unwrap();
+        for tenant in &inner.tenants {
+            assert_eq!(tenant.cache.budget_bytes(), per_shard);
+        }
+    }
+
+    #[test]
+    fn admission_config_reaches_tenant_shards() {
+        let server = server(ServerConfig {
+            workers: 1,
+            cache_admission: CacheConfig::new(u64::MAX, usize::MAX),
+            ..ServerConfig::default()
+        });
+        let session = server.session("acme").unwrap();
+        let sql = "SELECT SUM(y) FROM t WHERE x = 1";
+        session.submit(sql).unwrap();
+        session.submit(sql).unwrap();
+        let stats = server.stats();
+        let shard = &stats.tenants[0];
+        // Impossible thresholds: every subplan result is skipped, so the
+        // warm rerun cannot hit (format decisions may still be cached).
+        assert!(
+            shard.cache.admission_skipped > 0,
+            "thresholds not applied: {shard:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_submissions_from_many_threads() {
+        let server = Arc::new(server(ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        }));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                let session = server.session(&format!("tenant-{}", t % 4)).unwrap();
+                for _ in 0..5 {
+                    let output = session.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+                    assert_eq!(output.values, vec![110]);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.served, 40);
+        assert!(stats.p50_latency_ns > 0);
+        assert!(stats.p95_latency_ns >= stats.p50_latency_ns);
+    }
+}

@@ -1,0 +1,76 @@
+//! Server- and tenant-level serving statistics.
+
+use morph_cache::CacheStats;
+
+/// Statistics of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// The tenant name.
+    pub tenant: String,
+    /// Queries completed for this tenant (successfully or with an
+    /// execution error — both went through a worker).
+    pub served: u64,
+    /// Queries rejected at admission because the tenant's queue was full.
+    pub rejected: u64,
+    /// Queries currently waiting in the tenant's admission queue.
+    pub queue_depth: usize,
+    /// Counters of the tenant's private cache shard.
+    pub cache: CacheStats,
+}
+
+impl TenantStats {
+    /// Fraction of cache lookups served from the tenant's shard.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+/// Server-wide statistics.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Total queries completed across all tenants.
+    pub served: u64,
+    /// Total admission rejections across all tenants.
+    pub rejected: u64,
+    /// Total queries currently queued across all tenants.
+    pub queue_depth: usize,
+    /// Median end-to-end latency (enqueue → reply) in nanoseconds, 0 when
+    /// nothing has been served.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile end-to-end latency in nanoseconds.
+    pub p95_latency_ns: u64,
+    /// Per-tenant breakdown, in tenant-registration order.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Nearest-rank percentile of unsorted latency samples (`q` in 0..=100);
+/// 0 for an empty sample set.
+pub(crate) fn percentile_ns(samples: &[u64], q: u32) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (q as usize * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile_ns(&[], 50), 0);
+        assert_eq!(percentile_ns(&[7], 50), 7);
+        assert_eq!(percentile_ns(&[7], 95), 7);
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&samples, 50), 50);
+        assert_eq!(percentile_ns(&samples, 95), 95);
+        assert_eq!(percentile_ns(&samples, 100), 100);
+        // Order-insensitive.
+        let mut shuffled = samples.clone();
+        shuffled.reverse();
+        assert_eq!(percentile_ns(&shuffled, 50), 50);
+    }
+}

@@ -1,0 +1,290 @@
+//! The typed AST of the supported SQL subset.
+//!
+//! The AST is deliberately span-free: parse errors are reported with
+//! line/column positions *during* parsing, and name-resolution errors
+//! identify the offending name itself.  That keeps the tree `Eq`-comparable,
+//! which the proptest round-trip (pretty-print → parse → identical AST)
+//! relies on.
+//!
+//! [`Query`]'s `Display` implementation prints the canonical form of the
+//! subset: uppercase keywords, single spaces, explicit `ASC`/`DESC`, and
+//! fully parenthesised arithmetic (so the printed text re-parses to the
+//! exact same tree regardless of operator precedence).
+
+use std::fmt;
+
+use morphstore_engine::CmpOp;
+
+/// A possibly table-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// The qualifying table, if written as `table.column`.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference.
+    pub fn bare(column: &str) -> ColumnRef {
+        ColumnRef {
+            table: None,
+            column: column.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(table) => write!(f, "{table}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// An unsigned integer.
+    Number(u64),
+    /// A single-quoted string (resolved against a column dictionary).
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(value) => write!(f, "{value}"),
+            Literal::Str(text) => write!(f, "'{text}'"),
+        }
+    }
+}
+
+/// Arithmetic operator inside an aggregate expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+        })
+    }
+}
+
+/// An arithmetic expression over columns and literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal.
+    Literal(Literal),
+    /// A binary arithmetic operation.
+    Binary {
+        /// The operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(column) => write!(f, "{column}"),
+            Expr::Literal(literal) => write!(f, "{literal}"),
+            // Always parenthesised: the canonical form is precedence-free.
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+        }
+    }
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `SUM(expr) [AS alias]`
+    Sum {
+        /// The summed expression.
+        expr: Expr,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+    /// `column [AS alias]` (must also appear in `GROUP BY`).
+    Column {
+        /// The selected column.
+        column: ColumnRef,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let alias = match self {
+            SelectItem::Sum { expr, alias } => {
+                write!(f, "SUM({expr})")?;
+                alias
+            }
+            SelectItem::Column { column, alias } => {
+                write!(f, "{column}")?;
+                alias
+            }
+        };
+        if let Some(alias) = alias {
+            write!(f, " AS {alias}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One `WHERE` conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `left = right`, both columns (an equi-join).
+    Join {
+        /// Left column.
+        left: ColumnRef,
+        /// Right column.
+        right: ColumnRef,
+    },
+    /// `column <op> literal`.
+    Compare {
+        /// The restricted column.
+        column: ColumnRef,
+        /// The comparison operator.
+        op: CmpOp,
+        /// The constant.
+        value: Literal,
+    },
+    /// `column BETWEEN low AND high` (inclusive).
+    Between {
+        /// The restricted column.
+        column: ColumnRef,
+        /// Lower bound.
+        low: Literal,
+        /// Upper bound.
+        high: Literal,
+    },
+    /// `column IN (v1, v2, ...)`.
+    In {
+        /// The restricted column.
+        column: ColumnRef,
+        /// The admitted values (at least one).
+        values: Vec<Literal>,
+    },
+}
+
+/// The canonical spelling of a comparison operator.
+pub fn cmp_symbol(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Join { left, right } => write!(f, "{left} = {right}"),
+            Predicate::Compare { column, op, value } => {
+                write!(f, "{column} {} {value}", cmp_symbol(*op))
+            }
+            Predicate::Between { column, low, high } => {
+                write!(f, "{column} BETWEEN {low} AND {high}")
+            }
+            Predicate::In { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, value) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{value}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderItem {
+    /// The ordering column (a `GROUP BY` column or an aggregate alias).
+    pub column: ColumnRef,
+    /// Descending order?
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            self.column,
+            if self.desc { "DESC" } else { "ASC" }
+        )
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The `SELECT` list (at least one item).
+    pub select: Vec<SelectItem>,
+    /// The `FROM` tables (at least one).
+    pub from: Vec<String>,
+    /// The `WHERE` conjuncts (possibly empty).
+    pub predicates: Vec<Predicate>,
+    /// The `GROUP BY` columns (possibly empty).
+    pub group_by: Vec<ColumnRef>,
+    /// The `ORDER BY` items (possibly empty).
+    pub order_by: Vec<OrderItem>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        f.write_str(" FROM ")?;
+        for (i, table) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(table)?;
+        }
+        for (i, predicate) in self.predicates.iter().enumerate() {
+            f.write_str(if i == 0 { " WHERE " } else { " AND " })?;
+            write!(f, "{predicate}")?;
+        }
+        for (i, column) in self.group_by.iter().enumerate() {
+            f.write_str(if i == 0 { " GROUP BY " } else { ", " })?;
+            write!(f, "{column}")?;
+        }
+        for (i, item) in self.order_by.iter().enumerate() {
+            f.write_str(if i == 0 { " ORDER BY " } else { ", " })?;
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}

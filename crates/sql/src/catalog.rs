@@ -1,0 +1,220 @@
+//! The catalog: tables, columns and per-column string dictionaries the
+//! name resolver works against.
+//!
+//! MorphStore columns are `u64` throughout; string attributes are stored as
+//! keys of an order-preserving per-domain dictionary (paper Section 3.1).
+//! The catalog therefore records, per column, an optional dictionary mapping
+//! strings to keys so the planner can resolve string literals in predicates
+//! to the integer constants the engine's selection operators take.
+
+use std::collections::HashMap;
+
+use crate::error::{nearest, SqlError};
+
+/// A column of a catalog table.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// The column name (e.g. `"lo_revenue"`).
+    pub name: String,
+    /// String → dictionary-key mapping for string-typed columns (empty for
+    /// plain integer columns).
+    dictionary: HashMap<String, u64>,
+}
+
+impl ColumnDef {
+    /// An integer column.
+    pub fn integer(name: &str) -> ColumnDef {
+        ColumnDef {
+            name: name.to_string(),
+            dictionary: HashMap::new(),
+        }
+    }
+
+    /// A dictionary-encoded string column.
+    pub fn dictionary(name: &str, entries: impl IntoIterator<Item = (String, u64)>) -> ColumnDef {
+        ColumnDef {
+            name: name.to_string(),
+            dictionary: entries.into_iter().collect(),
+        }
+    }
+
+    /// Whether the column has a string dictionary.
+    pub fn has_dictionary(&self) -> bool {
+        !self.dictionary.is_empty()
+    }
+
+    /// The dictionary key of `text`, if the column is dictionary-encoded and
+    /// the string is in its domain.
+    pub fn key_of(&self, text: &str) -> Option<u64> {
+        self.dictionary.get(text).copied()
+    }
+}
+
+/// A table with its columns and (for dimensions) primary key.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// The table name (e.g. `"lineorder"`).
+    pub name: String,
+    /// The single-column primary key, if declared.  The planner uses
+    /// declared keys to orient equi-joins: the primary-key side is the
+    /// dimension, the other the fact foreign key.
+    pub primary_key: Option<String>,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableDef {
+    /// A table with no columns yet.
+    pub fn new(name: &str) -> TableDef {
+        TableDef {
+            name: name.to_string(),
+            primary_key: None,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Declare the single-column primary key (must be added as a column
+    /// too).
+    pub fn with_primary_key(mut self, column: &str) -> TableDef {
+        self.primary_key = Some(column.to_string());
+        self
+    }
+
+    /// Add an integer column.
+    pub fn with_column(mut self, name: &str) -> TableDef {
+        self.columns.push(ColumnDef::integer(name));
+        self
+    }
+
+    /// Add a dictionary-encoded string column.
+    pub fn with_dict_column(
+        mut self,
+        name: &str,
+        entries: impl IntoIterator<Item = (String, u64)>,
+    ) -> TableDef {
+        self.columns.push(ColumnDef::dictionary(name, entries));
+        self
+    }
+
+    /// The column named `name`, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+}
+
+/// The set of loaded tables the resolver works against.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Add a table (replacing any previous table of the same name).
+    pub fn add_table(&mut self, table: TableDef) {
+        self.tables.retain(|t| t.name != table.name);
+        self.tables.push(table);
+    }
+
+    /// Builder-style [`Catalog::add_table`].
+    pub fn with_table(mut self, table: TableDef) -> Catalog {
+        self.add_table(table);
+        self
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// The table named `name`, or an [`SqlError::UnknownTable`] with a
+    /// did-you-mean suggestion.
+    pub fn table(&self, name: &str) -> Result<&TableDef, SqlError> {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| SqlError::UnknownTable {
+                name: name.to_string(),
+                did_you_mean: nearest(name, self.tables.iter().map(|t| t.name.as_str())),
+            })
+    }
+
+    /// An `UnknownColumn` error for `name`, suggesting the nearest column
+    /// name among `tables` (which must be catalog tables).
+    pub(crate) fn unknown_column(&self, name: &str, tables: &[&TableDef]) -> SqlError {
+        SqlError::UnknownColumn {
+            name: name.to_string(),
+            did_you_mean: nearest(
+                name,
+                tables
+                    .iter()
+                    .flat_map(|t| t.columns().iter().map(|c| c.name.as_str())),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with_table(
+                TableDef::new("dim")
+                    .with_primary_key("d_key")
+                    .with_column("d_key")
+                    .with_dict_column(
+                        "d_color",
+                        [("RED".to_string(), 0), ("GREEN".to_string(), 1)],
+                    ),
+            )
+            .with_table(
+                TableDef::new("fact")
+                    .with_column("f_dim")
+                    .with_column("f_value"),
+            )
+    }
+
+    #[test]
+    fn lookup_and_did_you_mean() {
+        let catalog = catalog();
+        assert_eq!(
+            catalog.table("dim").unwrap().primary_key.as_deref(),
+            Some("d_key")
+        );
+        match catalog.table("facts") {
+            Err(SqlError::UnknownTable { did_you_mean, .. }) => {
+                assert_eq!(did_you_mean.as_deref(), Some("fact"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dictionary_resolution() {
+        let catalog = catalog();
+        let color = catalog.table("dim").unwrap().column("d_color").unwrap();
+        assert!(color.has_dictionary());
+        assert_eq!(color.key_of("GREEN"), Some(1));
+        assert_eq!(color.key_of("BLUE"), None);
+        let key = catalog.table("dim").unwrap().column("d_key").unwrap();
+        assert!(!key.has_dictionary());
+    }
+
+    #[test]
+    fn add_table_replaces_same_name() {
+        let mut catalog = catalog();
+        catalog.add_table(TableDef::new("fact").with_column("f_other"));
+        assert!(catalog.table("fact").unwrap().column("f_value").is_none());
+        assert!(catalog.table("fact").unwrap().column("f_other").is_some());
+    }
+}

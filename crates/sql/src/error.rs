@@ -1,0 +1,138 @@
+//! The structured error type of the SQL front-end.
+
+use std::fmt;
+
+/// A front-end error: malformed text, an unresolvable name, or a construct
+/// outside the supported subset.  Every variant is a plain value — the
+/// front-end never panics on user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The text does not lex or parse.  `line` and `column` are 1-based and
+    /// point at the offending token.
+    Parse {
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        column: u32,
+        /// What was expected / found.
+        message: String,
+    },
+    /// A `FROM` table that is not in the catalog.
+    UnknownTable {
+        /// The name as written.
+        name: String,
+        /// The closest catalog table name, if any is plausibly close.
+        did_you_mean: Option<String>,
+    },
+    /// A column that is not in any `FROM` table (or not in its qualifying
+    /// table).
+    UnknownColumn {
+        /// The name as written.
+        name: String,
+        /// The closest known column name, if any is plausibly close.
+        did_you_mean: Option<String>,
+    },
+    /// Well-formed SQL outside the supported subset (ambiguous names,
+    /// missing restrictions, unsupported expressions, …).
+    Unsupported {
+        /// Why the query cannot be lowered.
+        message: String,
+    },
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at line {line}, column {column}: {message}"),
+            SqlError::UnknownTable { name, did_you_mean } => {
+                write!(f, "unknown table `{name}`")?;
+                if let Some(suggestion) = did_you_mean {
+                    write!(f, " (did you mean `{suggestion}`?)")?;
+                }
+                Ok(())
+            }
+            SqlError::UnknownColumn { name, did_you_mean } => {
+                write!(f, "unknown column `{name}`")?;
+                if let Some(suggestion) = did_you_mean {
+                    write!(f, " (did you mean `{suggestion}`?)")?;
+                }
+                Ok(())
+            }
+            SqlError::Unsupported { message } => write!(f, "unsupported query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Levenshtein edit distance, used for did-you-mean suggestions.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            current[j + 1] = substitution.min(prev[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `name` by edit distance, if close enough to be a
+/// plausible typo (distance at most 2, or a third of the name's length for
+/// long names).
+pub(crate) fn nearest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
+    let threshold = 2.max(name.chars().count() / 3);
+    candidates
+        .map(|candidate| (edit_distance(name, candidate), candidate))
+        .min()
+        .filter(|(distance, _)| *distance <= threshold)
+        .map(|(_, candidate)| candidate.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("lineorderz", "lineorder"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn nearest_suggests_only_plausible_typos() {
+        let names = ["lineorder", "customer", "supplier"];
+        assert_eq!(
+            nearest("lineorderz", names.iter().copied()),
+            Some("lineorder".to_string())
+        );
+        assert_eq!(nearest("zzzzz", names.iter().copied()), None);
+    }
+
+    #[test]
+    fn display_includes_spans_and_suggestions() {
+        let parse = SqlError::Parse {
+            line: 2,
+            column: 7,
+            message: "expected FROM".to_string(),
+        };
+        assert!(parse.to_string().contains("line 2, column 7"));
+        let unknown = SqlError::UnknownColumn {
+            name: "lo_revenuez".to_string(),
+            did_you_mean: Some("lo_revenue".to_string()),
+        };
+        assert!(unknown.to_string().contains("did you mean `lo_revenue`"));
+    }
+}

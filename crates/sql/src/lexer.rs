@@ -1,0 +1,383 @@
+//! Hand-written lexer producing spanned tokens.
+
+use crate::error::SqlError;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub column: u32,
+}
+
+impl Span {
+    pub(crate) fn start() -> Span {
+        Span { line: 1, column: 1 }
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A non-reserved identifier (as written).
+    Ident(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// A single-quoted string literal (quotes stripped; no escapes).
+    StringLit(String),
+    // Keywords (case-insensitive in the source).
+    /// `SELECT`
+    Select,
+    /// `SUM`
+    Sum,
+    /// `AS`
+    As,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `BETWEEN`
+    Between,
+    /// `IN`
+    In,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `ORDER`
+    Order,
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+    // Punctuation and operators.
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Number(value) => format!("number `{value}`"),
+            TokenKind::StringLit(text) => format!("string '{text}'"),
+            TokenKind::Select => "keyword SELECT".to_string(),
+            TokenKind::Sum => "keyword SUM".to_string(),
+            TokenKind::As => "keyword AS".to_string(),
+            TokenKind::From => "keyword FROM".to_string(),
+            TokenKind::Where => "keyword WHERE".to_string(),
+            TokenKind::And => "keyword AND".to_string(),
+            TokenKind::Between => "keyword BETWEEN".to_string(),
+            TokenKind::In => "keyword IN".to_string(),
+            TokenKind::Group => "keyword GROUP".to_string(),
+            TokenKind::By => "keyword BY".to_string(),
+            TokenKind::Order => "keyword ORDER".to_string(),
+            TokenKind::Asc => "keyword ASC".to_string(),
+            TokenKind::Desc => "keyword DESC".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Dot => "`.`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Semicolon => "`;`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::NotEq => "`<>`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    // Keywords are matched case-insensitively; `word` arrives lowercased.
+    Some(match word {
+        "select" => TokenKind::Select,
+        "sum" => TokenKind::Sum,
+        "as" => TokenKind::As,
+        "from" => TokenKind::From,
+        "where" => TokenKind::Where,
+        "and" => TokenKind::And,
+        "between" => TokenKind::Between,
+        "in" => TokenKind::In,
+        "group" => TokenKind::Group,
+        "by" => TokenKind::By,
+        "order" => TokenKind::Order,
+        "asc" => TokenKind::Asc,
+        "desc" => TokenKind::Desc,
+        _ => return None,
+    })
+}
+
+/// Lex `sql` into tokens (terminated by [`TokenKind::Eof`]).
+pub fn lex(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let mut chars = sql.chars().peekable();
+    let mut span = Span::start();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    span.line += 1;
+                    span.column = 1;
+                } else {
+                    span.column += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let start = span;
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                span: start,
+            });
+            return Ok(tokens);
+        };
+        let kind = match c {
+            c if c.is_whitespace() => {
+                bump!();
+                continue;
+            }
+            ',' => {
+                bump!();
+                TokenKind::Comma
+            }
+            '.' => {
+                bump!();
+                TokenKind::Dot
+            }
+            '(' => {
+                bump!();
+                TokenKind::LParen
+            }
+            ')' => {
+                bump!();
+                TokenKind::RParen
+            }
+            ';' => {
+                bump!();
+                TokenKind::Semicolon
+            }
+            '=' => {
+                bump!();
+                TokenKind::Eq
+            }
+            '+' => {
+                bump!();
+                TokenKind::Plus
+            }
+            '-' => {
+                bump!();
+                TokenKind::Minus
+            }
+            '*' => {
+                bump!();
+                TokenKind::Star
+            }
+            '<' => {
+                bump!();
+                match chars.peek() {
+                    Some('=') => {
+                        bump!();
+                        TokenKind::Le
+                    }
+                    Some('>') => {
+                        bump!();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut text = String::new();
+                loop {
+                    match bump!() {
+                        Some('\'') => break,
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(SqlError::Parse {
+                                line: start.line,
+                                column: start.column,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                TokenKind::StringLit(text)
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    bump!();
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(d as u64 - '0' as u64))
+                        .ok_or(SqlError::Parse {
+                            line: start.line,
+                            column: start.column,
+                            message: "integer literal overflows u64".to_string(),
+                        })?;
+                }
+                TokenKind::Number(value)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&a) = chars.peek() {
+                    if !(a.is_alphanumeric() || a == '_') {
+                        break;
+                    }
+                    bump!();
+                    word.push(a);
+                }
+                keyword(&word.to_ascii_lowercase()).unwrap_or(TokenKind::Ident(word))
+            }
+            other => {
+                return Err(SqlError::Parse {
+                    line: start.line,
+                    column: start.column,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        tokens.push(Token { kind, span: start });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_small_query() {
+        let tokens = kinds("SELECT SUM(a * b) FROM t WHERE x <= 5");
+        assert_eq!(
+            tokens,
+            vec![
+                TokenKind::Select,
+                TokenKind::Sum,
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Star,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::From,
+                TokenKind::Ident("t".into()),
+                TokenKind::Where,
+                TokenKind::Ident("x".into()),
+                TokenKind::Le,
+                TokenKind::Number(5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_but_idents_keep_case() {
+        assert_eq!(kinds("select")[0], TokenKind::Select);
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Select);
+        assert_eq!(kinds("Foo")[0], TokenKind::Ident("Foo".into()));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = lex("SELECT a\nFROM t").unwrap();
+        assert_eq!(tokens[0].span, Span { line: 1, column: 1 });
+        assert_eq!(tokens[1].span, Span { line: 1, column: 8 });
+        assert_eq!(tokens[2].span, Span { line: 2, column: 1 });
+        assert_eq!(tokens[3].span, Span { line: 2, column: 6 });
+    }
+
+    #[test]
+    fn string_literals_and_two_char_operators() {
+        assert_eq!(
+            kinds("'UNITED KI1' <> <= >="),
+            vec![
+                TokenKind::StringLit("UNITED KI1".into()),
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_inputs_error_with_positions() {
+        match lex("a\n  'oops") {
+            Err(SqlError::Parse { line, column, .. }) => {
+                assert_eq!((line, column), (2, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(lex("99999999999999999999999").is_err());
+        assert!(lex("a ? b").is_err());
+    }
+}

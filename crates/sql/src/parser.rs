@@ -1,0 +1,396 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Every error is a [`SqlError::Parse`] carrying the 1-based line/column of
+//! the offending token; malformed input never panics (the fuzz-style tests
+//! in `tests/parser_coverage.rs` hold the front-end to that).
+
+use morphstore_engine::CmpOp;
+
+use crate::ast::{ArithOp, ColumnRef, Expr, Literal, OrderItem, Predicate, Query, SelectItem};
+use crate::error::SqlError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse `sql` into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
+    let tokens = lex(sql)?;
+    let mut parser = Parser { tokens, at: 0 };
+    let query = parser.query()?;
+    // Allow one trailing semicolon, then require end of input.
+    if parser.peek() == &TokenKind::Semicolon {
+        parser.advance();
+    }
+    parser.expect(TokenKind::Eof, "end of input")?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let token = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        token
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        let span = self.tokens[self.at].span;
+        SqlError::Parse {
+            line: span.line,
+            column: span.column,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), SqlError> {
+        if self.peek() == &kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {}", self.peek().describe())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek() {
+            TokenKind::Ident(_) => match self.advance() {
+                TokenKind::Ident(name) => Ok(name),
+                _ => unreachable!(),
+            },
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect(TokenKind::Select, "SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.peek() == &TokenKind::Comma {
+            self.advance();
+            select.push(self.select_item()?);
+        }
+
+        self.expect(TokenKind::From, "FROM")?;
+        let mut from = vec![self.ident("a table name")?];
+        while self.peek() == &TokenKind::Comma {
+            self.advance();
+            from.push(self.ident("a table name")?);
+        }
+
+        let mut predicates = Vec::new();
+        if self.peek() == &TokenKind::Where {
+            self.advance();
+            predicates.push(self.predicate()?);
+            while self.peek() == &TokenKind::And {
+                self.advance();
+                predicates.push(self.predicate()?);
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.peek() == &TokenKind::Group {
+            self.advance();
+            self.expect(TokenKind::By, "BY after GROUP")?;
+            group_by.push(self.column_ref()?);
+            while self.peek() == &TokenKind::Comma {
+                self.advance();
+                group_by.push(self.column_ref()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.peek() == &TokenKind::Order {
+            self.advance();
+            self.expect(TokenKind::By, "BY after ORDER")?;
+            order_by.push(self.order_item()?);
+            while self.peek() == &TokenKind::Comma {
+                self.advance();
+                order_by.push(self.order_item()?);
+            }
+        }
+
+        Ok(Query {
+            select,
+            from,
+            predicates,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let item = if self.peek() == &TokenKind::Sum {
+            self.advance();
+            self.expect(TokenKind::LParen, "`(` after SUM")?;
+            let expr = self.expr()?;
+            self.expect(TokenKind::RParen, "`)` closing SUM")?;
+            SelectItem::Sum { expr, alias: None }
+        } else {
+            SelectItem::Column {
+                column: self.column_ref()?,
+                alias: None,
+            }
+        };
+        let alias = if self.peek() == &TokenKind::As {
+            self.advance();
+            Some(self.ident("an alias after AS")?)
+        } else {
+            None
+        };
+        Ok(match item {
+            SelectItem::Sum { expr, .. } => SelectItem::Sum { expr, alias },
+            SelectItem::Column { column, .. } => SelectItem::Column { column, alias },
+        })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.ident("a column name")?;
+        if self.peek() == &TokenKind::Dot {
+            self.advance();
+            let column = self.ident("a column name after `.`")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        match self.peek() {
+            TokenKind::Number(value) => {
+                let value = *value;
+                self.advance();
+                Ok(Literal::Number(value))
+            }
+            TokenKind::StringLit(_) => match self.advance() {
+                TokenKind::StringLit(text) => Ok(Literal::Str(text)),
+                _ => unreachable!(),
+            },
+            other => Err(self.error(format!("expected a literal, found {}", other.describe()))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.factor()?;
+        while self.peek() == &TokenKind::Star {
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary {
+                op: ArithOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, SqlError> {
+        match self.peek() {
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::Number(_) | TokenKind::StringLit(_) => Ok(Expr::Literal(self.literal()?)),
+            TokenKind::Ident(_) => Ok(Expr::Column(self.column_ref()?)),
+            other => Err(self.error(format!(
+                "expected a column, literal or `(`, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        let column = self.column_ref()?;
+        match self.peek().clone() {
+            TokenKind::Between => {
+                self.advance();
+                let low = self.literal()?;
+                self.expect(TokenKind::And, "AND in BETWEEN")?;
+                let high = self.literal()?;
+                Ok(Predicate::Between { column, low, high })
+            }
+            TokenKind::In => {
+                self.advance();
+                self.expect(TokenKind::LParen, "`(` after IN")?;
+                let mut values = vec![self.literal()?];
+                while self.peek() == &TokenKind::Comma {
+                    self.advance();
+                    values.push(self.literal()?);
+                }
+                self.expect(TokenKind::RParen, "`)` closing IN")?;
+                Ok(Predicate::In { column, values })
+            }
+            TokenKind::Eq => {
+                self.advance();
+                // `a = b` with a column on the right is an equi-join;
+                // `a = <literal>` is a point restriction.
+                if matches!(self.peek(), TokenKind::Ident(_)) {
+                    let right = self.column_ref()?;
+                    Ok(Predicate::Join {
+                        left: column,
+                        right,
+                    })
+                } else {
+                    Ok(Predicate::Compare {
+                        column,
+                        op: CmpOp::Eq,
+                        value: self.literal()?,
+                    })
+                }
+            }
+            kind @ (TokenKind::NotEq
+            | TokenKind::Lt
+            | TokenKind::Le
+            | TokenKind::Gt
+            | TokenKind::Ge) => {
+                self.advance();
+                let op = match kind {
+                    TokenKind::NotEq => CmpOp::Ne,
+                    TokenKind::Lt => CmpOp::Lt,
+                    TokenKind::Le => CmpOp::Le,
+                    TokenKind::Gt => CmpOp::Gt,
+                    TokenKind::Ge => CmpOp::Ge,
+                    _ => unreachable!(),
+                };
+                Ok(Predicate::Compare {
+                    column,
+                    op,
+                    value: self.literal()?,
+                })
+            }
+            other => Err(self.error(format!(
+                "expected a comparison, BETWEEN or IN, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem, SqlError> {
+        let column = self.column_ref()?;
+        let desc = match self.peek() {
+            TokenKind::Asc => {
+                self.advance();
+                false
+            }
+            TokenKind::Desc => {
+                self.advance();
+                true
+            }
+            _ => false,
+        };
+        Ok(OrderItem { column, desc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_ssb_shaped_query() {
+        let query = parse(
+            "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 \
+             FROM lineorder, date, part, supplier \
+             WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey \
+               AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' \
+               AND s_region = 'AMERICA' AND lo_discount BETWEEN 1 AND 3 \
+               AND p_mfgr IN ('MFGR#1', 'MFGR#2') AND lo_quantity < 25 \
+             GROUP BY d_year, p_brand1 \
+             ORDER BY d_year ASC, revenue DESC;",
+        )
+        .unwrap();
+        assert_eq!(query.select.len(), 3);
+        assert_eq!(query.from, vec!["lineorder", "date", "part", "supplier"]);
+        assert_eq!(query.predicates.len(), 8);
+        assert!(matches!(query.predicates[0], Predicate::Join { .. }));
+        assert!(matches!(query.predicates[5], Predicate::Between { .. }));
+        assert!(matches!(
+            query.predicates[6],
+            Predicate::In { ref values, .. } if values.len() == 2
+        ));
+        assert_eq!(query.group_by.len(), 2);
+        assert_eq!(query.order_by.len(), 2);
+        assert!(query.order_by[1].desc);
+    }
+
+    #[test]
+    fn arithmetic_is_left_associative_with_precedence() {
+        let query = parse("SELECT SUM(a + b * c - d) FROM t").unwrap();
+        let SelectItem::Sum { expr, .. } = &query.select[0] else {
+            panic!("expected SUM");
+        };
+        // ((a + (b * c)) - d)
+        assert_eq!(expr.to_string(), "((a + (b * c)) - d)");
+    }
+
+    #[test]
+    fn qualified_columns_parse() {
+        let query = parse("SELECT t.a FROM t WHERE t.a = 1 GROUP BY t.a").unwrap();
+        let SelectItem::Column { column, .. } = &query.select[0] else {
+            panic!("expected column");
+        };
+        assert_eq!(column.table.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn canonical_display_round_trips() {
+        let text = "SELECT SUM((lo_extendedprice * lo_discount)) AS revenue \
+                    FROM lineorder, date \
+                    WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+                    AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25";
+        let query = parse(text).unwrap();
+        assert_eq!(parse(&query.to_string()).unwrap(), query);
+    }
+
+    #[test]
+    fn reserved_words_are_not_identifiers() {
+        for bad in [
+            "SELECT select FROM t",
+            "SELECT a FROM from",
+            "SELECT a FROM t WHERE where = 1",
+            "SELECT a FROM t GROUP BY group",
+        ] {
+            assert!(matches!(parse(bad), Err(SqlError::Parse { .. })), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_positions_point_at_the_offending_token() {
+        match parse("SELECT a\nFROM") {
+            Err(SqlError::Parse { line, column, .. }) => assert_eq!((line, column), (2, 5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Parser coverage: a property round-trip (pretty-print a generated AST,
+//! parse it back, require the identical tree) plus a pile of fuzz-style
+//! malformed inputs that must all produce `Err` — never a panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use morph_sql::ast::{ArithOp, ColumnRef, Expr, Literal, OrderItem, Predicate, Query, SelectItem};
+use morph_sql::SqlError;
+use morphstore_engine::CmpOp;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// AST generation
+// ---------------------------------------------------------------------------
+
+/// Identifier pool: realistic names that are guaranteed not to be reserved
+/// words (the parser rejects keywords as identifiers, so generating from a
+/// fixed pool keeps every produced AST printable *and* re-parsable).
+const IDENTS: &[&str] = &[
+    "lineorder",
+    "dates",
+    "part",
+    "supplier",
+    "customer",
+    "lo_revenue",
+    "lo_extendedprice",
+    "lo_discount",
+    "d_year",
+    "p_brand1",
+    "s_city",
+    "c_nation",
+    "revenue",
+    "total",
+    "x",
+    "y2",
+    "_private",
+    "MixedCase",
+];
+
+/// String-literal pool: contents the lexer reproduces exactly (no quotes).
+const STRINGS: &[&str] = &["EUROPE", "MFGR#12", "UNITED KI1", "", "a b c", "1993"];
+
+fn ident(rng: &mut TestRng) -> String {
+    IDENTS[(rng.next_u64() % IDENTS.len() as u64) as usize].to_string()
+}
+
+fn literal(rng: &mut TestRng) -> Literal {
+    if rng.next_u64() & 1 == 0 {
+        Literal::Number(rng.next_u64())
+    } else {
+        Literal::Str(STRINGS[(rng.next_u64() % STRINGS.len() as u64) as usize].to_string())
+    }
+}
+
+fn column_ref(rng: &mut TestRng) -> ColumnRef {
+    ColumnRef {
+        table: (rng.next_u64() & 1 == 0).then(|| ident(rng)),
+        column: ident(rng),
+    }
+}
+
+fn expr(rng: &mut TestRng, depth: u32) -> Expr {
+    let choice = if depth == 0 {
+        rng.next_u64() % 2
+    } else {
+        rng.next_u64() % 4
+    };
+    match choice {
+        0 => Expr::Column(column_ref(rng)),
+        // Literals in expressions: numbers only — a bare string factor is
+        // accepted by the grammar too, but keep arithmetic numeric.
+        1 => Expr::Literal(Literal::Number(rng.next_u64() % 10_000)),
+        _ => {
+            let op = match rng.next_u64() % 3 {
+                0 => ArithOp::Add,
+                1 => ArithOp::Sub,
+                _ => ArithOp::Mul,
+            };
+            Expr::Binary {
+                op,
+                lhs: Box::new(expr(rng, depth - 1)),
+                rhs: Box::new(expr(rng, depth - 1)),
+            }
+        }
+    }
+}
+
+fn cmp_op(rng: &mut TestRng) -> CmpOp {
+    match rng.next_u64() % 6 {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+fn predicate(rng: &mut TestRng) -> Predicate {
+    match rng.next_u64() % 4 {
+        0 => Predicate::Join {
+            left: column_ref(rng),
+            right: column_ref(rng),
+        },
+        1 => Predicate::Compare {
+            column: column_ref(rng),
+            op: cmp_op(rng),
+            value: literal(rng),
+        },
+        2 => Predicate::Between {
+            column: column_ref(rng),
+            low: literal(rng),
+            high: literal(rng),
+        },
+        _ => Predicate::In {
+            column: column_ref(rng),
+            values: (0..1 + rng.next_u64() % 4).map(|_| literal(rng)).collect(),
+        },
+    }
+}
+
+fn select_item(rng: &mut TestRng) -> SelectItem {
+    let alias = (rng.next_u64() & 1 == 0).then(|| ident(rng));
+    if rng.next_u64() & 1 == 0 {
+        SelectItem::Sum {
+            expr: expr(rng, 3),
+            alias,
+        }
+    } else {
+        SelectItem::Column {
+            column: column_ref(rng),
+            alias,
+        }
+    }
+}
+
+fn query(rng: &mut TestRng) -> Query {
+    Query {
+        select: (0..1 + rng.next_u64() % 4)
+            .map(|_| select_item(rng))
+            .collect(),
+        from: (0..1 + rng.next_u64() % 5).map(|_| ident(rng)).collect(),
+        predicates: (0..rng.next_u64() % 6).map(|_| predicate(rng)).collect(),
+        group_by: (0..rng.next_u64() % 4).map(|_| column_ref(rng)).collect(),
+        order_by: (0..rng.next_u64() % 4)
+            .map(|_| OrderItem {
+                column: column_ref(rng),
+                desc: rng.next_u64() & 1 == 0,
+            })
+            .collect(),
+    }
+}
+
+/// Strategy wrapper so `proptest!` can draw whole queries.
+struct QueryStrategy;
+
+impl Strategy for QueryStrategy {
+    type Value = Query;
+    fn generate(&self, rng: &mut TestRng) -> Query {
+        query(rng)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The canonical pretty-print of any AST re-parses to the identical AST.
+    #[test]
+    fn pretty_print_parse_round_trip(ast in QueryStrategy) {
+        let printed = ast.to_string();
+        let reparsed = morph_sql::parse(&printed)
+            .unwrap_or_else(|e| panic!("canonical text failed to parse: {e}\n  text: {printed}"));
+        prop_assert_eq!(reparsed, ast, "round-trip mismatch for: {}", printed);
+    }
+
+    // The trailing-semicolon form parses to the same tree too.
+    #[test]
+    fn trailing_semicolon_is_equivalent(ast in QueryStrategy) {
+        let printed = format!("{ast};");
+        prop_assert_eq!(morph_sql::parse(&printed).unwrap(), ast);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed inputs: every case must be a structured error, never a panic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_inputs_error_without_panicking() {
+    let cases: &[&str] = &[
+        // Empty / truncated at every clause boundary.
+        "",
+        "   \n\t ",
+        "SELECT",
+        "SELECT SUM",
+        "SELECT SUM(",
+        "SELECT SUM(x",
+        "SELECT SUM(x)",
+        "SELECT SUM(x) FROM",
+        "SELECT SUM(x) FROM t WHERE",
+        "SELECT SUM(x) FROM t WHERE a =",
+        "SELECT SUM(x) FROM t WHERE a BETWEEN",
+        "SELECT SUM(x) FROM t WHERE a BETWEEN 1",
+        "SELECT SUM(x) FROM t WHERE a BETWEEN 1 AND",
+        "SELECT SUM(x) FROM t WHERE a IN",
+        "SELECT SUM(x) FROM t WHERE a IN (",
+        "SELECT SUM(x) FROM t GROUP",
+        "SELECT SUM(x) FROM t GROUP BY",
+        "SELECT SUM(x) FROM t ORDER",
+        "SELECT SUM(x) FROM t ORDER BY",
+        "SELECT a. FROM t",
+        // Unbalanced parentheses.
+        "SELECT SUM((x) FROM t",
+        "SELECT SUM(x)) FROM t",
+        "SELECT SUM((a + b) FROM t",
+        "SELECT SUM(a + b)) FROM t",
+        "SELECT SUM(x) FROM t WHERE a IN (1, 2",
+        "SELECT SUM(x) FROM t WHERE a IN 1, 2)",
+        // Reserved words where identifiers are required.
+        "SELECT SUM(select) FROM t",
+        "SELECT SUM(x) FROM from",
+        "SELECT SUM(x) FROM t WHERE where = 1",
+        "SELECT SUM(x) FROM t GROUP BY group",
+        "SELECT SUM(x) FROM t ORDER BY order",
+        "SELECT SUM(x) AS as FROM t",
+        // Empty IN list.
+        "SELECT SUM(x) FROM t WHERE a IN ()",
+        // Bad literals and characters.
+        "SELECT SUM(x) FROM t WHERE a = 'unterminated",
+        "SELECT SUM(x) FROM t WHERE a = 99999999999999999999999999",
+        "SELECT SUM(x) FROM t WHERE a ! 1",
+        "SELECT SUM(x) FROM t WHERE a = #",
+        "SELECT SUM(x) FROM t @",
+        // Trailing garbage after a complete query.
+        "SELECT SUM(x) FROM t extra",
+        "SELECT SUM(x) FROM t; extra",
+        "SELECT SUM(x) FROM t;;",
+        // Structural nonsense.
+        "FROM t SELECT SUM(x)",
+        "SELECT FROM t",
+        "SELECT , SUM(x) FROM t",
+        "SELECT SUM(x) FROM t,",
+        "SELECT SUM(x) FROM t WHERE AND a = 1",
+        "SELECT SUM(x) FROM t WHERE a = 1 AND",
+        "SELECT SUM(x) FROM t WHERE BETWEEN 1 AND 2",
+        "SELECT SUM(x) x y FROM t",
+        "SELECT SUM(x) FROM t GROUP BY a,",
+        "SELECT SUM(x) FROM t ORDER BY a DESC ASC",
+    ];
+    for case in cases {
+        let outcome = catch_unwind(AssertUnwindSafe(|| morph_sql::parse(case)));
+        match outcome {
+            Ok(Err(_)) => {}
+            Ok(Ok(query)) => panic!("malformed input parsed: {case:?} -> {query:?}"),
+            Err(_) => panic!("parser panicked on: {case:?}"),
+        }
+    }
+}
+
+/// Parse errors carry usable 1-based positions.
+#[test]
+fn parse_errors_report_positions() {
+    match morph_sql::parse("SELECT SUM(x)\nFROM t WHERE ?") {
+        Err(SqlError::Parse { line, column, .. }) => {
+            assert_eq!((line, column), (2, 14));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match morph_sql::parse("SELECT SUM(x) FROM") {
+        Err(SqlError::Parse { line, column, .. }) => {
+            assert_eq!(line, 1);
+            assert!(column >= 18, "column {column} should point at end of input");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Random byte soup never panics the parser (it may parse or error; both
+/// are fine — panics are the only failure).
+#[test]
+fn random_token_soup_never_panics() {
+    const PIECES: &[&str] = &[
+        "SELECT",
+        "SUM",
+        "FROM",
+        "WHERE",
+        "AND",
+        "BETWEEN",
+        "IN",
+        "GROUP",
+        "BY",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "AS",
+        "(",
+        ")",
+        ",",
+        ".",
+        ";",
+        "=",
+        "<>",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "+",
+        "-",
+        "*",
+        "x",
+        "t",
+        "'s'",
+        "42",
+        "18446744073709551615",
+    ];
+    for case in 0..512u64 {
+        let mut state = case.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let len = 1 + next() % 24;
+        let soup: Vec<&str> = (0..len)
+            .map(|_| PIECES[(next() % PIECES.len() as u64) as usize])
+            .collect();
+        let text = soup.join(" ");
+        if catch_unwind(AssertUnwindSafe(|| morph_sql::parse(&text))).is_err() {
+            panic!("parser panicked on soup: {text:?}");
+        }
+    }
+}

@@ -27,6 +27,8 @@ pub mod dbgen;
 pub mod dict;
 pub mod queries;
 pub mod reference;
+pub mod sql;
 
 pub use data::{SsbData, SsbTable};
 pub use queries::{QueryResult, SsbQuery};
+pub use sql::ssb_catalog;

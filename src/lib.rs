@@ -17,6 +17,12 @@
 //!   compression into operators, plus the query execution context.
 //! * [`ssb`] — the Star Schema Benchmark generator and all 13 queries.
 //! * [`cost`] — the cost model and format-selection strategies.
+//! * [`sql`] — a SQL front-end: lexer, parser, catalog-backed name
+//!   resolution and a planner lowering the star-join subset into
+//!   `QueryPlan` DAGs.
+//! * [`server`] — a session-based, multi-tenant query server multiplexing
+//!   concurrent SQL submissions onto a shared worker pool with per-tenant
+//!   cache shards and bounded, fair admission.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +52,8 @@
 pub use morph_cache as cache;
 pub use morph_compression as compression;
 pub use morph_cost as cost;
+pub use morph_server as server;
+pub use morph_sql as sql;
 pub use morph_ssb as ssb;
 pub use morph_storage as storage;
 pub use morph_vector as vector;
@@ -53,9 +61,11 @@ pub use morphstore_engine as engine;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
-    pub use morph_cache::{CacheKey, CacheStats, QueryCache};
+    pub use morph_cache::{CacheConfig, CacheKey, CacheStats, QueryCache};
     pub use morph_compression::{Format, NsScheme};
     pub use morph_cost::{DataCharacteristics, FormatSelectionStrategy, SelectionObjective};
+    pub use morph_server::{Server, ServerConfig, ServerError, Session};
+    pub use morph_sql::{compile, Catalog, CompiledQuery, TableDef};
     pub use morph_ssb::{SsbData, SsbQuery};
     pub use morph_storage::{Column, ColumnBuilder, ColumnStats};
     pub use morphstore_engine::exec::FormatConfig;
