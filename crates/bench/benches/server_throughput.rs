@@ -23,18 +23,39 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use morph_bench::{
-    merge_server_section, print_header, print_row, server_section_json, HarnessArgs, ServerRow,
+    governance_section_json, merge_server_section, merge_tail_section, print_header, print_row,
+    server_section_json, GovernanceRow, HarnessArgs, ServerRow,
 };
 use morph_compression::Format;
-use morph_server::{Server, ServerConfig};
+use morph_server::{Server, ServerConfig, TenantLimits};
 use morph_ssb::{dbgen, ssb_catalog, SsbData, SsbQuery};
 use morphstore_engine::exec::FormatConfig;
 use morphstore_engine::ExecSettings;
 
 const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WORKERS: usize = 4;
+/// Acceptance target for the governance checkpoints: the governed run
+/// (live deadline + memory budget that never trip) must stay within this
+/// percentage of the ungoverned throughput.
+const OVERHEAD_TARGET_PERCENT: f64 = 2.0;
 
-fn run_workload(data: Arc<SsbData>, clients: usize, sweeps: usize) -> ServerRow {
+/// Generous-but-live limits for the governed leg of the overhead
+/// comparison: every checkpoint performs its deadline/budget arithmetic,
+/// but neither bound can trip under the benchmark workload.
+fn generous_limits() -> TenantLimits {
+    TenantLimits {
+        deadline: Some(std::time::Duration::from_secs(3600)),
+        memory_budget_bytes: Some(4 << 30),
+        max_in_flight: None,
+    }
+}
+
+fn run_workload(
+    data: Arc<SsbData>,
+    clients: usize,
+    sweeps: usize,
+    limits: TenantLimits,
+) -> ServerRow {
     let server = Arc::new(Server::new(
         ssb_catalog(),
         data,
@@ -46,6 +67,7 @@ fn run_workload(data: Arc<SsbData>, clients: usize, sweeps: usize) -> ServerRow 
             max_tenants: CLIENT_COUNTS[CLIENT_COUNTS.len() - 1],
             settings: ExecSettings::vectorized_compressed(),
             formats: FormatConfig::with_default(Format::DeltaDynBp),
+            default_limits: limits,
             ..ServerConfig::default()
         },
     ));
@@ -108,7 +130,7 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for clients in CLIENT_COUNTS {
-        let row = run_workload(Arc::clone(&data), clients, sweeps);
+        let row = run_workload(Arc::clone(&data), clients, sweeps, TenantLimits::default());
         let mean_hit_rate = if row.tenant_hit_rates.is_empty() {
             0.0
         } else {
@@ -141,18 +163,57 @@ fn main() {
         );
     }
 
+    // Governance overhead: re-run a subset of client counts back to back,
+    // ungoverned (no limits → the governor checkpoints are pure atomic
+    // loads) versus governed (deadline + memory budget live at every
+    // checkpoint).  Both legs share the same data and sweep count, so the
+    // qps delta isolates the per-checkpoint arithmetic.
+    print_header(&[
+        "clients",
+        "queries",
+        "baseline_qps",
+        "governed_qps",
+        "overhead_pct",
+    ]);
+    let mut governance_rows = Vec::new();
+    for clients in [1, CLIENT_COUNTS[CLIENT_COUNTS.len() - 1]] {
+        let baseline = run_workload(Arc::clone(&data), clients, sweeps, TenantLimits::default());
+        let governed = run_workload(Arc::clone(&data), clients, sweeps, generous_limits());
+        let row = GovernanceRow {
+            clients,
+            queries: baseline.queries,
+            baseline_qps: baseline.qps(),
+            governed_qps: governed.qps(),
+        };
+        print_row(&[
+            row.clients.to_string(),
+            row.queries.to_string(),
+            format!("{:.1}", row.baseline_qps),
+            format!("{:.1}", row.governed_qps),
+            format!("{:.2}", row.overhead_percent()),
+        ]);
+        governance_rows.push(row);
+    }
+    let worst = governance_rows
+        .iter()
+        .map(GovernanceRow::overhead_percent)
+        .fold(f64::MIN, f64::max);
+    eprintln!("governance overhead: worst {worst:.2}% (target < {OVERHEAD_TARGET_PERCENT:.1}%)");
+
     let json_path = std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ssb.json").to_string()
     });
     let section = server_section_json(WORKERS, &rows);
+    let governance = governance_section_json(WORKERS, OVERHEAD_TARGET_PERCENT, &governance_rows);
     let merged = match std::fs::read_to_string(&json_path) {
         Ok(document) => merge_server_section(&document, &section),
         Err(_) => {
             format!("{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"server\": {section}\n}}\n")
         }
     };
+    let merged = merge_tail_section(&merged, "governance", &governance);
     match std::fs::write(&json_path, &merged) {
-        Ok(()) => eprintln!("merged server section into {json_path}"),
+        Ok(()) => eprintln!("merged server + governance sections into {json_path}"),
         Err(err) => eprintln!("could not write {json_path}: {err}"),
     }
 }

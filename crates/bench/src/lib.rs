@@ -495,19 +495,85 @@ pub fn server_section_json(workers: usize, rows: &[ServerRow]) -> String {
     )
 }
 
-/// Merge a `"server"` section (produced by [`server_section_json`]) into an
-/// existing `BENCH_ssb.json` document, replacing any previous server
-/// section.  The section is always kept as the last top-level key, so
+/// One measured point of the governance-overhead comparison: the same
+/// server workload run twice, once with unlimited governors (baseline) and
+/// once with live per-query deadline + memory limits (governed).
+#[derive(Debug, Clone)]
+pub struct GovernanceRow {
+    /// Number of concurrent client threads (= tenants).
+    pub clients: usize,
+    /// Queries served per run.
+    pub queries: u64,
+    /// Throughput with unlimited governors (checkpoints active, no limit
+    /// comparisons).
+    pub baseline_qps: f64,
+    /// Throughput with a deadline and memory budget on every query.
+    pub governed_qps: f64,
+}
+
+impl GovernanceRow {
+    /// Throughput lost to live limit checking, as a percentage of the
+    /// baseline (negative when the governed run was faster — noise).
+    pub fn overhead_percent(&self) -> f64 {
+        if self.baseline_qps > 0.0 {
+            (1.0 - self.governed_qps / self.baseline_qps) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Serialise the governance-overhead rows as the value of the top-level
+/// `"governance"` key of `BENCH_ssb.json` (indented to sit at depth 1).
+pub fn governance_section_json(
+    workers: usize,
+    target_percent: f64,
+    rows: &[GovernanceRow],
+) -> String {
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"clients\": {}, \"queries\": {}, \"baseline_qps\": {:.1}, \
+                 \"governed_qps\": {:.1}, \"overhead_percent\": {:.2}}}",
+                row.clients,
+                row.queries,
+                row.baseline_qps,
+                row.governed_qps,
+                row.overhead_percent()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"workers\": {},\n    \"overhead_target_percent\": {:.1},\n    \"rows\": [\n{}\n    ]\n  }}",
+        workers,
+        target_percent,
+        row_json.join(",\n")
+    )
+}
+
+/// Merge `section` as the top-level key `key` at the tail of an existing
+/// `BENCH_ssb.json` document, replacing any previous section under that
+/// key (and anything after it — callers re-merge later sections in
+/// order).  The tail sections are always the last top-level keys, so
 /// replacement is a truncate-and-append on the canonical layout.
-pub fn merge_server_section(document: &str, section: &str) -> String {
+pub fn merge_tail_section(document: &str, key: &str, section: &str) -> String {
     let trimmed = document.trim_end();
     let trimmed = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
-    let base = match trimmed.find(",\n  \"server\":") {
+    let marker = format!(",\n  \"{key}\":");
+    let base = match trimmed.find(&marker) {
         Some(position) => &trimmed[..position],
         None => trimmed,
     };
     let base = base.trim_end().trim_end_matches(',');
-    format!("{base},\n  \"server\": {section}\n}}\n")
+    format!("{base},\n  \"{key}\": {section}\n}}\n")
+}
+
+/// Merge a `"server"` section (produced by [`server_section_json`]) into an
+/// existing `BENCH_ssb.json` document, replacing any previous server
+/// section (see [`merge_tail_section`]).
+pub fn merge_server_section(document: &str, section: &str) -> String {
+    merge_tail_section(document, "server", section)
 }
 
 /// Print a CSV header row.
@@ -637,6 +703,39 @@ mod tests {
         assert_eq!(remerged.matches("\"server\":").count(), 1);
         assert_eq!(remerged, merged);
         // Balanced braces/brackets after the splice.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                merged.matches(open).count(),
+                merged.matches(close).count(),
+                "{open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn governance_section_reports_overhead_and_merges_after_server() {
+        let rows = vec![GovernanceRow {
+            clients: 4,
+            queries: 104,
+            baseline_qps: 200.0,
+            governed_qps: 198.0,
+        }];
+        assert!((rows[0].overhead_percent() - 1.0).abs() < 1e-9);
+        let section = governance_section_json(4, 2.0, &rows);
+        assert!(section.contains("\"overhead_target_percent\": 2.0"));
+        assert!(section.contains("\"overhead_percent\": 1.00"));
+
+        // The bench merges server first, then governance; both survive,
+        // and re-merging replaces instead of duplicating.
+        let base = "{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \
+                    \"cache\": [\n    {\"query\": \"1.1\"}\n  ]\n}\n";
+        let with_server = merge_server_section(base, "{\"workers\": 4}");
+        let merged = merge_tail_section(&with_server, "governance", &section);
+        assert!(merged.contains("\"server\": {"));
+        assert!(merged.contains("\"governance\": {"));
+        let remerged = merge_tail_section(&merged, "governance", &section);
+        assert_eq!(remerged.matches("\"governance\":").count(), 1);
+        assert_eq!(remerged, merged);
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(
                 merged.matches(open).count(),

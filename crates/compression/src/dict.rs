@@ -80,7 +80,7 @@ pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
 /// Panics if the header is truncated or corrupt; use
 /// [`try_decode_dictionary`] for untrusted bytes.
 fn decode_dictionary(bytes: &[u8]) -> (Vec<u64>, usize, u8) {
-    try_decode_dictionary(bytes).unwrap_or_else(|err| panic!("{err}"))
+    try_decode_dictionary(bytes).unwrap_or_else(|err| std::panic::panic_any(err))
 }
 
 /// Fallible variant of [`decode_dictionary`]: every length is validated
@@ -105,7 +105,7 @@ fn try_decode_dictionary(bytes: &[u8]) -> Result<(Vec<u64>, usize, u8), DecodeEr
 /// Panics if the buffer is truncated or corrupt; use [`try_for_each_block`]
 /// for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Fallible variant of [`for_each_block`]: a truncated header, a truncated
@@ -177,7 +177,7 @@ pub fn try_for_each_block(
 /// Panics if the header is truncated or corrupt; use [`try_header_layout`]
 /// for untrusted bytes.
 pub fn header_layout(bytes: &[u8]) -> (usize, u8) {
-    try_header_layout(bytes).unwrap_or_else(|err| panic!("{err}"))
+    try_header_layout(bytes).unwrap_or_else(|err| std::panic::panic_any(err))
 }
 
 /// Fallible variant of [`header_layout`]: validates that the buffer holds

@@ -47,7 +47,7 @@ impl Compressor for ForDynBpCompressor {
 /// Panics if the buffer is truncated or a header is corrupt; use
 /// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Decode the block starting at `offset` into `values` via the scratch

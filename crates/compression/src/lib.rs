@@ -366,7 +366,9 @@ pub fn decompress_into(format: &Format, bytes: &[u8], count: usize, out: &mut Ve
 /// paper's Figure 4.
 ///
 /// # Panics
-/// Panics if the buffer is truncated or corrupt; use
+/// Panics if the buffer is truncated or corrupt, carrying the structured
+/// [`DecodeError`] as the panic payload (so governed executors and the
+/// query server recover the cause without string matching); use
 /// [`try_for_each_decompressed_block`] for untrusted bytes.
 pub fn for_each_decompressed_block(
     format: &Format,
@@ -375,7 +377,7 @@ pub fn for_each_decompressed_block(
     consumer: &mut dyn FnMut(&[u64]),
 ) {
     try_for_each_decompressed_block(format, bytes, count, consumer)
-        .unwrap_or_else(|err| panic!("{err}"));
+        .unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Fallible variant of [`for_each_decompressed_block`]: every length and

@@ -76,7 +76,7 @@ impl Compressor for RleCompressor {
 /// Panics if the buffer is truncated or a run header is corrupt; use
 /// [`try_for_each_run`] for untrusted bytes.
 pub fn for_each_run(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(u64, u64)) {
-    try_for_each_run(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+    try_for_each_run(bytes, count, consumer).unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Validate and read the `(value, run_length)` pair starting at `offset`.
@@ -130,7 +130,7 @@ pub fn run_count(bytes: &[u8], count: usize) -> usize {
 /// Panics if the buffer is truncated or a run header is corrupt; use
 /// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Fallible variant of [`for_each_block`]: truncated buffers and impossible

@@ -72,7 +72,8 @@ pub fn encoded_size(count: usize, width: u8) -> usize {
 /// Panics if the buffer is too short or the width invalid; use
 /// [`try_for_each_block`] for untrusted bytes.
 pub fn for_each_block(bytes: &[u8], width: u8, count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    try_for_each_block(bytes, width, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+    try_for_each_block(bytes, width, count, consumer)
+        .unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Fallible variant of [`for_each_block`]: an invalid width or a buffer too

@@ -37,7 +37,7 @@ pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
 /// Panics if the buffer is too short; use [`try_for_each_block`] for
 /// untrusted bytes.
 pub fn for_each_block(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(&[u64])) {
-    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| panic!("{err}"));
+    try_for_each_block(bytes, count, consumer).unwrap_or_else(|err| std::panic::panic_any(err));
 }
 
 /// Fallible variant of [`for_each_block`]: a buffer shorter than `count`
@@ -171,9 +171,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "truncated uncompressed input")]
-    fn short_buffer_is_rejected() {
-        for_each_block(&[0u8; 10], 2, &mut |_| {});
+    fn short_buffer_is_rejected_with_structured_payload() {
+        // The panicking wrapper carries the `DecodeError` itself as the
+        // panic payload, so governed executors can recover it structurally.
+        let payload = std::panic::catch_unwind(|| for_each_block(&[0u8; 10], 2, &mut |_| {}))
+            .expect_err("short buffer must panic");
+        let decode = payload
+            .downcast_ref::<crate::DecodeError>()
+            .expect("payload is a DecodeError");
+        assert!(matches!(decode, crate::DecodeError::Truncated { .. }));
     }
 
     #[test]

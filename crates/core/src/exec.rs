@@ -88,16 +88,28 @@ pub struct ExecSettings {
     /// (the default) disables caching.  The handle is shared — clone the
     /// settings (or the `Arc`) to let several queries populate one cache.
     pub cache: Option<Arc<QueryCache>>,
+    /// Per-query governance token (cancellation, wall-clock deadline,
+    /// transient-memory budget) checked by both executors at node and
+    /// chunk boundaries.  `None` (the default) disables governance.  The
+    /// handle is shared: the submitting side keeps a clone so it can
+    /// [`cancel`](crate::govern::QueryGovernor::cancel) mid-execution.
+    pub governor: Option<Arc<crate::govern::QueryGovernor>>,
 }
 
-/// Settings compare by configuration; the cache handle compares by identity
-/// (two settings sharing one cache are equal, two distinct caches are not).
+/// Settings compare by configuration; the cache and governor handles
+/// compare by identity (two settings sharing one cache are equal, two
+/// distinct caches are not).
 impl PartialEq for ExecSettings {
     fn eq(&self, other: &Self) -> bool {
         self.style == other.style
             && self.degree == other.degree
             && self.morsel_threshold == other.morsel_threshold
             && match (&self.cache, &other.cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && match (&self.governor, &other.governor) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
@@ -153,6 +165,16 @@ impl ExecSettings {
     /// results and bookkeeping to cold runs.
     pub fn with_cache(mut self, cache: Arc<QueryCache>) -> ExecSettings {
         self.cache = Some(cache);
+        self
+    }
+
+    /// The same settings with a per-query governance token attached
+    /// (builder style).  Both executors check the governor at node and
+    /// chunk boundaries; a violated limit surfaces as an
+    /// [`ExecError`](crate::govern::ExecError) from the `try_execute`
+    /// entry points.
+    pub fn with_governor(mut self, governor: Arc<crate::govern::QueryGovernor>) -> ExecSettings {
+        self.governor = Some(governor);
         self
     }
 }
@@ -273,8 +295,10 @@ impl NodeRecords {
         });
     }
 
-    /// Record an intermediate result produced by this node.
+    /// Record an intermediate result produced by this node; its physical
+    /// size is charged to the current query's memory budget.
     pub fn record_intermediate(&mut self, name: &str, column: &Column) {
+        crate::govern::charge_materialized(column.size_used_bytes());
         self.records.push(ColumnRecord {
             name: name.to_string(),
             format: *column.format(),
@@ -390,8 +414,10 @@ impl ExecutionContext {
         });
     }
 
-    /// Record an intermediate result produced by the query.
+    /// Record an intermediate result produced by the query; its physical
+    /// size is charged to the current query's memory budget.
     pub fn record_intermediate(&mut self, name: &str, column: &Column) {
+        crate::govern::charge_materialized(column.size_used_bytes());
         self.records.push(ColumnRecord {
             name: name.to_string(),
             format: *column.format(),

@@ -65,12 +65,16 @@
 #![forbid(unsafe_code)]
 
 pub mod exec;
+#[cfg(feature = "faults")]
+pub mod faults;
+pub mod govern;
 pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod specialized;
 
 pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
+pub use govern::{ExecError, GovernorScope, QueryGovernor};
 pub use morph_cache::{CacheKey, CacheStats, QueryCache};
 pub use morph_vector::kernels::BinaryOp;
 pub use morph_vector::ProcessingStyle;

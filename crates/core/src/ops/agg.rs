@@ -49,6 +49,7 @@ pub fn agg_sum(input: &Column, settings: &ExecSettings) -> u64 {
         _ => {
             let mut total = 0u64;
             input.for_each_chunk(&mut |chunk| {
+                crate::govern::checkpoint_chunk();
                 total = total.wrapping_add(sum_chunk(settings.style, chunk));
             });
             total
@@ -60,6 +61,7 @@ pub fn agg_sum(input: &Column, settings: &ExecSettings) -> u64 {
 pub fn agg_max(input: &Column, settings: &ExecSettings) -> u64 {
     let mut result = 0u64;
     input.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         let chunk_max = match settings.style {
             ProcessingStyle::Scalar => kernels::max::<Scalar>(chunk),
             ProcessingStyle::Vectorized => kernels::max::<V512>(chunk),

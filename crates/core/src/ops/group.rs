@@ -71,6 +71,7 @@ pub fn group_by(
     let mut reps: Vec<u64> = Vec::new();
     let mut pos = 0u64;
     keys.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         for &key in chunk {
             let next_id = mapping.len() as u64;
             let id = *mapping.entry(key).or_insert_with(|| {

@@ -42,6 +42,7 @@ pub fn join(
     let mut table: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut build_pos = 0u64;
     build.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         for &value in chunk {
             table.entry(value).or_default().push(build_pos);
             build_pos += 1;
@@ -53,6 +54,7 @@ pub fn join(
     let mut build_out = OutCol::new(*out_formats.1, uncompressed);
     let mut probe_pos = 0u64;
     probe.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         for &value in chunk {
             if let Some(matches) = table.get(&value) {
                 for &b in matches {
@@ -79,6 +81,7 @@ pub fn semi_join(
     let mut out = OutCol::new(*out_format, uncompressed);
     let mut pos = 0u64;
     probe.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         for &value in chunk {
             if set.contains(&value) {
                 out.push(pos);

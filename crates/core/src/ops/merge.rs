@@ -64,6 +64,7 @@ fn set_op(
     };
     let mut pulled = PullSide::new(b.cursor());
     a.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         for &value in chunk {
             match op {
                 // An intersection keeps a value iff `b` also holds it;

@@ -51,8 +51,16 @@ pub mod transient {
 
     /// Record a carry buffer's capacity; keeps the maximum ever seen since
     /// the last [`reset`].
+    ///
+    /// The buffer is also charged to the **current query's**
+    /// [`QueryGovernor`](crate::govern::QueryGovernor), when one is
+    /// registered: memory verdicts are per query, so a concurrent tenant's
+    /// spike cannot trip another query's budget.  The process-global peak
+    /// below remains for the single-threaded bench harness
+    /// (`pairwise_peak_transient_bytes`) and the CI bound test.
     pub(crate) fn record(bytes: usize) {
         PEAK_BYTES.fetch_max(bytes, Ordering::Relaxed);
+        crate::govern::charge_transient(bytes);
     }
 
     /// The largest pairwise carry buffer (in bytes) observed since the last
@@ -111,6 +119,7 @@ impl<'a> PullSide<'a> {
         }
         match self.cursor.next_chunk() {
             Some(piece) => {
+                crate::govern::checkpoint_chunk();
                 self.off = 0;
                 self.len = piece.len();
                 self.max_len = self.max_len.max(self.len);
@@ -200,18 +209,23 @@ pub(crate) fn zip_chunks(a: &Column, b: &Column, f: &mut dyn FnMut(&[u64], &[u64
     );
     let mut pulled = PullSide::new(b.cursor());
     a.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         let mut done = 0usize;
         while done < chunk.len() {
             let available = pulled.peek();
             // A drained pull side here means the rhs decoded fewer values
             // than its logical length (corrupt directory / truncated main
-            // part) — fail loudly, never spin.
-            assert!(
-                !available.is_empty(),
-                "pairwise rhs ({}) ended early: decoded fewer than {} values",
-                b.format(),
-                b.logical_len(),
-            );
+            // part) — fail loudly with a structured payload, never spin.
+            if available.is_empty() {
+                std::panic::panic_any(morph_compression::DecodeError::CorruptHeader {
+                    format: "pairwise",
+                    detail: format!(
+                        "rhs ({}) ended early: decoded fewer than {} values",
+                        b.format(),
+                        b.logical_len(),
+                    ),
+                });
+            }
             let n = (chunk.len() - done).min(available.len());
             f(&chunk[done..done + n], &available[..n]);
             pulled.advance(n);

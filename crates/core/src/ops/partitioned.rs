@@ -76,6 +76,7 @@ pub fn select_part(
     let mut builder = ColumnBuilder::new(*format);
     let mut scratch: Vec<u64> = Vec::new();
     input.for_each_chunk_in(chunks, &mut |start, chunk| {
+        crate::govern::checkpoint_chunk();
         scratch.clear();
         filter_chunk(style, op, chunk, constant, start, &mut scratch);
         builder.push_slice(&scratch);
@@ -96,6 +97,7 @@ pub fn select_between_part(
     let mut builder = ColumnBuilder::new(*format);
     let mut scratch: Vec<u64> = Vec::new();
     input.for_each_chunk_in(chunks, &mut |start, chunk| {
+        crate::govern::checkpoint_chunk();
         scratch.clear();
         for (i, &value) in chunk.iter().enumerate() {
             if value >= low && value <= high {
@@ -124,6 +126,7 @@ pub fn project_part(
     let mut builder = ColumnBuilder::new(*format);
     let mut scratch: Vec<u64> = Vec::new();
     positions.for_each_chunk_in(chunks, &mut |_, chunk| {
+        crate::govern::checkpoint_chunk();
         scratch.clear();
         for &position in chunk {
             let value = data
@@ -140,7 +143,10 @@ pub fn project_part(
 /// coordinator and shared by all probe-side parts.
 pub fn build_semi_join_set(build: &Column) -> HashSet<u64> {
     let mut set = HashSet::new();
-    build.for_each_chunk(&mut |chunk| set.extend(chunk.iter().copied()));
+    build.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
+        set.extend(chunk.iter().copied());
+    });
     set
 }
 
@@ -155,6 +161,7 @@ pub fn semi_join_part(
 ) -> Column {
     let mut builder = ColumnBuilder::new(*format);
     probe.for_each_chunk_in(chunks, &mut |start, chunk| {
+        crate::govern::checkpoint_chunk();
         for (i, value) in chunk.iter().enumerate() {
             if set.contains(value) {
                 builder.push(start + i as u64);
@@ -170,6 +177,7 @@ pub fn semi_join_part(
 pub fn agg_sum_part(input: &Column, chunks: Range<usize>, style: ProcessingStyle) -> u64 {
     let mut total = 0u64;
     input.for_each_chunk_in(chunks, &mut |_, chunk| {
+        crate::govern::checkpoint_chunk();
         total = total.wrapping_add(sum_chunk(style, chunk));
     });
     total
@@ -207,16 +215,22 @@ pub fn calc_binary_part(
     let mut builder = ColumnBuilder::new(*format);
     let mut scratch: Vec<u64> = Vec::new();
     lhs.for_each_chunk_in(chunks, &mut |_, chunk| {
+        crate::govern::checkpoint_chunk();
         let mut done = 0usize;
         while done < chunk.len() {
             let available = pulled.peek();
             // A drained pull side here means the rhs decoded fewer values
-            // than the aligned span — fail loudly, never spin.
-            assert!(
-                !available.is_empty(),
-                "pairwise rhs ({}) ended early inside logical range {start}..{end}",
-                rhs.format(),
-            );
+            // than the aligned span — fail loudly with a structured
+            // payload, never spin.
+            if available.is_empty() {
+                std::panic::panic_any(morph_compression::DecodeError::CorruptHeader {
+                    format: "pairwise",
+                    detail: format!(
+                        "rhs ({}) ended early inside logical range {start}..{end}",
+                        rhs.format(),
+                    ),
+                });
+            }
             let n = (chunk.len() - done).min(available.len());
             scratch.clear();
             match style {
@@ -263,6 +277,7 @@ pub fn intersect_sorted_part(
     let mut builder = ColumnBuilder::new(*format);
     let mut pulled: Option<PullSide<'_>> = None;
     a.for_each_chunk_in(chunks, &mut |_, chunk| {
+        crate::govern::checkpoint_chunk();
         let Some(&first) = chunk.first() else {
             return;
         };

@@ -73,13 +73,17 @@ pub fn project(
     match settings.degree {
         IntegrationDegree::PurelyUncompressed => {
             let mut values = Vec::with_capacity(positions.logical_len());
-            positions.for_each_chunk(&mut |chunk| gather(chunk, &mut values));
+            positions.for_each_chunk(&mut |chunk| {
+                crate::govern::checkpoint_chunk();
+                gather(chunk, &mut values);
+            });
             Column::from_vec(values)
         }
         _ => {
             let mut builder = ColumnBuilder::new(*out_format);
             let mut scratch: Vec<u64> = Vec::new();
             positions.for_each_chunk(&mut |chunk| {
+                crate::govern::checkpoint_chunk();
                 scratch.clear();
                 gather(chunk, &mut scratch);
                 builder.push_slice(&scratch);

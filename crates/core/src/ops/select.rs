@@ -64,6 +64,7 @@ pub fn select(
             let mut positions = Vec::new();
             let mut base = 0u64;
             input.for_each_chunk(&mut |chunk| {
+                crate::govern::checkpoint_chunk();
                 filter_chunk(settings.style, op, chunk, constant, base, &mut positions);
                 base += chunk.len() as u64;
             });
@@ -100,6 +101,7 @@ fn select_de_recompress(
     let mut scratch: Vec<u64> = Vec::new();
     let mut base = 0u64;
     input.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         scratch.clear();
         filter_chunk(settings.style, op, chunk, constant, base, &mut scratch);
         builder.push_slice(&scratch);
@@ -123,6 +125,7 @@ pub fn select_between(
         let mut scratch: Vec<u64> = Vec::new();
         let mut base = 0u64;
         input.for_each_chunk(&mut |chunk| {
+            crate::govern::checkpoint_chunk();
             scratch.clear();
             for (i, &value) in chunk.iter().enumerate() {
                 if value >= low && value <= high {

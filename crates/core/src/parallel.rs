@@ -340,6 +340,13 @@ impl ParallelExecutor {
                     let cache_info = &cache_info;
                     scope.spawn(move || {
                         let _release = PanicRelease(scheduler);
+                        // Register the query's governor on this worker so
+                        // node/chunk checkpoints (and morsel parts) observe
+                        // cancellation, deadline and memory limits; a trip
+                        // unwinds the worker and `PanicRelease` drains the
+                        // siblings.
+                        let _governed =
+                            crate::govern::GovernorScope::enter(settings.governor.clone());
                         // `OnceLock::get` pairs its acquire load with the
                         // publishing `set`, so a dependent worker sees the
                         // dependency's slot fully initialised.
@@ -428,6 +435,23 @@ impl ParallelExecutor {
             slots.push(result.slot);
         }
         plan.collect_output(|i| &slots[i])
+    }
+
+    /// Fallible counterpart of [`ParallelExecutor::execute`]: runs the plan
+    /// under the settings' [`QueryGovernor`](crate::govern::QueryGovernor)
+    /// (when one is attached) and converts a governance or decode unwind —
+    /// re-raised from whichever worker tripped first — into a structured
+    /// [`ExecError`](crate::govern::ExecError).  Any other panic resumes
+    /// unchanged.  The scheduler's `PanicRelease` guard has already
+    /// unblocked the sibling workers and the pool has fully drained by the
+    /// time this returns, so the pool is never poisoned.
+    pub fn try_execute(
+        &self,
+        plan: &QueryPlan,
+        source: &(dyn ColumnSource + Sync),
+        ctx: &mut ExecutionContext,
+    ) -> Result<PlanOutput, crate::govern::ExecError> {
+        crate::govern::run_governed(|| self.execute(plan, source, ctx))
     }
 }
 

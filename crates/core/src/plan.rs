@@ -607,6 +607,19 @@ impl QueryPlan {
     pub fn execute(&self, source: &dyn ColumnSource, ctx: &mut ExecutionContext) -> PlanOutput {
         PlanExecutor.execute(self, source, ctx)
     }
+
+    /// Fallible counterpart of [`QueryPlan::execute`]: a tripped
+    /// [`QueryGovernor`](crate::govern::QueryGovernor) limit or a decode
+    /// failure returns a structured [`ExecError`](crate::govern::ExecError)
+    /// instead of unwinding (convenience wrapper around
+    /// [`PlanExecutor::try_execute`]).
+    pub fn try_execute(
+        &self,
+        source: &dyn ColumnSource,
+        ctx: &mut ExecutionContext,
+    ) -> Result<PlanOutput, crate::govern::ExecError> {
+        PlanExecutor.try_execute(self, source, ctx)
+    }
 }
 
 impl fmt::Display for QueryPlan {
@@ -1175,6 +1188,7 @@ impl PlanExecutor {
         source: &dyn ColumnSource,
         ctx: &mut ExecutionContext,
     ) -> PlanOutput {
+        let _governed = crate::govern::GovernorScope::enter(ctx.settings.governor.clone());
         let cache_info = ctx
             .settings
             .cache
@@ -1197,6 +1211,21 @@ impl PlanExecutor {
             slots.push(slot);
         }
         plan.collect_output(|i| &slots[i])
+    }
+
+    /// Fallible counterpart of [`PlanExecutor::execute`]: runs the plan
+    /// under the settings' [`QueryGovernor`](crate::govern::QueryGovernor)
+    /// (when one is attached) and converts a governance or decode unwind
+    /// into a structured [`ExecError`](crate::govern::ExecError).  Any
+    /// other panic — a genuine bug — resumes unchanged.  On `Err`, `ctx`
+    /// holds the records of the nodes that completed before the trip.
+    pub fn try_execute(
+        &self,
+        plan: &QueryPlan,
+        source: &dyn ColumnSource,
+        ctx: &mut ExecutionContext,
+    ) -> Result<PlanOutput, crate::govern::ExecError> {
+        crate::govern::run_governed(|| self.execute(plan, source, ctx))
     }
 }
 
@@ -1229,6 +1258,7 @@ where
     'a: 's,
     F: Fn(usize) -> &'s Slot<'a>,
 {
+    crate::govern::checkpoint_node();
     let node = &plan.nodes[idx];
     if let PlanOp::Scan { column } = &node.op {
         let base = source.column(column);

@@ -144,6 +144,7 @@ pub fn project_on_static_bp(data: &Column, positions: &Column, out_format: &Form
     let mut builder = ColumnBuilder::new(*out_format);
     let mut scratch: Vec<u64> = Vec::new();
     positions.for_each_chunk(&mut |chunk| {
+        crate::govern::checkpoint_chunk();
         scratch.clear();
         for &position in chunk {
             let idx = position as usize;

@@ -1,0 +1,324 @@
+//! Governance and fault-injection tests through the public executor API
+//! (`--features faults`).
+//!
+//! Covers the full lifecycle contract end to end on real multi-node plans:
+//! cancellation, deadlines and memory budgets surface as structured
+//! [`ExecError`]s from `try_execute` on both executors (serial, parallel and
+//! morsel-parallel); injected decode faults surface structurally while
+//! injected plain panics resume as panics without poisoning anything; a
+//! cooperative cancel returns well inside the 50 ms bound; and — the cache
+//! consistency property — *any* cancel/deadline interleaving mid-plan
+//! leaves a shared [`QueryCache`] consistent: no partially computed subplan
+//! is ever admitted, and an identical re-query recomputes byte-identical
+//! results.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use morph_compression::{DecodeError, Format};
+use morph_storage::Column;
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::faults::{FaultKind, FaultPlan, FaultSite};
+use morphstore_engine::plan::{PlanBuilder, PlanOutput, QueryPlan};
+use morphstore_engine::{
+    CmpOp, ExecError, ExecSettings, ExecutionContext, ParallelExecutor, QueryCache, QueryGovernor,
+};
+use proptest::prelude::*;
+
+/// A five-operator plan over two scans: enough nodes and chunks that every
+/// checkpoint family fires several times per execution.
+fn build_plan() -> QueryPlan {
+    let mut b = PlanBuilder::new("gov");
+    let x = b.scan("x");
+    let y = b.scan("y");
+    let left = b.select("left", x, CmpOp::Lt, 80);
+    let right = b.select_between("right", y, 10, 90);
+    let both = b.intersect_sorted("both", left, right);
+    let projected = b.project("projected", y, both);
+    let total = b.agg_sum("total", projected);
+    b.finish_scalar(total)
+}
+
+fn source() -> HashMap<String, Column> {
+    let mut columns = HashMap::new();
+    columns.insert(
+        "x".to_string(),
+        Column::from_vec((0..20_000u64).map(|i| i % 97).collect()),
+    );
+    columns.insert(
+        "y".to_string(),
+        Column::from_vec((0..20_000u64).map(|i| (i * 7) % 113).collect()),
+    );
+    columns
+}
+
+fn formats() -> FormatConfig {
+    FormatConfig::with_default(Format::DynBp)
+}
+
+/// One footprint record, flattened for byte-identical comparison.
+type RecordRow = (String, Format, usize, usize);
+
+fn rows(ctx: &ExecutionContext) -> Vec<RecordRow> {
+    ctx.records()
+        .iter()
+        .map(|r| (r.name.clone(), r.format, r.len, r.bytes))
+        .collect()
+}
+
+/// Serial `try_execute` under `settings` against the shared plan/source.
+fn run(settings: ExecSettings) -> (Result<PlanOutput, ExecError>, Vec<RecordRow>) {
+    let mut ctx = ExecutionContext::new(settings, formats());
+    let result = build_plan().try_execute(&source(), &mut ctx);
+    let records = rows(&ctx);
+    (result, records)
+}
+
+fn governed(governor: &Arc<QueryGovernor>) -> ExecSettings {
+    ExecSettings::vectorized_compressed().with_governor(Arc::clone(governor))
+}
+
+/// Arm one targeted fault and hand it to a fresh governor.
+fn governor_with_fault(site: FaultSite, at: u64, kind: FaultKind) -> Arc<QueryGovernor> {
+    let plan = FaultPlan::targeted();
+    plan.inject("gov", site, at, kind);
+    Arc::new(QueryGovernor::new().with_fault(plan.arm("gov")))
+}
+
+#[test]
+fn ungoverned_and_governed_runs_are_byte_identical() {
+    let (reference, reference_records) = run(ExecSettings::vectorized_compressed());
+    let governor = Arc::new(QueryGovernor::new());
+    let (governed_out, governed_records) = run(governed(&governor));
+    assert_eq!(governed_out, reference);
+    assert_eq!(governed_records, reference_records);
+    // The checkpoints actually fired — governance was live, not bypassed.
+    assert!(governor.chunk_checkpoints() > 10, "chunk checkpoints fired");
+    assert_eq!(governor.node_checkpoints(), 7, "one per plan node");
+    assert!(governor.used_bytes() > 0, "intermediates were charged");
+}
+
+#[test]
+fn pre_cancelled_governor_fails_before_any_work() {
+    let governor = Arc::new(QueryGovernor::new());
+    governor.cancel();
+    let (result, records) = run(governed(&governor));
+    assert_eq!(result, Err(ExecError::Cancelled));
+    assert!(records.is_empty(), "no node completed: {records:?}");
+}
+
+#[test]
+fn cancel_fault_mid_plan_returns_cancelled() {
+    let governor = governor_with_fault(FaultSite::Chunk, 4, FaultKind::Cancel);
+    let (result, _) = run(governed(&governor));
+    assert_eq!(result, Err(ExecError::Cancelled));
+    assert!(governor.is_cancelled());
+}
+
+#[test]
+fn deadline_trips_after_injected_delay() {
+    let governor = Arc::new(
+        QueryGovernor::new()
+            .with_deadline(Duration::from_millis(1))
+            .with_fault(Some(morphstore_engine::faults::ArmedFault {
+                site: FaultSite::Chunk,
+                at: 2,
+                kind: FaultKind::Delay(Duration::from_millis(10)),
+                query: "gov".to_string(),
+            })),
+    );
+    let (result, _) = run(governed(&governor));
+    match result {
+        Err(ExecError::DeadlineExceeded { deadline, elapsed }) => {
+            assert_eq!(deadline, Duration::from_millis(1));
+            assert!(elapsed >= Duration::from_millis(1));
+        }
+        other => panic!("expected deadline violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn memory_budget_trips_with_structured_accounting() {
+    let governor = Arc::new(QueryGovernor::new().with_memory_budget(64));
+    let (result, _) = run(governed(&governor));
+    match result {
+        Err(ExecError::MemoryExceeded {
+            used_bytes,
+            budget_bytes,
+        }) => {
+            assert!(used_bytes > budget_bytes);
+            assert_eq!(budget_bytes, 64);
+        }
+        other => panic!("expected memory violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn decode_fault_surfaces_structured_error() {
+    let governor = governor_with_fault(FaultSite::Node, 3, FaultKind::Decode);
+    let (result, _) = run(governed(&governor));
+    match result {
+        Err(ExecError::Decode(DecodeError::CorruptHeader { format, detail })) => {
+            assert_eq!(format, "fault-injection");
+            assert!(detail.contains("gov"), "{detail}");
+        }
+        other => panic!("expected decode fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn panic_fault_resumes_as_a_genuine_panic() {
+    let governor = governor_with_fault(FaultSite::Chunk, 1, FaultKind::Panic);
+    let payload = std::panic::catch_unwind(|| run(governed(&governor)))
+        .expect_err("injected panic must escape try_execute");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("plain panic payload");
+    assert!(message.contains("injected panic"), "{message}");
+}
+
+#[test]
+fn parallel_executors_observe_the_same_governance() {
+    let (reference, _) = run(ExecSettings::vectorized_compressed());
+    let reference = reference.expect("ungoverned run succeeds");
+    let executor = ParallelExecutor::new(4);
+    for morsels in [None, Some(1024)] {
+        let settings = |governor: &Arc<QueryGovernor>| {
+            let mut s = governed(governor);
+            if let Some(threshold) = morsels {
+                s = s.with_morsel_threshold(threshold);
+            }
+            s
+        };
+
+        // A cancel fault trips, and the pool drains without poisoning.
+        let governor = governor_with_fault(FaultSite::Chunk, 4, FaultKind::Cancel);
+        let mut ctx = ExecutionContext::new(settings(&governor), formats());
+        let result = executor.try_execute(&build_plan(), &source(), &mut ctx);
+        assert_eq!(result, Err(ExecError::Cancelled), "morsels={morsels:?}");
+
+        // A decode fault surfaces structurally on the same executor.
+        let governor = governor_with_fault(FaultSite::Chunk, 2, FaultKind::Decode);
+        let mut ctx = ExecutionContext::new(settings(&governor), formats());
+        let result = executor.try_execute(&build_plan(), &source(), &mut ctx);
+        assert!(
+            matches!(result, Err(ExecError::Decode(_))),
+            "morsels={morsels:?}: {result:?}"
+        );
+
+        // The very same executor then completes a clean governed run,
+        // byte-identical to the serial reference.
+        let governor = Arc::new(QueryGovernor::new());
+        let mut ctx = ExecutionContext::new(settings(&governor), formats());
+        let output = executor
+            .try_execute(&build_plan(), &source(), &mut ctx)
+            .expect("clean run succeeds after faults");
+        assert_eq!(output, reference, "morsels={morsels:?}");
+    }
+}
+
+#[test]
+fn cross_thread_cancel_is_observed_within_the_latency_bound() {
+    // Slow the query down with an injected mid-plan delay, cancel from
+    // another thread while it sleeps, and verify the cooperative unwind
+    // completes within 50 ms of the trigger.  The margins are generous:
+    // the delay (200 ms) dwarfs the cancel point (20 ms in).
+    let plan = FaultPlan::targeted();
+    plan.inject(
+        "gov",
+        FaultSite::Chunk,
+        2,
+        FaultKind::Delay(Duration::from_millis(200)),
+    );
+    let governor = Arc::new(QueryGovernor::new().with_fault(plan.arm("gov")));
+    let canceller = {
+        let governor = Arc::clone(&governor);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            governor.cancel();
+            Instant::now()
+        })
+    };
+    let (result, _) = run(governed(&governor));
+    let returned = Instant::now();
+    let triggered = canceller.join().expect("canceller thread");
+    assert_eq!(result, Err(ExecError::Cancelled));
+    let latency = returned.duration_since(triggered);
+    assert!(
+        latency < Duration::from_millis(50),
+        "cancel took {latency:?} to surface"
+    );
+}
+
+/// Run the shared plan with `cache` attached and, optionally, a governor.
+fn run_cached(
+    cache: &Arc<QueryCache>,
+    governor: Option<Arc<QueryGovernor>>,
+) -> (Result<PlanOutput, ExecError>, Vec<RecordRow>, usize) {
+    let mut settings = ExecSettings::vectorized_compressed().with_cache(Arc::clone(cache));
+    if let Some(governor) = governor {
+        settings = settings.with_governor(governor);
+    }
+    let mut ctx = ExecutionContext::new(settings, formats());
+    let result = build_plan().try_execute(&source(), &mut ctx);
+    let hits = ctx.cache_hit_count();
+    let records = rows(&ctx);
+    (result, records, hits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Satellite: any cancel/deadline interleaving mid-plan leaves the
+    // query cache consistent.  A fault (cancel or delay-past-deadline) is
+    // armed at an arbitrary checkpoint; whatever happens, an identical
+    // ungoverned re-query against the *same* cache must reproduce the
+    // cache-free reference byte for byte — a partially computed subplan
+    // admitted to the cache would surface here as a divergent record or
+    // output.
+    #[test]
+    fn interrupted_queries_never_corrupt_the_cache(
+        site_pick in 0usize..2,
+        at in 1u64..80,
+        kind_pick in 0usize..2,
+    ) {
+        let site = [FaultSite::Chunk, FaultSite::Node][site_pick];
+        let (reference, reference_records) = run(ExecSettings::vectorized_compressed());
+        let reference = reference.expect("reference run succeeds");
+
+        let cache = Arc::new(QueryCache::unbounded());
+        let governor = if kind_pick == 0 {
+            governor_with_fault(site, at, FaultKind::Cancel)
+        } else {
+            let plan = FaultPlan::targeted();
+            plan.inject("gov", site, at, FaultKind::Delay(Duration::from_millis(5)));
+            Arc::new(
+                QueryGovernor::new()
+                    .with_deadline(Duration::from_millis(1))
+                    .with_fault(plan.arm("gov")),
+            )
+        };
+
+        // The governed run either completes identically (fault point past
+        // the plan's checkpoints) or stops with the structured error.
+        let (interrupted, _, _) = run_cached(&cache, Some(governor));
+        match &interrupted {
+            Ok(output) => prop_assert_eq!(output, &reference),
+            Err(ExecError::Cancelled) | Err(ExecError::DeadlineExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+
+        // Identical ungoverned re-query on the same cache: byte-identical
+        // to the cache-free reference, wherever the interruption landed.
+        let (requery, requery_records, _) = run_cached(&cache, None);
+        prop_assert_eq!(requery.expect("re-query succeeds"), reference.clone());
+        prop_assert_eq!(&requery_records, &reference_records);
+
+        // And the now-warm cache replays the same bytes again.
+        let (warm, warm_records, warm_hits) = run_cached(&cache, None);
+        prop_assert_eq!(warm.expect("warm run succeeds"), reference);
+        prop_assert_eq!(&warm_records, &reference_records);
+        prop_assert_eq!(warm_hits, 5, "all non-scan nodes hit");
+    }
+}

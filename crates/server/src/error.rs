@@ -10,9 +10,11 @@
 //! session boundary.
 
 use std::fmt;
+use std::time::Duration;
 
 use morph_compression::DecodeError;
 use morph_sql::SqlError;
+use morphstore_engine::ExecError;
 
 /// An error produced by the query server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,13 +48,26 @@ pub enum ServerError {
         /// Why the planner rejected it.
         message: String,
     },
-    /// The tenant's admission queue is at capacity; the query was rejected
-    /// rather than enqueued (back-pressure, not an exception).
+    /// The tenant's admission queue is at capacity — or the estimated
+    /// queue wait already exceeds the query's deadline (load shedding).
+    /// The query was rejected rather than enqueued (back-pressure, not an
+    /// exception).
     QueueFull {
         /// The tenant whose queue is full.
         tenant: String,
         /// The configured per-tenant capacity.
         capacity: usize,
+        /// Hint for the client: how long to wait before retrying, when the
+        /// server can estimate it from recent service times.
+        retry_after: Option<Duration>,
+    },
+    /// The tenant already has its configured maximum number of in-flight
+    /// (queued or executing) queries.
+    InFlightLimit {
+        /// The tenant at its in-flight limit.
+        tenant: String,
+        /// The configured per-tenant in-flight maximum.
+        max_in_flight: usize,
     },
     /// Opening a session for a new tenant would exceed the configured
     /// tenant limit.
@@ -68,6 +83,24 @@ pub enum ServerError {
         message: String,
         /// The decode failure, when that is what brought execution down.
         decode: Option<DecodeError>,
+    },
+    /// The query was cancelled — via [`PendingQuery::cancel`]
+    /// (crate::PendingQuery::cancel) while queued or executing.
+    Cancelled,
+    /// The query ran past its deadline (tenant limit), measured from
+    /// admission so queue wait counts against it.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+        /// Elapsed wall clock when the violation was observed.
+        elapsed: Duration,
+    },
+    /// The query exceeded its per-query memory budget (tenant limit).
+    MemoryExceeded {
+        /// Bytes charged to the query when the violation was observed.
+        used_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
     },
     /// The server shut down while the query was queued or running.
     Shutdown,
@@ -96,9 +129,26 @@ impl fmt::Display for ServerError {
                 Ok(())
             }
             ServerError::Unsupported { message } => write!(f, "unsupported query: {message}"),
-            ServerError::QueueFull { tenant, capacity } => write!(
+            ServerError::QueueFull {
+                tenant,
+                capacity,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "admission queue of tenant `{tenant}` is full ({capacity} queued queries)"
+                )?;
+                if let Some(retry_after) = retry_after {
+                    write!(f, "; retry after {retry_after:?}")?;
+                }
+                Ok(())
+            }
+            ServerError::InFlightLimit {
+                tenant,
+                max_in_flight,
+            } => write!(
                 f,
-                "admission queue of tenant `{tenant}` is full ({capacity} queued queries)"
+                "tenant `{tenant}` is at its in-flight limit ({max_in_flight} queries)"
             ),
             ServerError::TenantLimit { max_tenants } => {
                 write!(f, "tenant limit reached ({max_tenants} tenants)")
@@ -110,7 +160,38 @@ impl fmt::Display for ServerError {
                 }
                 Ok(())
             }
+            ServerError::Cancelled => write!(f, "query cancelled"),
+            ServerError::DeadlineExceeded { deadline, elapsed } => write!(
+                f,
+                "query deadline exceeded: ran {elapsed:?} against a deadline of {deadline:?}"
+            ),
+            ServerError::MemoryExceeded {
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "query memory budget exceeded: {used_bytes} bytes used, budget {budget_bytes}"
+            ),
             ServerError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl From<ExecError> for ServerError {
+    fn from(error: ExecError) -> ServerError {
+        match error {
+            ExecError::Cancelled => ServerError::Cancelled,
+            ExecError::DeadlineExceeded { deadline, elapsed } => {
+                ServerError::DeadlineExceeded { deadline, elapsed }
+            }
+            ExecError::MemoryExceeded {
+                used_bytes,
+                budget_bytes,
+            } => ServerError::MemoryExceeded {
+                used_bytes,
+                budget_bytes,
+            },
+            ExecError::Decode(decode) => ServerError::from(decode),
         }
     }
 }
@@ -202,9 +283,57 @@ mod tests {
         let error = ServerError::QueueFull {
             tenant: "acme".to_string(),
             capacity: 4,
+            retry_after: None,
         };
         let text = error.to_string();
         assert!(text.contains("acme") && text.contains('4'), "{text}");
+        let error = ServerError::QueueFull {
+            tenant: "acme".to_string(),
+            capacity: 4,
+            retry_after: Some(Duration::from_millis(12)),
+        };
+        assert!(error.to_string().contains("retry after"), "{error}");
+    }
+
+    #[test]
+    fn governance_errors_map_structurally() {
+        assert_eq!(
+            ServerError::from(ExecError::Cancelled),
+            ServerError::Cancelled
+        );
+        let deadline = ExecError::DeadlineExceeded {
+            deadline: Duration::from_millis(5),
+            elapsed: Duration::from_millis(9),
+        };
+        match ServerError::from(deadline) {
+            ServerError::DeadlineExceeded { deadline, elapsed } => {
+                assert_eq!(deadline, Duration::from_millis(5));
+                assert_eq!(elapsed, Duration::from_millis(9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let memory = ExecError::MemoryExceeded {
+            used_bytes: 2048,
+            budget_bytes: 1024,
+        };
+        match ServerError::from(memory) {
+            ServerError::MemoryExceeded {
+                used_bytes,
+                budget_bytes,
+            } => assert_eq!((used_bytes, budget_bytes), (2048, 1024)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let decode = DecodeError::CorruptHeader {
+            format: "fault-injection",
+            detail: "injected".to_string(),
+        };
+        match ServerError::from(ExecError::Decode(decode.clone())) {
+            ServerError::Execution {
+                decode: Some(inner),
+                ..
+            } => assert_eq!(inner, decode),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -43,16 +43,32 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use morph_cache::{CacheConfig, QueryCache};
 use morph_sql::{Catalog, CompiledQuery};
 use morphstore_engine::exec::FormatConfig;
 use morphstore_engine::plan::{ColumnSource, PlanOutput};
-use morphstore_engine::{ExecSettings, ExecutionContext};
+use morphstore_engine::{ExecSettings, ExecutionContext, QueryGovernor};
 
 pub use error::ServerError;
-pub use stats::{ServerStats, TenantStats};
+pub use stats::{OutcomeCounts, ServerStats, TenantStats};
+
+/// Per-tenant query-lifecycle limits, applied to every query the tenant
+/// submits (the governance contract of the server: every limit surfaces as
+/// a structured [`ServerError`], never a panic or a hung worker).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// Wall-clock deadline per query, measured from admission — queue wait
+    /// counts against it, which is what makes load shedding sound.
+    pub deadline: Option<Duration>,
+    /// Per-query memory budget in bytes (materialised intermediates plus
+    /// peak transient carry).
+    pub memory_budget_bytes: Option<usize>,
+    /// Maximum queries this tenant may have admitted (queued or executing)
+    /// at once.
+    pub max_in_flight: Option<usize>,
+}
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -77,6 +93,14 @@ pub struct ServerConfig {
     pub settings: ExecSettings,
     /// Per-column format assignment for intermediates.
     pub formats: FormatConfig,
+    /// Lifecycle limits applied to tenants that do not override them via
+    /// [`Server::session_with_limits`].
+    pub default_limits: TenantLimits,
+    /// Deterministic fault schedule consulted once per admitted query
+    /// (fault-injection harness; test builds only).  Queries are named
+    /// `"<tenant>:<sql>"`, so co-tenant schedules are independent.
+    #[cfg(feature = "faults")]
+    pub fault_plan: Option<Arc<morphstore_engine::faults::FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +114,9 @@ impl Default for ServerConfig {
             cache_admission: CacheConfig::default(),
             settings: ExecSettings::vectorized_compressed(),
             formats: FormatConfig::default(),
+            default_limits: TenantLimits::default(),
+            #[cfg(feature = "faults")]
+            fault_plan: None,
         }
     }
 }
@@ -100,6 +127,7 @@ struct Job {
     sql: String,
     enqueued_at: Instant,
     reply: Arc<ReplySlot>,
+    governor: Arc<QueryGovernor>,
 }
 
 /// The rendezvous a [`PendingQuery`] waits on.
@@ -116,10 +144,14 @@ impl ReplySlot {
         })
     }
 
+    /// First write wins: a cancellation racing the worker (or shutdown)
+    /// cannot overwrite an already-delivered result.
     fn fill(&self, result: Result<PlanOutput, ServerError>) {
         let mut slot = self.result.lock().unwrap();
-        *slot = Some(result);
-        self.ready.notify_all();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
     }
 
     fn wait(&self) -> Result<PlanOutput, ServerError> {
@@ -138,8 +170,12 @@ struct TenantState {
     name: String,
     cache: Arc<QueryCache>,
     queue: VecDeque<Job>,
+    limits: TenantLimits,
+    /// Admitted queries not yet replied to (queued or executing).
+    in_flight: usize,
     served: u64,
     rejected: u64,
+    outcomes: OutcomeCounts,
 }
 
 /// State behind the scheduler lock.
@@ -149,6 +185,29 @@ struct Inner {
     cursor: usize,
     shutdown: bool,
     latencies_ns: Vec<u64>,
+    /// Running sum/count of worker service times, for the admission-time
+    /// queue-wait estimate behind load shedding and `retry_after` hints.
+    service_total_ns: u64,
+    service_samples: u64,
+}
+
+impl Inner {
+    /// Mean worker service time observed so far, `None` until a query has
+    /// completed (no shedding before the server has evidence).
+    fn avg_service(&self) -> Option<Duration> {
+        (self.service_samples > 0)
+            .then(|| Duration::from_nanos(self.service_total_ns / self.service_samples))
+    }
+
+    /// Estimated wait before a query admitted now starts executing:
+    /// today's total backlog drained by `workers` at the observed mean
+    /// service time.
+    fn estimated_queue_wait(&self, workers: usize) -> Option<Duration> {
+        let queued: usize = self.tenants.iter().map(|t| t.queue.len()).sum();
+        let queued = u32::try_from(queued).unwrap_or(u32::MAX);
+        let avg = self.avg_service()?;
+        (workers > 0).then(|| avg.saturating_mul(queued) / workers as u32)
+    }
 }
 
 /// Pick the tenant to serve next: the first tenant with a non-empty queue
@@ -191,29 +250,54 @@ impl Shared {
             Arc::clone(&inner.tenants[job.tenant].cache)
         };
         let compiled: CompiledQuery = morph_sql::compile(&job.sql, &self.catalog)?;
-        let settings = self.config.settings.clone().with_cache(cache);
+        let settings = self
+            .config
+            .settings
+            .clone()
+            .with_cache(cache)
+            .with_governor(Arc::clone(&job.governor));
         let formats = self.config.formats.clone();
         let source = Arc::clone(&self.source);
         let threads = self.config.threads_per_query;
+        // Two containment layers: `try_execute*` converts governance trips
+        // and decode failures into structured `ExecError`s, and the outer
+        // `catch_unwind` contains any *other* engine panic (a genuine bug,
+        // or an injected one) so the worker survives either way.
         catch_unwind(AssertUnwindSafe(move || {
             let mut ctx = ExecutionContext::new(settings, formats);
             if threads > 1 {
-                compiled.execute_parallel(source.as_ref(), &mut ctx, threads)
+                compiled.try_execute_parallel(source.as_ref(), &mut ctx, threads)
             } else {
-                compiled.execute(source.as_ref(), &mut ctx)
+                compiled.try_execute(source.as_ref(), &mut ctx)
             }
         }))
-        .map_err(error::execution_error)
+        .map_err(error::execution_error)?
+        .map_err(ServerError::from)
     }
 
     fn worker_loop(&self) {
         while let Some(job) = self.take_job() {
+            let started = Instant::now();
             let result = self.run_job(&job);
+            let service = started.elapsed().as_nanos() as u64;
             let latency = job.enqueued_at.elapsed().as_nanos() as u64;
             {
                 let mut inner = self.inner.lock().unwrap();
-                inner.tenants[job.tenant].served += 1;
                 inner.latencies_ns.push(latency);
+                inner.service_total_ns += service;
+                inner.service_samples += 1;
+                let tenant = &mut inner.tenants[job.tenant];
+                tenant.served += 1;
+                tenant.in_flight = tenant.in_flight.saturating_sub(1);
+                match &result {
+                    Ok(_) => tenant.outcomes.ok += 1,
+                    Err(ServerError::Cancelled) => tenant.outcomes.cancelled += 1,
+                    Err(ServerError::DeadlineExceeded { .. }) => {
+                        tenant.outcomes.deadline_exceeded += 1
+                    }
+                    Err(ServerError::MemoryExceeded { .. }) => tenant.outcomes.memory_exceeded += 1,
+                    Err(_) => tenant.outcomes.failed += 1,
+                }
             }
             job.reply.fill(result);
         }
@@ -240,6 +324,8 @@ impl Server {
                 cursor: 0,
                 shutdown: false,
                 latencies_ns: Vec::new(),
+                service_total_ns: 0,
+                service_samples: 0,
             }),
             work: Condvar::new(),
             catalog,
@@ -265,6 +351,25 @@ impl Server {
     /// server already serves [`ServerConfig::max_tenants`] tenants, and
     /// [`ServerError::Shutdown`] after [`Server::shutdown`].
     pub fn session(&self, tenant: &str) -> Result<Session, ServerError> {
+        self.open_session(tenant, None)
+    }
+
+    /// Like [`Server::session`], but install `limits` as the tenant's
+    /// lifecycle limits (replacing the config default, and any limits a
+    /// previous session installed).
+    pub fn session_with_limits(
+        &self,
+        tenant: &str,
+        limits: TenantLimits,
+    ) -> Result<Session, ServerError> {
+        self.open_session(tenant, Some(limits))
+    }
+
+    fn open_session(
+        &self,
+        tenant: &str,
+        limits: Option<TenantLimits>,
+    ) -> Result<Session, ServerError> {
         let config = &self.shared.config;
         let mut inner = self.shared.inner.lock().unwrap();
         if inner.shutdown {
@@ -286,12 +391,18 @@ impl Server {
                         config.cache_admission,
                     )),
                     queue: VecDeque::new(),
+                    limits: config.default_limits.clone(),
+                    in_flight: 0,
                     served: 0,
                     rejected: 0,
+                    outcomes: OutcomeCounts::default(),
                 });
                 inner.tenants.len() - 1
             }
         };
+        if let Some(limits) = limits {
+            inner.tenants[index].limits = limits;
+        }
         Ok(Session {
             shared: Arc::clone(&self.shared),
             tenant: index,
@@ -313,13 +424,20 @@ impl Server {
                 served: t.served,
                 rejected: t.rejected,
                 queue_depth: t.queue.len(),
+                in_flight: t.in_flight,
+                outcomes: t.outcomes,
                 cache: t.cache.stats(),
             })
             .collect();
+        let mut outcomes = OutcomeCounts::default();
+        for tenant in &tenants {
+            outcomes.add(&tenant.outcomes);
+        }
         ServerStats {
             served: tenants.iter().map(|t| t.served).sum(),
             rejected: tenants.iter().map(|t| t.rejected).sum(),
             queue_depth: tenants.iter().map(|t| t.queue_depth).sum(),
+            outcomes,
             p50_latency_ns: stats::percentile_ns(&inner.latencies_ns, 50),
             p95_latency_ns: stats::percentile_ns(&inner.latencies_ns, 95),
             tenants,
@@ -333,11 +451,12 @@ impl Server {
         {
             let mut inner = self.shared.inner.lock().unwrap();
             inner.shutdown = true;
-            let pending: Vec<Job> = inner
-                .tenants
-                .iter_mut()
-                .flat_map(|t| t.queue.drain(..))
-                .collect();
+            let mut pending: Vec<Job> = Vec::new();
+            for tenant in inner.tenants.iter_mut() {
+                let drained: Vec<Job> = tenant.queue.drain(..).collect();
+                tenant.in_flight = tenant.in_flight.saturating_sub(drained.len());
+                pending.extend(drained);
+            }
             drop(inner);
             for job in pending {
                 job.reply.fill(Err(ServerError::Shutdown));
@@ -370,7 +489,10 @@ pub struct Session {
 
 /// An admitted query waiting for its result.
 pub struct PendingQuery {
+    shared: Arc<Shared>,
+    tenant: usize,
     reply: Arc<ReplySlot>,
+    governor: Arc<QueryGovernor>,
     completed: Arc<AtomicU64>,
 }
 
@@ -386,6 +508,35 @@ impl PendingQuery {
         let result = self.reply.wait();
         self.completed.fetch_add(1, Ordering::Relaxed);
         result
+    }
+
+    /// Cancel the query.  A still-queued query is removed and replied to
+    /// with [`ServerError::Cancelled`] immediately; an executing query's
+    /// governor token is flipped, and the worker unwinds cooperatively at
+    /// its next chunk or node checkpoint.  A query that already completed
+    /// is unaffected.  Idempotent; [`PendingQuery::wait`] never hangs.
+    pub fn cancel(&self) {
+        self.governor.cancel();
+        let removed = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            let tenant = &mut inner.tenants[self.tenant];
+            match tenant
+                .queue
+                .iter()
+                .position(|job| Arc::ptr_eq(&job.reply, &self.reply))
+            {
+                Some(position) => {
+                    tenant.queue.remove(position);
+                    tenant.in_flight = tenant.in_flight.saturating_sub(1);
+                    tenant.outcomes.cancelled += 1;
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            self.reply.fill(Err(ServerError::Cancelled));
+        }
     }
 }
 
@@ -414,35 +565,83 @@ impl Session {
 
     /// Enqueue `sql` without waiting.  Fails fast with
     /// [`ServerError::QueueFull`] when the tenant's queue is at capacity
+    /// — or when the estimated queue wait already exceeds the tenant's
+    /// deadline (load shedding; both carry a `retry_after` hint) —
+    /// [`ServerError::InFlightLimit`] at the tenant's in-flight maximum,
     /// and [`ServerError::Shutdown`] when the server is stopping.
     pub fn enqueue(&self, sql: &str) -> Result<PendingQuery, ServerError> {
-        let reply = {
+        let (reply, governor) = {
             let mut inner = self.shared.inner.lock().unwrap();
             if inner.shutdown {
                 return Err(ServerError::Shutdown);
             }
             let capacity = self.shared.config.queue_capacity;
+            let workers = self.shared.config.workers;
+            let estimated_wait = inner.estimated_queue_wait(workers);
             let tenant = &mut inner.tenants[self.tenant];
+            if let Some(max_in_flight) = tenant.limits.max_in_flight {
+                if tenant.in_flight >= max_in_flight {
+                    tenant.rejected += 1;
+                    return Err(ServerError::InFlightLimit {
+                        tenant: tenant.name.clone(),
+                        max_in_flight,
+                    });
+                }
+            }
             if tenant.queue.len() >= capacity {
                 tenant.rejected += 1;
                 return Err(ServerError::QueueFull {
                     tenant: tenant.name.clone(),
                     capacity,
+                    retry_after: estimated_wait,
                 });
             }
+            // Deadline-aware load shedding: when the backlog alone is
+            // estimated to outlast the query's deadline, admitting it
+            // would only burn a worker slot on a query doomed to time
+            // out — reject now, hinting when the backlog should have
+            // drained below the deadline.
+            if let (Some(deadline), Some(wait)) = (tenant.limits.deadline, estimated_wait) {
+                if wait > deadline {
+                    tenant.rejected += 1;
+                    tenant.outcomes.shed += 1;
+                    return Err(ServerError::QueueFull {
+                        tenant: tenant.name.clone(),
+                        capacity,
+                        retry_after: Some(wait - deadline),
+                    });
+                }
+            }
+            let mut governor = QueryGovernor::new();
+            if let Some(deadline) = tenant.limits.deadline {
+                governor = governor.with_deadline(deadline);
+            }
+            if let Some(budget) = tenant.limits.memory_budget_bytes {
+                governor = governor.with_memory_budget(budget);
+            }
+            #[cfg(feature = "faults")]
+            if let Some(plan) = &self.shared.config.fault_plan {
+                governor = governor.with_fault(plan.arm(&format!("{}:{sql}", tenant.name)));
+            }
+            let governor = Arc::new(governor);
             let reply = ReplySlot::new();
+            tenant.in_flight += 1;
             tenant.queue.push_back(Job {
                 tenant: self.tenant,
                 sql: sql.to_string(),
                 enqueued_at: Instant::now(),
                 reply: Arc::clone(&reply),
+                governor: Arc::clone(&governor),
             });
-            reply
+            (reply, governor)
         };
         self.shared.work.notify_one();
         self.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(PendingQuery {
+            shared: Arc::clone(&self.shared),
+            tenant: self.tenant,
             reply,
+            governor,
             completed: Arc::clone(&self.completed),
         })
     }
@@ -563,7 +762,9 @@ mod tests {
         let _a = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
         let _b = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
         match session.enqueue("SELECT SUM(y) FROM t WHERE x = 1") {
-            Err(ServerError::QueueFull { tenant, capacity }) => {
+            Err(ServerError::QueueFull {
+                tenant, capacity, ..
+            }) => {
                 assert_eq!(tenant, "acme");
                 assert_eq!(capacity, 2);
             }
@@ -571,6 +772,242 @@ mod tests {
         }
         assert_eq!(server.stats().rejected, 1);
         assert_eq!(server.stats().queue_depth, 2);
+    }
+
+    /// A source whose every column lookup sleeps: the deterministic way to
+    /// keep a query in flight while the test acts on the server.
+    struct SlowSource {
+        inner: HashMap<String, Column>,
+        delay: Duration,
+    }
+
+    impl ColumnSource for SlowSource {
+        fn column(&self, name: &str) -> &Column {
+            std::thread::sleep(self.delay);
+            self.inner.column(name)
+        }
+    }
+
+    fn slow_source(delay: Duration) -> Arc<dyn ColumnSource + Send + Sync> {
+        let mut columns: HashMap<String, Column> = HashMap::new();
+        columns.insert("x".to_string(), Column::from_vec(vec![1, 2, 3, 1, 2, 1]));
+        columns.insert(
+            "y".to_string(),
+            Column::from_vec(vec![10, 20, 30, 40, 50, 60]),
+        );
+        Arc::new(SlowSource {
+            inner: columns,
+            delay,
+        })
+    }
+
+    #[test]
+    fn cancel_of_queued_query_replies_immediately() {
+        // No workers: the query stays queued until cancelled.
+        let server = server(ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        });
+        let session = server.session("acme").unwrap();
+        let pending = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        assert_eq!(server.stats().queue_depth, 1);
+        pending.cancel();
+        assert_eq!(server.stats().queue_depth, 0);
+        // Idempotent, and wait() does not hang.
+        pending.cancel();
+        assert_eq!(pending.wait(), Err(ServerError::Cancelled));
+        let stats = server.stats();
+        assert_eq!(stats.outcomes.cancelled, 1);
+        assert_eq!(stats.tenants[0].in_flight, 0);
+    }
+
+    #[test]
+    fn in_flight_limit_is_enforced_per_tenant() {
+        let server = server(ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        });
+        let limited = server
+            .session_with_limits(
+                "limited",
+                TenantLimits {
+                    max_in_flight: Some(1),
+                    ..TenantLimits::default()
+                },
+            )
+            .unwrap();
+        let other = server.session("other").unwrap();
+        let _held = limited.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        match limited.enqueue("SELECT SUM(y) FROM t WHERE x = 1") {
+            Err(ServerError::InFlightLimit {
+                tenant,
+                max_in_flight,
+            }) => {
+                assert_eq!(tenant, "limited");
+                assert_eq!(max_in_flight, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The limit is per tenant, not server-wide.
+        other.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+    }
+
+    #[test]
+    fn deadline_and_memory_limits_surface_structurally() {
+        let server = server(ServerConfig::default());
+        let deadline = server
+            .session_with_limits(
+                "deadline",
+                TenantLimits {
+                    deadline: Some(Duration::ZERO),
+                    ..TenantLimits::default()
+                },
+            )
+            .unwrap();
+        match deadline.submit("SELECT SUM(y) FROM t WHERE x = 1") {
+            Err(ServerError::DeadlineExceeded { deadline, .. }) => {
+                assert_eq!(deadline, Duration::ZERO);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let memory = server
+            .session_with_limits(
+                "memory",
+                TenantLimits {
+                    memory_budget_bytes: Some(1),
+                    ..TenantLimits::default()
+                },
+            )
+            .unwrap();
+        match memory.submit("SELECT SUM(y) FROM t WHERE x = 1") {
+            Err(ServerError::MemoryExceeded { budget_bytes, .. }) => {
+                assert_eq!(budget_bytes, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The workers survived both trips, and an unlimited tenant is
+        // unaffected.
+        let free = server.session("free").unwrap();
+        let output = free.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        assert_eq!(output.values, vec![110]);
+        let stats = server.stats();
+        assert_eq!(stats.outcomes.deadline_exceeded, 1);
+        assert_eq!(stats.outcomes.memory_exceeded, 1);
+        assert_eq!(stats.outcomes.ok, 1);
+    }
+
+    #[test]
+    fn cancel_of_executing_query_unwinds_cooperatively() {
+        let server = Server::new(
+            catalog(),
+            slow_source(Duration::from_millis(40)),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let session = server.session("acme").unwrap();
+        let pending = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        // Give the worker time to take the job (the queue drains, but the
+        // slow source keeps the query executing).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.stats().queue_depth > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pending.cancel();
+        let cancelled_at = Instant::now();
+        let result = pending.wait();
+        let latency = cancelled_at.elapsed();
+        assert_eq!(result, Err(ServerError::Cancelled));
+        assert!(latency < Duration::from_millis(200), "took {latency:?}");
+        // The worker survives and keeps serving.
+        let output = session.submit("SELECT SUM(y) FROM t WHERE x = 2").unwrap();
+        assert_eq!(output.values, vec![70]);
+        assert_eq!(server.stats().outcomes.cancelled, 1);
+    }
+
+    #[test]
+    fn backlogged_queries_are_shed_against_their_deadline() {
+        let server = Server::new(
+            catalog(),
+            slow_source(Duration::from_millis(50)),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        // Hand the estimator its evidence directly: a 200 ms mean service
+        // time, so one queued query predicts a 200 ms wait.
+        {
+            let mut inner = server.shared.inner.lock().unwrap();
+            inner.service_total_ns = 200_000_000;
+            inner.service_samples = 1;
+        }
+        let slow = server.session("slow").unwrap();
+        let strict = server
+            .session_with_limits(
+                "strict",
+                TenantLimits {
+                    deadline: Some(Duration::from_millis(10)),
+                    ..TenantLimits::default()
+                },
+            )
+            .unwrap();
+        // Occupy the only worker, then build a backlog of one.
+        let running = slow.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.stats().queue_depth > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = slow.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        // 200 ms estimated wait > 10 ms deadline: shed at admission with a
+        // drain hint, without ever burning a worker slot.
+        match strict.enqueue("SELECT SUM(y) FROM t WHERE x = 1") {
+            Err(ServerError::QueueFull {
+                tenant,
+                retry_after: Some(retry_after),
+                ..
+            }) => {
+                assert_eq!(tenant, "strict");
+                assert_eq!(retry_after, Duration::from_millis(190));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.tenants[1].outcomes.shed, 1);
+        assert_eq!(stats.tenants[1].rejected, 1);
+        running.wait().unwrap();
+        queued.wait().unwrap();
+    }
+
+    /// Satellite: shutdown lets in-flight queries run to completion while
+    /// queued ones fail fast, and nothing hangs.
+    #[test]
+    fn shutdown_completes_in_flight_and_fails_queued() {
+        let mut server = Server::new(
+            catalog(),
+            slow_source(Duration::from_millis(40)),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let session = server.session("acme").unwrap();
+        let executing = session.enqueue("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.stats().queue_depth > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = session.enqueue("SELECT SUM(y) FROM t WHERE x = 2").unwrap();
+        server.shutdown();
+        // The in-flight query completed normally; the queued one was
+        // failed structurally; neither wait() hangs.
+        assert_eq!(executing.wait().unwrap().values, vec![110]);
+        assert_eq!(queued.wait(), Err(ServerError::Shutdown));
+        let stats = server.stats();
+        assert_eq!(stats.outcomes.ok, 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.tenants[0].in_flight, 0);
     }
 
     #[test]

@@ -2,6 +2,48 @@
 
 use morph_cache::CacheStats;
 
+/// Per-outcome query counters: every query a tenant ever admitted (and
+/// every load-shed rejection) lands in exactly one bucket, so the chaos
+/// harness can reconcile submissions against outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Queries that completed successfully.
+    pub ok: u64,
+    /// Queries that failed in compilation or execution (including decode
+    /// failures and contained engine panics).
+    pub failed: u64,
+    /// Queries cancelled while queued or executing.
+    pub cancelled: u64,
+    /// Queries that ran past their deadline.
+    pub deadline_exceeded: u64,
+    /// Queries that exceeded their memory budget.
+    pub memory_exceeded: u64,
+    /// Queries rejected at admission because their estimated queue wait
+    /// already exceeded their deadline (load shedding).
+    pub shed: u64,
+}
+
+impl OutcomeCounts {
+    /// Total queries accounted across all buckets.
+    pub fn total(&self) -> u64 {
+        self.ok
+            + self.failed
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.memory_exceeded
+            + self.shed
+    }
+
+    pub(crate) fn add(&mut self, other: &OutcomeCounts) {
+        self.ok += other.ok;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.memory_exceeded += other.memory_exceeded;
+        self.shed += other.shed;
+    }
+}
+
 /// Statistics of one tenant.
 #[derive(Debug, Clone)]
 pub struct TenantStats {
@@ -14,6 +56,10 @@ pub struct TenantStats {
     pub rejected: u64,
     /// Queries currently waiting in the tenant's admission queue.
     pub queue_depth: usize,
+    /// Queries currently admitted (queued or executing).
+    pub in_flight: usize,
+    /// Per-outcome breakdown of everything this tenant submitted.
+    pub outcomes: OutcomeCounts,
     /// Counters of the tenant's private cache shard.
     pub cache: CacheStats,
 }
@@ -34,6 +80,8 @@ pub struct ServerStats {
     pub rejected: u64,
     /// Total queries currently queued across all tenants.
     pub queue_depth: usize,
+    /// Per-outcome breakdown across all tenants.
+    pub outcomes: OutcomeCounts,
     /// Median end-to-end latency (enqueue → reply) in nanoseconds, 0 when
     /// nothing has been served.
     pub p50_latency_ns: u64,

@@ -81,6 +81,33 @@ impl CompiledQuery {
         self.ordered(PlanExecutor.execute(&self.plan, source, ctx))
     }
 
+    /// Fallible counterpart of [`CompiledQuery::execute`]: a tripped
+    /// [`QueryGovernor`](morphstore_engine::QueryGovernor) limit or a
+    /// decode failure returns a structured
+    /// [`ExecError`](morphstore_engine::ExecError) instead of unwinding.
+    pub fn try_execute(
+        &self,
+        source: &dyn ColumnSource,
+        ctx: &mut ExecutionContext,
+    ) -> Result<PlanOutput, morphstore_engine::ExecError> {
+        PlanExecutor
+            .try_execute(&self.plan, source, ctx)
+            .map(|output| self.ordered(output))
+    }
+
+    /// Fallible counterpart of [`CompiledQuery::execute_parallel`]
+    /// (see [`CompiledQuery::try_execute`]).
+    pub fn try_execute_parallel(
+        &self,
+        source: &(dyn ColumnSource + Sync),
+        ctx: &mut ExecutionContext,
+        threads: usize,
+    ) -> Result<PlanOutput, morphstore_engine::ExecError> {
+        ParallelExecutor::new(threads)
+            .try_execute(&self.plan, source, ctx)
+            .map(|output| self.ordered(output))
+    }
+
     /// Execute on `threads` workers and apply `ORDER BY`.
     pub fn execute_parallel(
         &self,

@@ -518,11 +518,18 @@ impl ChunkCursor for ColumnCursor<'_> {
             // geometry is all the skip decision needs); the piece stays
             // resident in the format cursor's decode buffer and is
             // re-borrowed via `last_chunk` once it is known to overlap.
-            let len = self
-                .main
-                .next_chunk()
-                .expect("main cursor ends before its logical length")
-                .len();
+            // A drained format cursor here means the main part decoded
+            // fewer values than its logical length — corrupt data, raised
+            // as a structured payload rather than a stringly expect.
+            let len = match self.main.next_chunk() {
+                Some(piece) => piece.len(),
+                None => std::panic::panic_any(morph_compression::DecodeError::Truncated {
+                    format: "chunk-cursor",
+                    offset: self.main_pos,
+                    needed: self.end,
+                    available: self.main_pos,
+                }),
+            };
             let chunk_start = self.main_pos;
             self.main_pos += len;
             // Trim to [pos, end): the first covering piece may begin before

@@ -64,7 +64,9 @@ pub mod prelude {
     pub use morph_cache::{CacheConfig, CacheKey, CacheStats, QueryCache};
     pub use morph_compression::{Format, NsScheme};
     pub use morph_cost::{DataCharacteristics, FormatSelectionStrategy, SelectionObjective};
-    pub use morph_server::{Server, ServerConfig, ServerError, Session};
+    pub use morph_server::{
+        PendingQuery, Server, ServerConfig, ServerError, Session, TenantLimits,
+    };
     pub use morph_sql::{compile, Catalog, CompiledQuery, TableDef};
     pub use morph_ssb::{SsbData, SsbQuery};
     pub use morph_storage::{Column, ColumnBuilder, ColumnStats};
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use morphstore_engine::{
         agg_sum, agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join,
         merge_sorted, morph, project, select, select_between, semi_join, BinaryOp, CmpOp,
-        ExecSettings, ExecutionContext, IntegrationDegree, ParallelExecutor, ProcessingStyle,
+        ExecError, ExecSettings, ExecutionContext, IntegrationDegree, ParallelExecutor,
+        ProcessingStyle, QueryGovernor,
     };
 }
