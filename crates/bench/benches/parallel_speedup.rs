@@ -35,8 +35,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use morph_bench::{
-    fmt_ms, print_header, print_row, ssb_speedup_json, CacheRow, HarnessArgs, MorselSweep,
-    PairwisePeak, SpeedupRow,
+    fmt_ms, fusion_section_json, merge_tail_section, print_header, print_row, ssb_speedup_json,
+    CacheRow, FusionRow, HarnessArgs, MorselSweep, PairwisePeak, SpeedupRow,
 };
 use morph_compression::Format;
 use morph_ssb::{dbgen, SsbQuery};
@@ -97,6 +97,9 @@ fn main() {
         "cache_warm_ms",
         "cache_warm_x",
         "cache_hit_rate",
+        "fused_ms",
+        "fused_x",
+        "fused_bytes_avoided",
     ] {
         header.push(column.to_string());
     }
@@ -110,6 +113,7 @@ fn main() {
     morphstore_engine::transient::reset();
     let mut rows = Vec::new();
     let mut cache_rows = Vec::new();
+    let mut fusion_rows = Vec::new();
     for query in SsbQuery::all() {
         let serial_settings = ExecSettings::vectorized_compressed();
         let (serial, serial_result) = best_of(args.runs, || {
@@ -192,6 +196,37 @@ fn main() {
         row.push(format!("{hit_rate:.3}"));
         cache_rows.push(cache_row);
 
+        // Fused-vs-unfused serial: the same configuration with operator
+        // fusion on — byte-identical by construction, measured for the
+        // `fusion` section (runtime plus the interior bytes never retained).
+        let fused_settings = ExecSettings::vectorized_compressed().with_fusion();
+        let (fused, (fused_result, fused_regions, bytes_avoided)) = best_of(args.runs, || {
+            let mut ctx = ExecutionContext::new(fused_settings.clone(), formats.clone());
+            let result = query.execute(&data, &mut ctx);
+            let regions = ctx.fused_region_count();
+            let avoided = ctx.intermediate_bytes_avoided();
+            (result, regions, avoided)
+        });
+        assert_eq!(
+            fused_result, serial_result,
+            "{query}: fused serial result diverged"
+        );
+        assert!(
+            fused_regions == 0 || bytes_avoided > 0,
+            "{query}: fused region executed but no interior bytes avoided"
+        );
+        let fusion_row = FusionRow {
+            query: query.label().to_string(),
+            unfused: serial,
+            fused,
+            fused_regions,
+            intermediate_bytes_avoided: bytes_avoided,
+        };
+        row.push(fmt_ms(fused));
+        row.push(format!("{:.2}", fusion_row.speedup()));
+        row.push(bytes_avoided.to_string());
+        fusion_rows.push(fusion_row);
+
         print_row(&row);
         rows.push(SpeedupRow {
             query: query.label().to_string(),
@@ -223,6 +258,10 @@ fn main() {
         pairwise.peak_bytes, pairwise.bound_bytes
     );
     let json = ssb_speedup_json(&args, &THREAD_COUNTS, &rows, &cache_rows, pairwise);
+    // The fusion section sits first in the canonical tail order
+    // (fusion → server → governance; the server bench re-merges the later
+    // two after this document is written).
+    let json = merge_tail_section(&json, "fusion", &fusion_section_json(&fusion_rows));
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(err) => eprintln!("could not write {json_path}: {err}"),
@@ -277,10 +316,35 @@ fn main() {
         cache.stats().entries,
         cache.bytes_used() as f64 / (1024.0 * 1024.0),
     );
+    // Fusion summary: how much intermediate materialisation the fused
+    // pipelines avoided, and the measured runtime effect.
+    let total_avoided: u64 = fusion_rows
+        .iter()
+        .map(|r| r.intermediate_bytes_avoided)
+        .sum();
+    let fused_queries = fusion_rows.iter().filter(|r| r.fused_regions > 0).count();
+    let mean_speedup: f64 =
+        fusion_rows.iter().map(|r| r.speedup()).sum::<f64>() / fusion_rows.len().max(1) as f64;
+    eprintln!(
+        "fusion: {fused_queries}/13 queries fused, {:.2} MiB of interiors never retained, \
+         mean fused/unfused serial speedup {mean_speedup:.2}x",
+        total_avoided as f64 / (1024.0 * 1024.0),
+    );
+    // The joint cost decision the engine would make for the headline query:
+    // interior edges re-priced for decode speed, morsel threshold sized
+    // from the driver length and this host's cores.
+    let tuning = morph_bench::strategy_tuning(
+        SsbQuery::Q1_1,
+        &data,
+        morph_cost::FormatSelectionStrategy::CostBased,
+    );
+    eprintln!(
+        "cost model (Q1.1, cost-based): {} per-edge formats, morsel_threshold {:?}",
+        tuning.formats.explicit_columns().count(),
+        tuning.morsel_threshold,
+    );
     eprintln!(
         "note: speedups > 1 require multiple CPU cores; this host exposes {}",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        morph_bench::host_cores()
     );
 }

@@ -185,6 +185,19 @@ pub fn strategy_config(
     strategy.build_config_for_plan(&query.plan(), &assignable_columns(query, data))
 }
 
+/// Joint fusion- and morsel-aware decision for `query` (see
+/// [`morph_cost::PlanTuning`]): the strategy's format choice with every
+/// fused-interior edge re-priced for decode-stream speed (interiors are
+/// never retained, so footprint is the wrong objective there), plus a
+/// host-aware morsel threshold for the plan's fan-out-eligible regions.
+pub fn strategy_tuning(
+    query: SsbQuery,
+    data: &SsbData,
+    strategy: FormatSelectionStrategy,
+) -> morph_cost::PlanTuning {
+    strategy.build_tuning_for_plan(&query.plan(), &assignable_columns(query, data))
+}
+
 /// Memoised variant of [`strategy_config`]: the decision is replayed from
 /// the plan-level `cache` when the same plan shape with the same column
 /// statistics was decided before (see `morph_cost::cached_config_for_plan`).
@@ -339,13 +352,15 @@ impl PairwisePeak {
 /// Serialise per-query serial/parallel wall-clock measurements as the
 /// `BENCH_ssb.json` document (hand-rolled: the environment has no serde).
 ///
-/// Schema: `{benchmark, scale_factor, seed, runs, threads: [..],
-/// morsel_thresholds: [..], pairwise_peak_transient_bytes,
+/// Schema: `{benchmark, scale_factor, seed, runs, host_cores,
+/// threads: [..], morsel_thresholds: [..], pairwise_peak_transient_bytes,
 /// pairwise_transient_bound_bytes, queries: [{query, serial_ns,
 /// parallel_ns: [..], morsel_parallel_ns: [[..], ..], best_speedup}],
 /// cache: [{query, cold_ns, warm_ns, warm_speedup, hit_rate}]}` with
 /// durations in integer nanoseconds, so CI tooling can diff runs without
-/// parsing the human-readable CSV.  `morsel_parallel_ns` holds one inner
+/// parsing the human-readable CSV.  `host_cores` records the measuring
+/// host's `available_parallelism` (speedups ≈ 1.0 on a single-core runner
+/// are expected, not regressions).  `morsel_parallel_ns` holds one inner
 /// list per entry of `morsel_thresholds`, each aligned with `threads`;
 /// `best_speedup` is the serial runtime over the fastest parallel run of
 /// any configuration; `cache` holds the cold-vs-warm repeated-run workload
@@ -411,7 +426,7 @@ pub fn ssb_speedup_json(
         .collect();
     format!(
         "{{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \"scale_factor\": {},\n  \
-         \"seed\": {},\n  \"runs\": {},\n  \"threads\": [{}],\n  \
+         \"seed\": {},\n  \"runs\": {},\n  \"host_cores\": {},\n  \"threads\": [{}],\n  \
          \"morsel_thresholds\": [{}],\n  \
          \"pairwise_peak_transient_bytes\": {},\n  \
          \"pairwise_transient_bound_bytes\": {},\n  \"queries\": [\n{}\n  ],\n  \
@@ -419,12 +434,78 @@ pub fn ssb_speedup_json(
         args.scale_factor,
         args.seed,
         args.runs,
+        host_cores(),
         threads_json.join(", "),
         thresholds_json.join(", "),
         pairwise.peak_bytes,
         pairwise.bound_bytes,
         queries.join(",\n"),
         cache.join(",\n")
+    )
+}
+
+/// The measuring host's core count (`available_parallelism`), recorded as
+/// top-level `BENCH_ssb.json` metadata so ~1.0x parallel speedups on a
+/// single-core CI runner can be told apart from real regressions.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One SSB query's fused-vs-unfused measurement: the serial wall clock with
+/// fusion off and on, the number of fused regions the plan executed, and
+/// the interior bytes the fused pass never retained.
+#[derive(Debug, Clone)]
+pub struct FusionRow {
+    /// Query label ("1.1" … "4.3").
+    pub query: String,
+    /// Serial wall clock with fusion off.
+    pub unfused: Duration,
+    /// Serial wall clock with fusion on.
+    pub fused: Duration,
+    /// Fused regions executed (0 when nothing in the plan fuses).
+    pub fused_regions: usize,
+    /// Interior bytes the fused pass recorded but never retained.
+    pub intermediate_bytes_avoided: u64,
+}
+
+impl FusionRow {
+    /// Unfused runtime over fused runtime (> 1.0 means fusion won).
+    pub fn speedup(&self) -> f64 {
+        let fused = self.fused.as_secs_f64();
+        if fused > 0.0 {
+            self.unfused.as_secs_f64() / fused
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Serialise the fused-vs-unfused rows as the value of the top-level
+/// `"fusion"` key of `BENCH_ssb.json` (indented to sit at nesting depth 1).
+pub fn fusion_section_json(rows: &[FusionRow]) -> String {
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"query\": \"{}\", \"unfused_serial_ns\": {}, \
+                 \"fused_serial_ns\": {}, \"fused_regions\": {}, \
+                 \"intermediate_bytes_avoided\": {}, \"fused_speedup\": {:.4}}}",
+                row.query,
+                row.unfused.as_nanos(),
+                row.fused.as_nanos(),
+                row.fused_regions,
+                row.intermediate_bytes_avoided,
+                row.speedup()
+            )
+        })
+        .collect();
+    let total_avoided: u64 = rows.iter().map(|r| r.intermediate_bytes_avoided).sum();
+    format!(
+        "{{\n    \"total_intermediate_bytes_avoided\": {},\n    \"rows\": [\n{}\n    ]\n  }}",
+        total_avoided,
+        row_json.join(",\n")
     )
 }
 
@@ -636,6 +717,8 @@ mod tests {
         assert!(pairwise.holds());
         let json = ssb_speedup_json(&args, &[1, 2], &rows, &cache_rows, pairwise);
         assert!(json.contains("\"benchmark\": \"ssb_parallel_speedup\""));
+        // The measuring host's core count is part of the metadata.
+        assert!(json.contains(&format!("\"host_cores\": {}", host_cores())));
         assert!(json.contains("\"threads\": [1, 2]"));
         assert!(json.contains("\"morsel_thresholds\": [65536, 262144]"));
         // The pairwise carry high-water mark and its one-chunk bound.
@@ -740,6 +823,50 @@ mod tests {
             assert_eq!(
                 merged.matches(open).count(),
                 merged.matches(close).count(),
+                "{open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_section_reports_avoided_bytes_and_merges_after_governance() {
+        let rows = vec![
+            FusionRow {
+                query: "1.1".to_string(),
+                unfused: Duration::from_micros(100),
+                fused: Duration::from_micros(80),
+                fused_regions: 2,
+                intermediate_bytes_avoided: 4096,
+            },
+            FusionRow {
+                query: "3.4".to_string(),
+                unfused: Duration::from_micros(50),
+                fused: Duration::from_micros(50),
+                fused_regions: 0,
+                intermediate_bytes_avoided: 0,
+            },
+        ];
+        assert!((rows[0].speedup() - 1.25).abs() < 1e-9);
+        let section = fusion_section_json(&rows);
+        assert!(section.contains("\"total_intermediate_bytes_avoided\": 4096"));
+        assert!(section.contains("\"unfused_serial_ns\": 100000"));
+        assert!(section.contains("\"fused_serial_ns\": 80000"));
+        assert!(section.contains("\"fused_speedup\": 1.2500"));
+        assert!(section.contains("\"fused_regions\": 0"));
+
+        // The canonical tail order is fusion → server → governance; the
+        // section merges idempotently wherever it sits.
+        let base = "{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \
+                    \"cache\": [\n    {\"query\": \"1.1\"}\n  ]\n}\n";
+        let merged = merge_tail_section(base, "fusion", &section);
+        assert!(merged.contains("\"fusion\": {"));
+        let with_server = merge_server_section(&merged, "{\"workers\": 4}");
+        let remerged = merge_tail_section(&with_server, "fusion", &section);
+        assert_eq!(remerged.matches("\"fusion\":").count(), 1);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                with_server.matches(open).count(),
+                with_server.matches(close).count(),
                 "{open}{close}"
             );
         }

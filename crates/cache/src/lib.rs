@@ -171,9 +171,10 @@ impl Default for Fingerprint {
 ///
 /// Admission control applies to **subplan results only**
 /// ([`CachedValue::Column`], [`CachedValue::Pair`], [`CachedValue::Scalar`]).
-/// Format decisions ([`CachedValue::Formats`]) are always admitted: they are
-/// a few dozen bytes each but stand for an entire strategy search, so their
-/// benefit is never proportional to their size.
+/// Format and tuning decisions ([`CachedValue::Formats`],
+/// [`CachedValue::Tuning`]) are always admitted: they are a few dozen bytes
+/// each but stand for an entire strategy search, so their benefit is never
+/// proportional to their size.
 ///
 /// The default (both thresholds zero) admits everything, preserving the
 /// pre-admission-control behaviour.
@@ -240,6 +241,15 @@ pub enum CachedValue {
     Scalar(u64),
     /// A format decision of a selection strategy.
     Formats(FormatDecision),
+    /// A joint fusion- and morsel-aware tuning decision: the per-edge
+    /// format assignment plus the fan-out threshold priced with it.
+    Tuning {
+        /// The per-edge format assignment.
+        formats: FormatDecision,
+        /// The morsel fan-out threshold the tuning chose (`None` leaves
+        /// fan-out off).
+        morsel_threshold: Option<u64>,
+    },
 }
 
 impl CachedValue {
@@ -252,6 +262,7 @@ impl CachedValue {
             }
             CachedValue::Scalar(_) => 8,
             CachedValue::Formats(decision) => decision.cost_bytes(),
+            CachedValue::Tuning { formats, .. } => formats.cost_bytes() + 16,
         }
     }
 }
@@ -482,9 +493,9 @@ impl QueryCache {
         let cost = value.cost_bytes();
         let mut inner = self.lock();
         // Admission control: subplan results below the thresholds are not
-        // worth a slot; format decisions are always admitted (tiny entries
-        // standing for a whole strategy search).
-        if !matches!(value, CachedValue::Formats(_))
+        // worth a slot; format and tuning decisions are always admitted
+        // (tiny entries standing for a whole strategy search).
+        if !matches!(value, CachedValue::Formats(_) | CachedValue::Tuning { .. })
             && (benefit.as_nanos() < self.config.min_benefit_ns as u128
                 || cost < self.config.min_bytes)
         {

@@ -94,6 +94,13 @@ pub struct ExecSettings {
     /// handle is shared: the submitting side keeps a clone so it can
     /// [`cancel`](crate::govern::QueryGovernor::cancel) mid-execution.
     pub governor: Option<Arc<crate::govern::QueryGovernor>>,
+    /// Enable operator fusion: maximal single-consumer chains of
+    /// position-preserving nodes execute as one chunk-at-a-time pass over
+    /// their driver column ([`fusion`](crate::fusion)).  Results, footprint
+    /// records and timing-label sequences stay byte-identical to unfused
+    /// execution; interior columns are dropped as soon as they are
+    /// recorded.  `false` (the default) keeps node-by-node execution.
+    pub fusion: bool,
 }
 
 /// Settings compare by configuration; the cache and governor handles
@@ -104,6 +111,7 @@ impl PartialEq for ExecSettings {
         self.style == other.style
             && self.degree == other.degree
             && self.morsel_threshold == other.morsel_threshold
+            && self.fusion == other.fusion
             && match (&self.cache, &other.cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -175,6 +183,14 @@ impl ExecSettings {
     /// entry points.
     pub fn with_governor(mut self, governor: Arc<crate::govern::QueryGovernor>) -> ExecSettings {
         self.governor = Some(governor);
+        self
+    }
+
+    /// The same settings with operator fusion enabled (builder style).
+    /// Fusible chains execute as single-pass cursor pipelines; all results
+    /// and bookkeeping stay byte-identical to unfused execution.
+    pub fn with_fusion(mut self) -> ExecSettings {
+        self.fusion = true;
         self
     }
 }
@@ -362,6 +378,8 @@ pub struct ExecutionContext {
     capture: bool,
     captured: HashMap<String, Column>,
     cache_hits: usize,
+    fused_regions: usize,
+    fused_bytes_avoided: u64,
 }
 
 impl ExecutionContext {
@@ -375,6 +393,8 @@ impl ExecutionContext {
             capture: false,
             captured: HashMap::new(),
             cache_hits: 0,
+            fused_regions: 0,
+            fused_bytes_avoided: 0,
         }
     }
 
@@ -519,6 +539,35 @@ impl ExecutionContext {
     /// Number of recorded intermediates.
     pub fn intermediate_count(&self) -> usize {
         self.records.iter().filter(|r| !r.is_base).count()
+    }
+
+    /// Note one executed fused region whose interior columns summed to
+    /// `bytes` physical bytes — bytes that were recorded (footprints stay
+    /// byte-identical) but *not retained*: the columns were dropped
+    /// instead of entering the slot table.
+    pub fn note_fused_region(&mut self, bytes: u64) {
+        self.fused_regions += 1;
+        self.fused_bytes_avoided += bytes;
+    }
+
+    /// Fold fused-region accounting from a parallel execution (called once
+    /// after the workers join, with their accumulated totals).
+    pub(crate) fn add_fused(&mut self, regions: usize, bytes: u64) {
+        self.fused_regions += regions;
+        self.fused_bytes_avoided += bytes;
+    }
+
+    /// Number of fused regions this execution ran as single-pass pipelines
+    /// (0 with fusion disabled).
+    pub fn fused_region_count(&self) -> usize {
+        self.fused_regions
+    }
+
+    /// Physical bytes of interior columns that fused pipelines recorded
+    /// but never retained — the per-query materialisation saving of
+    /// operator fusion (0 with fusion disabled).
+    pub fn intermediate_bytes_avoided(&self) -> u64 {
+        self.fused_bytes_avoided
     }
 }
 

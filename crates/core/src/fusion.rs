@@ -1,0 +1,1153 @@
+//! Operator fusion: single-pass cursor pipelines over compressed data.
+//!
+//! The operator-at-a-time model (DP1) materialises every intermediate as a
+//! named compressed column.  For a chain like select → project → calc →
+//! agg_sum that is wasteful: the interior columns are encoded by one
+//! operator only to be decoded by exactly one consumer immediately after.
+//! Fusion detects such *maximal fusible regions* in a [`QueryPlan`] and
+//! executes each region as **one** chunk-at-a-time pass over a single
+//! *driver* column: every driver chunk flows through all stages of the
+//! region while it is cache-resident, and only the region *root*
+//! materialises a full column (or scalar).
+//!
+//! ## Region detection
+//!
+//! A region is grown backwards from a root candidate (`agg_sum`, `project`
+//! or `calc_binary`) along *streamed* edges — the inputs an operator
+//! consumes sequentially (`select`/`select_between`: the filtered column,
+//! `project`: the position list, `calc_binary`: both operands, `agg_sum`:
+//! the summed column).  A producer is absorbed as an *interior* stage iff
+//!
+//! * its operator is position-preserving and streamable (`select`,
+//!   `select_between`, `project`, `calc_binary`),
+//! * it has exactly **one** consumer (the absorbing member), and
+//! * it is not already part of another region.
+//!
+//! A grown region is valid iff it has at least one interior, all members'
+//! streamed inputs resolve to members or to exactly **one** external
+//! column (the *driver* — it may feed several stages), every `project`
+//! member gathers from a column *outside* the region (its data side is
+//! random-accessed, not streamed), and the per-chunk *shapes* line up:
+//! stages only zip streams that are row-aligned within every driver chunk
+//! (a select starts a fresh shape, a project carries its position stream's
+//! shape, a calc requires both operands to share one shape).
+//!
+//! ## Byte identity
+//!
+//! Fused execution is observably identical to node-by-node execution:
+//! results, footprint records and timing-label sequences are all
+//! byte-identical.  Interior columns **are** still encoded — incrementally,
+//! chunk by chunk, into the same [`ColumnBuilder`] the unfused operators
+//! use, which is granularity-invariant (see
+//! [`partitioned`](crate::ops::partitioned)) — because the footprint
+//! records and plan-cache entries of interior nodes must not change.  What
+//! fusion *removes* is the decode half of every interior round-trip, the
+//! repeated driver passes, and the retention of interior columns: they are
+//! dropped as soon as their record is taken, never entering the slot
+//! table.  The per-query sum of dropped interior bytes is reported as
+//! [`ExecutionContext::intermediate_bytes_avoided`](crate::ExecutionContext::intermediate_bytes_avoided).
+//!
+//! Fusion only applies under the `PurelyUncompressed` and
+//! `OnTheFlyDeRecompression` integration degrees: the `Specialized` and
+//! `OnTheFlyMorphing` degrees run format-specialised kernels whose
+//! operator-local format choices a fused pipeline cannot reproduce
+//! bit-for-bit, so regions silently demote to node-by-node execution
+//! there.
+//!
+//! ## Governance and faults
+//!
+//! The fused loop checkpoints once per *node* when the region starts (one
+//! checkpoint per member — the same count the unfused executor pays) and
+//! once per driver chunk inside the loop, so cancellation, deadlines and
+//! seeded chunk faults keep firing with bounded latency mid-pipeline.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use morph_cache::{CachedValue, QueryCache};
+use morph_compression::Format;
+use morph_storage::{Column, ColumnBuilder};
+use morph_vector::emu::V512;
+use morph_vector::kernels;
+use morph_vector::scalar::Scalar;
+use morph_vector::ProcessingStyle;
+
+use crate::exec::{ExecSettings, FormatConfig, IntegrationDegree, NodeRecords};
+use crate::ops::agg::sum_chunk;
+use crate::ops::partitioned;
+use crate::ops::project::ensure_random_access;
+use crate::ops::select::filter_chunk;
+use crate::plan::{ColRef, NodeCacheInfo, PlanOp, PlanOutputs, QueryPlan, Slot};
+use crate::{BinaryOp, CmpOp};
+
+/// Where a fused stage reads its streamed input from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// The region's driver column (the one external stream).
+    Driver,
+    /// The in-flight output of an earlier stage of the same region.
+    Stage(usize),
+}
+
+/// The operator one fused stage runs, with its streamed inputs rewritten
+/// to [`Src`] references.
+#[derive(Debug, Clone)]
+pub(crate) enum StageKind {
+    /// Comparison select emitting matching positions.
+    Select {
+        /// Streamed input.
+        src: Src,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Comparison constant.
+        constant: u64,
+    },
+    /// Inclusive range select emitting matching positions.
+    SelectBetween {
+        /// Streamed input.
+        src: Src,
+        /// Lower bound (inclusive).
+        low: u64,
+        /// Upper bound (inclusive).
+        high: u64,
+    },
+    /// Gather from an external random-accessed data column.
+    Project {
+        /// The gathered column — external to the region, morphed to a
+        /// random-access format once before the pass.
+        data: ColRef,
+        /// Streamed position list.
+        positions: Src,
+    },
+    /// Element-wise binary calculation over two aligned streams.
+    Calc {
+        /// The arithmetic operator.
+        op: BinaryOp,
+        /// Left operand stream.
+        lhs: Src,
+        /// Right operand stream.
+        rhs: Src,
+    },
+    /// Whole-column wrapping sum (always the region root).
+    AggSum {
+        /// Streamed input.
+        src: Src,
+    },
+}
+
+/// One stage of a fused region: the plan node it replaces plus its
+/// rewritten operator.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedStage {
+    /// The plan node index this stage executes.
+    pub(crate) node: usize,
+    /// The rewritten operator.
+    pub(crate) kind: StageKind,
+}
+
+/// One maximal fusible region of a plan.
+#[derive(Debug, Clone)]
+pub struct FusedRegion {
+    /// Member node indices, ascending; the root is the last entry.
+    pub(crate) members: Vec<usize>,
+    /// The root node (the only member whose column/scalar is retained).
+    pub(crate) root: usize,
+    /// The single external streamed input all stages ultimately consume.
+    pub(crate) driver: ColRef,
+    /// Distinct node indices of all external inputs (driver and project
+    /// data sides) — the region's dependencies in the scheduler graph.
+    pub(crate) externals: Vec<usize>,
+    /// The stages, in ascending node order (a stage only reads earlier
+    /// stages or the driver).
+    pub(crate) stages: Vec<FusedStage>,
+    /// Whether every select stage reads the driver directly.  Only such
+    /// regions can fan out as morsel parts: a select over a *derived*
+    /// stream needs the running count of values emitted before its chunk,
+    /// which a mid-column part cannot know.
+    pub(crate) prefix_independent: bool,
+}
+
+/// Read-only summary of one fused region, for cost models and tooling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedRegionSummary {
+    /// Edge name of the driver column (base-column name or
+    /// `"<label>/<step>"`).
+    pub driver: String,
+    /// Edge names of the interior columns that fusion stops retaining.
+    pub interior_edges: Vec<String>,
+    /// Edge name of the root column (`None` when the root is a scalar
+    /// aggregation).
+    pub root_edge: Option<String>,
+    /// Whether the region can fan out as morsel parts.
+    pub prefix_independent: bool,
+}
+
+/// The fusion analysis of one [`QueryPlan`]: which nodes belong to which
+/// maximal fusible region.
+#[derive(Debug, Clone)]
+pub struct FusionPlan {
+    regions: Vec<FusedRegion>,
+    region_of: Vec<Option<usize>>,
+}
+
+impl FusionPlan {
+    /// An analysis with no regions (fusion disabled or inapplicable).
+    pub(crate) fn empty(node_count: usize) -> FusionPlan {
+        FusionPlan {
+            regions: Vec::new(),
+            region_of: vec![None; node_count],
+        }
+    }
+
+    /// Detect the maximal fusible regions of `plan` (pure plan-structure
+    /// analysis — settings, formats and data play no role).
+    pub fn analyze(plan: &QueryPlan) -> FusionPlan {
+        let node_count = plan.nodes.len();
+        let mut consumers = vec![0usize; node_count];
+        for node in &plan.nodes {
+            for input in node.op.inputs() {
+                consumers[input.node] += 1;
+            }
+        }
+        match &plan.outputs {
+            PlanOutputs::Scalar(value) => consumers[value.node] += 1,
+            PlanOutputs::Grouped { keys, values } => {
+                for key in keys {
+                    consumers[key.node] += 1;
+                }
+                consumers[values.node] += 1;
+            }
+        }
+        let mut fusion = FusionPlan::empty(node_count);
+        // Roots are visited in descending index order so a region claims
+        // the longest suffix of its chain before an upstream candidate
+        // could carve out a shorter one.
+        for root in (0..node_count).rev() {
+            if fusion.region_of[root].is_some() {
+                continue;
+            }
+            if !matches!(
+                plan.nodes[root].op,
+                PlanOp::AggSum { .. } | PlanOp::Project { .. } | PlanOp::CalcBinary { .. }
+            ) {
+                continue;
+            }
+            if let Some(region) = grow_region(plan, &consumers, &fusion.region_of, root) {
+                let index = fusion.regions.len();
+                for &member in &region.members {
+                    fusion.region_of[member] = Some(index);
+                }
+                fusion.regions.push(region);
+            }
+        }
+        fusion
+    }
+
+    /// The analysis the executors actually run under `settings`: empty
+    /// when fusion is disabled or the integration degree runs specialised
+    /// kernels, and with fully cached regions demoted to node-by-node
+    /// execution (their members hit the plan cache individually, exactly
+    /// like an unfused run).
+    pub(crate) fn for_execution(
+        plan: &QueryPlan,
+        settings: &ExecSettings,
+        cache_info: Option<&[NodeCacheInfo]>,
+    ) -> FusionPlan {
+        if !settings.fusion {
+            return FusionPlan::empty(plan.nodes.len());
+        }
+        if !matches!(
+            settings.degree,
+            IntegrationDegree::PurelyUncompressed | IntegrationDegree::OnTheFlyDeRecompression
+        ) {
+            return FusionPlan::empty(plan.nodes.len());
+        }
+        let mut fusion = FusionPlan::analyze(plan);
+        if let (Some(cache), Some(infos)) = (settings.cache.as_deref(), cache_info) {
+            fusion.demote_fully_cached(cache, infos);
+        }
+        fusion
+    }
+
+    /// Drop every region whose members are all present in the plan cache:
+    /// executing them node-by-node serves each member from its existing
+    /// entry, so warm runs stay byte-identical to unfused warm runs.
+    fn demote_fully_cached(&mut self, cache: &QueryCache, infos: &[NodeCacheInfo]) {
+        self.regions.retain(|region| {
+            !region
+                .members
+                .iter()
+                .all(|&m| infos[m].key.is_some_and(|key| cache.contains(&key)))
+        });
+        self.region_of = vec![None; self.region_of.len()];
+        for (index, region) in self.regions.iter().enumerate() {
+            for &member in &region.members {
+                self.region_of[member] = Some(index);
+            }
+        }
+    }
+
+    /// Number of detected regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no region was detected (or fusion is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions, for executor dispatch.
+    pub(crate) fn regions(&self) -> &[FusedRegion] {
+        &self.regions
+    }
+
+    /// The region containing `node`, if any.
+    pub(crate) fn region_of(&self, node: usize) -> Option<usize> {
+        self.region_of[node]
+    }
+
+    /// The region at `index`.
+    pub(crate) fn region(&self, index: usize) -> &FusedRegion {
+        &self.regions[index]
+    }
+
+    /// Whether `node` is the root of a region.
+    pub(crate) fn is_region_root(&self, node: usize) -> bool {
+        self.region_of[node].is_some_and(|index| self.regions[index].root == node)
+    }
+
+    /// Read-only summaries of the regions, for cost models and tooling.
+    pub fn region_summaries(&self, plan: &QueryPlan) -> Vec<FusedRegionSummary> {
+        self.regions
+            .iter()
+            .map(|region| FusedRegionSummary {
+                driver: edge_name(plan, region.driver),
+                interior_edges: region
+                    .members
+                    .iter()
+                    .filter(|&&m| m != region.root)
+                    .map(|&m| plan.node_full_name(m))
+                    .collect(),
+                root_edge: match plan.nodes[region.root].op {
+                    PlanOp::AggSum { .. } => None,
+                    _ => Some(plan.node_full_name(region.root)),
+                },
+                prefix_independent: region.prefix_independent,
+            })
+            .collect()
+    }
+
+    /// Render the regions as bracketed pipeline groups — the fusion
+    /// section of EXPLAIN output (empty string when nothing fuses).
+    pub fn render(&self, plan: &QueryPlan) -> String {
+        use std::fmt::Write as _;
+        if self.regions.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "  fused pipelines:");
+        for region in &self.regions {
+            let chain: Vec<String> = region
+                .members
+                .iter()
+                .map(|&m| {
+                    format!(
+                        "#{m} {}:{}",
+                        plan.nodes[m].op.mnemonic(),
+                        plan.nodes[m].name
+                    )
+                })
+                .collect();
+            let interiors: Vec<String> = region
+                .members
+                .iter()
+                .filter(|&&m| m != region.root)
+                .map(|&m| plan.node_full_name(m))
+                .collect();
+            let _ =
+                writeln!(
+                out,
+                "    [{}] driver {}; single pass, interiors not retained: {}; morsel fan-out: {}",
+                chain.join(" -> "),
+                edge_name(plan, region.driver),
+                interiors.join(", "),
+                if region.prefix_independent { "yes" } else { "no" },
+            );
+        }
+        out
+    }
+}
+
+/// The edge (column) name a handle resolves to: the base-column name for
+/// scans, `"<label>/<step>"` (or `"<label>/<step>_reps"`) otherwise.
+fn edge_name(plan: &QueryPlan, r: ColRef) -> String {
+    match &plan.nodes[r.node].op {
+        PlanOp::Scan { column } => column.clone(),
+        _ if r.port == 1 => format!("{}_reps", plan.node_full_name(r.node)),
+        _ => plan.node_full_name(r.node),
+    }
+}
+
+/// The inputs an operator consumes *sequentially* — the edges fusion can
+/// turn into in-flight streams.  A project's data side is deliberately
+/// absent: it is random-accessed, not streamed.
+fn streamed_inputs(op: &PlanOp) -> Vec<ColRef> {
+    match *op {
+        PlanOp::Select { input, .. } | PlanOp::SelectBetween { input, .. } => vec![input],
+        PlanOp::Project { positions, .. } => vec![positions],
+        PlanOp::CalcBinary { lhs, rhs, .. } => vec![lhs, rhs],
+        PlanOp::AggSum { values } => vec![values],
+        _ => vec![],
+    }
+}
+
+/// Whether an operator can run as an interior stage of a fused region.
+fn interior_eligible(op: &PlanOp) -> bool {
+    matches!(
+        op,
+        PlanOp::Select { .. }
+            | PlanOp::SelectBetween { .. }
+            | PlanOp::Project { .. }
+            | PlanOp::CalcBinary { .. }
+    )
+}
+
+/// Grow the maximal region rooted at `root` and validate it; `None` when
+/// nothing fuses or a validity rule fails.
+fn grow_region(
+    plan: &QueryPlan,
+    consumers: &[usize],
+    region_of: &[Option<usize>],
+    root: usize,
+) -> Option<FusedRegion> {
+    let mut members = vec![root];
+    let mut worklist = vec![root];
+    while let Some(member) = worklist.pop() {
+        for input in streamed_inputs(&plan.nodes[member].op) {
+            let candidate = input.node;
+            if input.port != 0
+                || members.contains(&candidate)
+                || region_of[candidate].is_some()
+                || !interior_eligible(&plan.nodes[candidate].op)
+                || consumers[candidate] != 1
+            {
+                continue;
+            }
+            members.push(candidate);
+            worklist.push(candidate);
+        }
+    }
+    if members.len() < 2 {
+        return None;
+    }
+    members.sort_unstable();
+
+    // Exactly one distinct external streamed input: the driver.
+    let mut driver: Option<ColRef> = None;
+    for &member in &members {
+        for input in streamed_inputs(&plan.nodes[member].op) {
+            if members.contains(&input.node) {
+                continue;
+            }
+            match driver {
+                None => driver = Some(input),
+                Some(existing) if existing == input => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    let driver = driver?;
+
+    // Every project gathers from outside the region: its data side must be
+    // a finished column, not an in-flight stream.
+    for &member in &members {
+        if let PlanOp::Project { data, .. } = plan.nodes[member].op {
+            if members.contains(&data.node) {
+                return None;
+            }
+        }
+    }
+
+    // Rewrite inputs to Src references and validate per-chunk shapes:
+    // shape 0 is the driver's row space; each select starts a fresh shape,
+    // a project carries its position stream's shape, a calc requires both
+    // operands to share one.
+    let stage_index: HashMap<usize, usize> =
+        members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    let src_of = |r: ColRef| -> Src {
+        if r == driver {
+            Src::Driver
+        } else {
+            Src::Stage(stage_index[&r.node])
+        }
+    };
+    let mut shapes: Vec<usize> = vec![0; members.len()];
+    let mut next_shape = 1usize;
+    let mut stages = Vec::with_capacity(members.len());
+    let mut prefix_independent = true;
+    for (index, &member) in members.iter().enumerate() {
+        let shape_of = |s: Src, shapes: &[usize]| match s {
+            Src::Driver => 0,
+            Src::Stage(j) => shapes[j],
+        };
+        let kind = match plan.nodes[member].op {
+            PlanOp::Select {
+                input,
+                op,
+                constant,
+            } => {
+                let src = src_of(input);
+                if src != Src::Driver {
+                    prefix_independent = false;
+                }
+                shapes[index] = next_shape;
+                next_shape += 1;
+                StageKind::Select { src, op, constant }
+            }
+            PlanOp::SelectBetween { input, low, high } => {
+                if low > high {
+                    // The unfused operator rejects this; leave the panic
+                    // to it rather than fusing an invalid plan.
+                    return None;
+                }
+                let src = src_of(input);
+                if src != Src::Driver {
+                    prefix_independent = false;
+                }
+                shapes[index] = next_shape;
+                next_shape += 1;
+                StageKind::SelectBetween { src, low, high }
+            }
+            PlanOp::Project { data, positions } => {
+                let src = src_of(positions);
+                shapes[index] = shape_of(src, &shapes);
+                StageKind::Project {
+                    data,
+                    positions: src,
+                }
+            }
+            PlanOp::CalcBinary { op, lhs, rhs } => {
+                let (lhs, rhs) = (src_of(lhs), src_of(rhs));
+                if shape_of(lhs, &shapes) != shape_of(rhs, &shapes) {
+                    return None;
+                }
+                shapes[index] = shape_of(lhs, &shapes);
+                StageKind::Calc { op, lhs, rhs }
+            }
+            PlanOp::AggSum { values } => StageKind::AggSum {
+                src: src_of(values),
+            },
+            _ => unreachable!("non-fusible operator absorbed into a region"),
+        };
+        stages.push(FusedStage { node: member, kind });
+    }
+
+    let mut externals = vec![driver.node];
+    for stage in &stages {
+        if let StageKind::Project { data, .. } = stage.kind {
+            externals.push(data.node);
+        }
+    }
+    externals.sort_unstable();
+    externals.dedup();
+
+    Some(FusedRegion {
+        root: members[members.len() - 1],
+        members,
+        driver,
+        externals,
+        stages,
+        prefix_independent,
+    })
+}
+
+/// A partial (or complete) fused-stage output: a column for position- and
+/// value-producing stages, a wrapping sum for the aggregation root.
+pub(crate) enum FusedPartial {
+    /// A (partial) output column.
+    Col(Column),
+    /// A (partial) wrapping sum.
+    Sum(u64),
+}
+
+/// The completed execution of one region member: its node index, its
+/// bookkeeping, and its slot (interiors yield [`Slot::Fused`] — their
+/// columns are dropped once recorded).
+pub(crate) struct FusedNodeOutcome {
+    pub(crate) node: usize,
+    pub(crate) records: NodeRecords,
+    pub(crate) slot: Slot<'static>,
+}
+
+/// The completed execution of one region.
+pub(crate) struct RegionOutcome {
+    /// Per-member outcomes, in ascending node order.
+    pub(crate) nodes: Vec<FusedNodeOutcome>,
+    /// Physical bytes of the interior columns that were dropped instead of
+    /// retained — the query's `intermediate_bytes_avoided` contribution.
+    pub(crate) interior_bytes: u64,
+}
+
+/// Per-stage working state of one pass over (a range of) the driver.
+struct StagePass<'d> {
+    /// Per stage, the project data column (morphed to random access when
+    /// necessary); `None` for non-project stages.
+    data: Vec<Option<&'d Column>>,
+    /// Per stage, the values produced from the current driver chunk.
+    bufs: Vec<Vec<u64>>,
+    /// Per stage, the total values emitted *before* the current chunk —
+    /// the position base of selects over derived streams.
+    emitted: Vec<u64>,
+    /// Per stage, the running wrapping sum (aggregation stages only).
+    sums: Vec<u64>,
+    /// Per stage, accumulated compute time.
+    elapsed: Vec<Duration>,
+}
+
+impl<'d> StagePass<'d> {
+    fn new(region: &FusedRegion, data: Vec<Option<&'d Column>>) -> StagePass<'d> {
+        let n = region.stages.len();
+        StagePass {
+            data,
+            bufs: vec![Vec::new(); n],
+            emitted: vec![0; n],
+            sums: vec![0; n],
+            elapsed: vec![Duration::ZERO; n],
+        }
+    }
+}
+
+/// Resolve a stage's streamed input within the current driver chunk.
+fn src_vals<'x>(prev: &'x [Vec<u64>], chunk: &'x [u64], src: Src) -> &'x [u64] {
+    match src {
+        Src::Driver => chunk,
+        Src::Stage(j) => &prev[j],
+    }
+}
+
+/// The global position of the first value of a stream's current chunk.
+fn src_base(emitted: &[u64], driver_base: u64, src: Src) -> u64 {
+    match src {
+        Src::Driver => driver_base,
+        Src::Stage(j) => emitted[j],
+    }
+}
+
+/// Drive one driver chunk through all stages of the region, filling every
+/// stage's chunk buffer (and advancing the aggregation sums).  Fires one
+/// governance chunk checkpoint before touching the data.
+fn run_chunk(
+    region: &FusedRegion,
+    style: ProcessingStyle,
+    pass: &mut StagePass<'_>,
+    driver_base: u64,
+    chunk: &[u64],
+) {
+    crate::govern::checkpoint_chunk();
+    for (i, stage) in region.stages.iter().enumerate() {
+        let started = Instant::now();
+        let (prev, rest) = pass.bufs.split_at_mut(i);
+        let emitted = &pass.emitted;
+        match &stage.kind {
+            StageKind::Select { src, op, constant } => {
+                let out = &mut rest[0];
+                out.clear();
+                filter_chunk(
+                    style,
+                    *op,
+                    src_vals(prev, chunk, *src),
+                    *constant,
+                    src_base(emitted, driver_base, *src),
+                    out,
+                );
+            }
+            StageKind::SelectBetween { src, low, high } => {
+                let out = &mut rest[0];
+                out.clear();
+                let base = src_base(emitted, driver_base, *src);
+                for (k, &value) in src_vals(prev, chunk, *src).iter().enumerate() {
+                    if value >= *low && value <= *high {
+                        out.push(base + k as u64);
+                    }
+                }
+            }
+            StageKind::Project { positions, .. } => {
+                let out = &mut rest[0];
+                out.clear();
+                let data = pass.data[i].expect("project stage carries a data column");
+                let positions = src_vals(prev, chunk, *positions);
+                out.reserve(positions.len());
+                for &position in positions {
+                    out.push(
+                        data.get(position as usize).unwrap_or_else(|| {
+                            panic!("project: position {position} out of bounds")
+                        }),
+                    );
+                }
+            }
+            StageKind::Calc { op, lhs, rhs } => {
+                let out = &mut rest[0];
+                out.clear();
+                let (a, b) = (src_vals(prev, chunk, *lhs), src_vals(prev, chunk, *rhs));
+                debug_assert_eq!(a.len(), b.len(), "fused calc operands must be aligned");
+                match style {
+                    ProcessingStyle::Scalar => kernels::binary_op::<Scalar>(*op, a, b, out),
+                    ProcessingStyle::Vectorized => kernels::binary_op::<V512>(*op, a, b, out),
+                }
+            }
+            StageKind::AggSum { src } => {
+                rest[0].clear();
+                pass.sums[i] =
+                    pass.sums[i].wrapping_add(sum_chunk(style, src_vals(prev, chunk, *src)));
+            }
+        }
+        pass.elapsed[i] += started.elapsed();
+    }
+    for i in 0..region.stages.len() {
+        pass.emitted[i] += pass.bufs[i].len() as u64;
+    }
+}
+
+/// Morph the project data columns of the region to random-access formats
+/// where necessary (`None` entries already support random access and are
+/// borrowed as-is).  One morph per project stage, before the pass — the
+/// same transformation the unfused project operator applies per call.
+pub(crate) fn prepare_project_data<'s, F>(region: &FusedRegion, col: &F) -> Vec<Option<Column>>
+where
+    F: Fn(ColRef) -> &'s Column,
+{
+    region
+        .stages
+        .iter()
+        .map(|stage| match stage.kind {
+            StageKind::Project { data, .. } => ensure_random_access(col(data)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Per stage, the data column a project gathers from: the prepared morph
+/// when one was needed, the external column otherwise.
+fn resolve_project_data<'d, F>(
+    region: &FusedRegion,
+    prepared: &'d [Option<Column>],
+    col: &F,
+) -> Vec<Option<&'d Column>>
+where
+    F: Fn(ColRef) -> &'d Column,
+{
+    region
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| match stage.kind {
+            StageKind::Project { data, .. } => {
+                Some(prepared[i].as_ref().unwrap_or_else(|| col(data)))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whole-column sink of one stage during a full (non-morsel) fused pass.
+enum Sink {
+    /// Uncompressed accumulation, finished via [`Column::from_vec`] —
+    /// exactly what the operators do under `PurelyUncompressed`.
+    Plain(Vec<u64>),
+    /// Incremental encoding into the edge's assigned format — exactly what
+    /// the operators do under `OnTheFlyDeRecompression` (byte-identical at
+    /// any push granularity).
+    Builder(ColumnBuilder),
+    /// Wrapping sum (aggregation root); the value lives in the pass state.
+    Sum,
+}
+
+/// Finish one region member: push its timing, record (and cache) its
+/// output, and decide its slot.  Interiors contribute their physical size
+/// to `interior_bytes` and collapse to [`Slot::Fused`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fused_node_outcome(
+    plan: &QueryPlan,
+    region: &FusedRegion,
+    node: usize,
+    value: FusedPartial,
+    elapsed: Duration,
+    settings: &ExecSettings,
+    cache_info: Option<&[NodeCacheInfo]>,
+    capture: bool,
+    interior_bytes: &mut u64,
+) -> FusedNodeOutcome {
+    let full = plan.node_full_name(node);
+    let timing = plan.node_timing_label(node);
+    let mut records = NodeRecords::new(capture);
+    records.push_timing(&timing, elapsed);
+    let (slot, cached) = match value {
+        FusedPartial::Sum(total) => (Slot::Scalar(total), CachedValue::Scalar(total)),
+        FusedPartial::Col(column) => {
+            records.record_intermediate(&full, &column);
+            let column = Arc::new(column);
+            let cached = CachedValue::Column(Arc::clone(&column));
+            let slot = if node == region.root {
+                Slot::Col(column)
+            } else {
+                *interior_bytes += column.size_used_bytes() as u64;
+                Slot::Fused
+            };
+            (slot, cached)
+        }
+    };
+    if let (Some(cache), Some(infos)) = (settings.cache.as_deref(), cache_info) {
+        let info = &infos[node];
+        if let Some(key) = info.key {
+            cache.insert(key, cached, records.last_duration(), &info.deps);
+        }
+    }
+    FusedNodeOutcome {
+        node,
+        records,
+        slot,
+    }
+}
+
+/// Execute one fused region in a single pass over its driver column.
+///
+/// All externals (driver, project data) must already be in the slot table
+/// — the caller dispatches the region when its *root* becomes ready, and
+/// every external has a smaller node index than the root.
+pub(crate) fn execute_region<'a, 's, F>(
+    plan: &QueryPlan,
+    region: &FusedRegion,
+    slots: &F,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+    cache_info: Option<&[NodeCacheInfo]>,
+    capture: bool,
+) -> RegionOutcome
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    // One node checkpoint per member, exactly like the unfused executor.
+    for _ in &region.members {
+        crate::govern::checkpoint_node();
+    }
+    let col = |r: ColRef| slots(r.node).column(r.port);
+    let driver = col(region.driver);
+    let prepared = prepare_project_data(region, &col);
+    let data = resolve_project_data(region, &prepared, &col);
+    let mut pass = StagePass::new(region, data);
+    let mut sinks: Vec<Sink> = region
+        .stages
+        .iter()
+        .map(|stage| match stage.kind {
+            StageKind::AggSum { .. } => Sink::Sum,
+            _ if settings.degree == IntegrationDegree::PurelyUncompressed => {
+                Sink::Plain(Vec::new())
+            }
+            _ => {
+                let format =
+                    formats.format_for(&plan.node_full_name(stage.node), Format::Uncompressed);
+                Sink::Builder(ColumnBuilder::new(format))
+            }
+        })
+        .collect();
+    let mut driver_base = 0u64;
+    driver.for_each_chunk(&mut |chunk| {
+        run_chunk(region, settings.style, &mut pass, driver_base, chunk);
+        for (i, sink) in sinks.iter_mut().enumerate() {
+            match sink {
+                Sink::Plain(values) => values.extend_from_slice(&pass.bufs[i]),
+                Sink::Builder(builder) => builder.push_slice(&pass.bufs[i]),
+                Sink::Sum => {}
+            }
+        }
+        driver_base += chunk.len() as u64;
+    });
+
+    let mut outcome = RegionOutcome {
+        nodes: Vec::with_capacity(region.stages.len()),
+        interior_bytes: 0,
+    };
+    for (i, (stage, sink)) in region.stages.iter().zip(sinks).enumerate() {
+        let value = match sink {
+            Sink::Sum => FusedPartial::Sum(pass.sums[i]),
+            Sink::Plain(values) => FusedPartial::Col(Column::from_vec(values)),
+            Sink::Builder(builder) => FusedPartial::Col(builder.finish()),
+        };
+        let node = fused_node_outcome(
+            plan,
+            region,
+            stage.node,
+            value,
+            pass.elapsed[i],
+            settings,
+            cache_info,
+            capture,
+            &mut outcome.interior_bytes,
+        );
+        outcome.nodes.push(node);
+    }
+    outcome
+}
+
+/// Run one morsel part of a fused region: a single pass over the driver
+/// chunk range `chunks`, producing one partial per stage.  Only valid for
+/// `prefix_independent` regions — every select reads the driver, whose
+/// global chunk starts give exact position bases.
+pub(crate) fn run_region_part<'a, 's, F>(
+    plan: &QueryPlan,
+    region: &FusedRegion,
+    prepared: &[Option<Column>],
+    chunks: Range<usize>,
+    slots: &F,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+) -> Vec<FusedPartial>
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    debug_assert!(
+        region.prefix_independent,
+        "fused morsel over a derived select"
+    );
+    let col = |r: ColRef| slots(r.node).column(r.port);
+    let driver = col(region.driver);
+    let data = resolve_project_data(region, prepared, &col);
+    let mut pass = StagePass::new(region, data);
+    // Partials are always built through the builder (at the effective
+    // output format), like every other morsel kernel: the range-order
+    // splice reconstructs the serial byte stream.
+    let mut sinks: Vec<Option<ColumnBuilder>> = region
+        .stages
+        .iter()
+        .map(|stage| match stage.kind {
+            StageKind::AggSum { .. } => None,
+            _ => {
+                let format = partitioned::effective_output_format(
+                    &formats.format_for(&plan.node_full_name(stage.node), Format::Uncompressed),
+                    settings,
+                );
+                Some(ColumnBuilder::new(format))
+            }
+        })
+        .collect();
+    driver.for_each_chunk_in(chunks, &mut |start, chunk| {
+        run_chunk(region, settings.style, &mut pass, start, chunk);
+        for (i, sink) in sinks.iter_mut().enumerate() {
+            if let Some(builder) = sink {
+                builder.push_slice(&pass.bufs[i]);
+            }
+        }
+    });
+    sinks
+        .into_iter()
+        .enumerate()
+        .map(|(i, sink)| match sink {
+            Some(builder) => FusedPartial::Col(builder.finish()),
+            None => FusedPartial::Sum(pass.sums[i]),
+        })
+        .collect()
+}
+
+/// The output format a fused morsel job materialises member `node` in —
+/// shared by part execution and the final splice.
+pub(crate) fn fused_part_format(
+    plan: &QueryPlan,
+    node: usize,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+) -> Format {
+    partitioned::effective_output_format(
+        &formats.format_for(&plan.node_full_name(node), Format::Uncompressed),
+        settings,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ColumnRecord, ExecutionContext};
+    use crate::plan::{PlanBuilder, PlanOutput};
+    use std::collections::HashMap;
+
+    fn source(n: u64) -> HashMap<String, Column> {
+        let mut columns = HashMap::new();
+        columns.insert(
+            "a".to_string(),
+            Column::from_vec((0..n).map(|i| i % 97).collect()),
+        );
+        columns.insert(
+            "b".to_string(),
+            Column::from_vec((0..n).map(|i| (i * 7) % 113).collect()),
+        );
+        columns.insert(
+            "c".to_string(),
+            Column::from_vec((0..n).map(|i| i % 11).collect()),
+        );
+        columns
+    }
+
+    /// select → project → project → calc → agg with a *shared* position
+    /// list: the two projects make `pos` two-consumer, so the region is
+    /// the tail {b_at, c_at, prod, total} driven by the select's output.
+    fn shared_pos_plan() -> QueryPlan {
+        let mut b = PlanBuilder::new("t");
+        let a = b.scan("a");
+        let bb = b.scan("b");
+        let cc = b.scan("c");
+        let pos = b.select("pos", a, CmpOp::Lt, 50);
+        let bv = b.project("b_at", bb, pos);
+        let cv = b.project("c_at", cc, pos);
+        let prod = b.calc_binary("prod", BinaryOp::Mul, bv, cv);
+        let total = b.agg_sum("total", prod);
+        b.finish_scalar(total)
+    }
+
+    /// A pure chain select → project → agg: one region spanning all three
+    /// non-scan nodes, driven by the scanned base column.
+    fn chain_plan() -> QueryPlan {
+        let mut b = PlanBuilder::new("sp");
+        let a = b.scan("a");
+        let bb = b.scan("b");
+        let pos = b.select("pos", a, CmpOp::Lt, 50);
+        let bv = b.project("b_at", bb, pos);
+        let total = b.agg_sum("total", bv);
+        b.finish_scalar(total)
+    }
+
+    fn run(
+        plan: &QueryPlan,
+        source: &HashMap<String, Column>,
+        settings: ExecSettings,
+        formats: FormatConfig,
+    ) -> (PlanOutput, Vec<ColumnRecord>, Vec<String>, ExecutionContext) {
+        let mut ctx = ExecutionContext::new(settings, formats);
+        let output = plan.execute(source, &mut ctx);
+        let labels = ctx.timings().iter().map(|(l, _)| l.clone()).collect();
+        (output, ctx.records().to_vec(), labels, ctx)
+    }
+
+    #[test]
+    fn analyze_detects_chain_region() {
+        let plan = chain_plan(); // 0 scan a, 1 scan b, 2 pos, 3 b_at, 4 total
+        let fusion = FusionPlan::analyze(&plan);
+        assert_eq!(fusion.region_count(), 1);
+        let region = fusion.region(0);
+        assert_eq!(region.members, vec![2, 3, 4]);
+        assert_eq!(region.root, 4);
+        assert_eq!(region.driver, ColRef { node: 0, port: 0 });
+        assert_eq!(region.externals, vec![0, 1]);
+        assert!(region.prefix_independent);
+        let summaries = fusion.region_summaries(&plan);
+        assert_eq!(summaries[0].driver, "a");
+        assert_eq!(summaries[0].interior_edges, vec!["sp/pos", "sp/b_at"]);
+        assert_eq!(summaries[0].root_edge, None);
+        assert!(summaries[0].prefix_independent);
+    }
+
+    #[test]
+    fn analyze_stops_at_multi_consumer_nodes() {
+        let plan = shared_pos_plan(); // 0 a, 1 b, 2 c, 3 pos, 4 b_at, 5 c_at, 6 prod, 7 total
+        let fusion = FusionPlan::analyze(&plan);
+        assert_eq!(fusion.region_count(), 1);
+        let region = fusion.region(0);
+        // pos is consumed by both projects, so it stays outside as driver.
+        assert_eq!(region.members, vec![4, 5, 6, 7]);
+        assert_eq!(region.driver, ColRef { node: 3, port: 0 });
+        assert!(region.prefix_independent);
+        assert!(fusion.region_of(3).is_none());
+    }
+
+    #[test]
+    fn fused_serial_matches_unfused() {
+        let source = source(5000);
+        for plan in [shared_pos_plan(), chain_plan()] {
+            for (settings, formats) in [
+                (
+                    ExecSettings::scalar_uncompressed(),
+                    FormatConfig::uncompressed(),
+                ),
+                (
+                    ExecSettings::vectorized_compressed(),
+                    FormatConfig::with_default(Format::DynBp),
+                ),
+                (
+                    ExecSettings::vectorized_compressed(),
+                    FormatConfig::with_default(Format::DeltaDynBp),
+                ),
+            ] {
+                let unfused = run(&plan, &source, settings.clone(), formats.clone());
+                let fused = run(&plan, &source, settings.with_fusion(), formats);
+                assert_eq!(unfused.0, fused.0, "results diverge");
+                assert_eq!(unfused.1, fused.1, "footprint records diverge");
+                assert_eq!(unfused.2, fused.2, "timing labels diverge");
+                assert!(fused.3.fused_region_count() > 0);
+                assert!(fused.3.intermediate_bytes_avoided() > 0);
+                assert_eq!(unfused.3.fused_region_count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_degrees_demote_to_unfused() {
+        let source = source(2000);
+        let plan = chain_plan();
+        let settings = ExecSettings {
+            degree: IntegrationDegree::Specialized,
+            ..ExecSettings::vectorized_compressed()
+        }
+        .with_fusion();
+        let (_, _, _, ctx) = run(&plan, &source, settings, FormatConfig::uncompressed());
+        assert_eq!(ctx.fused_region_count(), 0);
+    }
+
+    #[test]
+    fn fused_and_unfused_share_cache_entries() {
+        let source = source(4000);
+        let plan = chain_plan();
+        let formats = FormatConfig::with_default(Format::DynBp);
+
+        // Cold fused run inserts every member under its unfused key...
+        let cache = Arc::new(QueryCache::unbounded());
+        let base = ExecSettings::vectorized_compressed().with_cache(Arc::clone(&cache));
+        let cold = run(&plan, &source, base.clone().with_fusion(), formats.clone());
+        assert_eq!(cold.3.fused_region_count(), 1);
+        // ...so a warm *unfused* run hits all three non-scan nodes.
+        let warm = run(&plan, &source, base.clone(), formats.clone());
+        assert_eq!(warm.0, cold.0);
+        assert_eq!(warm.1, cold.1);
+        assert_eq!(warm.3.cache_hit_count(), 3);
+        // A warm *fused* run demotes the fully cached region and hits too.
+        let warm_fused = run(&plan, &source, base.with_fusion(), formats.clone());
+        assert_eq!(warm_fused.0, cold.0);
+        assert_eq!(warm_fused.1, cold.1);
+        assert_eq!(warm_fused.3.cache_hit_count(), 3);
+        assert_eq!(warm_fused.3.fused_region_count(), 0);
+
+        // And the mirror image: cold unfused, warm fused.
+        let cache = Arc::new(QueryCache::unbounded());
+        let base = ExecSettings::vectorized_compressed().with_cache(Arc::clone(&cache));
+        let cold = run(&plan, &source, base.clone(), formats.clone());
+        let warm_fused = run(&plan, &source, base.with_fusion(), formats);
+        assert_eq!(warm_fused.0, cold.0);
+        assert_eq!(warm_fused.3.cache_hit_count(), 3);
+        assert_eq!(warm_fused.3.fused_region_count(), 0);
+    }
+
+    #[test]
+    fn describe_with_fusion_renders_pipeline_groups() {
+        let plan = chain_plan();
+        let formats = FormatConfig::with_default(Format::DynBp);
+        let rendered = plan.describe_with_fusion(&formats);
+        assert!(rendered.starts_with(&plan.describe(&formats)));
+        assert!(rendered.contains("fused pipelines:"));
+        assert!(rendered.contains("[#2 select:pos -> #3 project:b_at -> #4 agg:total]"));
+        assert!(rendered.contains("driver a"));
+        assert!(rendered.contains("interiors not retained: sp/pos, sp/b_at"));
+        assert!(rendered.contains("morsel fan-out: yes"));
+    }
+}

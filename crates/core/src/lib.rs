@@ -67,6 +67,7 @@
 pub mod exec;
 #[cfg(feature = "faults")]
 pub mod faults;
+pub mod fusion;
 pub mod govern;
 pub mod ops;
 pub mod parallel;
@@ -74,6 +75,7 @@ pub mod plan;
 pub mod specialized;
 
 pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
+pub use fusion::{FusedRegionSummary, FusionPlan};
 pub use govern::{ExecError, GovernorScope, QueryGovernor};
 pub use morph_cache::{CacheKey, CacheStats, QueryCache};
 pub use morph_vector::kernels::BinaryOp;

@@ -61,7 +61,7 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -69,6 +69,7 @@ use morph_compression::Format;
 use morph_storage::Column;
 
 use crate::exec::{ExecSettings, ExecutionContext, FormatConfig, NodeRecords};
+use crate::fusion::{FusedPartial, FusedRegion, FusionPlan, RegionOutcome, StageKind};
 use crate::ops::partitioned;
 use crate::ops::project::ensure_random_access;
 use crate::plan::{
@@ -125,12 +126,59 @@ struct MorselJob {
     started: Instant,
 }
 
+/// One fanned-out fused region: `parts` contiguous chunk ranges of the
+/// region's *driver* column, each processed as a full pipeline pass that
+/// yields one partial per stage.
+struct FusedJob {
+    /// Index of the region in the execution's [`FusionPlan`].
+    region_index: usize,
+    /// Contiguous driver chunk ranges, covering the driver in order.
+    parts: Vec<Range<usize>>,
+    /// Next unclaimed part (claims happen under the queue lock).
+    next: AtomicUsize,
+    /// Completed parts; the worker completing the last one merges.
+    done: AtomicUsize,
+    /// Per part, one partial per stage (in stage order).
+    partials: Vec<OnceLock<Vec<FusedPartial>>>,
+    /// Per stage, the project data column morphed to random access (built
+    /// once here, shared by all parts — like [`MorselAux::Morphed`]).
+    prepared: Vec<Option<Column>>,
+    /// Fan-out time: every member's recorded duration spans preparation
+    /// through merge, like the unfused morsel timing.
+    started: Instant,
+}
+
+/// A fanned-out job in the morsel queue: a single-operator morsel job or a
+/// whole fused region.
+enum QueuedJob {
+    Op(Arc<MorselJob>),
+    Fused(Arc<FusedJob>),
+}
+
+impl QueuedJob {
+    fn next(&self) -> &AtomicUsize {
+        match self {
+            QueuedJob::Op(job) => &job.next,
+            QueuedJob::Fused(job) => &job.next,
+        }
+    }
+
+    fn part_count(&self) -> usize {
+        match self {
+            QueuedJob::Op(job) => job.parts.len(),
+            QueuedJob::Fused(job) => job.parts.len(),
+        }
+    }
+}
+
 /// A unit of work pulled from the task queue.
 enum Task {
-    /// Execute (or fan out) one plan node.
+    /// Execute (or fan out) one plan node or fused region root.
     Node(usize),
     /// Process part `1` of morsel job `0`.
     Morsel(Arc<MorselJob>, usize),
+    /// Process driver chunk-range part `1` of fused-region job `0`.
+    FusedPart(Arc<FusedJob>, usize),
 }
 
 /// The queue proper, guarded by one mutex so Condvar parking covers both
@@ -138,8 +186,8 @@ enum Task {
 struct TaskQueue {
     /// Node indices whose dependencies have all completed.
     nodes: VecDeque<usize>,
-    /// Morsel jobs with unclaimed parts, oldest first.
-    morsels: VecDeque<Arc<MorselJob>>,
+    /// Fanned-out jobs with unclaimed parts, oldest first.
+    morsels: VecDeque<QueuedJob>,
 }
 
 /// Shared scheduler state of one parallel plan execution.
@@ -172,13 +220,17 @@ impl Scheduler {
             }
             while let Some(job) = queue.morsels.front() {
                 // Claims happen under the queue lock, so `next` never skips.
-                let part = job.next.fetch_add(1, Ordering::Relaxed);
-                if part < job.parts.len() {
-                    let job = Arc::clone(job);
-                    if part + 1 == job.parts.len() {
+                let part = job.next().fetch_add(1, Ordering::Relaxed);
+                if part < job.part_count() {
+                    let last = part + 1 == job.part_count();
+                    let task = match job {
+                        QueuedJob::Op(job) => Task::Morsel(Arc::clone(job), part),
+                        QueuedJob::Fused(job) => Task::FusedPart(Arc::clone(job), part),
+                    };
+                    if last {
                         queue.morsels.pop_front();
                     }
-                    return Some(Task::Morsel(job, part));
+                    return Some(task);
                 }
                 queue.morsels.pop_front();
             }
@@ -207,8 +259,8 @@ impl Scheduler {
         }
     }
 
-    /// Publish a morsel job and wake all parked workers to claim parts.
-    fn publish_morsels(&self, job: Arc<MorselJob>) {
+    /// Publish a fanned-out job and wake all parked workers to claim parts.
+    fn publish_morsels(&self, job: QueuedJob) {
         let mut queue = self.queue.lock().expect("scheduler lock");
         queue.morsels.push_back(job);
         drop(queue);
@@ -292,10 +344,34 @@ impl ParallelExecutor {
             return PlanExecutor.execute(plan, source, ctx);
         }
 
-        let dependencies = plan.dependencies();
+        let settings = ctx.settings.clone();
+        let formats = &ctx.formats;
+        let capture = ctx.capture_enabled();
+        // Subplan cache keys are a pure function of the plan, the format
+        // assignment and the base columns — computed once here, before the
+        // pool starts, and shared read-only by all workers.
+        let cache_info = settings
+            .cache
+            .as_deref()
+            .map(|cache| plan_cache_info(plan, source, formats, &settings, cache));
+        // Fusion analysis (empty when disabled or inapplicable): a fused
+        // region is scheduled through its *root* node — the root's
+        // dependencies become the region's externals, and interiors never
+        // enter the queue (their cells are published by the region
+        // completion instead).
+        let fusion = FusionPlan::for_execution(plan, &settings, cache_info.as_deref());
+        let interior = |idx: usize| fusion.region_of(idx).is_some() && !fusion.is_region_root(idx);
+
+        let mut dependencies = plan.dependencies();
+        for region in fusion.regions() {
+            dependencies[region.root] = region.externals.clone();
+        }
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); node_count];
         let mut seeds = Vec::new();
         for (idx, deps) in dependencies.iter().enumerate() {
+            if interior(idx) {
+                continue;
+            }
             for &dep in deps {
                 dependents[dep].push(idx);
             }
@@ -312,23 +388,26 @@ impl ParallelExecutor {
             wakeup: Condvar::new(),
             remaining: dependencies
                 .iter()
-                .map(|deps| AtomicUsize::new(deps.len()))
+                .enumerate()
+                .map(|(idx, deps)| {
+                    // `usize::MAX` keeps interiors out of the queue even if
+                    // a stray decrement were ever to reach them.
+                    AtomicUsize::new(if interior(idx) {
+                        usize::MAX
+                    } else {
+                        deps.len()
+                    })
+                })
                 .collect(),
             completed: AtomicUsize::new(0),
             done: AtomicBool::new(false),
         };
         let cells: Vec<OnceLock<NodeResult<'_>>> =
             (0..node_count).map(|_| OnceLock::new()).collect();
-        let settings = ctx.settings.clone();
-        let formats = &ctx.formats;
-        let capture = ctx.capture_enabled();
-        // Subplan cache keys are a pure function of the plan, the format
-        // assignment and the base columns — computed once here, before the
-        // pool starts, and shared read-only by all workers.
-        let cache_info = settings
-            .cache
-            .as_deref()
-            .map(|cache| plan_cache_info(plan, source, formats, &settings, cache));
+        // Per-execution fused metrics, folded into the context after the
+        // pool drains (workers only hold `&mut`-free shared state).
+        let fused_regions_run = AtomicUsize::new(0);
+        let fused_bytes_avoided = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -338,6 +417,9 @@ impl ParallelExecutor {
                     let dependents = &dependents;
                     let settings = &settings;
                     let cache_info = &cache_info;
+                    let fusion = &fusion;
+                    let fused_regions_run = &fused_regions_run;
+                    let fused_bytes_avoided = &fused_bytes_avoided;
                     scope.spawn(move || {
                         let _release = PanicRelease(scheduler);
                         // Register the query's governor on this worker so
@@ -355,6 +437,41 @@ impl ParallelExecutor {
                         while let Some(task) = scheduler.next_task() {
                             match task {
                                 Task::Node(idx) => {
+                                    if let Some(region_index) = fusion.region_of(idx) {
+                                        let region = fusion.region(region_index);
+                                        debug_assert_eq!(
+                                            region.root, idx,
+                                            "only region roots are scheduled"
+                                        );
+                                        if let Some(job) = plan_fused_job(
+                                            region_index,
+                                            region,
+                                            &slot_of,
+                                            settings,
+                                            workers,
+                                        ) {
+                                            scheduler
+                                                .publish_morsels(QueuedJob::Fused(Arc::new(job)));
+                                            continue;
+                                        }
+                                        let outcome = crate::fusion::execute_region(
+                                            plan,
+                                            region,
+                                            &slot_of,
+                                            settings,
+                                            formats,
+                                            cache_info.as_deref(),
+                                            capture,
+                                        );
+                                        fused_regions_run.fetch_add(1, Ordering::Relaxed);
+                                        fused_bytes_avoided
+                                            .fetch_add(outcome.interior_bytes, Ordering::Relaxed);
+                                        complete_region(
+                                            scheduler, cells, dependents, node_count, region,
+                                            outcome,
+                                        );
+                                        continue;
+                                    }
                                     let info = cache_info.as_ref().map(|infos| &infos[idx]);
                                     // A cached node never fans out: the hit
                                     // inside `execute_node` completes it
@@ -369,7 +486,7 @@ impl ParallelExecutor {
                                         if let Some(job) = plan_morsel_job(
                                             plan, idx, &slot_of, settings, formats, workers,
                                         ) {
-                                            scheduler.publish_morsels(Arc::new(job));
+                                            scheduler.publish_morsels(QueuedJob::Op(Arc::new(job)));
                                             continue;
                                         }
                                     }
@@ -408,6 +525,41 @@ impl ParallelExecutor {
                                         );
                                     }
                                 }
+                                Task::FusedPart(job, part) => {
+                                    let region = fusion.region(job.region_index);
+                                    let partial = crate::fusion::run_region_part(
+                                        plan,
+                                        region,
+                                        &job.prepared,
+                                        job.parts[part].clone(),
+                                        &slot_of,
+                                        settings,
+                                        formats,
+                                    );
+                                    if job.partials[part].set(partial).is_err() {
+                                        unreachable!("fused part {part} executed twice");
+                                    }
+                                    let finished_parts =
+                                        job.done.fetch_add(1, Ordering::AcqRel) + 1;
+                                    if finished_parts == job.parts.len() {
+                                        let outcome = merge_fused_job(
+                                            plan,
+                                            region,
+                                            &job,
+                                            capture,
+                                            settings,
+                                            formats,
+                                            cache_info.as_deref(),
+                                        );
+                                        fused_regions_run.fetch_add(1, Ordering::Relaxed);
+                                        fused_bytes_avoided
+                                            .fetch_add(outcome.interior_bytes, Ordering::Relaxed);
+                                        complete_region(
+                                            scheduler, cells, dependents, node_count, region,
+                                            outcome,
+                                        );
+                                    }
+                                }
                             }
                         }
                     })
@@ -423,6 +575,10 @@ impl ParallelExecutor {
             }
         });
 
+        ctx.add_fused(
+            fused_regions_run.into_inner(),
+            fused_bytes_avoided.into_inner(),
+        );
         // Merge per-node records in topological (node-list) order — this is
         // what keeps the context byte-identical to serial execution — and
         // collect the slots for output assembly.
@@ -483,6 +639,149 @@ fn complete_node<'a>(
         scheduler.done.store(true, Ordering::Release);
     }
     scheduler.enqueue_ready(newly_ready, finished);
+}
+
+/// Publish a completed fused region: interior cells first (they have no
+/// dependents in the rewritten graph — their single consumer is a member
+/// of the same region), then the root through the regular completion path,
+/// which releases the root's dependents and detects plan completion (the
+/// counter already includes the interiors published here).
+fn complete_region<'a>(
+    scheduler: &Scheduler,
+    cells: &[OnceLock<NodeResult<'a>>],
+    dependents: &[Vec<usize>],
+    node_count: usize,
+    region: &FusedRegion,
+    outcome: RegionOutcome,
+) {
+    let mut root_result = None;
+    for node in outcome.nodes {
+        if node.node == region.root {
+            root_result = Some((node.slot, node.records));
+            continue;
+        }
+        if cells[node.node]
+            .set(NodeResult {
+                slot: node.slot,
+                records: node.records,
+            })
+            .is_err()
+        {
+            unreachable!("fused interior {} completed twice", node.node);
+        }
+        scheduler.completed.fetch_add(1, Ordering::AcqRel);
+    }
+    let (slot, records) = root_result.expect("region outcome includes its root");
+    complete_node(
+        scheduler,
+        cells,
+        dependents,
+        node_count,
+        region.root,
+        slot,
+        records,
+    );
+}
+
+/// Decide whether a fused region fans out across the pool and, if so,
+/// build the job: the region must be prefix-independent (every select
+/// reads the driver directly), and the driver must reach the morsel
+/// threshold and split into at least two chunk ranges.  The project data
+/// morphs are built here, once, and shared by all parts.
+fn plan_fused_job<'a, 's, F>(
+    region_index: usize,
+    region: &FusedRegion,
+    slots: &F,
+    settings: &ExecSettings,
+    workers: usize,
+) -> Option<FusedJob>
+where
+    'a: 's,
+    F: Fn(usize) -> &'s Slot<'a>,
+{
+    let threshold = settings.morsel_threshold?;
+    if !region.prefix_independent {
+        return None;
+    }
+    let col = |r: crate::plan::ColRef| slots(r.node).column(r.port);
+    let driver = col(region.driver);
+    if driver.logical_len() < threshold.max(1) || driver.chunk_count() < 2 {
+        return None;
+    }
+    let parts_wanted = workers
+        .min(driver.chunk_count())
+        .min((driver.logical_len() / threshold.max(1)).max(2));
+    let parts = driver.partition_chunks(parts_wanted);
+    if parts.len() < 2 {
+        return None;
+    }
+    // Timing starts before the project morphs: every member's recorded
+    // duration includes shared-state construction, like the serial pass.
+    let started = Instant::now();
+    let prepared = crate::fusion::prepare_project_data(region, &col);
+    let partials = (0..parts.len()).map(|_| OnceLock::new()).collect();
+    Some(FusedJob {
+        region_index,
+        parts,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        partials,
+        prepared,
+        started,
+    })
+}
+
+/// Merge the partials of a fully processed fused job — per stage, in range
+/// order — into per-member outcomes, byte-identical to a whole-column
+/// fused pass (and hence to the serial operators).
+fn merge_fused_job(
+    plan: &QueryPlan,
+    region: &FusedRegion,
+    job: &FusedJob,
+    capture: bool,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+    cache_info: Option<&[NodeCacheInfo]>,
+) -> RegionOutcome {
+    let parts: Vec<&Vec<FusedPartial>> = job
+        .partials
+        .iter()
+        .map(|cell| cell.get().expect("all parts completed"))
+        .collect();
+    let mut outcome = RegionOutcome {
+        nodes: Vec::with_capacity(region.stages.len()),
+        interior_bytes: 0,
+    };
+    for (i, stage) in region.stages.iter().enumerate() {
+        let value = match stage.kind {
+            StageKind::AggSum { .. } => {
+                FusedPartial::Sum(parts.iter().fold(0u64, |acc, part| match &part[i] {
+                    FusedPartial::Sum(sum) => acc.wrapping_add(*sum),
+                    FusedPartial::Col(_) => unreachable!("sum stage with column partial"),
+                }))
+            }
+            _ => {
+                let format = crate::fusion::fused_part_format(plan, stage.node, settings, formats);
+                let columns = parts.iter().map(|part| match &part[i] {
+                    FusedPartial::Col(column) => column,
+                    FusedPartial::Sum(_) => unreachable!("column stage with sum partial"),
+                });
+                FusedPartial::Col(partitioned::concat_partials(&format, columns))
+            }
+        };
+        outcome.nodes.push(crate::fusion::fused_node_outcome(
+            plan,
+            region,
+            stage.node,
+            value,
+            job.started.elapsed(),
+            settings,
+            cache_info,
+            capture,
+            &mut outcome.interior_bytes,
+        ));
+    }
+    outcome
 }
 
 /// Decide whether node `idx` is fanned out and, if so, build the job: the
@@ -896,6 +1195,99 @@ mod tests {
             assert_eq!(ctx.records(), reference_ctx.records(), "threads {threads}");
             assert_eq!(ctx.cache_hit_count(), 4, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn fused_parallel_and_morsels_match_serial_unfused() {
+        // A pure chain select → project → agg: one fused region driven by
+        // the scanned base column, large enough to fan out as morsels.
+        let mut columns = HashMap::new();
+        columns.insert(
+            "a".to_string(),
+            Column::from_vec((0..6000u64).map(|i| i % 97).collect()),
+        );
+        columns.insert(
+            "b".to_string(),
+            Column::from_vec((0..6000u64).map(|i| (i * 13) % 1009).collect()),
+        );
+        let mut p = PlanBuilder::new("fp");
+        let a = p.scan("a");
+        let b = p.scan("b");
+        let pos = p.select("pos", a, CmpOp::Lt, 40);
+        let bv = p.project("b_at", b, pos);
+        let total = p.agg_sum("total", bv);
+        let plan = p.finish_scalar(total);
+
+        for formats in [
+            FormatConfig::uncompressed(),
+            FormatConfig::with_default(Format::DynBp),
+            FormatConfig::with_default(Format::DeltaDynBp),
+        ] {
+            let mut serial_ctx =
+                ExecutionContext::new(ExecSettings::vectorized_compressed(), formats.clone());
+            let serial = PlanExecutor.execute(&plan, &columns, &mut serial_ctx);
+            let fused = ExecSettings::vectorized_compressed().with_fusion();
+            for (threads, settings) in [
+                (2, fused.clone()),
+                (4, fused.clone()),
+                (2, fused.clone().with_morsel_threshold(512)),
+                (4, fused.clone().with_morsel_threshold(512)),
+            ] {
+                let mut ctx = ExecutionContext::new(settings, formats.clone());
+                let parallel = ParallelExecutor::new(threads).execute(&plan, &columns, &mut ctx);
+                assert_eq!(parallel, serial, "threads {threads}");
+                assert_eq!(ctx.records(), serial_ctx.records(), "threads {threads}");
+                let labels: Vec<&str> = ctx.timings().iter().map(|(n, _)| n.as_str()).collect();
+                let serial_labels: Vec<&str> = serial_ctx
+                    .timings()
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect();
+                assert_eq!(labels, serial_labels, "threads {threads}");
+                assert_eq!(ctx.fused_region_count(), 1, "threads {threads}");
+                assert!(ctx.intermediate_bytes_avoided() > 0, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_parallel_shares_cache_with_unfused_serial() {
+        use morph_cache::QueryCache;
+
+        let source = source();
+        let mut p = PlanBuilder::new("fc");
+        let a = p.scan("a");
+        let b = p.scan("b");
+        let pos = p.select("pos", a, CmpOp::Lt, 50);
+        let bv = p.project("b_at", b, pos);
+        let total = p.agg_sum("total", bv);
+        let plan = p.finish_scalar(total);
+        let formats = FormatConfig::with_default(Format::DynBp);
+
+        // Cold fused parallel run (with morsels) inserts every member under
+        // its unfused key...
+        let cache = Arc::new(QueryCache::unbounded());
+        let settings = ExecSettings::vectorized_compressed()
+            .with_fusion()
+            .with_morsel_threshold(256)
+            .with_cache(Arc::clone(&cache));
+        let mut cold_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let cold = ParallelExecutor::new(3).execute(&plan, &source, &mut cold_ctx);
+        assert_eq!(cold_ctx.fused_region_count(), 1);
+
+        // ...so a warm unfused serial run hits all three non-scan nodes,
+        // and a warm fused run demotes the fully cached region and hits
+        // the same entries.
+        let unfused = ExecSettings::vectorized_compressed().with_cache(Arc::clone(&cache));
+        let mut warm_ctx = ExecutionContext::new(unfused, formats.clone());
+        let warm = PlanExecutor.execute(&plan, &source, &mut warm_ctx);
+        assert_eq!(warm, cold);
+        assert_eq!(warm_ctx.cache_hit_count(), 3);
+        let mut warm_fused_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let warm_fused = ParallelExecutor::new(3).execute(&plan, &source, &mut warm_fused_ctx);
+        assert_eq!(warm_fused, cold);
+        assert_eq!(warm_fused_ctx.cache_hit_count(), 3);
+        assert_eq!(warm_fused_ctx.fused_region_count(), 0);
     }
 
     #[test]

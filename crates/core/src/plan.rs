@@ -110,12 +110,12 @@ impl GroupRef {
 /// Typed handle to a scalar-producing node (whole-column aggregation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScalarRef {
-    node: usize,
+    pub(crate) node: usize,
 }
 
 /// The physical operator a plan node executes.
 #[derive(Debug, Clone)]
-enum PlanOp {
+pub(crate) enum PlanOp {
     Scan {
         column: String,
     },
@@ -181,7 +181,7 @@ enum PlanOp {
 
 impl PlanOp {
     /// The operator mnemonic used in timing labels and the debug printer.
-    fn mnemonic(&self) -> &'static str {
+    pub(crate) fn mnemonic(&self) -> &'static str {
         match self {
             PlanOp::Scan { .. } => "scan",
             PlanOp::Select { .. } | PlanOp::SelectBetween { .. } | PlanOp::SelectIn2 { .. } => {
@@ -199,8 +199,9 @@ impl PlanOp {
         }
     }
 
-    /// The column handles this operator consumes (for the debug printer).
-    fn inputs(&self) -> Vec<ColRef> {
+    /// The column handles this operator consumes (for the debug printer and
+    /// the fusion analysis).
+    pub(crate) fn inputs(&self) -> Vec<ColRef> {
         match *self {
             PlanOp::Scan { .. } => vec![],
             PlanOp::Select { input, .. }
@@ -225,14 +226,14 @@ impl PlanOp {
 
 /// One node of the DAG: a step name plus the operator it runs.
 #[derive(Debug, Clone)]
-struct PlanNode {
-    name: String,
-    op: PlanOp,
+pub(crate) struct PlanNode {
+    pub(crate) name: String,
+    pub(crate) op: PlanOp,
 }
 
 /// What the plan returns to the caller.
 #[derive(Debug, Clone)]
-enum PlanOutputs {
+pub(crate) enum PlanOutputs {
     /// A single scalar (the ungrouped SSB flight-1 queries).
     Scalar(ScalarRef),
     /// Row-aligned group-key columns plus the aggregated measure.
@@ -275,8 +276,8 @@ pub struct PlanOutput {
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
     label: String,
-    nodes: Vec<PlanNode>,
-    outputs: PlanOutputs,
+    pub(crate) nodes: Vec<PlanNode>,
+    pub(crate) outputs: PlanOutputs,
 }
 
 impl QueryPlan {
@@ -453,6 +454,19 @@ impl QueryPlan {
                 );
             }
         }
+        out
+    }
+
+    /// [`QueryPlan::describe`] plus the plan's fused pipelines as bracketed
+    /// groups — what EXPLAIN shows when operator fusion is enabled.  The
+    /// node listing is identical to [`QueryPlan::describe`]; the trailing
+    /// `fused pipelines:` section (absent when nothing fuses) names each
+    /// region's member chain, its driver column, the interior columns that
+    /// are no longer retained, and whether the region can fan out as
+    /// morsels.
+    pub fn describe_with_fusion(&self, formats: &FormatConfig) -> String {
+        let mut out = self.describe(formats);
+        out.push_str(&crate::fusion::FusionPlan::analyze(self).render(self));
         out
     }
 
@@ -1121,6 +1135,8 @@ pub(crate) fn cached_from_slot(slot: &Slot<'_>) -> Option<CachedValue> {
             count: group.group_count,
         }),
         Slot::Scalar(total) => Some(CachedValue::Scalar(*total)),
+        // Fused interiors insert their own entries as the region finishes.
+        Slot::Fused => None,
     }
 }
 
@@ -1136,6 +1152,10 @@ pub(crate) enum Slot<'a> {
     // Boxed: a grouping's two inline columns dwarf the other variants.
     Group(Box<GroupResult>),
     Scalar(u64),
+    /// Interior of an executed fused region: the column was recorded (and
+    /// possibly cached) but deliberately *not retained* — fusion's whole
+    /// point.  Region validation guarantees no node ever reads this slot.
+    Fused,
 }
 
 impl Slot<'_> {
@@ -1194,21 +1214,85 @@ impl PlanExecutor {
             .cache
             .as_deref()
             .map(|cache| plan_cache_info(plan, source, &ctx.formats, &ctx.settings, cache));
+        let fusion =
+            crate::fusion::FusionPlan::for_execution(plan, &ctx.settings, cache_info.as_deref());
+        if fusion.is_empty() {
+            // Node-by-node execution, with records merged as each node
+            // completes (on an unwind, `ctx` holds the completed prefix).
+            let mut slots: Vec<Slot<'_>> = Vec::with_capacity(plan.nodes.len());
+            for idx in 0..plan.nodes.len() {
+                let mut rec = NodeRecords::new(ctx.capture_enabled());
+                let slot = execute_node(
+                    plan,
+                    idx,
+                    |i| &slots[i],
+                    source,
+                    &ctx.settings,
+                    &ctx.formats,
+                    cache_info.as_ref().map(|infos| &infos[idx]),
+                    &mut rec,
+                );
+                ctx.merge_node_records(rec);
+                slots.push(slot);
+            }
+            return plan.collect_output(|i| &slots[i]);
+        }
+        // Fused execution: a whole region runs (in one pass) when its root
+        // comes up, so interior records only exist from that moment.  All
+        // per-node records are therefore buffered and merged in node-list
+        // order once the walk completes — the same order the unfused path
+        // merges in, keeping footprints and timing labels byte-identical.
+        let mut pending: Vec<Option<NodeRecords>> = (0..plan.nodes.len()).map(|_| None).collect();
         let mut slots: Vec<Slot<'_>> = Vec::with_capacity(plan.nodes.len());
         for idx in 0..plan.nodes.len() {
-            let mut rec = NodeRecords::new(ctx.capture_enabled());
-            let slot = execute_node(
-                plan,
-                idx,
-                |i| &slots[i],
-                source,
-                &ctx.settings,
-                &ctx.formats,
-                cache_info.as_ref().map(|infos| &infos[idx]),
-                &mut rec,
-            );
+            match fusion.region_of(idx) {
+                Some(region_index) if fusion.region(region_index).root == idx => {
+                    let region = fusion.region(region_index);
+                    let outcome = crate::fusion::execute_region(
+                        plan,
+                        region,
+                        &|i: usize| &slots[i],
+                        &ctx.settings,
+                        &ctx.formats,
+                        cache_info.as_deref(),
+                        ctx.capture_enabled(),
+                    );
+                    ctx.note_fused_region(outcome.interior_bytes);
+                    let mut root_slot = None;
+                    for node in outcome.nodes {
+                        if node.node == idx {
+                            root_slot = Some(node.slot);
+                        }
+                        pending[node.node] = Some(node.records);
+                    }
+                    slots.push(root_slot.expect("region outcome includes its root"));
+                }
+                Some(_) => {
+                    // Interior of a region: the region's single pass runs
+                    // when its root comes up; until then (and after — the
+                    // column is dropped once recorded) the slot is a
+                    // placeholder no node ever reads.
+                    slots.push(Slot::Fused);
+                }
+                None => {
+                    let mut rec = NodeRecords::new(ctx.capture_enabled());
+                    let slot = execute_node(
+                        plan,
+                        idx,
+                        |i| &slots[i],
+                        source,
+                        &ctx.settings,
+                        &ctx.formats,
+                        cache_info.as_ref().map(|infos| &infos[idx]),
+                        &mut rec,
+                    );
+                    pending[idx] = Some(rec);
+                    slots.push(slot);
+                }
+            }
+        }
+        for rec in pending.into_iter().flatten() {
             ctx.merge_node_records(rec);
-            slots.push(slot);
         }
         plan.collect_output(|i| &slots[i])
     }

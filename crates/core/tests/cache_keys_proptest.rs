@@ -10,7 +10,13 @@
 //!   exactly what a fresh cache-free execution produces.  If two distinct
 //!   subplans ever aliased one key, the stale hit would leak the other
 //!   subplan's bytes into the result or the records, and the comparison
-//!   would fail.
+//!   would fail;
+//! * **fusion is key-invariant** — the plan family's fusible tail
+//!   (`project → agg_sum` over the intersect output) caches its members
+//!   under the same per-node keys whether the region executes fused or
+//!   node-by-node, in both directions (unfused inserts serve fused warm
+//!   runs and vice versa), and never enables stale reuse for a mutated
+//!   plan.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -93,8 +99,12 @@ fn run(
     p: &PlanParams,
     source: &HashMap<String, Column>,
     cache: Option<&Arc<QueryCache>>,
+    fused: bool,
 ) -> (morphstore_engine::plan::PlanOutput, Vec<RecordRow>, usize) {
     let mut settings = ExecSettings::vectorized_compressed();
+    if fused {
+        settings = settings.with_fusion();
+    }
     if let Some(cache) = cache {
         settings = settings.with_cache(Arc::clone(cache));
     }
@@ -120,16 +130,16 @@ proptest! {
         let cache = Arc::new(QueryCache::unbounded());
 
         // Cache-free references for both parameterisations.
-        let (ref_out, ref_records, _) = run(&original, &source, None);
-        let (mut_out, mut_records, _) = run(&mutated, &source, None);
+        let (ref_out, ref_records, _) = run(&original, &source, None, false);
+        let (mut_out, mut_records, _) = run(&mutated, &source, None, false);
 
         // Cold run populates; identical warm run hits on all 5 non-scan
         // nodes, byte-identical to the reference.
-        let (cold_out, cold_records, cold_hits) = run(&original, &source, Some(&cache));
+        let (cold_out, cold_records, cold_hits) = run(&original, &source, Some(&cache), false);
         prop_assert_eq!(cold_hits, 0);
         prop_assert_eq!(&cold_out, &ref_out);
         prop_assert_eq!(&cold_records, &ref_records);
-        let (warm_out, warm_records, warm_hits) = run(&original, &source, Some(&cache));
+        let (warm_out, warm_records, warm_hits) = run(&original, &source, Some(&cache), false);
         prop_assert_eq!(warm_hits, 5, "same subplan must produce the same keys");
         prop_assert_eq!(&warm_out, &ref_out);
         prop_assert_eq!(&warm_records, &ref_records);
@@ -137,7 +147,7 @@ proptest! {
         // The mutated plan against the polluted cache must behave exactly
         // like its own fresh execution — and when anything differs, the
         // mutated root select (or range / format) must not hit.
-        let (poll_out, poll_records, poll_hits) = run(&mutated, &source, Some(&cache));
+        let (poll_out, poll_records, poll_hits) = run(&mutated, &source, Some(&cache), false);
         prop_assert_eq!(&poll_out, &mut_out);
         prop_assert_eq!(&poll_records, &mut_records);
         if mutated == original {
@@ -149,7 +159,7 @@ proptest! {
         // bumping `x` at most that one node can still hit; bumping `y` too
         // leaves nothing.
         cache.bump_generation("x");
-        let (after_out, after_records, after_hits) = run(&original, &source, Some(&cache));
+        let (after_out, after_records, after_hits) = run(&original, &source, Some(&cache), false);
         prop_assert!(after_hits <= 1, "only the y-only subplan may survive an x bump");
         prop_assert_eq!(&after_out, &ref_out);
         prop_assert_eq!(&after_records, &ref_records);
@@ -157,7 +167,54 @@ proptest! {
         // generation; bumping `y` now drops everything that scans `y`,
         // leaving exactly the x-only `left` select to hit.
         cache.bump_generation("y");
-        let (_, _, final_hits) = run(&original, &source, Some(&cache));
+        let (_, _, final_hits) = run(&original, &source, Some(&cache), false);
         prop_assert_eq!(final_hits, 1, "only the x-only subplan survives a y bump");
+    }
+
+    #[test]
+    fn fusion_never_changes_cache_keys_or_reuses_stale_entries(
+        original in params(),
+        mutated in params(),
+    ) {
+        let source = source();
+
+        // Cache-free references: fusion is output- and record-invariant.
+        let (ref_out, ref_records, _) = run(&original, &source, None, false);
+        let (fused_out, fused_records, _) = run(&original, &source, None, true);
+        prop_assert_eq!(&fused_out, &ref_out);
+        prop_assert_eq!(&fused_records, &ref_records);
+
+        // An unfused cold run populates; the *fused* warm run hits on all 5
+        // non-scan nodes (the fully-cached region is demoted back to
+        // node-by-node hits) — fusion must not change a single key.
+        let cache = Arc::new(QueryCache::unbounded());
+        let (_, _, cold_hits) = run(&original, &source, Some(&cache), false);
+        prop_assert_eq!(cold_hits, 0);
+        let (warm_out, warm_records, warm_hits) = run(&original, &source, Some(&cache), true);
+        prop_assert_eq!(warm_hits, 5, "fused warm run must hit every unfused key");
+        prop_assert_eq!(&warm_out, &ref_out);
+        prop_assert_eq!(&warm_records, &ref_records);
+
+        // The other direction: a fused cold run inserts every region member
+        // under its unfused key, so an unfused warm run hits all 5.
+        let cache = Arc::new(QueryCache::unbounded());
+        let (_, _, fused_cold_hits) = run(&original, &source, Some(&cache), true);
+        prop_assert_eq!(fused_cold_hits, 0);
+        let (unfused_out, unfused_records, unfused_hits) =
+            run(&original, &source, Some(&cache), false);
+        prop_assert_eq!(unfused_hits, 5, "unfused warm run must hit the fused inserts");
+        prop_assert_eq!(&unfused_out, &ref_out);
+        prop_assert_eq!(&unfused_records, &ref_records);
+
+        // No stale reuse: a mutated plan executed fused against the
+        // fused-populated cache behaves exactly like its own cache-free
+        // execution.
+        let (mut_out, mut_records, _) = run(&mutated, &source, None, false);
+        let (poll_out, poll_records, poll_hits) = run(&mutated, &source, Some(&cache), true);
+        prop_assert_eq!(&poll_out, &mut_out);
+        prop_assert_eq!(&poll_records, &mut_records);
+        if mutated == original {
+            prop_assert_eq!(poll_hits, 5);
+        }
     }
 }

@@ -24,8 +24,9 @@ pub mod strategy;
 
 pub use model::{estimate_compressed_bytes, exact_compressed_bytes};
 pub use strategy::{
-    assignable_edge_names, cached_config_for_plan, cost_based_config, exhaustive_config,
-    greedy_runtime_search, static_bp_config, FormatSelectionStrategy, SelectionObjective,
+    assignable_edge_names, cached_config_for_plan, cached_tuning_for_plan, cost_based_config,
+    exhaustive_config, greedy_runtime_search, static_bp_config, FormatSelectionStrategy,
+    PlanTuning, SelectionObjective,
 };
 
 /// The data characteristics consumed by the cost model (re-exported from the

@@ -15,7 +15,10 @@
 //!   what the clients observed;
 //! * **responsiveness** — cancelling an executing query, or a deadline
 //!   expiring mid-execution, surfaces within 50 ms of the trigger even
-//!   while the query sits in an injected delay.
+//!   while the query sits in an injected delay;
+//! * **fusion neutrality** — faults are armed per query occurrence, so a
+//!   fusion-enabled pass sees the same seeded schedule, the same outcome
+//!   sequence, and byte-identical successful results as the unfused run.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,7 +49,11 @@ fn reference_results(data: &SsbData) -> Vec<(SsbQuery, Vec<Vec<u64>>, Vec<u64>)>
         .collect()
 }
 
-fn server_over(data: Arc<SsbData>, fault_plan: Option<Arc<FaultPlan>>) -> Server {
+fn server_with(
+    data: Arc<SsbData>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    settings: ExecSettings,
+) -> Server {
     Server::new(
         ssb_catalog(),
         data,
@@ -54,12 +61,16 @@ fn server_over(data: Arc<SsbData>, fault_plan: Option<Arc<FaultPlan>>) -> Server
             workers: 4,
             threads_per_query: 1,
             queue_capacity: 64,
-            settings: ExecSettings::vectorized_compressed(),
+            settings,
             formats: FormatConfig::with_default(Format::DeltaDynBp),
             fault_plan,
             ..ServerConfig::default()
         },
     )
+}
+
+fn server_over(data: Arc<SsbData>, fault_plan: Option<Arc<FaultPlan>>) -> Server {
+    server_with(data, fault_plan, ExecSettings::vectorized_compressed())
 }
 
 /// Whether `error` is one of the failures the fault plan can legitimately
@@ -179,6 +190,64 @@ fn determinism_of_the_seeded_schedule_across_runs() {
         signatures.push((outcomes, fault_plan.armed_count()));
     }
     assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn fusion_does_not_change_the_fault_schedule_or_the_results() {
+    // Faults are armed per *query occurrence* — a pure hash of
+    // (seed, tenant-qualified name, occurrence) decided before execution —
+    // so enabling operator fusion must not move a single fault: the same
+    // outcome sequence and the same armed count as the unfused run, and
+    // every successful query stays byte-identical to the fault-free
+    // reference even when its plan executes as fused pipelines under
+    // injected chunk-checkpoint faults.
+    let data = Arc::new(dbgen::generate(SCALE, SEED));
+    let expected = reference_results(&data);
+    let mut signatures = Vec::new();
+    for fused in [false, true] {
+        let settings = if fused {
+            ExecSettings::vectorized_compressed().with_fusion()
+        } else {
+            ExecSettings::vectorized_compressed()
+        };
+        let fault_plan = Arc::new(FaultPlan::seeded(SEED, FAULT_RATE_PERCENT));
+        let server = server_with(Arc::clone(&data), Some(Arc::clone(&fault_plan)), settings);
+        let session = server.session("alpha").unwrap();
+        let mut outcomes = Vec::new();
+        for pass in 0..PASSES {
+            for (query, group_keys, values) in expected.iter() {
+                match session.submit(query.sql()) {
+                    Ok(output) => {
+                        assert_eq!(
+                            &output.group_keys, group_keys,
+                            "fused={fused} {query}: keys diverge (pass {pass})"
+                        );
+                        assert_eq!(
+                            &output.values, values,
+                            "fused={fused} {query}: values diverge (pass {pass})"
+                        );
+                        outcomes.push(true);
+                    }
+                    Err(error) => {
+                        assert!(
+                            is_injected(&error),
+                            "fused={fused} {query}: unexpected failure {error:?}"
+                        );
+                        outcomes.push(false);
+                    }
+                }
+            }
+        }
+        assert!(
+            outcomes.iter().any(|ok| !ok),
+            "fused={fused}: no faults fired"
+        );
+        signatures.push((outcomes, fault_plan.armed_count()));
+    }
+    assert_eq!(
+        signatures[0], signatures[1],
+        "fusion changed the seeded fault schedule"
+    );
 }
 
 #[test]

@@ -35,16 +35,24 @@ fn main() {
     ));
 
     // Ad-hoc SQL from one session.
+    let sql = "SELECT SUM(lo_extendedprice * lo_discount) AS revenue \
+               FROM lineorder, date \
+               WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+               AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25";
     let adhoc = server.session("adhoc").unwrap();
-    let output = adhoc
-        .submit(
-            "SELECT SUM(lo_extendedprice * lo_discount) AS revenue \
-             FROM lineorder, date \
-             WHERE lo_orderdate = d_datekey AND d_year = 1993 \
-             AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
-        )
-        .unwrap();
+    let output = adhoc.submit(sql).unwrap();
     println!("Q1.1 revenue: {}", output.values[0]);
+
+    // EXPLAIN through the SQL path: the compiled plan plus its fused
+    // pipelines as bracketed groups — what the fusion pass will run as one
+    // chunk-at-a-time pass when the server's settings enable it.
+    let compiled = compile(sql, &ssb_catalog()).unwrap();
+    println!(
+        "\nEXPLAIN:\n{}",
+        compiled
+            .plan()
+            .describe_with_fusion(&FormatConfig::with_default(Format::DeltaDynBp))
+    );
 
     // Structured errors instead of panics: typos come back with positions
     // and suggestions, so a client can render them.

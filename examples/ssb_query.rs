@@ -67,7 +67,54 @@ fn main() {
             Format::DynBp,
             4,
         ),
+        // `with_fusion()` executes each fusible chain (select → project →
+        // calc → agg tails) as one chunk-at-a-time pass — interiors are
+        // recorded but never retained, results stay byte-identical.
+        (
+            "vect., compr., fused+morsels",
+            ExecSettings::vectorized_compressed()
+                .with_fusion()
+                .with_morsel_threshold(64 * 1024),
+            &compressed_data,
+            Format::DynBp,
+            4,
+        ),
     ];
+
+    // EXPLAIN with fusion: the full plan for Q1.1, then every query's fused
+    // pipelines as bracketed groups (driver column, dropped interiors,
+    // morsel fan-out eligibility).
+    let explain_formats = FormatConfig::with_default(Format::DynBp);
+    let first = SsbQuery::all()[0];
+    println!(
+        "\nEXPLAIN {}:\n{}",
+        first.label(),
+        first.plan().describe_with_fusion(&explain_formats)
+    );
+    println!("fused pipelines per query:");
+    for query in SsbQuery::all() {
+        let plan = query.plan();
+        let fusion = FusionPlan::analyze(&plan);
+        if fusion.is_empty() {
+            println!("  {}: (nothing fuses)", query.label());
+            continue;
+        }
+        for summary in fusion.region_summaries(&plan) {
+            println!(
+                "  {}: [{} => {}] driver {}, morsel fan-out: {}",
+                query.label(),
+                summary.interior_edges.join(" -> "),
+                summary.root_edge.as_deref().unwrap_or("scalar"),
+                summary.driver,
+                if summary.prefix_independent {
+                    "yes"
+                } else {
+                    "no"
+                }
+            );
+        }
+    }
+    println!();
 
     println!(
         "{:<6} {:<28} {:>12} {:>14}",

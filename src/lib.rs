@@ -77,7 +77,7 @@ pub mod prelude {
     pub use morphstore_engine::{
         agg_sum, agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join,
         merge_sorted, morph, project, select, select_between, semi_join, BinaryOp, CmpOp,
-        ExecError, ExecSettings, ExecutionContext, IntegrationDegree, ParallelExecutor,
-        ProcessingStyle, QueryGovernor,
+        ExecError, ExecSettings, ExecutionContext, FusedRegionSummary, FusionPlan,
+        IntegrationDegree, ParallelExecutor, ProcessingStyle, QueryGovernor,
     };
 }
