@@ -23,14 +23,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use morph_bench::{
-    governance_section_json, merge_server_section, merge_tail_section, print_header, print_row,
-    server_section_json, GovernanceRow, HarnessArgs, ServerRow,
+    governance_section_json, merge_server_section, merge_tail_section, observability_section_json,
+    print_header, print_row, server_section_json, GovernanceRow, HarnessArgs, ObservabilityRow,
+    ServerRow,
 };
 use morph_compression::Format;
 use morph_server::{Server, ServerConfig, TenantLimits};
 use morph_ssb::{dbgen, ssb_catalog, SsbData, SsbQuery};
 use morphstore_engine::exec::FormatConfig;
-use morphstore_engine::ExecSettings;
+use morphstore_engine::{ExecSettings, ExecutionContext, QueryTracer};
 
 const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WORKERS: usize = 4;
@@ -38,6 +39,35 @@ const WORKERS: usize = 4;
 /// (live deadline + memory budget that never trip) must stay within this
 /// percentage of the ungoverned throughput.
 const OVERHEAD_TARGET_PERCENT: f64 = 2.0;
+/// Acceptance target for the telemetry layer: attaching a tracer (one span
+/// recorded per plan node) must stay within this percentage of the
+/// untraced serial runtime, per query, on average.
+const TRACING_TARGET_PERCENT: f64 = 2.0;
+
+/// Measure one query's mean serial wall clock over `runs` repetitions,
+/// optionally with a fresh tracer attached to each run.
+fn mean_serial(
+    query: SsbQuery,
+    data: &SsbData,
+    settings: &ExecSettings,
+    formats: &FormatConfig,
+    runs: usize,
+    traced: bool,
+) -> std::time::Duration {
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..runs.max(1) {
+        let run_settings = if traced {
+            settings.clone().with_tracer(Arc::new(QueryTracer::new()))
+        } else {
+            settings.clone()
+        };
+        let mut ctx = ExecutionContext::new(run_settings, formats.clone());
+        let start = Instant::now();
+        query.execute(data, &mut ctx);
+        total += start.elapsed();
+    }
+    total / runs.max(1) as u32
+}
 
 /// Generous-but-live limits for the governed leg of the overhead
 /// comparison: every checkpoint performs its deadline/budget arithmetic,
@@ -200,6 +230,37 @@ fn main() {
         .fold(f64::MIN, f64::max);
     eprintln!("governance overhead: worst {worst:.2}% (target < {OVERHEAD_TARGET_PERCENT:.1}%)");
 
+    // Tracing overhead: every SSB query serially, untraced vs with a live
+    // tracer recording one span per plan node.  Results are byte-identical
+    // either way (the observability_determinism suite proves it); this leg
+    // documents that the wall clock stays within noise too.
+    print_header(&["query", "untraced_ms", "traced_ms", "overhead_pct"]);
+    let settings = ExecSettings::vectorized_compressed();
+    let formats = FormatConfig::with_default(Format::DeltaDynBp);
+    let mut observability_rows = Vec::new();
+    for query in SsbQuery::all() {
+        let untraced = mean_serial(query, &data, &settings, &formats, args.runs, false);
+        let traced = mean_serial(query, &data, &settings, &formats, args.runs, true);
+        let row = ObservabilityRow {
+            query: query.label().to_string(),
+            untraced,
+            traced,
+        };
+        print_row(&[
+            row.query.clone(),
+            format!("{:.3}", row.untraced.as_secs_f64() * 1e3),
+            format!("{:.3}", row.traced.as_secs_f64() * 1e3),
+            format!("{:.2}", row.overhead_percent()),
+        ]);
+        observability_rows.push(row);
+    }
+    let mean_overhead = observability_rows
+        .iter()
+        .map(ObservabilityRow::overhead_percent)
+        .sum::<f64>()
+        / observability_rows.len() as f64;
+    eprintln!("tracing overhead: mean {mean_overhead:.2}% (target < {TRACING_TARGET_PERCENT:.1}%)");
+
     let json_path = std::env::var("MORPH_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ssb.json").to_string()
     });
@@ -212,8 +273,10 @@ fn main() {
         }
     };
     let merged = merge_tail_section(&merged, "governance", &governance);
+    let observability = observability_section_json(TRACING_TARGET_PERCENT, &observability_rows);
+    let merged = merge_tail_section(&merged, "observability", &observability);
     match std::fs::write(&json_path, &merged) {
-        Ok(()) => eprintln!("merged server + governance sections into {json_path}"),
+        Ok(()) => eprintln!("merged server + governance + observability sections into {json_path}"),
         Err(err) => eprintln!("could not write {json_path}: {err}"),
     }
 }

@@ -633,6 +633,68 @@ pub fn governance_section_json(
     )
 }
 
+/// One SSB query's traced-vs-untraced overhead measurement: the same
+/// serial execution with no tracer attached versus with a live
+/// `QueryTracer` recording a span for every plan node.  Results, records
+/// and timing labels are byte-identical either way (the determinism suite
+/// proves that); this row documents that the *wall clock* stays within
+/// noise too.
+#[derive(Debug, Clone)]
+pub struct ObservabilityRow {
+    /// Query label ("1.1" … "4.3").
+    pub query: String,
+    /// Serial wall clock without a tracer.
+    pub untraced: Duration,
+    /// Serial wall clock with a tracer recording every span.
+    pub traced: Duration,
+}
+
+impl ObservabilityRow {
+    /// Wall clock added by tracing, as a percentage of the untraced run
+    /// (negative when the traced run was faster — noise).
+    pub fn overhead_percent(&self) -> f64 {
+        let untraced = self.untraced.as_secs_f64();
+        if untraced > 0.0 {
+            (self.traced.as_secs_f64() / untraced - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Serialise the traced-vs-untraced rows as the value of the top-level
+/// `"observability"` key of `BENCH_ssb.json` (indented to sit at depth 1).
+pub fn observability_section_json(target_percent: f64, rows: &[ObservabilityRow]) -> String {
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "      {{\"query\": \"{}\", \"untraced_serial_ns\": {}, \
+                 \"traced_serial_ns\": {}, \"overhead_percent\": {:.2}}}",
+                row.query,
+                row.untraced.as_nanos(),
+                row.traced.as_nanos(),
+                row.overhead_percent()
+            )
+        })
+        .collect();
+    let mean = if rows.is_empty() {
+        0.0
+    } else {
+        rows.iter()
+            .map(ObservabilityRow::overhead_percent)
+            .sum::<f64>()
+            / rows.len() as f64
+    };
+    format!(
+        "{{\n    \"overhead_target_percent\": {:.1},\n    \
+         \"mean_overhead_percent\": {:.2},\n    \"rows\": [\n{}\n    ]\n  }}",
+        target_percent,
+        mean,
+        row_json.join(",\n")
+    )
+}
+
 /// Merge `section` as the top-level key `key` at the tail of an existing
 /// `BENCH_ssb.json` document, replacing any previous section under that
 /// key (and anything after it — callers re-merge later sections in
@@ -867,6 +929,54 @@ mod tests {
             assert_eq!(
                 with_server.matches(open).count(),
                 with_server.matches(close).count(),
+                "{open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn observability_section_reports_overhead_and_merges_after_governance() {
+        let rows = vec![
+            ObservabilityRow {
+                query: "1.1".to_string(),
+                untraced: Duration::from_micros(100),
+                traced: Duration::from_micros(101),
+            },
+            ObservabilityRow {
+                query: "4.3".to_string(),
+                untraced: Duration::from_micros(200),
+                traced: Duration::from_micros(198),
+            },
+        ];
+        assert!((rows[0].overhead_percent() - 1.0).abs() < 1e-9);
+        assert!((rows[1].overhead_percent() + 1.0).abs() < 1e-9);
+        let section = observability_section_json(2.0, &rows);
+        assert!(section.contains("\"overhead_target_percent\": 2.0"));
+        // +1.00% and -1.00% cancel; floating point may leave a signed zero.
+        assert!(
+            section.contains("\"mean_overhead_percent\": 0.00")
+                || section.contains("\"mean_overhead_percent\": -0.00"),
+            "{section}"
+        );
+        assert!(section.contains("\"untraced_serial_ns\": 100000"));
+        assert!(section.contains("\"traced_serial_ns\": 101000"));
+        assert!(section.contains("\"overhead_percent\": 1.00"));
+
+        // The canonical tail order ends … → governance → observability;
+        // the section merges idempotently at the tail.
+        let base = "{\n  \"benchmark\": \"ssb_parallel_speedup\",\n  \
+                    \"cache\": [\n    {\"query\": \"1.1\"}\n  ]\n}\n";
+        let with_governance = merge_tail_section(base, "governance", "{\"workers\": 4}");
+        let merged = merge_tail_section(&with_governance, "observability", &section);
+        assert!(merged.contains("\"governance\": {"));
+        assert!(merged.contains("\"observability\": {"));
+        let remerged = merge_tail_section(&merged, "observability", &section);
+        assert_eq!(remerged.matches("\"observability\":").count(), 1);
+        assert_eq!(remerged, merged);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                merged.matches(open).count(),
+                merged.matches(close).count(),
                 "{open}{close}"
             );
         }

@@ -101,6 +101,14 @@ pub struct ExecSettings {
     /// execution; interior columns are dropped as soon as they are
     /// recorded.  `false` (the default) keeps node-by-node execution.
     pub fusion: bool,
+    /// Per-query span recorder consulted by all executors.  When attached,
+    /// every execution publishes a [`PlanTrace`](morph_telemetry::PlanTrace)
+    /// — one span per plan node with deterministic ids derived from the
+    /// plan's structural fingerprint — recorded with relaxed atomics on the
+    /// happy path (the same budget as the governor's checkpoints).  `None`
+    /// (the default) disables tracing; results, footprint records and
+    /// timing-label sequences are byte-identical either way.
+    pub tracer: Option<Arc<morph_telemetry::QueryTracer>>,
 }
 
 /// Settings compare by configuration; the cache and governor handles
@@ -118,6 +126,11 @@ impl PartialEq for ExecSettings {
                 _ => false,
             }
             && match (&self.governor, &other.governor) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && match (&self.tracer, &other.tracer) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
@@ -191,6 +204,16 @@ impl ExecSettings {
     /// and bookkeeping stay byte-identical to unfused execution.
     pub fn with_fusion(mut self) -> ExecSettings {
         self.fusion = true;
+        self
+    }
+
+    /// The same settings with a per-query span recorder attached (builder
+    /// style).  All executors publish a
+    /// [`PlanTrace`](morph_telemetry::PlanTrace) per execution, which
+    /// [`QueryPlan::explain_analyze`](crate::plan::QueryPlan::explain_analyze)
+    /// renders as a per-node profile.
+    pub fn with_tracer(mut self, tracer: Arc<morph_telemetry::QueryTracer>) -> ExecSettings {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -284,6 +307,12 @@ pub struct ColumnRecord {
 pub struct NodeRecords {
     records: Vec<ColumnRecord>,
     timings: Vec<(String, Duration)>,
+    /// Stable node index of each timing record, aligned with `timings` —
+    /// the join key between timing labels and tracing spans, carried out of
+    /// band so the label *strings* (which the determinism suites compare
+    /// byte-for-byte) stay untouched.
+    timing_nodes: Vec<Option<u32>>,
+    node: Option<u32>,
     captured: Vec<(String, Column)>,
     capture: bool,
     cache_hits: usize,
@@ -327,11 +356,19 @@ impl NodeRecords {
         }
     }
 
+    /// Declare the stable plan-node index this recorder belongs to; every
+    /// timing pushed afterwards carries it (see
+    /// [`ExecutionContext::timing_node_ids`]).
+    pub fn set_node(&mut self, node: usize) {
+        self.node = Some(node as u32);
+    }
+
     /// Run `f`, recording its wall-clock duration under `op_name`.
     pub fn time<R>(&mut self, op_name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let result = f();
         self.timings.push((op_name.to_string(), start.elapsed()));
+        self.timing_nodes.push(self.node);
         result
     }
 
@@ -341,6 +378,7 @@ impl NodeRecords {
     /// path, where the recorded duration is the lookup time.
     pub fn push_timing(&mut self, op_name: &str, elapsed: Duration) {
         self.timings.push((op_name.to_string(), elapsed));
+        self.timing_nodes.push(self.node);
     }
 
     /// The duration of the most recent timing record — the node's measured
@@ -359,6 +397,30 @@ impl NodeRecords {
     pub fn note_cache_hit(&mut self) {
         self.cache_hits += 1;
     }
+
+    /// Publish this node's execution into a tracing span: the recorded
+    /// operator wall clock (zero for scans, the lookup time for cache
+    /// hits), the output's logical rows and physical bytes from the last
+    /// footprint record, and the cache-hit flag.  Purely additive — nothing
+    /// in the records themselves changes.
+    pub fn record_span(&self, trace: &morph_telemetry::PlanTrace, node: usize) {
+        let (rows, bytes, logical) = match self.records.last() {
+            Some(record) => (
+                record.len as u64,
+                record.bytes as u64,
+                (record.len as u64) * 8,
+            ),
+            None => (0, 0, 0),
+        };
+        trace.record_node(
+            node,
+            self.last_duration(),
+            rows,
+            bytes,
+            logical,
+            self.cache_hits > 0,
+        );
+    }
 }
 
 /// Records what a query execution did: which columns were touched (with their
@@ -375,6 +437,7 @@ pub struct ExecutionContext {
     pub formats: FormatConfig,
     records: Vec<ColumnRecord>,
     timings: Vec<(String, Duration)>,
+    timing_nodes: Vec<Option<u32>>,
     capture: bool,
     captured: HashMap<String, Column>,
     cache_hits: usize,
@@ -390,6 +453,7 @@ impl ExecutionContext {
             formats,
             records: Vec::new(),
             timings: Vec::new(),
+            timing_nodes: Vec::new(),
             capture: false,
             captured: HashMap::new(),
             cache_hits: 0,
@@ -455,6 +519,7 @@ impl ExecutionContext {
         let start = Instant::now();
         let result = f();
         self.timings.push((op_name.to_string(), start.elapsed()));
+        self.timing_nodes.push(None);
         result
     }
 
@@ -485,6 +550,7 @@ impl ExecutionContext {
             self.records.push(record);
         }
         self.timings.extend(node.timings);
+        self.timing_nodes.extend(node.timing_nodes);
         if self.capture {
             self.captured.extend(node.captured);
         }
@@ -506,6 +572,15 @@ impl ExecutionContext {
     /// All recorded operator timings, in execution order.
     pub fn timings(&self) -> &[(String, Duration)] {
         &self.timings
+    }
+
+    /// The stable plan-node index of each timing record, aligned with
+    /// [`ExecutionContext::timings`] — `None` for ad-hoc timings recorded
+    /// outside a plan node.  Spans and timings join on this channel instead
+    /// of matching label strings (the label sequences themselves are part
+    /// of the byte-identity contract and never change).
+    pub fn timing_node_ids(&self) -> &[Option<u32>] {
+        &self.timing_nodes
     }
 
     /// Total physical size of all recorded columns (bytes).

@@ -383,7 +383,7 @@ impl FusionPlan {
 
 /// The edge (column) name a handle resolves to: the base-column name for
 /// scans, `"<label>/<step>"` (or `"<label>/<step>_reps"`) otherwise.
-fn edge_name(plan: &QueryPlan, r: ColRef) -> String {
+pub(crate) fn edge_name(plan: &QueryPlan, r: ColRef) -> String {
     match &plan.nodes[r.node].op {
         PlanOp::Scan { column } => column.clone(),
         _ if r.port == 1 => format!("{}_reps", plan.node_full_name(r.node)),
@@ -783,6 +783,7 @@ pub(crate) fn fused_node_outcome(
     let full = plan.node_full_name(node);
     let timing = plan.node_timing_label(node);
     let mut records = NodeRecords::new(capture);
+    records.set_node(node);
     records.push_timing(&timing, elapsed);
     let (slot, cached) = match value {
         FusedPartial::Sum(total) => (Slot::Scalar(total), CachedValue::Scalar(total)),

@@ -59,8 +59,13 @@
 //! canonical fingerprint of the subplan rooted at it, a hit completes the
 //! node without running the operator — with footprint and timing records
 //! identical to an execution — and a miss inserts the result for the next
-//! query.  See DESIGN.md for how the plan layer sits on top of the
-//! three-layer operator architecture.
+//! query.  With an [`ExecSettings::tracer`] attached (`morph-telemetry`),
+//! both executors additionally record one lock-free span per plan node —
+//! wall time, rows, compressed vs. logical bytes, cache hits, morsel
+//! fan-out — which [`plan::QueryPlan::explain_analyze`] renders as a
+//! per-node profile; results, footprint records and timing-label sequences
+//! stay byte-identical with tracing on.  See DESIGN.md for how the plan
+//! layer sits on top of the three-layer operator architecture.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -78,6 +83,7 @@ pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
 pub use fusion::{FusedRegionSummary, FusionPlan};
 pub use govern::{ExecError, GovernorScope, QueryGovernor};
 pub use morph_cache::{CacheKey, CacheStats, QueryCache};
+pub use morph_telemetry::{Histogram, MetricsRegistry, PlanTopology, PlanTrace, QueryTracer};
 pub use morph_vector::kernels::BinaryOp;
 pub use morph_vector::ProcessingStyle;
 pub use ops::agg::{agg_max, agg_sum, agg_sum_grouped};

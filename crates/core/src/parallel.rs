@@ -360,6 +360,13 @@ impl ParallelExecutor {
         // enter the queue (their cells are published by the region
         // completion instead).
         let fusion = FusionPlan::for_execution(plan, &settings, cache_info.as_deref());
+        // Tracing mirrors the serial executor: spans are recorded next to
+        // the ordinary bookkeeping by whichever worker completes a node,
+        // with relaxed atomic stores only (see `morph_telemetry::trace`).
+        let trace = settings
+            .tracer
+            .as_ref()
+            .map(|t| t.begin(plan.topology(&fusion, formats)));
         let interior = |idx: usize| fusion.region_of(idx).is_some() && !fusion.is_region_root(idx);
 
         let mut dependencies = plan.dependencies();
@@ -418,6 +425,7 @@ impl ParallelExecutor {
                     let settings = &settings;
                     let cache_info = &cache_info;
                     let fusion = &fusion;
+                    let trace = &trace;
                     let fused_regions_run = &fused_regions_run;
                     let fused_bytes_avoided = &fused_bytes_avoided;
                     scope.spawn(move || {
@@ -450,6 +458,14 @@ impl ParallelExecutor {
                                             settings,
                                             workers,
                                         ) {
+                                            if let Some(trace) = trace {
+                                                for &member in &region.members {
+                                                    trace.note_fan_out(
+                                                        member,
+                                                        job.parts.len() as u64,
+                                                    );
+                                                }
+                                            }
                                             scheduler
                                                 .publish_morsels(QueuedJob::Fused(Arc::new(job)));
                                             continue;
@@ -466,6 +482,11 @@ impl ParallelExecutor {
                                         fused_regions_run.fetch_add(1, Ordering::Relaxed);
                                         fused_bytes_avoided
                                             .fetch_add(outcome.interior_bytes, Ordering::Relaxed);
+                                        if let Some(trace) = trace {
+                                            for node in &outcome.nodes {
+                                                node.records.record_span(trace, node.node);
+                                            }
+                                        }
                                         complete_region(
                                             scheduler, cells, dependents, node_count, region,
                                             outcome,
@@ -486,11 +507,15 @@ impl ParallelExecutor {
                                         if let Some(job) = plan_morsel_job(
                                             plan, idx, &slot_of, settings, formats, workers,
                                         ) {
+                                            if let Some(trace) = trace {
+                                                trace.note_fan_out(idx, job.parts.len() as u64);
+                                            }
                                             scheduler.publish_morsels(QueuedJob::Op(Arc::new(job)));
                                             continue;
                                         }
                                     }
                                     let mut records = NodeRecords::new(capture);
+                                    records.set_node(idx);
                                     let slot = execute_node(
                                         plan,
                                         idx,
@@ -501,6 +526,9 @@ impl ParallelExecutor {
                                         info,
                                         &mut records,
                                     );
+                                    if let Some(trace) = trace {
+                                        records.record_span(trace, idx);
+                                    }
                                     complete_node(
                                         scheduler, cells, dependents, node_count, idx, slot,
                                         records,
@@ -519,6 +547,9 @@ impl ParallelExecutor {
                                             cache_info.as_ref().map(|infos| &infos[job.node]);
                                         let (slot, records) =
                                             merge_morsel_job(plan, &job, capture, settings, info);
+                                        if let Some(trace) = trace {
+                                            records.record_span(trace, job.node);
+                                        }
                                         complete_node(
                                             scheduler, cells, dependents, node_count, job.node,
                                             slot, records,
@@ -554,6 +585,11 @@ impl ParallelExecutor {
                                         fused_regions_run.fetch_add(1, Ordering::Relaxed);
                                         fused_bytes_avoided
                                             .fetch_add(outcome.interior_bytes, Ordering::Relaxed);
+                                        if let Some(trace) = trace {
+                                            for node in &outcome.nodes {
+                                                node.records.record_span(trace, node.node);
+                                            }
+                                        }
                                         complete_region(
                                             scheduler, cells, dependents, node_count, region,
                                             outcome,
@@ -590,7 +626,11 @@ impl ParallelExecutor {
             ctx.merge_node_records(result.records);
             slots.push(result.slot);
         }
-        plan.collect_output(|i| &slots[i])
+        let output = plan.collect_output(|i| &slots[i]);
+        if let (Some(tracer), Some(trace)) = (&settings.tracer, trace) {
+            tracer.finish(trace);
+        }
+        output
     }
 
     /// Fallible counterpart of [`ParallelExecutor::execute`]: runs the plan
@@ -940,6 +980,7 @@ fn merge_morsel_job(
     cache_info: Option<&NodeCacheInfo>,
 ) -> (Slot<'static>, NodeRecords) {
     let mut records = NodeRecords::new(capture);
+    records.set_node(job.node);
     let partials = job
         .partials
         .iter()

@@ -470,6 +470,153 @@ impl QueryPlan {
         out
     }
 
+    /// The plain-data description of this plan the tracing layer records
+    /// against: one [`NodeInfo`](morph_telemetry::NodeInfo) per node (name,
+    /// mnemonic, dependency edges, resolved output format) and one
+    /// [`RegionInfo`](morph_telemetry::RegionInfo) per fused region of
+    /// `fusion`.  The executors build this at trace begin from the
+    /// *executed* fusion analysis, so the trace mirrors what actually ran
+    /// (pass [`crate::fusion::FusionPlan::empty`]-like analyses for unfused
+    /// runs — [`crate::fusion::FusionPlan::analyze`] for tooling).
+    pub fn topology(
+        &self,
+        fusion: &crate::fusion::FusionPlan,
+        formats: &FormatConfig,
+    ) -> morph_telemetry::PlanTopology {
+        let deps = self.dependencies();
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, node)| {
+                let (name, format) = match &node.op {
+                    PlanOp::Scan { column } => (
+                        column.clone(),
+                        formats.format_for(column, Format::Uncompressed).to_string(),
+                    ),
+                    PlanOp::AggSum { .. } => (self.node_full_name(idx), "scalar".to_string()),
+                    // Grouped sums are final outputs, always uncompressed.
+                    PlanOp::AggSumGrouped { .. } => {
+                        (self.node_full_name(idx), Format::Uncompressed.to_string())
+                    }
+                    _ => {
+                        let full = self.node_full_name(idx);
+                        let format = formats.format_for(&full, Format::Uncompressed).to_string();
+                        (full, format)
+                    }
+                };
+                morph_telemetry::NodeInfo {
+                    name,
+                    mnemonic: node.op.mnemonic().to_string(),
+                    deps: deps[idx].clone(),
+                    format,
+                }
+            })
+            .collect();
+        let regions = fusion
+            .regions()
+            .iter()
+            .map(|region| morph_telemetry::RegionInfo {
+                members: region.members.clone(),
+                root: region.root,
+                driver: crate::fusion::edge_name(self, region.driver),
+                fan_out_eligible: region.prefix_independent,
+            })
+            .collect();
+        morph_telemetry::PlanTopology {
+            fingerprint: self.structural_fingerprint().0,
+            label: self.label.clone(),
+            nodes,
+            regions,
+        }
+    }
+
+    /// Render the executed plan annotated from a completed
+    /// [`PlanTrace`](morph_telemetry::PlanTrace): per node the measured
+    /// wall time, output rows, physical (compressed) versus logical bytes,
+    /// the resolved format, whether the node was served from the plan
+    /// cache, and its morsel fan-out degree; fused regions follow as
+    /// bracketed pipeline groups with their drivers.  This is the
+    /// `EXPLAIN ANALYZE` body of the SQL front-end and of the server's
+    /// slow-query log.
+    ///
+    /// Attach a [`QueryTracer`](morph_telemetry::QueryTracer) via
+    /// [`ExecSettings::with_tracer`](crate::exec::ExecSettings::with_tracer),
+    /// execute the plan, and pass
+    /// [`QueryTracer::last_trace`](morph_telemetry::QueryTracer::last_trace)
+    /// here.  A trace from a different plan is flagged in the header rather
+    /// than panicking.
+    pub fn explain_analyze(&self, trace: &morph_telemetry::PlanTrace) -> String {
+        use fmt::Write as _;
+        let topo = trace.topology();
+        let stale = if topo.fingerprint == self.structural_fingerprint().0 {
+            ""
+        } else {
+            " [trace is from a different plan]"
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "explain analyze {:?} ({} nodes, total {}){stale}",
+            topo.label,
+            topo.nodes.len(),
+            fmt_duration(trace.total()),
+        );
+        for (idx, info) in topo.nodes.iter().enumerate() {
+            let span = trace.node(idx);
+            let step = format!("{}:{}", info.mnemonic, info.name);
+            if !span.is_recorded() {
+                let _ = writeln!(out, "  [{idx:>3}] {step:<40} (not executed)");
+                continue;
+            }
+            let mut annotations = String::new();
+            if span.cache_hit() {
+                annotations.push_str("  cache hit");
+            }
+            if span.morsel_parts() > 0 {
+                let _ = write!(annotations, "  fan-out x{}", span.morsel_parts());
+            }
+            if let Some((region, _)) = trace.region_of(idx) {
+                let _ = write!(annotations, "  fused region {region}");
+            }
+            let _ = writeln!(
+                out,
+                "  [{idx:>3}] {step:<40} {:>10}  {:>9} rows  {:>10} phys / {:>10} logical  {}{annotations}",
+                fmt_duration(span.elapsed()),
+                span.rows(),
+                fmt_bytes(span.bytes()),
+                fmt_bytes(span.logical_bytes()),
+                info.format,
+            );
+        }
+        if !topo.regions.is_empty() {
+            let _ = writeln!(out, "  fused pipelines:");
+            for (index, region) in topo.regions.iter().enumerate() {
+                let chain: Vec<String> = region.members.iter().map(|&m| format!("#{m}")).collect();
+                let _ = writeln!(
+                    out,
+                    "    region {index}: [{}] driver {}; morsel fan-out: {}",
+                    chain.join(" -> "),
+                    region.driver,
+                    if region.fan_out_eligible {
+                        "eligible"
+                    } else {
+                        "no"
+                    },
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  query span {:#018x}, {} nodes recorded",
+            trace.query_span_id(),
+            (0..trace.node_count())
+                .filter(|&i| trace.node(i).is_recorded())
+                .count(),
+        );
+        out
+    }
+
     /// Per node, the indices of the nodes whose outputs it consumes
     /// (sorted, deduplicated).  Handles can only refer to already-appended
     /// nodes, so `dependencies()[i]` contains only indices `< i` — this is
@@ -994,6 +1141,37 @@ fn write_op_fingerprint(fp: &mut Fingerprint, op: &PlanOp) {
     }
 }
 
+/// Human-readable duration for `EXPLAIN ANALYZE` (ns up to seconds, two
+/// decimals past the microsecond scale).
+fn fmt_duration(d: std::time::Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Human-readable byte count for `EXPLAIN ANALYZE` (binary units).
+fn fmt_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * KIB;
+    const GIB: u64 = 1024 * MIB;
+    if bytes < KIB {
+        format!("{bytes} B")
+    } else if bytes < MIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else if bytes < GIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    }
+}
+
 /// Per-node cache data, precomputed by [`plan_cache_info`] before execution
 /// starts (both executors share it; the parallel executor computes it once
 /// on the coordinating thread).
@@ -1216,12 +1394,20 @@ impl PlanExecutor {
             .map(|cache| plan_cache_info(plan, source, &ctx.formats, &ctx.settings, cache));
         let fusion =
             crate::fusion::FusionPlan::for_execution(plan, &ctx.settings, cache_info.as_deref());
+        // Tracing is out of band: spans are recorded next to (never instead
+        // of) the ordinary bookkeeping, so results, footprint records and
+        // timing-label sequences stay byte-identical with a tracer attached.
+        let tracer = ctx.settings.tracer.clone();
+        let trace = tracer
+            .as_ref()
+            .map(|t| t.begin(plan.topology(&fusion, &ctx.formats)));
         if fusion.is_empty() {
             // Node-by-node execution, with records merged as each node
             // completes (on an unwind, `ctx` holds the completed prefix).
             let mut slots: Vec<Slot<'_>> = Vec::with_capacity(plan.nodes.len());
             for idx in 0..plan.nodes.len() {
                 let mut rec = NodeRecords::new(ctx.capture_enabled());
+                rec.set_node(idx);
                 let slot = execute_node(
                     plan,
                     idx,
@@ -1232,10 +1418,17 @@ impl PlanExecutor {
                     cache_info.as_ref().map(|infos| &infos[idx]),
                     &mut rec,
                 );
+                if let Some(trace) = &trace {
+                    rec.record_span(trace, idx);
+                }
                 ctx.merge_node_records(rec);
                 slots.push(slot);
             }
-            return plan.collect_output(|i| &slots[i]);
+            let output = plan.collect_output(|i| &slots[i]);
+            if let (Some(tracer), Some(trace)) = (&tracer, trace) {
+                tracer.finish(trace);
+            }
+            return output;
         }
         // Fused execution: a whole region runs (in one pass) when its root
         // comes up, so interior records only exist from that moment.  All
@@ -1263,6 +1456,9 @@ impl PlanExecutor {
                         if node.node == idx {
                             root_slot = Some(node.slot);
                         }
+                        if let Some(trace) = &trace {
+                            node.records.record_span(trace, node.node);
+                        }
                         pending[node.node] = Some(node.records);
                     }
                     slots.push(root_slot.expect("region outcome includes its root"));
@@ -1276,6 +1472,7 @@ impl PlanExecutor {
                 }
                 None => {
                     let mut rec = NodeRecords::new(ctx.capture_enabled());
+                    rec.set_node(idx);
                     let slot = execute_node(
                         plan,
                         idx,
@@ -1286,6 +1483,9 @@ impl PlanExecutor {
                         cache_info.as_ref().map(|infos| &infos[idx]),
                         &mut rec,
                     );
+                    if let Some(trace) = &trace {
+                        rec.record_span(trace, idx);
+                    }
                     pending[idx] = Some(rec);
                     slots.push(slot);
                 }
@@ -1294,7 +1494,11 @@ impl PlanExecutor {
         for rec in pending.into_iter().flatten() {
             ctx.merge_node_records(rec);
         }
-        plan.collect_output(|i| &slots[i])
+        let output = plan.collect_output(|i| &slots[i]);
+        if let (Some(tracer), Some(trace)) = (&tracer, trace) {
+            tracer.finish(trace);
+        }
+        output
     }
 
     /// Fallible counterpart of [`PlanExecutor::execute`]: runs the plan

@@ -1,0 +1,168 @@
+//! Property-based test of the telemetry span tree: for **any** generated
+//! fusible chain, executing under a tracer yields one span per plan node
+//! whose parent edges are exactly [`QueryPlan::dependencies`] — across
+//! serial, parallel, morsel-splitting and fused execution — with
+//! deterministic span ids (the same plan produces the same ids on every
+//! run) and byte-identical results to the untraced execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use morph_compression::Format;
+use morph_storage::Column;
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::plan::{PlanBuilder, QueryPlan};
+use morphstore_engine::{
+    CmpOp, ExecSettings, ExecutionContext, ParallelExecutor, PlanTrace, QueryTracer,
+};
+use proptest::prelude::*;
+
+const ROWS: u64 = 4000;
+
+/// One chain stage (same shape as the fusion chain proptest: every stage
+/// is single-consumer and position-preserving, so fused runs exercise the
+/// region-recording path too).
+#[derive(Debug, Clone)]
+enum Step {
+    SelectLt(u64),
+    SelectGt(u64),
+    Between(u64, u64),
+    Project,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..100).prop_map(Step::SelectLt),
+        (0u64..100).prop_map(Step::SelectGt),
+        (0u64..60, 0u64..50).prop_map(|(low, span)| Step::Between(low, low + span)),
+        Just(Step::Project),
+    ]
+}
+
+fn source() -> HashMap<String, Column> {
+    let mut columns = HashMap::new();
+    columns.insert(
+        "x".to_string(),
+        Column::from_vec((0..ROWS).map(|i| i % 97).collect()),
+    );
+    columns.insert(
+        "d".to_string(),
+        Column::from_vec((0..ROWS).map(|i| i % 50).collect()),
+    );
+    columns
+}
+
+fn build_chain(steps: &[Step]) -> QueryPlan {
+    let mut b = PlanBuilder::new("chain");
+    let x = b.scan("x");
+    let d = b.scan("d");
+    let mut current = x;
+    for (i, s) in steps.iter().enumerate() {
+        current = match s {
+            Step::SelectLt(c) => b.select(&format!("s{i}"), current, CmpOp::Lt, *c),
+            Step::SelectGt(c) => b.select(&format!("s{i}"), current, CmpOp::Gt, *c),
+            Step::Between(low, high) => b.select_between(&format!("s{i}"), current, *low, *high),
+            Step::Project => b.project(&format!("s{i}"), d, current),
+        };
+    }
+    let total = b.agg_sum("total", current);
+    b.finish_scalar(total)
+}
+
+/// Execute `plan` under a fresh tracer and return (output, trace).
+fn traced_run(
+    plan: &QueryPlan,
+    source: &HashMap<String, Column>,
+    settings: ExecSettings,
+    formats: &FormatConfig,
+    threads: usize,
+) -> (morphstore_engine::plan::PlanOutput, Arc<PlanTrace>) {
+    let tracer = Arc::new(QueryTracer::new());
+    let mut ctx = ExecutionContext::new(settings.with_tracer(Arc::clone(&tracer)), formats.clone());
+    let out = if threads > 1 {
+        ParallelExecutor::new(threads).execute(plan, source, &mut ctx)
+    } else {
+        plan.execute(source, &mut ctx)
+    };
+    assert_eq!(tracer.traced_count(), 1);
+    (
+        out,
+        tracer.last_trace().expect("executor finished the trace"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn span_tree_edges_match_plan_dependencies(
+        steps in prop::collection::vec(step(), 1..5),
+        compressed in any::<bool>(),
+    ) {
+        let source = source();
+        let plan = build_chain(&steps);
+        let deps = plan.dependencies();
+        let formats = if compressed {
+            FormatConfig::with_default(Format::DynBp)
+        } else {
+            FormatConfig::uncompressed()
+        };
+        let settings = if compressed {
+            ExecSettings::vectorized_compressed()
+        } else {
+            ExecSettings::scalar_uncompressed()
+        };
+
+        // Untraced serial reference for byte-identity.
+        let mut ref_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let ref_out = plan.execute(&source, &mut ref_ctx);
+
+        let configs = [
+            ("serial", settings.clone(), 1usize),
+            ("serial fused", settings.clone().with_fusion(), 1),
+            ("parallel", settings.clone(), 3),
+            ("morsel", settings.clone().with_morsel_threshold(256), 3),
+            ("parallel fused", settings.clone().with_fusion(), 3),
+            (
+                "morsel fused",
+                settings.clone().with_fusion().with_morsel_threshold(256),
+                3,
+            ),
+        ];
+        let mut span_ids: Option<Vec<u64>> = None;
+        for (name, run_settings, threads) in configs {
+            let (out, trace) =
+                traced_run(&plan, &source, run_settings, &formats, threads);
+            prop_assert_eq!(&out, &ref_out, "{}: traced result diverged", name);
+            prop_assert_eq!(trace.node_count(), deps.len(), "{}", name);
+            for (index, node_deps) in deps.iter().enumerate() {
+                // The topology mirrors the plan's dependency lists ...
+                prop_assert_eq!(
+                    &trace.topology().nodes[index].deps, node_deps,
+                    "{}: node {} topology deps", name, index
+                );
+                // ... and the span tree's parent edges resolve to exactly
+                // the span ids of those dependencies.
+                let parents: Vec<u64> =
+                    node_deps.iter().map(|&d| trace.span_id(d)).collect();
+                prop_assert_eq!(
+                    trace.parent_span_ids(index), parents,
+                    "{}: node {} parent spans", name, index
+                );
+                prop_assert!(
+                    trace.node(index).is_recorded(),
+                    "{}: node {} has no span", name, index
+                );
+            }
+            // Span ids are a pure function of the plan's structural
+            // fingerprint: identical across every execution strategy.
+            let ids: Vec<u64> = (0..trace.node_count())
+                .map(|i| trace.span_id(i))
+                .collect();
+            match &span_ids {
+                None => span_ids = Some(ids),
+                Some(expected) => prop_assert_eq!(&ids, expected, "{}", name),
+            }
+        }
+    }
+}

@@ -27,6 +27,16 @@
 //!   structured [`ServerError`]s with positions and did-you-mean
 //!   suggestions; engine panics during execution are caught at the worker
 //!   boundary and returned as [`ServerError::Execution`].
+//! * **Observability** — a process-wide [`MetricsRegistry`] counts every
+//!   admission outcome at the same sites as [`OutcomeCounts`] (so the two
+//!   reconcile exactly) and observes queue-wait, execution and end-to-end
+//!   latency histograms, rendered as Prometheus text by
+//!   [`Server::metrics_text`].  Queries prefixed `EXPLAIN ANALYZE` execute
+//!   under a tracer and carry their per-node profile in
+//!   [`QueryResponse::profile`]; with
+//!   [`ServerConfig::slow_query_threshold`] set, every query is traced and
+//!   those whose service time crosses the threshold land in a bounded
+//!   slow-query log ([`Server::slow_queries`]) with the profile attached.
 //!
 //! Results are *deterministic*: the same SQL over the same data returns
 //! byte-identical [`PlanOutput`]s regardless of worker count, concurrency
@@ -49,9 +59,10 @@ use morph_cache::{CacheConfig, QueryCache};
 use morph_sql::{Catalog, CompiledQuery};
 use morphstore_engine::exec::FormatConfig;
 use morphstore_engine::plan::{ColumnSource, PlanOutput};
-use morphstore_engine::{ExecSettings, ExecutionContext, QueryGovernor};
+use morphstore_engine::{ExecSettings, ExecutionContext, Histogram, QueryGovernor, QueryTracer};
 
 pub use error::ServerError;
+pub use morphstore_engine::MetricsRegistry;
 pub use stats::{OutcomeCounts, ServerStats, TenantStats};
 
 /// Per-tenant query-lifecycle limits, applied to every query the tenant
@@ -96,6 +107,10 @@ pub struct ServerConfig {
     /// Lifecycle limits applied to tenants that do not override them via
     /// [`Server::session_with_limits`].
     pub default_limits: TenantLimits,
+    /// When set, every query executes under a tracer and queries whose
+    /// worker service time reaches the threshold are recorded — with their
+    /// per-node profile — in the slow-query log ([`Server::slow_queries`]).
+    pub slow_query_threshold: Option<Duration>,
     /// Deterministic fault schedule consulted once per admitted query
     /// (fault-injection harness; test builds only).  Queries are named
     /// `"<tenant>:<sql>"`, so co-tenant schedules are independent.
@@ -115,11 +130,41 @@ impl Default for ServerConfig {
             settings: ExecSettings::vectorized_compressed(),
             formats: FormatConfig::default(),
             default_limits: TenantLimits::default(),
+            slow_query_threshold: None,
             #[cfg(feature = "faults")]
             fault_plan: None,
         }
     }
 }
+
+/// A query result with its observability side-channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// The decompressed result columns.
+    pub output: PlanOutput,
+    /// The rendered per-node profile, present when the query was submitted
+    /// as `EXPLAIN ANALYZE SELECT ...`.
+    pub profile: Option<String>,
+}
+
+/// One entry of the slow-query log ([`Server::slow_queries`]).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The tenant that submitted the query.
+    pub tenant: String,
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// Worker service time (execution only, excluding queue wait).
+    pub service: Duration,
+    /// End-to-end latency (enqueue → reply).
+    pub latency: Duration,
+    /// The per-node EXPLAIN ANALYZE profile captured for the run, when the
+    /// query executed far enough to produce a trace.
+    pub profile: Option<String>,
+}
+
+/// Entries kept in the slow-query log before the oldest is dropped.
+const SLOW_QUERY_LOG_CAPACITY: usize = 64;
 
 /// One queued query.
 struct Job {
@@ -132,7 +177,7 @@ struct Job {
 
 /// The rendezvous a [`PendingQuery`] waits on.
 struct ReplySlot {
-    result: Mutex<Option<Result<PlanOutput, ServerError>>>,
+    result: Mutex<Option<Result<QueryResponse, ServerError>>>,
     ready: Condvar,
 }
 
@@ -146,7 +191,7 @@ impl ReplySlot {
 
     /// First write wins: a cancellation racing the worker (or shutdown)
     /// cannot overwrite an already-delivered result.
-    fn fill(&self, result: Result<PlanOutput, ServerError>) {
+    fn fill(&self, result: Result<QueryResponse, ServerError>) {
         let mut slot = self.result.lock().unwrap();
         if slot.is_none() {
             *slot = Some(result);
@@ -154,7 +199,7 @@ impl ReplySlot {
         }
     }
 
-    fn wait(&self) -> Result<PlanOutput, ServerError> {
+    fn wait(&self) -> Result<QueryResponse, ServerError> {
         let mut slot = self.result.lock().unwrap();
         loop {
             if let Some(result) = slot.take() {
@@ -184,7 +229,11 @@ struct Inner {
     /// Round-robin position: the tenant index to try first.
     cursor: usize,
     shutdown: bool,
-    latencies_ns: Vec<u64>,
+    /// End-to-end latency histogram (enqueue → reply), shared with the
+    /// metrics registry — `stats()` and `metrics_text()` read one source.
+    latency: Arc<Histogram>,
+    /// Most recent queries over the slow-query threshold, oldest first.
+    slow_queries: VecDeque<SlowQuery>,
     /// Running sum/count of worker service times, for the admission-time
     /// queue-wait estimate behind load shedding and `retry_after` hints.
     service_total_ns: u64,
@@ -225,6 +274,37 @@ struct Shared {
     catalog: Catalog,
     source: Arc<dyn ColumnSource + Send + Sync>,
     config: ServerConfig,
+    metrics: MetricsRegistry,
+}
+
+/// Counter of admitted-query outcomes; mirrors [`OutcomeCounts`] exactly.
+const QUERIES_TOTAL: &str = "morph_queries_total";
+/// Counter of admission rejections (queue full, in-flight limit, shed).
+const REJECTED_TOTAL: &str = "morph_rejected_total";
+
+/// The metrics `outcome` label a finished query's result maps to — one
+/// value per [`OutcomeCounts`] bucket a worker can produce.
+fn outcome_label(result: &Result<QueryResponse, ServerError>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(ServerError::Cancelled) => "cancelled",
+        Err(ServerError::DeadlineExceeded { .. }) => "deadline_exceeded",
+        Err(ServerError::MemoryExceeded { .. }) => "memory_exceeded",
+        Err(_) => "failed",
+    }
+}
+
+/// What [`Shared::run_job`] hands back to the worker loop: the client
+/// reply plus the observability side-channel of the run.
+struct JobRun {
+    result: Result<QueryResponse, ServerError>,
+    /// Rendered per-node profile, whenever a tracer captured a trace
+    /// (`EXPLAIN ANALYZE` queries and slow-query-log candidates).
+    profile: Option<String>,
+    /// Plan nodes completed from the tenant's cache shard.
+    cache_hits: u64,
+    /// Intermediate bytes never materialised thanks to operator fusion.
+    bytes_avoided: u64,
 }
 
 impl Shared {
@@ -244,18 +324,36 @@ impl Shared {
         }
     }
 
-    fn run_job(&self, job: &Job) -> Result<PlanOutput, ServerError> {
+    fn run_job(&self, job: &Job) -> JobRun {
         let cache = {
             let inner = self.inner.lock().unwrap();
             Arc::clone(&inner.tenants[job.tenant].cache)
         };
-        let compiled: CompiledQuery = morph_sql::compile(&job.sql, &self.catalog)?;
-        let settings = self
+        let compiled: CompiledQuery = match morph_sql::compile(&job.sql, &self.catalog) {
+            Ok(compiled) => compiled,
+            Err(error) => {
+                return JobRun {
+                    result: Err(error.into()),
+                    profile: None,
+                    cache_hits: 0,
+                    bytes_avoided: 0,
+                }
+            }
+        };
+        let mut settings = self
             .config
             .settings
             .clone()
             .with_cache(cache)
             .with_governor(Arc::clone(&job.governor));
+        // EXPLAIN ANALYZE always traces; a configured slow-query threshold
+        // traces every query so the log can attach a profile after the fact.
+        let explain = compiled.is_explain_analyze();
+        let tracer = (explain || self.config.slow_query_threshold.is_some())
+            .then(|| Arc::new(QueryTracer::new()));
+        if let Some(tracer) = &tracer {
+            settings = settings.with_tracer(Arc::clone(tracer));
+        }
         let formats = self.config.formats.clone();
         let source = Arc::clone(&self.source);
         let threads = self.config.threads_per_query;
@@ -263,43 +361,137 @@ impl Shared {
         // and decode failures into structured `ExecError`s, and the outer
         // `catch_unwind` contains any *other* engine panic (a genuine bug,
         // or an injected one) so the worker survives either way.
-        catch_unwind(AssertUnwindSafe(move || {
+        let run = catch_unwind(AssertUnwindSafe(|| {
             let mut ctx = ExecutionContext::new(settings, formats);
-            if threads > 1 {
+            let result = if threads > 1 {
                 compiled.try_execute_parallel(source.as_ref(), &mut ctx, threads)
             } else {
                 compiled.try_execute(source.as_ref(), &mut ctx)
-            }
-        }))
-        .map_err(error::execution_error)?
-        .map_err(ServerError::from)
+            };
+            (
+                result,
+                ctx.cache_hit_count() as u64,
+                ctx.intermediate_bytes_avoided(),
+            )
+        }));
+        let (result, cache_hits, bytes_avoided) = match run {
+            Ok((result, hits, avoided)) => (result.map_err(ServerError::from), hits, avoided),
+            Err(panic) => (Err(error::execution_error(panic)), 0, 0),
+        };
+        let profile = tracer
+            .and_then(|tracer| tracer.last_trace())
+            .map(|trace| compiled.plan().explain_analyze(&trace));
+        let result = result.map(|output| QueryResponse {
+            output,
+            profile: if explain { profile.clone() } else { None },
+        });
+        JobRun {
+            result,
+            profile,
+            cache_hits,
+            bytes_avoided,
+        }
+    }
+
+    /// Count one query outcome for `tenant` — the metrics mirror of the
+    /// [`OutcomeCounts`] bucket the caller just incremented, so
+    /// `metrics_text()` reconciles exactly with `stats()`.
+    fn count_outcome(&self, tenant: &str, outcome: &str) {
+        self.metrics
+            .counter(
+                QUERIES_TOTAL,
+                "Admitted queries by final outcome (reconciles with OutcomeCounts)",
+                &[("tenant", tenant), ("outcome", outcome)],
+            )
+            .inc();
+    }
+
+    /// Count one admission rejection for `tenant`.
+    fn count_rejected(&self, tenant: &str) {
+        self.metrics
+            .counter(
+                REJECTED_TOTAL,
+                "Admission rejections (queue full, in-flight limit, load shed)",
+                &[("tenant", tenant)],
+            )
+            .inc();
     }
 
     fn worker_loop(&self) {
         while let Some(job) = self.take_job() {
             let started = Instant::now();
-            let result = self.run_job(&job);
-            let service = started.elapsed().as_nanos() as u64;
-            let latency = job.enqueued_at.elapsed().as_nanos() as u64;
-            {
+            let queue_wait = started.duration_since(job.enqueued_at);
+            let run = self.run_job(&job);
+            let service = started.elapsed();
+            let latency = job.enqueued_at.elapsed();
+            let outcome = outcome_label(&run.result);
+            let tenant_name = {
                 let mut inner = self.inner.lock().unwrap();
-                inner.latencies_ns.push(latency);
-                inner.service_total_ns += service;
+                inner.latency.observe(latency.as_nanos() as u64);
+                inner.service_total_ns += service.as_nanos() as u64;
                 inner.service_samples += 1;
                 let tenant = &mut inner.tenants[job.tenant];
                 tenant.served += 1;
                 tenant.in_flight = tenant.in_flight.saturating_sub(1);
-                match &result {
-                    Ok(_) => tenant.outcomes.ok += 1,
-                    Err(ServerError::Cancelled) => tenant.outcomes.cancelled += 1,
-                    Err(ServerError::DeadlineExceeded { .. }) => {
-                        tenant.outcomes.deadline_exceeded += 1
-                    }
-                    Err(ServerError::MemoryExceeded { .. }) => tenant.outcomes.memory_exceeded += 1,
-                    Err(_) => tenant.outcomes.failed += 1,
+                match outcome {
+                    "ok" => tenant.outcomes.ok += 1,
+                    "cancelled" => tenant.outcomes.cancelled += 1,
+                    "deadline_exceeded" => tenant.outcomes.deadline_exceeded += 1,
+                    "memory_exceeded" => tenant.outcomes.memory_exceeded += 1,
+                    _ => tenant.outcomes.failed += 1,
                 }
+                let name = tenant.name.clone();
+                if let Some(threshold) = self.config.slow_query_threshold {
+                    if service >= threshold {
+                        if inner.slow_queries.len() == SLOW_QUERY_LOG_CAPACITY {
+                            inner.slow_queries.pop_front();
+                        }
+                        inner.slow_queries.push_back(SlowQuery {
+                            tenant: name.clone(),
+                            sql: job.sql.clone(),
+                            service,
+                            latency,
+                            profile: run.profile.clone(),
+                        });
+                    }
+                }
+                name
+            };
+            self.count_outcome(&tenant_name, outcome);
+            let labels = [("tenant", tenant_name.as_str())];
+            self.metrics
+                .histogram(
+                    "morph_queue_wait_ns",
+                    "Admission-to-start wait per query",
+                    &labels,
+                )
+                .observe(queue_wait.as_nanos() as u64);
+            self.metrics
+                .histogram(
+                    "morph_execution_ns",
+                    "Worker service time per query",
+                    &labels,
+                )
+                .observe(service.as_nanos() as u64);
+            if run.cache_hits > 0 {
+                self.metrics
+                    .counter(
+                        "morph_cache_hit_nodes_total",
+                        "Plan nodes completed from the tenant's cache shard",
+                        &labels,
+                    )
+                    .add(run.cache_hits);
             }
-            job.reply.fill(result);
+            if run.bytes_avoided > 0 {
+                self.metrics
+                    .counter(
+                        "morph_intermediate_bytes_avoided_total",
+                        "Intermediate bytes never materialised thanks to operator fusion",
+                        &labels,
+                    )
+                    .add(run.bytes_avoided);
+            }
+            job.reply.fill(run.result);
         }
     }
 }
@@ -318,12 +510,19 @@ impl Server {
         source: Arc<dyn ColumnSource + Send + Sync>,
         config: ServerConfig,
     ) -> Server {
+        let metrics = MetricsRegistry::new();
+        let latency = metrics.histogram(
+            "morph_latency_ns",
+            "End-to-end query latency (enqueue to reply)",
+            &[],
+        );
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 tenants: Vec::new(),
                 cursor: 0,
                 shutdown: false,
-                latencies_ns: Vec::new(),
+                latency,
+                slow_queries: VecDeque::new(),
                 service_total_ns: 0,
                 service_samples: 0,
             }),
@@ -331,6 +530,7 @@ impl Server {
             catalog,
             source,
             config: config.clone(),
+            metrics,
         });
         let workers = (0..config.workers)
             .map(|index| {
@@ -438,10 +638,81 @@ impl Server {
             rejected: tenants.iter().map(|t| t.rejected).sum(),
             queue_depth: tenants.iter().map(|t| t.queue_depth).sum(),
             outcomes,
-            p50_latency_ns: stats::percentile_ns(&inner.latencies_ns, 50),
-            p95_latency_ns: stats::percentile_ns(&inner.latencies_ns, 95),
+            p50_latency_ns: inner.latency.value_at_quantile(0.50),
+            p95_latency_ns: inner.latency.value_at_quantile(0.95),
+            p99_latency_ns: inner.latency.value_at_quantile(0.99),
+            max_latency_ns: inner.latency.max(),
             tenants,
         }
+    }
+
+    /// Render the server's metrics in the Prometheus text exposition
+    /// format.
+    ///
+    /// Counters (`morph_queries_total`, `morph_rejected_total`, cache and
+    /// fusion byte counters) are incremented at the same sites as the
+    /// [`OutcomeCounts`] they mirror, so the rendered totals reconcile
+    /// exactly with [`Server::stats`].  Point-in-time gauges (queue depth,
+    /// in-flight queries, cache shard state) are refreshed on every call.
+    pub fn metrics_text(&self) -> String {
+        let metrics = &self.shared.metrics;
+        {
+            let inner = self.shared.inner.lock().unwrap();
+            metrics
+                .gauge("morph_tenants", "Registered tenants", &[])
+                .set(inner.tenants.len() as u64);
+            for tenant in &inner.tenants {
+                let labels = [("tenant", tenant.name.as_str())];
+                metrics
+                    .gauge(
+                        "morph_queue_depth",
+                        "Queries waiting in the tenant's admission queue",
+                        &labels,
+                    )
+                    .set(tenant.queue.len() as u64);
+                metrics
+                    .gauge(
+                        "morph_in_flight",
+                        "Queries admitted (queued or executing)",
+                        &labels,
+                    )
+                    .set(tenant.in_flight as u64);
+                let cache = tenant.cache.stats();
+                metrics
+                    .gauge("morph_cache_hits", "Cache shard lookups that hit", &labels)
+                    .set(cache.hits);
+                metrics
+                    .gauge(
+                        "morph_cache_misses",
+                        "Cache shard lookups that missed",
+                        &labels,
+                    )
+                    .set(cache.misses);
+                metrics
+                    .gauge(
+                        "morph_cache_bytes_used",
+                        "Physical bytes held by the cache shard",
+                        &labels,
+                    )
+                    .set(cache.bytes_used as u64);
+            }
+        }
+        metrics.render()
+    }
+
+    /// Direct access to the server's metrics registry, for embedding extra
+    /// metrics or reconciling counters in tests.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The slow-query log: the most recent queries whose worker service
+    /// time reached [`ServerConfig::slow_query_threshold`] (always empty
+    /// when unset), oldest first, each with its per-node profile.  Bounded
+    /// at 64 entries.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        let inner = self.shared.inner.lock().unwrap();
+        inner.slow_queries.iter().cloned().collect()
     }
 
     /// Stop accepting work, fail every queued query with
@@ -503,8 +774,15 @@ impl std::fmt::Debug for PendingQuery {
 }
 
 impl PendingQuery {
-    /// Block until the query finishes and return its result.
+    /// Block until the query finishes and return its result columns.
     pub fn wait(self) -> Result<PlanOutput, ServerError> {
+        self.wait_response().map(|response| response.output)
+    }
+
+    /// Block until the query finishes and return the full response —
+    /// including the per-node profile when the query was submitted as
+    /// `EXPLAIN ANALYZE SELECT ...`.
+    pub fn wait_response(self) -> Result<QueryResponse, ServerError> {
         let result = self.reply.wait();
         self.completed.fetch_add(1, Ordering::Relaxed);
         result
@@ -529,12 +807,13 @@ impl PendingQuery {
                     tenant.queue.remove(position);
                     tenant.in_flight = tenant.in_flight.saturating_sub(1);
                     tenant.outcomes.cancelled += 1;
-                    true
+                    Some(tenant.name.clone())
                 }
-                None => false,
+                None => None,
             }
         };
-        if removed {
+        if let Some(tenant) = removed {
+            self.shared.count_outcome(&tenant, "cancelled");
             self.reply.fill(Err(ServerError::Cancelled));
         }
     }
@@ -582,6 +861,7 @@ impl Session {
             if let Some(max_in_flight) = tenant.limits.max_in_flight {
                 if tenant.in_flight >= max_in_flight {
                     tenant.rejected += 1;
+                    self.shared.count_rejected(&tenant.name);
                     return Err(ServerError::InFlightLimit {
                         tenant: tenant.name.clone(),
                         max_in_flight,
@@ -590,6 +870,7 @@ impl Session {
             }
             if tenant.queue.len() >= capacity {
                 tenant.rejected += 1;
+                self.shared.count_rejected(&tenant.name);
                 return Err(ServerError::QueueFull {
                     tenant: tenant.name.clone(),
                     capacity,
@@ -605,6 +886,8 @@ impl Session {
                 if wait > deadline {
                     tenant.rejected += 1;
                     tenant.outcomes.shed += 1;
+                    self.shared.count_rejected(&tenant.name);
+                    self.shared.count_outcome(&tenant.name, "shed");
                     return Err(ServerError::QueueFull {
                         tenant: tenant.name.clone(),
                         capacity,
@@ -650,6 +933,13 @@ impl Session {
     /// decompressed output columns.
     pub fn submit(&self, sql: &str) -> Result<PlanOutput, ServerError> {
         self.enqueue(sql)?.wait()
+    }
+
+    /// Submit `sql` and block until the full [`QueryResponse`] — like
+    /// [`Session::submit`], but carrying the per-node profile when the
+    /// query was prefixed `EXPLAIN ANALYZE`.
+    pub fn submit_full(&self, sql: &str) -> Result<QueryResponse, ServerError> {
+        self.enqueue(sql)?.wait_response()
     }
 
     /// This session's submission counters.
@@ -1119,5 +1409,128 @@ mod tests {
         assert_eq!(stats.served, 40);
         assert!(stats.p50_latency_ns > 0);
         assert!(stats.p95_latency_ns >= stats.p50_latency_ns);
+        assert!(stats.p99_latency_ns >= stats.p95_latency_ns);
+        assert!(stats.max_latency_ns >= stats.p99_latency_ns);
+    }
+
+    #[test]
+    fn explain_analyze_returns_a_profile() {
+        let server = server(ServerConfig::default());
+        let session = server.session("acme").unwrap();
+        let response = session
+            .submit_full("EXPLAIN ANALYZE SELECT SUM(y) FROM t WHERE x = 1")
+            .unwrap();
+        assert_eq!(response.output.values, vec![110]);
+        let profile = response.profile.expect("EXPLAIN ANALYZE carries a profile");
+        assert!(profile.starts_with("explain analyze"), "{profile}");
+        assert!(profile.contains("rows"), "{profile}");
+        // The profile is a side-channel: the result columns are identical
+        // to the unprofiled run, and a plain SELECT has no profile.
+        let plain = session
+            .submit_full("SELECT SUM(y) FROM t WHERE x = 1")
+            .unwrap();
+        assert_eq!(plain.output, response.output);
+        assert_eq!(plain.profile, None);
+    }
+
+    #[test]
+    fn slow_query_log_captures_profiles() {
+        let traced = server(ServerConfig {
+            // Zero threshold: every query is "slow".
+            slow_query_threshold: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        });
+        let session = traced.session("acme").unwrap();
+        session.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        let slow = traced.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].tenant, "acme");
+        assert_eq!(slow[0].sql, "SELECT SUM(y) FROM t WHERE x = 1");
+        assert!(slow[0].latency >= slow[0].service);
+        let profile = slow[0].profile.as_deref().expect("threshold traces");
+        assert!(profile.starts_with("explain analyze"), "{profile}");
+        // Without a threshold nothing is logged (and nothing is traced).
+        let untraced = server(ServerConfig::default());
+        let session = untraced.session("acme").unwrap();
+        session.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        assert!(untraced.slow_queries().is_empty());
+    }
+
+    /// Every `OutcomeCounts` bucket equals its `morph_queries_total`
+    /// counter cell — exercised over ok, failed, cancelled, deadline,
+    /// memory and shed outcomes.
+    #[test]
+    fn metrics_reconcile_with_outcome_counts() {
+        let server = server(ServerConfig::default());
+        let ok = server.session("acme").unwrap();
+        ok.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap();
+        ok.submit("SELECT SUM(ghost) FROM t WHERE x = 1")
+            .unwrap_err();
+        let strict = server
+            .session_with_limits(
+                "strict",
+                TenantLimits {
+                    deadline: Some(Duration::ZERO),
+                    memory_budget_bytes: None,
+                    max_in_flight: None,
+                },
+            )
+            .unwrap();
+        strict
+            .submit("SELECT SUM(y) FROM t WHERE x = 1")
+            .unwrap_err();
+        let tiny = server
+            .session_with_limits(
+                "tiny",
+                TenantLimits {
+                    memory_budget_bytes: Some(1),
+                    ..TenantLimits::default()
+                },
+            )
+            .unwrap();
+        tiny.submit("SELECT SUM(y) FROM t WHERE x = 1").unwrap_err();
+
+        let stats = server.stats();
+        let metrics = server.metrics();
+        let outcomes = [
+            "ok",
+            "failed",
+            "cancelled",
+            "deadline_exceeded",
+            "memory_exceeded",
+            "shed",
+        ];
+        for tenant in &stats.tenants {
+            for outcome in outcomes {
+                let counted = metrics
+                    .counter_value(
+                        QUERIES_TOTAL,
+                        &[("tenant", tenant.tenant.as_str()), ("outcome", outcome)],
+                    )
+                    .unwrap_or(0);
+                let expected = match outcome {
+                    "ok" => tenant.outcomes.ok,
+                    "failed" => tenant.outcomes.failed,
+                    "cancelled" => tenant.outcomes.cancelled,
+                    "deadline_exceeded" => tenant.outcomes.deadline_exceeded,
+                    "memory_exceeded" => tenant.outcomes.memory_exceeded,
+                    _ => tenant.outcomes.shed,
+                };
+                assert_eq!(counted, expected, "{}/{outcome}", tenant.tenant);
+            }
+        }
+        assert_eq!(metrics.counter_total(QUERIES_TOTAL), stats.outcomes.total());
+        assert_eq!(metrics.counter_total(REJECTED_TOTAL), stats.rejected);
+        // The rendered text carries the same numbers.
+        let text = server.metrics_text();
+        assert!(
+            text.contains("# TYPE morph_queries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("morph_queries_total{outcome=\"ok\",tenant=\"acme\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("morph_latency_ns_count 4"), "{text}");
     }
 }

@@ -83,42 +83,15 @@ pub struct ServerStats {
     /// Per-outcome breakdown across all tenants.
     pub outcomes: OutcomeCounts,
     /// Median end-to-end latency (enqueue → reply) in nanoseconds, 0 when
-    /// nothing has been served.
+    /// nothing has been served.  Quantiles are read from the shared
+    /// log-linear latency histogram (bounded relative error, exact max).
     pub p50_latency_ns: u64,
     /// 95th-percentile end-to-end latency in nanoseconds.
     pub p95_latency_ns: u64,
+    /// 99th-percentile end-to-end latency in nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Largest end-to-end latency observed, in nanoseconds (exact).
+    pub max_latency_ns: u64,
     /// Per-tenant breakdown, in tenant-registration order.
     pub tenants: Vec<TenantStats>,
-}
-
-/// Nearest-rank percentile of unsorted latency samples (`q` in 0..=100);
-/// 0 for an empty sample set.
-pub(crate) fn percentile_ns(samples: &[u64], q: u32) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = (q as usize * sorted.len()).div_ceil(100).max(1);
-    sorted[rank - 1]
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        assert_eq!(percentile_ns(&[], 50), 0);
-        assert_eq!(percentile_ns(&[7], 50), 7);
-        assert_eq!(percentile_ns(&[7], 95), 7);
-        let samples: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_ns(&samples, 50), 50);
-        assert_eq!(percentile_ns(&samples, 95), 95);
-        assert_eq!(percentile_ns(&samples, 100), 100);
-        // Order-insensitive.
-        let mut shuffled = samples.clone();
-        shuffled.reverse();
-        assert_eq!(percentile_ns(&shuffled, 50), 50);
-    }
 }

@@ -169,6 +169,41 @@ fn seeded_faults_are_contained_and_counted() {
             "{tenant:?}"
         );
     }
+
+    // The metrics registry was fed at the same sites as the outcome
+    // buckets, so its counters reconcile exactly — even after a chaos run.
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.counter_total("morph_queries_total"),
+        stats.outcomes.total()
+    );
+    for tenant in &stats.tenants {
+        for (outcome, expected) in [
+            ("ok", tenant.outcomes.ok),
+            ("failed", tenant.outcomes.failed),
+            ("cancelled", tenant.outcomes.cancelled),
+            ("deadline_exceeded", tenant.outcomes.deadline_exceeded),
+            ("memory_exceeded", tenant.outcomes.memory_exceeded),
+            ("shed", tenant.outcomes.shed),
+        ] {
+            assert_eq!(
+                metrics
+                    .counter_value(
+                        "morph_queries_total",
+                        &[("tenant", tenant.tenant.as_str()), ("outcome", outcome)],
+                    )
+                    .unwrap_or(0),
+                expected,
+                "{}/{outcome} diverges from OutcomeCounts",
+                tenant.tenant
+            );
+        }
+    }
+    let text = server.metrics_text();
+    assert!(
+        text.contains(&format!("morph_latency_ns_count {submitted}")),
+        "latency histogram count != served: {text}"
+    );
 }
 
 #[test]

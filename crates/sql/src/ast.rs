@@ -245,6 +245,9 @@ impl fmt::Display for OrderItem {
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
+    /// Whether the query was prefixed with `EXPLAIN ANALYZE`: execute it
+    /// under a tracer and return the per-node profile alongside the result.
+    pub explain_analyze: bool,
     /// The `SELECT` list (at least one item).
     pub select: Vec<SelectItem>,
     /// The `FROM` tables (at least one).
@@ -259,6 +262,9 @@ pub struct Query {
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.explain_analyze {
+            f.write_str("EXPLAIN ANALYZE ")?;
+        }
         f.write_str("SELECT ")?;
         for (i, item) in self.select.iter().enumerate() {
             if i > 0 {

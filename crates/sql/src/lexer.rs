@@ -27,6 +27,10 @@ pub enum TokenKind {
     /// A single-quoted string literal (quotes stripped; no escapes).
     StringLit(String),
     // Keywords (case-insensitive in the source).
+    /// `EXPLAIN`
+    Explain,
+    /// `ANALYZE`
+    Analyze,
     /// `SELECT`
     Select,
     /// `SUM`
@@ -93,6 +97,8 @@ impl TokenKind {
             TokenKind::Ident(name) => format!("identifier `{name}`"),
             TokenKind::Number(value) => format!("number `{value}`"),
             TokenKind::StringLit(text) => format!("string '{text}'"),
+            TokenKind::Explain => "keyword EXPLAIN".to_string(),
+            TokenKind::Analyze => "keyword ANALYZE".to_string(),
             TokenKind::Select => "keyword SELECT".to_string(),
             TokenKind::Sum => "keyword SUM".to_string(),
             TokenKind::As => "keyword AS".to_string(),
@@ -137,6 +143,8 @@ pub struct Token {
 fn keyword(word: &str) -> Option<TokenKind> {
     // Keywords are matched case-insensitively; `word` arrives lowercased.
     Some(match word {
+        "explain" => TokenKind::Explain,
+        "analyze" => TokenKind::Analyze,
         "select" => TokenKind::Select,
         "sum" => TokenKind::Sum,
         "as" => TokenKind::As,

@@ -9,7 +9,8 @@
 //! ## Grammar subset
 //!
 //! ```text
-//! query      := SELECT select_item ("," select_item)*
+//! query      := [EXPLAIN ANALYZE]
+//!               SELECT select_item ("," select_item)*
 //!               FROM ident ("," ident)*
 //!               [WHERE conjunct (AND conjunct)*]
 //!               [GROUP BY column ("," column)*]

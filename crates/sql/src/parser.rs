@@ -70,6 +70,16 @@ impl Parser {
     }
 
     fn query(&mut self) -> Result<Query, SqlError> {
+        // Optional `EXPLAIN ANALYZE` prefix (plain EXPLAIN without ANALYZE
+        // is not part of the subset — the unexecuted plan is available via
+        // `QueryPlan::describe_with_fusion`).
+        let explain_analyze = if self.peek() == &TokenKind::Explain {
+            self.advance();
+            self.expect(TokenKind::Analyze, "ANALYZE after EXPLAIN")?;
+            true
+        } else {
+            false
+        };
         self.expect(TokenKind::Select, "SELECT")?;
         let mut select = vec![self.select_item()?];
         while self.peek() == &TokenKind::Comma {
@@ -117,6 +127,7 @@ impl Parser {
         }
 
         Ok(Query {
+            explain_analyze,
             select,
             from,
             predicates,

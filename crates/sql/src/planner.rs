@@ -52,6 +52,7 @@ pub struct CompiledQuery {
     plan: QueryPlan,
     key_count: usize,
     order_by: Vec<(OrderTarget, bool)>,
+    explain_analyze: bool,
 }
 
 impl CompiledQuery {
@@ -59,6 +60,13 @@ impl CompiledQuery {
     /// `GROUP BY` order — the same contract as the hand-built SSB plans).
     pub fn plan(&self) -> &QueryPlan {
         &self.plan
+    }
+
+    /// Whether the query was prefixed with `EXPLAIN ANALYZE`: the caller
+    /// should execute under a tracer and render the per-node profile with
+    /// [`QueryPlan::explain_analyze`] alongside the result.
+    pub fn is_explain_analyze(&self) -> bool {
+        self.explain_analyze
     }
 
     /// Number of group-key output columns (0 for a scalar aggregate).
@@ -169,7 +177,9 @@ pub fn compile_with_label(
 ) -> Result<CompiledQuery, SqlError> {
     let query = parser::parse(sql)?;
     let resolved = resolve(&query, catalog)?;
-    Ok(lower(&resolved, label))
+    let mut compiled = lower(&resolved, label);
+    compiled.explain_analyze = query.explain_analyze;
+    Ok(compiled)
 }
 
 // ---------------------------------------------------------------------------
@@ -759,6 +769,7 @@ fn lower(resolved: &Resolved<'_>, label: &str) -> CompiledQuery {
         plan,
         key_count: resolved.group_by.len(),
         order_by: resolved.order_by.clone(),
+        explain_analyze: false,
     }
 }
 

@@ -136,6 +136,7 @@ fn select_item(rng: &mut TestRng) -> SelectItem {
 
 fn query(rng: &mut TestRng) -> Query {
     Query {
+        explain_analyze: rng.next_u64().is_multiple_of(8),
         select: (0..1 + rng.next_u64() % 4)
             .map(|_| select_item(rng))
             .collect(),

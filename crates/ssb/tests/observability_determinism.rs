@@ -1,0 +1,167 @@
+//! Determinism suite for the telemetry layer: attaching a tracer must be
+//! observationally free.  For all 13 SSB queries, executing with tracing
+//! enabled is **byte-identical** to the untraced run —
+//!
+//! * identical results (including row order),
+//! * an identical footprint-record sequence,
+//! * an identical operator-timing label sequence,
+//!
+//! across serial and parallel (2 and 4 worker) execution, with fusion off
+//! and on.  On top of byte-identity, every traced run must produce a
+//! complete span tree (every plan node recorded) and an `EXPLAIN ANALYZE`
+//! profile with one line per node — through the plan API and through the
+//! SQL front-end's `EXPLAIN ANALYZE` prefix alike.
+
+use std::sync::Arc;
+
+use morph_compression::Format;
+use morph_ssb::{dbgen, ssb_catalog, SsbData, SsbQuery};
+use morphstore_engine::exec::FormatConfig;
+use morphstore_engine::{ExecSettings, ExecutionContext, QueryTracer};
+
+const THREAD_COUNTS: [usize; 2] = [2, 4];
+
+fn timing_labels(ctx: &ExecutionContext) -> Vec<String> {
+    ctx.timings().iter().map(|(n, _)| n.clone()).collect()
+}
+
+fn check_all_queries(data: &SsbData, settings: ExecSettings, formats: &FormatConfig) {
+    for query in SsbQuery::all() {
+        let node_count = query.plan().dependencies().len();
+
+        // Untraced serial execution is the reference for everything.
+        let mut ref_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let reference = query.execute(data, &mut ref_ctx);
+
+        // Serial with a tracer: byte-identical, plus a complete span tree.
+        let tracer = Arc::new(QueryTracer::new());
+        let traced_settings = settings.clone().with_tracer(Arc::clone(&tracer));
+        let mut traced_ctx = ExecutionContext::new(traced_settings.clone(), formats.clone());
+        let traced = query.execute(data, &mut traced_ctx);
+        assert_eq!(traced, reference, "{query} traced serial: result diverged");
+        assert_eq!(
+            traced_ctx.records(),
+            ref_ctx.records(),
+            "{query} traced serial: footprint records diverged"
+        );
+        assert_eq!(
+            timing_labels(&traced_ctx),
+            timing_labels(&ref_ctx),
+            "{query} traced serial: operator sequence diverged"
+        );
+        let trace = tracer.last_trace().expect("trace finished");
+        assert_eq!(trace.node_count(), node_count, "{query}");
+        for index in 0..node_count {
+            assert!(
+                trace.node(index).is_recorded(),
+                "{query}: node {index} has no span"
+            );
+        }
+        let profile = query.plan().explain_analyze(&trace);
+        assert!(profile.starts_with("explain analyze"), "{query}: {profile}");
+        assert!(
+            !profile.contains("(not executed)"),
+            "{query}: incomplete profile\n{profile}"
+        );
+        assert!(
+            !profile.contains("different plan"),
+            "{query}: stale trace\n{profile}"
+        );
+        assert!(
+            profile.lines().count() > node_count,
+            "{query}: profile shorter than the plan\n{profile}"
+        );
+
+        // Traced parallel execution, with and without fusion: still
+        // byte-identical, span tree still complete.
+        for fused in [false, true] {
+            let run_settings = if fused {
+                traced_settings.clone().with_fusion()
+            } else {
+                traced_settings.clone()
+            };
+            for threads in THREAD_COUNTS {
+                let mut ctx = ExecutionContext::new(run_settings.clone(), formats.clone());
+                let parallel = query.execute_parallel(data, &mut ctx, threads);
+                assert_eq!(
+                    parallel, reference,
+                    "{query} traced threads={threads} fused={fused}: result diverged"
+                );
+                assert_eq!(
+                    ctx.records(),
+                    ref_ctx.records(),
+                    "{query} traced threads={threads} fused={fused}: records diverged"
+                );
+                assert_eq!(
+                    timing_labels(&ctx),
+                    timing_labels(&ref_ctx),
+                    "{query} traced threads={threads} fused={fused}: labels diverged"
+                );
+                let trace = tracer.last_trace().expect("trace finished");
+                assert_eq!(trace.node_count(), node_count, "{query}");
+                for index in 0..node_count {
+                    assert!(
+                        trace.node(index).is_recorded(),
+                        "{query} threads={threads} fused={fused}: node {index} unrecorded"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_is_byte_identical_across_executors_and_formats() {
+    let raw = dbgen::generate(0.004, 7);
+    check_all_queries(
+        &raw,
+        ExecSettings::scalar_uncompressed(),
+        &FormatConfig::uncompressed(),
+    );
+    let compressed = raw.with_uniform_format(&Format::DynBp);
+    check_all_queries(
+        &compressed,
+        ExecSettings::vectorized_compressed(),
+        &FormatConfig::with_default(Format::DynBp),
+    );
+}
+
+#[test]
+fn explain_analyze_works_through_the_sql_front_end() {
+    let data = dbgen::generate(0.004, 7);
+    let catalog = ssb_catalog();
+    for query in SsbQuery::all() {
+        let sql = format!("EXPLAIN ANALYZE {}", query.sql());
+        let compiled =
+            morph_sql::compile(&sql, &catalog).unwrap_or_else(|e| panic!("{query}: {e}"));
+        assert!(compiled.is_explain_analyze(), "{query}");
+
+        // The EXPLAIN ANALYZE prefix changes nothing about the plan: the
+        // executed result stays byte-identical to the plain compilation.
+        let plain =
+            morph_sql::compile(query.sql(), &catalog).unwrap_or_else(|e| panic!("{query}: {e}"));
+        assert!(!plain.is_explain_analyze(), "{query}");
+
+        let settings = ExecSettings::vectorized_compressed();
+        let formats = FormatConfig::with_default(Format::DynBp);
+        let mut plain_ctx = ExecutionContext::new(settings.clone(), formats.clone());
+        let expected = plain.execute(&data, &mut plain_ctx);
+
+        let tracer = Arc::new(QueryTracer::new());
+        let mut ctx =
+            ExecutionContext::new(settings.with_tracer(Arc::clone(&tracer)), formats.clone());
+        let output = compiled.execute(&data, &mut ctx);
+        assert_eq!(
+            output, expected,
+            "{query}: EXPLAIN ANALYZE changed the result"
+        );
+
+        let trace = tracer.last_trace().expect("trace finished");
+        let profile = compiled.plan().explain_analyze(&trace);
+        assert!(profile.starts_with("explain analyze"), "{query}: {profile}");
+        assert!(
+            !profile.contains("(not executed)") && !profile.contains("different plan"),
+            "{query}: incomplete or stale profile\n{profile}"
+        );
+    }
+}

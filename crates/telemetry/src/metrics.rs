@@ -1,0 +1,437 @@
+//! Counters, gauges and log-bucketed histograms with Prometheus-style text
+//! rendering.
+//!
+//! A [`MetricsRegistry`] hands out `Arc`-shared atomic handles: looking a
+//! metric up (or creating it) takes the registry lock once; every
+//! increment afterwards is a relaxed atomic operation.  Rendering walks the
+//! registry under the lock and emits deterministic, sorted
+//! `# HELP`/`# TYPE`/sample text in the Prometheus exposition format.
+//!
+//! The [`Histogram`] is log-linear: values bucket by their leading bit with
+//! four linear sub-buckets per power of two, which bounds the relative
+//! quantile error at 25% over the full `u64` range while keeping the
+//! storage at a fixed 252 atomic counters — small enough that the server
+//! can afford one histogram per tenant.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log-linear buckets (4 sub-buckets per power of two of `u64`).
+const BUCKETS: usize = 252;
+
+fn bucket_index(value: u64) -> usize {
+    if value < 4 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize;
+    let sub = ((value >> (msb - 2)) & 0b11) as usize;
+    (msb - 1) * 4 + sub
+}
+
+/// Inclusive upper bound of bucket `index` (the value a quantile reports).
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < 4 {
+        return index as u64;
+    }
+    let msb = index / 4 + 1;
+    let sub = (index % 4) as u64;
+    let lower = (1u64 << msb) + sub * (1u64 << (msb - 2));
+    lower + ((1u64 << (msb - 2)) - 1)
+}
+
+/// A log-linear latency/size histogram: lock-free `observe`, bounded
+/// relative error on quantiles, exact count/sum/max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.  Relaxed atomics only.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The largest recorded observation (exact; 0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` (0.0–1.0): nearest-rank over the log-linear
+    /// buckets, reported as the bucket's upper bound and clamped to the
+    /// exact maximum.  Returns 0 for an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(index).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can be set to arbitrary levels).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "summary",
+        }
+    }
+}
+
+/// Sorted label set — part of a metric's identity.
+type Labels = Vec<(String, String)>;
+
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    cells: BTreeMap<Labels, Cell>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: BTreeMap<String, Family>,
+}
+
+/// A registry of named metrics with Prometheus-style text rendering.
+///
+/// Metric identity is (name, sorted label set); registering the same
+/// identity twice returns the same underlying cell, so call sites do not
+/// need to coordinate.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    labels
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn family<'a>(
+        inner: &'a mut Inner,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+    ) -> &'a mut Family {
+        let family = inner
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                cells: BTreeMap::new(),
+            });
+        assert_eq!(
+            family.kind, kind,
+            "metric `{name}` registered with two different kinds"
+        );
+        family
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let family = Self::family(&mut inner, name, help, MetricKind::Counter);
+        let cell = family
+            .cells
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0))));
+        match cell {
+            Cell::Counter(value) => Counter(Arc::clone(value)),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let family = Self::family(&mut inner, name, help, MetricKind::Gauge);
+        let cell = family
+            .cells
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Cell::Gauge(Arc::new(AtomicU64::new(0))));
+        match cell {
+            Cell::Gauge(value) => Gauge(Arc::clone(value)),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Get or create a histogram (rendered as a Prometheus summary with
+    /// p50/p95/p99 quantiles plus `_sum`, `_count` and `_max`).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let family = Self::family(&mut inner, name, help, MetricKind::Histogram);
+        let cell = family
+            .cells
+            .entry(sorted_labels(labels))
+            .or_insert_with(|| Cell::Histogram(Arc::new(Histogram::new())));
+        match cell {
+            Cell::Histogram(histogram) => Arc::clone(histogram),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// The current value of a counter, or `None` when it was never
+    /// registered — the reconciliation hook for tests.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let inner = self.inner.lock().expect("metrics lock");
+        let family = inner.families.get(name)?;
+        match family.cells.get(&sorted_labels(labels))? {
+            Cell::Counter(value) => Some(value.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    /// Sum of a counter family over all label sets (0 when unregistered).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner
+            .families
+            .get(name)
+            .map(|family| {
+                family
+                    .cells
+                    .values()
+                    .map(|cell| match cell {
+                        Cell::Counter(value) => value.load(Ordering::Relaxed),
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format,
+    /// deterministically sorted by metric name and label set.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = String::new();
+        for (name, family) in &inner.families {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, cell) in &family.cells {
+                match cell {
+                    Cell::Counter(value) | Cell::Gauge(value) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, &[]),
+                            value.load(Ordering::Relaxed)
+                        );
+                    }
+                    Cell::Histogram(histogram) => {
+                        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                            let _ = writeln!(
+                                out,
+                                "{name}{} {}",
+                                render_labels(labels, &[("quantile", label)]),
+                                histogram.value_at_quantile(q)
+                            );
+                        }
+                        let suffix = render_labels(labels, &[]);
+                        let _ = writeln!(out, "{name}_sum{suffix} {}", histogram.sum());
+                        let _ = writeln!(out, "{name}_count{suffix} {}", histogram.count());
+                        let _ = writeln!(out, "{name}_max{suffix} {}", histogram.max());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &Labels, extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_monotone_and_bounded() {
+        let mut previous = 0;
+        for value in [0u64, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1_000, u64::MAX] {
+            let index = bucket_index(value);
+            assert!(index >= previous, "{value}");
+            assert!(index < BUCKETS, "{value}");
+            assert!(bucket_upper_bound(index) >= value, "{value}");
+            previous = index;
+        }
+        // Relative error of the upper bound is at most 25%.
+        for value in [100u64, 1_000, 50_000, 7_000_000] {
+            let upper = bucket_upper_bound(bucket_index(value));
+            assert!(upper as f64 <= value as f64 * 1.25, "{value} -> {upper}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_count_sum_max() {
+        let histogram = Histogram::new();
+        assert_eq!(histogram.value_at_quantile(0.5), 0);
+        for value in 1..=100u64 {
+            histogram.observe(value);
+        }
+        assert_eq!(histogram.count(), 100);
+        assert_eq!(histogram.sum(), 5050);
+        assert_eq!(histogram.max(), 100);
+        let p50 = histogram.value_at_quantile(0.5);
+        assert!((50..=63).contains(&p50), "{p50}");
+        let p99 = histogram.value_at_quantile(0.99);
+        assert!((99..=100).contains(&p99), "{p99}");
+        assert_eq!(histogram.value_at_quantile(1.0), 100);
+    }
+
+    #[test]
+    fn registry_reuses_cells_and_renders_sorted() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("morph_test_total", "test counter", &[("tenant", "blue")]);
+        let b = registry.counter("morph_test_total", "test counter", &[("tenant", "blue")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(
+            registry.counter_value("morph_test_total", &[("tenant", "blue")]),
+            Some(3)
+        );
+        registry
+            .counter("morph_test_total", "test counter", &[("tenant", "green")])
+            .inc();
+        assert_eq!(registry.counter_total("morph_test_total"), 4);
+
+        let gauge = registry.gauge("morph_depth", "queue depth", &[]);
+        gauge.set(7);
+        let latency = registry.histogram("morph_latency_ns", "latency", &[]);
+        latency.observe(1000);
+
+        let text = registry.render();
+        assert!(text.contains("# TYPE morph_test_total counter"));
+        assert!(text.contains("morph_test_total{tenant=\"blue\"} 3"));
+        assert!(text.contains("morph_test_total{tenant=\"green\"} 1"));
+        assert!(text.contains("morph_depth 7"));
+        assert!(text.contains("# TYPE morph_latency_ns summary"));
+        assert!(text.contains("morph_latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("morph_latency_ns_count 1"));
+        assert!(text.contains("morph_latency_ns_max 1000"));
+        // Deterministic: rendering twice yields the same text.
+        assert_eq!(text, registry.render());
+    }
+}

@@ -1,0 +1,374 @@
+//! Per-query tracing spans.
+//!
+//! A [`QueryTracer`] is attached to the engine's execution settings.  At the
+//! start of an execution the executor calls [`QueryTracer::begin`] with the
+//! plan's [`PlanTopology`]; the returned [`PlanTrace`] holds one
+//! preallocated [`NodeSpan`] slot per plan node.  Worker threads record
+//! into those slots with relaxed atomic stores only — no locks, no
+//! allocation — so tracing costs the same two relaxed atomics per node as a
+//! governor checkpoint.  [`QueryTracer::finish`] publishes the completed
+//! trace, which [`QueryTracer::last_trace`] hands to renderers (the
+//! engine's `EXPLAIN ANALYZE`, the server's slow-query log).
+//!
+//! ## Span identity
+//!
+//! Span ids are *deterministic*: the id of node `i` is an FNV-1a mix of the
+//! plan's 128-bit structural fingerprint and `i`.  The same plan therefore
+//! produces the same span ids on every run, every thread count and every
+//! machine — ids are stable join keys between spans, timing records and any
+//! external trace store, with no string matching involved.
+//!
+//! ## Span tree
+//!
+//! The trace mirrors the executed structure at three levels:
+//!
+//! * one root *query span* (the plan fingerprint),
+//! * one *node span* per plan node, whose parent edges are exactly the
+//!   plan's dependency edges (`QueryPlan::dependencies()`),
+//! * fused-region membership and morsel fan-out degree as annotations on
+//!   the node spans ([`RegionInfo`], [`NodeSpan::morsel_parts`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A deterministic 64-bit span identifier.
+pub type SpanId = u64;
+
+const FNV64_BASIS: u64 = 0xcbf29ce484222325;
+const FNV64_PRIME: u64 = 0x00000100000001B3;
+
+fn fnv64(bytes: impl IntoIterator<Item = u8>, seed: u64) -> u64 {
+    let mut state = seed;
+    for byte in bytes {
+        state ^= byte as u64;
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+/// Derive the root query-span id from a plan's structural fingerprint.
+pub fn query_span_id(fingerprint: u128) -> SpanId {
+    fnv64(fingerprint.to_le_bytes(), FNV64_BASIS)
+}
+
+/// Derive the deterministic span id of plan node `index` under
+/// `fingerprint`.
+pub fn node_span_id(fingerprint: u128, index: usize) -> SpanId {
+    fnv64(
+        (index as u64).to_le_bytes(),
+        query_span_id(fingerprint) ^ FNV64_PRIME,
+    )
+}
+
+/// Static description of one plan node, captured at trace begin.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// Full intermediate name (`"<label>/<step>"`; base column name for
+    /// scans).
+    pub name: String,
+    /// Operator mnemonic (`scan`, `select`, `project`, …).
+    pub mnemonic: String,
+    /// Indices of the nodes this node consumes — the plan's dependency
+    /// edges, which become the span tree's parent edges.
+    pub deps: Vec<usize>,
+    /// The resolved output format of the node's edge.
+    pub format: String,
+}
+
+/// Static description of one fused region, captured at trace begin.
+#[derive(Debug, Clone)]
+pub struct RegionInfo {
+    /// Member node indices, in execution (topological) order.
+    pub members: Vec<usize>,
+    /// The region's root node (the only member whose output is retained).
+    pub root: usize,
+    /// The driver column the single pass iterates over.
+    pub driver: String,
+    /// Whether the region was eligible for morsel fan-out.
+    pub fan_out_eligible: bool,
+}
+
+/// The plan shape the executor hands to [`QueryTracer::begin`] — plain data,
+/// so the engine can describe itself to this crate without a dependency
+/// cycle.
+#[derive(Debug, Clone, Default)]
+pub struct PlanTopology {
+    /// The plan's 128-bit structural fingerprint (span-id seed).
+    pub fingerprint: u128,
+    /// The plan's human-readable label.
+    pub label: String,
+    /// One entry per plan node, in node-list (topological) order.
+    pub nodes: Vec<NodeInfo>,
+    /// The fused regions the execution will run as single passes (empty
+    /// with fusion disabled).
+    pub regions: Vec<RegionInfo>,
+}
+
+/// One node's span slot: atomics only, written by whichever worker thread
+/// completes the node.
+#[derive(Debug, Default)]
+pub struct NodeSpan {
+    recorded: AtomicBool,
+    elapsed_ns: AtomicU64,
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    logical_bytes: AtomicU64,
+    cache_hit: AtomicBool,
+    morsel_parts: AtomicU64,
+}
+
+impl NodeSpan {
+    /// Whether the node's execution was recorded.
+    pub fn is_recorded(&self) -> bool {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Recorded wall time of the node's operator (the cache-lookup time for
+    /// a cache hit; zero for scans, which only bind a base column).
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_ns.load(Ordering::Relaxed))
+    }
+
+    /// Logical rows of the node's output column.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Physical (compressed) bytes of the node's output.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Logical (uncompressed, 8 bytes per element) size of the output.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Whether the node was served from the plan-level cache.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit.load(Ordering::Relaxed)
+    }
+
+    /// Morsel fan-out degree (0 when the node ran unpartitioned).
+    pub fn morsel_parts(&self) -> u64 {
+        self.morsel_parts.load(Ordering::Relaxed)
+    }
+}
+
+/// The live trace of one plan execution: per-node atomic span slots plus the
+/// static topology they annotate.
+#[derive(Debug)]
+pub struct PlanTrace {
+    topology: PlanTopology,
+    spans: Vec<NodeSpan>,
+    started: Instant,
+    total_ns: AtomicU64,
+}
+
+impl PlanTrace {
+    fn new(topology: PlanTopology) -> PlanTrace {
+        let spans = (0..topology.nodes.len())
+            .map(|_| NodeSpan::default())
+            .collect();
+        PlanTrace {
+            topology,
+            spans,
+            started: Instant::now(),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The topology captured at trace begin.
+    pub fn topology(&self) -> &PlanTopology {
+        &self.topology
+    }
+
+    /// Number of node spans (== plan nodes).
+    pub fn node_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The root query-span id (derived from the plan fingerprint).
+    pub fn query_span_id(&self) -> SpanId {
+        query_span_id(self.topology.fingerprint)
+    }
+
+    /// The deterministic span id of node `index`.
+    pub fn span_id(&self, index: usize) -> SpanId {
+        node_span_id(self.topology.fingerprint, index)
+    }
+
+    /// The span ids of node `index`'s parents — its plan dependencies.
+    pub fn parent_span_ids(&self, index: usize) -> Vec<SpanId> {
+        self.topology.nodes[index]
+            .deps
+            .iter()
+            .map(|&dep| self.span_id(dep))
+            .collect()
+    }
+
+    /// The span slot of node `index`.
+    pub fn node(&self, index: usize) -> &NodeSpan {
+        &self.spans[index]
+    }
+
+    /// Record the completion of node `index`.  Relaxed atomic stores only —
+    /// each node completes on exactly one thread, so slots never contend.
+    pub fn record_node(
+        &self,
+        index: usize,
+        elapsed: Duration,
+        rows: u64,
+        bytes: u64,
+        logical_bytes: u64,
+        cache_hit: bool,
+    ) {
+        let span = &self.spans[index];
+        span.elapsed_ns
+            .store(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        span.rows.store(rows, Ordering::Relaxed);
+        span.bytes.store(bytes, Ordering::Relaxed);
+        span.logical_bytes.store(logical_bytes, Ordering::Relaxed);
+        span.cache_hit.store(cache_hit, Ordering::Relaxed);
+        span.recorded.store(true, Ordering::Relaxed);
+    }
+
+    /// Record the morsel fan-out degree of node `index` (called by the
+    /// scheduler when it plans a partitioned job).
+    pub fn note_fan_out(&self, index: usize, parts: u64) {
+        self.spans[index]
+            .morsel_parts
+            .store(parts, Ordering::Relaxed);
+    }
+
+    /// Close the root query span (total wall time since begin).
+    pub fn finish(&self) {
+        self.total_ns
+            .store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total wall time of the execution (zero until [`PlanTrace::finish`]).
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed))
+    }
+
+    /// The fused region containing node `index`, if any.
+    pub fn region_of(&self, index: usize) -> Option<(usize, &RegionInfo)> {
+        self.topology
+            .regions
+            .iter()
+            .enumerate()
+            .find(|(_, region)| region.members.contains(&index))
+    }
+}
+
+/// The per-query span recorder attached to the engine's execution settings.
+///
+/// One tracer can observe many executions; [`QueryTracer::last_trace`]
+/// returns the most recently finished one (what `EXPLAIN ANALYZE` renders).
+/// Begin/finish take a mutex — the cold path, twice per query; recording
+/// into the returned [`PlanTrace`] is lock-free.
+#[derive(Debug, Default)]
+pub struct QueryTracer {
+    last: Mutex<Option<Arc<PlanTrace>>>,
+    traced: AtomicU64,
+}
+
+impl QueryTracer {
+    /// Create a tracer with no recorded trace.
+    pub fn new() -> QueryTracer {
+        QueryTracer::default()
+    }
+
+    /// Start tracing one plan execution.  The returned handle is shared
+    /// with every worker thread of the execution.
+    pub fn begin(&self, topology: PlanTopology) -> Arc<PlanTrace> {
+        Arc::new(PlanTrace::new(topology))
+    }
+
+    /// Publish a completed trace (closes its root span).
+    pub fn finish(&self, trace: Arc<PlanTrace>) {
+        trace.finish();
+        self.traced.fetch_add(1, Ordering::Relaxed);
+        *self.last.lock().expect("tracer lock") = Some(trace);
+    }
+
+    /// The most recently finished trace, if any execution completed under
+    /// this tracer.
+    pub fn last_trace(&self) -> Option<Arc<PlanTrace>> {
+        self.last.lock().expect("tracer lock").clone()
+    }
+
+    /// Number of executions this tracer has finished.
+    pub fn traced_count(&self) -> u64 {
+        self.traced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topology() -> PlanTopology {
+        PlanTopology {
+            fingerprint: 0xfeed_beef_dead_cafe,
+            label: "t".to_string(),
+            nodes: vec![
+                NodeInfo {
+                    name: "x".to_string(),
+                    mnemonic: "scan".to_string(),
+                    deps: vec![],
+                    format: "uncompr".to_string(),
+                },
+                NodeInfo {
+                    name: "t/sel".to_string(),
+                    mnemonic: "select".to_string(),
+                    deps: vec![0],
+                    format: "uncompr".to_string(),
+                },
+            ],
+            regions: vec![RegionInfo {
+                members: vec![1],
+                root: 1,
+                driver: "x".to_string(),
+                fan_out_eligible: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_distinct() {
+        let a = node_span_id(42, 0);
+        assert_eq!(a, node_span_id(42, 0));
+        assert_ne!(a, node_span_id(42, 1));
+        assert_ne!(a, node_span_id(43, 0));
+        assert_ne!(a, query_span_id(42));
+    }
+
+    #[test]
+    fn trace_records_and_publishes() {
+        let tracer = QueryTracer::new();
+        let trace = tracer.begin(topology());
+        assert!(!trace.node(1).is_recorded());
+        trace.record_node(1, Duration::from_micros(5), 100, 64, 800, false);
+        trace.note_fan_out(1, 4);
+        trace.record_node(0, Duration::ZERO, 1000, 8000, 8000, false);
+        assert!(trace.node(1).is_recorded());
+        assert_eq!(trace.node(1).rows(), 100);
+        assert_eq!(trace.node(1).bytes(), 64);
+        assert_eq!(trace.node(1).logical_bytes(), 800);
+        assert_eq!(trace.node(1).morsel_parts(), 4);
+        assert_eq!(trace.node(0).morsel_parts(), 0);
+        assert_eq!(trace.parent_span_ids(1), vec![trace.span_id(0)]);
+        assert!(trace.parent_span_ids(0).is_empty());
+        assert_eq!(trace.region_of(1).map(|(i, _)| i), Some(0));
+        assert!(trace.region_of(0).is_none());
+
+        assert!(tracer.last_trace().is_none());
+        tracer.finish(Arc::clone(&trace));
+        assert_eq!(tracer.traced_count(), 1);
+        let last = tracer.last_trace().expect("published");
+        assert!(Arc::ptr_eq(&last, &trace));
+    }
+}

@@ -54,6 +54,19 @@ fn main() {
             .describe_with_fusion(&FormatConfig::with_default(Format::DeltaDynBp))
     );
 
+    // EXPLAIN ANALYZE through the SQL path: prefix the same query and the
+    // server executes it under a tracer, returning the per-node profile —
+    // wall time, rows, compressed vs. logical bytes, cache hits — alongside
+    // the (byte-identical) result.
+    let response = adhoc
+        .submit_full(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap();
+    assert_eq!(response.output.values, output.values);
+    println!(
+        "\nEXPLAIN ANALYZE:\n{}",
+        response.profile.expect("EXPLAIN ANALYZE carries a profile")
+    );
+
     // Structured errors instead of panics: typos come back with positions
     // and suggestions, so a client can render them.
     match adhoc.submit("SELECT SUM(lo_revenu) FROM lineorder WHERE lo_discount = 1") {
@@ -83,10 +96,12 @@ fn main() {
 
     let stats = server.stats();
     println!(
-        "\nserved {} queries, p50 {:.3} ms, p95 {:.3} ms",
+        "\nserved {} queries, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
         stats.served,
         stats.p50_latency_ns as f64 / 1e6,
-        stats.p95_latency_ns as f64 / 1e6
+        stats.p95_latency_ns as f64 / 1e6,
+        stats.p99_latency_ns as f64 / 1e6,
+        stats.max_latency_ns as f64 / 1e6
     );
     for tenant in &stats.tenants {
         println!(
@@ -95,5 +110,16 @@ fn main() {
             tenant.served,
             100.0 * tenant.cache_hit_rate()
         );
+    }
+
+    // The same numbers as a Prometheus scrape: outcome counters reconcile
+    // exactly with the stats above, histograms render as summaries.
+    let metrics = server.metrics_text();
+    println!("\nmetrics excerpt:");
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("morph_queries_total") || l.starts_with("morph_latency_ns"))
+    {
+        println!("  {line}");
     }
 }

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example ssb_query [-- <scale factor>]`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use morphstore::prelude::*;
@@ -115,6 +116,27 @@ fn main() {
         }
     }
     println!();
+
+    // EXPLAIN ANALYZE: run Q1.1 under a tracer (fused, 4 threads with
+    // morsels) and render the executed plan — per-node wall time, rows,
+    // compressed vs. logical bytes, formats, fusion-region brackets and
+    // morsel fan-out — from the recorded spans.  Tracing is observationally
+    // free: results and footprint records stay byte-identical.
+    let tracer = Arc::new(QueryTracer::new());
+    let mut traced_ctx = ExecutionContext::new(
+        ExecSettings::vectorized_compressed()
+            .with_fusion()
+            .with_morsel_threshold(64 * 1024)
+            .with_tracer(Arc::clone(&tracer)),
+        FormatConfig::with_default(Format::DynBp),
+    );
+    first.execute_parallel(&compressed_data, &mut traced_ctx, 4);
+    let trace = tracer.last_trace().expect("executor finishes the trace");
+    println!(
+        "EXPLAIN ANALYZE {}:\n{}\n",
+        first.label(),
+        first.plan().explain_analyze(&trace)
+    );
 
     println!(
         "{:<6} {:<28} {:>12} {:>14}",

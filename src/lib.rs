@@ -65,7 +65,8 @@ pub mod prelude {
     pub use morph_compression::{Format, NsScheme};
     pub use morph_cost::{DataCharacteristics, FormatSelectionStrategy, SelectionObjective};
     pub use morph_server::{
-        PendingQuery, Server, ServerConfig, ServerError, Session, TenantLimits,
+        PendingQuery, QueryResponse, Server, ServerConfig, ServerError, Session, SlowQuery,
+        TenantLimits,
     };
     pub use morph_sql::{compile, Catalog, CompiledQuery, TableDef};
     pub use morph_ssb::{SsbData, SsbQuery};
@@ -78,6 +79,7 @@ pub mod prelude {
         agg_sum, agg_sum_grouped, calc_binary, group_by, group_by_refine, intersect_sorted, join,
         merge_sorted, morph, project, select, select_between, semi_join, BinaryOp, CmpOp,
         ExecError, ExecSettings, ExecutionContext, FusedRegionSummary, FusionPlan,
-        IntegrationDegree, ParallelExecutor, ProcessingStyle, QueryGovernor,
+        IntegrationDegree, MetricsRegistry, ParallelExecutor, PlanTrace, ProcessingStyle,
+        QueryGovernor, QueryTracer,
     };
 }
