@@ -112,7 +112,7 @@ fn for_each_packed_value(bytes: &[u8], width: u8, count: usize, consumer: &mut i
     let read_word = |idx: usize| -> u64 {
         let start = idx * 8;
         if start + 8 <= bytes.len() {
-            u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+            crate::read_u64_le(bytes, start)
         } else {
             let mut buf = [0u8; 8];
             let avail = bytes.len().saturating_sub(start);
@@ -184,8 +184,8 @@ pub fn get_packed(bytes: &[u8], width: u8, idx: usize) -> u64 {
     let end = (byte_pos + (bit_in_byte + width).div_ceil(8) + 1).min(bytes.len());
     let len = end - byte_pos;
     window[..len].copy_from_slice(&bytes[byte_pos..end]);
-    let lo = u64::from_le_bytes(window[..8].try_into().expect("8 bytes"));
-    let hi = u64::from_le_bytes(window[8..16].try_into().expect("8 bytes"));
+    let lo = crate::read_u64_le(&window, 0);
+    let hi = crate::read_u64_le(&window, 8);
     let shifted = if bit_in_byte == 0 {
         lo
     } else {

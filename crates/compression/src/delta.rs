@@ -26,7 +26,7 @@ pub(crate) fn checked_cascade_header(
     offset: usize,
 ) -> Result<(u64, u8, usize), DecodeError> {
     crate::ensure_bytes(format, bytes, offset, 9)?;
-    let reference = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+    let reference = crate::read_u64_le(bytes, offset);
     let width = bytes[offset + 8];
     if !(1..=64).contains(&width) {
         return Err(DecodeError::CorruptHeader {
@@ -201,8 +201,7 @@ impl ChunkCursor for DeltaCursor<'_> {
             return None;
         }
         let offset = self.byte_offset;
-        let reference =
-            u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"));
+        let reference = crate::read_u64_le(self.bytes, offset);
         let width = self.bytes[offset + 8];
         let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
         self.byte_offset = decode_block(

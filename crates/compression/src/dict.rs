@@ -64,9 +64,12 @@ pub fn encode_into(values: &[u64], out: &mut Vec<u8>) {
     }
     let width = bitpack::bit_width_of(dictionary.len().saturating_sub(1) as u64);
     out.push(width);
+    // Every value is present by construction (the dictionary is the sorted
+    // dedup of `values`), so the first index with a value `>= v` *is* the
+    // key — `partition_point` makes the lookup total with no panic path.
     let keys: Vec<u64> = values
         .iter()
-        .map(|v| dictionary.binary_search(v).expect("value in dictionary") as u64)
+        .map(|v| dictionary.partition_point(|&entry| entry < *v) as u64)
         .collect();
     bitpack::pack_into(&keys, width, out);
 }
@@ -88,13 +91,10 @@ fn decode_dictionary(bytes: &[u8]) -> (Vec<u64>, usize, u8) {
 /// structured [`DecodeError`] instead of a slicing panic.
 fn try_decode_dictionary(bytes: &[u8]) -> Result<(Vec<u64>, usize, u8), DecodeError> {
     let (keys_offset, width) = try_header_layout(bytes)?;
-    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+    let distinct = crate::read_u64_le(bytes, 0) as usize;
     let mut dictionary: Vec<u64> = Vec::with_capacity(distinct);
     for i in 0..distinct {
-        let offset = 8 + i * 8;
-        dictionary.push(u64::from_le_bytes(
-            bytes[offset..offset + 8].try_into().expect("8 bytes"),
-        ));
+        dictionary.push(crate::read_u64_le(bytes, 8 + i * 8));
     }
     Ok((dictionary, keys_offset, width))
 }
@@ -185,7 +185,7 @@ pub fn header_layout(bytes: &[u8]) -> (usize, u8) {
 /// the width is a legal bit width, before any of them is used.
 pub fn try_header_layout(bytes: &[u8]) -> Result<(usize, u8), DecodeError> {
     crate::ensure_bytes("DICT", bytes, 0, 8)?;
-    let distinct = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    let distinct = crate::read_u64_le(bytes, 0);
     // The dictionary must fit into addressable memory before the size
     // arithmetic below can be trusted (a hostile 2^61-entry count would
     // overflow `usize` multiplication).

@@ -27,7 +27,9 @@ impl Compressor for ForDynBpCompressor {
         );
         let mut offsets: Vec<u64> = Vec::with_capacity(DYN_BP_BLOCK);
         for block in values.chunks_exact(DYN_BP_BLOCK) {
-            let reference = block.iter().copied().min().expect("non-empty block");
+            // `chunks_exact` never yields an empty block; the fold makes
+            // the reference total without a panicking path.
+            let reference = block.iter().copied().fold(u64::MAX, u64::min);
             out.extend_from_slice(&reference.to_le_bytes());
             offsets.clear();
             offsets.extend(block.iter().map(|&v| v - reference));
@@ -145,8 +147,7 @@ impl ChunkCursor for ForCursor<'_> {
             return None;
         }
         let offset = self.byte_offset;
-        let reference =
-            u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"));
+        let reference = crate::read_u64_le(self.bytes, offset);
         let width = self.bytes[offset + 8];
         let packed = bitpack::packed_size_bytes(DYN_BP_BLOCK, width);
         self.byte_offset = decode_block(

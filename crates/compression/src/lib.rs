@@ -25,7 +25,9 @@
 //!
 //! All uncompressed values are `u64`, the native word width, as in the paper.
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitpack;
 pub mod delta;
@@ -348,6 +350,22 @@ pub(crate) fn ensure_bytes(
         });
     }
     Ok(())
+}
+
+/// Read the little-endian `u64` at `bytes[start..start + 8]`.
+///
+/// Total and panic-free for in-bounds reads via `copy_from_slice` into a
+/// fixed array — the codified replacement for the
+/// `try_into().expect("8 bytes")` idiom the hot decode paths used to carry.
+/// Callers must have validated `start + 8 <= bytes.len()` (every decoder
+/// does, through [`ensure_bytes`] or an explicit length check); an
+/// out-of-bounds `start` still panics on the slice, exactly like the
+/// expect-based idiom, but no `expect` remains on the per-element path.
+#[inline(always)]
+pub(crate) fn read_u64_le(bytes: &[u8], start: usize) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[start..start + 8]);
+    u64::from_le_bytes(word)
 }
 
 /// Decompress the whole compressed main part (`count` elements) into `out`.

@@ -84,8 +84,8 @@ pub fn for_each_run(bytes: &[u8], count: usize, consumer: &mut dyn FnMut(u64, u6
 /// a zero-length run would make every count-driven walk loop forever.
 fn checked_run(bytes: &[u8], offset: usize, remaining: u64) -> Result<(u64, u64), DecodeError> {
     crate::ensure_bytes("RLE", bytes, offset, 16)?;
-    let value = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
-    let run_len = u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().expect("8 bytes"));
+    let value = crate::read_u64_le(bytes, offset);
+    let run_len = crate::read_u64_le(bytes, offset + 8);
     if run_len == 0 || run_len > remaining {
         return Err(DecodeError::CorruptHeader {
             format: "RLE",
@@ -202,13 +202,8 @@ impl ChunkCursor for RleCursor<'_> {
         while self.buffer.len() < RLE_CHUNK && self.logical < self.count {
             if self.run_remaining == 0 {
                 let offset = self.byte_offset;
-                self.run_value =
-                    u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"));
-                self.run_remaining = u64::from_le_bytes(
-                    self.bytes[offset + 8..offset + 16]
-                        .try_into()
-                        .expect("8 bytes"),
-                );
+                self.run_value = crate::read_u64_le(self.bytes, offset);
+                self.run_remaining = crate::read_u64_le(self.bytes, offset + 8);
                 self.byte_offset += 16;
             }
             let space = (RLE_CHUNK - self.buffer.len()) as u64;

@@ -55,9 +55,7 @@ pub fn try_for_each_block(
         buffer.clear();
         for i in 0..chunk {
             let start = (offset + i) * 8;
-            buffer.push(u64::from_le_bytes(
-                bytes[start..start + 8].try_into().expect("8 bytes"),
-            ));
+            buffer.push(crate::read_u64_le(bytes, start));
         }
         consumer(&buffer);
         offset += chunk;
@@ -97,9 +95,7 @@ impl ChunkCursor for UncompressedCursor<'_> {
         self.buffer.clear();
         for i in 0..chunk {
             let start = (self.pos + i) * 8;
-            self.buffer.push(u64::from_le_bytes(
-                self.bytes[start..start + 8].try_into().expect("8 bytes"),
-            ));
+            self.buffer.push(crate::read_u64_le(self.bytes, start));
         }
         self.pos += chunk;
         Some(&self.buffer)
@@ -119,8 +115,7 @@ impl ChunkCursor for UncompressedCursor<'_> {
 /// Random access to element `idx`.
 #[inline]
 pub fn get(bytes: &[u8], idx: usize) -> u64 {
-    let start = idx * 8;
-    u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+    crate::read_u64_le(bytes, idx * 8)
 }
 
 #[cfg(test)]

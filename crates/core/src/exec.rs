@@ -343,6 +343,14 @@ impl NodeRecords {
     /// Record an intermediate result produced by this node; its physical
     /// size is charged to the current query's memory budget.
     pub fn record_intermediate(&mut self, name: &str, column: &Column) {
+        // Cross-check the static plan verifier against runtime reality: in
+        // debug builds every produced column must carry a self-consistent
+        // seekable chunk directory, so all existing determinism suites
+        // exercise the invariant for free.
+        #[cfg(debug_assertions)]
+        if let Err(detail) = column.check_chunk_directory() {
+            panic!("column {name:?} has an inconsistent chunk directory: {detail}");
+        }
         crate::govern::charge_materialized(column.size_used_bytes());
         self.records.push(ColumnRecord {
             name: name.to_string(),
@@ -501,6 +509,14 @@ impl ExecutionContext {
     /// Record an intermediate result produced by the query; its physical
     /// size is charged to the current query's memory budget.
     pub fn record_intermediate(&mut self, name: &str, column: &Column) {
+        // Cross-check the static plan verifier against runtime reality: in
+        // debug builds every produced column must carry a self-consistent
+        // seekable chunk directory, so all existing determinism suites
+        // exercise the invariant for free.
+        #[cfg(debug_assertions)]
+        if let Err(detail) = column.check_chunk_directory() {
+            panic!("column {name:?} has an inconsistent chunk directory: {detail}");
+        }
         crate::govern::charge_materialized(column.size_used_bytes());
         self.records.push(ColumnRecord {
             name: name.to_string(),

@@ -394,7 +394,7 @@ pub(crate) fn edge_name(plan: &QueryPlan, r: ColRef) -> String {
 /// The inputs an operator consumes *sequentially* — the edges fusion can
 /// turn into in-flight streams.  A project's data side is deliberately
 /// absent: it is random-accessed, not streamed.
-fn streamed_inputs(op: &PlanOp) -> Vec<ColRef> {
+pub(crate) fn streamed_inputs(op: &PlanOp) -> Vec<ColRef> {
     match *op {
         PlanOp::Select { input, .. } | PlanOp::SelectBetween { input, .. } => vec![input],
         PlanOp::Project { positions, .. } => vec![positions],
@@ -405,7 +405,7 @@ fn streamed_inputs(op: &PlanOp) -> Vec<ColRef> {
 }
 
 /// Whether an operator can run as an interior stage of a fused region.
-fn interior_eligible(op: &PlanOp) -> bool {
+pub(crate) fn interior_eligible(op: &PlanOp) -> bool {
     matches!(
         op,
         PlanOp::Select { .. }

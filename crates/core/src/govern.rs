@@ -313,6 +313,7 @@ thread_local! {
 /// [`checkpoint_node`] on the current thread. The executors enter a scope
 /// per worker thread (and per serial execution); dropping restores the
 /// previous registration, so nested governed executions behave.
+#[derive(Debug)]
 pub struct GovernorScope {
     previous: Option<Arc<QueryGovernor>>,
 }

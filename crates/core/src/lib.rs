@@ -67,7 +67,9 @@
 //! stay byte-identical with tracing on.  See DESIGN.md for how the plan
 //! layer sits on top of the three-layer operator architecture.
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod exec;
 #[cfg(feature = "faults")]
@@ -78,6 +80,7 @@ pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod specialized;
+pub mod verify;
 
 pub use exec::{ExecSettings, ExecutionContext, IntegrationDegree};
 pub use fusion::{FusedRegionSummary, FusionPlan};
@@ -97,6 +100,7 @@ pub use ops::select::{select, select_between};
 pub use ops::transient;
 pub use parallel::ParallelExecutor;
 pub use plan::{ColRef, ColumnSource, GroupRef, PlanBuilder, PlanExecutor, QueryPlan, ScalarRef};
+pub use verify::PlanError;
 
 /// Comparison predicate of the [`select`] operator (re-exported from the
 /// vector crate, where the SIMD comparison kernels live).

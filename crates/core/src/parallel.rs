@@ -330,6 +330,11 @@ impl ParallelExecutor {
         source: &(dyn ColumnSource + Sync),
         ctx: &mut ExecutionContext,
     ) -> PlanOutput {
+        // Debug builds statically verify every plan before touching data
+        // (mirroring the serial executor, which also covers the
+        // single-worker delegation below).
+        #[cfg(debug_assertions)]
+        crate::verify::assert_verified(plan);
         let node_count = plan.node_count();
         // Without morsels, more workers than nodes can never be utilised;
         // with morsels, extra workers process parts of fanned-out nodes.  A
@@ -360,6 +365,8 @@ impl ParallelExecutor {
         // enter the queue (their cells are published by the region
         // completion instead).
         let fusion = FusionPlan::for_execution(plan, &settings, cache_info.as_deref());
+        #[cfg(debug_assertions)]
+        crate::verify::assert_fusion_verified(plan, &fusion);
         // Tracing mirrors the serial executor: spans are recorded next to
         // the ordinary bookkeeping by whichever worker completes a node,
         // with relaxed atomic stores only (see `morph_telemetry::trace`).

@@ -84,7 +84,7 @@ pub struct ColRef {
 /// count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GroupRef {
-    node: usize,
+    pub(crate) node: usize,
 }
 
 impl GroupRef {
@@ -815,7 +815,7 @@ impl PlanBuilder {
 
     /// The intermediate names a non-scan node records under: its step name,
     /// plus the reserved `"<step>_reps"` for grouping nodes.
-    fn claimed_names(name: &str, op: &PlanOp) -> Vec<String> {
+    pub(crate) fn claimed_names(name: &str, op: &PlanOp) -> Vec<String> {
         match op {
             PlanOp::Scan { .. } => vec![],
             PlanOp::GroupBy { .. } | PlanOp::GroupByRefine { .. } => {
@@ -1386,6 +1386,10 @@ impl PlanExecutor {
         source: &dyn ColumnSource,
         ctx: &mut ExecutionContext,
     ) -> PlanOutput {
+        // Debug builds statically verify every plan before touching data,
+        // so the determinism suites double as verifier suites.
+        #[cfg(debug_assertions)]
+        crate::verify::assert_verified(plan);
         let _governed = crate::govern::GovernorScope::enter(ctx.settings.governor.clone());
         let cache_info = ctx
             .settings
@@ -1394,6 +1398,8 @@ impl PlanExecutor {
             .map(|cache| plan_cache_info(plan, source, &ctx.formats, &ctx.settings, cache));
         let fusion =
             crate::fusion::FusionPlan::for_execution(plan, &ctx.settings, cache_info.as_deref());
+        #[cfg(debug_assertions)]
+        crate::verify::assert_fusion_verified(plan, &fusion);
         // Tracing is out of band: spans are recorded next to (never instead
         // of) the ordinary bookkeeping, so results, footprint records and
         // timing-label sequences stay byte-identical with a tracer attached.

@@ -1,0 +1,447 @@
+//! A small hand-written token scanner for Rust source, in the spirit of the
+//! SQL front-end's lexer: no external parser stack, just enough structure for
+//! line-accurate lint rules.
+//!
+//! The scanner produces identifiers, punctuation and comments with 1-based
+//! line numbers.  String, character, byte and raw-string literals are
+//! consumed *correctly* (so an `unsafe` inside a string never looks like the
+//! keyword) but emit no tokens; numeric literals likewise.  Lifetimes
+//! (`'a`) are distinguished from character literals by lookahead.
+//!
+//! A second pass marks the token ranges belonging to `#[test]` functions and
+//! `#[cfg(test)]` items (including whole `mod tests { ... }` blocks) so
+//! rules that only apply to production code can skip them.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `SeqCst`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `#`, `{`, `+`, ...).
+    Punct,
+    /// A line (`//`) or block (`/* */`) comment, text included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw text: the identifier, the single punctuation character, or the
+    /// full comment including its delimiters.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// `true` if this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Lex `source` into tokens. Never fails: unterminated literals simply
+/// consume to end of input (the real compiler rejects such files anyway).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c => {
+                    self.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: c.to_string(),
+                        line: self.line,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Comment,
+            text: self.chars[start..self.pos].iter().collect(),
+            line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Comment,
+            text: self.chars[start..self.pos].iter().collect(),
+            line,
+        });
+    }
+
+    /// Consume a (possibly raw) string literal starting at the current `"`
+    /// or at the `#`/`"` following a raw-string prefix. `hashes` is the
+    /// number of `#`s in a raw string's opening guard, `None` for a normal
+    /// escaped string.
+    fn string_body(&mut self, hashes: Option<usize>) {
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match (c, hashes) {
+                ('\\', None) => self.pos += 2, // escape: skip the next char
+                ('"', None) => {
+                    self.pos += 1;
+                    return;
+                }
+                ('"', Some(n)) => {
+                    // A raw string ends at `"` followed by n `#`s.
+                    if (1..=n).all(|i| self.peek(i) == Some('#')) {
+                        self.pos += 1 + n;
+                        return;
+                    }
+                    self.pos += 1;
+                }
+                ('\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.string_body(None);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'a` (lifetime) vs `'a'` (char literal): a lifetime is a quote
+        // followed by an identifier NOT closed by another quote.
+        let mut end = 1usize;
+        if self.peek(1).is_some_and(|c| c == '_' || c.is_alphabetic()) {
+            while self
+                .peek(end)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                end += 1;
+            }
+            if self.peek(end) != Some('\'') {
+                self.pos += end; // lifetime: consume quote + name, no token
+                return;
+            }
+        }
+        self.pos += 1; // opening quote
+        if self.peek(0) == Some('\\') {
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+        // Consume to the closing quote (multi-char escapes like `\u{1F600}`).
+        while let Some(c) = self.peek(0) {
+            self.pos += 1;
+            if c == '\'' {
+                break;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Numbers never feed a rule; consume digits, type suffixes, hex
+        // letters and a fractional part (but not `..` range punctuation).
+        while let Some(c) = self.peek(0) {
+            let fraction_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c == '_' || c.is_ascii_alphanumeric() || fraction_dot {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // Raw-string / byte-string prefixes: `r"..."`, `r#"..."#`, `b"..."`,
+        // `br#"..."#`, `c"..."`. The "identifier" is the prefix of a literal.
+        if matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr") {
+            match self.peek(0) {
+                Some('"') => {
+                    let raw = text.contains('r');
+                    self.string_body(if raw { Some(0) } else { None });
+                    return;
+                }
+                Some('#') => {
+                    let mut hashes = 0usize;
+                    while self.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(hashes) == Some('"') {
+                        self.pos += hashes;
+                        self.string_body(Some(hashes));
+                        return;
+                    }
+                }
+                Some('\'') if text == "b" => {
+                    self.char_or_lifetime();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        });
+    }
+}
+
+/// For each token, `true` if it belongs to test-only code: an item behind a
+/// `#[test]` / `#[cfg(test)]` attribute, including everything inside a
+/// `#[cfg(test)] mod { ... }` block.
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct('[') || t.is_punct('!'))
+        {
+            let open = if tokens[i + 1].is_punct('!') {
+                i + 2
+            } else {
+                i + 1
+            };
+            if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+                i += 1;
+                continue;
+            }
+            let (close, gates_test) = scan_attribute(tokens, open);
+            if gates_test && tokens[i + 1].is_punct('[') {
+                let end = item_end(tokens, close + 1);
+                for flag in in_test.iter_mut().take(end).skip(i) {
+                    *flag = true;
+                }
+                i = end;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Scan the attribute whose `[` is at `open`; return the index of the
+/// matching `]` and whether the attribute contains the identifier `test`
+/// (covering `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut gates_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i, gates_test);
+            }
+        } else if t.is_ident("test") {
+            gates_test = true;
+        }
+        i += 1;
+    }
+    (tokens.len().saturating_sub(1), gates_test)
+}
+
+/// Starting just after a test-gating attribute, return the index one past
+/// the end of the annotated item: past the matching `}` of its first
+/// top-level brace block, or past the terminating `;` for brace-less items.
+/// Further attributes and comments before the item are skipped over.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    let mut round = 0isize; // () and [] nesting inside the signature, where
+    let mut square = 0isize; // a `;` (e.g. `[u8; 3]`) must not end the item
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') {
+            round += 1;
+        } else if t.is_punct(')') {
+            round -= 1;
+        } else if t.is_punct('[') {
+            square += 1;
+        } else if t.is_punct(']') {
+            square -= 1;
+        } else if t.is_punct(';') && round == 0 && square == 0 {
+            return i + 1;
+        } else if t.is_punct('{') && round == 0 && square == 0 {
+            let mut depth = 0isize;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return tokens.len();
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_punct_and_lines() {
+        let tokens = lex("fn main() {\n    x.unwrap();\n}");
+        let idents: Vec<(&str, u32)> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![("fn", 1), ("main", 1), ("x", 2), ("unwrap", 2)]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_contents() {
+        let tokens = lex("let s = \"unsafe .unwrap()\"; let c = 'u'; let l: &'a str;");
+        assert!(!tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!tokens.iter().any(|t| t.is_ident("a"))); // lifetime swallowed
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let tokens = lex("let s = r#\"has \"quotes\" and unsafe\"#; done();");
+        assert!(!tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let tokens = lex("/* outer /* inner */ still comment */ real");
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(tokens[0].kind, TokenKind::Comment);
+        assert!(tokens[1].is_ident("real"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let source = "fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { b(); }\n}\nfn prod2() { c(); }";
+        let tokens = lex(source);
+        let regions = test_regions(&tokens);
+        let flagged: Vec<&str> = tokens
+            .iter()
+            .zip(&regions)
+            .filter(|(t, &flag)| flag && t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(flagged.contains(&"b"));
+        assert!(!flagged.contains(&"a"));
+        assert!(!flagged.contains(&"c"));
+    }
+
+    #[test]
+    fn test_attribute_gates_single_fn() {
+        let source = "#[test]\nfn t() { x.unwrap(); }\nfn prod() { y(); }";
+        let tokens = lex(source);
+        let regions = test_regions(&tokens);
+        let unwrap_idx = tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let y_idx = tokens.iter().position(|t| t.is_ident("y")).unwrap();
+        assert!(regions[unwrap_idx]);
+        assert!(!regions[y_idx]);
+    }
+
+    #[test]
+    fn semicolon_inside_brackets_does_not_end_item() {
+        let source = "#[cfg(test)]\nfn t(buf: [u8; 4]) { z(); }\nfn prod() { w(); }";
+        let tokens = lex(source);
+        let regions = test_regions(&tokens);
+        let z_idx = tokens.iter().position(|t| t.is_ident("z")).unwrap();
+        let w_idx = tokens.iter().position(|t| t.is_ident("w")).unwrap();
+        assert!(regions[z_idx]);
+        assert!(!regions[w_idx]);
+    }
+}

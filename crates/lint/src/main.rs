@@ -1,0 +1,75 @@
+//! Command-line driver for morph-lint.
+//!
+//! ```text
+//! cargo run -p morph-lint -- crates/ src/
+//! cargo run -p morph-lint -- --allow lint-allow.txt crates/ src/
+//! ```
+//!
+//! Exit status 0 when no errors remain (warnings are reported but do not
+//! fail the run), 1 on any error, 2 on usage or I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use morph_lint::{Allowlist, Severity};
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut allow_path = PathBuf::from("lint-allow.txt");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allow" => match args.next() {
+                Some(path) => allow_path = PathBuf::from(path),
+                None => {
+                    eprintln!("--allow requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: morph-lint [--allow lint-allow.txt] <root>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => roots.push(PathBuf::from(arg)),
+        }
+    }
+    if roots.is_empty() {
+        roots.push(PathBuf::from("crates"));
+        roots.push(PathBuf::from("src"));
+    }
+
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(allow) => allow,
+        Err(err) => {
+            eprintln!("morph-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let diagnostics = match morph_lint::run(&roots, &allow) {
+        Ok(diagnostics) => diagnostics,
+        Err(err) => {
+            eprintln!("morph-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for diag in &diagnostics {
+        println!("{diag}");
+        match diag.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+    }
+    if errors == 0 && warnings == 0 {
+        println!("morph-lint: clean");
+    } else {
+        println!("morph-lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: compliant unsafe usage — no diagnostics.
+pub fn read_first(data: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees `data` is non-empty, so the pointer
+    // read stays in bounds.
+    unsafe { *data.as_ptr() }
+}

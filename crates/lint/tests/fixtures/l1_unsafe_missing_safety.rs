@@ -1,0 +1,4 @@
+// Fixture: L1 must fire exactly once — `unsafe` with no SAFETY comment.
+pub fn read_first(data: &[u64]) -> u64 {
+    unsafe { *data.as_ptr() }
+}

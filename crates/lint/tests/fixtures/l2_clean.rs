@@ -1,0 +1,16 @@
+// Fixture: compliant hot-path code — checked helpers in production code,
+// unwrap only inside the `#[cfg(test)]` module (exempt).
+pub fn head(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_of_nonempty() {
+        let values = [7u64];
+        assert_eq!(head(&values), *values.first().unwrap());
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: L2 must fire exactly once — `.unwrap()` in hot-path code
+// (linted under a crates/compression/src/ label).
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: L3 must fire exactly once — `SeqCst` is banned everywhere.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}

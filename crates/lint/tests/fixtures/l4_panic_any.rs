@@ -1,0 +1,5 @@
+// Fixture: L4 must fire exactly once — `panic_any` outside the sanctioned
+// decode-error wrappers (linted under a crates/cache/src/ label).
+pub fn fail(message: String) -> ! {
+    std::panic::panic_any(message)
+}

@@ -1,0 +1,6 @@
+// Fixture: compliant outcome counting — the stats bucket and its metrics
+// mirror are incremented together, so the two views reconcile.
+pub fn record_ok(&self, tenant: &mut Tenant) {
+    tenant.outcomes.ok += 1;
+    self.count_outcome(&tenant.name, "ok");
+}

@@ -1,0 +1,5 @@
+// Fixture: L5 must fire exactly once — an OutcomeCounts bucket increment
+// with no `count_outcome` metrics mirror anywhere near it.
+pub fn record_ok(tenant: &mut Tenant) {
+    tenant.outcomes.ok += 1;
+}

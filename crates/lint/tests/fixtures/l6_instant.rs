@@ -1,0 +1,5 @@
+// Fixture: L6 must fire exactly once — a time source outside the
+// timing/telemetry modules (linted under a crates/cache/src/ label).
+pub fn elapsed_ns(start: std::time::Instant) -> u128 {
+    start.elapsed().as_nanos()
+}

@@ -217,6 +217,10 @@ impl From<SqlError> for ServerError {
                 ServerError::UnknownColumn { name, did_you_mean }
             }
             SqlError::Unsupported { message } => ServerError::Unsupported { message },
+            SqlError::InvalidPlan { error } => ServerError::Execution {
+                message: format!("compiled plan failed verification: {error}"),
+                decode: None,
+            },
         }
     }
 }

@@ -38,6 +38,13 @@ pub enum SqlError {
         /// Why the query cannot be lowered.
         message: String,
     },
+    /// The lowered plan failed static verification
+    /// ([`morphstore_engine::verify::verify`]) — a planner bug, reported
+    /// as a structured error instead of a panic inside an executor.
+    InvalidPlan {
+        /// The structural defect the verifier found.
+        error: morphstore_engine::verify::PlanError,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -63,6 +70,9 @@ impl fmt::Display for SqlError {
                 Ok(())
             }
             SqlError::Unsupported { message } => write!(f, "unsupported query: {message}"),
+            SqlError::InvalidPlan { error } => {
+                write!(f, "compiled plan failed verification: {error}")
+            }
         }
     }
 }

@@ -179,6 +179,11 @@ pub fn compile_with_label(
     let resolved = resolve(&query, catalog)?;
     let mut compiled = lower(&resolved, label);
     compiled.explain_analyze = query.explain_analyze;
+    // Every compiled plan passes static verification before it reaches an
+    // executor: a planner bug surfaces here as a structured error naming
+    // the defective node, never as a panic mid-execution.
+    morphstore_engine::verify::verify(&compiled.plan)
+        .map_err(|error| SqlError::InvalidPlan { error })?;
     Ok(compiled)
 }
 

@@ -212,6 +212,63 @@ impl Column {
         }
     }
 
+    /// Check the chunk directory for self-consistency: the first entry
+    /// starts at byte 0 / element 0, byte offsets and logical starts are
+    /// strictly increasing, every entry lies inside the main part, and the
+    /// chunk spans sum to the main-part length (which, with the remainder,
+    /// covers the full logical length).
+    ///
+    /// A directory violating any of these would make seekable decoding
+    /// ([`Column::for_each_chunk_in`]) skip or double-decode values —
+    /// exactly the corruption the byte-identity determinism suites would
+    /// only catch downstream.  Executors run this after every node under
+    /// `debug_assertions`; it is cheap (one linear walk over the
+    /// directory, no data access).
+    pub fn check_chunk_directory(&self) -> Result<(), String> {
+        if self.chunks.is_empty() {
+            if self.main_len != 0 {
+                return Err(format!(
+                    "main part holds {} elements but the chunk directory is empty",
+                    self.main_len
+                ));
+            }
+            return Ok(());
+        }
+        let first = &self.chunks[0];
+        if first.byte_offset != 0 || first.logical_start != 0 {
+            return Err(format!(
+                "first chunk starts at byte {} / element {} instead of 0 / 0",
+                first.byte_offset, first.logical_start
+            ));
+        }
+        for (i, pair) in self.chunks.windows(2).enumerate() {
+            if pair[1].byte_offset <= pair[0].byte_offset
+                || pair[1].logical_start <= pair[0].logical_start
+            {
+                return Err(format!(
+                    "chunk {} (byte {}, element {}) does not strictly follow \
+                     chunk {} (byte {}, element {})",
+                    i + 1,
+                    pair[1].byte_offset,
+                    pair[1].logical_start,
+                    i,
+                    pair[0].byte_offset,
+                    pair[0].logical_start
+                ));
+            }
+        }
+        let last = &self.chunks[self.chunks.len() - 1];
+        if last.byte_offset >= self.main_bytes || last.logical_start >= self.main_len {
+            return Err(format!(
+                "last chunk (byte {}, element {}) lies outside the main part \
+                 ({} bytes, {} elements) — chunk spans cannot sum to the \
+                 logical length",
+                last.byte_offset, last.logical_start, self.main_bytes, self.main_len
+            ));
+        }
+        Ok(())
+    }
+
     /// Visit the values of the seekable chunks `chunks` as cache-resident
     /// uncompressed pieces, without decoding anything before the range.
     ///

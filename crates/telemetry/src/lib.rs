@@ -23,7 +23,9 @@
 //! one histogram type.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod metrics;
 pub mod trace;

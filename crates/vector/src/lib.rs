@@ -37,7 +37,9 @@
 //! assert_eq!(scalar_sum, 999 * 1000 / 2);
 //! ```
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod emu;
 pub mod kernels;

@@ -108,7 +108,7 @@ mod avx2 {
     const SIGN_BIAS: i64 = i64::MIN;
 
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn filter_positions_avx2(
+    pub(super) fn filter_positions_avx2(
         op: VecCmp,
         data: &[u64],
         constant: u64,
@@ -122,7 +122,7 @@ mod avx2 {
         let mut i = 0usize;
         while i + 4 <= n {
             // SAFETY: `i + 4 <= n` guarantees the 32-byte read stays in bounds.
-            let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+            let v = unsafe { _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i) };
             let biased = _mm256_xor_si256(v, _mm256_set1_epi64x(SIGN_BIAS));
             // Compute a 4-bit match mask for the predicate.
             let match_vec = match op {
@@ -163,7 +163,7 @@ mod avx2 {
     /// `lo(a*b) = a_lo*b_lo + ((a_lo*b_hi + a_hi*b_lo) << 32)` (mod 2^64).
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn mul_epi64_wrapping(a: __m256i, b: __m256i) -> __m256i {
+    fn mul_epi64_wrapping(a: __m256i, b: __m256i) -> __m256i {
         let a_hi = _mm256_srli_epi64(a, 32);
         let b_hi = _mm256_srli_epi64(b, 32);
         let lo_lo = _mm256_mul_epu32(a, b);
@@ -174,7 +174,7 @@ mod avx2 {
     }
 
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn binary_op_avx2(
+    pub(super) fn binary_op_avx2(
         op: crate::kernels::BinaryOp,
         lhs: &[u64],
         rhs: &[u64],
@@ -187,14 +187,17 @@ mod avx2 {
         let mut i = 0usize;
         while i + 4 <= n {
             // SAFETY: `i + 4 <= n` guarantees the 32-byte reads stay in bounds.
-            let a = _mm256_loadu_si256(lhs.as_ptr().add(i) as *const __m256i);
-            let b = _mm256_loadu_si256(rhs.as_ptr().add(i) as *const __m256i);
+            let a = unsafe { _mm256_loadu_si256(lhs.as_ptr().add(i) as *const __m256i) };
+            // SAFETY: `lhs.len() == rhs.len()` (asserted by the caller), so
+            // the same bound covers the second read.
+            let b = unsafe { _mm256_loadu_si256(rhs.as_ptr().add(i) as *const __m256i) };
             let r = match op {
                 BinaryOp::Add => _mm256_add_epi64(a, b),
                 BinaryOp::Sub => _mm256_sub_epi64(a, b),
                 BinaryOp::Mul => mul_epi64_wrapping(a, b),
             };
-            _mm256_storeu_si256(scratch.as_mut_ptr() as *mut __m256i, r);
+            // SAFETY: `scratch` is 4 u64 = 32 bytes, exactly one vector.
+            unsafe { _mm256_storeu_si256(scratch.as_mut_ptr() as *mut __m256i, r) };
             out.extend_from_slice(&scratch);
             i += 4;
         }
@@ -209,18 +212,19 @@ mod avx2 {
     }
 
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn sum_avx2(data: &[u64]) -> u64 {
+    pub(super) fn sum_avx2(data: &[u64]) -> u64 {
         let n = data.len();
         let mut acc = _mm256_setzero_si256();
         let mut i = 0usize;
         while i + 4 <= n {
             // SAFETY: `i + 4 <= n` guarantees the 32-byte read stays in bounds.
-            let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+            let v = unsafe { _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i) };
             acc = _mm256_add_epi64(acc, v);
             i += 4;
         }
         let mut lanes = [0u64; 4];
-        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        // SAFETY: `lanes` is 4 u64 = 32 bytes, exactly one vector.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
         let mut total = lanes.iter().fold(0u64, |a, &b| a.wrapping_add(b));
         for &value in &data[i..] {
             total = total.wrapping_add(value);
